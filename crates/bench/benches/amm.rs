@@ -1,0 +1,114 @@
+//! Criterion: AMM math and on-bank swap execution, plus sandwich planning.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use sandwich_dex::{
+    create_pool_ix, plan_optimal, swap_ix, victim_min_out, AmmProgram, PoolState,
+};
+use sandwich_ledger::{
+    native_sol_mint, Bank, Instruction, TokenInstruction, TransactionBuilder,
+};
+use sandwich_types::{Keypair, Lamports, Pubkey};
+
+fn pool() -> PoolState {
+    PoolState::new(
+        native_sol_mint(),
+        60_000_000_000, // 60 SOL
+        Pubkey::derive("mint:BENCH"),
+        3_000_000_000_000,
+        30,
+    )
+}
+
+fn bench_math(c: &mut Criterion) {
+    let p = pool();
+    let sol = native_sol_mint();
+    c.bench_function("amm/quote_exact_in", |b| {
+        b.iter(|| black_box(p.quote(&sol, black_box(1_000_000_000))))
+    });
+
+    let min_out = victim_min_out(&p, &sol, 1_000_000_000, 200).unwrap();
+    c.bench_function("amm/plan_optimal_sandwich", |b| {
+        b.iter(|| {
+            black_box(plan_optimal(
+                &p,
+                &sol,
+                black_box(1_000_000_000),
+                min_out,
+                u64::MAX / 4,
+                1,
+            ))
+        })
+    });
+}
+
+fn bench_execution(c: &mut Criterion) {
+    let bank = Arc::new(Bank::new(Keypair::from_label("v").pubkey()));
+    bank.register_program(Arc::new(AmmProgram));
+    let lp = Keypair::from_label("lp");
+    let mint = Pubkey::derive("mint:BENCH");
+    bank.airdrop(lp.pubkey(), Lamports::from_sol(10_000.0));
+    let setup = TransactionBuilder::new(lp)
+        .instruction(Instruction::Token(TokenInstruction::CreateMint {
+            mint,
+            decimals: 6,
+            symbol: "B".into(),
+        }))
+        .instruction(Instruction::Token(TokenInstruction::MintTo {
+            mint,
+            to: lp.pubkey(),
+            amount: u64::MAX / 8,
+        }))
+        .instruction(create_pool_ix(
+            native_sol_mint(),
+            1_000_000_000_000,
+            mint,
+            50_000_000_000_000,
+            30,
+        ))
+        .build();
+    assert!(bank.execute_transaction(&setup).unwrap().success);
+
+    let trader = Keypair::from_label("trader");
+    bank.airdrop(trader.pubkey(), Lamports::from_sol(1_000_000.0));
+
+    let mut nonce = 0u64;
+    c.bench_function("amm/swap_tx_build_and_execute", |b| {
+        b.iter(|| {
+            nonce += 1;
+            let tx = TransactionBuilder::new(trader)
+                .nonce(nonce)
+                .instruction(swap_ix(native_sol_mint(), mint, 1_000_000, 0))
+                .build();
+            black_box(bank.execute_transaction(&tx).unwrap());
+        })
+    });
+
+    c.bench_function("amm/tx_sign_only", |b| {
+        b.iter(|| {
+            nonce += 1;
+            black_box(
+                TransactionBuilder::new(trader)
+                    .nonce(nonce)
+                    .instruction(swap_ix(native_sol_mint(), mint, 1_000_000, 0))
+                    .build(),
+            );
+        })
+    });
+}
+
+
+fn fast() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(30)
+}
+criterion_group!{
+    name = benches;
+    config = fast();
+    targets = bench_math, bench_execution
+}
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Criterion: dataset ingestion and analysis throughput — the hot loops of
+//! a four-month collection.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use sandwich_core::{analyze, AnalysisConfig, Cdf, Dataset};
+use sandwich_explorer::BundleSummaryJson;
+use sandwich_types::{Hash, Keypair, SlotClock};
+
+fn page(start: u64, n: u64, len: usize) -> Vec<BundleSummaryJson> {
+    let kp = Keypair::from_label("ing");
+    (start..start + n)
+        .rev()
+        .map(|i| BundleSummaryJson {
+            bundle_id: Hash::digest(&i.to_le_bytes()),
+            slot: i,
+            timestamp_ms: i * 400,
+            tip_lamports: 1_000 + i % 100_000,
+            transactions: (0..len)
+                .map(|k| kp.sign(&(i * 10 + k as u64).to_le_bytes()))
+                .collect(),
+        })
+        .collect()
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collector/ingest_page");
+    for &n in &[100u64, 1_000, 10_000] {
+        group.throughput(Throughput::Elements(n));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let clock = SlotClock::default();
+            let p = page(0, n, 1);
+            b.iter(|| {
+                let mut ds = Dataset::new();
+                black_box(ds.ingest_page(black_box(&p), &clock, 0))
+            })
+        });
+    }
+    group.finish();
+
+    // Overlapping-page ingestion: 50% duplicates, the steady-state shape.
+    c.bench_function("collector/ingest_overlapping_pages", |b| {
+        let clock = SlotClock::default();
+        let pages: Vec<_> = (0..10).map(|i| page(i * 500, 1_000, 1)).collect();
+        b.iter(|| {
+            let mut ds = Dataset::new();
+            for p in &pages {
+                black_box(ds.ingest_page(p, &clock, 0));
+            }
+            assert!(ds.overlap_rate() > 0.9);
+        })
+    });
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let clock = SlotClock::default();
+    let mut ds = Dataset::new();
+    // 20k bundles across lengths over ~10 days of slots.
+    for d in 0..10u64 {
+        let p: Vec<_> = (0..2_000u64)
+            .map(|i| {
+                let seed = d * 10_000 + i;
+                let len = 1 + (seed % 5) as usize;
+                page(seed * 10, 1, len).pop().unwrap()
+            })
+            .map(|mut b| {
+                b.slot = d * sandwich_types::SLOTS_PER_DAY + b.slot % sandwich_types::SLOTS_PER_DAY;
+                b
+            })
+            .collect();
+        ds.ingest_page(&p, &clock, d);
+    }
+    let config = AnalysisConfig::paper_defaults(10);
+    let mut group = c.benchmark_group("collector/analyze");
+    group.throughput(Throughput::Elements(ds.len() as u64));
+    group.bench_function("20k_bundles", |b| {
+        b.iter(|| black_box(analyze(black_box(&ds), &clock, &config)))
+    });
+    group.finish();
+
+    let samples: Vec<f64> = (0..100_000).map(|i| (i as f64).sin().abs() * 1e6).collect();
+    c.bench_function("collector/cdf_build_100k", |b| {
+        b.iter(|| black_box(Cdf::from_samples(black_box(samples.clone()))))
+    });
+}
+
+
+fn fast() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(30)
+}
+criterion_group!{
+    name = benches;
+    config = fast();
+    targets = bench_ingest, bench_analysis
+}
+criterion_main!(benches);

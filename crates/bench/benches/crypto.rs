@@ -1,0 +1,66 @@
+//! Criterion: the from-scratch primitives — SHA-256, base58, and the
+//! Schnorr signing scheme every transaction uses.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use sandwich_types::hash::{Hash, Sha256};
+use sandwich_types::{base58, Keypair};
+
+fn bench_crypto(c: &mut Criterion) {
+    let kib = vec![0xabu8; 1024];
+    let mut group = c.benchmark_group("crypto/sha256");
+    group.throughput(Throughput::Bytes(1024));
+    group.bench_function("1KiB", |b| {
+        b.iter(|| black_box(Hash::digest(black_box(&kib))))
+    });
+    group.finish();
+
+    let big = vec![0xcdu8; 64 * 1024];
+    let mut group = c.benchmark_group("crypto/sha256_streaming");
+    group.throughput(Throughput::Bytes(64 * 1024));
+    group.bench_function("64KiB", |b| {
+        b.iter(|| {
+            let mut h = Sha256::new();
+            for chunk in big.chunks(4096) {
+                h.update(chunk);
+            }
+            black_box(h.finalize())
+        })
+    });
+    group.finish();
+
+    let digest = Hash::digest(b"bench").0;
+    c.bench_function("crypto/base58_encode_32B", |b| {
+        b.iter(|| black_box(base58::encode(black_box(&digest))))
+    });
+    let encoded = base58::encode(&digest);
+    c.bench_function("crypto/base58_decode_32B", |b| {
+        b.iter(|| black_box(base58::decode(black_box(&encoded))))
+    });
+
+    let kp = Keypair::from_label("bench");
+    let msg = vec![0x42u8; 256];
+    c.bench_function("crypto/schnorr_sign_256B", |b| {
+        b.iter(|| black_box(kp.sign(black_box(&msg))))
+    });
+    let sig = kp.sign(&msg);
+    c.bench_function("crypto/schnorr_verify_256B", |b| {
+        b.iter(|| {
+            assert!(kp.pubkey().verify(black_box(&msg), black_box(&sig)));
+        })
+    });
+}
+
+
+fn fast() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(30)
+}
+criterion_group!{
+    name = benches;
+    config = fast();
+    targets = bench_crypto
+}
+criterion_main!(benches);

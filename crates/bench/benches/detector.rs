@@ -1,0 +1,101 @@
+//! Criterion: detector throughput — the cost of classifying one length-3
+//! bundle's metas, for sandwiches and each decoy shape.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use sandwich_core::{detect, extract_trade, DetectorConfig};
+use sandwich_jito::tip_account;
+use sandwich_ledger::{SolDelta, TokenDelta, TransactionMeta};
+use sandwich_types::{Keypair, LamportDelta, Lamports, Pubkey};
+
+fn swap_meta(label: &str, n: u64, sol_trade: i64, tokens: i128, tip: u64) -> TransactionMeta {
+    let kp = Keypair::from_label(label);
+    let mut sol_deltas = vec![SolDelta {
+        account: kp.pubkey(),
+        delta: LamportDelta(sol_trade - 5_000 - tip as i64),
+    }];
+    if tip > 0 {
+        sol_deltas.push(SolDelta {
+            account: tip_account(0),
+            delta: LamportDelta(tip as i64),
+        });
+    }
+    TransactionMeta {
+        tx_id: kp.sign(&n.to_le_bytes()),
+        signer: kp.pubkey(),
+        fee: Lamports(5_000),
+        priority_fee: Lamports::ZERO,
+        success: true,
+        error: None,
+        sol_deltas,
+        token_deltas: if tokens != 0 {
+            vec![TokenDelta {
+                owner: kp.pubkey(),
+                mint: Pubkey::derive("mint:BENCH"),
+                delta: tokens,
+            }]
+        } else {
+            vec![]
+        },
+    }
+}
+
+fn bench_detector(c: &mut Criterion) {
+    let config = DetectorConfig::default();
+
+    let sandwich = (
+        swap_meta("atk", 1, -100_000_000_000, 10_000, 0),
+        swap_meta("vic", 2, -120_000_000_000, 10_000, 0),
+        swap_meta("atk", 3, 115_000_000_000, -10_000, 2_000_000),
+    );
+    c.bench_function("detect/sandwich_hit", |b| {
+        b.iter(|| {
+            black_box(detect(
+                &config,
+                [black_box(&sandwich.0), black_box(&sandwich.1), black_box(&sandwich.2)],
+            ))
+        })
+    });
+
+    let decoy_signers = (
+        swap_meta("a", 1, -100_000_000_000, 10_000, 0),
+        swap_meta("b", 2, -120_000_000_000, 10_000, 0),
+        swap_meta("c", 3, 115_000_000_000, -10_000, 0),
+    );
+    c.bench_function("detect/decoy_signer_miss", |b| {
+        b.iter(|| {
+            black_box(detect(
+                &config,
+                [&decoy_signers.0, &decoy_signers.1, &decoy_signers.2],
+            ))
+        })
+    });
+
+    let tip_only = (
+        swap_meta("app", 1, -100_000_000_000, 10_000, 0),
+        swap_meta("usr", 2, -120_000_000_000, 10_000, 0),
+        swap_meta("app", 3, 0, 0, 10_000),
+    );
+    c.bench_function("detect/decoy_tip_only", |b| {
+        b.iter(|| black_box(detect(&config, [&tip_only.0, &tip_only.1, &tip_only.2])))
+    });
+
+    let meta = swap_meta("atk", 9, -1_000_000_000, 42_000, 500_000);
+    c.bench_function("detect/extract_trade", |b| {
+        b.iter(|| black_box(extract_trade(black_box(&meta))))
+    });
+}
+
+
+fn fast() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(30)
+}
+criterion_group!{
+    name = benches;
+    config = fast();
+    targets = bench_detector
+}
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion: block-engine auction throughput at varying bundle counts.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use sandwich_jito::{tip_ix, BlockEngine, Bundle};
+use sandwich_ledger::{Bank, TransactionBuilder};
+use sandwich_types::{Keypair, Lamports, Slot};
+
+fn make_bundles(bank: &Arc<Bank>, count: usize, base_nonce: u64) -> Vec<Bundle> {
+    (0..count)
+        .map(|i| {
+            let kp = Keypair::from_label(&format!("bidder-{i}"));
+            bank.airdrop(kp.pubkey(), Lamports::from_sol(10.0));
+            let nonce = base_nonce + i as u64;
+            let tx = TransactionBuilder::new(kp)
+                .nonce(nonce)
+                .instruction(tip_ix(Lamports(1_000 + (i as u64 * 37) % 1_000_000), nonce))
+                .build();
+            Bundle::new(vec![tx]).unwrap()
+        })
+        .collect()
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/produce_slot");
+    for &count in &[10usize, 100, 1_000] {
+        group.throughput(Throughput::Elements(count as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(count), &count, |b, &count| {
+            let bank = Arc::new(
+                Bank::new(Keypair::from_label("v").pubkey()).with_signature_verification(false),
+            );
+            let mut engine = BlockEngine::new(bank.clone());
+            let mut slot = 0u64;
+            let mut nonce = 0u64;
+            b.iter(|| {
+                slot += 1;
+                nonce += count as u64 + 1;
+                let bundles = make_bundles(&bank, count, nonce);
+                let result = engine.produce_slot(Slot(slot), bundles, vec![]);
+                assert_eq!(result.bundles.len(), count);
+            })
+        });
+    }
+    group.finish();
+}
+
+
+fn fast() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(30)
+}
+criterion_group!{
+    name = benches;
+    config = fast();
+    targets = bench_engine
+}
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Criterion: HTTP boundary — explorer page fetch round-trips over
+//! loopback TCP, at the page sizes the collector actually uses.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use parking_lot::RwLock;
+
+use sandwich_explorer::{Explorer, ExplorerConfig, HistoryStore, RecentBundlesResponse, RetentionPolicy};
+use sandwich_jito::LandedBundle;
+use sandwich_net::HttpClient;
+use sandwich_types::{Hash, Keypair, Lamports, Slot, SlotClock};
+
+fn filled_store(n: u64) -> Arc<RwLock<HistoryStore>> {
+    let kp = Keypair::from_label("net-bench");
+    let mut store = HistoryStore::new(SlotClock::default(), RetentionPolicy::OnlyBundleLength(3));
+    for i in 0..n {
+        store.record_bundle(&LandedBundle {
+            bundle_id: Hash::digest(&i.to_le_bytes()),
+            slot: Slot(i),
+            tip: Lamports(1_000 + i),
+            metas: vec![sandwich_ledger::TransactionMeta {
+                tx_id: kp.sign(&i.to_le_bytes()),
+                signer: kp.pubkey(),
+                fee: Lamports(5_000),
+                priority_fee: Lamports::ZERO,
+                success: true,
+                error: None,
+                sol_deltas: vec![],
+                token_deltas: vec![],
+            }],
+        });
+    }
+    Arc::new(RwLock::new(store))
+}
+
+fn bench_http(c: &mut Criterion) {
+    let runtime = tokio::runtime::Builder::new_multi_thread()
+        .worker_threads(2)
+        .enable_all()
+        .build()
+        .unwrap();
+    let explorer = runtime
+        .block_on(Explorer::start(filled_store(5_000), ExplorerConfig::default()))
+        .unwrap();
+    let client = HttpClient::new(explorer.addr());
+
+    let mut group = c.benchmark_group("net/bundles_page");
+    for &limit in &[25usize, 200, 2_000] {
+        group.throughput(Throughput::Elements(limit as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(limit), &limit, |b, &limit| {
+            let path = format!("/api/v1/bundles?limit={limit}");
+            b.iter(|| {
+                let page: RecentBundlesResponse =
+                    runtime.block_on(client.get_json(&path)).unwrap();
+                assert_eq!(page.bundles.len(), limit);
+            })
+        });
+    }
+    group.finish();
+
+    runtime.block_on(explorer.shutdown());
+}
+
+
+fn fast() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(30)
+}
+criterion_group!{
+    name = benches;
+    config = fast();
+    targets = bench_http
+}
+criterion_main!(benches);

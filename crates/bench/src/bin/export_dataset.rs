@@ -1,0 +1,39 @@
+//! Run a measurement and archive the collected dataset as JSONL — the
+//! repository's equivalent of the paper's four-month archive — then reload
+//! it and verify the analysis is identical.
+
+use std::io::BufReader;
+
+use sandwich_core::{analyze, AnalysisConfig, Dataset};
+
+fn main() {
+    let fr = sandwich_bench::run_pipeline_with(sandwich_sim::ScenarioConfig {
+        days: std::env::var("SANDWICH_DAYS").ok().and_then(|v| v.parse().ok()).unwrap_or(5),
+        ..sandwich_bench::figure_scenario()
+    });
+    let path = std::env::var("SANDWICH_OUT").unwrap_or_else(|_| "dataset.jsonl".into());
+
+    let file = std::fs::File::create(&path).expect("create archive");
+    fr.run.dataset.write_jsonl(std::io::BufWriter::new(file)).expect("write archive");
+    let bytes = std::fs::metadata(&path).unwrap().len();
+    println!(
+        "archived {} bundles, {} details, {} polls → {path} ({:.1} MiB)",
+        fr.run.dataset.len(),
+        fr.run.dataset.detail_count(),
+        fr.run.dataset.polls().len(),
+        bytes as f64 / (1024.0 * 1024.0),
+    );
+
+    // Offline re-analysis from the archive alone.
+    let reloaded =
+        Dataset::read_jsonl(BufReader::new(std::fs::File::open(&path).unwrap())).expect("reload");
+    let config = AnalysisConfig::paper_defaults(fr.scenario.days);
+    let offline = analyze(&reloaded, &fr.clock, &config);
+    assert_eq!(offline.total_sandwiches(), fr.report.total_sandwiches());
+    assert_eq!(offline.defense.defensive, fr.report.defense.defensive);
+    println!(
+        "offline re-analysis matches the live run: {} sandwiches, {} defensive bundles",
+        offline.total_sandwiches(),
+        offline.defense.defensive,
+    );
+}

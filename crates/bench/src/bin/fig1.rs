@@ -1,0 +1,20 @@
+//! Regenerates Figure 1: Jito bundles per day by bundle length, with the
+//! collector's downtime gaps shaded (marked DOWN).
+
+use sandwich_core::report;
+
+fn main() {
+    let fr = sandwich_bench::run_figure_pipeline();
+    println!("=== Figure 1: bundles per day by length (scaled) ===\n");
+    println!(
+        "{}",
+        report::figure1(&fr.report, &fr.clock, &fr.scenario.downtime_days)
+    );
+    let total = fr.report.total_bundles();
+    let len1 = fr.report.bundles_by_len_per_day[0].total();
+    println!("length-1 share: {:.1}% (paper: the majority of bundles)", len1 / total * 100.0);
+    println!(
+        "length-3 share: {:.2}% (paper: 2.77%)",
+        fr.report.len3_fraction() * 100.0
+    );
+}

@@ -1,0 +1,18 @@
+//! Regenerates Figure 2: sandwiches and defensive bundles per day (top),
+//! victim losses and attacker gains per day in SOL (bottom).
+
+use sandwich_core::report;
+
+fn main() {
+    let fr = sandwich_bench::run_figure_pipeline();
+    println!("=== Figure 2: attacks, defense, and flows per day (scaled) ===\n");
+    println!("{}", report::figure2(&fr.report, &fr.clock));
+    println!(
+        "sandwiches/day trend slope: {:+.3} per day (paper: decreasing ~15k → ~1k)",
+        fr.report.sandwiches_per_day.trend_slope()
+    );
+    println!(
+        "defensive/day trend slope:  {:+.3} per day (paper: increasing)",
+        fr.report.defensive_per_day.trend_slope()
+    );
+}

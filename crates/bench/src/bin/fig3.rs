@@ -1,0 +1,16 @@
+//! Regenerates Figure 3: cumulative distribution of USD lost per
+//! sandwiched transaction.
+
+use sandwich_core::report;
+
+fn main() {
+    let fr = sandwich_bench::run_figure_pipeline();
+    println!("=== Figure 3: CDF of USD lost per sandwiched transaction ===\n");
+    println!("{}", report::figure3(&fr.report));
+    println!(
+        "median loss ${:.2} (paper ≈ $5); max ${:.2} (paper: tail beyond $100); n = {}",
+        fr.report.loss_cdf_usd.median().unwrap_or(0.0),
+        fr.report.loss_cdf_usd.max().unwrap_or(0.0),
+        fr.report.loss_cdf_usd.len(),
+    );
+}

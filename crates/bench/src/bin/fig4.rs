@@ -1,0 +1,19 @@
+//! Regenerates Figure 4: CDF of Jito tips for length-1 bundles, length-3
+//! bundles, and detected sandwich bundles.
+
+use sandwich_core::report;
+
+fn main() {
+    let fr = sandwich_bench::run_figure_pipeline();
+    println!("=== Figure 4: tip CDFs (fraction of bundles ≤ tip) ===\n");
+    println!("{}", report::figure4(&fr.report));
+    println!(
+        "fraction of len-1 bundles with tip ≤ 100k lamports: {:.1}% (paper: 86%)",
+        fr.report.tip_cdf_len1.fraction_at_or_below(100_000.0) * 100.0
+    );
+    println!(
+        "median len-3 tip {:.0} lamports (paper: 1,000); median sandwich tip {:.0} (paper: >2,000,000)",
+        fr.report.tip_cdf_len3.median().unwrap_or(0.0),
+        fr.report.tip_cdf_sandwich.median().unwrap_or(0.0),
+    );
+}

@@ -1,0 +1,30 @@
+//! Regenerates the paper's headline aggregates (§4) as a
+//! paper-vs-measured table, plus detector-vs-ground-truth validation.
+
+use sandwich_core::report;
+
+fn main() {
+    let fr = sandwich_bench::run_figure_pipeline();
+    println!("=== headline: paper vs this reproduction ===\n");
+    println!("{}", report::headline(&fr.report, fr.scenario.volume_scale));
+
+    println!("=== validation against simulator ground truth ===");
+    println!(
+        "ground-truth sandwiches landed: {} | detected: {} | in-downtime (uncollectable): {}",
+        fr.truth_sandwiches,
+        fr.report.total_sandwiches(),
+        fr.truth_per_day
+            .iter()
+            .enumerate()
+            .filter(|(d, _)| fr.scenario.is_downtime(*d as u64))
+            .map(|(_, t)| t.sandwiches)
+            .sum::<u64>(),
+    );
+    println!(
+        "collector: {} polls ok, {} failed, {} detail batches, {} explorer requests",
+        fr.run.collector_stats.polls_ok,
+        fr.run.collector_stats.polls_failed,
+        fr.run.collector_stats.detail_batches,
+        fr.run.explorer_requests,
+    );
+}

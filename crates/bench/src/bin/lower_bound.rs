@@ -1,0 +1,58 @@
+//! Quantifying the paper's "lower bound" caveat (§3.2): how many sandwich
+//! attacks hide in length-4/5 bundles that the length-3 methodology cannot
+//! see, measured with the extended triple-scanning detector against
+//! simulator ground truth.
+
+use sandwich_core::{AnalysisConfig, CollectorConfig, PipelineConfig};
+use sandwich_sim::{ScenarioConfig, Simulation};
+
+fn main() {
+    let scenario = ScenarioConfig {
+        days: std::env::var("SANDWICH_DAYS").ok().and_then(|v| v.parse().ok()).unwrap_or(15),
+        downtime_days: vec![],
+        // A clearly visible disguise rate for the demonstration.
+        disguised_sandwich_probability: 0.12,
+        ..sandwich_bench::figure_scenario()
+    };
+    let days = scenario.days;
+    let page_limit = sandwich_core::scaled_page_limit(&scenario, 1);
+    let mut sim = Simulation::new(scenario);
+    let pipeline = PipelineConfig {
+        collector: CollectorConfig {
+            page_limit,
+            detail_bundle_lens: &[3, 4, 5], // fetch beyond the paper's 3
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let runtime = tokio::runtime::Builder::new_multi_thread()
+        .worker_threads(2)
+        .enable_all()
+        .build()
+        .unwrap();
+    let run = runtime
+        .block_on(sandwich_core::run_measurement(&mut sim, pipeline))
+        .unwrap();
+
+    let paper = run.analyze(&AnalysisConfig::paper_defaults(days));
+    let extended = run.analyze(&AnalysisConfig::extended(days));
+    let truth = sim.truth();
+
+    println!("=== the lower bound, quantified ===");
+    println!("ground-truth sandwiches landed:     {}", truth.total_sandwiches());
+    println!(
+        "  of which disguised (length-4):    {}",
+        truth.per_day.iter().map(|d| d.disguised_sandwiches).sum::<u64>()
+    );
+    println!("paper methodology (length-3 only):  {}", paper.total_sandwiches());
+    println!("extended detector (lengths 3–5):    {}", extended.total_sandwiches());
+    let recovered = extended.total_sandwiches() as i64 - paper.total_sandwiches() as i64;
+    println!("attacks invisible to the paper:     {recovered}");
+    println!(
+        "undercount factor:                  {:.3}×",
+        extended.total_sandwiches() as f64 / paper.total_sandwiches().max(1) as f64
+    );
+    println!("\nThe paper is right to call its counts a lower bound; with a 12%");
+    println!("disguise rate the true figure is ~{:.0}% higher than length-3 reveals.",
+        (extended.total_sandwiches() as f64 / paper.total_sandwiches().max(1) as f64 - 1.0) * 100.0);
+}

@@ -1,0 +1,49 @@
+//! Collector-completeness ablation (DESIGN.md §4): page overlap rate and
+//! coverage as the polling cadence degrades — the paper's §3.1 soundness
+//! argument ("95% of successive request pairs overlapped").
+
+fn main() {
+    println!("=== collector completeness vs polling cadence ===");
+    println!(
+        "{:>18} {:>12} {:>14} {:>12}",
+        "poll every (min)", "polls", "overlap rate", "coverage"
+    );
+    for poll_every_ticks in [1u64, 2, 4, 8] {
+        let scenario = sandwich_sim::ScenarioConfig {
+            days: 6,
+            downtime_days: vec![],
+            ..sandwich_bench::figure_scenario()
+        };
+        // Keep the page fixed at the 2-minute-calibrated size so longer
+        // intervals genuinely under-cover, as they would have in the paper.
+        let page_limit = sandwich_core::scaled_page_limit(&scenario, 1);
+        let mut sim = sandwich_sim::Simulation::new(scenario);
+        let pipeline = sandwich_core::PipelineConfig {
+            poll_every_ticks,
+            collector: sandwich_core::CollectorConfig {
+                page_limit,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let runtime = tokio::runtime::Builder::new_multi_thread()
+            .worker_threads(2)
+            .enable_all()
+            .build()
+            .unwrap();
+        let run = runtime
+            .block_on(sandwich_core::run_measurement(&mut sim, pipeline))
+            .unwrap();
+        let total_truth: u64 = sim.truth().per_day.iter().map(|d| d.total_bundles()).sum();
+        println!(
+            "{:>18} {:>12} {:>13.1}% {:>11.1}%",
+            poll_every_ticks * 2,
+            run.dataset.polls().len(),
+            run.dataset.overlap_rate() * 100.0,
+            run.dataset.len() as f64 / total_truth as f64 * 100.0,
+        );
+    }
+    println!("\nAt the paper's 2-minute cadence the 50k page covers ~2.4 polling");
+    println!("intervals of volume, so successive pages overlap unless volume spikes —");
+    println!("exactly the completeness argument of §3.1.");
+}

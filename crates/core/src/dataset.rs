@@ -1,0 +1,405 @@
+//! The collector's dataset: everything scraped from the explorer API.
+//!
+//! Bundles arrive as overlapping pages of "the most recent N"; the dataset
+//! deduplicates by bundle id and records, per poll, whether the new page
+//! overlapped the previous one — the paper's completeness argument (§3.1:
+//! 95% of successive request pairs overlapped).
+
+use std::collections::{HashMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+
+use sandwich_explorer::{BundleSummaryJson, TxDetailJson};
+use sandwich_ledger::{TransactionId, TransactionMeta};
+use sandwich_types::{Lamports, Slot, SlotClock};
+
+/// One collected bundle record.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CollectedBundle {
+    /// The bundle id.
+    pub bundle_id: sandwich_jito::BundleId,
+    /// Landing slot.
+    pub slot: Slot,
+    /// Landing time (unix ms, from the API).
+    pub timestamp_ms: u64,
+    /// Tip in lamports.
+    pub tip: Lamports,
+    /// Transaction ids in bundle order.
+    pub tx_ids: Vec<TransactionId>,
+}
+
+impl CollectedBundle {
+    /// Number of bundled transactions.
+    pub fn len(&self) -> usize {
+        self.tx_ids.len()
+    }
+
+    /// Bundles are never empty.
+    pub fn is_empty(&self) -> bool {
+        self.tx_ids.is_empty()
+    }
+}
+
+/// Detail for one transaction of a collected bundle.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CollectedDetail {
+    /// The bundle the transaction belongs to.
+    pub bundle_id: sandwich_jito::BundleId,
+    /// Landing slot.
+    pub slot: Slot,
+    /// Execution metadata reconstructed from the wire.
+    pub meta: TransactionMeta,
+}
+
+/// Result of ingesting one page.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PollRecord {
+    /// Measurement day the poll happened on.
+    pub day: u64,
+    /// Bundles in the returned page.
+    pub fetched: usize,
+    /// Bundles not seen before.
+    pub new: usize,
+    /// Whether the page overlapped previously collected bundles — if every
+    /// successive pair overlaps, nothing was missed.
+    pub overlapped_previous: bool,
+}
+
+/// The collector's accumulated dataset.
+#[derive(Default)]
+pub struct Dataset {
+    bundles: Vec<CollectedBundle>,
+    seen: HashSet<sandwich_jito::BundleId>,
+    details: HashMap<TransactionId, CollectedDetail>,
+    polls: Vec<PollRecord>,
+    detail_requested: HashSet<sandwich_jito::BundleId>,
+}
+
+impl Dataset {
+    /// An empty dataset.
+    pub fn new() -> Self {
+        Dataset::default()
+    }
+
+    /// Ingest one recent-bundles page (newest-first, as served).
+    pub fn ingest_page(&mut self, page: &[BundleSummaryJson], clock: &SlotClock, day: u64) -> PollRecord {
+        let fetched = page.len();
+        let mut new = 0usize;
+        let mut overlapped = false;
+        // Store in chronological order: the page is newest-first.
+        for b in page.iter().rev() {
+            if self.seen.contains(&b.bundle_id) {
+                overlapped = true;
+                continue;
+            }
+            self.seen.insert(b.bundle_id);
+            self.bundles.push(CollectedBundle {
+                bundle_id: b.bundle_id,
+                slot: Slot(b.slot),
+                timestamp_ms: clock.unix_ms(Slot(b.slot)),
+                tip: b.tip(),
+                tx_ids: b.transactions.clone(),
+            });
+            new += 1;
+        }
+        // The very first poll trivially "overlaps" nothing; count it as
+        // overlapping so it does not read as a gap.
+        if self.polls.is_empty() && fetched > 0 {
+            overlapped = true;
+        }
+        let record = PollRecord {
+            day,
+            fetched,
+            new,
+            overlapped_previous: overlapped || fetched == 0,
+        };
+        self.polls.push(record);
+        record
+    }
+
+    /// Ingest a batch of transaction details.
+    pub fn ingest_details(&mut self, details: &[Option<TxDetailJson>]) -> usize {
+        let mut added = 0;
+        for d in details.iter().flatten() {
+            self.details.insert(
+                d.tx_id,
+                CollectedDetail {
+                    bundle_id: d.bundle_id,
+                    slot: d.slot_typed(),
+                    meta: d.to_meta(),
+                },
+            );
+            added += 1;
+        }
+        added
+    }
+
+    /// All collected bundles, in collection (≈ chronological) order.
+    pub fn bundles(&self) -> &[CollectedBundle] {
+        &self.bundles
+    }
+
+    /// Number of collected bundles.
+    pub fn len(&self) -> usize {
+        self.bundles.len()
+    }
+
+    /// True when nothing was collected.
+    pub fn is_empty(&self) -> bool {
+        self.bundles.is_empty()
+    }
+
+    /// Detail for one transaction, if fetched.
+    pub fn detail(&self, id: &TransactionId) -> Option<&CollectedDetail> {
+        self.details.get(id)
+    }
+
+    /// Number of fetched transaction details.
+    pub fn detail_count(&self) -> usize {
+        self.details.len()
+    }
+
+    /// Poll log.
+    pub fn polls(&self) -> &[PollRecord] {
+        &self.polls
+    }
+
+    /// Fraction of successive polls whose pages overlapped (the paper's
+    /// 95% completeness statistic). First poll excluded.
+    pub fn overlap_rate(&self) -> f64 {
+        if self.polls.len() <= 1 {
+            return 1.0;
+        }
+        let later = &self.polls[1..];
+        let overlapping = later.iter().filter(|p| p.overlapped_previous).count();
+        overlapping as f64 / later.len() as f64
+    }
+
+    /// Transaction ids of length-`len` bundles whose details have not been
+    /// requested yet; marks them requested. This is the paper's strategy of
+    /// fetching details only for bundles of length three (§3.1).
+    pub fn pending_detail_ids(&mut self, len: usize, max: usize) -> Vec<TransactionId> {
+        let mut out = Vec::new();
+        for b in &self.bundles {
+            if out.len() + len > max {
+                break;
+            }
+            if b.len() == len && !self.detail_requested.contains(&b.bundle_id) {
+                self.detail_requested.insert(b.bundle_id);
+                out.extend(b.tx_ids.iter().copied());
+            }
+        }
+        out
+    }
+
+    /// Measurement-day index of a collected bundle.
+    pub fn day_of(&self, bundle: &CollectedBundle, clock: &SlotClock) -> u64 {
+        clock.day_index(bundle.slot)
+    }
+
+    /// The three metas of a length-3 bundle, if all details are present.
+    pub fn bundle_metas3(&self, bundle: &CollectedBundle) -> Option<[&TransactionMeta; 3]> {
+        if bundle.len() != 3 {
+            return None;
+        }
+        let a = &self.details.get(&bundle.tx_ids[0])?.meta;
+        let b = &self.details.get(&bundle.tx_ids[1])?.meta;
+        let c = &self.details.get(&bundle.tx_ids[2])?.meta;
+        Some([a, b, c])
+    }
+
+    /// All metas of a bundle in order, if every detail is present
+    /// (extended detection over arbitrary lengths).
+    pub fn bundle_metas(&self, bundle: &CollectedBundle) -> Option<Vec<&TransactionMeta>> {
+        bundle
+            .tx_ids
+            .iter()
+            .map(|id| self.details.get(id).map(|d| &d.meta))
+            .collect()
+    }
+
+    /// Serialize the dataset as JSON lines: one `{"kind": ...}` record per
+    /// line (bundles, details, polls) — an archive format a four-month
+    /// collection can stream to disk and re-analyze offline.
+    pub fn write_jsonl<W: std::io::Write>(&self, mut w: W) -> std::io::Result<()> {
+        for p in &self.polls {
+            serde_json::to_writer(&mut w, &DatasetRecord::Poll(*p))?;
+            w.write_all(b"\n")?;
+        }
+        for b in &self.bundles {
+            serde_json::to_writer(&mut w, &DatasetRecord::Bundle(b.clone()))?;
+            w.write_all(b"\n")?;
+        }
+        for d in self.details.values() {
+            serde_json::to_writer(&mut w, &DatasetRecord::Detail(d.clone()))?;
+            w.write_all(b"\n")?;
+        }
+        Ok(())
+    }
+
+    /// Reload a dataset from [`Dataset::write_jsonl`] output. Unknown lines
+    /// are rejected; bundle order is restored chronologically by slot.
+    pub fn read_jsonl<R: std::io::BufRead>(r: R) -> std::io::Result<Dataset> {
+        let mut ds = Dataset::new();
+        for line in r.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let record: DatasetRecord = serde_json::from_str(&line)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+            match record {
+                DatasetRecord::Poll(p) => ds.polls.push(p),
+                DatasetRecord::Bundle(b) => {
+                    if ds.seen.insert(b.bundle_id) {
+                        ds.bundles.push(b);
+                    }
+                }
+                DatasetRecord::Detail(d) => {
+                    ds.details.insert(d.meta.tx_id, d);
+                }
+            }
+        }
+        ds.bundles.sort_by_key(|b| b.slot);
+        Ok(ds)
+    }
+}
+
+/// One line of the JSONL archive format (externally tagged:
+/// `{"bundle": {...}}` — internal tagging would buffer through
+/// `serde_json::Value`, which cannot carry the i128 token deltas).
+#[derive(Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+enum DatasetRecord {
+    /// A poll log entry.
+    Poll(PollRecord),
+    /// A collected bundle summary.
+    Bundle(CollectedBundle),
+    /// A fetched transaction detail.
+    Detail(CollectedDetail),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sandwich_types::Hash;
+
+    fn page_entry(seed: u64, slot: u64, len: usize) -> BundleSummaryJson {
+        let kp = sandwich_types::Keypair::from_label("ds");
+        BundleSummaryJson {
+            bundle_id: Hash::digest(&seed.to_le_bytes()),
+            slot,
+            timestamp_ms: slot * 400,
+            tip_lamports: 1_000,
+            transactions: (0..len)
+                .map(|i| kp.sign(&(seed * 10 + i as u64).to_le_bytes()))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn dedup_and_overlap_detection() {
+        let clock = SlotClock::default();
+        let mut ds = Dataset::new();
+        // First page: bundles 0..5.
+        let p1: Vec<_> = (0..5).rev().map(|i| page_entry(i, i, 1)).collect();
+        let r1 = ds.ingest_page(&p1, &clock, 0);
+        assert_eq!(r1.new, 5);
+        assert!(r1.overlapped_previous, "first poll counts as overlapping");
+
+        // Second page: bundles 3..8 — overlaps.
+        let p2: Vec<_> = (3..8).rev().map(|i| page_entry(i, i, 1)).collect();
+        let r2 = ds.ingest_page(&p2, &clock, 0);
+        assert_eq!(r2.new, 3);
+        assert!(r2.overlapped_previous);
+
+        // Third page: bundles 20..22 — a gap.
+        let p3: Vec<_> = (20..22).rev().map(|i| page_entry(i, i, 1)).collect();
+        let r3 = ds.ingest_page(&p3, &clock, 0);
+        assert!(!r3.overlapped_previous);
+
+        assert_eq!(ds.len(), 10);
+        // Overlap rate over polls 2..3: one of two overlapped.
+        assert!((ds.overlap_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chronological_storage() {
+        let clock = SlotClock::default();
+        let mut ds = Dataset::new();
+        let page: Vec<_> = (0..4).rev().map(|i| page_entry(i, i * 100, 1)).collect();
+        ds.ingest_page(&page, &clock, 0);
+        let slots: Vec<u64> = ds.bundles().iter().map(|b| b.slot.0).collect();
+        assert_eq!(slots, vec![0, 100, 200, 300]);
+    }
+
+    #[test]
+    fn pending_detail_ids_marks_and_caps() {
+        let clock = SlotClock::default();
+        let mut ds = Dataset::new();
+        let page: Vec<_> = (0..4).map(|i| page_entry(i, i, 3)).collect();
+        ds.ingest_page(&page, &clock, 0);
+        let first = ds.pending_detail_ids(3, 6); // room for two bundles
+        assert_eq!(first.len(), 6);
+        let second = ds.pending_detail_ids(3, 100);
+        assert_eq!(second.len(), 6, "remaining two bundles");
+        assert!(ds.pending_detail_ids(3, 100).is_empty());
+    }
+
+    #[test]
+    fn jsonl_roundtrip_preserves_everything() {
+        let clock = SlotClock::default();
+        let mut ds = Dataset::new();
+        let p1: Vec<_> = (0..5).rev().map(|i| page_entry(i, i * 10, 3)).collect();
+        ds.ingest_page(&p1, &clock, 0);
+        // Attach a detail for the first bundle's first transaction.
+        let kp = sandwich_types::Keypair::from_label("ds");
+        let detail = sandwich_explorer::TxDetailJson {
+            tx_id: kp.sign(&0u64.to_le_bytes()),
+            bundle_id: Hash::digest(&0u64.to_le_bytes()),
+            slot: 0,
+            signer: kp.pubkey(),
+            fee_lamports: 5_000,
+            priority_fee_lamports: 0,
+            success: true,
+            sol_deltas: vec![],
+            // An i128 delta: regression guard — internally-tagged serde
+            // enums buffer through Value and cannot carry i128.
+            token_deltas: vec![sandwich_explorer::TokenDeltaJson {
+                owner: kp.pubkey(),
+                mint: sandwich_types::Pubkey::derive("m"),
+                delta: -170_141_183_460_469_231_731_687_303_715i128,
+            }],
+        };
+        ds.ingest_details(&[Some(detail.clone())]);
+
+        let mut buf = Vec::new();
+        ds.write_jsonl(&mut buf).unwrap();
+        let back = Dataset::read_jsonl(std::io::BufReader::new(&buf[..])).unwrap();
+
+        assert_eq!(back.len(), ds.len());
+        assert_eq!(back.detail_count(), 1);
+        assert_eq!(back.polls().len(), ds.polls().len());
+        assert!((back.overlap_rate() - ds.overlap_rate()).abs() < 1e-12);
+        let slots: Vec<u64> = back.bundles().iter().map(|b| b.slot.0).collect();
+        let mut sorted = slots.clone();
+        sorted.sort_unstable();
+        assert_eq!(slots, sorted, "chronological after reload");
+        assert!(back.detail(&detail.tx_id).is_some());
+    }
+
+    #[test]
+    fn jsonl_rejects_garbage() {
+        let garbage = b"not json at all\n".as_slice();
+        assert!(Dataset::read_jsonl(std::io::BufReader::new(garbage)).is_err());
+    }
+
+    #[test]
+    fn pending_detail_ids_filters_length() {
+        let clock = SlotClock::default();
+        let mut ds = Dataset::new();
+        ds.ingest_page(&[page_entry(1, 1, 1), page_entry(2, 2, 3)], &clock, 0);
+        let ids = ds.pending_detail_ids(3, 100);
+        assert_eq!(ids.len(), 3);
+    }
+}

@@ -1,0 +1,134 @@
+//! Defensive-bundling classification (paper §3.3).
+//!
+//! A length-1 bundle whose tip is at or below 100,000 lamports buys no
+//! meaningful priority — the only economic reason to pay it is to make the
+//! transaction un-bundleable by attackers. The threshold comes from the
+//! lowest tips Jupiter's "MEV protection" mode was observed to submit.
+
+use sandwich_types::{Lamports, DEFENSIVE_TIP_THRESHOLD};
+
+use crate::dataset::CollectedBundle;
+
+/// Classify one collected bundle at the paper's threshold.
+pub fn is_defensive(bundle: &CollectedBundle) -> bool {
+    is_defensive_at(bundle, DEFENSIVE_TIP_THRESHOLD)
+}
+
+/// Classify with an explicit threshold (sensitivity sweep).
+pub fn is_defensive_at(bundle: &CollectedBundle, threshold: Lamports) -> bool {
+    bundle.len() == 1 && bundle.tip <= threshold && bundle.tip > Lamports::ZERO
+}
+
+/// Aggregate defensive statistics over a set of bundles.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DefenseStats {
+    /// Length-1 bundles observed.
+    pub length_one: u64,
+    /// Length-1 bundles classified defensive.
+    pub defensive: u64,
+    /// Lamports spent on defensive tips.
+    pub defensive_tips_lamports: u64,
+}
+
+impl DefenseStats {
+    /// Fraction of length-1 bundles that are defensive (the paper's 86%).
+    pub fn defensive_fraction(&self) -> f64 {
+        if self.length_one == 0 {
+            0.0
+        } else {
+            self.defensive as f64 / self.length_one as f64
+        }
+    }
+
+    /// Mean tip per defensive bundle in lamports (the paper's $0.0028).
+    pub fn mean_defensive_tip(&self) -> f64 {
+        if self.defensive == 0 {
+            0.0
+        } else {
+            self.defensive_tips_lamports as f64 / self.defensive as f64
+        }
+    }
+
+    /// Fold one bundle in.
+    pub fn observe(&mut self, bundle: &CollectedBundle, threshold: Lamports) {
+        if bundle.len() == 1 {
+            self.length_one += 1;
+            if is_defensive_at(bundle, threshold) {
+                self.defensive += 1;
+                self.defensive_tips_lamports += bundle.tip.0;
+            }
+        }
+    }
+}
+
+/// Sweep the classification threshold and report the defensive fraction at
+/// each value — the sensitivity ablation from DESIGN.md.
+pub fn threshold_sweep<'a>(
+    bundles: impl Iterator<Item = &'a CollectedBundle> + Clone,
+    thresholds: &[u64],
+) -> Vec<(Lamports, DefenseStats)> {
+    thresholds
+        .iter()
+        .map(|&t| {
+            let threshold = Lamports(t);
+            let mut stats = DefenseStats::default();
+            for b in bundles.clone() {
+                stats.observe(b, threshold);
+            }
+            (threshold, stats)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sandwich_types::{Hash, Keypair, Slot};
+
+    fn bundle(len: usize, tip: u64, seed: u64) -> CollectedBundle {
+        let kp = Keypair::from_label("def");
+        CollectedBundle {
+            bundle_id: Hash::digest(&seed.to_le_bytes()),
+            slot: Slot(seed),
+            timestamp_ms: 0,
+            tip: Lamports(tip),
+            tx_ids: (0..len).map(|i| kp.sign(&(seed * 10 + i as u64).to_le_bytes())).collect(),
+        }
+    }
+
+    #[test]
+    fn classification_boundary() {
+        assert!(is_defensive(&bundle(1, 100_000, 1)), "at threshold");
+        assert!(is_defensive(&bundle(1, 1_000, 2)));
+        assert!(!is_defensive(&bundle(1, 100_001, 3)), "above threshold");
+        assert!(!is_defensive(&bundle(3, 1_000, 4)), "not length-1");
+        assert!(!is_defensive(&bundle(1, 0, 5)), "zero tip never landed");
+    }
+
+    #[test]
+    fn stats_aggregate() {
+        let bundles = vec![
+            bundle(1, 5_000, 1),
+            bundle(1, 50_000, 2),
+            bundle(1, 500_000, 3), // priority
+            bundle(3, 5_000, 4),   // not len-1
+        ];
+        let mut stats = DefenseStats::default();
+        for b in &bundles {
+            stats.observe(b, DEFENSIVE_TIP_THRESHOLD);
+        }
+        assert_eq!(stats.length_one, 3);
+        assert_eq!(stats.defensive, 2);
+        assert_eq!(stats.defensive_tips_lamports, 55_000);
+        assert!((stats.defensive_fraction() - 2.0 / 3.0).abs() < 1e-9);
+        assert!((stats.mean_defensive_tip() - 27_500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sweep_is_monotone() {
+        let bundles: Vec<_> = (1..=100u64).map(|i| bundle(1, i * 2_000, i)).collect();
+        let sweep = threshold_sweep(bundles.iter(), &[10_000, 100_000, 200_000]);
+        let fractions: Vec<f64> = sweep.iter().map(|(_, s)| s.defensive_fraction()).collect();
+        assert!(fractions[0] < fractions[1] && fractions[1] < fractions[2]);
+    }
+}

@@ -1,0 +1,38 @@
+//! The paper's contribution: measurement of sandwich MEV on Jito.
+//!
+//! * [`collector`] — poll the (simulated) Jito Explorer every two minutes,
+//!   ingest overlapping pages of recent bundles, batch-fetch length-3
+//!   transaction details (paper §3.1);
+//! * [`detector`] — the five-criteria sandwich detector over balance
+//!   deltas, with financial quantification (§3.2, §4.1);
+//! * [`defense`] — the defensive-bundling classifier (§3.3, §4.2);
+//! * [`analysis`] / [`report`] — per-day series, CDFs, and text renderers
+//!   for Table 1 and Figures 1–4;
+//! * [`counterfactual`] — the §5 what-ifs: defense economics quantified;
+//! * [`pipeline`] — the whole measurement end to end over real HTTP.
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod collector;
+pub mod counterfactual;
+pub mod dataset;
+pub mod defense;
+pub mod detector;
+pub mod pipeline;
+pub mod report;
+pub mod stats;
+
+pub use analysis::{analyze, AnalysisConfig, AnalysisReport, DatedFinding};
+pub use collector::{Collector, CollectorConfig, CollectorStats};
+pub use counterfactual::{
+    defense_economics, defensive_counterfactual, slippage_counterfactual,
+    DefenseEconomics, DefensiveCounterfactual, SlippageCounterfactual,
+};
+pub use dataset::{CollectedBundle, CollectedDetail, Dataset, PollRecord};
+pub use defense::{is_defensive, is_defensive_at, threshold_sweep, DefenseStats};
+pub use detector::{
+    detect, detect_in_bundle, extract_trade, Currency, DetectorConfig, SandwichFinding, Trade,
+};
+pub use pipeline::{run_measurement, scaled_page_limit, MeasurementRun, PipelineConfig};
+pub use stats::{Cdf, DailySeries};

@@ -1,0 +1,191 @@
+//! The end-to-end measurement pipeline: simulated chain → explorer API over
+//! HTTP → polling collector → analysis.
+//!
+//! This is the whole paper in one function: the simulation produces blocks,
+//! the explorer serves its two endpoints, the collector polls every two
+//! simulated minutes (skipping the configured downtime windows, which
+//! become Figure 1's shaded gaps), and the analysis turns the dataset into
+//! the figures.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use sandwich_explorer::{Explorer, ExplorerConfig, HistoryStore, RetentionPolicy};
+use sandwich_sim::Simulation;
+use sandwich_types::SlotClock;
+
+use crate::analysis::{analyze, AnalysisConfig, AnalysisReport};
+use crate::collector::{Collector, CollectorConfig, CollectorStats};
+use crate::dataset::Dataset;
+
+/// Pipeline tunables.
+#[derive(Clone, Debug)]
+pub struct PipelineConfig {
+    /// Explorer service behaviour.
+    pub explorer: ExplorerConfig,
+    /// Collector behaviour. `page_limit` should be the scaled equivalent
+    /// of the paper's 50,000 (see [`scaled_page_limit`]).
+    pub collector: CollectorConfig,
+    /// Poll the bundles endpoint every N ticks (1 tick = 2 sim-minutes).
+    pub poll_every_ticks: u64,
+    /// Fetch pending length-3 details every N ticks.
+    pub detail_every_ticks: u64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            explorer: ExplorerConfig::default(),
+            collector: CollectorConfig::default(),
+            poll_every_ticks: 1,
+            detail_every_ticks: 30,
+        }
+    }
+}
+
+/// The paper's 50,000-bundle page, scaled to the scenario.
+///
+/// On mainnet a 50,000-bundle page covers ≈ 2.43× the bundle volume of one
+/// two-minute polling interval (50,000 ÷ 14.8M/720). The scaled page keeps
+/// that coverage ratio relative to the scenario's per-poll volume, so
+/// overlap dynamics — including occasional misses under volume spikes —
+/// are preserved.
+pub fn scaled_page_limit(scenario: &sandwich_sim::ScenarioConfig, poll_every_ticks: u64) -> usize {
+    let per_poll =
+        scenario.bundles_per_day() / scenario.ticks_per_day as f64 * poll_every_ticks as f64;
+    ((per_poll * 2.43).round() as usize).max(10)
+}
+
+/// Result of a full measurement run.
+pub struct MeasurementRun {
+    /// The collected dataset.
+    pub dataset: Dataset,
+    /// Collector health counters.
+    pub collector_stats: CollectorStats,
+    /// Requests the explorer actually served.
+    pub explorer_requests: u64,
+    /// The slot clock shared by chain and collector.
+    pub clock: SlotClock,
+}
+
+impl MeasurementRun {
+    /// Analyze the collected dataset with the given configuration.
+    pub fn analyze(&self, config: &AnalysisConfig) -> AnalysisReport {
+        analyze(&self.dataset, &self.clock, config)
+    }
+}
+
+/// Drive `sim` to completion while collecting through a live explorer
+/// instance over real HTTP.
+pub async fn run_measurement(
+    sim: &mut Simulation,
+    config: PipelineConfig,
+) -> std::io::Result<MeasurementRun> {
+    let clock = sim.clock();
+    // Retain details exactly where the collector will ask for them.
+    let retention = if config.collector.detail_bundle_lens == [3] {
+        RetentionPolicy::OnlyBundleLength(3)
+    } else {
+        RetentionPolicy::BundleLengths(config.collector.detail_bundle_lens)
+    };
+    let store = Arc::new(RwLock::new(HistoryStore::new(clock, retention)));
+    let explorer = Explorer::start(store.clone(), config.explorer.clone()).await?;
+    let mut collector = Collector::new(explorer.addr(), config.collector);
+
+    let mut tick_counter = 0u64;
+    while let Some(outcome) = sim.step() {
+        store.write().record_slot(&outcome.result);
+        let now_ms = clock.unix_ms(outcome.result.block.slot);
+        explorer.set_now_ms(now_ms);
+
+        let downtime = sim.config().is_downtime(outcome.day);
+        if !downtime {
+            if tick_counter % config.poll_every_ticks == 0 {
+                // Transient failures are survived by retries; a poll that
+                // still fails is simply a missed epoch, like the paper's.
+                let _ = collector.poll_bundles(&clock, outcome.day).await;
+            }
+            if tick_counter % config.detail_every_ticks == 0 {
+                let _ = collector.fetch_pending_details().await;
+            }
+        }
+        tick_counter += 1;
+    }
+
+    // Final sweep for any details still pending.
+    let _ = collector.fetch_pending_details().await;
+
+    let explorer_requests = explorer.requests_served();
+    explorer.shutdown().await;
+
+    Ok(MeasurementRun {
+        dataset: collector.dataset,
+        collector_stats: collector.stats,
+        explorer_requests,
+        clock,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::AnalysisConfig;
+    use sandwich_sim::ScenarioConfig;
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 2)]
+    async fn tiny_end_to_end_measurement() {
+        let scenario = ScenarioConfig::tiny();
+        let days = scenario.days;
+        let page_limit = scaled_page_limit(&scenario, 1);
+        let mut sim = Simulation::new(scenario);
+        let pipeline = PipelineConfig {
+            collector: CollectorConfig {
+                page_limit,
+                detail_batch: 100,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let run = run_measurement(&mut sim, pipeline).await.unwrap();
+        assert!(run.dataset.len() > 100, "collected {} bundles", run.dataset.len());
+        assert!(run.collector_stats.polls_ok > 0);
+
+        let report = run.analyze(&AnalysisConfig::paper_defaults(days));
+
+        // Detection matches ground truth: every landed sandwich that was
+        // collected must be found, and nothing else.
+        let truth = sim.truth();
+        let found: std::collections::HashSet<_> = report
+            .findings
+            .iter()
+            .map(|f| {
+                // Recover the bundle id via the day+victim pair is ambiguous;
+                // instead check counts below.
+                (f.day, f.finding.victim)
+            })
+            .collect();
+        assert!(!found.is_empty());
+        assert!(
+            report.total_sandwiches() <= truth.total_sandwiches(),
+            "no false positives beyond ground truth: found {} vs truth {}",
+            report.total_sandwiches(),
+            truth.total_sandwiches()
+        );
+        // The collector missed at most the downtime window; outside it,
+        // detection should recover the bulk of ground truth.
+        assert!(
+            report.total_sandwiches() as f64 >= truth.total_sandwiches() as f64 * 0.4,
+            "found {} of {}",
+            report.total_sandwiches(),
+            truth.total_sandwiches()
+        );
+
+        // Downtime day (day 1 in the tiny scenario) has no polls.
+        assert!(run.dataset.polls().iter().all(|p| p.day != 1));
+
+        // Defensive classification catches ground-truth defensive bundles.
+        assert!(report.defense.defensive > 0);
+        assert!(report.defense.defensive_fraction() > 0.5);
+    }
+}

@@ -1,0 +1,283 @@
+//! Text renderers for the paper's tables and figures.
+//!
+//! Each function prints the same rows/series the paper reports, so the
+//! bench binaries regenerate Table 1 and Figures 1–4 as text.
+
+use sandwich_types::SlotClock;
+
+use crate::analysis::AnalysisReport;
+use crate::stats::Cdf;
+
+/// Render an ASCII table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let sep: String = widths
+        .iter()
+        .map(|w| "-".repeat(w + 2))
+        .collect::<Vec<_>>()
+        .join("+");
+    let fmt_row = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!(" {:<w$} ", c, w = widths[i]))
+            .collect::<Vec<_>>()
+            .join("|")
+    };
+    let mut out = String::new();
+    out.push_str(&fmt_row(
+        &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+    ));
+    out.push('\n');
+    out.push_str(&sep);
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Figure 1: bundles per day by length, with downtime gaps marked.
+pub fn figure1(report: &AnalysisReport, clock: &SlotClock, downtime: &[(u64, u64)]) -> String {
+    let mut rows = Vec::new();
+    for day in 0..report.days {
+        let is_down = downtime.iter().any(|&(a, b)| day >= a && day <= b);
+        let mut row = vec![format!("{day:3}"), clock.day_label(day)];
+        let mut total = 0.0;
+        for len in 0..5 {
+            let v = report.bundles_by_len_per_day[len].values[day as usize];
+            total += v;
+            row.push(format!("{v:.0}"));
+        }
+        row.push(format!("{total:.0}"));
+        row.push(if is_down { "DOWN".into() } else { String::new() });
+        rows.push(row);
+    }
+    render_table(
+        &["day", "date", "len1", "len2", "len3", "len4", "len5", "total", "gap"],
+        &rows,
+    )
+}
+
+/// Figure 2: sandwiches & defensive bundles per day (top), losses & gains
+/// per day in SOL (bottom).
+pub fn figure2(report: &AnalysisReport, clock: &SlotClock) -> String {
+    let mut rows = Vec::new();
+    for day in 0..report.days as usize {
+        rows.push(vec![
+            format!("{day:3}"),
+            clock.day_label(day as u64),
+            format!("{:.0}", report.sandwiches_per_day.values[day]),
+            format!("{:.0}", report.defensive_per_day.values[day]),
+            format!("{:.3}", report.victim_loss_sol_per_day.values[day]),
+            format!("{:.3}", report.attacker_gain_sol_per_day.values[day]),
+        ]);
+    }
+    render_table(
+        &["day", "date", "sandwiches", "defensive", "victim loss (SOL)", "attacker gain (SOL)"],
+        &rows,
+    )
+}
+
+/// Figure 3: CDF of USD lost per sandwiched transaction.
+pub fn figure3(report: &AnalysisReport) -> String {
+    let mut rows = Vec::new();
+    for q in [0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+        if let Some(v) = report.loss_cdf_usd.quantile(q) {
+            rows.push(vec![format!("{:.0}%", q * 100.0), format!("${v:.2}")]);
+        }
+    }
+    render_table(&["CDF", "USD lost"], &rows)
+}
+
+/// Figure 4: CDF of tips for length-1 bundles, length-3 bundles, and
+/// detected sandwich bundles, on a lamport grid.
+pub fn figure4(report: &AnalysisReport) -> String {
+    let grid: [u64; 12] = [
+        1_000, 2_000, 5_000, 10_000, 50_000, 100_000, 500_000, 1_000_000, 2_000_000, 5_000_000,
+        20_000_000, 100_000_000,
+    ];
+    let frac = |cdf: &Cdf, x: u64| format!("{:.3}", cdf.fraction_at_or_below(x as f64));
+    let rows: Vec<Vec<String>> = grid
+        .iter()
+        .map(|&x| {
+            vec![
+                format!("{x}"),
+                frac(&report.tip_cdf_len1, x),
+                frac(&report.tip_cdf_len3, x),
+                frac(&report.tip_cdf_sandwich, x),
+            ]
+        })
+        .collect();
+    render_table(&["tip (lamports) ≤", "len-1", "len-3", "sandwich"], &rows)
+}
+
+/// Table 1: a worked sandwich example rendered from an actual finding.
+pub fn table1(report: &AnalysisReport) -> String {
+    let Some(dated) = report
+        .findings
+        .iter()
+        .find(|f| f.finding.sol_legged && f.finding.victim_loss_lamports.unwrap_or(0) > 0)
+    else {
+        return "no SOL-legged sandwich available".into();
+    };
+    let f = &dated.finding;
+    let rows = vec![
+        vec![
+            "1".into(),
+            "B (front-run)".into(),
+            format!("ATTACKER {}", f.attacker.short()),
+            "BUY".into(),
+            "TOKEN_A".into(),
+            "raises the price".into(),
+        ],
+        vec![
+            "2".into(),
+            "A (victim)".into(),
+            format!("NORMAL {}", f.victim.short()),
+            "BUY".into(),
+            "TOKEN_A".into(),
+            format!(
+                "overpays ${:.2}",
+                report
+                    .oracle
+                    .lamports_to_usd(sandwich_types::Lamports(f.victim_loss_lamports.unwrap_or(0)))
+            ),
+        ],
+        vec![
+            "3".into(),
+            "C (back-run)".into(),
+            format!("ATTACKER {}", f.attacker.short()),
+            "SELL".into(),
+            "TOKEN_A".into(),
+            format!(
+                "pockets ${:.2} (tip {} lamports)",
+                report.oracle.lamports_to_usd(sandwich_types::Lamports(
+                    f.attacker_gain_lamports.unwrap_or(0).max(0) as u64
+                )),
+                f.bundle_tip.0
+            ),
+        ],
+    ];
+    render_table(
+        &["Order", "Transaction", "Sender", "Action", "Token", "Effect"],
+        &rows,
+    )
+}
+
+/// Headline paper-vs-measured comparison (the §4 aggregates).
+pub fn headline(report: &AnalysisReport, volume_scale: f64) -> String {
+    let scale_up = 1.0 / volume_scale;
+    let rows = vec![
+        vec![
+            "sandwich attacks".into(),
+            "521,903".into(),
+            format!("{}", report.total_sandwiches()),
+            format!("{:.0}", report.total_sandwiches() as f64 * scale_up),
+        ],
+        vec![
+            "sandwich share of bundles".into(),
+            "0.038%".into(),
+            format!("{:.3}%", report.sandwich_fraction() * 100.0),
+            "(scale-free)".into(),
+        ],
+        vec![
+            "len-3 share of bundles".into(),
+            "2.77%".into(),
+            format!("{:.2}%", report.len3_fraction() * 100.0),
+            "(scale-free)".into(),
+        ],
+        vec![
+            "non-SOL sandwiches".into(),
+            "28%".into(),
+            format!("{:.0}%", report.non_sol_fraction() * 100.0),
+            "(scale-free)".into(),
+        ],
+        vec![
+            "victim losses".into(),
+            "$7,712,138".into(),
+            format!("${:.0}", report.total_victim_loss_usd()),
+            format!("${:.0}", report.total_victim_loss_usd() * scale_up),
+        ],
+        vec![
+            "attacker gains".into(),
+            "$9,678,466".into(),
+            format!("${:.0}", report.total_attacker_gain_usd()),
+            format!("${:.0}", report.total_attacker_gain_usd() * scale_up),
+        ],
+        vec![
+            "median victim loss".into(),
+            "~$5".into(),
+            format!("${:.2}", report.loss_cdf_usd.median().unwrap_or(0.0)),
+            "(scale-free)".into(),
+        ],
+        vec![
+            "defensive share of len-1".into(),
+            "86%".into(),
+            format!("{:.0}%", report.defense.defensive_fraction() * 100.0),
+            "(scale-free)".into(),
+        ],
+        vec![
+            "defensive spend".into(),
+            "$2,421,868".into(),
+            format!("${:.0}", report.total_defensive_spend_usd()),
+            format!("${:.0}", report.total_defensive_spend_usd() * scale_up),
+        ],
+        vec![
+            "mean defensive tip".into(),
+            "$0.0028".into(),
+            format!("${:.4}", report.mean_defensive_tip_usd()),
+            "(scale-free)".into(),
+        ],
+        vec![
+            "median len-3 tip".into(),
+            "1,000 lamports".into(),
+            format!("{:.0} lamports", report.tip_cdf_len3.median().unwrap_or(0.0)),
+            "(scale-free)".into(),
+        ],
+        vec![
+            "median sandwich tip".into(),
+            ">2,000,000 lamports".into(),
+            format!("{:.0} lamports", report.tip_cdf_sandwich.median().unwrap_or(0.0)),
+            "(scale-free)".into(),
+        ],
+        vec![
+            "successive-poll overlap".into(),
+            "95%".into(),
+            format!("{:.0}%", report.overlap_rate * 100.0),
+            "(scale-free)".into(),
+        ],
+    ];
+    render_table(
+        &["metric", "paper", "measured (scaled run)", "extrapolated full-scale"],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renderer_aligns() {
+        let t = render_table(
+            &["a", "long-header"],
+            &[
+                vec!["1".into(), "x".into()],
+                vec!["2222".into(), "y".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("long-header"));
+        assert!(lines[2].starts_with(" 1   "));
+    }
+}

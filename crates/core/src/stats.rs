@@ -1,0 +1,199 @@
+//! Statistics helpers: empirical CDFs, quantiles, and per-day series.
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical cumulative distribution over f64 samples.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Build from samples (NaNs dropped).
+    pub fn from_samples(mut samples: Vec<f64>) -> Self {
+        samples.retain(|v| !v.is_nan());
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Cdf { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Quantile in [0, 1] with linear interpolation between ranks.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let pos = (self.sorted.len() as f64 - 1.0) * q;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        Some(self.sorted[lo] * (1.0 - frac) + self.sorted[hi] * frac)
+    }
+
+    /// The median.
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Fraction of samples at or below `x`.
+    pub fn fraction_at_or_below(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Evenly spaced (value, cumulative fraction) points for plotting.
+    pub fn points(&self, n: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || n == 0 {
+            return Vec::new();
+        }
+        (0..n)
+            .map(|i| {
+                let q = i as f64 / (n - 1).max(1) as f64;
+                (self.quantile(q).unwrap(), q)
+            })
+            .collect()
+    }
+
+    /// Mean of the samples.
+    pub fn mean(&self) -> Option<f64> {
+        if self.sorted.is_empty() {
+            None
+        } else {
+            Some(self.sorted.iter().sum::<f64>() / self.sorted.len() as f64)
+        }
+    }
+
+    /// Maximum sample.
+    pub fn max(&self) -> Option<f64> {
+        self.sorted.last().copied()
+    }
+}
+
+/// A per-day time series over the measurement period.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct DailySeries {
+    /// One value per day.
+    pub values: Vec<f64>,
+}
+
+impl DailySeries {
+    /// A zeroed series of `days` entries.
+    pub fn zeros(days: usize) -> Self {
+        DailySeries {
+            values: vec![0.0; days],
+        }
+    }
+
+    /// Add to a day's bucket (ignores out-of-range days).
+    pub fn add(&mut self, day: u64, amount: f64) {
+        if let Some(v) = self.values.get_mut(day as usize) {
+            *v += amount;
+        }
+    }
+
+    /// Sum over all days.
+    pub fn total(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// Simple linear-regression slope (per day) — used to assert trends
+    /// like "attacks decline" and "defense grows".
+    pub fn trend_slope(&self) -> f64 {
+        let n = self.values.len() as f64;
+        if n < 2.0 {
+            return 0.0;
+        }
+        let mean_x = (n - 1.0) / 2.0;
+        let mean_y = self.total() / n;
+        let mut cov = 0.0;
+        let mut var = 0.0;
+        for (i, &y) in self.values.iter().enumerate() {
+            let dx = i as f64 - mean_x;
+            cov += dx * (y - mean_y);
+            var += dx * dx;
+        }
+        if var == 0.0 {
+            0.0
+        } else {
+            cov / var
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_on_known_data() {
+        let cdf = Cdf::from_samples((1..=100).map(|i| i as f64).collect());
+        assert_eq!(cdf.median(), Some(50.5));
+        assert_eq!(cdf.quantile(0.0), Some(1.0));
+        assert_eq!(cdf.quantile(1.0), Some(100.0));
+        assert!((cdf.quantile(0.95).unwrap() - 95.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fraction_at_or_below_counts() {
+        let cdf = Cdf::from_samples(vec![1.0, 2.0, 2.0, 10.0]);
+        assert!((cdf.fraction_at_or_below(2.0) - 0.75).abs() < 1e-9);
+        assert!((cdf.fraction_at_or_below(0.5) - 0.0).abs() < 1e-9);
+        assert!((cdf.fraction_at_or_below(100.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_cdf_is_graceful() {
+        let cdf = Cdf::from_samples(vec![]);
+        assert!(cdf.median().is_none());
+        assert!(cdf.points(10).is_empty());
+        assert_eq!(cdf.fraction_at_or_below(1.0), 0.0);
+    }
+
+    #[test]
+    fn nan_samples_dropped() {
+        let cdf = Cdf::from_samples(vec![1.0, f64::NAN, 3.0]);
+        assert_eq!(cdf.len(), 2);
+    }
+
+    #[test]
+    fn points_are_monotone() {
+        let cdf = Cdf::from_samples((0..50).map(|i| (i * i) as f64).collect());
+        let pts = cdf.points(20);
+        for w in pts.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+            assert!(w[1].1 >= w[0].1);
+        }
+    }
+
+    #[test]
+    fn series_trend_detects_direction() {
+        let mut up = DailySeries::zeros(10);
+        let mut down = DailySeries::zeros(10);
+        for d in 0..10u64 {
+            up.add(d, d as f64);
+            down.add(d, (10 - d) as f64);
+        }
+        assert!(up.trend_slope() > 0.0);
+        assert!(down.trend_slope() < 0.0);
+        assert_eq!(DailySeries::zeros(1).trend_slope(), 0.0);
+    }
+
+    #[test]
+    fn series_out_of_range_ignored() {
+        let mut s = DailySeries::zeros(3);
+        s.add(99, 1.0);
+        assert_eq!(s.total(), 0.0);
+    }
+}

@@ -1,0 +1,19 @@
+//! A constant-product DEX (Raydium-style) as an on-chain program, plus the
+//! attacker-side sandwich-planning math and the SOL/USD oracle.
+//!
+//! Sandwich profitability and victim loss both derive from x·y = k price
+//! impact; this crate is the "DEX pools" substitution documented in
+//! DESIGN.md.
+
+#![warn(missing_docs)]
+
+pub mod math;
+pub mod oracle;
+pub mod pool;
+pub mod program;
+pub mod sandwich;
+
+pub use oracle::{SolUsdOracle, PAPER_USD_PER_SOL};
+pub use pool::PoolState;
+pub use program::{amm_program_id, create_pool_ix, pool_state, swap_ix, AmmInstruction, AmmProgram};
+pub use sandwich::{plan_optimal, plan_with_front_run, victim_min_out, SandwichPlan};

@@ -1,0 +1,90 @@
+//! SOL/USD conversion.
+//!
+//! The paper converts all dollar figures at a single SOL/USD rate "as of
+//! September 12, 2025" (~$242). The oracle supports that fixed conversion
+//! plus an optional intra-period price path used only to modulate simulated
+//! market activity.
+
+use serde::{Deserialize, Serialize};
+
+use sandwich_types::{LamportDelta, Lamports, LAMPORTS_PER_SOL};
+
+/// The paper's conversion rate (USD per SOL, Sept 12 2025).
+pub const PAPER_USD_PER_SOL: f64 = 242.0;
+
+/// SOL→USD oracle with an optional per-day price path.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SolUsdOracle {
+    /// Rate used for all USD reporting (the paper's fixed rate).
+    pub report_rate: f64,
+    /// Optional per-day market rate path (multiplier on `report_rate`);
+    /// affects simulated behaviour, never reported dollars.
+    pub daily_multiplier: Vec<f64>,
+}
+
+impl Default for SolUsdOracle {
+    fn default() -> Self {
+        SolUsdOracle::fixed(PAPER_USD_PER_SOL)
+    }
+}
+
+impl SolUsdOracle {
+    /// A constant-rate oracle.
+    pub fn fixed(report_rate: f64) -> Self {
+        SolUsdOracle {
+            report_rate,
+            daily_multiplier: Vec::new(),
+        }
+    }
+
+    /// Attach a per-day market multiplier path.
+    pub fn with_path(mut self, daily_multiplier: Vec<f64>) -> Self {
+        self.daily_multiplier = daily_multiplier;
+        self
+    }
+
+    /// USD value of a lamport amount at the reporting rate.
+    pub fn lamports_to_usd(&self, lamports: Lamports) -> f64 {
+        lamports.0 as f64 / LAMPORTS_PER_SOL as f64 * self.report_rate
+    }
+
+    /// USD value of a signed lamport delta at the reporting rate.
+    pub fn delta_to_usd(&self, delta: LamportDelta) -> f64 {
+        delta.0 as f64 / LAMPORTS_PER_SOL as f64 * self.report_rate
+    }
+
+    /// USD value of a float SOL amount at the reporting rate.
+    pub fn sol_to_usd(&self, sol: f64) -> f64 {
+        sol * self.report_rate
+    }
+
+    /// Market rate on a given measurement day (for agent behaviour).
+    pub fn market_rate(&self, day: u64) -> f64 {
+        let mult = self
+            .daily_multiplier
+            .get(day as usize)
+            .copied()
+            .unwrap_or(1.0);
+        self.report_rate * mult
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_rate_conversions() {
+        let o = SolUsdOracle::default();
+        assert!((o.lamports_to_usd(Lamports(LAMPORTS_PER_SOL)) - 242.0).abs() < 1e-9);
+        assert!((o.delta_to_usd(LamportDelta(-(LAMPORTS_PER_SOL as i64))) + 242.0).abs() < 1e-9);
+        assert!((o.sol_to_usd(2.0) - 484.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn market_path_defaults_to_report_rate() {
+        let o = SolUsdOracle::fixed(100.0).with_path(vec![1.0, 0.9, 1.1]);
+        assert!((o.market_rate(1) - 90.0).abs() < 1e-9);
+        assert!((o.market_rate(99) - 100.0).abs() < 1e-9); // off the path
+    }
+}

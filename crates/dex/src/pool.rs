@@ -1,0 +1,200 @@
+//! AMM pool state and addressing.
+//!
+//! Pools trade an arbitrary pair of mints. Native SOL participates as the
+//! wrapped-SOL sentinel mint ([`sandwich_ledger::native_sol_mint`]), exactly
+//! like WSOL on mainnet. Token–token pools matter to the reproduction: 28%
+//! of the paper's detected sandwiches traded no SOL at all and were excluded
+//! from dollar quantification (§4.1).
+
+use serde::{Deserialize, Serialize};
+
+use sandwich_ledger::native_sol_mint;
+use sandwich_types::Pubkey;
+
+use crate::math;
+
+/// On-chain state of one constant-product pool over the pair (x, y),
+/// stored with `mint_x < mint_y` canonically.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PoolState {
+    /// Lexicographically smaller mint of the pair.
+    pub mint_x: Pubkey,
+    /// Lexicographically larger mint of the pair.
+    pub mint_y: Pubkey,
+    /// Reserve of `mint_x` (lamports when `mint_x` is native SOL).
+    pub reserve_x: u64,
+    /// Reserve of `mint_y`.
+    pub reserve_y: u64,
+    /// LP fee in basis points.
+    pub fee_bps: u16,
+}
+
+impl PoolState {
+    /// Canonical (sorted) pair ordering.
+    pub fn canonical_pair(a: Pubkey, b: Pubkey) -> (Pubkey, Pubkey) {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    /// Canonical pool address for a pair of mints (order-insensitive).
+    pub fn address_for(a: &Pubkey, b: &Pubkey) -> Pubkey {
+        let (x, y) = Self::canonical_pair(*a, *b);
+        Pubkey::derive_with(&x, &format!("amm-pool:{y}"))
+    }
+
+    /// Build state from an unordered pair and its reserves.
+    pub fn new(mint_a: Pubkey, reserve_a: u64, mint_b: Pubkey, reserve_b: u64, fee_bps: u16) -> Self {
+        if mint_a <= mint_b {
+            PoolState {
+                mint_x: mint_a,
+                mint_y: mint_b,
+                reserve_x: reserve_a,
+                reserve_y: reserve_b,
+                fee_bps,
+            }
+        } else {
+            PoolState {
+                mint_x: mint_b,
+                mint_y: mint_a,
+                reserve_x: reserve_b,
+                reserve_y: reserve_a,
+                fee_bps,
+            }
+        }
+    }
+
+    /// This pool's address.
+    pub fn address(&self) -> Pubkey {
+        Self::address_for(&self.mint_x, &self.mint_y)
+    }
+
+    /// True when one side of the pair is native SOL.
+    pub fn has_sol_leg(&self) -> bool {
+        let sol = native_sol_mint();
+        self.mint_x == sol || self.mint_y == sol
+    }
+
+    /// The opposite mint of the pair, if `mint` belongs to it.
+    pub fn other_mint(&self, mint: &Pubkey) -> Option<Pubkey> {
+        if *mint == self.mint_x {
+            Some(self.mint_y)
+        } else if *mint == self.mint_y {
+            Some(self.mint_x)
+        } else {
+            None
+        }
+    }
+
+    /// Reserves ordered (in, out) for a swap paying `mint_in`.
+    pub fn reserves_for(&self, mint_in: &Pubkey) -> Option<(u64, u64)> {
+        if *mint_in == self.mint_x {
+            Some((self.reserve_x, self.reserve_y))
+        } else if *mint_in == self.mint_y {
+            Some((self.reserve_y, self.reserve_x))
+        } else {
+            None
+        }
+    }
+
+    /// Quote an exact-input swap paying `mint_in`.
+    pub fn quote(&self, mint_in: &Pubkey, amount_in: u64) -> Option<u64> {
+        let (r_in, r_out) = self.reserves_for(mint_in)?;
+        math::quote_exact_in(amount_in, r_in, r_out, self.fee_bps)
+    }
+
+    /// Apply an executed swap paying `mint_in`.
+    pub fn apply(&mut self, mint_in: &Pubkey, amount_in: u64, amount_out: u64) {
+        if *mint_in == self.mint_x {
+            self.reserve_x += amount_in;
+            self.reserve_y -= amount_out;
+        } else if *mint_in == self.mint_y {
+            self.reserve_y += amount_in;
+            self.reserve_x -= amount_out;
+        } else {
+            panic!("mint not in pool");
+        }
+    }
+
+    /// Marginal rate: units of `mint_in` per unit of the opposite mint.
+    pub fn marginal_rate(&self, mint_in: &Pubkey) -> Option<f64> {
+        let (r_in, r_out) = self.reserves_for(mint_in)?;
+        Some(r_in as f64 / r_out as f64)
+    }
+
+    /// Serialize for storage in a `ProgramState` account.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("pool state serializes")
+    }
+
+    /// Deserialize from account bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        serde_json::from_slice(bytes).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sol_pool() -> PoolState {
+        PoolState::new(
+            native_sol_mint(),
+            1_000_000_000_000,
+            Pubkey::derive("mint:TEST"),
+            5_000_000_000_000,
+            30,
+        )
+    }
+
+    #[test]
+    fn canonical_ordering_is_stable() {
+        let a = Pubkey::derive("mint:A");
+        let b = Pubkey::derive("mint:B");
+        let p1 = PoolState::new(a, 10, b, 20, 30);
+        let p2 = PoolState::new(b, 20, a, 10, 30);
+        assert_eq!(p1, p2);
+        assert_eq!(PoolState::address_for(&a, &b), PoolState::address_for(&b, &a));
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let p = sol_pool();
+        assert_eq!(PoolState::from_bytes(&p.to_bytes()), Some(p));
+    }
+
+    #[test]
+    fn quote_and_apply_preserve_k() {
+        let mut p = sol_pool();
+        let sol = native_sol_mint();
+        let out = p.quote(&sol, 1_000_000_000).unwrap();
+        let k_before = p.reserve_x as u128 * p.reserve_y as u128;
+        p.apply(&sol, 1_000_000_000, out);
+        let k_after = p.reserve_x as u128 * p.reserve_y as u128;
+        assert!(k_after >= k_before);
+    }
+
+    #[test]
+    fn sol_leg_detection() {
+        assert!(sol_pool().has_sol_leg());
+        let p = PoolState::new(
+            Pubkey::derive("mint:A"),
+            10,
+            Pubkey::derive("mint:B"),
+            20,
+            30,
+        );
+        assert!(!p.has_sol_leg());
+    }
+
+    #[test]
+    fn foreign_mint_rejected() {
+        let p = sol_pool();
+        let foreign = Pubkey::derive("mint:OTHER");
+        assert_eq!(p.quote(&foreign, 100), None);
+        assert_eq!(p.other_mint(&foreign), None);
+        assert!(p.other_mint(&native_sol_mint()).is_some());
+    }
+}

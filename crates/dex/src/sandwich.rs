@@ -1,0 +1,273 @@
+//! Attacker-side sandwich planning math.
+//!
+//! Given a pending victim swap (observed in a private mempool) this module
+//! computes the largest front-run that still lets the victim's slippage
+//! guard pass, and the attacker's expected profit — the optimization every
+//! sandwich bot runs before submitting a bundle. Prior work shows slippage
+//! tolerance caps what an attacker can extract but cannot prevent the
+//! attack (paper §2.2); this math is that cap made explicit.
+//!
+//! Directions are expressed by the mint the victim pays (`mint_in`); the
+//! same math covers SOL-legged and token–token pools.
+
+use sandwich_types::Pubkey;
+
+use crate::pool::PoolState;
+
+/// A fully planned sandwich against a victim swap paying `mint_in`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SandwichPlan {
+    /// Attacker's front-run input, in the victim's input mint.
+    pub front_run_in: u64,
+    /// Output tokens the attacker acquires in the front-run.
+    pub front_run_out: u64,
+    /// Output the victim receives (post-front-run rate).
+    pub victim_out: u64,
+    /// Input-mint amount the attacker receives selling everything back.
+    pub back_run_out: u64,
+    /// Attacker profit in the input mint before tips and fees
+    /// (`back_run_out - front_run_in`; may be negative).
+    pub gross_profit: i128,
+}
+
+/// The victim's minimum acceptable output for a quoted swap under a
+/// slippage tolerance in basis points.
+pub fn victim_min_out(
+    pool: &PoolState,
+    mint_in: &Pubkey,
+    victim_in: u64,
+    slippage_bps: u32,
+) -> Option<u64> {
+    let quote = pool.quote(mint_in, victim_in)?;
+    Some((quote as u128 * (10_000 - slippage_bps as u128) / 10_000) as u64)
+}
+
+/// Simulate the full sandwich [front-run, victim, back-run] for a given
+/// front-run size. Returns `None` if any leg is unquotable or the victim's
+/// guard would fail (the bundle would revert and never land).
+pub fn plan_with_front_run(
+    pool: &PoolState,
+    mint_in: &Pubkey,
+    front_run_in: u64,
+    victim_in: u64,
+    victim_min_out: u64,
+) -> Option<SandwichPlan> {
+    let mint_out = pool.other_mint(mint_in)?;
+    let mut p = pool.clone();
+
+    let front_run_out = if front_run_in == 0 {
+        0
+    } else {
+        let out = p.quote(mint_in, front_run_in)?;
+        p.apply(mint_in, front_run_in, out);
+        out
+    };
+
+    let victim_out = p.quote(mint_in, victim_in)?;
+    if victim_out < victim_min_out {
+        return None;
+    }
+    p.apply(mint_in, victim_in, victim_out);
+
+    let back_run_out = if front_run_out == 0 {
+        0
+    } else {
+        let out = p.quote(&mint_out, front_run_out)?;
+        p.apply(&mint_out, front_run_out, out);
+        out
+    };
+
+    Some(SandwichPlan {
+        front_run_in,
+        front_run_out,
+        victim_out,
+        back_run_out,
+        gross_profit: back_run_out as i128 - front_run_in as i128,
+    })
+}
+
+/// Largest front-run that keeps the victim's guard satisfied, found by
+/// binary search, bounded by the attacker's bankroll in the input mint.
+pub fn max_front_run(
+    pool: &PoolState,
+    mint_in: &Pubkey,
+    victim_in: u64,
+    victim_min_out: u64,
+    bankroll: u64,
+) -> u64 {
+    // Feasibility is monotone: a larger front-run worsens the victim's rate.
+    if plan_with_front_run(pool, mint_in, 0, victim_in, victim_min_out).is_none() {
+        return 0;
+    }
+    let mut hi = bankroll;
+    if plan_with_front_run(pool, mint_in, hi, victim_in, victim_min_out).is_some() {
+        return hi;
+    }
+    let mut lo = 0u64;
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if plan_with_front_run(pool, mint_in, mid, victim_in, victim_min_out).is_some() {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// Plan the best sandwich against a victim swap: the maximal feasible
+/// front-run, returned only when gross profit covers `min_profit`.
+pub fn plan_optimal(
+    pool: &PoolState,
+    mint_in: &Pubkey,
+    victim_in: u64,
+    victim_min_out: u64,
+    bankroll: u64,
+    min_profit: i128,
+) -> Option<SandwichPlan> {
+    let front = max_front_run(pool, mint_in, victim_in, victim_min_out, bankroll);
+    if front == 0 {
+        return None;
+    }
+    let plan = plan_with_front_run(pool, mint_in, front, victim_in, victim_min_out)?;
+    if plan.gross_profit >= min_profit {
+        Some(plan)
+    } else {
+        None
+    }
+}
+
+/// Tokens the victim missed out on versus a clean (unsandwiched) swap —
+/// the per-victim loss quantification of paper §4.1.
+pub fn victim_loss_tokens(pool: &PoolState, mint_in: &Pubkey, victim_in: u64, actual_out: u64) -> i128 {
+    match pool.quote(mint_in, victim_in) {
+        Some(clean) => clean as i128 - actual_out as i128,
+        None => 0,
+    }
+}
+
+/// Convert an output-token shortfall into the input mint at the pool's
+/// pre-attack marginal rate (the attacker's rate × victim volume, §4.1).
+pub fn shortfall_in_input_mint(pool: &PoolState, mint_in: &Pubkey, shortfall_out: i128) -> i128 {
+    match pool.marginal_rate(mint_in) {
+        Some(rate) => (shortfall_out as f64 * rate) as i128,
+        None => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sandwich_ledger::native_sol_mint;
+
+    fn pool() -> PoolState {
+        PoolState::new(
+            native_sol_mint(),
+            1_000_000_000_000, // 1,000 SOL
+            Pubkey::derive("mint:MEME"),
+            50_000_000_000_000, // 5e13 units
+            30,
+        )
+    }
+
+    fn sol() -> Pubkey {
+        native_sol_mint()
+    }
+
+    #[test]
+    fn zero_front_run_matches_clean_quote() {
+        let p = pool();
+        let min_out = victim_min_out(&p, &sol(), 10_000_000_000, 100).unwrap();
+        let plan = plan_with_front_run(&p, &sol(), 0, 10_000_000_000, min_out).unwrap();
+        assert_eq!(plan.victim_out, p.quote(&sol(), 10_000_000_000).unwrap());
+        assert_eq!(plan.gross_profit, 0);
+    }
+
+    #[test]
+    fn excessive_front_run_violates_guard() {
+        let p = pool();
+        let victim_in = 10_000_000_000u64;
+        let min_out = victim_min_out(&p, &sol(), victim_in, 50).unwrap(); // tight 0.5%
+        assert!(plan_with_front_run(&p, &sol(), 500_000_000_000, victim_in, min_out).is_none());
+    }
+
+    #[test]
+    fn max_front_run_is_boundary() {
+        let p = pool();
+        let victim_in = 10_000_000_000u64;
+        let min_out = victim_min_out(&p, &sol(), victim_in, 200).unwrap(); // 2%
+        let max = max_front_run(&p, &sol(), victim_in, min_out, u64::MAX / 4);
+        assert!(max > 0);
+        assert!(plan_with_front_run(&p, &sol(), max, victim_in, min_out).is_some());
+        assert!(plan_with_front_run(&p, &sol(), max + 2, victim_in, min_out).is_none());
+    }
+
+    #[test]
+    fn looser_slippage_allows_bigger_attack() {
+        let p = pool();
+        let victim_in = 10_000_000_000u64;
+        let tight = max_front_run(
+            &p,
+            &sol(),
+            victim_in,
+            victim_min_out(&p, &sol(), victim_in, 50).unwrap(),
+            u64::MAX / 4,
+        );
+        let loose = max_front_run(
+            &p,
+            &sol(),
+            victim_in,
+            victim_min_out(&p, &sol(), victim_in, 500).unwrap(),
+            u64::MAX / 4,
+        );
+        assert!(loose > tight);
+    }
+
+    #[test]
+    fn optimal_plan_is_profitable_with_loose_guard() {
+        let p = pool();
+        let victim_in = 50_000_000_000u64; // 50 SOL — juicy
+        let min_out = victim_min_out(&p, &sol(), victim_in, 500).unwrap(); // 5%
+        let plan = plan_optimal(&p, &sol(), victim_in, min_out, u64::MAX / 4, 1).unwrap();
+        assert!(plan.gross_profit > 0, "plan: {plan:?}");
+        let loss = victim_loss_tokens(&p, &sol(), victim_in, plan.victim_out);
+        assert!(loss > 0);
+    }
+
+    #[test]
+    fn tight_guard_can_kill_profitability() {
+        let p = pool();
+        let victim_in = 1_000_000_000u64; // 1 SOL, small
+        let min_out = victim_min_out(&p, &sol(), victim_in, 10).unwrap(); // 0.1%
+        assert!(plan_optimal(&p, &sol(), victim_in, min_out, u64::MAX / 4, 10_000_000).is_none());
+    }
+
+    #[test]
+    fn bankroll_caps_front_run() {
+        let p = pool();
+        let victim_in = 50_000_000_000u64;
+        let min_out = victim_min_out(&p, &sol(), victim_in, 1_000).unwrap(); // 10%
+        assert_eq!(max_front_run(&p, &sol(), victim_in, min_out, 1_000_000), 1_000_000);
+    }
+
+    #[test]
+    fn token_token_sandwich_plans_too() {
+        // Sandwiching works identically on pools with no SOL leg — the 28%
+        // class the paper could not price.
+        let a = Pubkey::derive("mint:AAA");
+        let b = Pubkey::derive("mint:BBB");
+        let p = PoolState::new(a, 1_000_000_000_000, b, 2_000_000_000_000, 30);
+        let victim_in = 50_000_000_000u64;
+        let min_out = victim_min_out(&p, &a, victim_in, 500).unwrap();
+        let plan = plan_optimal(&p, &a, victim_in, min_out, u64::MAX / 4, 1).unwrap();
+        assert!(plan.gross_profit > 0);
+    }
+
+    #[test]
+    fn shortfall_conversion_uses_marginal_rate() {
+        let p = pool();
+        let tokens = 1_000_000i128;
+        // rate = 1e12 / 5e13 = 0.02 lamports per token unit
+        assert_eq!(shortfall_in_input_mint(&p, &sol(), tokens), 20_000);
+    }
+}

@@ -1,0 +1,253 @@
+//! Wire types of the (reverse-engineered) explorer API.
+//!
+//! The paper isolated two undocumented endpoints: one returning the most
+//! recent N bundles, one returning detailed data for batches of
+//! transactions (§3.1). These JSON shapes are this reproduction's version
+//! of that contract; the collector in `sandwich-core` speaks exactly this.
+
+use serde::{Deserialize, Serialize};
+
+use sandwich_ledger::{TransactionId, TransactionMeta};
+use sandwich_types::{Lamports, Pubkey, Slot, SlotClock};
+
+use crate::store::{BundleSummary, TxDetail};
+
+/// One bundle in the recent-bundles page.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+#[serde(rename_all = "camelCase")]
+pub struct BundleSummaryJson {
+    /// The bundle id.
+    pub bundle_id: sandwich_jito::BundleId,
+    /// Landing slot.
+    pub slot: u64,
+    /// Wall-clock landing time (unix ms).
+    pub timestamp_ms: u64,
+    /// Realized tip in lamports.
+    pub tip_lamports: u64,
+    /// Transaction ids in bundle order.
+    pub transactions: Vec<TransactionId>,
+}
+
+impl BundleSummaryJson {
+    /// Render a stored summary onto the wire.
+    pub fn from_summary(b: &BundleSummary, clock: &SlotClock) -> Self {
+        BundleSummaryJson {
+            bundle_id: b.bundle_id,
+            slot: b.slot.0,
+            timestamp_ms: clock.unix_ms(b.slot),
+            tip_lamports: b.tip.0,
+            transactions: b.tx_ids.clone(),
+        }
+    }
+
+    /// Number of transactions bundled.
+    pub fn len(&self) -> usize {
+        self.transactions.len()
+    }
+
+    /// Bundles are never empty.
+    pub fn is_empty(&self) -> bool {
+        self.transactions.is_empty()
+    }
+
+    /// Typed tip.
+    pub fn tip(&self) -> Lamports {
+        Lamports(self.tip_lamports)
+    }
+}
+
+/// Response of `GET /api/v1/bundles`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+#[serde(rename_all = "camelCase")]
+pub struct RecentBundlesResponse {
+    /// Newest-first page of bundles.
+    pub bundles: Vec<BundleSummaryJson>,
+}
+
+/// Request body of `POST /api/v1/transactions`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+#[serde(rename_all = "camelCase")]
+pub struct TxDetailsRequest {
+    /// Transaction ids to resolve (capped server-side).
+    pub tx_ids: Vec<TransactionId>,
+}
+
+/// One SOL balance change on the wire.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+#[serde(rename_all = "camelCase")]
+pub struct SolDeltaJson {
+    /// The account.
+    pub account: Pubkey,
+    /// Signed lamport change.
+    pub delta: i64,
+}
+
+/// One token balance change on the wire.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+#[serde(rename_all = "camelCase")]
+pub struct TokenDeltaJson {
+    /// The owning wallet.
+    pub owner: Pubkey,
+    /// The mint.
+    pub mint: Pubkey,
+    /// Signed raw-unit change.
+    pub delta: i128,
+}
+
+/// Full transaction detail on the wire.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+#[serde(rename_all = "camelCase")]
+pub struct TxDetailJson {
+    /// The transaction id.
+    pub tx_id: TransactionId,
+    /// Bundle it landed in.
+    pub bundle_id: sandwich_jito::BundleId,
+    /// Landing slot.
+    pub slot: u64,
+    /// Fee-paying signer.
+    pub signer: Pubkey,
+    /// Total fee in lamports.
+    pub fee_lamports: u64,
+    /// Priority-fee component.
+    pub priority_fee_lamports: u64,
+    /// Whether execution succeeded.
+    pub success: bool,
+    /// SOL balance changes.
+    pub sol_deltas: Vec<SolDeltaJson>,
+    /// Token balance changes.
+    pub token_deltas: Vec<TokenDeltaJson>,
+}
+
+impl TxDetailJson {
+    /// Render stored detail onto the wire.
+    pub fn from_detail(d: &TxDetail) -> Self {
+        TxDetailJson {
+            tx_id: d.meta.tx_id,
+            bundle_id: d.bundle_id,
+            slot: d.slot.0,
+            signer: d.meta.signer,
+            fee_lamports: d.meta.fee.0,
+            priority_fee_lamports: d.meta.priority_fee.0,
+            success: d.meta.success,
+            sol_deltas: d
+                .meta
+                .sol_deltas
+                .iter()
+                .map(|s| SolDeltaJson {
+                    account: s.account,
+                    delta: s.delta.0,
+                })
+                .collect(),
+            token_deltas: d
+                .meta
+                .token_deltas
+                .iter()
+                .map(|t| TokenDeltaJson {
+                    owner: t.owner,
+                    mint: t.mint,
+                    delta: t.delta,
+                })
+                .collect(),
+        }
+    }
+
+    /// Reconstruct the execution meta the analysis side works with.
+    pub fn to_meta(&self) -> TransactionMeta {
+        TransactionMeta {
+            tx_id: self.tx_id,
+            signer: self.signer,
+            fee: Lamports(self.fee_lamports),
+            priority_fee: Lamports(self.priority_fee_lamports),
+            success: self.success,
+            error: None,
+            sol_deltas: self
+                .sol_deltas
+                .iter()
+                .map(|s| sandwich_ledger::SolDelta {
+                    account: s.account,
+                    delta: sandwich_types::LamportDelta(s.delta),
+                })
+                .collect(),
+            token_deltas: self
+                .token_deltas
+                .iter()
+                .map(|t| sandwich_ledger::TokenDelta {
+                    owner: t.owner,
+                    mint: t.mint,
+                    delta: t.delta,
+                })
+                .collect(),
+        }
+    }
+
+    /// Landing slot, typed.
+    pub fn slot_typed(&self) -> Slot {
+        Slot(self.slot)
+    }
+}
+
+/// Response of `POST /api/v1/transactions`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+#[serde(rename_all = "camelCase")]
+pub struct TxDetailsResponse {
+    /// Details aligned with the request order; `null` where unknown.
+    pub transactions: Vec<Option<TxDetailJson>>,
+}
+
+/// Response of `GET /api/v1/tips/percentiles` (the "dashboard").
+#[derive(Clone, Debug, Serialize, Deserialize)]
+#[serde(rename_all = "camelCase")]
+pub struct TipPercentilesResponse {
+    /// Average per-slot 95th-percentile tip over the recent sample.
+    pub p95_tip_lamports: u64,
+    /// Bundles sampled.
+    pub sample: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sandwich_types::Hash;
+
+    #[test]
+    fn detail_meta_roundtrip() {
+        let kp = sandwich_types::Keypair::from_label("rt");
+        let meta = TransactionMeta {
+            tx_id: kp.sign(b"x"),
+            signer: kp.pubkey(),
+            fee: Lamports(5_500),
+            priority_fee: Lamports(500),
+            success: true,
+            error: None,
+            sol_deltas: vec![sandwich_ledger::SolDelta {
+                account: kp.pubkey(),
+                delta: sandwich_types::LamportDelta(-42),
+            }],
+            token_deltas: vec![sandwich_ledger::TokenDelta {
+                owner: kp.pubkey(),
+                mint: Pubkey::derive("m"),
+                delta: 123_456_789_000,
+            }],
+        };
+        let detail = TxDetail {
+            bundle_id: Hash::digest(b"b"),
+            slot: Slot(9),
+            meta: meta.clone(),
+        };
+        let json = TxDetailJson::from_detail(&detail);
+        let wire = serde_json::to_string(&json).unwrap();
+        let back: TxDetailJson = serde_json::from_str(&wire).unwrap();
+        assert_eq!(back.to_meta(), meta);
+        assert_eq!(back.slot_typed(), Slot(9));
+    }
+
+    #[test]
+    fn wire_uses_camel_case() {
+        let json = serde_json::to_string(&TipPercentilesResponse {
+            p95_tip_lamports: 7,
+            sample: 3,
+        })
+        .unwrap();
+        assert!(json.contains("p95TipLamports"), "{json}");
+    }
+}

@@ -1,0 +1,17 @@
+//! The simulated Jito Explorer: the undocumented HTTP API the paper
+//! reverse-engineered, serving recent-bundle pages and batched transaction
+//! details over a real TCP socket, with page caps, rate limiting, and
+//! transient-fault injection.
+
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod service;
+pub mod store;
+
+pub use api::{
+    BundleSummaryJson, RecentBundlesResponse, SolDeltaJson, TipPercentilesResponse, TokenDeltaJson,
+    TxDetailJson, TxDetailsRequest, TxDetailsResponse,
+};
+pub use service::{Explorer, ExplorerConfig};
+pub use store::{BundleSummary, HistoryStore, RetentionPolicy, TxDetail};

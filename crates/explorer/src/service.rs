@@ -1,0 +1,369 @@
+//! The explorer HTTP service: routing, page caps, rate limiting, and
+//! transient-fault injection.
+//!
+//! The endpoint defaults mirror what the paper reverse-engineered: the
+//! bundles page returns 200 by default and tops out at 50,000; detailed
+//! transaction data is fetched in batches of at most 10,000 (§3.1).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sandwich_net::{Method, Request, Response, Router, Server, TokenBucket};
+
+use crate::api::{
+    RecentBundlesResponse, TipPercentilesResponse, TxDetailJson, TxDetailsRequest,
+    TxDetailsResponse,
+};
+use crate::store::HistoryStore;
+
+/// Tunables for the explorer service.
+#[derive(Clone, Debug)]
+pub struct ExplorerConfig {
+    /// Default page size of the bundles endpoint.
+    pub default_page: usize,
+    /// Maximum page size (the `limit` the paper raised from 200 to 50,000).
+    pub max_page: usize,
+    /// Maximum transaction ids per detail batch.
+    pub max_tx_batch: usize,
+    /// Probability of a transient 503 on any request (interface
+    /// instability the paper's collector had to survive).
+    pub transient_failure_rate: f64,
+    /// Optional rate limit: (bucket capacity, refills per second).
+    pub rate_limit: Option<(u32, f64)>,
+    /// RNG seed for fault injection.
+    pub seed: u64,
+}
+
+impl Default for ExplorerConfig {
+    fn default() -> Self {
+        ExplorerConfig {
+            default_page: 200,
+            max_page: 50_000,
+            max_tx_batch: 10_000,
+            transient_failure_rate: 0.0,
+            rate_limit: None,
+            seed: 7,
+        }
+    }
+}
+
+struct ServiceState {
+    store: Arc<RwLock<HistoryStore>>,
+    config: ExplorerConfig,
+    limiter: Option<TokenBucket>,
+    rng: parking_lot::Mutex<StdRng>,
+    clock_ms: AtomicU64,
+    requests_served: AtomicU64,
+}
+
+impl ServiceState {
+    /// Advance the service's notion of "now" (drives the rate limiter on
+    /// the simulated clock).
+    fn now_ms(&self) -> u64 {
+        self.clock_ms.load(Ordering::Relaxed)
+    }
+
+    fn gate(&self) -> Option<Response> {
+        if let Some(limiter) = &self.limiter {
+            if !limiter.try_acquire(self.now_ms()) {
+                return Some(Response::text(429, "rate limited"));
+            }
+        }
+        let roll: f64 = self.rng.lock().gen();
+        if roll < self.config.transient_failure_rate {
+            return Some(Response::text(503, "transient backend error"));
+        }
+        self.requests_served.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+}
+
+/// A handle to a running explorer service.
+pub struct Explorer {
+    state: Arc<ServiceState>,
+    server: Server,
+}
+
+impl Explorer {
+    /// Start the service over `store` on an ephemeral local port.
+    pub async fn start(
+        store: Arc<RwLock<HistoryStore>>,
+        config: ExplorerConfig,
+    ) -> std::io::Result<Explorer> {
+        let limiter = config
+            .rate_limit
+            .map(|(cap, per_sec)| TokenBucket::new(cap, per_sec, 0));
+        let state = Arc::new(ServiceState {
+            limiter,
+            rng: parking_lot::Mutex::new(StdRng::seed_from_u64(config.seed)),
+            clock_ms: AtomicU64::new(0),
+            requests_served: AtomicU64::new(0),
+            store,
+            config,
+        });
+        let router = build_router(state.clone());
+        let server = Server::bind("127.0.0.1:0", router).await?;
+        Ok(Explorer { state, server })
+    }
+
+    /// The service's base address.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.server.local_addr()
+    }
+
+    /// Advance the simulated wall clock used by the rate limiter.
+    pub fn set_now_ms(&self, now_ms: u64) {
+        self.state.clock_ms.store(now_ms, Ordering::Relaxed);
+    }
+
+    /// Requests successfully served (for the ethics/rate-limit bench).
+    pub fn requests_served(&self) -> u64 {
+        self.state.requests_served.load(Ordering::Relaxed)
+    }
+
+    /// Graceful shutdown.
+    pub async fn shutdown(self) {
+        self.server.shutdown().await;
+    }
+}
+
+fn build_router(state: Arc<ServiceState>) -> Router {
+    let s1 = state.clone();
+    let s2 = state.clone();
+    let s3 = state;
+
+    Router::new()
+        .route(Method::Get, "/api/v1/bundles", move |req: Request| {
+            let state = s1.clone();
+            async move { handle_bundles(&state, req) }
+        })
+        .route(Method::Post, "/api/v1/transactions", move |req: Request| {
+            let state = s2.clone();
+            async move { handle_transactions(&state, req) }
+        })
+        .route(Method::Get, "/api/v1/tips/percentiles", move |req: Request| {
+            let state = s3.clone();
+            async move { handle_percentiles(&state, req) }
+        })
+}
+
+fn handle_bundles(state: &ServiceState, req: Request) -> Response {
+    if let Some(resp) = state.gate() {
+        return resp;
+    }
+    let limit = match req.query_param("limit") {
+        None => state.config.default_page,
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(n) if n > 0 => n.min(state.config.max_page),
+            _ => return Response::text(400, "invalid limit"),
+        },
+    };
+    let bundles = state.store.read().recent(limit);
+    Response::json(&RecentBundlesResponse { bundles })
+}
+
+fn handle_transactions(state: &ServiceState, req: Request) -> Response {
+    if let Some(resp) = state.gate() {
+        return resp;
+    }
+    let body: TxDetailsRequest = match serde_json::from_slice(&req.body) {
+        Ok(b) => b,
+        Err(e) => return Response::text(400, format!("bad request body: {e}")),
+    };
+    if body.tx_ids.len() > state.config.max_tx_batch {
+        return Response::text(
+            400,
+            format!(
+                "batch of {} exceeds limit {}",
+                body.tx_ids.len(),
+                state.config.max_tx_batch
+            ),
+        );
+    }
+    let details = state.store.read().details_for(&body.tx_ids);
+    let transactions = details
+        .iter()
+        .map(|d| d.as_ref().map(TxDetailJson::from_detail))
+        .collect();
+    Response::json(&TxDetailsResponse { transactions })
+}
+
+fn handle_percentiles(state: &ServiceState, _req: Request) -> Response {
+    if let Some(resp) = state.gate() {
+        return resp;
+    }
+    let sample = 10_000;
+    let p95 = state.store.read().p95_tip_recent(sample);
+    Response::json(&TipPercentilesResponse {
+        p95_tip_lamports: p95.0,
+        sample,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::RetentionPolicy;
+    use sandwich_jito::LandedBundle;
+    use sandwich_net::HttpClient;
+    use sandwich_types::{Hash, Keypair, Lamports, Slot, SlotClock};
+
+    fn landed(slot: u64, tip: u64, seed: u64) -> LandedBundle {
+        let kp = Keypair::from_label("svc");
+        LandedBundle {
+            bundle_id: Hash::digest(&seed.to_le_bytes()),
+            slot: Slot(slot),
+            tip: Lamports(tip),
+            metas: vec![sandwich_ledger::TransactionMeta {
+                tx_id: kp.sign(&seed.to_le_bytes()),
+                signer: kp.pubkey(),
+                fee: Lamports(5_000),
+                priority_fee: Lamports::ZERO,
+                success: true,
+                error: None,
+                sol_deltas: vec![],
+                token_deltas: vec![],
+            }],
+        }
+    }
+
+    fn filled_store(n: u64) -> Arc<RwLock<HistoryStore>> {
+        let mut store = HistoryStore::new(SlotClock::default(), RetentionPolicy::All);
+        for i in 0..n {
+            store.record_bundle(&landed(i, 1_000 + i, i));
+        }
+        Arc::new(RwLock::new(store))
+    }
+
+    #[tokio::test]
+    async fn bundles_endpoint_pages_and_caps() {
+        let explorer = Explorer::start(
+            filled_store(100),
+            ExplorerConfig {
+                max_page: 50,
+                ..Default::default()
+            },
+        )
+        .await
+        .unwrap();
+        let client = HttpClient::new(explorer.addr());
+
+        let page: RecentBundlesResponse = client.get_json("/api/v1/bundles?limit=10").await.unwrap();
+        assert_eq!(page.bundles.len(), 10);
+        assert_eq!(page.bundles[0].slot, 99, "newest first");
+
+        // Requests above max_page are clamped, exactly like the paper's
+        // 50,000 cap.
+        let page: RecentBundlesResponse =
+            client.get_json("/api/v1/bundles?limit=99999").await.unwrap();
+        assert_eq!(page.bundles.len(), 50);
+
+        let resp = client.get("/api/v1/bundles?limit=abc").await.unwrap();
+        assert_eq!(resp.status, 400);
+
+        explorer.shutdown().await;
+    }
+
+    #[tokio::test]
+    async fn transactions_endpoint_resolves_batches() {
+        let store = filled_store(5);
+        let known_id = store.read().recent(1)[0].transactions[0];
+        let explorer = Explorer::start(store, ExplorerConfig::default()).await.unwrap();
+        let client = HttpClient::new(explorer.addr());
+
+        let unknown = Keypair::from_label("nobody").sign(b"x");
+        let resp: TxDetailsResponse = client
+            .post_json(
+                "/api/v1/transactions",
+                &TxDetailsRequest {
+                    tx_ids: vec![known_id, unknown],
+                },
+            )
+            .await
+            .unwrap();
+        assert!(resp.transactions[0].is_some());
+        assert!(resp.transactions[1].is_none());
+
+        explorer.shutdown().await;
+    }
+
+    #[tokio::test]
+    async fn oversized_batch_rejected() {
+        let explorer = Explorer::start(
+            filled_store(1),
+            ExplorerConfig {
+                max_tx_batch: 2,
+                ..Default::default()
+            },
+        )
+        .await
+        .unwrap();
+        let client = HttpClient::new(explorer.addr());
+        let ids: Vec<_> = (0..3u64)
+            .map(|i| Keypair::from_label("x").sign(&i.to_le_bytes()))
+            .collect();
+        let resp = client
+            .post(
+                "/api/v1/transactions",
+                serde_json::to_vec(&TxDetailsRequest { tx_ids: ids }).unwrap(),
+            )
+            .await
+            .unwrap();
+        assert_eq!(resp.status, 400);
+        explorer.shutdown().await;
+    }
+
+    #[tokio::test]
+    async fn fault_injection_returns_503s() {
+        let explorer = Explorer::start(
+            filled_store(10),
+            ExplorerConfig {
+                transient_failure_rate: 1.0,
+                ..Default::default()
+            },
+        )
+        .await
+        .unwrap();
+        let client = HttpClient::new(explorer.addr());
+        let resp = client.get("/api/v1/bundles").await.unwrap();
+        assert_eq!(resp.status, 503);
+        explorer.shutdown().await;
+    }
+
+    #[tokio::test]
+    async fn rate_limit_enforced_on_simulated_clock() {
+        let explorer = Explorer::start(
+            filled_store(10),
+            ExplorerConfig {
+                rate_limit: Some((2, 1.0)),
+                ..Default::default()
+            },
+        )
+        .await
+        .unwrap();
+        let client = HttpClient::new(explorer.addr());
+        assert_eq!(client.get("/api/v1/bundles").await.unwrap().status, 200);
+        assert_eq!(client.get("/api/v1/bundles").await.unwrap().status, 200);
+        assert_eq!(client.get("/api/v1/bundles").await.unwrap().status, 429);
+        // Advance simulated time: tokens refill.
+        explorer.set_now_ms(2_000);
+        assert_eq!(client.get("/api/v1/bundles").await.unwrap().status, 200);
+        explorer.shutdown().await;
+    }
+
+    #[tokio::test]
+    async fn percentile_endpoint_serves_dashboard_number() {
+        let explorer = Explorer::start(filled_store(100), ExplorerConfig::default())
+            .await
+            .unwrap();
+        let client = HttpClient::new(explorer.addr());
+        let resp: TipPercentilesResponse =
+            client.get_json("/api/v1/tips/percentiles").await.unwrap();
+        assert!(resp.p95_tip_lamports >= 1_000);
+        explorer.shutdown().await;
+    }
+}

@@ -1,0 +1,241 @@
+//! The explorer's history store.
+//!
+//! Mirrors what the real Jito Explorer backend evidently keeps: per-bundle
+//! summaries (bundle id, transaction ids, tip — "it does not provide the
+//! full content of included transactions", paper §3.1) plus a
+//! transaction-detail index served by a second endpoint.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use sandwich_jito::{LandedBundle, SlotResult};
+use sandwich_ledger::{TransactionId, TransactionMeta};
+use sandwich_types::{Lamports, Slot, SlotClock};
+
+use crate::api::BundleSummaryJson;
+
+/// Which transactions keep full details in memory.
+///
+/// The real backend has everything; a 120-day simulated run bounds memory by
+/// keeping details only where the paper's collector ever asks (length-3
+/// bundles).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RetentionPolicy {
+    /// Keep details for every bundled transaction.
+    All,
+    /// Keep details only for bundles of exactly this length.
+    OnlyBundleLength(usize),
+    /// Keep details for bundles whose length is in this set (extended
+    /// lower-bound analysis fetches lengths 3–5).
+    BundleLengths(&'static [usize]),
+}
+
+/// A stored per-bundle summary.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BundleSummary {
+    /// The bundle id.
+    pub bundle_id: sandwich_jito::BundleId,
+    /// Slot it landed in.
+    pub slot: Slot,
+    /// Realized tip.
+    pub tip: Lamports,
+    /// Transaction ids in bundle order.
+    pub tx_ids: Vec<TransactionId>,
+}
+
+/// Full detail for one bundled transaction.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TxDetail {
+    /// The bundle the transaction landed in.
+    pub bundle_id: sandwich_jito::BundleId,
+    /// Landing slot.
+    pub slot: Slot,
+    /// Execution metadata (signer, fees, balance deltas).
+    pub meta: TransactionMeta,
+}
+
+/// In-memory history of everything that landed through the block engine.
+pub struct HistoryStore {
+    clock: SlotClock,
+    retention: RetentionPolicy,
+    bundles: Vec<BundleSummary>,
+    details: HashMap<TransactionId, TxDetail>,
+}
+
+impl HistoryStore {
+    /// An empty store.
+    pub fn new(clock: SlotClock, retention: RetentionPolicy) -> Self {
+        HistoryStore {
+            clock,
+            retention,
+            bundles: Vec::new(),
+            details: HashMap::new(),
+        }
+    }
+
+    /// The store's clock (slot → wall time).
+    pub fn clock(&self) -> SlotClock {
+        self.clock
+    }
+
+    /// Ingest one produced slot.
+    pub fn record_slot(&mut self, result: &SlotResult) {
+        for bundle in &result.bundles {
+            self.record_bundle(bundle);
+        }
+    }
+
+    /// Ingest one landed bundle.
+    pub fn record_bundle(&mut self, bundle: &LandedBundle) {
+        let keep_details = match self.retention {
+            RetentionPolicy::All => true,
+            RetentionPolicy::OnlyBundleLength(n) => bundle.len() == n,
+            RetentionPolicy::BundleLengths(lens) => lens.contains(&bundle.len()),
+        };
+        if keep_details {
+            for meta in &bundle.metas {
+                self.details.insert(
+                    meta.tx_id,
+                    TxDetail {
+                        bundle_id: bundle.bundle_id,
+                        slot: bundle.slot,
+                        meta: meta.clone(),
+                    },
+                );
+            }
+        }
+        self.bundles.push(BundleSummary {
+            bundle_id: bundle.bundle_id,
+            slot: bundle.slot,
+            tip: bundle.tip,
+            tx_ids: bundle.metas.iter().map(|m| m.tx_id).collect(),
+        });
+    }
+
+    /// Total bundles ever recorded (ground truth for completeness checks).
+    pub fn total_bundles(&self) -> usize {
+        self.bundles.len()
+    }
+
+    /// The most recent `limit` bundles, newest first — the shape of the
+    /// explorer's recent-bundles endpoint.
+    pub fn recent(&self, limit: usize) -> Vec<BundleSummaryJson> {
+        self.bundles
+            .iter()
+            .rev()
+            .take(limit)
+            .map(|b| BundleSummaryJson::from_summary(b, &self.clock))
+            .collect()
+    }
+
+    /// Look up details for a batch of transaction ids (None where the
+    /// transaction is unknown or details were not retained).
+    pub fn details_for(&self, ids: &[TransactionId]) -> Vec<Option<TxDetail>> {
+        ids.iter().map(|id| self.details.get(id).cloned()).collect()
+    }
+
+    /// Average per-slot 95th-percentile tip over the most recent bundles —
+    /// the figure Jito's public dashboard reports (paper §3.3).
+    pub fn p95_tip_recent(&self, sample: usize) -> Lamports {
+        let mut by_slot: HashMap<Slot, Vec<u64>> = HashMap::new();
+        for b in self.bundles.iter().rev().take(sample) {
+            by_slot.entry(b.slot).or_default().push(b.tip.0);
+        }
+        if by_slot.is_empty() {
+            return Lamports::ZERO;
+        }
+        let mut sum = 0u128;
+        let n = by_slot.len() as u128;
+        for (_, mut tips) in by_slot {
+            tips.sort_unstable();
+            let idx = ((tips.len() as f64 - 1.0) * 0.95).round() as usize;
+            sum += tips[idx] as u128;
+        }
+        Lamports((sum / n) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sandwich_types::Hash;
+
+    fn meta(label: &str, n: u64) -> TransactionMeta {
+        let kp = sandwich_types::Keypair::from_label(label);
+        TransactionMeta {
+            tx_id: kp.sign(&n.to_le_bytes()),
+            signer: kp.pubkey(),
+            fee: Lamports(5_000),
+            priority_fee: Lamports::ZERO,
+            success: true,
+            error: None,
+            sol_deltas: vec![],
+            token_deltas: vec![],
+        }
+    }
+
+    fn landed(len: usize, slot: u64, tip: u64, seed: u64) -> LandedBundle {
+        LandedBundle {
+            bundle_id: Hash::digest(&seed.to_le_bytes()),
+            slot: Slot(slot),
+            tip: Lamports(tip),
+            metas: (0..len).map(|i| meta("m", seed * 100 + i as u64)).collect(),
+        }
+    }
+
+    fn store() -> HistoryStore {
+        HistoryStore::new(SlotClock::default(), RetentionPolicy::All)
+    }
+
+    #[test]
+    fn recent_is_newest_first_and_limited() {
+        let mut s = store();
+        for i in 0..10 {
+            s.record_bundle(&landed(1, i, 1_000, i));
+        }
+        let recent = s.recent(3);
+        assert_eq!(recent.len(), 3);
+        assert_eq!(recent[0].slot, 9);
+        assert_eq!(recent[2].slot, 7);
+        assert_eq!(s.total_bundles(), 10);
+    }
+
+    #[test]
+    fn details_respect_retention() {
+        let mut s = HistoryStore::new(SlotClock::default(), RetentionPolicy::OnlyBundleLength(3));
+        let b1 = landed(1, 1, 1_000, 1);
+        let b3 = landed(3, 2, 1_000, 2);
+        s.record_bundle(&b1);
+        s.record_bundle(&b3);
+        let got = s.details_for(&[b1.metas[0].tx_id, b3.metas[0].tx_id, b3.metas[2].tx_id]);
+        assert!(got[0].is_none(), "len-1 detail not retained");
+        assert!(got[1].is_some());
+        assert!(got[2].is_some());
+        assert_eq!(got[1].as_ref().unwrap().bundle_id, b3.bundle_id);
+    }
+
+    #[test]
+    fn unknown_ids_come_back_none() {
+        let s = store();
+        let fake = sandwich_types::Keypair::from_label("x").sign(b"unknown");
+        assert_eq!(s.details_for(&[fake]).len(), 1);
+        assert!(s.details_for(&[fake])[0].is_none());
+    }
+
+    #[test]
+    fn p95_tip_over_slots() {
+        let mut s = store();
+        // One slot with tips 1..100 → p95 ≈ 95.
+        for i in 0..100u64 {
+            s.record_bundle(&landed(1, 7, i + 1, i));
+        }
+        let p95 = s.p95_tip_recent(1_000);
+        assert!((90..=100).contains(&p95.0), "p95 = {}", p95.0);
+    }
+
+    #[test]
+    fn empty_store_p95_is_zero() {
+        assert_eq!(store().p95_tip_recent(100), Lamports::ZERO);
+    }
+}

@@ -1,0 +1,172 @@
+//! Jito bundles.
+//!
+//! A bundle is an ordered list of up to five transactions that execute
+//! atomically, in order, if accepted (paper §2.3). Bundles carry their own
+//! id — never recorded on the final ledger, which is precisely why the
+//! paper had to scrape the Jito Explorer to see them.
+
+use serde::{Deserialize, Serialize};
+
+use sandwich_ledger::Transaction;
+use sandwich_types::{Hash, Lamports};
+
+use crate::tips::declared_tip;
+
+/// Maximum transactions per bundle (Jito's limit).
+pub const MAX_BUNDLE_LEN: usize = 5;
+
+/// A bundle id: the hash over the ordered transaction ids.
+pub type BundleId = Hash;
+
+/// Why a bundle was rejected before the auction.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BundleError {
+    /// Bundles must contain at least one transaction.
+    Empty,
+    /// Bundles may contain at most [`MAX_BUNDLE_LEN`] transactions.
+    TooLong {
+        /// Offending length.
+        len: usize,
+    },
+    /// The declared tip is below the engine's minimum.
+    TipTooLow {
+        /// Declared tip.
+        declared: Lamports,
+        /// Required minimum.
+        minimum: Lamports,
+    },
+    /// The same transaction appears twice in the bundle.
+    DuplicateTransaction,
+}
+
+impl std::fmt::Display for BundleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BundleError::Empty => write!(f, "empty bundle"),
+            BundleError::TooLong { len } => {
+                write!(f, "bundle of {len} transactions exceeds max {MAX_BUNDLE_LEN}")
+            }
+            BundleError::TipTooLow { declared, minimum } => {
+                write!(f, "declared tip {declared} below minimum {minimum}")
+            }
+            BundleError::DuplicateTransaction => write!(f, "duplicate transaction in bundle"),
+        }
+    }
+}
+
+impl std::error::Error for BundleError {}
+
+/// An ordered, atomic group of transactions submitted to the block engine.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Bundle {
+    /// Transactions in execution order.
+    pub transactions: Vec<Transaction>,
+}
+
+impl Bundle {
+    /// Build a bundle, enforcing the structural rules (length, duplicates).
+    pub fn new(transactions: Vec<Transaction>) -> Result<Self, BundleError> {
+        if transactions.is_empty() {
+            return Err(BundleError::Empty);
+        }
+        if transactions.len() > MAX_BUNDLE_LEN {
+            return Err(BundleError::TooLong {
+                len: transactions.len(),
+            });
+        }
+        let mut ids: Vec<_> = transactions.iter().map(|t| t.id()).collect();
+        ids.sort();
+        ids.dedup();
+        if ids.len() != transactions.len() {
+            return Err(BundleError::DuplicateTransaction);
+        }
+        Ok(Bundle { transactions })
+    }
+
+    /// The bundle id: hash of the ordered transaction ids.
+    pub fn id(&self) -> BundleId {
+        let mut parts: Vec<&[u8]> = vec![b"bundle"];
+        let ids: Vec<_> = self.transactions.iter().map(|t| t.id()).collect();
+        for id in &ids {
+            parts.push(&id.0);
+        }
+        Hash::digest_parts(&parts)
+    }
+
+    /// Number of transactions in the bundle.
+    pub fn len(&self) -> usize {
+        self.transactions.len()
+    }
+
+    /// Always false: bundles cannot be empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Sum of declared tips across the bundle's transactions.
+    pub fn declared_tip(&self) -> Lamports {
+        self.transactions.iter().map(declared_tip).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tips::tip_ix;
+    use sandwich_ledger::TransactionBuilder;
+    use sandwich_types::Keypair;
+
+    fn tx(label: &str, nonce: u64) -> Transaction {
+        TransactionBuilder::new(Keypair::from_label(label))
+            .nonce(nonce)
+            .instruction(tip_ix(Lamports(1_000), nonce))
+            .build()
+    }
+
+    #[test]
+    fn id_depends_on_order() {
+        let a = tx("a", 1);
+        let b = tx("b", 1);
+        let ab = Bundle::new(vec![a.clone(), b.clone()]).unwrap();
+        let ba = Bundle::new(vec![b, a]).unwrap();
+        assert_ne!(ab.id(), ba.id());
+    }
+
+    #[test]
+    fn id_is_stable() {
+        let bundle = Bundle::new(vec![tx("a", 1)]).unwrap();
+        assert_eq!(bundle.id(), bundle.id());
+    }
+
+    #[test]
+    fn rejects_empty_and_oversized() {
+        assert_eq!(Bundle::new(vec![]), Err(BundleError::Empty));
+        let txs: Vec<_> = (0..6).map(|i| tx("a", i)).collect();
+        assert_eq!(
+            Bundle::new(txs),
+            Err(BundleError::TooLong { len: 6 })
+        );
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        let t = tx("a", 1);
+        assert_eq!(
+            Bundle::new(vec![t.clone(), t]),
+            Err(BundleError::DuplicateTransaction)
+        );
+    }
+
+    #[test]
+    fn declared_tip_sums_across_transactions() {
+        let bundle = Bundle::new(vec![tx("a", 1), tx("b", 2)]).unwrap();
+        assert_eq!(bundle.declared_tip(), Lamports(2_000));
+    }
+
+    #[test]
+    fn max_length_accepted() {
+        let txs: Vec<_> = (0..5).map(|i| tx("a", i)).collect();
+        let bundle = Bundle::new(txs).unwrap();
+        assert_eq!(bundle.len(), 5);
+    }
+}

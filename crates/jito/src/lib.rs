@@ -1,0 +1,21 @@
+//! The Jito layer: bundles, tip accounts, mempools, and the block engine's
+//! tip auction with atomic bundle execution.
+//!
+//! These are the documented Jito semantics the measured sandwich attacks
+//! rely on (paper §2.3): ≤5-transaction bundles, ordered execution,
+//! drop-on-failure, tips as auction bids, and no nested bundling.
+
+#![warn(missing_docs)]
+
+pub mod bundle;
+pub mod engine;
+pub mod mempool;
+pub mod tips;
+
+pub use bundle::{Bundle, BundleError, BundleId, MAX_BUNDLE_LEN};
+pub use engine::{BlockEngine, DropReason, DroppedBundle, LandedBundle, SlotResult};
+pub use mempool::{Mempool, PendingTx, Visibility};
+pub use tips::{
+    declared_tip, is_tip_account, is_tip_only, realized_tip, tip_account, tip_accounts, tip_ix,
+    TIP_ACCOUNT_COUNT,
+};

@@ -1,0 +1,140 @@
+//! The transaction mempool.
+//!
+//! Solana famously has no public mempool; Jito opened one in 2022 and shut
+//! it in March 2024 (paper §2.3). Sandwiching today relies on *private*
+//! mempools run by colluding validators. The simulator models both: a
+//! [`Mempool`] holds pending native transactions, and its
+//! [`Visibility`] says which searchers may observe it.
+
+use std::collections::{HashSet, VecDeque};
+
+use sandwich_ledger::{Transaction, TransactionId};
+use sandwich_types::Slot;
+
+/// Who can observe pending transactions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Visibility {
+    /// Anyone may look (Jito's pre-March-2024 public mempool).
+    Public,
+    /// Only the named searcher indices may look (validator-run private
+    /// mempools, the post-2024 reality the paper measures).
+    Private(HashSet<u32>),
+}
+
+/// A pending transaction with its submission slot.
+#[derive(Clone, Debug)]
+pub struct PendingTx {
+    /// The submitted transaction.
+    pub tx: Transaction,
+    /// Slot at which it entered the pool.
+    pub slot: Slot,
+}
+
+/// A queue of pending native transactions.
+#[derive(Debug)]
+pub struct Mempool {
+    visibility: Visibility,
+    pending: VecDeque<PendingTx>,
+}
+
+impl Mempool {
+    /// A mempool with the given visibility.
+    pub fn new(visibility: Visibility) -> Self {
+        Mempool {
+            visibility,
+            pending: VecDeque::new(),
+        }
+    }
+
+    /// Submit a native transaction.
+    pub fn submit(&mut self, tx: Transaction, slot: Slot) {
+        self.pending.push_back(PendingTx { tx, slot });
+    }
+
+    /// Number of pending transactions.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// A searcher's view of the pool — empty unless the visibility rules
+    /// grant this searcher access.
+    pub fn observe(&self, searcher: u32) -> Vec<&PendingTx> {
+        match &self.visibility {
+            Visibility::Public => self.pending.iter().collect(),
+            Visibility::Private(allowed) if allowed.contains(&searcher) => {
+                self.pending.iter().collect()
+            }
+            Visibility::Private(_) => Vec::new(),
+        }
+    }
+
+    /// Drain every pending transaction for block inclusion (the leader
+    /// always sees its own queue).
+    pub fn drain(&mut self) -> Vec<Transaction> {
+        self.pending.drain(..).map(|p| p.tx).collect()
+    }
+
+    /// Remove specific transactions (landed inside someone's bundle).
+    pub fn remove(&mut self, ids: &HashSet<TransactionId>) {
+        self.pending.retain(|p| !ids.contains(&p.tx.id()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sandwich_ledger::TransactionBuilder;
+    use sandwich_types::Keypair;
+
+    fn tx(nonce: u64) -> Transaction {
+        TransactionBuilder::new(Keypair::from_label("user"))
+            .nonce(nonce)
+            .build()
+    }
+
+    #[test]
+    fn public_pool_is_observable_by_anyone() {
+        let mut pool = Mempool::new(Visibility::Public);
+        pool.submit(tx(1), Slot(5));
+        assert_eq!(pool.observe(0).len(), 1);
+        assert_eq!(pool.observe(99).len(), 1);
+    }
+
+    #[test]
+    fn private_pool_restricts_observers() {
+        let mut allowed = HashSet::new();
+        allowed.insert(7u32);
+        let mut pool = Mempool::new(Visibility::Private(allowed));
+        pool.submit(tx(1), Slot(5));
+        assert_eq!(pool.observe(7).len(), 1);
+        assert!(pool.observe(8).is_empty());
+    }
+
+    #[test]
+    fn remove_deletes_landed_transactions() {
+        let mut pool = Mempool::new(Visibility::Public);
+        let a = tx(1);
+        let b = tx(2);
+        pool.submit(a.clone(), Slot(1));
+        pool.submit(b.clone(), Slot(1));
+        let mut landed = HashSet::new();
+        landed.insert(a.id());
+        pool.remove(&landed);
+        assert_eq!(pool.len(), 1);
+        assert_eq!(pool.drain()[0].id(), b.id());
+    }
+
+    #[test]
+    fn drain_empties_pool() {
+        let mut pool = Mempool::new(Visibility::Public);
+        pool.submit(tx(1), Slot(1));
+        pool.submit(tx(2), Slot(1));
+        assert_eq!(pool.drain().len(), 2);
+        assert!(pool.is_empty());
+    }
+}

@@ -1,0 +1,127 @@
+//! Jito tip accounts.
+//!
+//! Jito designates eight well-known tip payment accounts; a bundle pays its
+//! tip by including a plain SOL transfer to any of them. The tip is the
+//! auction bid that decides bundle priority (paper §2.3).
+
+use sandwich_ledger::{Instruction, SystemInstruction, Transaction, TransactionMeta};
+use sandwich_types::{Lamports, Pubkey};
+
+/// Number of designated tip accounts (as on mainnet Jito).
+pub const TIP_ACCOUNT_COUNT: usize = 8;
+
+/// The eight canonical tip accounts.
+pub fn tip_accounts() -> Vec<Pubkey> {
+    (0..TIP_ACCOUNT_COUNT)
+        .map(|i| Pubkey::derive(&format!("jito-tip-account-{i}")))
+        .collect()
+}
+
+/// True if `key` is one of the designated tip accounts.
+pub fn is_tip_account(key: &Pubkey) -> bool {
+    tip_accounts().contains(key)
+}
+
+/// A convenient tip account for builders (round-robins by seed).
+pub fn tip_account(seed: u64) -> Pubkey {
+    tip_accounts()[(seed % TIP_ACCOUNT_COUNT as u64) as usize]
+}
+
+/// Build a tip-paying instruction.
+pub fn tip_ix(amount: Lamports, seed: u64) -> Instruction {
+    Instruction::transfer(tip_account(seed), amount)
+}
+
+/// Declared tip of a transaction: the sum of its plain transfers to tip
+/// accounts (inspected pre-execution for auction ordering).
+pub fn declared_tip(tx: &Transaction) -> Lamports {
+    tx.message
+        .instructions
+        .iter()
+        .filter_map(|ix| match ix {
+            Instruction::System(SystemInstruction::Transfer { to, lamports })
+                if is_tip_account(to) =>
+            {
+                Some(*lamports)
+            }
+            _ => None,
+        })
+        .sum()
+}
+
+/// Realized tip of an executed transaction: lamports actually credited to
+/// tip accounts according to its meta.
+pub fn realized_tip(meta: &TransactionMeta) -> Lamports {
+    let accounts = tip_accounts();
+    meta.sol_deltas
+        .iter()
+        .filter(|d| d.delta.is_gain() && accounts.contains(&d.account))
+        .map(|d| d.delta.magnitude())
+        .sum()
+}
+
+/// True when the transaction's effects are nothing but tipping (plus fee):
+/// the pattern excluded by detection criterion 5 (paper §3.2).
+pub fn is_tip_only(meta: &TransactionMeta) -> bool {
+    meta.is_sol_transfer_only_to(&tip_accounts()) && realized_tip(meta) > Lamports::ZERO
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sandwich_ledger::{Bank, TransactionBuilder};
+    use sandwich_types::Keypair;
+
+    #[test]
+    fn eight_distinct_tip_accounts() {
+        let accounts = tip_accounts();
+        assert_eq!(accounts.len(), 8);
+        let mut dedup = accounts.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 8);
+        for a in &accounts {
+            assert!(is_tip_account(a));
+        }
+    }
+
+    #[test]
+    fn declared_tip_sums_tip_transfers() {
+        let kp = Keypair::from_label("tipper");
+        let tx = TransactionBuilder::new(kp)
+            .instruction(tip_ix(Lamports(1_000), 0))
+            .instruction(tip_ix(Lamports(2_000), 3))
+            .transfer(Keypair::from_label("friend").pubkey(), Lamports(500))
+            .build();
+        assert_eq!(declared_tip(&tx), Lamports(3_000));
+    }
+
+    #[test]
+    fn realized_tip_and_tip_only_from_meta() {
+        let validator = Keypair::from_label("validator").pubkey();
+        let bank = Bank::new(validator);
+        let kp = Keypair::from_label("tipper");
+        bank.airdrop(kp.pubkey(), Lamports::from_sol(1.0));
+        let tx = TransactionBuilder::new(kp)
+            .instruction(tip_ix(Lamports(5_000), 1))
+            .build();
+        let meta = bank.execute_transaction(&tx).unwrap();
+        assert_eq!(realized_tip(&meta), Lamports(5_000));
+        assert!(is_tip_only(&meta));
+    }
+
+    #[test]
+    fn transfer_to_friend_is_not_tip_only() {
+        let validator = Keypair::from_label("validator").pubkey();
+        let bank = Bank::new(validator);
+        let kp = Keypair::from_label("tipper");
+        bank.airdrop(kp.pubkey(), Lamports::from_sol(1.0));
+        let tx = TransactionBuilder::new(kp)
+            .instruction(tip_ix(Lamports(5_000), 1))
+            .transfer(Keypair::from_label("friend").pubkey(), Lamports(100))
+            .build();
+        let meta = bank.execute_transaction(&tx).unwrap();
+        assert_eq!(realized_tip(&meta), Lamports(5_000));
+        assert!(!is_tip_only(&meta));
+    }
+}

@@ -1,0 +1,147 @@
+//! Scenario tests for the block engine: multi-slot flows, mempool
+//! interplay, and auction economics.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use sandwich_jito::{
+    realized_tip, tip_ix, BlockEngine, Bundle, DropReason, Mempool, Visibility,
+};
+use sandwich_ledger::{Bank, Transaction, TransactionBuilder};
+use sandwich_types::{Keypair, Lamports, Slot};
+
+fn funded_bank() -> Arc<Bank> {
+    let bank = Arc::new(Bank::new(Keypair::from_label("leader").pubkey()));
+    for i in 0..10 {
+        bank.airdrop(
+            Keypair::from_label(&format!("user-{i}")).pubkey(),
+            Lamports::from_sol(100.0),
+        );
+    }
+    bank
+}
+
+fn user(i: usize) -> Keypair {
+    Keypair::from_label(&format!("user-{i}"))
+}
+
+fn tip_tx(who: &Keypair, tip: u64, nonce: u64) -> Transaction {
+    TransactionBuilder::new(*who)
+        .nonce(nonce)
+        .instruction(tip_ix(Lamports(tip), nonce))
+        .build()
+}
+
+#[test]
+fn tips_accrue_across_slots_and_auction_is_stable() {
+    let bank = funded_bank();
+    let mut engine = BlockEngine::new(bank.clone());
+
+    let mut expected_tips = 0u64;
+    for slot in 1..=20u64 {
+        let bundles: Vec<Bundle> = (0..4)
+            .map(|i| {
+                let tip = 1_000 + slot * 100 + i * 10;
+                expected_tips += tip;
+                Bundle::new(vec![tip_tx(&user(i as usize), tip, slot * 10 + i)]).unwrap()
+            })
+            .collect();
+        let result = engine.produce_slot(Slot(slot), bundles, vec![]);
+        assert_eq!(result.bundles.len(), 4);
+        // Auction order: realized tips non-increasing within the slot.
+        let tips: Vec<u64> = result.bundles.iter().map(|b| b.tip.0).collect();
+        let mut sorted = tips.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        assert_eq!(tips, sorted, "slot {slot} auction order");
+    }
+
+    let total_on_tip_accounts: u64 = sandwich_jito::tip_accounts()
+        .iter()
+        .map(|a| bank.lamports(a).0)
+        .sum();
+    assert_eq!(total_on_tip_accounts, expected_tips);
+}
+
+#[test]
+fn mempool_feeds_regular_flow_and_bundles_take_priority() {
+    let bank = funded_bank();
+    let mut engine = BlockEngine::new(bank.clone());
+    let mut mempool = Mempool::new(Visibility::Public);
+
+    // A victim-style native transaction sits in the pool.
+    let victim_tx = TransactionBuilder::new(user(0)).nonce(1).build();
+    mempool.submit(victim_tx.clone(), Slot(1));
+
+    // A searcher observes it and bundles it with a tip.
+    let observed = mempool.observe(42);
+    assert_eq!(observed.len(), 1);
+    let bundle = Bundle::new(vec![
+        tip_tx(&user(1), 500_000, 1),
+        observed[0].tx.clone(),
+    ])
+    .unwrap();
+
+    // The leader drains the pool for the same slot.
+    let regular = mempool.drain();
+    let result = engine.produce_slot(Slot(2), vec![bundle], regular);
+
+    // The victim landed inside the bundle, not as a regular transaction.
+    assert_eq!(result.bundles.len(), 1);
+    assert_eq!(result.bundles[0].metas[1].tx_id, victim_tx.id());
+    assert!(result.regular.is_empty());
+    // Exactly once on chain.
+    let ids: Vec<_> = result.block.transactions.iter().collect();
+    let unique: HashSet<_> = ids.iter().collect();
+    assert_eq!(ids.len(), unique.len());
+}
+
+#[test]
+fn five_transaction_bundle_is_fully_atomic() {
+    let bank = funded_bank();
+    let mut engine = BlockEngine::new(bank.clone());
+
+    // A chain of transfers where each hop funds the next signer; tx 5
+    // fails (overdraw) → the whole bundle must vanish.
+    let fresh: Vec<Keypair> = (0..5).map(|i| Keypair::from_label(&format!("fresh-{i}"))).collect();
+    bank.airdrop(fresh[0].pubkey(), Lamports::from_sol(10.0));
+    let mut txs = vec![tip_tx(&user(0), 10_000, 99)];
+    for i in 0..3 {
+        txs.push(
+            TransactionBuilder::new(fresh[i])
+                .nonce(1)
+                .transfer(fresh[i + 1].pubkey(), Lamports::from_sol(5.0 - i as f64))
+                .build(),
+        );
+    }
+    // Overdraw: fresh[3] tries to send far more than it received.
+    txs.push(
+        TransactionBuilder::new(fresh[3])
+            .nonce(1)
+            .transfer(fresh[4].pubkey(), Lamports::from_sol(500.0))
+            .build(),
+    );
+    let bundle = Bundle::new(txs).unwrap();
+    let result = engine.produce_slot(Slot(1), vec![bundle], vec![]);
+    assert!(result.bundles.is_empty());
+    assert!(matches!(
+        &result.dropped[0].reason,
+        DropReason::ExecutionFailed { index: 4, .. }
+    ));
+    for f in &fresh[1..] {
+        assert_eq!(bank.lamports(&f.pubkey()), Lamports::ZERO, "no partial state");
+    }
+}
+
+#[test]
+fn realized_tip_matches_declared_for_simple_bundles() {
+    let bank = funded_bank();
+    let mut engine = BlockEngine::new(bank);
+    let bundle = Bundle::new(vec![tip_tx(&user(2), 123_456, 7)]).unwrap();
+    let declared = bundle.declared_tip();
+    let result = engine.produce_slot(Slot(1), vec![bundle], vec![]);
+    assert_eq!(result.bundles[0].tip, declared);
+    assert_eq!(
+        realized_tip(&result.bundles[0].metas[0]),
+        declared
+    );
+}

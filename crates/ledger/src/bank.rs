@@ -1,0 +1,729 @@
+//! The bank: account state plus transaction execution.
+//!
+//! Execution semantics follow Solana where the paper depends on them:
+//!
+//! * fees (base + priority) are charged even when instructions fail;
+//! * a failed instruction rolls the transaction back to fee-only;
+//! * batches can execute **atomically** — all transactions succeed or none
+//!   land — which is exactly the Jito bundle guarantee sandwich attackers
+//!   rely on (paper §3.3).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use sandwich_types::{Hash, Lamports, Pubkey};
+
+use crate::account::{token_account_address, Account, AccountData};
+use crate::error::TxError;
+use crate::instruction::{Instruction, SystemInstruction, TokenInstruction};
+use crate::meta::{DeltaRecorder, TransactionMeta};
+use crate::transaction::Transaction;
+
+/// A third-party on-chain program (e.g. the DEX).
+pub trait Program: Send + Sync {
+    /// The program's address.
+    fn id(&self) -> Pubkey;
+    /// Execute one instruction payload.
+    fn execute(&self, data: &[u8], ctx: &mut TxContext<'_>) -> Result<(), TxError>;
+}
+
+/// Mutable view of ledger state during one transaction, writing into a
+/// bundle-scoped overlay so batches can commit or roll back atomically.
+pub struct TxContext<'a> {
+    base: &'a HashMap<Pubkey, Account>,
+    overlay: &'a mut HashMap<Pubkey, Account>,
+    recorder: &'a mut DeltaRecorder,
+    signer: Pubkey,
+}
+
+impl<'a> TxContext<'a> {
+    /// The transaction's fee-paying signer.
+    pub fn signer(&self) -> Pubkey {
+        self.signer
+    }
+
+    /// Current view of an account (overlay wins over committed state).
+    pub fn account(&self, key: &Pubkey) -> Option<Account> {
+        self.overlay
+            .get(key)
+            .or_else(|| self.base.get(key))
+            .cloned()
+    }
+
+    fn account_or_wallet(&self, key: &Pubkey) -> Account {
+        self.account(key).unwrap_or_else(Account::empty_wallet)
+    }
+
+    /// Write an account into the overlay.
+    pub fn set_account(&mut self, key: Pubkey, account: Account) {
+        self.overlay.insert(key, account);
+    }
+
+    /// Lamport balance of an account (zero if it does not exist).
+    pub fn lamports(&self, key: &Pubkey) -> Lamports {
+        self.account(key).map(|a| a.lamports).unwrap_or(Lamports::ZERO)
+    }
+
+    /// Move lamports between accounts, creating the recipient if needed.
+    ///
+    /// Debit is committed before the credit is read so self-transfers are
+    /// exact no-ops rather than lamport mints.
+    pub fn transfer_lamports(
+        &mut self,
+        from: Pubkey,
+        to: Pubkey,
+        amount: Lamports,
+    ) -> Result<(), TxError> {
+        let mut src = self.account_or_wallet(&from);
+        src.lamports = src
+            .lamports
+            .checked_sub(amount)
+            .ok_or(TxError::InsufficientLamports { account: from })?;
+        self.set_account(from, src);
+        let mut dst = self.account_or_wallet(&to);
+        dst.lamports = dst
+            .lamports
+            .checked_add(amount)
+            .ok_or(TxError::Overflow)?;
+        self.set_account(to, dst);
+        self.recorder.debit_sol(from, amount);
+        self.recorder.credit_sol(to, amount);
+        Ok(())
+    }
+
+    /// Token balance of `owner` for `mint`.
+    pub fn token_balance(&self, owner: &Pubkey, mint: &Pubkey) -> u64 {
+        let addr = token_account_address(owner, mint);
+        match self.account(&addr).map(|a| a.data) {
+            Some(AccountData::TokenAccount { amount, .. }) => amount,
+            _ => 0,
+        }
+    }
+
+    /// Mint metadata, if the mint exists.
+    pub fn mint(&self, mint: &Pubkey) -> Option<(Pubkey, u8, u64, String)> {
+        match self.account(mint).map(|a| a.data) {
+            Some(AccountData::Mint {
+                authority,
+                decimals,
+                supply,
+                symbol,
+            }) => Some((authority, decimals, supply, symbol)),
+            _ => None,
+        }
+    }
+
+    fn require_mint(&self, mint: &Pubkey) -> Result<(), TxError> {
+        if self.mint(mint).is_some() {
+            Ok(())
+        } else {
+            Err(TxError::UnknownMint(*mint))
+        }
+    }
+
+    /// Move tokens between owners, creating the recipient's token account.
+    pub fn transfer_tokens(
+        &mut self,
+        mint: Pubkey,
+        from: Pubkey,
+        to: Pubkey,
+        amount: u64,
+    ) -> Result<(), TxError> {
+        self.require_mint(&mint)?;
+        self.debit_tokens(mint, from, amount)?;
+        self.credit_tokens(mint, to, amount)?;
+        Ok(())
+    }
+
+    /// Remove tokens from an owner's balance.
+    pub fn debit_tokens(&mut self, mint: Pubkey, owner: Pubkey, amount: u64) -> Result<(), TxError> {
+        let addr = token_account_address(&owner, &mint);
+        let mut acct = self.account(&addr).ok_or(TxError::InsufficientTokens {
+            owner,
+            mint,
+        })?;
+        match &mut acct.data {
+            AccountData::TokenAccount { amount: bal, .. } => {
+                *bal = bal
+                    .checked_sub(amount)
+                    .ok_or(TxError::InsufficientTokens { owner, mint })?;
+            }
+            _ => return Err(TxError::BadAccountOwner { account: addr }),
+        }
+        self.set_account(addr, acct);
+        self.recorder.debit_token(owner, mint, amount);
+        Ok(())
+    }
+
+    /// Add tokens to an owner's balance, creating the account if needed.
+    pub fn credit_tokens(&mut self, mint: Pubkey, owner: Pubkey, amount: u64) -> Result<(), TxError> {
+        let addr = token_account_address(&owner, &mint);
+        let mut acct = self.account(&addr).unwrap_or(Account {
+            lamports: Lamports::ZERO,
+            data: AccountData::TokenAccount {
+                owner,
+                mint,
+                amount: 0,
+            },
+        });
+        match &mut acct.data {
+            AccountData::TokenAccount { amount: bal, .. } => {
+                *bal = bal.checked_add(amount).ok_or(TxError::Overflow)?;
+            }
+            _ => return Err(TxError::BadAccountOwner { account: addr }),
+        }
+        self.set_account(addr, acct);
+        self.recorder.credit_token(owner, mint, amount);
+        Ok(())
+    }
+
+    /// Read program-owned opaque state.
+    pub fn program_state(&self, key: &Pubkey, program: &Pubkey) -> Result<Vec<u8>, TxError> {
+        match self.account(key).map(|a| a.data) {
+            Some(AccountData::ProgramState { program: p, bytes }) if p == *program => Ok(bytes),
+            Some(_) => Err(TxError::BadAccountOwner { account: *key }),
+            None => Err(TxError::BadAccountOwner { account: *key }),
+        }
+    }
+
+    /// Write program-owned opaque state.
+    pub fn set_program_state(&mut self, key: Pubkey, program: Pubkey, bytes: Vec<u8>) {
+        let lamports = self.lamports(&key);
+        self.set_account(
+            key,
+            Account {
+                lamports,
+                data: AccountData::ProgramState { program, bytes },
+            },
+        );
+    }
+}
+
+/// A failed atomic batch: which transaction failed and why.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BatchFailure {
+    /// Index of the failing transaction within the batch.
+    pub index: usize,
+    /// The failure.
+    pub error: TxError,
+}
+
+impl std::fmt::Display for BatchFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "transaction {} failed: {}", self.index, self.error)
+    }
+}
+
+impl std::error::Error for BatchFailure {}
+
+/// Account state plus execution engine.
+pub struct Bank {
+    accounts: RwLock<HashMap<Pubkey, Account>>,
+    programs: RwLock<HashMap<Pubkey, Arc<dyn Program>>>,
+    latest_blockhash: RwLock<Hash>,
+    validator: Pubkey,
+    verify_signatures: bool,
+}
+
+impl Bank {
+    /// A bank whose fees accrue to `validator`.
+    pub fn new(validator: Pubkey) -> Self {
+        Bank {
+            accounts: RwLock::new(HashMap::new()),
+            programs: RwLock::new(HashMap::new()),
+            latest_blockhash: RwLock::new(Hash::digest(b"genesis")),
+            validator,
+            verify_signatures: true,
+        }
+    }
+
+    /// Disable signature verification (large simulations; forging is not
+    /// part of the threat model being measured).
+    pub fn with_signature_verification(mut self, on: bool) -> Self {
+        self.verify_signatures = on;
+        self
+    }
+
+    /// The fee-collecting validator address.
+    pub fn validator(&self) -> Pubkey {
+        self.validator
+    }
+
+    /// Register a third-party program.
+    pub fn register_program(&self, program: Arc<dyn Program>) {
+        self.programs.write().insert(program.id(), program);
+    }
+
+    /// Current blockhash (updated by block production).
+    pub fn latest_blockhash(&self) -> Hash {
+        *self.latest_blockhash.read()
+    }
+
+    /// Advance the blockhash.
+    pub fn set_latest_blockhash(&self, hash: Hash) {
+        *self.latest_blockhash.write() = hash;
+    }
+
+    /// Create or grow an account out of thin air (test/simulation setup).
+    pub fn airdrop(&self, key: Pubkey, lamports: Lamports) {
+        let mut accounts = self.accounts.write();
+        let acct = accounts.entry(key).or_insert_with(Account::empty_wallet);
+        acct.lamports += lamports;
+    }
+
+    /// Install an account verbatim (test/simulation setup).
+    pub fn set_account(&self, key: Pubkey, account: Account) {
+        self.accounts.write().insert(key, account);
+    }
+
+    /// Read an account.
+    pub fn account(&self, key: &Pubkey) -> Option<Account> {
+        self.accounts.read().get(key).cloned()
+    }
+
+    /// Lamport balance (zero for missing accounts).
+    pub fn lamports(&self, key: &Pubkey) -> Lamports {
+        self.account(key).map(|a| a.lamports).unwrap_or(Lamports::ZERO)
+    }
+
+    /// Token balance of `owner` for `mint`.
+    pub fn token_balance(&self, owner: &Pubkey, mint: &Pubkey) -> u64 {
+        let addr = token_account_address(owner, mint);
+        match self.account(&addr).map(|a| a.data) {
+            Some(AccountData::TokenAccount { amount, .. }) => amount,
+            _ => 0,
+        }
+    }
+
+    /// Sum of all lamports on the ledger (conservation invariant in tests).
+    pub fn total_lamports(&self) -> u128 {
+        self.accounts
+            .read()
+            .values()
+            .map(|a| a.lamports.0 as u128)
+            .sum()
+    }
+
+    /// Execute a single transaction and commit it.
+    ///
+    /// `Ok(meta)` means the transaction landed (possibly with
+    /// `meta.success == false` and only the fee charged); `Err` means it was
+    /// rejected outright and left no trace.
+    pub fn execute_transaction(&self, tx: &Transaction) -> Result<TransactionMeta, TxError> {
+        let mut overlay = HashMap::new();
+        let meta = {
+            let base = self.accounts.read();
+            self.execute_with_overlay(tx, &base, &mut overlay)?
+        };
+        self.commit(overlay);
+        Ok(meta)
+    }
+
+    /// Execute transactions atomically: either every transaction succeeds
+    /// and the batch commits, or nothing lands at all.
+    pub fn execute_batch_atomic(
+        &self,
+        txs: &[Transaction],
+    ) -> Result<Vec<TransactionMeta>, BatchFailure> {
+        let (metas, overlay) = {
+            let base = self.accounts.read();
+            self.run_batch(txs, &base)?
+        };
+        self.commit(overlay);
+        Ok(metas)
+    }
+
+    /// Execute transactions atomically against current state without
+    /// committing — what a searcher's bundle simulation does.
+    pub fn simulate_batch_atomic(
+        &self,
+        txs: &[Transaction],
+    ) -> Result<Vec<TransactionMeta>, BatchFailure> {
+        let base = self.accounts.read();
+        self.run_batch(txs, &base).map(|(metas, _)| metas)
+    }
+
+    fn run_batch(
+        &self,
+        txs: &[Transaction],
+        base: &HashMap<Pubkey, Account>,
+    ) -> Result<(Vec<TransactionMeta>, HashMap<Pubkey, Account>), BatchFailure> {
+        let mut overlay = HashMap::new();
+        let mut metas = Vec::with_capacity(txs.len());
+        for (index, tx) in txs.iter().enumerate() {
+            match self.execute_with_overlay(tx, base, &mut overlay) {
+                Ok(meta) if meta.success => metas.push(meta),
+                Ok(meta) => {
+                    let error = TxError::Program {
+                        program: tx.signer(),
+                        message: meta.error.unwrap_or_else(|| "failed".into()),
+                    };
+                    return Err(BatchFailure { index, error });
+                }
+                Err(error) => return Err(BatchFailure { index, error }),
+            }
+        }
+        Ok((metas, overlay))
+    }
+
+    fn commit(&self, overlay: HashMap<Pubkey, Account>) {
+        let mut accounts = self.accounts.write();
+        for (k, v) in overlay {
+            accounts.insert(k, v);
+        }
+    }
+
+    /// Core execution against a base snapshot and a mutable overlay.
+    fn execute_with_overlay(
+        &self,
+        tx: &Transaction,
+        base: &HashMap<Pubkey, Account>,
+        overlay: &mut HashMap<Pubkey, Account>,
+    ) -> Result<TransactionMeta, TxError> {
+        if self.verify_signatures && !tx.verify() {
+            return Err(TxError::InvalidSignature);
+        }
+        let signer = tx.signer();
+        let fee = tx.total_fee();
+
+        let mut recorder = DeltaRecorder::default();
+        {
+            let mut ctx = TxContext {
+                base,
+                overlay,
+                recorder: &mut recorder,
+                signer,
+            };
+            if ctx.lamports(&signer) < fee {
+                return Err(TxError::InsufficientFeeFunds { payer: signer });
+            }
+            ctx.transfer_lamports(signer, self.validator, fee)
+                .map_err(|_| TxError::InsufficientFeeFunds { payer: signer })?;
+        }
+
+        // Snapshot after the fee so a failed instruction rolls back to
+        // fee-only, as on Solana.
+        let post_fee_snapshot = overlay.clone();
+
+        let mut success = true;
+        let mut error = None;
+        {
+            let mut ctx = TxContext {
+                base,
+                overlay,
+                recorder: &mut recorder,
+                signer,
+            };
+            for ix in &tx.message.instructions {
+                if let Err(e) = execute_instruction(&self.programs, ix, &mut ctx) {
+                    success = false;
+                    error = Some(e.to_string());
+                    break;
+                }
+            }
+        }
+
+        if !success {
+            *overlay = post_fee_snapshot;
+            recorder.clear();
+            recorder.debit_sol(signer, fee);
+            recorder.credit_sol(self.validator, fee);
+        }
+
+        let (sol_deltas, token_deltas) = recorder.finish();
+        Ok(TransactionMeta {
+            tx_id: tx.id(),
+            signer,
+            fee,
+            priority_fee: tx.message.priority_fee,
+            success,
+            error,
+            sol_deltas,
+            token_deltas,
+        })
+    }
+}
+
+fn execute_instruction(
+    programs: &RwLock<HashMap<Pubkey, Arc<dyn Program>>>,
+    ix: &Instruction,
+    ctx: &mut TxContext<'_>,
+) -> Result<(), TxError> {
+    match ix {
+        Instruction::System(SystemInstruction::Transfer { to, lamports }) => {
+            ctx.transfer_lamports(ctx.signer(), *to, *lamports)
+        }
+        Instruction::Token(tok) => execute_token(tok, ctx),
+        Instruction::Program { program_id, data } => {
+            let program = programs
+                .read()
+                .get(program_id)
+                .cloned()
+                .ok_or(TxError::UnknownProgram(*program_id))?;
+            program.execute(data, ctx)
+        }
+    }
+}
+
+fn execute_token(ix: &TokenInstruction, ctx: &mut TxContext<'_>) -> Result<(), TxError> {
+    match ix {
+        TokenInstruction::CreateMint {
+            mint,
+            decimals,
+            symbol,
+        } => {
+            if ctx.account(mint).is_some() {
+                return Err(TxError::MintExists(*mint));
+            }
+            ctx.set_account(
+                *mint,
+                Account {
+                    lamports: Lamports::ZERO,
+                    data: AccountData::Mint {
+                        authority: ctx.signer(),
+                        decimals: *decimals,
+                        supply: 0,
+                        symbol: symbol.clone(),
+                    },
+                },
+            );
+            Ok(())
+        }
+        TokenInstruction::MintTo { mint, to, amount } => {
+            let mut acct = ctx.account(mint).ok_or(TxError::UnknownMint(*mint))?;
+            match &mut acct.data {
+                AccountData::Mint {
+                    authority, supply, ..
+                } => {
+                    if *authority != ctx.signer() {
+                        return Err(TxError::NotMintAuthority { mint: *mint });
+                    }
+                    *supply = supply.checked_add(*amount).ok_or(TxError::Overflow)?;
+                }
+                _ => return Err(TxError::UnknownMint(*mint)),
+            }
+            ctx.set_account(*mint, acct);
+            ctx.credit_tokens(*mint, *to, *amount)
+        }
+        TokenInstruction::Transfer { mint, to, amount } => {
+            ctx.transfer_tokens(*mint, ctx.signer(), *to, *amount)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transaction::TransactionBuilder;
+    use sandwich_types::{Keypair, LamportDelta, BASE_FEE};
+
+    fn setup() -> (Bank, Keypair, Keypair) {
+        let validator = Keypair::from_label("validator").pubkey();
+        let bank = Bank::new(validator);
+        let alice = Keypair::from_label("alice");
+        let bob = Keypair::from_label("bob");
+        bank.airdrop(alice.pubkey(), Lamports::from_sol(10.0));
+        bank.airdrop(bob.pubkey(), Lamports::from_sol(10.0));
+        (bank, alice, bob)
+    }
+
+    #[test]
+    fn transfer_moves_lamports_and_charges_fee() {
+        let (bank, alice, bob) = setup();
+        let tx = TransactionBuilder::new(alice)
+            .transfer(bob.pubkey(), Lamports(1_000_000))
+            .build();
+        let meta = bank.execute_transaction(&tx).unwrap();
+        assert!(meta.success);
+        assert_eq!(
+            bank.lamports(&alice.pubkey()),
+            Lamports::from_sol(10.0) - Lamports(1_000_000) - BASE_FEE
+        );
+        assert_eq!(
+            bank.lamports(&bob.pubkey()),
+            Lamports::from_sol(10.0) + Lamports(1_000_000)
+        );
+        assert_eq!(bank.lamports(&bank.validator()), BASE_FEE);
+        assert_eq!(
+            meta.sol_delta_of(&alice.pubkey()),
+            LamportDelta(-(1_000_000 + BASE_FEE.0 as i64))
+        );
+    }
+
+    #[test]
+    fn failed_instruction_rolls_back_but_charges_fee() {
+        let (bank, alice, bob) = setup();
+        let before = bank.lamports(&alice.pubkey());
+        let tx = TransactionBuilder::new(alice)
+            .transfer(bob.pubkey(), Lamports::from_sol(100.0)) // more than held
+            .build();
+        let meta = bank.execute_transaction(&tx).unwrap();
+        assert!(!meta.success);
+        assert_eq!(bank.lamports(&alice.pubkey()), before - BASE_FEE);
+        assert_eq!(bank.lamports(&bob.pubkey()), Lamports::from_sol(10.0));
+        // Meta shows only the fee.
+        assert_eq!(meta.sol_delta_of(&alice.pubkey()), LamportDelta(-(BASE_FEE.0 as i64)));
+    }
+
+    #[test]
+    fn unfunded_fee_rejects_transaction() {
+        let validator = Keypair::from_label("validator").pubkey();
+        let bank = Bank::new(validator);
+        let pauper = Keypair::from_label("pauper");
+        let tx = TransactionBuilder::new(pauper).build();
+        assert!(matches!(
+            bank.execute_transaction(&tx),
+            Err(TxError::InsufficientFeeFunds { .. })
+        ));
+    }
+
+    #[test]
+    fn forged_signature_rejected() {
+        let (bank, alice, bob) = setup();
+        let mut tx = TransactionBuilder::new(alice)
+            .transfer(bob.pubkey(), Lamports(1))
+            .build();
+        tx.message.nonce = 99; // invalidates the signature
+        assert_eq!(bank.execute_transaction(&tx), Err(TxError::InvalidSignature));
+    }
+
+    #[test]
+    fn token_lifecycle() {
+        let (bank, alice, bob) = setup();
+        let mint = Pubkey::derive("mint:TEST");
+        let tx = TransactionBuilder::new(alice)
+            .instruction(Instruction::Token(TokenInstruction::CreateMint {
+                mint,
+                decimals: 6,
+                symbol: "TEST".into(),
+            }))
+            .instruction(Instruction::Token(TokenInstruction::MintTo {
+                mint,
+                to: alice.pubkey(),
+                amount: 1_000,
+            }))
+            .token_transfer(mint, bob.pubkey(), 400)
+            .build();
+        let meta = bank.execute_transaction(&tx).unwrap();
+        assert!(meta.success, "{:?}", meta.error);
+        assert_eq!(bank.token_balance(&alice.pubkey(), &mint), 600);
+        assert_eq!(bank.token_balance(&bob.pubkey(), &mint), 400);
+        assert_eq!(meta.token_delta_of(&alice.pubkey(), &mint), 600);
+        assert_eq!(meta.token_delta_of(&bob.pubkey(), &mint), 400);
+        assert_eq!(meta.traded_mints(), vec![mint]);
+    }
+
+    #[test]
+    fn only_authority_can_mint() {
+        let (bank, alice, bob) = setup();
+        let mint = Pubkey::derive("mint:AUTH");
+        let create = TransactionBuilder::new(alice)
+            .instruction(Instruction::Token(TokenInstruction::CreateMint {
+                mint,
+                decimals: 6,
+                symbol: "AUTH".into(),
+            }))
+            .build();
+        assert!(bank.execute_transaction(&create).unwrap().success);
+
+        let steal = TransactionBuilder::new(bob)
+            .instruction(Instruction::Token(TokenInstruction::MintTo {
+                mint,
+                to: bob.pubkey(),
+                amount: 100,
+            }))
+            .build();
+        let meta = bank.execute_transaction(&steal).unwrap();
+        assert!(!meta.success);
+        assert_eq!(bank.token_balance(&bob.pubkey(), &mint), 0);
+    }
+
+    #[test]
+    fn atomic_batch_commits_all() {
+        let (bank, alice, bob) = setup();
+        let carol = Keypair::from_label("carol").pubkey();
+        let txs = vec![
+            TransactionBuilder::new(alice).nonce(1).transfer(carol, Lamports(10)).build(),
+            TransactionBuilder::new(bob).nonce(1).transfer(carol, Lamports(20)).build(),
+        ];
+        let metas = bank.execute_batch_atomic(&txs).unwrap();
+        assert_eq!(metas.len(), 2);
+        assert_eq!(bank.lamports(&carol), Lamports(30));
+    }
+
+    #[test]
+    fn atomic_batch_rolls_back_everything_on_failure() {
+        let (bank, alice, bob) = setup();
+        let carol = Keypair::from_label("carol").pubkey();
+        let total_before = bank.total_lamports();
+        let txs = vec![
+            TransactionBuilder::new(alice).transfer(carol, Lamports(10)).build(),
+            // Bob tries to send more than he holds — fails.
+            TransactionBuilder::new(bob)
+                .transfer(carol, Lamports::from_sol(100.0))
+                .build(),
+        ];
+        let err = bank.execute_batch_atomic(&txs).unwrap_err();
+        assert_eq!(err.index, 1);
+        // Nothing landed: not even the first transfer or any fee.
+        assert_eq!(bank.lamports(&carol), Lamports::ZERO);
+        assert_eq!(bank.lamports(&alice.pubkey()), Lamports::from_sol(10.0));
+        assert_eq!(bank.total_lamports(), total_before);
+    }
+
+    #[test]
+    fn batch_sees_earlier_transactions() {
+        let (bank, alice, _) = setup();
+        let relay = Keypair::from_label("relay");
+        let sink = Keypair::from_label("sink").pubkey();
+        // relay has nothing until alice funds it inside the same batch.
+        let txs = vec![
+            TransactionBuilder::new(alice)
+                .transfer(relay.pubkey(), Lamports::from_sol(1.0))
+                .build(),
+            TransactionBuilder::new(relay)
+                .transfer(sink, Lamports(500_000_000))
+                .build(),
+        ];
+        bank.execute_batch_atomic(&txs).unwrap();
+        assert_eq!(bank.lamports(&sink), Lamports(500_000_000));
+    }
+
+    #[test]
+    fn simulate_does_not_commit() {
+        let (bank, alice, bob) = setup();
+        let txs = vec![TransactionBuilder::new(alice)
+            .transfer(bob.pubkey(), Lamports(10))
+            .build()];
+        let metas = bank.simulate_batch_atomic(&txs).unwrap();
+        assert!(metas[0].success);
+        assert_eq!(bank.lamports(&bob.pubkey()), Lamports::from_sol(10.0));
+    }
+
+    #[test]
+    fn self_transfer_is_a_no_op() {
+        let (bank, alice, _) = setup();
+        let before = bank.lamports(&alice.pubkey());
+        let total = bank.total_lamports();
+        let tx = TransactionBuilder::new(alice)
+            .transfer(alice.pubkey(), Lamports(123))
+            .build();
+        let meta = bank.execute_transaction(&tx).unwrap();
+        assert!(meta.success);
+        assert_eq!(bank.lamports(&alice.pubkey()), before - BASE_FEE);
+        assert_eq!(bank.total_lamports(), total);
+    }
+
+    #[test]
+    fn lamports_conserved_by_execution() {
+        let (bank, alice, bob) = setup();
+        let total = bank.total_lamports();
+        let tx = TransactionBuilder::new(alice)
+            .transfer(bob.pubkey(), Lamports(123_456))
+            .build();
+        bank.execute_transaction(&tx).unwrap();
+        assert_eq!(bank.total_lamports(), total);
+    }
+}

@@ -1,0 +1,63 @@
+//! Blocks: a slot's worth of committed transactions.
+
+use serde::{Deserialize, Serialize};
+
+use sandwich_types::{Hash, Slot};
+
+use crate::meta::TransactionMeta;
+use crate::transaction::TransactionId;
+
+/// A produced block. The simulator keeps blocks lightweight: full
+/// transactions live with their metas in the history store, and the block
+/// records ordering.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Block {
+    /// The slot this block occupies.
+    pub slot: Slot,
+    /// Hash of the previous block.
+    pub parent_hash: Hash,
+    /// This block's hash.
+    pub blockhash: Hash,
+    /// Transaction ids in execution order.
+    pub transactions: Vec<TransactionId>,
+}
+
+impl Block {
+    /// Derive a block for `slot` containing `metas`, chained to `parent`.
+    pub fn derive(slot: Slot, parent_hash: Hash, metas: &[TransactionMeta]) -> Self {
+        let mut parts: Vec<&[u8]> = vec![b"block", parent_hash.as_bytes()];
+        let slot_bytes = slot.0.to_le_bytes();
+        parts.push(&slot_bytes);
+        let ids: Vec<TransactionId> = metas.iter().map(|m| m.tx_id).collect();
+        for id in &ids {
+            parts.push(&id.0);
+        }
+        Block {
+            slot,
+            parent_hash,
+            blockhash: Hash::digest_parts(&parts),
+            transactions: ids,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blockhash_depends_on_content() {
+        let parent = Hash::digest(b"genesis");
+        let a = Block::derive(Slot(1), parent, &[]);
+        let b = Block::derive(Slot(2), parent, &[]);
+        assert_ne!(a.blockhash, b.blockhash);
+        let c = Block::derive(Slot(1), a.blockhash, &[]);
+        assert_ne!(a.blockhash, c.blockhash);
+    }
+
+    #[test]
+    fn empty_block_has_no_transactions() {
+        let b = Block::derive(Slot(0), Hash::default(), &[]);
+        assert!(b.transactions.is_empty());
+    }
+}

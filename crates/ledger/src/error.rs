@@ -1,0 +1,97 @@
+//! Transaction execution errors.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use sandwich_types::Pubkey;
+
+/// Why a transaction failed to execute.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TxError {
+    /// The signature does not verify against the fee payer's address.
+    InvalidSignature,
+    /// The fee payer cannot cover the transaction fee.
+    InsufficientFeeFunds {
+        /// The fee payer.
+        payer: Pubkey,
+    },
+    /// A lamport transfer exceeded the sender's balance.
+    InsufficientLamports {
+        /// The debited account.
+        account: Pubkey,
+    },
+    /// A token transfer exceeded the sender's balance.
+    InsufficientTokens {
+        /// The debited owner.
+        owner: Pubkey,
+        /// The token mint.
+        mint: Pubkey,
+    },
+    /// The referenced mint does not exist.
+    UnknownMint(Pubkey),
+    /// A mint with this address already exists.
+    MintExists(Pubkey),
+    /// Only the mint authority may issue supply.
+    NotMintAuthority {
+        /// The mint being issued.
+        mint: Pubkey,
+    },
+    /// No program is registered at this address.
+    UnknownProgram(Pubkey),
+    /// An account was expected to be owned by a program but is not.
+    BadAccountOwner {
+        /// The account in question.
+        account: Pubkey,
+    },
+    /// The instruction could not be decoded by its program.
+    MalformedInstruction,
+    /// A program-defined failure (e.g. the DEX's slippage guard).
+    Program {
+        /// The failing program.
+        program: Pubkey,
+        /// Program-specific error text.
+        message: String,
+    },
+    /// Arithmetic overflow during execution.
+    Overflow,
+    /// A transaction with this id was already processed.
+    Duplicate,
+}
+
+impl fmt::Display for TxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxError::InvalidSignature => write!(f, "invalid signature"),
+            TxError::InsufficientFeeFunds { payer } => {
+                write!(f, "fee payer {} cannot cover fees", payer.short())
+            }
+            TxError::InsufficientLamports { account } => {
+                write!(f, "insufficient lamports in {}", account.short())
+            }
+            TxError::InsufficientTokens { owner, mint } => write!(
+                f,
+                "insufficient tokens of mint {} held by {}",
+                mint.short(),
+                owner.short()
+            ),
+            TxError::UnknownMint(m) => write!(f, "unknown mint {}", m.short()),
+            TxError::MintExists(m) => write!(f, "mint {} already exists", m.short()),
+            TxError::NotMintAuthority { mint } => {
+                write!(f, "signer is not the authority of mint {}", mint.short())
+            }
+            TxError::UnknownProgram(p) => write!(f, "unknown program {}", p.short()),
+            TxError::BadAccountOwner { account } => {
+                write!(f, "account {} has unexpected owner", account.short())
+            }
+            TxError::MalformedInstruction => write!(f, "malformed instruction"),
+            TxError::Program { program, message } => {
+                write!(f, "program {} failed: {message}", program.short())
+            }
+            TxError::Overflow => write!(f, "arithmetic overflow"),
+            TxError::Duplicate => write!(f, "duplicate transaction"),
+        }
+    }
+}
+
+impl std::error::Error for TxError {}

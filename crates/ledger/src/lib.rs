@@ -1,0 +1,29 @@
+//! A simulated Solana ledger: accounts, the system and token programs, a
+//! fee-charging bank with atomic batch execution (the substrate for Jito
+//! bundles), and blocks.
+//!
+//! This crate is the "Solana mainnet" substitution documented in DESIGN.md:
+//! it produces exactly the observable effects — signers, fees, per-account
+//! SOL and token balance deltas — that the paper's sandwich detector reads
+//! off the real chain.
+
+#![warn(missing_docs)]
+
+pub mod account;
+pub mod bank;
+pub mod block;
+pub mod error;
+pub mod instruction;
+pub mod meta;
+pub mod transaction;
+
+pub use account::{
+    native_sol_mint, system_program_id, token_account_address, token_program_id, Account,
+    AccountData,
+};
+pub use bank::{Bank, BatchFailure, Program, TxContext};
+pub use block::Block;
+pub use error::TxError;
+pub use instruction::{Instruction, SystemInstruction, TokenInstruction};
+pub use meta::{SolDelta, TokenDelta, TransactionMeta};
+pub use transaction::{Message, Transaction, TransactionBuilder, TransactionId};

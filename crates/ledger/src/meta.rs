@@ -1,0 +1,316 @@
+//! Execution metadata: the per-transaction balance changes.
+//!
+//! This is what the paper's detector actually consumes — "the net change in
+//! currencies as a result of all transactions within the bundle" (§3.2).
+//! Every executed transaction yields a [`TransactionMeta`] recording SOL and
+//! token deltas per account owner, exactly the data the Jito Explorer's
+//! transaction-detail endpoint exposes.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use sandwich_types::{LamportDelta, Lamports, Pubkey};
+
+use crate::transaction::TransactionId;
+
+/// SOL balance change of one account.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SolDelta {
+    /// The account whose balance changed.
+    pub account: Pubkey,
+    /// Signed change in lamports.
+    pub delta: LamportDelta,
+}
+
+/// Token balance change of one owner for one mint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TokenDelta {
+    /// The owner whose balance changed.
+    pub owner: Pubkey,
+    /// The token mint.
+    pub mint: Pubkey,
+    /// Signed change in raw token units.
+    pub delta: i128,
+}
+
+/// Metadata describing one executed transaction.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransactionMeta {
+    /// The transaction id (its signature).
+    pub tx_id: TransactionId,
+    /// The fee-paying signer.
+    pub signer: Pubkey,
+    /// Total fee charged (base + priority).
+    pub fee: Lamports,
+    /// Priority-fee component of `fee`.
+    pub priority_fee: Lamports,
+    /// Whether the instructions executed successfully.
+    pub success: bool,
+    /// Error text if `success` is false (fee still charged).
+    pub error: Option<String>,
+    /// SOL changes, including the fee debit and transfer credits.
+    pub sol_deltas: Vec<SolDelta>,
+    /// Token changes keyed by owner wallet.
+    pub token_deltas: Vec<TokenDelta>,
+}
+
+impl TransactionMeta {
+    /// Net SOL change of `account` in this transaction.
+    pub fn sol_delta_of(&self, account: &Pubkey) -> LamportDelta {
+        self.sol_deltas
+            .iter()
+            .filter(|d| d.account == *account)
+            .map(|d| d.delta)
+            .sum()
+    }
+
+    /// Net token change of `owner` for `mint` in this transaction.
+    pub fn token_delta_of(&self, owner: &Pubkey, mint: &Pubkey) -> i128 {
+        self.token_deltas
+            .iter()
+            .filter(|d| d.owner == *owner && d.mint == *mint)
+            .map(|d| d.delta)
+            .sum()
+    }
+
+    /// The set of mints whose balances changed, in sorted order.
+    pub fn traded_mints(&self) -> Vec<Pubkey> {
+        let mut mints: Vec<Pubkey> = self
+            .token_deltas
+            .iter()
+            .filter(|d| d.delta != 0)
+            .map(|d| d.mint)
+            .collect();
+        mints.sort();
+        mints.dedup();
+        mints
+    }
+
+    /// True when this transaction only moves SOL from the signer to the
+    /// given recipients (plus fees) and touches no tokens. Used to spot
+    /// tip-only transactions (paper §3.2 criterion 5).
+    ///
+    /// One non-recipient credit exactly equal to the fee is permitted: the
+    /// validator's fee income, which appears in on-chain balance deltas.
+    pub fn is_sol_transfer_only_to(&self, recipients: &[Pubkey]) -> bool {
+        if !self.token_deltas.is_empty() {
+            return false;
+        }
+        let mut fee_credits = 0usize;
+        for d in &self.sol_deltas {
+            if d.delta.is_gain() {
+                if recipients.contains(&d.account) {
+                    continue;
+                }
+                if d.delta.magnitude() == self.fee && fee_credits == 0 {
+                    fee_credits = 1;
+                    continue;
+                }
+                return false;
+            }
+            // Debits can only come from the signer.
+            if d.delta != LamportDelta::ZERO && d.account != self.signer {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Accumulates deltas while a transaction executes.
+#[derive(Default, Debug)]
+pub struct DeltaRecorder {
+    sol: BTreeMap<Pubkey, i64>,
+    tokens: BTreeMap<(Pubkey, Pubkey), i128>,
+}
+
+impl DeltaRecorder {
+    /// Record a SOL credit.
+    pub fn credit_sol(&mut self, account: Pubkey, amount: Lamports) {
+        *self.sol.entry(account).or_insert(0) += amount.0 as i64;
+    }
+
+    /// Record a SOL debit.
+    pub fn debit_sol(&mut self, account: Pubkey, amount: Lamports) {
+        *self.sol.entry(account).or_insert(0) -= amount.0 as i64;
+    }
+
+    /// Record a token credit.
+    pub fn credit_token(&mut self, owner: Pubkey, mint: Pubkey, amount: u64) {
+        *self.tokens.entry((owner, mint)).or_insert(0) += amount as i128;
+    }
+
+    /// Record a token debit.
+    pub fn debit_token(&mut self, owner: Pubkey, mint: Pubkey, amount: u64) {
+        *self.tokens.entry((owner, mint)).or_insert(0) -= amount as i128;
+    }
+
+    /// Drop everything recorded so far (used when instructions fail and the
+    /// transaction rolls back to fee-only).
+    pub fn clear(&mut self) {
+        self.sol.clear();
+        self.tokens.clear();
+    }
+
+    /// Finish into delta lists, omitting zero entries.
+    pub fn finish(self) -> (Vec<SolDelta>, Vec<TokenDelta>) {
+        let sol = self
+            .sol
+            .into_iter()
+            .filter(|(_, d)| *d != 0)
+            .map(|(account, d)| SolDelta {
+                account,
+                delta: LamportDelta(d),
+            })
+            .collect();
+        let tokens = self
+            .tokens
+            .into_iter()
+            .filter(|(_, d)| *d != 0)
+            .map(|((owner, mint), delta)| TokenDelta { owner, mint, delta })
+            .collect();
+        (sol, tokens)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sandwich_types::Keypair;
+
+    fn pk(label: &str) -> Pubkey {
+        Keypair::from_label(label).pubkey()
+    }
+
+    fn meta_with(sol: Vec<SolDelta>, tokens: Vec<TokenDelta>, signer: Pubkey) -> TransactionMeta {
+        TransactionMeta {
+            tx_id: Default::default(),
+            signer,
+            fee: Lamports(5_000),
+            priority_fee: Lamports::ZERO,
+            success: true,
+            error: None,
+            sol_deltas: sol,
+            token_deltas: tokens,
+        }
+    }
+
+    #[test]
+    fn recorder_nets_out_and_drops_zeros() {
+        let a = pk("a");
+        let b = pk("b");
+        let mint = Pubkey::derive("mint");
+        let mut rec = DeltaRecorder::default();
+        rec.credit_sol(a, Lamports(10));
+        rec.debit_sol(a, Lamports(10));
+        rec.debit_sol(b, Lamports(3));
+        rec.credit_token(a, mint, 7);
+        let (sol, tok) = rec.finish();
+        assert_eq!(sol.len(), 1);
+        assert_eq!(sol[0].account, b);
+        assert_eq!(sol[0].delta, LamportDelta(-3));
+        assert_eq!(tok, vec![TokenDelta { owner: a, mint, delta: 7 }]);
+    }
+
+    #[test]
+    fn traded_mints_sorted_unique() {
+        let a = pk("a");
+        let m1 = Pubkey::derive("m1");
+        let m2 = Pubkey::derive("m2");
+        let meta = meta_with(
+            vec![],
+            vec![
+                TokenDelta { owner: a, mint: m2, delta: 1 },
+                TokenDelta { owner: a, mint: m1, delta: -1 },
+                TokenDelta { owner: a, mint: m2, delta: 2 },
+                TokenDelta { owner: a, mint: m1, delta: 0 },
+            ],
+            a,
+        );
+        let mut expected = vec![m1, m2];
+        expected.sort();
+        assert_eq!(meta.traded_mints(), expected);
+    }
+
+    #[test]
+    fn tip_only_detection() {
+        let payer = pk("payer");
+        let tip = Pubkey::derive("tip-account");
+        let meta = meta_with(
+            vec![
+                SolDelta { account: payer, delta: LamportDelta(-10_000) },
+                SolDelta { account: tip, delta: LamportDelta(5_000) },
+            ],
+            vec![],
+            payer,
+        );
+        assert!(meta.is_sol_transfer_only_to(&[tip]));
+
+        let other = pk("other");
+        let meta2 = meta_with(
+            vec![
+                SolDelta { account: payer, delta: LamportDelta(-10_000) },
+                SolDelta { account: other, delta: LamportDelta(6_000) },
+            ],
+            vec![],
+            payer,
+        );
+        assert!(!meta2.is_sol_transfer_only_to(&[tip]));
+
+        // A single fee-sized credit (the validator's fee income) is allowed,
+        // but only once.
+        let validator = pk("validator");
+        let meta3 = meta_with(
+            vec![
+                SolDelta { account: payer, delta: LamportDelta(-10_000) },
+                SolDelta { account: validator, delta: LamportDelta(5_000) },
+                SolDelta { account: tip, delta: LamportDelta(5_000) },
+            ],
+            vec![],
+            payer,
+        );
+        assert!(meta3.is_sol_transfer_only_to(&[tip]));
+        let meta4 = meta_with(
+            vec![
+                SolDelta { account: payer, delta: LamportDelta(-10_000) },
+                SolDelta { account: validator, delta: LamportDelta(5_000) },
+                SolDelta { account: other, delta: LamportDelta(5_000) },
+            ],
+            vec![],
+            payer,
+        );
+        assert!(!meta4.is_sol_transfer_only_to(&[tip]));
+    }
+
+    #[test]
+    fn tip_only_rejects_token_movement() {
+        let payer = pk("payer");
+        let tip = Pubkey::derive("tip-account");
+        let meta = meta_with(
+            vec![SolDelta { account: tip, delta: LamportDelta(1_000) }],
+            vec![TokenDelta { owner: payer, mint: Pubkey::derive("m"), delta: 1 }],
+            payer,
+        );
+        assert!(!meta.is_sol_transfer_only_to(&[tip]));
+    }
+
+    #[test]
+    fn delta_lookups_sum_duplicates() {
+        let a = pk("a");
+        let mint = Pubkey::derive("m");
+        let meta = meta_with(
+            vec![
+                SolDelta { account: a, delta: LamportDelta(5) },
+                SolDelta { account: a, delta: LamportDelta(-2) },
+            ],
+            vec![
+                TokenDelta { owner: a, mint, delta: 10 },
+                TokenDelta { owner: a, mint, delta: -4 },
+            ],
+            a,
+        );
+        assert_eq!(meta.sol_delta_of(&a), LamportDelta(3));
+        assert_eq!(meta.token_delta_of(&a, &mint), 6);
+    }
+}

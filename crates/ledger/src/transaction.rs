@@ -1,0 +1,199 @@
+//! Signed transactions.
+//!
+//! A transaction carries one fee-paying signer (sufficient for every flow in
+//! the paper: swaps, transfers, tips), a priority fee, and a list of
+//! instructions. Its id is the signature, as on Solana.
+
+use serde::{Deserialize, Serialize};
+
+use sandwich_types::{Hash, Keypair, Lamports, Pubkey, Signature};
+
+use crate::instruction::Instruction;
+
+/// A transaction id (the fee payer's signature on the message).
+pub type TransactionId = Signature;
+
+/// The signed content of a transaction.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Message {
+    /// Fee payer and signer of every instruction.
+    pub signer: Pubkey,
+    /// Recent blockhash (freshness anchor; also makes ids unique per fork).
+    pub recent_blockhash: Hash,
+    /// Monotonic per-sender value so repeated identical actions get
+    /// distinct ids.
+    pub nonce: u64,
+    /// Optional priority fee paid to the validator on top of the base fee.
+    pub priority_fee: Lamports,
+    /// Instructions executed in order, atomically.
+    pub instructions: Vec<Instruction>,
+}
+
+impl Message {
+    /// Canonical bytes that are signed.
+    pub fn signing_bytes(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("message serialization cannot fail")
+    }
+}
+
+/// A signed transaction.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Transaction {
+    /// The signed message.
+    pub message: Message,
+    /// Signature by `message.signer`; doubles as the transaction id.
+    pub signature: Signature,
+}
+
+impl Transaction {
+    /// The transaction id.
+    pub fn id(&self) -> TransactionId {
+        self.signature
+    }
+
+    /// The fee-paying signer.
+    pub fn signer(&self) -> Pubkey {
+        self.message.signer
+    }
+
+    /// Base fee plus priority fee.
+    pub fn total_fee(&self) -> Lamports {
+        sandwich_types::BASE_FEE + self.message.priority_fee
+    }
+
+    /// Verify the signature against the embedded signer address.
+    pub fn verify(&self) -> bool {
+        self.message
+            .signer
+            .verify(&self.message.signing_bytes(), &self.signature)
+    }
+}
+
+/// Fluent builder for signed transactions.
+pub struct TransactionBuilder {
+    keypair: Keypair,
+    recent_blockhash: Hash,
+    nonce: u64,
+    priority_fee: Lamports,
+    instructions: Vec<Instruction>,
+}
+
+impl TransactionBuilder {
+    /// Start building a transaction signed by `keypair`.
+    pub fn new(keypair: Keypair) -> Self {
+        TransactionBuilder {
+            keypair,
+            recent_blockhash: Hash::default(),
+            nonce: 0,
+            priority_fee: Lamports::ZERO,
+            instructions: Vec::new(),
+        }
+    }
+
+    /// Anchor to a recent blockhash.
+    pub fn recent_blockhash(mut self, hash: Hash) -> Self {
+        self.recent_blockhash = hash;
+        self
+    }
+
+    /// Set the uniqueness nonce.
+    pub fn nonce(mut self, nonce: u64) -> Self {
+        self.nonce = nonce;
+        self
+    }
+
+    /// Set the priority fee.
+    pub fn priority_fee(mut self, fee: Lamports) -> Self {
+        self.priority_fee = fee;
+        self
+    }
+
+    /// Append an instruction.
+    pub fn instruction(mut self, ix: Instruction) -> Self {
+        self.instructions.push(ix);
+        self
+    }
+
+    /// Append a SOL transfer.
+    pub fn transfer(self, to: Pubkey, lamports: Lamports) -> Self {
+        self.instruction(Instruction::transfer(to, lamports))
+    }
+
+    /// Append a token transfer.
+    pub fn token_transfer(self, mint: Pubkey, to: Pubkey, amount: u64) -> Self {
+        self.instruction(Instruction::token_transfer(mint, to, amount))
+    }
+
+    /// Sign and finish.
+    pub fn build(self) -> Transaction {
+        let message = Message {
+            signer: self.keypair.pubkey(),
+            recent_blockhash: self.recent_blockhash,
+            nonce: self.nonce,
+            priority_fee: self.priority_fee,
+            instructions: self.instructions,
+        };
+        let signature = self.keypair.sign(&message.signing_bytes());
+        Transaction { message, signature }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alice() -> Keypair {
+        Keypair::from_label("alice")
+    }
+
+    #[test]
+    fn built_transactions_verify() {
+        let tx = TransactionBuilder::new(alice())
+            .transfer(Keypair::from_label("bob").pubkey(), Lamports(100))
+            .build();
+        assert!(tx.verify());
+        assert_eq!(tx.signer(), alice().pubkey());
+    }
+
+    #[test]
+    fn tampered_message_fails_verification() {
+        let mut tx = TransactionBuilder::new(alice())
+            .transfer(Keypair::from_label("bob").pubkey(), Lamports(100))
+            .build();
+        tx.message.priority_fee = Lamports(1);
+        assert!(!tx.verify());
+    }
+
+    #[test]
+    fn nonce_changes_id() {
+        let bob = Keypair::from_label("bob").pubkey();
+        let a = TransactionBuilder::new(alice())
+            .nonce(1)
+            .transfer(bob, Lamports(1))
+            .build();
+        let b = TransactionBuilder::new(alice())
+            .nonce(2)
+            .transfer(bob, Lamports(1))
+            .build();
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn total_fee_includes_priority() {
+        let tx = TransactionBuilder::new(alice())
+            .priority_fee(Lamports(7))
+            .build();
+        assert_eq!(tx.total_fee(), sandwich_types::BASE_FEE + Lamports(7));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let tx = TransactionBuilder::new(alice())
+            .transfer(Keypair::from_label("bob").pubkey(), Lamports(5))
+            .build();
+        let json = serde_json::to_string(&tx).unwrap();
+        let back: Transaction = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, tx);
+        assert!(back.verify());
+    }
+}

@@ -1,0 +1,203 @@
+//! A small async HTTP client (one connection per request).
+//!
+//! The collector's polling cadence is minutes, so connection reuse buys
+//! nothing; one short-lived connection per request keeps failure modes
+//! simple and observable.
+
+use std::net::SocketAddr;
+
+use tokio::io::{AsyncReadExt, AsyncWriteExt, BufReader};
+use tokio::net::TcpStream;
+
+use crate::http::{HttpError, Response};
+
+/// Read one response from a buffered stream.
+async fn read_response(
+    reader: &mut BufReader<tokio::net::tcp::OwnedReadHalf>,
+) -> Result<Response, HttpError> {
+    use tokio::io::AsyncBufReadExt;
+
+    let mut line = String::new();
+    let n = reader.read_line(&mut line).await?;
+    if n == 0 {
+        return Err(HttpError::ConnectionClosed);
+    }
+    let mut parts = line.trim_end().splitn(3, ' ');
+    let version = parts.next().ok_or(HttpError::Malformed("status line"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed("version"));
+    }
+    let status: u16 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or(HttpError::Malformed("status code"))?;
+
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    loop {
+        let mut hline = String::new();
+        let n = reader.read_line(&mut hline).await?;
+        if n == 0 {
+            return Err(HttpError::Malformed("eof in headers"));
+        }
+        let hline = hline.trim_end();
+        if hline.is_empty() {
+            break;
+        }
+        let (k, v) = hline.split_once(':').ok_or(HttpError::Malformed("header"))?;
+        let (k, v) = (k.trim().to_ascii_lowercase(), v.trim().to_string());
+        if k == "content-length" {
+            content_length = v.parse().map_err(|_| HttpError::Malformed("content-length"))?;
+        }
+        headers.push((k, v));
+    }
+    if content_length > crate::http::MAX_BODY {
+        return Err(HttpError::BodyTooLarge {
+            declared: content_length,
+            limit: crate::http::MAX_BODY,
+        });
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).await?;
+    Ok(Response {
+        status,
+        headers,
+        body: body.into(),
+    })
+}
+
+/// An HTTP client bound to one server address.
+#[derive(Clone, Copy, Debug)]
+pub struct HttpClient {
+    addr: SocketAddr,
+}
+
+impl HttpClient {
+    /// Client for `addr`.
+    pub fn new(addr: SocketAddr) -> Self {
+        HttpClient { addr }
+    }
+
+    async fn request(
+        &self,
+        method: &str,
+        path_and_query: &str,
+        body: Option<Vec<u8>>,
+    ) -> Result<Response, HttpError> {
+        let stream = TcpStream::connect(self.addr).await?;
+        let (read, mut write) = stream.into_split();
+
+        let body = body.unwrap_or_default();
+        let head = format!(
+            "{method} {path_and_query} HTTP/1.1\r\nhost: {}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+            self.addr,
+            body.len(),
+        );
+        write.write_all(head.as_bytes()).await?;
+        write.write_all(&body).await?;
+        write.flush().await?;
+
+        let mut reader = BufReader::new(read);
+        read_response(&mut reader).await
+    }
+
+    /// GET a path (may include a query string).
+    pub async fn get(&self, path_and_query: &str) -> Result<Response, HttpError> {
+        self.request("GET", path_and_query, None).await
+    }
+
+    /// POST raw bytes.
+    pub async fn post(&self, path: &str, body: Vec<u8>) -> Result<Response, HttpError> {
+        self.request("POST", path, Some(body)).await
+    }
+
+    /// POST a JSON value and decode a JSON response, enforcing 200.
+    pub async fn post_json<Req: serde::Serialize, Resp: serde::de::DeserializeOwned>(
+        &self,
+        path: &str,
+        req: &Req,
+    ) -> Result<Resp, ClientError> {
+        let body = serde_json::to_vec(req).expect("serializable request");
+        let resp = self.post(path, body).await?;
+        if resp.status != 200 {
+            return Err(ClientError::Status {
+                status: resp.status,
+                body: String::from_utf8_lossy(&resp.body).into_owned(),
+            });
+        }
+        resp.body_json().map_err(ClientError::Decode)
+    }
+
+    /// GET a path and decode a JSON response, enforcing 200.
+    pub async fn get_json<Resp: serde::de::DeserializeOwned>(
+        &self,
+        path_and_query: &str,
+    ) -> Result<Resp, ClientError> {
+        let resp = self.get(path_and_query).await?;
+        if resp.status != 200 {
+            return Err(ClientError::Status {
+                status: resp.status,
+                body: String::from_utf8_lossy(&resp.body).into_owned(),
+            });
+        }
+        resp.body_json().map_err(ClientError::Decode)
+    }
+}
+
+/// Client-side errors including non-200 statuses.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport-level failure.
+    Http(HttpError),
+    /// Server answered with a non-200 status.
+    Status {
+        /// The status code.
+        status: u16,
+        /// Body text for diagnostics.
+        body: String,
+    },
+    /// Body failed to decode as the expected JSON shape.
+    Decode(serde_json::Error),
+}
+
+impl ClientError {
+    /// True for failures worth retrying (transport errors and 5xx/429).
+    pub fn is_transient(&self) -> bool {
+        match self {
+            ClientError::Http(_) => true,
+            ClientError::Status { status, .. } => *status == 429 || *status >= 500,
+            ClientError::Decode(_) => false,
+        }
+    }
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Http(e) => write!(f, "http error: {e}"),
+            ClientError::Status { status, body } => write!(f, "status {status}: {body}"),
+            ClientError::Decode(e) => write!(f, "decode error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<HttpError> for ClientError {
+    fn from(e: HttpError) -> Self {
+        ClientError::Http(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transient_classification() {
+        assert!(ClientError::Status { status: 503, body: String::new() }.is_transient());
+        assert!(ClientError::Status { status: 429, body: String::new() }.is_transient());
+        assert!(!ClientError::Status { status: 400, body: String::new() }.is_transient());
+        assert!(ClientError::Http(HttpError::ConnectionClosed).is_transient());
+    }
+}

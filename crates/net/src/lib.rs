@@ -1,0 +1,20 @@
+//! Minimal async networking for the measurement boundary: a from-scratch
+//! HTTP/1.1 server and client over tokio, token-bucket rate limiting, and
+//! retry with backoff.
+//!
+//! The explorer API (server side) and the collector (client side) exercise
+//! the paper's data-collection methodology over a real TCP socket.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod http;
+pub mod ratelimit;
+pub mod retry;
+pub mod server;
+
+pub use client::{ClientError, HttpClient};
+pub use http::{HttpError, Method, Request, Response};
+pub use ratelimit::TokenBucket;
+pub use retry::{retry, RetryOutcome, RetryPolicy};
+pub use server::{Router, Server};

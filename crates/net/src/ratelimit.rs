@@ -1,0 +1,120 @@
+//! Token-bucket rate limiting.
+//!
+//! Used on both sides of the measurement boundary: the explorer API throttles
+//! clients (real RPC providers cap "compute units", paper §2.1), and the
+//! collector throttles itself to the paper's two-minute etiquette (§3.1,
+//! Appendix A).
+
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+/// A token bucket over an abstract millisecond clock.
+///
+/// The clock is passed in on each call so simulated time works: the
+/// collector runs on a virtual clock that covers 120 days in seconds.
+#[derive(Debug)]
+pub struct TokenBucket {
+    inner: Mutex<BucketState>,
+    capacity: f64,
+    refill_per_ms: f64,
+}
+
+#[derive(Debug)]
+struct BucketState {
+    tokens: f64,
+    last_ms: u64,
+}
+
+impl TokenBucket {
+    /// A bucket holding at most `capacity` tokens, refilling at
+    /// `refill_per_sec` tokens per second, starting full at `now_ms`.
+    pub fn new(capacity: u32, refill_per_sec: f64, now_ms: u64) -> Self {
+        TokenBucket {
+            inner: Mutex::new(BucketState {
+                tokens: capacity as f64,
+                last_ms: now_ms,
+            }),
+            capacity: capacity as f64,
+            refill_per_ms: refill_per_sec / 1000.0,
+        }
+    }
+
+    /// Try to take one token at time `now_ms`. Returns `true` on success.
+    pub fn try_acquire(&self, now_ms: u64) -> bool {
+        self.try_acquire_n(now_ms, 1)
+    }
+
+    /// Try to take `n` tokens at time `now_ms`.
+    pub fn try_acquire_n(&self, now_ms: u64, n: u32) -> bool {
+        let mut st = self.inner.lock();
+        let elapsed = now_ms.saturating_sub(st.last_ms);
+        st.tokens = (st.tokens + elapsed as f64 * self.refill_per_ms).min(self.capacity);
+        st.last_ms = st.last_ms.max(now_ms);
+        if st.tokens >= n as f64 {
+            st.tokens -= n as f64;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// How long until `n` tokens will be available, at time `now_ms`.
+    pub fn time_until_available(&self, now_ms: u64, n: u32) -> Duration {
+        let st = self.inner.lock();
+        let elapsed = now_ms.saturating_sub(st.last_ms);
+        let tokens = (st.tokens + elapsed as f64 * self.refill_per_ms).min(self.capacity);
+        if tokens >= n as f64 {
+            return Duration::ZERO;
+        }
+        let deficit = n as f64 - tokens;
+        Duration::from_millis((deficit / self.refill_per_ms).ceil() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_full_and_depletes() {
+        let b = TokenBucket::new(3, 1.0, 0);
+        assert!(b.try_acquire(0));
+        assert!(b.try_acquire(0));
+        assert!(b.try_acquire(0));
+        assert!(!b.try_acquire(0));
+    }
+
+    #[test]
+    fn refills_over_time() {
+        let b = TokenBucket::new(1, 2.0, 0); // 2 tokens/sec
+        assert!(b.try_acquire(0));
+        assert!(!b.try_acquire(100)); // 0.2 tokens — not enough
+        assert!(b.try_acquire(600)); // 1.2 tokens
+    }
+
+    #[test]
+    fn capacity_caps_refill() {
+        let b = TokenBucket::new(2, 1000.0, 0);
+        // After a long idle period, still only 2 tokens.
+        assert!(b.try_acquire_n(1_000_000, 2));
+        assert!(!b.try_acquire(1_000_000));
+    }
+
+    #[test]
+    fn time_until_available_estimates() {
+        let b = TokenBucket::new(1, 1.0, 0); // 1 token/sec
+        assert!(b.try_acquire(0));
+        let wait = b.time_until_available(0, 1);
+        assert_eq!(wait, Duration::from_millis(1000));
+        assert_eq!(b.time_until_available(1_000, 1), Duration::ZERO);
+    }
+
+    #[test]
+    fn clock_going_backwards_is_harmless() {
+        let b = TokenBucket::new(1, 1.0, 1_000);
+        assert!(b.try_acquire(1_000));
+        // An earlier timestamp neither panics nor mints tokens.
+        assert!(!b.try_acquire(500));
+    }
+}

@@ -1,0 +1,163 @@
+//! Retry with exponential backoff.
+//!
+//! The paper's collector ran for four months through "instability or
+//! changes to the Jito interface, bugs, and other transient errors" (§3.1);
+//! the collector wraps every fetch in this policy so one 503 never kills a
+//! polling epoch.
+
+use std::future::Future;
+use std::time::Duration;
+
+/// Retry policy: attempts and backoff shape.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Maximum attempts (≥ 1).
+    pub max_attempts: u32,
+    /// Delay before the second attempt.
+    pub base_delay: Duration,
+    /// Multiplier applied per subsequent attempt.
+    pub factor: f64,
+    /// Upper bound on any single delay.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(50),
+            factor: 2.0,
+            max_delay: Duration::from_secs(5),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Delay before attempt `n` (0-based; attempt 0 has no delay).
+    pub fn delay_for_attempt(&self, attempt: u32) -> Duration {
+        if attempt == 0 {
+            return Duration::ZERO;
+        }
+        let ms = self.base_delay.as_millis() as f64 * self.factor.powi(attempt as i32 - 1);
+        Duration::from_millis(ms as u64).min(self.max_delay)
+    }
+}
+
+/// Outcome of a retried operation.
+#[derive(Debug)]
+pub struct RetryOutcome<T, E> {
+    /// The final result.
+    pub result: Result<T, E>,
+    /// Total attempts made.
+    pub attempts: u32,
+}
+
+/// Run `op` until it succeeds, the error is permanent, or attempts run out.
+///
+/// `is_transient` decides whether an error is worth retrying.
+pub async fn retry<T, E, F, Fut, P>(
+    policy: RetryPolicy,
+    mut op: F,
+    is_transient: P,
+) -> RetryOutcome<T, E>
+where
+    F: FnMut() -> Fut,
+    Fut: Future<Output = Result<T, E>>,
+    P: Fn(&E) -> bool,
+{
+    let mut attempts = 0;
+    loop {
+        let delay = policy.delay_for_attempt(attempts);
+        if !delay.is_zero() {
+            tokio::time::sleep(delay).await;
+        }
+        attempts += 1;
+        match op().await {
+            Ok(v) => {
+                return RetryOutcome {
+                    result: Ok(v),
+                    attempts,
+                }
+            }
+            Err(e) if attempts < policy.max_attempts && is_transient(&e) => continue,
+            Err(e) => {
+                return RetryOutcome {
+                    result: Err(e),
+                    attempts,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn fast_policy() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(1),
+            factor: 2.0,
+            max_delay: Duration::from_millis(4),
+        }
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn succeeds_after_transient_failures() {
+        let calls = AtomicU32::new(0);
+        let outcome = retry(
+            fast_policy(),
+            || {
+                let n = calls.fetch_add(1, Ordering::SeqCst);
+                async move {
+                    if n < 2 {
+                        Err("transient")
+                    } else {
+                        Ok(n)
+                    }
+                }
+            },
+            |_| true,
+        )
+        .await;
+        assert_eq!(outcome.result.unwrap(), 2);
+        assert_eq!(outcome.attempts, 3);
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn permanent_error_stops_immediately() {
+        let calls = AtomicU32::new(0);
+        let outcome: RetryOutcome<(), &str> = retry(
+            fast_policy(),
+            || {
+                calls.fetch_add(1, Ordering::SeqCst);
+                async { Err("permanent") }
+            },
+            |_| false,
+        )
+        .await;
+        assert!(outcome.result.is_err());
+        assert_eq!(outcome.attempts, 1);
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn gives_up_after_max_attempts() {
+        let outcome: RetryOutcome<(), &str> =
+            retry(fast_policy(), || async { Err("transient") }, |_| true).await;
+        assert!(outcome.result.is_err());
+        assert_eq!(outcome.attempts, 4);
+    }
+
+    #[test]
+    fn backoff_shape() {
+        let p = fast_policy();
+        assert_eq!(p.delay_for_attempt(0), Duration::ZERO);
+        assert_eq!(p.delay_for_attempt(1), Duration::from_millis(1));
+        assert_eq!(p.delay_for_attempt(2), Duration::from_millis(2));
+        assert_eq!(p.delay_for_attempt(3), Duration::from_millis(4));
+        assert_eq!(p.delay_for_attempt(10), Duration::from_millis(4)); // capped
+    }
+}

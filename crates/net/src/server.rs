@@ -1,0 +1,290 @@
+//! A small async HTTP server with routing and graceful shutdown.
+//!
+//! Follows the structured-concurrency guidance from the session's guides:
+//! the server owns its connection tasks, and shutting the handle down stops
+//! accepting, signals connections, and waits for them to finish.
+
+use std::future::Future;
+use std::net::SocketAddr;
+use std::pin::Pin;
+use std::sync::Arc;
+
+use tokio::io::BufReader;
+use tokio::net::{TcpListener, TcpStream};
+use tokio::sync::watch;
+use tokio::task::JoinSet;
+
+use crate::http::{read_request, write_response, HttpError, Method, Request, Response};
+
+/// Boxed async handler.
+pub type Handler =
+    Arc<dyn Fn(Request) -> Pin<Box<dyn Future<Output = Response> + Send>> + Send + Sync>;
+
+/// Routes requests by (method, exact path).
+#[derive(Default, Clone)]
+pub struct Router {
+    routes: Vec<(Method, String, Handler)>,
+}
+
+impl Router {
+    /// An empty router.
+    pub fn new() -> Self {
+        Router::default()
+    }
+
+    /// Register a handler for a method and exact path.
+    pub fn route<F, Fut>(mut self, method: Method, path: &str, handler: F) -> Self
+    where
+        F: Fn(Request) -> Fut + Send + Sync + 'static,
+        Fut: Future<Output = Response> + Send + 'static,
+    {
+        let handler: Handler = Arc::new(move |req| Box::pin(handler(req)));
+        self.routes.push((method, path.to_string(), handler));
+        self
+    }
+
+    /// Find a handler; distinguishes 404 from 405 like a polite server.
+    fn dispatch(&self, method: Method, path: &str) -> Result<Handler, u16> {
+        let mut path_matched = false;
+        for (m, p, h) in &self.routes {
+            if p == path {
+                if *m == method {
+                    return Ok(h.clone());
+                }
+                path_matched = true;
+            }
+        }
+        Err(if path_matched { 405 } else { 404 })
+    }
+}
+
+/// A running server; dropping it aborts, [`Server::shutdown`] is graceful.
+pub struct Server {
+    local_addr: SocketAddr,
+    shutdown_tx: watch::Sender<bool>,
+    accept_task: tokio::task::JoinHandle<()>,
+}
+
+impl Server {
+    /// Bind and start serving `router` on `addr` (use port 0 for ephemeral).
+    pub async fn bind(addr: &str, router: Router) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr).await?;
+        let local_addr = listener.local_addr()?;
+        let (shutdown_tx, shutdown_rx) = watch::channel(false);
+        let router = Arc::new(router);
+
+        let accept_task = tokio::spawn(accept_loop(listener, router, shutdown_rx));
+        Ok(Server {
+            local_addr,
+            shutdown_tx,
+            accept_task,
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Base URL for clients.
+    pub fn base_url(&self) -> String {
+        format!("http://{}", self.local_addr)
+    }
+
+    /// Stop accepting, close connections, wait for tasks to finish.
+    pub async fn shutdown(self) {
+        let _ = self.shutdown_tx.send(true);
+        let _ = self.accept_task.await;
+    }
+}
+
+async fn accept_loop(
+    listener: TcpListener,
+    router: Arc<Router>,
+    shutdown_rx: watch::Receiver<bool>,
+) {
+    let mut connections = JoinSet::new();
+    let mut shutdown = shutdown_rx.clone();
+    loop {
+        tokio::select! {
+            accepted = listener.accept() => {
+                match accepted {
+                    Ok((stream, peer)) => {
+                        let router = router.clone();
+                        let conn_shutdown = shutdown_rx.clone();
+                        connections.spawn(async move {
+                            let _ = serve_connection(stream, peer, router, conn_shutdown).await;
+                        });
+                    }
+                    Err(_) => break,
+                }
+            }
+            _ = shutdown.changed() => break,
+        }
+        // Reap finished connection tasks opportunistically.
+        while connections.try_join_next().is_some() {}
+    }
+    // Graceful drain: connections observe the shutdown watch and exit after
+    // their in-flight request.
+    while connections.join_next().await.is_some() {}
+}
+
+async fn serve_connection(
+    stream: TcpStream,
+    _peer: SocketAddr,
+    router: Arc<Router>,
+    mut shutdown: watch::Receiver<bool>,
+) -> Result<(), HttpError> {
+    let (read, mut write) = stream.into_split();
+    let mut reader = BufReader::new(read);
+    loop {
+        let request = tokio::select! {
+            r = read_request(&mut reader) => match r {
+                Ok(req) => req,
+                Err(HttpError::ConnectionClosed) => return Ok(()),
+                Err(HttpError::Io(_)) => return Ok(()),
+                Err(e) => {
+                    let resp = Response::text(400, format!("bad request: {e}"));
+                    let _ = write_response(&mut write, &resp, false).await;
+                    return Ok(());
+                }
+            },
+            _ = shutdown.changed() => return Ok(()),
+        };
+
+        let keep_alive = request.keep_alive();
+        let response = match router.dispatch(request.method, &request.path) {
+            Ok(handler) => handler(request).await,
+            Err(status) => Response::text(status, Response::reason(status)),
+        };
+        write_response(&mut write, &response, keep_alive).await?;
+        if !keep_alive {
+            return Ok(());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::HttpClient;
+
+    fn test_router() -> Router {
+        Router::new()
+            .route(Method::Get, "/ping", |_req| async { Response::text(200, "pong") })
+            .route(Method::Post, "/echo", |req: Request| async move {
+                Response::new(200, req.body)
+            })
+            .route(Method::Get, "/query", |req: Request| async move {
+                let v = req.query_param("v").unwrap_or("none").to_string();
+                Response::text(200, v)
+            })
+    }
+
+    #[tokio::test]
+    async fn routes_and_statuses() {
+        let server = Server::bind("127.0.0.1:0", test_router()).await.unwrap();
+        let client = HttpClient::new(server.local_addr());
+
+        let r = client.get("/ping").await.unwrap();
+        assert_eq!(r.status, 200);
+        assert_eq!(&r.body[..], b"pong");
+
+        let r = client.get("/nope").await.unwrap();
+        assert_eq!(r.status, 404);
+
+        // Wrong method on a known path → 405.
+        let r = client.post("/ping", b"x".to_vec()).await.unwrap();
+        assert_eq!(r.status, 405);
+
+        server.shutdown().await;
+    }
+
+    #[tokio::test]
+    async fn echo_posts_body() {
+        let server = Server::bind("127.0.0.1:0", test_router()).await.unwrap();
+        let client = HttpClient::new(server.local_addr());
+        let r = client.post("/echo", b"payload".to_vec()).await.unwrap();
+        assert_eq!(&r.body[..], b"payload");
+        server.shutdown().await;
+    }
+
+    #[tokio::test]
+    async fn query_parameters_reach_handler() {
+        let server = Server::bind("127.0.0.1:0", test_router()).await.unwrap();
+        let client = HttpClient::new(server.local_addr());
+        let r = client.get("/query?v=42").await.unwrap();
+        assert_eq!(&r.body[..], b"42");
+        server.shutdown().await;
+    }
+
+    #[tokio::test]
+    async fn concurrent_clients() {
+        let server = Server::bind("127.0.0.1:0", test_router()).await.unwrap();
+        let addr = server.local_addr();
+        let mut tasks = Vec::new();
+        for _ in 0..16 {
+            tasks.push(tokio::spawn(async move {
+                let client = HttpClient::new(addr);
+                let r = client.get("/ping").await.unwrap();
+                assert_eq!(r.status, 200);
+            }));
+        }
+        for t in tasks {
+            t.await.unwrap();
+        }
+        server.shutdown().await;
+    }
+
+    #[tokio::test]
+    async fn keep_alive_serves_multiple_requests_per_connection() {
+        use tokio::io::{AsyncReadExt, AsyncWriteExt};
+
+        let server = Server::bind("127.0.0.1:0", test_router()).await.unwrap();
+        let mut stream = tokio::net::TcpStream::connect(server.local_addr()).await.unwrap();
+
+        // Two pipelined requests over one connection; second closes it.
+        stream
+            .write_all(b"GET /ping HTTP/1.1\r\nhost: x\r\n\r\n")
+            .await
+            .unwrap();
+        stream
+            .write_all(b"GET /ping HTTP/1.1\r\nhost: x\r\nconnection: close\r\n\r\n")
+            .await
+            .unwrap();
+
+        let mut buf = Vec::new();
+        stream.read_to_end(&mut buf).await.unwrap();
+        let text = String::from_utf8_lossy(&buf);
+        assert_eq!(text.matches("HTTP/1.1 200 OK").count(), 2, "{text}");
+        assert!(text.contains("connection: keep-alive"));
+        assert!(text.contains("connection: close"));
+        server.shutdown().await;
+    }
+
+    #[tokio::test]
+    async fn malformed_request_gets_400_then_close() {
+        use tokio::io::{AsyncReadExt, AsyncWriteExt};
+
+        let server = Server::bind("127.0.0.1:0", test_router()).await.unwrap();
+        let mut stream = tokio::net::TcpStream::connect(server.local_addr()).await.unwrap();
+        stream
+            .write_all(b"GET /ping HTTP/2.0-nonsense\r\n\r\n")
+            .await
+            .unwrap();
+        let mut buf = Vec::new();
+        stream.read_to_end(&mut buf).await.unwrap();
+        let text = String::from_utf8_lossy(&buf);
+        assert!(text.starts_with("HTTP/1.1 400"), "{text}");
+        server.shutdown().await;
+    }
+
+    #[tokio::test]
+    async fn shutdown_stops_accepting() {
+        let server = Server::bind("127.0.0.1:0", test_router()).await.unwrap();
+        let addr = server.local_addr();
+        server.shutdown().await;
+        let client = HttpClient::new(addr);
+        assert!(client.get("/ping").await.is_err());
+    }
+}

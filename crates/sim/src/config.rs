@@ -1,0 +1,294 @@
+//! Scenario configuration and calibration.
+//!
+//! Defaults are calibrated to the paper's published aggregates (DESIGN.md
+//! §5): bundle volume and length mix, the decaying sandwich rate, the
+//! growing defensive-bundling rate, tip distributions, and the SOL price.
+//! `volume_scale` shrinks absolute counts while preserving every proportion
+//! the figures depend on.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Full configuration of a measurement-period simulation.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ScenarioConfig {
+    /// RNG seed for full reproducibility.
+    pub seed: u64,
+    /// Days simulated (the paper measured 120).
+    pub days: u64,
+    /// Ticks per day; each tick produces one block. 720 ticks = one block
+    /// per two simulated minutes, matching the collector's polling cadence.
+    pub ticks_per_day: u64,
+    /// Fraction of mainnet volume to simulate (1.0 = 14.8M bundles/day).
+    pub volume_scale: f64,
+    /// Full-scale bundles per day (paper §3.1: 14.8M).
+    pub bundles_per_day_full_scale: f64,
+    /// Bundle-length mix for lengths 1–5. Length-3 is the paper's 2.77%;
+    /// length-1 is the majority (Figure 1).
+    pub length_mix: [f64; 5],
+    /// Full-scale sandwiches/day at the start of the period (Figure 2: ~15k).
+    pub sandwiches_day_first: f64,
+    /// Full-scale sandwiches/day at the end of the period (Figure 2: ~1k).
+    pub sandwiches_day_last: f64,
+    /// Fraction of sandwiches on pools with no SOL leg (§4.1: 28%).
+    pub non_sol_sandwich_fraction: f64,
+    /// Defensive fraction of length-1 bundles on day 0 (grows to the value
+    /// below; period average must come out near 86%, §4.2).
+    pub defensive_fraction_first: f64,
+    /// Defensive fraction of length-1 bundles on the last day.
+    pub defensive_fraction_last: f64,
+    /// Probability that a second attacker contends for the same victim
+    /// (exercises the auction-conflict path that drives tips up).
+    pub rival_attacker_probability: f64,
+    /// Probability a sandwich is *disguised* by appending an unrelated
+    /// transaction (length-4 bundle). The paper's length-3 methodology
+    /// misses these — its counts are a lower bound (§3.2).
+    pub disguised_sandwich_probability: f64,
+    /// Number of token mints with SOL pools.
+    pub sol_pool_count: usize,
+    /// Number of token–token pools (for non-SOL sandwiches).
+    pub token_pool_count: usize,
+    /// Trader population size.
+    pub trader_count: usize,
+    /// Attacker (searcher) population size.
+    pub attacker_count: usize,
+    /// Defensive-bundler population size.
+    pub defender_count: usize,
+    /// Collector downtime windows as inclusive day ranges (Figure 1's
+    /// shaded gaps). The chain keeps running; the collector does not poll.
+    pub downtime_days: Vec<(u64, u64)>,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            seed: 20250209,
+            days: 120,
+            ticks_per_day: 720,
+            volume_scale: 1.0 / 2_000.0,
+            bundles_per_day_full_scale: 14_800_000.0,
+            length_mix: [0.6200, 0.2450, 0.0277, 0.0700, 0.0373],
+            sandwiches_day_first: 15_000.0,
+            sandwiches_day_last: 1_000.0,
+            non_sol_sandwich_fraction: 0.28,
+            defensive_fraction_first: 0.82,
+            defensive_fraction_last: 0.90,
+            rival_attacker_probability: 0.05,
+            disguised_sandwich_probability: 0.06,
+            sol_pool_count: 40,
+            token_pool_count: 14,
+            trader_count: 300,
+            attacker_count: 8,
+            defender_count: 500,
+            downtime_days: vec![(27, 29), (56, 57), (84, 86)],
+        }
+    }
+}
+
+impl ScenarioConfig {
+    /// A tiny scenario for unit/integration tests: 3 days at a very small
+    /// scale, same proportions.
+    pub fn tiny() -> Self {
+        ScenarioConfig {
+            days: 3,
+            ticks_per_day: 48,
+            volume_scale: 1.0 / 8_000.0,
+            // Keep enough attack events for assertions to be stable at the
+            // tiny scale (≈ 25 expected over the run).
+            sandwiches_day_first: 100_000.0,
+            sandwiches_day_last: 40_000.0,
+            sol_pool_count: 8,
+            token_pool_count: 4,
+            trader_count: 40,
+            attacker_count: 3,
+            defender_count: 60,
+            downtime_days: vec![(1, 1)],
+            ..Default::default()
+        }
+    }
+
+    /// Scaled bundles per day.
+    pub fn bundles_per_day(&self) -> f64 {
+        self.bundles_per_day_full_scale * self.volume_scale
+    }
+
+    /// Scaled sandwiches per day on `day` — exponential decay between the
+    /// calibrated endpoints, matching Figure 2's shape.
+    pub fn sandwiches_on_day(&self, day: u64) -> f64 {
+        let t = if self.days <= 1 {
+            0.0
+        } else {
+            day as f64 / (self.days - 1) as f64
+        };
+        let first = self.sandwiches_day_first.max(1e-9);
+        let last = self.sandwiches_day_last.max(1e-9);
+        let rate = first * (last / first).powf(t);
+        rate * self.volume_scale
+    }
+
+    /// Defensive fraction of length-1 bundles on `day` — linear growth.
+    pub fn defensive_fraction_on_day(&self, day: u64) -> f64 {
+        let t = if self.days <= 1 {
+            0.0
+        } else {
+            day as f64 / (self.days - 1) as f64
+        };
+        self.defensive_fraction_first
+            + (self.defensive_fraction_last - self.defensive_fraction_first) * t
+    }
+
+    /// Scaled bundles per day of a given length (1-indexed).
+    pub fn bundles_of_length_per_day(&self, len: usize) -> f64 {
+        assert!((1..=5).contains(&len));
+        self.bundles_per_day() * self.length_mix[len - 1]
+    }
+
+    /// True when the collector is down on `day`.
+    pub fn is_downtime(&self, day: u64) -> bool {
+        self.downtime_days.iter().any(|&(a, b)| day >= a && day <= b)
+    }
+
+    /// Slot of (day, tick): blocks are spread uniformly over the day.
+    pub fn slot_for(&self, day: u64, tick: u64) -> sandwich_types::Slot {
+        let per_tick = sandwich_types::SLOTS_PER_DAY / self.ticks_per_day;
+        sandwich_types::Slot(day * sandwich_types::SLOTS_PER_DAY + tick * per_tick)
+    }
+}
+
+/// Sample a Poisson-distributed count (Knuth for small λ, normal
+/// approximation above 30).
+pub fn poisson<R: Rng>(rng: &mut R, lambda: f64) -> u64 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        let l = (-lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.gen::<f64>();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+            if k > 10_000 {
+                return k; // numerical safety
+            }
+        }
+    } else {
+        let sample: f64 = lambda + lambda.sqrt() * standard_normal(rng);
+        sample.max(0.0).round() as u64
+    }
+}
+
+/// Standard normal via Box–Muller.
+pub fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(1e-12);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Sample a log-normal value with the given *median* and log-σ, clamped.
+pub fn lognormal_clamped<R: Rng>(rng: &mut R, median: f64, sigma: f64, lo: f64, hi: f64) -> f64 {
+    let v = median * (sigma * standard_normal(rng)).exp();
+    v.clamp(lo, hi)
+}
+
+/// Weighted choice over items.
+pub fn weighted_choice<'a, R: Rng, T>(rng: &mut R, items: &'a [(T, f64)]) -> &'a T {
+    let total: f64 = items.iter().map(|(_, w)| w).sum();
+    let mut roll = rng.gen::<f64>() * total;
+    for (item, w) in items {
+        roll -= w;
+        if roll <= 0.0 {
+            return item;
+        }
+    }
+    &items[items.len() - 1].0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn default_mix_sums_to_one() {
+        let c = ScenarioConfig::default();
+        let sum: f64 = c.length_mix.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "mix sums to {sum}");
+        assert!((c.length_mix[2] - 0.0277).abs() < 1e-9, "len-3 is 2.77%");
+    }
+
+    #[test]
+    fn sandwich_rate_decays_between_endpoints() {
+        let c = ScenarioConfig::default();
+        let first = c.sandwiches_on_day(0);
+        let mid = c.sandwiches_on_day(60);
+        let last = c.sandwiches_on_day(119);
+        assert!(first > mid && mid > last);
+        assert!((first - 15_000.0 * c.volume_scale).abs() < 1e-6);
+        assert!((last - 1_000.0 * c.volume_scale).abs() < 1e-6);
+    }
+
+    #[test]
+    fn defensive_fraction_grows() {
+        let c = ScenarioConfig::default();
+        assert!(c.defensive_fraction_on_day(0) < c.defensive_fraction_on_day(119));
+        // Period average lands near the paper's 86%.
+        let avg: f64 =
+            (0..120).map(|d| c.defensive_fraction_on_day(d)).sum::<f64>() / 120.0;
+        assert!((avg - 0.86).abs() < 0.01, "average defensive fraction {avg}");
+    }
+
+    #[test]
+    fn downtime_windows() {
+        let c = ScenarioConfig::default();
+        assert!(c.is_downtime(28));
+        assert!(!c.is_downtime(30));
+    }
+
+    #[test]
+    fn slots_monotonic_within_day() {
+        let c = ScenarioConfig::default();
+        let a = c.slot_for(0, 0);
+        let b = c.slot_for(0, 1);
+        let d1 = c.slot_for(1, 0);
+        assert!(b.0 > a.0);
+        assert!(d1.0 >= a.0 + sandwich_types::SLOTS_PER_DAY);
+    }
+
+    #[test]
+    fn poisson_mean_is_roughly_lambda() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for &lambda in &[0.5, 5.0, 50.0] {
+            let n = 4_000;
+            let total: u64 = (0..n).map(|_| poisson(&mut rng, lambda)).sum();
+            let mean = total as f64 / n as f64;
+            assert!(
+                (mean - lambda).abs() < lambda.sqrt() * 0.2 + 0.1,
+                "λ={lambda}, mean={mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn lognormal_respects_clamps() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1_000 {
+            let v = lognormal_clamped(&mut rng, 5_000.0, 1.0, 1_000.0, 100_000.0);
+            assert!((1_000.0..=100_000.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn weighted_choice_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let items = [("a", 0.9), ("b", 0.1)];
+        let a_count = (0..1_000)
+            .filter(|_| *weighted_choice(&mut rng, &items) == "a")
+            .count();
+        assert!(a_count > 800, "a chosen {a_count} times");
+    }
+}

@@ -1,0 +1,15 @@
+//! Agent-based workload generation: the 120-day measurement-period
+//! scenario, calibrated to the paper's published aggregates, producing a
+//! stream of landed Jito bundles with per-day ground truth.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod driver;
+pub mod population;
+pub mod universe;
+
+pub use config::{lognormal_clamped, poisson, standard_normal, weighted_choice, ScenarioConfig};
+pub use driver::{DayTruth, GroundTruth, Simulation, TickOutcome};
+pub use population::{Agent, Population};
+pub use universe::{PoolRef, Universe};

@@ -1,0 +1,124 @@
+//! Agent populations: traders, attackers (searchers), defensive bundlers.
+
+use sandwich_types::{Keypair, Lamports, Pubkey};
+
+use crate::universe::Universe;
+
+/// One acting identity with a nonce counter.
+#[derive(Clone, Debug)]
+pub struct Agent {
+    /// The signing identity.
+    pub keypair: Keypair,
+    nonce: u64,
+}
+
+impl Agent {
+    /// Deterministic agent from a role and index.
+    pub fn new(role: &str, index: usize) -> Self {
+        Agent {
+            keypair: Keypair::from_label(&format!("{role}-{index}")),
+            nonce: 0,
+        }
+    }
+
+    /// This agent's address.
+    pub fn pubkey(&self) -> Pubkey {
+        self.keypair.pubkey()
+    }
+
+    /// The next unique nonce.
+    pub fn next_nonce(&mut self) -> u64 {
+        self.nonce += 1;
+        self.nonce
+    }
+}
+
+/// All agent groups of the scenario.
+pub struct Population {
+    /// Normal traders — sandwich victims and priority users.
+    pub traders: Vec<Agent>,
+    /// Sandwich attackers with access to a private mempool.
+    pub attackers: Vec<Agent>,
+    /// Users who defensively self-bundle.
+    pub defenders: Vec<Agent>,
+}
+
+impl Population {
+    /// Create and provision all agents.
+    pub fn provision(
+        universe: &mut Universe,
+        trader_count: usize,
+        attacker_count: usize,
+        defender_count: usize,
+    ) -> Population {
+        let traders: Vec<Agent> = (0..trader_count).map(|i| Agent::new("trader", i)).collect();
+        let attackers: Vec<Agent> = (0..attacker_count).map(|i| Agent::new("attacker", i)).collect();
+        let defenders: Vec<Agent> = (0..defender_count).map(|i| Agent::new("defender", i)).collect();
+
+        for t in &traders {
+            universe.provision(t.pubkey(), 2_000.0, 1_000_000_000_000);
+        }
+        for a in &attackers {
+            universe.provision(a.pubkey(), 20_000.0, 4_000_000_000_000_000);
+        }
+        for d in &defenders {
+            universe.provision(d.pubkey(), 200.0, 0);
+        }
+
+        Population {
+            traders,
+            attackers,
+            defenders,
+        }
+    }
+
+    /// Daily top-up so long scenarios never strand an agent below fees.
+    pub fn top_up(&self, universe: &Universe) {
+        let floor = Lamports::from_sol(100.0);
+        let refill = Lamports::from_sol(1_000.0);
+        for agent in self.traders.iter().chain(&self.attackers).chain(&self.defenders) {
+            if universe.bank.lamports(&agent.pubkey()) < floor {
+                universe.bank.airdrop(agent.pubkey(), refill);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ScenarioConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn agents_are_deterministic_and_distinct() {
+        let a = Agent::new("trader", 0);
+        let b = Agent::new("trader", 0);
+        let c = Agent::new("trader", 1);
+        assert_eq!(a.pubkey(), b.pubkey());
+        assert_ne!(a.pubkey(), c.pubkey());
+    }
+
+    #[test]
+    fn nonces_increment() {
+        let mut a = Agent::new("x", 0);
+        assert_eq!(a.next_nonce(), 1);
+        assert_eq!(a.next_nonce(), 2);
+    }
+
+    #[test]
+    fn provision_and_top_up() {
+        let config = ScenarioConfig::tiny();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut u = Universe::setup(&config, &mut rng);
+        let pop = Population::provision(&mut u, 2, 1, 2);
+        assert_eq!(u.bank.lamports(&pop.traders[0].pubkey()), Lamports::from_sol(2_000.0));
+
+        // Drain one defender below the floor, then top up.
+        let poor = pop.defenders[0].pubkey();
+        u.bank.set_account(poor, sandwich_ledger::Account::wallet(Lamports(1)));
+        pop.top_up(&u);
+        assert!(u.bank.lamports(&poor) > Lamports::from_sol(999.0));
+    }
+}

@@ -1,0 +1,216 @@
+//! The market universe: token mints and AMM pools on a fresh bank.
+
+use std::sync::Arc;
+
+use rand::Rng;
+
+use sandwich_dex::{create_pool_ix, AmmProgram, PoolState};
+use sandwich_ledger::{
+    native_sol_mint, Bank, Instruction, TokenInstruction, TransactionBuilder,
+};
+use sandwich_types::{Keypair, Lamports, Pubkey};
+
+use crate::config::{lognormal_clamped, ScenarioConfig};
+
+/// One tradable pool: its pair and whether it has a SOL leg.
+#[derive(Clone, Debug)]
+pub struct PoolRef {
+    /// One side of the pair.
+    pub mint_a: Pubkey,
+    /// The other side.
+    pub mint_b: Pubkey,
+    /// Whether either side is native SOL.
+    pub has_sol_leg: bool,
+}
+
+impl PoolRef {
+    /// The non-SOL mint of a SOL pool.
+    pub fn token_of_sol_pool(&self) -> Pubkey {
+        if self.mint_a == native_sol_mint() {
+            self.mint_b
+        } else {
+            self.mint_a
+        }
+    }
+}
+
+/// The world the agents trade in.
+pub struct Universe {
+    /// The bank every transaction executes against.
+    pub bank: Arc<Bank>,
+    /// All token mints.
+    pub mints: Vec<Pubkey>,
+    /// SOL/token pools.
+    pub sol_pools: Vec<PoolRef>,
+    /// Token/token pools.
+    pub token_pools: Vec<PoolRef>,
+    /// The authority that created all mints (can top up agents).
+    pub authority: Keypair,
+    nonce: u64,
+}
+
+impl Universe {
+    /// Build mints and pools per the scenario config.
+    ///
+    /// Signature verification is disabled on the bank: forging is not in
+    /// the measured threat model, and a 120-day run executes millions of
+    /// transactions.
+    pub fn setup<R: Rng>(config: &ScenarioConfig, rng: &mut R) -> Universe {
+        let validator = Keypair::from_label("leader-validator").pubkey();
+        let bank = Arc::new(Bank::new(validator).with_signature_verification(false));
+        bank.register_program(Arc::new(AmmProgram));
+
+        let authority = Keypair::from_label("universe-authority");
+        bank.airdrop(authority.pubkey(), Lamports::from_sol(100_000_000.0));
+
+        let mut u = Universe {
+            bank,
+            mints: Vec::new(),
+            sol_pools: Vec::new(),
+            token_pools: Vec::new(),
+            authority,
+            nonce: 0,
+        };
+
+        let mint_count = config.sol_pool_count.max(2);
+        for i in 0..mint_count {
+            u.create_mint(&format!("TOK{i:03}"));
+        }
+
+        // SOL pools with log-normally distributed liquidity. Memecoin pools
+        // are shallow (tens of SOL) — that shallowness is what makes
+        // sandwiching profitable: with a 30 bps LP fee, an attack only pays
+        // when the victim trades more than ~0.6% of the reserve.
+        for i in 0..config.sol_pool_count {
+            let mint = u.mints[i];
+            let sol_liq = lognormal_clamped(rng, 30.0, 1.0, 3.0, 600.0);
+            let sol_reserve = (sol_liq * 1e9) as u64;
+            let token_reserve = (sol_reserve as f64 * lognormal_clamped(rng, 50.0, 1.0, 2.0, 5_000.0)) as u64;
+            u.create_pool(native_sol_mint(), sol_reserve, mint, token_reserve);
+            u.sol_pools.push(PoolRef {
+                mint_a: native_sol_mint(),
+                mint_b: mint,
+                has_sol_leg: true,
+            });
+        }
+
+        // Token–token pools over random distinct mint pairs.
+        let mut made = std::collections::HashSet::new();
+        while u.token_pools.len() < config.token_pool_count && u.mints.len() >= 2 {
+            let i = rng.gen_range(0..u.mints.len());
+            let j = rng.gen_range(0..u.mints.len());
+            if i == j {
+                continue;
+            }
+            let (a, b) = PoolState::canonical_pair(u.mints[i], u.mints[j]);
+            if !made.insert((a, b)) {
+                continue;
+            }
+            let reserve_a = (lognormal_clamped(rng, 1e12, 1.0, 1e10, 1e14)) as u64;
+            let reserve_b = (lognormal_clamped(rng, 1e12, 1.0, 1e10, 1e14)) as u64;
+            u.create_pool(a, reserve_a, b, reserve_b);
+            u.token_pools.push(PoolRef {
+                mint_a: a,
+                mint_b: b,
+                has_sol_leg: false,
+            });
+        }
+
+        u
+    }
+
+    fn next_nonce(&mut self) -> u64 {
+        self.nonce += 1;
+        self.nonce
+    }
+
+    fn create_mint(&mut self, symbol: &str) {
+        let mint = Pubkey::derive(&format!("mint:{symbol}"));
+        let nonce = self.next_nonce();
+        let tx = TransactionBuilder::new(self.authority)
+            .nonce(nonce)
+            .instruction(Instruction::Token(TokenInstruction::CreateMint {
+                mint,
+                decimals: 6,
+                symbol: symbol.to_string(),
+            }))
+            .instruction(Instruction::Token(TokenInstruction::MintTo {
+                mint,
+                to: self.authority.pubkey(),
+                amount: u64::MAX / 4,
+            }))
+            .build();
+        let meta = self.bank.execute_transaction(&tx).expect("mint setup");
+        assert!(meta.success, "mint setup failed: {:?}", meta.error);
+        self.mints.push(mint);
+    }
+
+    fn create_pool(&mut self, mint_a: Pubkey, amount_a: u64, mint_b: Pubkey, amount_b: u64) {
+        let nonce = self.next_nonce();
+        let tx = TransactionBuilder::new(self.authority)
+            .nonce(nonce)
+            .instruction(create_pool_ix(mint_a, amount_a, mint_b, amount_b, 30))
+            .build();
+        let meta = self.bank.execute_transaction(&tx).expect("pool setup");
+        assert!(meta.success, "pool setup failed: {:?}", meta.error);
+    }
+
+    /// Current state of a pool.
+    pub fn pool(&self, r: &PoolRef) -> PoolState {
+        sandwich_dex::pool_state(&self.bank, &r.mint_a, &r.mint_b).expect("pool exists")
+    }
+
+    /// Give `who` SOL and a stock of every token (agent provisioning).
+    pub fn provision(&mut self, who: Pubkey, sol: f64, tokens_each: u64) {
+        self.bank.airdrop(who, Lamports::from_sol(sol));
+        if tokens_each > 0 {
+            let mints = self.mints.clone();
+            for chunk in mints.chunks(8) {
+                let nonce = self.next_nonce();
+                let mut b = TransactionBuilder::new(self.authority).nonce(nonce);
+                for mint in chunk {
+                    b = b.token_transfer(*mint, who, tokens_each);
+                }
+                let meta = self.bank.execute_transaction(&b.build()).expect("provision");
+                assert!(meta.success, "provision failed: {:?}", meta.error);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn setup_builds_pools() {
+        let config = ScenarioConfig::tiny();
+        let mut rng = StdRng::seed_from_u64(1);
+        let u = Universe::setup(&config, &mut rng);
+        assert_eq!(u.sol_pools.len(), config.sol_pool_count);
+        assert_eq!(u.token_pools.len(), config.token_pool_count);
+        for p in &u.sol_pools {
+            let state = u.pool(p);
+            assert!(state.has_sol_leg());
+            assert!(state.reserve_x > 0 && state.reserve_y > 0);
+        }
+        for p in &u.token_pools {
+            assert!(!u.pool(p).has_sol_leg());
+        }
+    }
+
+    #[test]
+    fn provision_funds_agent() {
+        let config = ScenarioConfig::tiny();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut u = Universe::setup(&config, &mut rng);
+        let agent = Keypair::from_label("agent").pubkey();
+        u.provision(agent, 50.0, 1_000_000);
+        assert_eq!(u.bank.lamports(&agent), Lamports::from_sol(50.0));
+        for mint in &u.mints {
+            assert_eq!(u.bank.token_balance(&agent, mint), 1_000_000);
+        }
+    }
+}

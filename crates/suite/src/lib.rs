@@ -1,0 +1,72 @@
+//! Shared helpers for the workspace's examples and integration tests.
+
+#![warn(missing_docs)]
+
+use std::sync::Arc;
+
+use sandwich_dex::{create_pool_ix, AmmProgram};
+use sandwich_ledger::{
+    native_sol_mint, Bank, Instruction, TokenInstruction, TransactionBuilder,
+};
+use sandwich_types::{Keypair, Lamports, Pubkey};
+
+/// A small ready-made market: a bank with the AMM registered, one SOL/token
+/// pool, and three funded actors (attacker, victim, liquidity provider).
+pub struct DemoMarket {
+    /// The bank.
+    pub bank: Arc<Bank>,
+    /// The pool's token mint.
+    pub token: Pubkey,
+    /// A funded attacker identity.
+    pub attacker: Keypair,
+    /// A funded victim identity.
+    pub victim: Keypair,
+}
+
+impl DemoMarket {
+    /// Build the market: a 100 SOL / 5e12-unit pool with a 30 bps fee.
+    pub fn build() -> DemoMarket {
+        let bank = Arc::new(Bank::new(Keypair::from_label("demo-validator").pubkey()));
+        bank.register_program(Arc::new(AmmProgram));
+        let lp = Keypair::from_label("demo-lp");
+        let token = Pubkey::derive("mint:DEMO");
+        bank.airdrop(lp.pubkey(), Lamports::from_sol(500.0));
+        let setup = TransactionBuilder::new(lp)
+            .instruction(Instruction::Token(TokenInstruction::CreateMint {
+                mint: token,
+                decimals: 6,
+                symbol: "DEMO".into(),
+            }))
+            .instruction(Instruction::Token(TokenInstruction::MintTo {
+                mint: token,
+                to: lp.pubkey(),
+                amount: 10_000_000_000_000,
+            }))
+            .instruction(create_pool_ix(
+                native_sol_mint(),
+                100_000_000_000, // 100 SOL
+                token,
+                5_000_000_000_000,
+                30,
+            ))
+            .build();
+        let meta = bank.execute_transaction(&setup).expect("setup lands");
+        assert!(meta.success, "demo market setup failed: {:?}", meta.error);
+
+        let attacker = Keypair::from_label("demo-attacker");
+        let victim = Keypair::from_label("demo-victim");
+        bank.airdrop(attacker.pubkey(), Lamports::from_sol(1_000.0));
+        bank.airdrop(victim.pubkey(), Lamports::from_sol(100.0));
+        DemoMarket {
+            bank,
+            token,
+            attacker,
+            victim,
+        }
+    }
+
+    /// Current pool state.
+    pub fn pool(&self) -> sandwich_dex::PoolState {
+        sandwich_dex::pool_state(&self.bank, &native_sol_mint(), &self.token).expect("pool")
+    }
+}

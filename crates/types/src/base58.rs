@@ -1,0 +1,100 @@
+//! Base58 encoding with the Bitcoin/Solana alphabet.
+//!
+//! Used to render pubkeys, signatures and hashes the way Solana explorers do.
+
+const ALPHABET: &[u8; 58] = b"123456789ABCDEFGHJKLMNPQRSTUVWXYZabcdefghijkmnopqrstuvwxyz";
+
+/// Encode `data` as a base58 string.
+pub fn encode(data: &[u8]) -> String {
+    // Count leading zero bytes: each encodes to '1'.
+    let zeros = data.iter().take_while(|&&b| b == 0).count();
+
+    // Big-number base conversion, digits little-endian in `digits`.
+    let mut digits: Vec<u8> = Vec::with_capacity(data.len() * 138 / 100 + 1);
+    for &byte in &data[zeros..] {
+        let mut carry = byte as u32;
+        for d in digits.iter_mut() {
+            carry += (*d as u32) << 8;
+            *d = (carry % 58) as u8;
+            carry /= 58;
+        }
+        while carry > 0 {
+            digits.push((carry % 58) as u8);
+            carry /= 58;
+        }
+    }
+
+    let mut out = String::with_capacity(zeros + digits.len());
+    for _ in 0..zeros {
+        out.push('1');
+    }
+    for &d in digits.iter().rev() {
+        out.push(ALPHABET[d as usize] as char);
+    }
+    out
+}
+
+fn digit_value(c: u8) -> Option<u32> {
+    ALPHABET.iter().position(|&a| a == c).map(|p| p as u32)
+}
+
+/// Decode a base58 string; returns `None` on any non-alphabet character.
+pub fn decode(s: &str) -> Option<Vec<u8>> {
+    let bytes = s.as_bytes();
+    let zeros = bytes.iter().take_while(|&&c| c == b'1').count();
+
+    let mut out: Vec<u8> = Vec::with_capacity(s.len());
+    for &c in &bytes[zeros..] {
+        let mut carry = digit_value(c)?;
+        for o in out.iter_mut() {
+            carry += (*o as u32) * 58;
+            *o = (carry & 0xff) as u8;
+            carry >>= 8;
+        }
+        while carry > 0 {
+            out.push((carry & 0xff) as u8);
+            carry >>= 8;
+        }
+    }
+
+    let mut result = vec![0u8; zeros];
+    result.extend(out.iter().rev());
+    Some(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        assert_eq!(encode(b""), "");
+        assert_eq!(encode(b"hello world"), "StV1DL6CwTryKyV");
+        assert_eq!(encode(&[0, 0, 40, 127, 180, 205]), "11233QC4");
+        assert_eq!(decode("StV1DL6CwTryKyV").unwrap(), b"hello world");
+        assert_eq!(decode("11233QC4").unwrap(), vec![0, 0, 40, 127, 180, 205]);
+    }
+
+    #[test]
+    fn leading_zeros_preserved() {
+        let data = [0u8, 0, 0, 1, 2, 3];
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn rejects_invalid_chars() {
+        assert!(decode("0OIl").is_none());
+        assert!(decode("abc!").is_none());
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        assert_eq!(decode("").unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn roundtrip_32_bytes() {
+        let data: Vec<u8> = (0u8..32).map(|i| i.wrapping_mul(7).wrapping_add(3)).collect();
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+}

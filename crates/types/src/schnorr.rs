@@ -1,0 +1,172 @@
+//! A toy Schnorr signature scheme over a 61-bit prime field.
+//!
+//! The real Solana uses ed25519. Implementing curve25519 from scratch is out
+//! of scope for a measurement reproduction — the sandwich detector never
+//! verifies signatures; it only reads signer identities. What the simulator
+//! *does* need is a functional asymmetric scheme: transactions carry a public
+//! key and a signature that anyone can verify without the secret, so the bank
+//! can reject forged transactions in tests. Classic Schnorr over the
+//! multiplicative group of Z_p with p = 2^61 - 1 provides exactly that
+//! structure (keygen / sign / publicly verify) with ~61 bits of, frankly,
+//! non-security. DESIGN.md documents this substitution.
+
+use crate::hash::Hash;
+
+/// The Mersenne prime 2^61 - 1; the group is Z_p^*.
+pub const P: u64 = (1u64 << 61) - 1;
+
+/// Group order used for exponent arithmetic (g^(P-1) = 1 by Fermat).
+pub const ORDER: u64 = P - 1;
+
+/// Fixed group base.
+pub const G: u64 = 3;
+
+/// Multiply modulo `P` without overflow.
+pub fn mul_mod(a: u64, b: u64) -> u64 {
+    ((a as u128 * b as u128) % P as u128) as u64
+}
+
+/// Raise `base` to `exp` modulo `P`.
+pub fn pow_mod(mut base: u64, mut exp: u64) -> u64 {
+    base %= P;
+    let mut acc: u64 = 1;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul_mod(acc, base);
+        }
+        base = mul_mod(base, base);
+        exp >>= 1;
+    }
+    acc
+}
+
+fn hash_to_u64(parts: &[&[u8]]) -> u64 {
+    let h = Hash::digest_parts(parts);
+    u64::from_le_bytes(h.0[..8].try_into().unwrap())
+}
+
+/// A secret scalar with its public group element.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SigningKey {
+    secret: u64,
+    public: u64,
+}
+
+impl SigningKey {
+    /// Derive a signing key deterministically from a 32-byte seed.
+    pub fn from_seed(seed: &[u8; 32]) -> Self {
+        // Reduce into [1, ORDER) so the key is never the identity.
+        let secret = hash_to_u64(&[b"schnorr-sk", seed]) % (ORDER - 1) + 1;
+        SigningKey {
+            secret,
+            public: pow_mod(G, secret),
+        }
+    }
+
+    /// The public group element.
+    pub fn public_element(&self) -> u64 {
+        self.public
+    }
+
+    /// Produce a deterministic Schnorr signature over `msg`.
+    pub fn sign(&self, msg: &[u8]) -> SchnorrSig {
+        // Deterministic nonce (RFC6979-style in spirit).
+        let k = hash_to_u64(&[
+            b"schnorr-k",
+            &self.secret.to_le_bytes(),
+            msg,
+        ]) % (ORDER - 1)
+            + 1;
+        let r = pow_mod(G, k);
+        let e = challenge(r, self.public, msg);
+        // s = k + e * secret  (mod ORDER)
+        let s = ((k as u128 + (e as u128 * self.secret as u128) % ORDER as u128)
+            % ORDER as u128) as u64;
+        SchnorrSig { r, s }
+    }
+}
+
+/// Fiat–Shamir challenge.
+fn challenge(r: u64, public: u64, msg: &[u8]) -> u64 {
+    hash_to_u64(&[
+        b"schnorr-e",
+        &r.to_le_bytes(),
+        &public.to_le_bytes(),
+        msg,
+    ]) % ORDER
+}
+
+/// A Schnorr signature (commitment, response).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SchnorrSig {
+    /// Commitment R = g^k.
+    pub r: u64,
+    /// Response s = k + e·sk mod ORDER.
+    pub s: u64,
+}
+
+impl SchnorrSig {
+    /// Verify against a public element: g^s == R · pk^e (mod P).
+    pub fn verify(&self, public: u64, msg: &[u8]) -> bool {
+        if self.r == 0 || public == 0 {
+            return false;
+        }
+        let e = challenge(self.r, public, msg);
+        pow_mod(G, self.s) == mul_mod(self.r, pow_mod(public, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pow_mod_fermat() {
+        // a^(P-1) = 1 for a != 0 mod P.
+        for a in [2u64, 3, 12345, P - 2] {
+            assert_eq!(pow_mod(a, ORDER), 1, "a = {a}");
+        }
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let key = SigningKey::from_seed(&[7u8; 32]);
+        let sig = key.sign(b"transfer 5 SOL");
+        assert!(sig.verify(key.public_element(), b"transfer 5 SOL"));
+    }
+
+    #[test]
+    fn wrong_message_fails() {
+        let key = SigningKey::from_seed(&[7u8; 32]);
+        let sig = key.sign(b"transfer 5 SOL");
+        assert!(!sig.verify(key.public_element(), b"transfer 6 SOL"));
+    }
+
+    #[test]
+    fn wrong_key_fails() {
+        let key = SigningKey::from_seed(&[7u8; 32]);
+        let other = SigningKey::from_seed(&[8u8; 32]);
+        let sig = key.sign(b"msg");
+        assert!(!sig.verify(other.public_element(), b"msg"));
+    }
+
+    #[test]
+    fn deterministic_signatures() {
+        let key = SigningKey::from_seed(&[1u8; 32]);
+        assert_eq!(key.sign(b"m"), key.sign(b"m"));
+    }
+
+    #[test]
+    fn tampered_signature_fails() {
+        let key = SigningKey::from_seed(&[3u8; 32]);
+        let mut sig = key.sign(b"m");
+        sig.s = sig.s.wrapping_add(1) % ORDER;
+        assert!(!sig.verify(key.public_element(), b"m"));
+    }
+
+    #[test]
+    fn zero_commitment_rejected() {
+        let sig = SchnorrSig { r: 0, s: 1 };
+        assert!(!sig.verify(G, b"m"));
+    }
+}

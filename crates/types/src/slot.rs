@@ -1,0 +1,184 @@
+//! Slots and the simulated measurement clock.
+//!
+//! Solana produces a block every 400 ms. The paper's measurement spans
+//! 2025-02-09 → 2025-06-09 (120 days). [`SlotClock`] maps slots to wall-clock
+//! milliseconds and to day indices within the measurement period so the
+//! analysis can build the per-day series of Figures 1 and 2.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// Milliseconds per slot (Solana's 400 ms block time).
+pub const MS_PER_SLOT: u64 = 400;
+
+/// Slots in a 24-hour day at 400 ms per slot.
+pub const SLOTS_PER_DAY: u64 = 86_400_000 / MS_PER_SLOT; // 216,000
+
+/// Length of the paper's measurement period in days (Feb 9 – Jun 9, 2025).
+pub const MEASUREMENT_DAYS: u64 = 120;
+
+/// A slot number.
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Slot(pub u64);
+
+impl Slot {
+    /// Genesis slot.
+    pub const GENESIS: Slot = Slot(0);
+
+    /// The next slot.
+    pub fn next(self) -> Slot {
+        Slot(self.0 + 1)
+    }
+}
+
+impl Add<u64> for Slot {
+    type Output = Slot;
+    fn add(self, rhs: u64) -> Slot {
+        Slot(self.0 + rhs)
+    }
+}
+
+impl Sub<Slot> for Slot {
+    type Output = u64;
+    fn sub(self, rhs: Slot) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for Slot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "slot {}", self.0)
+    }
+}
+
+impl fmt::Debug for Slot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Slot({})", self.0)
+    }
+}
+
+/// Maps slots to timestamps and measurement-day indices.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct SlotClock {
+    /// Unix milliseconds at slot 0.
+    pub genesis_unix_ms: u64,
+}
+
+/// Unix milliseconds for 2025-02-09T00:00:00Z, the paper's collection start.
+pub const MEASUREMENT_START_UNIX_MS: u64 = 1_739_059_200_000;
+
+impl Default for SlotClock {
+    fn default() -> Self {
+        SlotClock {
+            genesis_unix_ms: MEASUREMENT_START_UNIX_MS,
+        }
+    }
+}
+
+impl SlotClock {
+    /// Clock whose slot 0 begins at the given unix millisecond timestamp.
+    pub fn new(genesis_unix_ms: u64) -> Self {
+        SlotClock { genesis_unix_ms }
+    }
+
+    /// Wall-clock unix milliseconds at the start of `slot`.
+    pub fn unix_ms(&self, slot: Slot) -> u64 {
+        self.genesis_unix_ms + slot.0 * MS_PER_SLOT
+    }
+
+    /// Zero-based day index of `slot` within the measurement period.
+    pub fn day_index(&self, slot: Slot) -> u64 {
+        slot.0 / SLOTS_PER_DAY
+    }
+
+    /// First slot of day `day`.
+    pub fn day_start(&self, day: u64) -> Slot {
+        Slot(day * SLOTS_PER_DAY)
+    }
+
+    /// Slot range `[start, end)` covering day `day`.
+    pub fn day_range(&self, day: u64) -> (Slot, Slot) {
+        (self.day_start(day), self.day_start(day + 1))
+    }
+
+    /// Slot in progress at the given unix millisecond timestamp.
+    pub fn slot_at_unix_ms(&self, unix_ms: u64) -> Slot {
+        Slot(unix_ms.saturating_sub(self.genesis_unix_ms) / MS_PER_SLOT)
+    }
+
+    /// Human-readable date label "day N" plus the calendar offset in the
+    /// 2025 measurement window, for report output.
+    pub fn day_label(&self, day: u64) -> String {
+        // Feb 9 2025 is day 0. Render a rough calendar date for readability.
+        const CUM_DAYS: [(u64, &str); 5] = [
+            (0, "Feb"),
+            (20, "Mar"), // Feb 9 + 20 days = Mar 1 (2025 is not a leap year)
+            (51, "Apr"),
+            (81, "May"),
+            (112, "Jun"),
+        ];
+        let mut month = "Feb";
+        let mut month_start = 0u64;
+        let mut day_of_month_base = 9u64; // starts Feb 9
+        for &(start, name) in &CUM_DAYS {
+            if day >= start {
+                month = name;
+                month_start = start;
+                day_of_month_base = if start == 0 { 9 } else { 1 };
+            }
+        }
+        format!("{month} {:02}", day_of_month_base + (day - month_start))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_per_day_value() {
+        assert_eq!(SLOTS_PER_DAY, 216_000);
+    }
+
+    #[test]
+    fn day_index_boundaries() {
+        let clock = SlotClock::default();
+        assert_eq!(clock.day_index(Slot(0)), 0);
+        assert_eq!(clock.day_index(Slot(SLOTS_PER_DAY - 1)), 0);
+        assert_eq!(clock.day_index(Slot(SLOTS_PER_DAY)), 1);
+    }
+
+    #[test]
+    fn unix_ms_and_back() {
+        let clock = SlotClock::default();
+        let slot = Slot(12_345);
+        let ms = clock.unix_ms(slot);
+        assert_eq!(clock.slot_at_unix_ms(ms), slot);
+        // Mid-slot timestamps map to the in-progress slot.
+        assert_eq!(clock.slot_at_unix_ms(ms + MS_PER_SLOT - 1), slot);
+        assert_eq!(clock.slot_at_unix_ms(ms + MS_PER_SLOT), slot.next());
+    }
+
+    #[test]
+    fn day_range_is_contiguous() {
+        let clock = SlotClock::default();
+        let (s0, e0) = clock.day_range(0);
+        let (s1, _) = clock.day_range(1);
+        assert_eq!(e0, s1);
+        assert_eq!(e0 - s0, SLOTS_PER_DAY);
+    }
+
+    #[test]
+    fn day_labels() {
+        let clock = SlotClock::default();
+        assert_eq!(clock.day_label(0), "Feb 09");
+        assert_eq!(clock.day_label(19), "Feb 28");
+        assert_eq!(clock.day_label(20), "Mar 01");
+        assert_eq!(clock.day_label(119), "Jun 08");
+    }
+}

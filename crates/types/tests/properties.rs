@@ -1,0 +1,104 @@
+//! Property tests for the from-scratch primitives.
+
+use proptest::prelude::*;
+
+use sandwich_types::hash::{Hash, Sha256};
+use sandwich_types::{base58, Keypair, Lamports, Pubkey};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn base58_roundtrips_arbitrary_bytes(data in prop::collection::vec(any::<u8>(), 0..200)) {
+        let encoded = base58::encode(&data);
+        prop_assert_eq!(base58::decode(&encoded).unwrap(), data);
+    }
+
+    #[test]
+    fn base58_alphabet_is_clean(data in prop::collection::vec(any::<u8>(), 0..100)) {
+        let encoded = base58::encode(&data);
+        // Never contains the ambiguous characters excluded from base58.
+        for c in ['0', 'O', 'I', 'l', '+', '/'] {
+            prop_assert!(!encoded.contains(c));
+        }
+    }
+
+    #[test]
+    fn sha256_streaming_equals_oneshot(
+        data in prop::collection::vec(any::<u8>(), 0..4096),
+        cut_points in prop::collection::vec(any::<u16>(), 0..8),
+    ) {
+        let mut h = Sha256::new();
+        let mut cuts: Vec<usize> = cut_points.iter().map(|&c| c as usize % (data.len() + 1)).collect();
+        cuts.push(0);
+        cuts.push(data.len());
+        cuts.sort_unstable();
+        for w in cuts.windows(2) {
+            h.update(&data[w[0]..w[1]]);
+        }
+        prop_assert_eq!(h.finalize(), Hash::digest(&data).0);
+    }
+
+    #[test]
+    fn sha256_is_injective_in_practice(
+        a in prop::collection::vec(any::<u8>(), 0..100),
+        b in prop::collection::vec(any::<u8>(), 0..100),
+    ) {
+        if a != b {
+            prop_assert_ne!(Hash::digest(&a), Hash::digest(&b));
+        }
+    }
+
+    #[test]
+    fn signatures_verify_and_bind_to_message(
+        seed in any::<[u8; 32]>(),
+        msg in prop::collection::vec(any::<u8>(), 0..256),
+        other in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let kp = Keypair::from_seed(&seed);
+        let sig = kp.sign(&msg);
+        prop_assert!(kp.pubkey().verify(&msg, &sig));
+        if msg != other {
+            prop_assert!(!kp.pubkey().verify(&other, &sig));
+        }
+    }
+
+    #[test]
+    fn signatures_bind_to_key(
+        seed_a in any::<[u8; 32]>(),
+        seed_b in any::<[u8; 32]>(),
+        msg in prop::collection::vec(any::<u8>(), 0..128),
+    ) {
+        let a = Keypair::from_seed(&seed_a);
+        let b = Keypair::from_seed(&seed_b);
+        if a.pubkey() != b.pubkey() {
+            let sig = a.sign(&msg);
+            prop_assert!(!b.pubkey().verify(&msg, &sig));
+        }
+    }
+
+    #[test]
+    fn pubkey_display_roundtrips(seed in any::<[u8; 32]>()) {
+        let pk = Keypair::from_seed(&seed).pubkey();
+        let parsed: Pubkey = pk.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, pk);
+    }
+
+    #[test]
+    fn lamport_arithmetic_never_wraps(
+        a in 0u64..u64::MAX / 2,
+        b in 0u64..u64::MAX / 2,
+    ) {
+        let sum = Lamports(a) + Lamports(b);
+        prop_assert_eq!(sum.0, a + b);
+        let diff = sum - Lamports(b);
+        prop_assert_eq!(diff.0, a);
+        prop_assert_eq!(Lamports(a).checked_sub(Lamports(a + b + 1)), None);
+    }
+
+    #[test]
+    fn sol_conversion_is_monotone(a in 0.0f64..1e6, b in 0.0f64..1e6) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(Lamports::from_sol(lo) <= Lamports::from_sol(hi));
+    }
+}

@@ -1,0 +1,76 @@
+//! Quickstart: execute one sandwich attack through the Jito block engine
+//! and detect it with the paper's five-criteria detector.
+//!
+//! Run with: `cargo run -p sandwich-suite --example quickstart`
+
+use sandwich_core::{detect, DetectorConfig};
+use sandwich_dex::{plan_optimal, swap_ix, victim_min_out, SolUsdOracle};
+use sandwich_jito::{tip_ix, BlockEngine, Bundle};
+use sandwich_ledger::{native_sol_mint, TransactionBuilder};
+use sandwich_suite::DemoMarket;
+use sandwich_types::{Lamports, Slot};
+
+fn main() {
+    let market = DemoMarket::build();
+    let sol = native_sol_mint();
+    let pool = market.pool();
+    let oracle = SolUsdOracle::default();
+
+    // The victim wants to buy the token with 5 SOL at 2% slippage tolerance.
+    let victim_in = 5_000_000_000u64;
+    let min_out = victim_min_out(&pool, &sol, victim_in, 200).expect("quotable");
+    println!(
+        "victim swap: 5 SOL → token, slippage tolerance 2% (min out {min_out} units)"
+    );
+
+    // The attacker observes it in a private mempool and plans the sandwich.
+    let plan = plan_optimal(&pool, &sol, victim_in, min_out, u64::MAX / 4, 1)
+        .expect("profitable plan");
+    println!(
+        "attacker plan: front-run {:.4} SOL, expected gross profit {:.6} SOL (${:.2})",
+        plan.front_run_in as f64 / 1e9,
+        plan.gross_profit as f64 / 1e9,
+        oracle.sol_to_usd(plan.gross_profit as f64 / 1e9),
+    );
+
+    // Build the three transactions and bundle them.
+    let victim_tx = TransactionBuilder::new(market.victim)
+        .instruction(swap_ix(sol, market.token, victim_in, min_out))
+        .build();
+    let front = TransactionBuilder::new(market.attacker)
+        .nonce(1)
+        .instruction(swap_ix(sol, market.token, plan.front_run_in, 0))
+        .build();
+    let tip = Lamports(2_000_000);
+    let back = TransactionBuilder::new(market.attacker)
+        .nonce(2)
+        .instruction(swap_ix(market.token, sol, plan.front_run_out, 0))
+        .instruction(tip_ix(tip, 2))
+        .build();
+    let bundle = Bundle::new(vec![front, victim_tx, back]).expect("valid bundle");
+    println!("bundle {} (3 transactions, tip {})", bundle.id(), tip);
+
+    // The block engine lands it atomically.
+    let mut engine = BlockEngine::new(market.bank.clone());
+    let result = engine.produce_slot(Slot(1), vec![bundle], vec![]);
+    let landed = &result.bundles[0];
+    println!("landed in slot {} with realized tip {}", landed.slot.0, landed.tip);
+
+    // Run the paper's detector on the landed metas.
+    let metas = [&landed.metas[0], &landed.metas[1], &landed.metas[2]];
+    let finding = detect(&DetectorConfig::default(), metas).expect("detected");
+    println!("\n=== detector verdict ===");
+    println!("attacker: {}", finding.attacker);
+    println!("victim:   {}", finding.victim);
+    println!(
+        "victim loss:   {:.6} SOL (${:.2})",
+        finding.victim_loss_lamports.unwrap_or(0) as f64 / 1e9,
+        oracle.lamports_to_usd(Lamports(finding.victim_loss_lamports.unwrap_or(0))),
+    );
+    println!(
+        "attacker gain: {:.6} SOL (${:.2}) before the {} tip",
+        finding.attacker_gain_lamports.unwrap_or(0) as f64 / 1e9,
+        oracle.sol_to_usd(finding.attacker_gain_lamports.unwrap_or(0) as f64 / 1e9),
+        finding.bundle_tip,
+    );
+}

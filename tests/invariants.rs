@@ -1,0 +1,229 @@
+//! Cross-crate property tests: invariants that must hold for arbitrary
+//! inputs, not just crafted scenarios.
+
+use proptest::prelude::*;
+
+use sandwich_core::{detect, Cdf, DetectorConfig};
+use sandwich_dex::PoolState;
+use sandwich_jito::{tip_ix, BlockEngine, Bundle};
+use sandwich_ledger::{
+    native_sol_mint, Bank, SolDelta, TokenDelta, TransactionBuilder, TransactionMeta,
+};
+use sandwich_types::{Keypair, LamportDelta, Lamports, Pubkey, Slot};
+
+use std::sync::Arc;
+
+// ---------- ledger / engine invariants ----------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Lamports are conserved by any stream of transfer bundles: fees and
+    /// tips move value, never create or destroy it.
+    #[test]
+    fn lamports_conserved_across_bundle_streams(
+        transfers in prop::collection::vec((0u8..6, 0u8..6, 1u64..2_000_000_000u64, 1_000u64..5_000_000u64), 1..20)
+    ) {
+        let bank = Arc::new(Bank::new(Keypair::from_label("v").pubkey()));
+        let agents: Vec<Keypair> = (0..6).map(|i| Keypair::from_label(&format!("agent-{i}"))).collect();
+        for a in &agents {
+            bank.airdrop(a.pubkey(), Lamports::from_sol(10.0));
+        }
+        let total_before = bank.total_lamports();
+
+        let mut engine = BlockEngine::new(bank.clone());
+        let mut nonce = 0u64;
+        for (slot, (from, to, amount, tip)) in transfers.into_iter().enumerate() {
+            nonce += 1;
+            let tx = TransactionBuilder::new(agents[from as usize % 6])
+                .nonce(nonce)
+                .transfer(agents[to as usize % 6].pubkey(), Lamports(amount))
+                .instruction(tip_ix(Lamports(tip), nonce))
+                .build();
+            if let Ok(bundle) = Bundle::new(vec![tx]) {
+                engine.produce_slot(Slot(slot as u64), vec![bundle], vec![]);
+            }
+        }
+        prop_assert_eq!(bank.total_lamports(), total_before);
+    }
+
+    /// The auction never lands two bundles containing the same transaction,
+    /// and landed tips are declared tips.
+    #[test]
+    fn auction_excludes_conflicts(tips in prop::collection::vec(1_000u64..10_000_000u64, 2..8)) {
+        let bank = Arc::new(Bank::new(Keypair::from_label("v").pubkey()));
+        let shared_user = Keypair::from_label("shared");
+        bank.airdrop(shared_user.pubkey(), Lamports::from_sol(100.0));
+        let shared_tx = TransactionBuilder::new(shared_user).nonce(1).build();
+
+        let mut bundles = Vec::new();
+        for (i, tip) in tips.iter().enumerate() {
+            let bidder = Keypair::from_label(&format!("bidder-{i}"));
+            bank.airdrop(bidder.pubkey(), Lamports::from_sol(100.0));
+            let tip_tx = TransactionBuilder::new(bidder)
+                .nonce(1)
+                .instruction(tip_ix(Lamports(*tip), i as u64))
+                .build();
+            bundles.push(Bundle::new(vec![tip_tx, shared_tx.clone()]).unwrap());
+        }
+        let mut engine = BlockEngine::new(bank);
+        let result = engine.produce_slot(Slot(1), bundles, vec![]);
+        // Exactly one bundle can own the shared transaction.
+        prop_assert_eq!(result.bundles.len(), 1);
+        let max_tip = tips.iter().max().copied().unwrap();
+        prop_assert_eq!(result.bundles[0].tip, Lamports(max_tip));
+    }
+}
+
+// ---------- AMM invariants under execution -------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Pool reserves mirrored in program state always match the pool
+    /// account's actual holdings after arbitrary swap sequences.
+    #[test]
+    fn pool_state_matches_holdings(
+        swaps in prop::collection::vec((any::<bool>(), 1_000_000u64..2_000_000_000u64), 1..12)
+    ) {
+        let bank = Arc::new(Bank::new(Keypair::from_label("v").pubkey()));
+        bank.register_program(Arc::new(sandwich_dex::AmmProgram));
+        let lp = Keypair::from_label("lp");
+        bank.airdrop(lp.pubkey(), Lamports::from_sol(2_000.0));
+        let mint = Pubkey::derive("mint:PROP");
+        let setup = TransactionBuilder::new(lp)
+            .instruction(sandwich_ledger::Instruction::Token(
+                sandwich_ledger::TokenInstruction::CreateMint { mint, decimals: 6, symbol: "P".into() },
+            ))
+            .instruction(sandwich_ledger::Instruction::Token(
+                sandwich_ledger::TokenInstruction::MintTo { mint, to: lp.pubkey(), amount: u64::MAX / 8 },
+            ))
+            .instruction(sandwich_dex::create_pool_ix(
+                native_sol_mint(), 1_000_000_000_000, mint, 5_000_000_000_000, 30,
+            ))
+            .build();
+        prop_assert!(bank.execute_transaction(&setup).unwrap().success);
+
+        let trader = Keypair::from_label("trader");
+        bank.airdrop(trader.pubkey(), Lamports::from_sol(100.0));
+        let fund = TransactionBuilder::new(lp)
+            .nonce(2)
+            .token_transfer(mint, trader.pubkey(), 1_000_000_000_000)
+            .build();
+        prop_assert!(bank.execute_transaction(&fund).unwrap().success);
+
+        let sol = native_sol_mint();
+        for (i, (buy, amount)) in swaps.into_iter().enumerate() {
+            let (mi, mo) = if buy { (sol, mint) } else { (mint, sol) };
+            let tx = TransactionBuilder::new(trader)
+                .nonce(10 + i as u64)
+                .instruction(sandwich_dex::swap_ix(mi, mo, amount, 0))
+                .build();
+            let _ = bank.execute_transaction(&tx);
+
+            let state = sandwich_dex::pool_state(&bank, &sol, &mint).unwrap();
+            let addr = state.address();
+            let (sol_reserve, token_reserve) = if state.mint_x == sol {
+                (state.reserve_x, state.reserve_y)
+            } else {
+                (state.reserve_y, state.reserve_x)
+            };
+            prop_assert_eq!(bank.lamports(&addr), Lamports(sol_reserve));
+            prop_assert_eq!(bank.token_balance(&addr, &mint), token_reserve);
+        }
+    }
+
+    /// Sandwich planning never violates the victim's guard, and gross
+    /// profit is consistent with replaying the plan against the pool.
+    #[test]
+    fn plans_are_internally_consistent(
+        reserve_sol in 10_000_000_000u64..1_000_000_000_000u64,
+        reserve_tok in 10_000_000_000u64..1_000_000_000_000u64,
+        victim_sol in 10_000_000u64..10_000_000_000u64,
+        slippage in 10u32..2_000u32,
+    ) {
+        let pool = PoolState::new(native_sol_mint(), reserve_sol, Pubkey::derive("m"), reserve_tok, 30);
+        let sol = native_sol_mint();
+        if let Some(min_out) = sandwich_dex::victim_min_out(&pool, &sol, victim_sol, slippage) {
+            if let Some(plan) = sandwich_dex::plan_optimal(&pool, &sol, victim_sol, min_out, u64::MAX / 4, 1) {
+                prop_assert!(plan.victim_out >= min_out);
+                prop_assert!(plan.gross_profit >= 1);
+                let replay = sandwich_dex::sandwich::plan_with_front_run(
+                    &pool, &sol, plan.front_run_in, victim_sol, min_out,
+                ).expect("replayable");
+                prop_assert_eq!(replay, plan);
+            }
+        }
+    }
+}
+
+// ---------- detector robustness ------------------------------------------
+
+fn arb_meta(label: &'static str) -> impl Strategy<Value = TransactionMeta> {
+    (
+        0u64..5u64,
+        -2_000_000_000i64..2_000_000_000i64,
+        -1_000_000i128..1_000_000i128,
+        prop::bool::ANY,
+    )
+        .prop_map(move |(n, sol, tok, include_token)| {
+            let kp = Keypair::from_label(label);
+            TransactionMeta {
+                tx_id: kp.sign(&n.to_le_bytes()),
+                signer: kp.pubkey(),
+                fee: Lamports(5_000),
+                priority_fee: Lamports::ZERO,
+                success: true,
+                error: None,
+                sol_deltas: vec![SolDelta {
+                    account: kp.pubkey(),
+                    delta: LamportDelta(sol),
+                }],
+                token_deltas: if include_token && tok != 0 {
+                    vec![TokenDelta {
+                        owner: kp.pubkey(),
+                        mint: Pubkey::derive("mint:ARB"),
+                        delta: tok,
+                    }]
+                } else {
+                    vec![]
+                },
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The detector never panics on arbitrary meta triples, and any loss it
+    /// reports is non-negative.
+    #[test]
+    fn detector_total_on_arbitrary_metas(
+        a in arb_meta("alpha"),
+        b in arb_meta("beta"),
+        c in arb_meta("alpha"),
+    ) {
+        if let Some(finding) = detect(&DetectorConfig::default(), [&a, &b, &c]) {
+            if let Some(loss) = finding.victim_loss_lamports {
+                prop_assert!(loss < u64::MAX / 2);
+            }
+            prop_assert_ne!(finding.attacker, finding.victim);
+        }
+    }
+
+    /// CDF quantiles are monotone in q and bounded by the sample range.
+    #[test]
+    fn cdf_quantiles_monotone(samples in prop::collection::vec(0.0f64..1e9, 1..200)) {
+        let cdf = Cdf::from_samples(samples.clone());
+        let lo = cdf.quantile(0.0).unwrap();
+        let hi = cdf.quantile(1.0).unwrap();
+        let mut prev = lo;
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            let v = cdf.quantile(q).unwrap();
+            prop_assert!(v >= prev - 1e-9);
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+            prev = v;
+        }
+    }
+}
