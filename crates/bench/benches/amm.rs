@@ -4,12 +4,8 @@ use std::sync::Arc;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
-use sandwich_dex::{
-    create_pool_ix, plan_optimal, swap_ix, victim_min_out, AmmProgram, PoolState,
-};
-use sandwich_ledger::{
-    native_sol_mint, Bank, Instruction, TokenInstruction, TransactionBuilder,
-};
+use sandwich_dex::{create_pool_ix, plan_optimal, swap_ix, victim_min_out, AmmProgram, PoolState};
+use sandwich_ledger::{native_sol_mint, Bank, Instruction, TokenInstruction, TransactionBuilder};
 use sandwich_types::{Keypair, Lamports, Pubkey};
 
 fn pool() -> PoolState {
@@ -99,14 +95,13 @@ fn bench_execution(c: &mut Criterion) {
     });
 }
 
-
 fn fast() -> Criterion {
     Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(500))
         .measurement_time(std::time::Duration::from_secs(2))
         .sample_size(30)
 }
-criterion_group!{
+criterion_group! {
     name = benches;
     config = fast();
     targets = bench_math, bench_execution

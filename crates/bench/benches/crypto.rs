@@ -51,14 +51,13 @@ fn bench_crypto(c: &mut Criterion) {
     });
 }
 
-
 fn fast() -> Criterion {
     Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(500))
         .measurement_time(std::time::Duration::from_secs(2))
         .sample_size(30)
 }
-criterion_group!{
+criterion_group! {
     name = benches;
     config = fast();
     targets = bench_crypto

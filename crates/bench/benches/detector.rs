@@ -52,7 +52,11 @@ fn bench_detector(c: &mut Criterion) {
         b.iter(|| {
             black_box(detect(
                 &config,
-                [black_box(&sandwich.0), black_box(&sandwich.1), black_box(&sandwich.2)],
+                [
+                    black_box(&sandwich.0),
+                    black_box(&sandwich.1),
+                    black_box(&sandwich.2),
+                ],
             ))
         })
     });
@@ -86,14 +90,13 @@ fn bench_detector(c: &mut Criterion) {
     });
 }
 
-
 fn fast() -> Criterion {
     Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(500))
         .measurement_time(std::time::Duration::from_secs(2))
         .sample_size(30)
 }
-criterion_group!{
+criterion_group! {
     name = benches;
     config = fast();
     targets = bench_detector

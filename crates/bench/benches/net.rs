@@ -6,7 +6,9 @@ use std::sync::Arc;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use parking_lot::RwLock;
 
-use sandwich_explorer::{Explorer, ExplorerConfig, HistoryStore, RecentBundlesResponse, RetentionPolicy};
+use sandwich_explorer::{
+    Explorer, ExplorerConfig, HistoryStore, RecentBundlesResponse, RetentionPolicy,
+};
 use sandwich_jito::LandedBundle;
 use sandwich_net::HttpClient;
 use sandwich_types::{Hash, Keypair, Lamports, Slot, SlotClock};
@@ -41,7 +43,10 @@ fn bench_http(c: &mut Criterion) {
         .build()
         .unwrap();
     let explorer = runtime
-        .block_on(Explorer::start(filled_store(5_000), ExplorerConfig::default()))
+        .block_on(Explorer::start(
+            filled_store(5_000),
+            ExplorerConfig::default(),
+        ))
         .unwrap();
     let client = HttpClient::new(explorer.addr());
 
@@ -51,8 +56,7 @@ fn bench_http(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(limit), &limit, |b, &limit| {
             let path = format!("/api/v1/bundles?limit={limit}");
             b.iter(|| {
-                let page: RecentBundlesResponse =
-                    runtime.block_on(client.get_json(&path)).unwrap();
+                let page: RecentBundlesResponse = runtime.block_on(client.get_json(&path)).unwrap();
                 assert_eq!(page.bundles.len(), limit);
             })
         });
@@ -62,14 +66,13 @@ fn bench_http(c: &mut Criterion) {
     runtime.block_on(explorer.shutdown());
 }
 
-
 fn fast() -> Criterion {
     Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(500))
         .measurement_time(std::time::Duration::from_secs(2))
         .sample_size(30)
 }
-criterion_group!{
+criterion_group! {
     name = benches;
     config = fast();
     targets = bench_http

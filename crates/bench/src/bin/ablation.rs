@@ -9,7 +9,10 @@ use sandwich_core::{AnalysisConfig, DetectorConfig};
 fn main() {
     // A shorter period suffices; ablation is about classification, not trends.
     let scenario = sandwich_sim::ScenarioConfig {
-        days: std::env::var("SANDWICH_DAYS").ok().and_then(|v| v.parse().ok()).unwrap_or(15),
+        days: std::env::var("SANDWICH_DAYS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(15),
         downtime_days: vec![],
         ..sandwich_bench::figure_scenario()
     };
@@ -57,11 +60,26 @@ fn main() {
     };
 
     eval("all five criteria (paper)", DetectorConfig::default());
-    eval("without c1 (same outer signer)", DetectorConfig::without_criterion(1));
-    eval("without c2 (same traded currencies)", DetectorConfig::without_criterion(2));
-    eval("without c3 (rate moves against victim)", DetectorConfig::without_criterion(3));
-    eval("without c4 (attacker profits)", DetectorConfig::without_criterion(4));
-    eval("without c5 (exclude tip-only final)", DetectorConfig::without_criterion(5));
+    eval(
+        "without c1 (same outer signer)",
+        DetectorConfig::without_criterion(1),
+    );
+    eval(
+        "without c2 (same traded currencies)",
+        DetectorConfig::without_criterion(2),
+    );
+    eval(
+        "without c3 (rate moves against victim)",
+        DetectorConfig::without_criterion(3),
+    );
+    eval(
+        "without c4 (attacker profits)",
+        DetectorConfig::without_criterion(4),
+    );
+    eval(
+        "without c5 (exclude tip-only final)",
+        DetectorConfig::without_criterion(5),
+    );
     println!(
         "\nground truth: {} sandwiches landed; {} bundles collected",
         truth_ids.len(),

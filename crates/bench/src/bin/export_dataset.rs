@@ -8,13 +8,19 @@ use sandwich_core::{analyze, AnalysisConfig, Dataset};
 
 fn main() {
     let fr = sandwich_bench::run_pipeline_with(sandwich_sim::ScenarioConfig {
-        days: std::env::var("SANDWICH_DAYS").ok().and_then(|v| v.parse().ok()).unwrap_or(5),
+        days: std::env::var("SANDWICH_DAYS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(5),
         ..sandwich_bench::figure_scenario()
     });
     let path = std::env::var("SANDWICH_OUT").unwrap_or_else(|_| "dataset.jsonl".into());
 
     let file = std::fs::File::create(&path).expect("create archive");
-    fr.run.dataset.write_jsonl(std::io::BufWriter::new(file)).expect("write archive");
+    fr.run
+        .dataset
+        .write_jsonl(std::io::BufWriter::new(file))
+        .expect("write archive");
     let bytes = std::fs::metadata(&path).unwrap().len();
     println!(
         "archived {} bundles, {} details, {} polls → {path} ({:.1} MiB)",

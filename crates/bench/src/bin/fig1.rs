@@ -12,7 +12,10 @@ fn main() {
     );
     let total = fr.report.total_bundles();
     let len1 = fr.report.bundles_by_len_per_day[0].total();
-    println!("length-1 share: {:.1}% (paper: the majority of bundles)", len1 / total * 100.0);
+    println!(
+        "length-1 share: {:.1}% (paper: the majority of bundles)",
+        len1 / total * 100.0
+    );
     println!(
         "length-3 share: {:.2}% (paper: 2.77%)",
         fr.report.len3_fraction() * 100.0

@@ -8,7 +8,10 @@ use sandwich_sim::{ScenarioConfig, Simulation};
 
 fn main() {
     let scenario = ScenarioConfig {
-        days: std::env::var("SANDWICH_DAYS").ok().and_then(|v| v.parse().ok()).unwrap_or(15),
+        days: std::env::var("SANDWICH_DAYS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(15),
         downtime_days: vec![],
         // A clearly visible disguise rate for the demonstration.
         disguised_sandwich_probability: 0.12,
@@ -39,13 +42,26 @@ fn main() {
     let truth = sim.truth();
 
     println!("=== the lower bound, quantified ===");
-    println!("ground-truth sandwiches landed:     {}", truth.total_sandwiches());
+    println!(
+        "ground-truth sandwiches landed:     {}",
+        truth.total_sandwiches()
+    );
     println!(
         "  of which disguised (length-4):    {}",
-        truth.per_day.iter().map(|d| d.disguised_sandwiches).sum::<u64>()
+        truth
+            .per_day
+            .iter()
+            .map(|d| d.disguised_sandwiches)
+            .sum::<u64>()
     );
-    println!("paper methodology (length-3 only):  {}", paper.total_sandwiches());
-    println!("extended detector (lengths 3–5):    {}", extended.total_sandwiches());
+    println!(
+        "paper methodology (length-3 only):  {}",
+        paper.total_sandwiches()
+    );
+    println!(
+        "extended detector (lengths 3–5):    {}",
+        extended.total_sandwiches()
+    );
     let recovered = extended.total_sandwiches() as i64 - paper.total_sandwiches() as i64;
     println!("attacks invisible to the paper:     {recovered}");
     println!(
@@ -53,6 +69,8 @@ fn main() {
         extended.total_sandwiches() as f64 / paper.total_sandwiches().max(1) as f64
     );
     println!("\nThe paper is right to call its counts a lower bound; with a 12%");
-    println!("disguise rate the true figure is ~{:.0}% higher than length-3 reveals.",
-        (extended.total_sandwiches() as f64 / paper.total_sandwiches().max(1) as f64 - 1.0) * 100.0);
+    println!(
+        "disguise rate the true figure is ~{:.0}% higher than length-3 reveals.",
+        (extended.total_sandwiches() as f64 / paper.total_sandwiches().max(1) as f64 - 1.0) * 100.0
+    );
 }

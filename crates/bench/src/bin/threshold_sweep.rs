@@ -7,7 +7,10 @@ use sandwich_dex::SolUsdOracle;
 
 fn main() {
     let scenario = sandwich_sim::ScenarioConfig {
-        days: std::env::var("SANDWICH_DAYS").ok().and_then(|v| v.parse().ok()).unwrap_or(15),
+        days: std::env::var("SANDWICH_DAYS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(15),
         downtime_days: vec![],
         ..sandwich_bench::figure_scenario()
     };
@@ -19,7 +22,9 @@ fn main() {
         "{:>14} {:>12} {:>16} {:>16} {:>14}",
         "threshold", "defensive", "share of len-1", "mean tip (lam)", "spend (USD)"
     );
-    let thresholds = [1_000u64, 5_000, 10_000, 50_000, 100_000, 200_000, 500_000, 1_000_000];
+    let thresholds = [
+        1_000u64, 5_000, 10_000, 50_000, 100_000, 200_000, 500_000, 1_000_000,
+    ];
     for (threshold, stats) in threshold_sweep(fr.run.dataset.bundles().iter(), &thresholds) {
         println!(
             "{:>14} {:>12} {:>15.1}% {:>16.0} {:>14.2}",

@@ -18,8 +18,13 @@ fn main() {
         cf.victims, cf.realized_loss_usd, cf.defense_cost_usd, cf.net_saving_usd
     );
 
-    println!("\n=== what if every victim had set slippage at X bps? (assumed realized ≈ 200 bps) ===");
-    println!("{:>10} {:>16} {:>16} {:>14}", "cap (bps)", "realized $", "capped $", "avoided $");
+    println!(
+        "\n=== what if every victim had set slippage at X bps? (assumed realized ≈ 200 bps) ==="
+    );
+    println!(
+        "{:>10} {:>16} {:>16} {:>14}",
+        "cap (bps)", "realized $", "capped $", "avoided $"
+    );
     for cap in [25u32, 50, 100, 200] {
         let s = slippage_counterfactual(&fr.report, cap, 200, &oracle);
         println!(
@@ -30,7 +35,10 @@ fn main() {
 
     println!("\n=== per-transaction defense economics (the §5 paradox) ===");
     let econ = defense_economics(&fr.report, &oracle);
-    println!("attack probability:        {:.4}%", econ.attack_probability * 100.0);
+    println!(
+        "attack probability:        {:.4}%",
+        econ.attack_probability * 100.0
+    );
     println!("mean loss if attacked:     ${:.2}", econ.mean_loss_usd);
     println!("p95 loss if attacked:      ${:.2}", econ.p95_loss_usd);
     println!("expected loss per tx:      ${:.6}", econ.expected_loss_usd);

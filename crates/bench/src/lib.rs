@@ -90,6 +90,7 @@ pub fn run_pipeline_with(scenario: ScenarioConfig) -> FigureRun {
         started.elapsed().as_secs_f64(),
         run.dataset.overlap_rate() * 100.0,
     );
+    eprintln!("[bench] metrics {}", run.metrics.to_json_string());
     let report = run.analyze(&AnalysisConfig::paper_defaults(days));
     let clock = run.clock;
     let truth = sim.truth();

@@ -100,7 +100,10 @@ pub struct AnalysisReport {
 impl AnalysisReport {
     /// Total collected bundles.
     pub fn total_bundles(&self) -> f64 {
-        self.bundles_by_len_per_day.iter().map(DailySeries::total).sum()
+        self.bundles_by_len_per_day
+            .iter()
+            .map(DailySeries::total)
+            .sum()
     }
 
     /// Total detected sandwiches.
@@ -135,7 +138,8 @@ impl AnalysisReport {
 
     /// Total attacker gains in USD (paper: $9.7M at full scale).
     pub fn total_attacker_gain_usd(&self) -> f64 {
-        self.oracle.sol_to_usd(self.attacker_gain_sol_per_day.total())
+        self.oracle
+            .sol_to_usd(self.attacker_gain_sol_per_day.total())
     }
 
     /// Total defensive spend in USD (paper: $2.4M at full scale).
@@ -146,7 +150,8 @@ impl AnalysisReport {
 
     /// Mean defensive tip in USD (paper: $0.0028).
     pub fn mean_defensive_tip_usd(&self) -> f64 {
-        self.oracle.sol_to_usd(self.defense.mean_defensive_tip() / 1e9)
+        self.oracle
+            .sol_to_usd(self.defense.mean_defensive_tip() / 1e9)
     }
 
     /// Fraction of sandwiches with no SOL leg (paper: 28%).
@@ -218,8 +223,7 @@ pub fn analyze(dataset: &Dataset, clock: &SlotClock, config: &AnalysisConfig) ->
                     if finding.sol_legged {
                         if let Some(loss) = finding.victim_loss_lamports {
                             victim_loss_sol_per_day.add(day, loss as f64 / 1e9);
-                            losses_usd
-                                .push(config.oracle.lamports_to_usd(Lamports(loss)));
+                            losses_usd.push(config.oracle.lamports_to_usd(Lamports(loss)));
                         }
                         if let Some(gain) = finding.attacker_gain_lamports {
                             attacker_gain_sol_per_day.add(day, gain as f64 / 1e9);
@@ -236,7 +240,6 @@ pub fn analyze(dataset: &Dataset, clock: &SlotClock, config: &AnalysisConfig) ->
             }
         }
     }
-
 
     AnalysisReport {
         days: config.days,
@@ -269,7 +272,12 @@ mod tests {
         Pubkey::derive("mint:AN")
     }
 
-    fn summary(seed: u64, slot: u64, tip: u64, tx_ids: Vec<sandwich_ledger::TransactionId>) -> BundleSummaryJson {
+    fn summary(
+        seed: u64,
+        slot: u64,
+        tip: u64,
+        tx_ids: Vec<sandwich_ledger::TransactionId>,
+    ) -> BundleSummaryJson {
         BundleSummaryJson {
             bundle_id: Hash::digest(&seed.to_le_bytes()),
             slot,

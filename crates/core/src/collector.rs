@@ -7,8 +7,11 @@
 //! transaction details — only for length-3 bundles, which average 2.77% of
 //! volume and carry the canonical sandwich shape.
 
+use std::sync::Arc;
+
 use sandwich_explorer::{RecentBundlesResponse, TxDetailsRequest, TxDetailsResponse};
 use sandwich_net::{retry, ClientError, HttpClient, RetryPolicy};
+use sandwich_obs::{Counter, Gauge, Histogram, Registry};
 use sandwich_types::SlotClock;
 
 use crate::dataset::{Dataset, PollRecord};
@@ -53,10 +56,40 @@ pub struct CollectorStats {
     pub attempts: u64,
 }
 
+/// Cached metric handles for collection health (`collector.` prefix).
+struct CollectorMetrics {
+    polls_ok: Arc<Counter>,
+    polls_failed: Arc<Counter>,
+    retry_attempts: Arc<Counter>,
+    overlap_misses: Arc<Counter>,
+    poll_seconds: Arc<Histogram>,
+    detail_backlog: Arc<Gauge>,
+    detail_batches: Arc<Counter>,
+    details_fetched: Arc<Counter>,
+    details_failed: Arc<Counter>,
+}
+
+impl CollectorMetrics {
+    fn new(registry: &Registry) -> Self {
+        CollectorMetrics {
+            polls_ok: registry.counter("collector.polls_ok"),
+            polls_failed: registry.counter("collector.polls_failed"),
+            retry_attempts: registry.counter("collector.retry_attempts"),
+            overlap_misses: registry.counter("collector.overlap_misses"),
+            poll_seconds: registry.histogram("collector.poll_seconds"),
+            detail_backlog: registry.gauge("collector.detail_backlog"),
+            detail_batches: registry.counter("collector.detail_batches"),
+            details_fetched: registry.counter("collector.details_fetched"),
+            details_failed: registry.counter("collector.details_failed"),
+        }
+    }
+}
+
 /// The polling client plus its accumulated dataset.
 pub struct Collector {
     client: HttpClient,
     config: CollectorConfig,
+    metrics: Option<CollectorMetrics>,
     /// Everything collected so far.
     pub dataset: Dataset,
     /// Health counters.
@@ -69,9 +102,22 @@ impl Collector {
         Collector {
             client: HttpClient::new(addr),
             config,
+            metrics: None,
             dataset: Dataset::new(),
             stats: CollectorStats::default(),
         }
+    }
+
+    /// A collector that also records collection health into `registry`
+    /// under the `collector.` prefix.
+    pub fn with_registry(
+        addr: std::net::SocketAddr,
+        config: CollectorConfig,
+        registry: &Registry,
+    ) -> Self {
+        let mut collector = Collector::new(addr, config);
+        collector.metrics = Some(CollectorMetrics::new(registry));
+        collector
     }
 
     /// One polling epoch: fetch the most recent page and ingest it.
@@ -82,6 +128,7 @@ impl Collector {
     ) -> Result<PollRecord, ClientError> {
         let client = self.client;
         let path = format!("/api/v1/bundles?limit={}", self.config.page_limit);
+        let started = std::time::Instant::now();
         let outcome = retry(
             self.config.retry,
             || client.get_json::<RecentBundlesResponse>(&path),
@@ -89,13 +136,29 @@ impl Collector {
         )
         .await;
         self.stats.attempts += outcome.attempts as u64;
+        if let Some(m) = &self.metrics {
+            m.poll_seconds.observe(started.elapsed().as_secs_f64());
+            m.retry_attempts
+                .add(outcome.attempts.saturating_sub(1) as u64);
+        }
         match outcome.result {
             Ok(page) => {
                 self.stats.polls_ok += 1;
-                Ok(self.dataset.ingest_page(&page.bundles, clock, day))
+                let had_prior_poll = !self.dataset.polls().is_empty();
+                let rec = self.dataset.ingest_page(&page.bundles, clock, day);
+                if let Some(m) = &self.metrics {
+                    m.polls_ok.inc();
+                    if had_prior_poll && !rec.overlapped_previous {
+                        m.overlap_misses.inc();
+                    }
+                }
+                Ok(rec)
             }
             Err(e) => {
                 self.stats.polls_failed += 1;
+                if let Some(m) = &self.metrics {
+                    m.polls_failed.inc();
+                }
                 Err(e)
             }
         }
@@ -108,7 +171,12 @@ impl Collector {
         let mut total = 0usize;
         for &len in self.config.detail_bundle_lens {
             loop {
-                let ids = self.dataset.pending_detail_ids(len, self.config.detail_batch);
+                let ids = self
+                    .dataset
+                    .pending_detail_ids(len, self.config.detail_batch);
+                if let Some(m) = &self.metrics {
+                    m.detail_backlog.set(ids.len() as i64);
+                }
                 if ids.is_empty() {
                     break;
                 }
@@ -120,10 +188,21 @@ impl Collector {
                 )
                 .await;
                 self.stats.attempts += outcome.attempts as u64;
+                if let Some(m) = &self.metrics {
+                    m.retry_attempts
+                        .add(outcome.attempts.saturating_sub(1) as u64);
+                    if outcome.result.is_err() {
+                        m.details_failed.inc();
+                    }
+                }
                 let resp = outcome.result?;
                 let added = self.dataset.ingest_details(&resp.transactions);
                 self.stats.detail_batches += 1;
                 self.stats.details_fetched += added as u64;
+                if let Some(m) = &self.metrics {
+                    m.detail_batches.inc();
+                    m.details_fetched.add(added as u64);
+                }
                 total += added;
             }
         }
@@ -167,7 +246,9 @@ mod tests {
         for b in &bundles {
             store.record_bundle(b);
         }
-        Explorer::start(Arc::new(RwLock::new(store)), cfg).await.unwrap()
+        Explorer::start(Arc::new(RwLock::new(store)), cfg)
+            .await
+            .unwrap()
     }
 
     #[tokio::test]
@@ -216,13 +297,21 @@ mod tests {
             }
         }
         assert!(ok >= 8, "{ok} of 10 polls succeeded");
-        assert!(collector.stats.attempts > collector.stats.polls_ok, "retries happened");
+        assert!(
+            collector.stats.attempts > collector.stats.polls_ok,
+            "retries happened"
+        );
         explorer.shutdown().await;
     }
 
     #[tokio::test]
     async fn fetches_details_for_length3_only() {
-        let bundles = vec![landed(1, 1, 1), landed(2, 3, 2), landed(3, 3, 3), landed(4, 5, 4)];
+        let bundles = vec![
+            landed(1, 1, 1),
+            landed(2, 3, 2),
+            landed(3, 3, 3),
+            landed(4, 5, 4),
+        ];
         let explorer = explorer_with(bundles, ExplorerConfig::default()).await;
         let mut collector = Collector::new(explorer.addr(), CollectorConfig::default());
         let clock = SlotClock::default();

@@ -132,10 +132,7 @@ pub fn slippage_counterfactual(
 }
 
 /// The §5 expected-value comparison.
-pub fn defense_economics(
-    report: &AnalysisReport,
-    oracle: &SolUsdOracle,
-) -> DefenseEconomics {
+pub fn defense_economics(report: &AnalysisReport, _oracle: &SolUsdOracle) -> DefenseEconomics {
     let attack_probability = report.sandwich_fraction();
     let losses: &Cdf = &report.loss_cdf_usd;
     let mean_loss = losses.mean().unwrap_or(0.0);
@@ -193,10 +190,11 @@ mod tests {
                 .map(|&l| oracle.lamports_to_usd(Lamports(l)))
                 .collect(),
         );
-        let mut defense = DefenseStats::default();
-        defense.length_one = 100;
-        defense.defensive = 86;
-        defense.defensive_tips_lamports = 86 * 10_000;
+        let defense = DefenseStats {
+            length_one: 100,
+            defensive: 86,
+            defensive_tips_lamports: 86 * 10_000,
+        };
         AnalysisReport {
             days: 1,
             bundles_by_len_per_day: std::array::from_fn(|i| {
@@ -229,7 +227,10 @@ mod tests {
         assert_eq!(cf.victims, 2);
         assert!((cf.realized_loss_usd - 0.06 * 242.0).abs() < 1e-6);
         assert!((cf.defense_cost_usd - 2.0 * 0.00001 * 242.0).abs() < 1e-9);
-        assert!(cf.net_saving_usd > 14.0, "defense overwhelmingly pays for victims");
+        assert!(
+            cf.net_saving_usd > 14.0,
+            "defense overwhelmingly pays for victims"
+        );
     }
 
     #[test]

@@ -82,7 +82,12 @@ impl Dataset {
     }
 
     /// Ingest one recent-bundles page (newest-first, as served).
-    pub fn ingest_page(&mut self, page: &[BundleSummaryJson], clock: &SlotClock, day: u64) -> PollRecord {
+    pub fn ingest_page(
+        &mut self,
+        page: &[BundleSummaryJson],
+        clock: &SlotClock,
+        day: u64,
+    ) -> PollRecord {
         let fetched = page.len();
         let mut new = 0usize;
         let mut overlapped = false;

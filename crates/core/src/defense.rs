@@ -92,7 +92,9 @@ mod tests {
             slot: Slot(seed),
             timestamp_ms: 0,
             tip: Lamports(tip),
-            tx_ids: (0..len).map(|i| kp.sign(&(seed * 10 + i as u64).to_le_bytes())).collect(),
+            tx_ids: (0..len)
+                .map(|i| kp.sign(&(seed * 10 + i as u64).to_le_bytes()))
+                .collect(),
         }
     }
 

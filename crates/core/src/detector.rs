@@ -98,7 +98,10 @@ pub fn extract_trade(meta: &TransactionMeta) -> Option<Trade> {
     }
 
     match (paid, received) {
-        (Some(p), Some(r)) if p.1 > 0 && r.1 > 0 => Some(Trade { paid: p, received: r }),
+        (Some(p), Some(r)) if p.1 > 0 && r.1 > 0 => Some(Trade {
+            paid: p,
+            received: r,
+        }),
         _ => None,
     }
 }
@@ -186,7 +189,9 @@ pub fn detect(config: &DetectorConfig, metas: [&TransactionMeta; 3]) -> Option<S
     let t3 = extract_trade(m3)?;
 
     // Criterion 2: same currency sets across all three trades.
-    if config.same_currencies && !(t1.currencies() == t2.currencies() && t2.currencies() == t3.currencies()) {
+    if config.same_currencies
+        && !(t1.currencies() == t2.currencies() && t2.currencies() == t3.currencies())
+    {
         return None;
     }
 
@@ -208,7 +213,8 @@ pub fn detect(config: &DetectorConfig, metas: [&TransactionMeta; 3]) -> Option<S
     // latter covers attackers who dump extra inventory in the back-run
     // (footnote 7), ending token-negative but proceeds-positive.
     if config.attacker_profits {
-        let mut nets: std::collections::BTreeMap<Currency, i128> = std::collections::BTreeMap::new();
+        let mut nets: std::collections::BTreeMap<Currency, i128> =
+            std::collections::BTreeMap::new();
         for t in [&t1, &t3] {
             *nets.entry(t.paid.0).or_insert(0) -= t.paid.1 as i128;
             *nets.entry(t.received.0).or_insert(0) += t.received.1 as i128;
@@ -226,7 +232,10 @@ pub fn detect(config: &DetectorConfig, metas: [&TransactionMeta; 3]) -> Option<S
     let sol_legged = currencies.contains(&Currency::Sol);
 
     let (victim_loss_lamports, attacker_gain_lamports) = if sol_legged {
-        (quantify_victim_loss(&t1, &t2), quantify_attacker_gain(&t1, &t3))
+        (
+            quantify_victim_loss(&t1, &t2),
+            quantify_attacker_gain(&t1, &t3),
+        )
     } else {
         (None, None)
     };
@@ -327,7 +336,13 @@ mod tests {
 
     /// A swap meta: signer pays `sol_paid` lamports (besides fee/tip) and
     /// receives `tokens` (negative = sells tokens, receives SOL).
-    fn swap_meta(signer_label: &str, n: u64, sol_delta_trade: i64, tokens: i128, tip: u64) -> TransactionMeta {
+    fn swap_meta(
+        signer_label: &str,
+        n: u64,
+        sol_delta_trade: i64,
+        tokens: i128,
+        tip: u64,
+    ) -> TransactionMeta {
         let kp = Keypair::from_label(signer_label);
         let fee = 5_000i64;
         let mut sol_deltas = vec![SolDelta {
@@ -475,8 +490,16 @@ mod tests {
                     delta: LamportDelta(-5_000),
                 }],
                 token_deltas: vec![
-                    TokenDelta { owner: kp.pubkey(), mint: mint_x, delta: dx },
-                    TokenDelta { owner: kp.pubkey(), mint: mint_y, delta: dy },
+                    TokenDelta {
+                        owner: kp.pubkey(),
+                        mint: mint_x,
+                        delta: dx,
+                    },
+                    TokenDelta {
+                        owner: kp.pubkey(),
+                        mint: mint_y,
+                        delta: dy,
+                    },
                 ],
             }
         };

@@ -26,8 +26,8 @@ pub mod stats;
 pub use analysis::{analyze, AnalysisConfig, AnalysisReport, DatedFinding};
 pub use collector::{Collector, CollectorConfig, CollectorStats};
 pub use counterfactual::{
-    defense_economics, defensive_counterfactual, slippage_counterfactual,
-    DefenseEconomics, DefensiveCounterfactual, SlippageCounterfactual,
+    defense_economics, defensive_counterfactual, slippage_counterfactual, DefenseEconomics,
+    DefensiveCounterfactual, SlippageCounterfactual,
 };
 pub use dataset::{CollectedBundle, CollectedDetail, Dataset, PollRecord};
 pub use defense::{is_defensive, is_defensive_at, threshold_sweep, DefenseStats};

@@ -12,6 +12,7 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 
 use sandwich_explorer::{Explorer, ExplorerConfig, HistoryStore, RetentionPolicy};
+use sandwich_obs::{Registry, Snapshot};
 use sandwich_sim::Simulation;
 use sandwich_types::SlotClock;
 
@@ -65,6 +66,11 @@ pub struct MeasurementRun {
     pub collector_stats: CollectorStats,
     /// Requests the explorer actually served.
     pub explorer_requests: u64,
+    /// Polls that failed even after retries (missed epochs).
+    pub polls_failed: u64,
+    /// Final metrics snapshot across every layer (`sim.`, `engine.`,
+    /// `bank.`, `explorer.`, `collector.`, `pipeline.`).
+    pub metrics: Snapshot,
     /// The slot clock shared by chain and collector.
     pub clock: SlotClock,
 }
@@ -90,8 +96,15 @@ pub async fn run_measurement(
         RetentionPolicy::BundleLengths(config.collector.detail_bundle_lens)
     };
     let store = Arc::new(RwLock::new(HistoryStore::new(clock, retention)));
-    let explorer = Explorer::start(store.clone(), config.explorer.clone()).await?;
-    let mut collector = Collector::new(explorer.addr(), config.collector);
+    // One registry shared by every layer, live at the explorer's /metrics.
+    let registry = Registry::new();
+    sim.attach_registry(&registry);
+    let explorer =
+        Explorer::start_with_registry(store.clone(), config.explorer.clone(), registry.clone())
+            .await?;
+    let mut collector = Collector::with_registry(explorer.addr(), config.collector, &registry);
+    let poll_errors = registry.counter("pipeline.poll_errors");
+    let detail_errors = registry.counter("pipeline.detail_errors");
 
     let mut tick_counter = 0u64;
     while let Some(outcome) = sim.step() {
@@ -101,28 +114,37 @@ pub async fn run_measurement(
 
         let downtime = sim.config().is_downtime(outcome.day);
         if !downtime {
-            if tick_counter % config.poll_every_ticks == 0 {
+            if tick_counter.is_multiple_of(config.poll_every_ticks) {
                 // Transient failures are survived by retries; a poll that
-                // still fails is simply a missed epoch, like the paper's.
-                let _ = collector.poll_bundles(&clock, outcome.day).await;
+                // still fails is a missed epoch, like the paper's — but it
+                // is counted, not discarded.
+                if collector.poll_bundles(&clock, outcome.day).await.is_err() {
+                    poll_errors.inc();
+                }
             }
-            if tick_counter % config.detail_every_ticks == 0 {
-                let _ = collector.fetch_pending_details().await;
+            if tick_counter.is_multiple_of(config.detail_every_ticks)
+                && collector.fetch_pending_details().await.is_err()
+            {
+                detail_errors.inc();
             }
         }
         tick_counter += 1;
     }
 
     // Final sweep for any details still pending.
-    let _ = collector.fetch_pending_details().await;
+    if collector.fetch_pending_details().await.is_err() {
+        detail_errors.inc();
+    }
 
     let explorer_requests = explorer.requests_served();
     explorer.shutdown().await;
 
     Ok(MeasurementRun {
         dataset: collector.dataset,
+        polls_failed: collector.stats.polls_failed,
         collector_stats: collector.stats,
         explorer_requests,
+        metrics: registry.snapshot(),
         clock,
     })
 }
@@ -148,7 +170,11 @@ mod tests {
             ..Default::default()
         };
         let run = run_measurement(&mut sim, pipeline).await.unwrap();
-        assert!(run.dataset.len() > 100, "collected {} bundles", run.dataset.len());
+        assert!(
+            run.dataset.len() > 100,
+            "collected {} bundles",
+            run.dataset.len()
+        );
         assert!(run.collector_stats.polls_ok > 0);
 
         let report = run.analyze(&AnalysisConfig::paper_defaults(days));
@@ -187,5 +213,19 @@ mod tests {
         // Defensive classification catches ground-truth defensive bundles.
         assert!(report.defense.defensive > 0);
         assert!(report.defense.defensive_fraction() > 0.5);
+
+        // Every layer reported into the shared registry.
+        let m = &run.metrics;
+        for prefix in ["sim.", "engine.", "bank.", "explorer.", "collector."] {
+            assert!(
+                m.counter_sum(prefix) > 0,
+                "no non-zero {prefix} counters in {:?}",
+                m.counters
+            );
+        }
+        assert_eq!(m.counter("collector.polls_failed"), Some(run.polls_failed));
+        assert_eq!(m.counter("pipeline.poll_errors"), Some(run.polls_failed));
+        assert!(m.histogram("explorer.bundles_seconds").unwrap().count > 0);
+        assert!(m.histogram("sim.tick_seconds").unwrap().count > 0);
     }
 }

@@ -58,11 +58,17 @@ pub fn figure1(report: &AnalysisReport, clock: &SlotClock, downtime: &[(u64, u64
             row.push(format!("{v:.0}"));
         }
         row.push(format!("{total:.0}"));
-        row.push(if is_down { "DOWN".into() } else { String::new() });
+        row.push(if is_down {
+            "DOWN".into()
+        } else {
+            String::new()
+        });
         rows.push(row);
     }
     render_table(
-        &["day", "date", "len1", "len2", "len3", "len4", "len5", "total", "gap"],
+        &[
+            "day", "date", "len1", "len2", "len3", "len4", "len5", "total", "gap",
+        ],
         &rows,
     )
 }
@@ -82,7 +88,14 @@ pub fn figure2(report: &AnalysisReport, clock: &SlotClock) -> String {
         ]);
     }
     render_table(
-        &["day", "date", "sandwiches", "defensive", "victim loss (SOL)", "attacker gain (SOL)"],
+        &[
+            "day",
+            "date",
+            "sandwiches",
+            "defensive",
+            "victim loss (SOL)",
+            "attacker gain (SOL)",
+        ],
         &rows,
     )
 }
@@ -102,8 +115,18 @@ pub fn figure3(report: &AnalysisReport) -> String {
 /// detected sandwich bundles, on a lamport grid.
 pub fn figure4(report: &AnalysisReport) -> String {
     let grid: [u64; 12] = [
-        1_000, 2_000, 5_000, 10_000, 50_000, 100_000, 500_000, 1_000_000, 2_000_000, 5_000_000,
-        20_000_000, 100_000_000,
+        1_000,
+        2_000,
+        5_000,
+        10_000,
+        50_000,
+        100_000,
+        500_000,
+        1_000_000,
+        2_000_000,
+        5_000_000,
+        20_000_000,
+        100_000_000,
     ];
     let frac = |cdf: &Cdf, x: u64| format!("{:.3}", cdf.fraction_at_or_below(x as f64));
     let rows: Vec<Vec<String>> = grid
@@ -147,9 +170,9 @@ pub fn table1(report: &AnalysisReport) -> String {
             "TOKEN_A".into(),
             format!(
                 "overpays ${:.2}",
-                report
-                    .oracle
-                    .lamports_to_usd(sandwich_types::Lamports(f.victim_loss_lamports.unwrap_or(0)))
+                report.oracle.lamports_to_usd(sandwich_types::Lamports(
+                    f.victim_loss_lamports.unwrap_or(0)
+                ))
             ),
         ],
         vec![
@@ -168,7 +191,14 @@ pub fn table1(report: &AnalysisReport) -> String {
         ],
     ];
     render_table(
-        &["Order", "Transaction", "Sender", "Action", "Token", "Effect"],
+        &[
+            "Order",
+            "Transaction",
+            "Sender",
+            "Action",
+            "Token",
+            "Effect",
+        ],
         &rows,
     )
 }
@@ -240,13 +270,19 @@ pub fn headline(report: &AnalysisReport, volume_scale: f64) -> String {
         vec![
             "median len-3 tip".into(),
             "1,000 lamports".into(),
-            format!("{:.0} lamports", report.tip_cdf_len3.median().unwrap_or(0.0)),
+            format!(
+                "{:.0} lamports",
+                report.tip_cdf_len3.median().unwrap_or(0.0)
+            ),
             "(scale-free)".into(),
         ],
         vec![
             "median sandwich tip".into(),
             ">2,000,000 lamports".into(),
-            format!("{:.0} lamports", report.tip_cdf_sandwich.median().unwrap_or(0.0)),
+            format!(
+                "{:.0} lamports",
+                report.tip_cdf_sandwich.median().unwrap_or(0.0)
+            ),
             "(scale-free)".into(),
         ],
         vec![
@@ -257,7 +293,12 @@ pub fn headline(report: &AnalysisReport, volume_scale: f64) -> String {
         ],
     ];
     render_table(
-        &["metric", "paper", "measured (scaled run)", "extrapolated full-scale"],
+        &[
+            "metric",
+            "paper",
+            "measured (scaled run)",
+            "extrapolated full-scale",
+        ],
         &rows,
     )
 }

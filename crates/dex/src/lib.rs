@@ -15,5 +15,7 @@ pub mod sandwich;
 
 pub use oracle::{SolUsdOracle, PAPER_USD_PER_SOL};
 pub use pool::PoolState;
-pub use program::{amm_program_id, create_pool_ix, pool_state, swap_ix, AmmInstruction, AmmProgram};
+pub use program::{
+    amm_program_id, create_pool_ix, pool_state, swap_ix, AmmInstruction, AmmProgram,
+};
 pub use sandwich::{plan_optimal, plan_with_front_run, victim_min_out, SandwichPlan};

@@ -10,7 +10,12 @@ pub const BPS: u64 = 10_000;
 /// Output amount for an exact-input swap against reserves, after the LP fee.
 ///
 /// Returns `None` on empty reserves or overflow-free degenerate input.
-pub fn quote_exact_in(amount_in: u64, reserve_in: u64, reserve_out: u64, fee_bps: u16) -> Option<u64> {
+pub fn quote_exact_in(
+    amount_in: u64,
+    reserve_in: u64,
+    reserve_out: u64,
+    fee_bps: u16,
+) -> Option<u64> {
     if reserve_in == 0 || reserve_out == 0 || amount_in == 0 {
         return None;
     }
@@ -25,7 +30,12 @@ pub fn quote_exact_in(amount_in: u64, reserve_in: u64, reserve_out: u64, fee_bps
 
 /// Input amount required to receive exactly `amount_out`, inverse of
 /// [`quote_exact_in`]. Returns `None` if `amount_out` exceeds reserves.
-pub fn quote_exact_out(amount_out: u64, reserve_in: u64, reserve_out: u64, fee_bps: u16) -> Option<u64> {
+pub fn quote_exact_out(
+    amount_out: u64,
+    reserve_in: u64,
+    reserve_out: u64,
+    fee_bps: u16,
+) -> Option<u64> {
     if reserve_in == 0 || reserve_out == 0 || amount_out >= reserve_out {
         return None;
     }

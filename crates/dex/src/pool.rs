@@ -46,7 +46,13 @@ impl PoolState {
     }
 
     /// Build state from an unordered pair and its reserves.
-    pub fn new(mint_a: Pubkey, reserve_a: u64, mint_b: Pubkey, reserve_b: u64, fee_bps: u16) -> Self {
+    pub fn new(
+        mint_a: Pubkey,
+        reserve_a: u64,
+        mint_b: Pubkey,
+        reserve_b: u64,
+        fee_bps: u16,
+    ) -> Self {
         if mint_a <= mint_b {
             PoolState {
                 mint_x: mint_a,
@@ -156,7 +162,10 @@ mod tests {
         let p1 = PoolState::new(a, 10, b, 20, 30);
         let p2 = PoolState::new(b, 20, a, 10, 30);
         assert_eq!(p1, p2);
-        assert_eq!(PoolState::address_for(&a, &b), PoolState::address_for(&b, &a));
+        assert_eq!(
+            PoolState::address_for(&a, &b),
+            PoolState::address_for(&b, &a)
+        );
     }
 
     #[test]

@@ -67,7 +67,12 @@ pub fn create_pool_ix(
 }
 
 /// Build the `Swap` instruction.
-pub fn swap_ix(mint_in: Pubkey, mint_out: Pubkey, amount_in: u64, min_amount_out: u64) -> Instruction {
+pub fn swap_ix(
+    mint_in: Pubkey,
+    mint_out: Pubkey,
+    amount_in: u64,
+    min_amount_out: u64,
+) -> Instruction {
     Instruction::Program {
         program_id: amm_program_id(),
         data: serde_json::to_vec(&AmmInstruction::Swap {
@@ -199,7 +204,11 @@ impl Program for AmmProgram {
 }
 
 /// Read a pool's current state straight from a bank.
-pub fn pool_state(bank: &sandwich_ledger::Bank, mint_a: &Pubkey, mint_b: &Pubkey) -> Option<PoolState> {
+pub fn pool_state(
+    bank: &sandwich_ledger::Bank,
+    mint_a: &Pubkey,
+    mint_b: &Pubkey,
+) -> Option<PoolState> {
     let addr = PoolState::address_for(mint_a, mint_b);
     match bank.account(&addr)?.data {
         sandwich_ledger::AccountData::ProgramState { bytes, .. } => PoolState::from_bytes(&bytes),
@@ -215,7 +224,13 @@ mod tests {
     use sandwich_ledger::{Bank, TokenInstruction, TransactionBuilder};
     use sandwich_types::Keypair;
 
-    fn create_mint_and_fund(bank: &Bank, lp: &Keypair, name: &str, amount: u64, nonce: u64) -> Pubkey {
+    fn create_mint_and_fund(
+        bank: &Bank,
+        lp: &Keypair,
+        name: &str,
+        amount: u64,
+        nonce: u64,
+    ) -> Pubkey {
         let mint = Pubkey::derive(&format!("mint:{name}"));
         let tx = TransactionBuilder::new(*lp)
             .nonce(nonce)

@@ -139,7 +139,12 @@ pub fn plan_optimal(
 
 /// Tokens the victim missed out on versus a clean (unsandwiched) swap —
 /// the per-victim loss quantification of paper §4.1.
-pub fn victim_loss_tokens(pool: &PoolState, mint_in: &Pubkey, victim_in: u64, actual_out: u64) -> i128 {
+pub fn victim_loss_tokens(
+    pool: &PoolState,
+    mint_in: &Pubkey,
+    victim_in: u64,
+    actual_out: u64,
+) -> i128 {
     match pool.quote(mint_in, victim_in) {
         Some(clean) => clean as i128 - actual_out as i128,
         None => 0,
@@ -247,7 +252,10 @@ mod tests {
         let p = pool();
         let victim_in = 50_000_000_000u64;
         let min_out = victim_min_out(&p, &sol(), victim_in, 1_000).unwrap(); // 10%
-        assert_eq!(max_front_run(&p, &sol(), victim_in, min_out, 1_000_000), 1_000_000);
+        assert_eq!(
+            max_front_run(&p, &sol(), victim_in, min_out, 1_000_000),
+            1_000_000
+        );
     }
 
     #[test]

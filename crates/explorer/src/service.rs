@@ -13,6 +13,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use sandwich_net::{Method, Request, Response, Router, Server, TokenBucket};
+use sandwich_obs::{Counter, Histogram, Registry};
 
 use crate::api::{
     RecentBundlesResponse, TipPercentilesResponse, TxDetailJson, TxDetailsRequest,
@@ -51,6 +52,36 @@ impl Default for ExplorerConfig {
     }
 }
 
+/// Cached metric handles for the request handlers (`explorer.` prefix).
+struct ExplorerMetrics {
+    bundles_requests: Arc<Counter>,
+    transactions_requests: Arc<Counter>,
+    percentiles_requests: Arc<Counter>,
+    requests_rejected: Arc<Counter>,
+    bundles_seconds: Arc<Histogram>,
+    transactions_seconds: Arc<Histogram>,
+    percentiles_seconds: Arc<Histogram>,
+    page_size: Arc<Histogram>,
+}
+
+impl ExplorerMetrics {
+    fn new(registry: &Registry) -> Self {
+        ExplorerMetrics {
+            bundles_requests: registry.counter("explorer.bundles_requests"),
+            transactions_requests: registry.counter("explorer.transactions_requests"),
+            percentiles_requests: registry.counter("explorer.percentiles_requests"),
+            requests_rejected: registry.counter("explorer.requests_rejected"),
+            bundles_seconds: registry.histogram("explorer.bundles_seconds"),
+            transactions_seconds: registry.histogram("explorer.transactions_seconds"),
+            percentiles_seconds: registry.histogram("explorer.percentiles_seconds"),
+            page_size: registry.histogram_with_buckets(
+                "explorer.page_size",
+                &[1.0, 10.0, 50.0, 200.0, 1_000.0, 10_000.0, 50_000.0],
+            ),
+        }
+    }
+}
+
 struct ServiceState {
     store: Arc<RwLock<HistoryStore>>,
     config: ExplorerConfig,
@@ -58,6 +89,7 @@ struct ServiceState {
     rng: parking_lot::Mutex<StdRng>,
     clock_ms: AtomicU64,
     requests_served: AtomicU64,
+    metrics: ExplorerMetrics,
 }
 
 impl ServiceState {
@@ -70,11 +102,13 @@ impl ServiceState {
     fn gate(&self) -> Option<Response> {
         if let Some(limiter) = &self.limiter {
             if !limiter.try_acquire(self.now_ms()) {
+                self.metrics.requests_rejected.inc();
                 return Some(Response::text(429, "rate limited"));
             }
         }
         let roll: f64 = self.rng.lock().gen();
         if roll < self.config.transient_failure_rate {
+            self.metrics.requests_rejected.inc();
             return Some(Response::text(503, "transient backend error"));
         }
         self.requests_served.fetch_add(1, Ordering::Relaxed);
@@ -85,14 +119,27 @@ impl ServiceState {
 /// A handle to a running explorer service.
 pub struct Explorer {
     state: Arc<ServiceState>,
+    registry: Registry,
     server: Server,
 }
 
 impl Explorer {
-    /// Start the service over `store` on an ephemeral local port.
+    /// Start the service over `store` on an ephemeral local port, with a
+    /// private metrics registry.
     pub async fn start(
         store: Arc<RwLock<HistoryStore>>,
         config: ExplorerConfig,
+    ) -> std::io::Result<Explorer> {
+        Explorer::start_with_registry(store, config, Registry::new()).await
+    }
+
+    /// Start the service recording into a caller-supplied registry, so its
+    /// `explorer.` metrics land in the same snapshot as the rest of the
+    /// pipeline. The registry is also mounted at `GET /metrics`.
+    pub async fn start_with_registry(
+        store: Arc<RwLock<HistoryStore>>,
+        config: ExplorerConfig,
+        registry: Registry,
     ) -> std::io::Result<Explorer> {
         let limiter = config
             .rate_limit
@@ -102,12 +149,22 @@ impl Explorer {
             rng: parking_lot::Mutex::new(StdRng::seed_from_u64(config.seed)),
             clock_ms: AtomicU64::new(0),
             requests_served: AtomicU64::new(0),
+            metrics: ExplorerMetrics::new(&registry),
             store,
             config,
         });
-        let router = build_router(state.clone());
+        let router = build_router(state.clone()).with_metrics(registry.clone());
         let server = Server::bind("127.0.0.1:0", router).await?;
-        Ok(Explorer { state, server })
+        Ok(Explorer {
+            state,
+            registry,
+            server,
+        })
+    }
+
+    /// The registry this service records into (and serves at `/metrics`).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
     }
 
     /// The service's base address.
@@ -145,13 +202,19 @@ fn build_router(state: Arc<ServiceState>) -> Router {
             let state = s2.clone();
             async move { handle_transactions(&state, req) }
         })
-        .route(Method::Get, "/api/v1/tips/percentiles", move |req: Request| {
-            let state = s3.clone();
-            async move { handle_percentiles(&state, req) }
-        })
+        .route(
+            Method::Get,
+            "/api/v1/tips/percentiles",
+            move |req: Request| {
+                let state = s3.clone();
+                async move { handle_percentiles(&state, req) }
+            },
+        )
 }
 
 fn handle_bundles(state: &ServiceState, req: Request) -> Response {
+    state.metrics.bundles_requests.inc();
+    let _timer = state.metrics.bundles_seconds.clone().start_timer();
     if let Some(resp) = state.gate() {
         return resp;
     }
@@ -163,10 +226,13 @@ fn handle_bundles(state: &ServiceState, req: Request) -> Response {
         },
     };
     let bundles = state.store.read().recent(limit);
+    state.metrics.page_size.observe(bundles.len() as f64);
     Response::json(&RecentBundlesResponse { bundles })
 }
 
 fn handle_transactions(state: &ServiceState, req: Request) -> Response {
+    state.metrics.transactions_requests.inc();
+    let _timer = state.metrics.transactions_seconds.clone().start_timer();
     if let Some(resp) = state.gate() {
         return resp;
     }
@@ -193,6 +259,8 @@ fn handle_transactions(state: &ServiceState, req: Request) -> Response {
 }
 
 fn handle_percentiles(state: &ServiceState, _req: Request) -> Response {
+    state.metrics.percentiles_requests.inc();
+    let _timer = state.metrics.percentiles_seconds.clone().start_timer();
     if let Some(resp) = state.gate() {
         return resp;
     }
@@ -252,14 +320,17 @@ mod tests {
         .unwrap();
         let client = HttpClient::new(explorer.addr());
 
-        let page: RecentBundlesResponse = client.get_json("/api/v1/bundles?limit=10").await.unwrap();
+        let page: RecentBundlesResponse =
+            client.get_json("/api/v1/bundles?limit=10").await.unwrap();
         assert_eq!(page.bundles.len(), 10);
         assert_eq!(page.bundles[0].slot, 99, "newest first");
 
         // Requests above max_page are clamped, exactly like the paper's
         // 50,000 cap.
-        let page: RecentBundlesResponse =
-            client.get_json("/api/v1/bundles?limit=99999").await.unwrap();
+        let page: RecentBundlesResponse = client
+            .get_json("/api/v1/bundles?limit=99999")
+            .await
+            .unwrap();
         assert_eq!(page.bundles.len(), 50);
 
         let resp = client.get("/api/v1/bundles?limit=abc").await.unwrap();
@@ -272,7 +343,9 @@ mod tests {
     async fn transactions_endpoint_resolves_batches() {
         let store = filled_store(5);
         let known_id = store.read().recent(1)[0].transactions[0];
-        let explorer = Explorer::start(store, ExplorerConfig::default()).await.unwrap();
+        let explorer = Explorer::start(store, ExplorerConfig::default())
+            .await
+            .unwrap();
         let client = HttpClient::new(explorer.addr());
 
         let unknown = Keypair::from_label("nobody").sign(b"x");
@@ -352,6 +425,32 @@ mod tests {
         // Advance simulated time: tokens refill.
         explorer.set_now_ms(2_000);
         assert_eq!(client.get("/api/v1/bundles").await.unwrap().status, 200);
+        explorer.shutdown().await;
+    }
+
+    #[tokio::test]
+    async fn metrics_endpoint_reports_request_counts() {
+        let explorer = Explorer::start(filled_store(20), ExplorerConfig::default())
+            .await
+            .unwrap();
+        let client = HttpClient::new(explorer.addr());
+        for _ in 0..3 {
+            assert_eq!(
+                client.get("/api/v1/bundles?limit=5").await.unwrap().status,
+                200
+            );
+        }
+
+        let resp = client.get("/metrics").await.unwrap();
+        assert_eq!(resp.status, 200);
+        let body = String::from_utf8(resp.body.to_vec()).unwrap();
+        assert!(body.contains("\"explorer.bundles_requests\":3"), "{body}");
+
+        let snap = explorer.registry().snapshot();
+        assert_eq!(snap.counter("explorer.bundles_requests"), Some(3));
+        assert_eq!(snap.histogram("explorer.page_size").unwrap().count, 3);
+        assert_eq!(snap.histogram("explorer.bundles_seconds").unwrap().count, 3);
+
         explorer.shutdown().await;
     }
 

@@ -44,7 +44,10 @@ impl std::fmt::Display for BundleError {
         match self {
             BundleError::Empty => write!(f, "empty bundle"),
             BundleError::TooLong { len } => {
-                write!(f, "bundle of {len} transactions exceeds max {MAX_BUNDLE_LEN}")
+                write!(
+                    f,
+                    "bundle of {len} transactions exceeds max {MAX_BUNDLE_LEN}"
+                )
             }
             BundleError::TipTooLow { declared, minimum } => {
                 write!(f, "declared tip {declared} below minimum {minimum}")
@@ -142,10 +145,7 @@ mod tests {
     fn rejects_empty_and_oversized() {
         assert_eq!(Bundle::new(vec![]), Err(BundleError::Empty));
         let txs: Vec<_> = (0..6).map(|i| tx("a", i)).collect();
-        assert_eq!(
-            Bundle::new(txs),
-            Err(BundleError::TooLong { len: 6 })
-        );
+        assert_eq!(Bundle::new(txs), Err(BundleError::TooLong { len: 6 }));
     }
 
     #[test]

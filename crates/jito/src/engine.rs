@@ -86,11 +86,42 @@ pub struct SlotResult {
     pub dropped: Vec<DroppedBundle>,
 }
 
+/// Cached metric handles for the auction hot path.
+struct EngineMetrics {
+    auction_size: Arc<sandwich_obs::Histogram>,
+    landed: Arc<sandwich_obs::Counter>,
+    dropped_invalid: Arc<sandwich_obs::Counter>,
+    dropped_conflict: Arc<sandwich_obs::Counter>,
+    dropped_exec_failed: Arc<sandwich_obs::Counter>,
+    tip_lamports: Arc<sandwich_obs::Histogram>,
+}
+
+/// Realized-tip bucket bounds in lamports: the 1,000 minimum up through
+/// whale tips, roughly one decade per bucket with a mid-decade step.
+const TIP_BUCKETS: [f64; 10] = [1e3, 1e4, 1e5, 5e5, 1e6, 5e6, 1e7, 5e7, 1e8, 1e9];
+
+impl EngineMetrics {
+    fn new(registry: &sandwich_obs::Registry) -> Self {
+        EngineMetrics {
+            auction_size: registry.histogram_with_buckets(
+                "engine.auction_size",
+                &[1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 1000.0],
+            ),
+            landed: registry.counter("engine.bundles_landed"),
+            dropped_invalid: registry.counter("engine.bundles_dropped_invalid"),
+            dropped_conflict: registry.counter("engine.bundles_dropped_conflict"),
+            dropped_exec_failed: registry.counter("engine.bundles_dropped_exec_failed"),
+            tip_lamports: registry.histogram_with_buckets("engine.tip_lamports", &TIP_BUCKETS),
+        }
+    }
+}
+
 /// The per-validator block engine.
 pub struct BlockEngine {
     bank: Arc<Bank>,
     parent_hash: Hash,
     min_tip: Lamports,
+    metrics: Option<EngineMetrics>,
 }
 
 impl BlockEngine {
@@ -101,6 +132,7 @@ impl BlockEngine {
             bank,
             parent_hash,
             min_tip: MIN_JITO_TIP,
+            metrics: None,
         }
     }
 
@@ -108,6 +140,12 @@ impl BlockEngine {
     pub fn with_min_tip(mut self, min_tip: Lamports) -> Self {
         self.min_tip = min_tip;
         self
+    }
+
+    /// Record auction outcomes (sizes, landed/dropped bundles, realized tip
+    /// distribution) into `registry` under the `engine.` prefix.
+    pub fn attach_metrics(&mut self, registry: &sandwich_obs::Registry) {
+        self.metrics = Some(EngineMetrics::new(registry));
     }
 
     /// The underlying bank.
@@ -125,6 +163,9 @@ impl BlockEngine {
         bundles: Vec<Bundle>,
         regular: Vec<Transaction>,
     ) -> SlotResult {
+        if let Some(m) = &self.metrics {
+            m.auction_size.observe(bundles.len() as f64);
+        }
         let mut landed: Vec<LandedBundle> = Vec::new();
         let mut dropped: Vec<DroppedBundle> = Vec::new();
         let mut landed_ids: HashSet<_> = HashSet::new();
@@ -149,7 +190,11 @@ impl BlockEngine {
 
         for bundle in valid {
             let bundle_id = bundle.id();
-            if bundle.transactions.iter().any(|t| landed_ids.contains(&t.id())) {
+            if bundle
+                .transactions
+                .iter()
+                .any(|t| landed_ids.contains(&t.id()))
+            {
                 dropped.push(DroppedBundle {
                     bundle_id,
                     reason: DropReason::Conflict,
@@ -209,6 +254,20 @@ impl BlockEngine {
         let block = Block::derive(slot, self.parent_hash, &all_metas);
         self.parent_hash = block.blockhash;
         self.bank.set_latest_blockhash(block.blockhash);
+
+        if let Some(m) = &self.metrics {
+            m.landed.add(landed.len() as u64);
+            for lb in &landed {
+                m.tip_lamports.observe(lb.tip.0 as f64);
+            }
+            for d in &dropped {
+                match d.reason {
+                    DropReason::Invalid(_) => m.dropped_invalid.inc(),
+                    DropReason::Conflict => m.dropped_conflict.inc(),
+                    DropReason::ExecutionFailed { .. } => m.dropped_exec_failed.inc(),
+                }
+            }
+        }
 
         SlotResult {
             block,
@@ -289,7 +348,9 @@ mod tests {
         let (mut engine, a, b) = engine();
         // Both searchers bundle the same victim transaction; higher tip wins.
         let victim = Keypair::from_label("victim");
-        engine.bank().airdrop(victim.pubkey(), Lamports::from_sol(1.0));
+        engine
+            .bank()
+            .airdrop(victim.pubkey(), Lamports::from_sol(1.0));
         let victim_tx = TransactionBuilder::new(victim).nonce(1).build();
 
         let low = Bundle::new(vec![tipping_tx(&a, 10_000, 1), victim_tx.clone()]).unwrap();
@@ -307,7 +368,9 @@ mod tests {
     fn failing_transaction_drops_whole_bundle() {
         let (mut engine, a, _) = engine();
         let broke = Keypair::from_label("broke");
-        engine.bank().airdrop(broke.pubkey(), Lamports::from_sol(1.0));
+        engine
+            .bank()
+            .airdrop(broke.pubkey(), Lamports::from_sol(1.0));
         // Second transaction tries to move more than it has → fails → atomic drop.
         let bad = TransactionBuilder::new(broke)
             .transfer(a.pubkey(), Lamports::from_sol(50.0))
@@ -354,9 +417,30 @@ mod tests {
     }
 
     #[test]
+    fn metrics_record_auction_outcomes() {
+        let (mut engine, a, _) = engine();
+        let registry = sandwich_obs::Registry::new();
+        engine.attach_metrics(&registry);
+        let good = Bundle::new(vec![tipping_tx(&a, 50_000, 1)]).unwrap();
+        let low = Bundle::new(vec![tipping_tx(&a, 500, 2)]).unwrap();
+        engine.produce_slot(Slot(1), vec![good, low], vec![]);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("engine.bundles_landed"), Some(1));
+        assert_eq!(snap.counter("engine.bundles_dropped_invalid"), Some(1));
+        assert_eq!(snap.histogram("engine.auction_size").unwrap().count, 1);
+        let tips = snap.histogram("engine.tip_lamports").unwrap();
+        assert_eq!(tips.count, 1);
+        assert!((tips.sum - 50_000.0).abs() < 1e-9);
+    }
+
+    #[test]
     fn blockhash_chains_across_slots() {
         let (mut engine, a, _) = engine();
-        let r1 = engine.produce_slot(Slot(1), vec![Bundle::new(vec![tipping_tx(&a, 5_000, 1)]).unwrap()], vec![]);
+        let r1 = engine.produce_slot(
+            Slot(1),
+            vec![Bundle::new(vec![tipping_tx(&a, 5_000, 1)]).unwrap()],
+            vec![],
+        );
         let r2 = engine.produce_slot(Slot(2), vec![], vec![]);
         assert_eq!(r2.block.parent_hash, r1.block.blockhash);
         assert_eq!(engine.bank().latest_blockhash(), r2.block.blockhash);

@@ -4,9 +4,7 @@
 use std::collections::HashSet;
 use std::sync::Arc;
 
-use sandwich_jito::{
-    realized_tip, tip_ix, BlockEngine, Bundle, DropReason, Mempool, Visibility,
-};
+use sandwich_jito::{realized_tip, tip_ix, BlockEngine, Bundle, DropReason, Mempool, Visibility};
 use sandwich_ledger::{Bank, Transaction, TransactionBuilder};
 use sandwich_types::{Keypair, Lamports, Slot};
 
@@ -75,11 +73,7 @@ fn mempool_feeds_regular_flow_and_bundles_take_priority() {
     // A searcher observes it and bundles it with a tip.
     let observed = mempool.observe(42);
     assert_eq!(observed.len(), 1);
-    let bundle = Bundle::new(vec![
-        tip_tx(&user(1), 500_000, 1),
-        observed[0].tx.clone(),
-    ])
-    .unwrap();
+    let bundle = Bundle::new(vec![tip_tx(&user(1), 500_000, 1), observed[0].tx.clone()]).unwrap();
 
     // The leader drains the pool for the same slot.
     let regular = mempool.drain();
@@ -102,7 +96,9 @@ fn five_transaction_bundle_is_fully_atomic() {
 
     // A chain of transfers where each hop funds the next signer; tx 5
     // fails (overdraw) → the whole bundle must vanish.
-    let fresh: Vec<Keypair> = (0..5).map(|i| Keypair::from_label(&format!("fresh-{i}"))).collect();
+    let fresh: Vec<Keypair> = (0..5)
+        .map(|i| Keypair::from_label(&format!("fresh-{i}")))
+        .collect();
     bank.airdrop(fresh[0].pubkey(), Lamports::from_sol(10.0));
     let mut txs = vec![tip_tx(&user(0), 10_000, 99)];
     for i in 0..3 {
@@ -128,7 +124,11 @@ fn five_transaction_bundle_is_fully_atomic() {
         DropReason::ExecutionFailed { index: 4, .. }
     ));
     for f in &fresh[1..] {
-        assert_eq!(bank.lamports(&f.pubkey()), Lamports::ZERO, "no partial state");
+        assert_eq!(
+            bank.lamports(&f.pubkey()),
+            Lamports::ZERO,
+            "no partial state"
+        );
     }
 }
 
@@ -140,8 +140,5 @@ fn realized_tip_matches_declared_for_simple_bundles() {
     let declared = bundle.declared_tip();
     let result = engine.produce_slot(Slot(1), vec![bundle], vec![]);
     assert_eq!(result.bundles[0].tip, declared);
-    assert_eq!(
-        realized_tip(&result.bundles[0].metas[0]),
-        declared
-    );
+    assert_eq!(realized_tip(&result.bundles[0].metas[0]), declared);
 }

@@ -63,7 +63,9 @@ impl<'a> TxContext<'a> {
 
     /// Lamport balance of an account (zero if it does not exist).
     pub fn lamports(&self, key: &Pubkey) -> Lamports {
-        self.account(key).map(|a| a.lamports).unwrap_or(Lamports::ZERO)
+        self.account(key)
+            .map(|a| a.lamports)
+            .unwrap_or(Lamports::ZERO)
     }
 
     /// Move lamports between accounts, creating the recipient if needed.
@@ -83,10 +85,7 @@ impl<'a> TxContext<'a> {
             .ok_or(TxError::InsufficientLamports { account: from })?;
         self.set_account(from, src);
         let mut dst = self.account_or_wallet(&to);
-        dst.lamports = dst
-            .lamports
-            .checked_add(amount)
-            .ok_or(TxError::Overflow)?;
+        dst.lamports = dst.lamports.checked_add(amount).ok_or(TxError::Overflow)?;
         self.set_account(to, dst);
         self.recorder.debit_sol(from, amount);
         self.recorder.credit_sol(to, amount);
@@ -138,12 +137,16 @@ impl<'a> TxContext<'a> {
     }
 
     /// Remove tokens from an owner's balance.
-    pub fn debit_tokens(&mut self, mint: Pubkey, owner: Pubkey, amount: u64) -> Result<(), TxError> {
+    pub fn debit_tokens(
+        &mut self,
+        mint: Pubkey,
+        owner: Pubkey,
+        amount: u64,
+    ) -> Result<(), TxError> {
         let addr = token_account_address(&owner, &mint);
-        let mut acct = self.account(&addr).ok_or(TxError::InsufficientTokens {
-            owner,
-            mint,
-        })?;
+        let mut acct = self
+            .account(&addr)
+            .ok_or(TxError::InsufficientTokens { owner, mint })?;
         match &mut acct.data {
             AccountData::TokenAccount { amount: bal, .. } => {
                 *bal = bal
@@ -158,7 +161,12 @@ impl<'a> TxContext<'a> {
     }
 
     /// Add tokens to an owner's balance, creating the account if needed.
-    pub fn credit_tokens(&mut self, mint: Pubkey, owner: Pubkey, amount: u64) -> Result<(), TxError> {
+    pub fn credit_tokens(
+        &mut self,
+        mint: Pubkey,
+        owner: Pubkey,
+        amount: u64,
+    ) -> Result<(), TxError> {
         let addr = token_account_address(&owner, &mint);
         let mut acct = self.account(&addr).unwrap_or(Account {
             lamports: Lamports::ZERO,
@@ -218,6 +226,38 @@ impl std::fmt::Display for BatchFailure {
 
 impl std::error::Error for BatchFailure {}
 
+/// Cached metric handles for committed execution paths.
+struct BankMetrics {
+    tx_executed: Arc<sandwich_obs::Counter>,
+    tx_failed: Arc<sandwich_obs::Counter>,
+    tx_rejected: Arc<sandwich_obs::Counter>,
+    batches_aborted: Arc<sandwich_obs::Counter>,
+    fees_lamports: Arc<sandwich_obs::Counter>,
+}
+
+impl BankMetrics {
+    fn new(registry: &sandwich_obs::Registry) -> Self {
+        BankMetrics {
+            tx_executed: registry.counter("bank.tx_executed"),
+            tx_failed: registry.counter("bank.tx_failed"),
+            tx_rejected: registry.counter("bank.tx_rejected"),
+            batches_aborted: registry.counter("bank.batches_aborted"),
+            fees_lamports: registry.counter("bank.fees_lamports"),
+        }
+    }
+
+    /// Account for a batch of landed metas.
+    fn record_committed(&self, metas: &[TransactionMeta]) {
+        self.tx_executed.add(metas.len() as u64);
+        for meta in metas {
+            if !meta.success {
+                self.tx_failed.inc();
+            }
+            self.fees_lamports.add(meta.fee.0);
+        }
+    }
+}
+
 /// Account state plus execution engine.
 pub struct Bank {
     accounts: RwLock<HashMap<Pubkey, Account>>,
@@ -225,6 +265,7 @@ pub struct Bank {
     latest_blockhash: RwLock<Hash>,
     validator: Pubkey,
     verify_signatures: bool,
+    metrics: RwLock<Option<BankMetrics>>,
 }
 
 impl Bank {
@@ -236,7 +277,15 @@ impl Bank {
             latest_blockhash: RwLock::new(Hash::digest(b"genesis")),
             validator,
             verify_signatures: true,
+            metrics: RwLock::new(None),
         }
+    }
+
+    /// Record committed execution (transactions landed/failed, fees
+    /// collected, batches aborted) into `registry` under the `bank.` prefix.
+    /// Simulation-only paths ([`Bank::simulate_batch_atomic`]) stay silent.
+    pub fn attach_metrics(&self, registry: &sandwich_obs::Registry) {
+        *self.metrics.write() = Some(BankMetrics::new(registry));
     }
 
     /// Disable signature verification (large simulations; forging is not
@@ -285,7 +334,9 @@ impl Bank {
 
     /// Lamport balance (zero for missing accounts).
     pub fn lamports(&self, key: &Pubkey) -> Lamports {
-        self.account(key).map(|a| a.lamports).unwrap_or(Lamports::ZERO)
+        self.account(key)
+            .map(|a| a.lamports)
+            .unwrap_or(Lamports::ZERO)
     }
 
     /// Token balance of `owner` for `mint`.
@@ -313,11 +364,23 @@ impl Bank {
     /// rejected outright and left no trace.
     pub fn execute_transaction(&self, tx: &Transaction) -> Result<TransactionMeta, TxError> {
         let mut overlay = HashMap::new();
-        let meta = {
+        let result = {
             let base = self.accounts.read();
-            self.execute_with_overlay(tx, &base, &mut overlay)?
+            self.execute_with_overlay(tx, &base, &mut overlay)
+        };
+        let meta = match result {
+            Ok(meta) => meta,
+            Err(e) => {
+                if let Some(m) = self.metrics.read().as_ref() {
+                    m.tx_rejected.inc();
+                }
+                return Err(e);
+            }
         };
         self.commit(overlay);
+        if let Some(m) = self.metrics.read().as_ref() {
+            m.record_committed(std::slice::from_ref(&meta));
+        }
         Ok(meta)
     }
 
@@ -327,11 +390,23 @@ impl Bank {
         &self,
         txs: &[Transaction],
     ) -> Result<Vec<TransactionMeta>, BatchFailure> {
-        let (metas, overlay) = {
+        let result = {
             let base = self.accounts.read();
-            self.run_batch(txs, &base)?
+            self.run_batch(txs, &base)
+        };
+        let (metas, overlay) = match result {
+            Ok(ok) => ok,
+            Err(failure) => {
+                if let Some(m) = self.metrics.read().as_ref() {
+                    m.batches_aborted.inc();
+                }
+                return Err(failure);
+            }
         };
         self.commit(overlay);
+        if let Some(m) = self.metrics.read().as_ref() {
+            m.record_committed(&metas);
+        }
         Ok(metas)
     }
 
@@ -530,6 +605,40 @@ mod tests {
     }
 
     #[test]
+    fn metrics_count_committed_and_rejected_transactions() {
+        let (bank, alice, bob) = setup();
+        let registry = sandwich_obs::Registry::new();
+        bank.attach_metrics(&registry);
+
+        let ok = TransactionBuilder::new(alice)
+            .transfer(bob.pubkey(), Lamports(1_000))
+            .build();
+        let meta = bank.execute_transaction(&ok).unwrap();
+
+        // Unfunded fee payer → rejected outright, no trace on the ledger.
+        let broke = Keypair::from_label("broke-metrics");
+        let rejected = TransactionBuilder::new(broke)
+            .transfer(bob.pubkey(), Lamports(1))
+            .build();
+        assert!(bank.execute_transaction(&rejected).is_err());
+
+        // Atomic batch with a failing transfer → aborted, nothing counted
+        // as executed.
+        let too_big = TransactionBuilder::new(bob)
+            .nonce(9)
+            .transfer(alice.pubkey(), Lamports::from_sol(500.0))
+            .build();
+        assert!(bank.execute_batch_atomic(&[too_big]).is_err());
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("bank.tx_executed"), Some(1));
+        assert_eq!(snap.counter("bank.tx_failed"), Some(0));
+        assert_eq!(snap.counter("bank.tx_rejected"), Some(1));
+        assert_eq!(snap.counter("bank.batches_aborted"), Some(1));
+        assert_eq!(snap.counter("bank.fees_lamports"), Some(meta.fee.0));
+    }
+
+    #[test]
     fn transfer_moves_lamports_and_charges_fee() {
         let (bank, alice, bob) = setup();
         let tx = TransactionBuilder::new(alice)
@@ -564,7 +673,10 @@ mod tests {
         assert_eq!(bank.lamports(&alice.pubkey()), before - BASE_FEE);
         assert_eq!(bank.lamports(&bob.pubkey()), Lamports::from_sol(10.0));
         // Meta shows only the fee.
-        assert_eq!(meta.sol_delta_of(&alice.pubkey()), LamportDelta(-(BASE_FEE.0 as i64)));
+        assert_eq!(
+            meta.sol_delta_of(&alice.pubkey()),
+            LamportDelta(-(BASE_FEE.0 as i64))
+        );
     }
 
     #[test]
@@ -586,7 +698,10 @@ mod tests {
             .transfer(bob.pubkey(), Lamports(1))
             .build();
         tx.message.nonce = 99; // invalidates the signature
-        assert_eq!(bank.execute_transaction(&tx), Err(TxError::InvalidSignature));
+        assert_eq!(
+            bank.execute_transaction(&tx),
+            Err(TxError::InvalidSignature)
+        );
     }
 
     #[test]
@@ -645,8 +760,14 @@ mod tests {
         let (bank, alice, bob) = setup();
         let carol = Keypair::from_label("carol").pubkey();
         let txs = vec![
-            TransactionBuilder::new(alice).nonce(1).transfer(carol, Lamports(10)).build(),
-            TransactionBuilder::new(bob).nonce(1).transfer(carol, Lamports(20)).build(),
+            TransactionBuilder::new(alice)
+                .nonce(1)
+                .transfer(carol, Lamports(10))
+                .build(),
+            TransactionBuilder::new(bob)
+                .nonce(1)
+                .transfer(carol, Lamports(20))
+                .build(),
         ];
         let metas = bank.execute_batch_atomic(&txs).unwrap();
         assert_eq!(metas.len(), 2);
@@ -659,7 +780,9 @@ mod tests {
         let carol = Keypair::from_label("carol").pubkey();
         let total_before = bank.total_lamports();
         let txs = vec![
-            TransactionBuilder::new(alice).transfer(carol, Lamports(10)).build(),
+            TransactionBuilder::new(alice)
+                .transfer(carol, Lamports(10))
+                .build(),
             // Bob tries to send more than he holds — fails.
             TransactionBuilder::new(bob)
                 .transfer(carol, Lamports::from_sol(100.0))

@@ -210,7 +210,14 @@ mod tests {
         assert_eq!(sol.len(), 1);
         assert_eq!(sol[0].account, b);
         assert_eq!(sol[0].delta, LamportDelta(-3));
-        assert_eq!(tok, vec![TokenDelta { owner: a, mint, delta: 7 }]);
+        assert_eq!(
+            tok,
+            vec![TokenDelta {
+                owner: a,
+                mint,
+                delta: 7
+            }]
+        );
     }
 
     #[test]
@@ -221,10 +228,26 @@ mod tests {
         let meta = meta_with(
             vec![],
             vec![
-                TokenDelta { owner: a, mint: m2, delta: 1 },
-                TokenDelta { owner: a, mint: m1, delta: -1 },
-                TokenDelta { owner: a, mint: m2, delta: 2 },
-                TokenDelta { owner: a, mint: m1, delta: 0 },
+                TokenDelta {
+                    owner: a,
+                    mint: m2,
+                    delta: 1,
+                },
+                TokenDelta {
+                    owner: a,
+                    mint: m1,
+                    delta: -1,
+                },
+                TokenDelta {
+                    owner: a,
+                    mint: m2,
+                    delta: 2,
+                },
+                TokenDelta {
+                    owner: a,
+                    mint: m1,
+                    delta: 0,
+                },
             ],
             a,
         );
@@ -239,8 +262,14 @@ mod tests {
         let tip = Pubkey::derive("tip-account");
         let meta = meta_with(
             vec![
-                SolDelta { account: payer, delta: LamportDelta(-10_000) },
-                SolDelta { account: tip, delta: LamportDelta(5_000) },
+                SolDelta {
+                    account: payer,
+                    delta: LamportDelta(-10_000),
+                },
+                SolDelta {
+                    account: tip,
+                    delta: LamportDelta(5_000),
+                },
             ],
             vec![],
             payer,
@@ -250,8 +279,14 @@ mod tests {
         let other = pk("other");
         let meta2 = meta_with(
             vec![
-                SolDelta { account: payer, delta: LamportDelta(-10_000) },
-                SolDelta { account: other, delta: LamportDelta(6_000) },
+                SolDelta {
+                    account: payer,
+                    delta: LamportDelta(-10_000),
+                },
+                SolDelta {
+                    account: other,
+                    delta: LamportDelta(6_000),
+                },
             ],
             vec![],
             payer,
@@ -263,9 +298,18 @@ mod tests {
         let validator = pk("validator");
         let meta3 = meta_with(
             vec![
-                SolDelta { account: payer, delta: LamportDelta(-10_000) },
-                SolDelta { account: validator, delta: LamportDelta(5_000) },
-                SolDelta { account: tip, delta: LamportDelta(5_000) },
+                SolDelta {
+                    account: payer,
+                    delta: LamportDelta(-10_000),
+                },
+                SolDelta {
+                    account: validator,
+                    delta: LamportDelta(5_000),
+                },
+                SolDelta {
+                    account: tip,
+                    delta: LamportDelta(5_000),
+                },
             ],
             vec![],
             payer,
@@ -273,9 +317,18 @@ mod tests {
         assert!(meta3.is_sol_transfer_only_to(&[tip]));
         let meta4 = meta_with(
             vec![
-                SolDelta { account: payer, delta: LamportDelta(-10_000) },
-                SolDelta { account: validator, delta: LamportDelta(5_000) },
-                SolDelta { account: other, delta: LamportDelta(5_000) },
+                SolDelta {
+                    account: payer,
+                    delta: LamportDelta(-10_000),
+                },
+                SolDelta {
+                    account: validator,
+                    delta: LamportDelta(5_000),
+                },
+                SolDelta {
+                    account: other,
+                    delta: LamportDelta(5_000),
+                },
             ],
             vec![],
             payer,
@@ -288,8 +341,15 @@ mod tests {
         let payer = pk("payer");
         let tip = Pubkey::derive("tip-account");
         let meta = meta_with(
-            vec![SolDelta { account: tip, delta: LamportDelta(1_000) }],
-            vec![TokenDelta { owner: payer, mint: Pubkey::derive("m"), delta: 1 }],
+            vec![SolDelta {
+                account: tip,
+                delta: LamportDelta(1_000),
+            }],
+            vec![TokenDelta {
+                owner: payer,
+                mint: Pubkey::derive("m"),
+                delta: 1,
+            }],
             payer,
         );
         assert!(!meta.is_sol_transfer_only_to(&[tip]));
@@ -301,12 +361,26 @@ mod tests {
         let mint = Pubkey::derive("m");
         let meta = meta_with(
             vec![
-                SolDelta { account: a, delta: LamportDelta(5) },
-                SolDelta { account: a, delta: LamportDelta(-2) },
+                SolDelta {
+                    account: a,
+                    delta: LamportDelta(5),
+                },
+                SolDelta {
+                    account: a,
+                    delta: LamportDelta(-2),
+                },
             ],
             vec![
-                TokenDelta { owner: a, mint, delta: 10 },
-                TokenDelta { owner: a, mint, delta: -4 },
+                TokenDelta {
+                    owner: a,
+                    mint,
+                    delta: 10,
+                },
+                TokenDelta {
+                    owner: a,
+                    mint,
+                    delta: -4,
+                },
             ],
             a,
         );

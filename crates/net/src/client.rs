@@ -44,10 +44,14 @@ async fn read_response(
         if hline.is_empty() {
             break;
         }
-        let (k, v) = hline.split_once(':').ok_or(HttpError::Malformed("header"))?;
+        let (k, v) = hline
+            .split_once(':')
+            .ok_or(HttpError::Malformed("header"))?;
         let (k, v) = (k.trim().to_ascii_lowercase(), v.trim().to_string());
         if k == "content-length" {
-            content_length = v.parse().map_err(|_| HttpError::Malformed("content-length"))?;
+            content_length = v
+                .parse()
+                .map_err(|_| HttpError::Malformed("content-length"))?;
         }
         headers.push((k, v));
     }
@@ -195,9 +199,21 @@ mod tests {
 
     #[test]
     fn transient_classification() {
-        assert!(ClientError::Status { status: 503, body: String::new() }.is_transient());
-        assert!(ClientError::Status { status: 429, body: String::new() }.is_transient());
-        assert!(!ClientError::Status { status: 400, body: String::new() }.is_transient());
+        assert!(ClientError::Status {
+            status: 503,
+            body: String::new()
+        }
+        .is_transient());
+        assert!(ClientError::Status {
+            status: 429,
+            body: String::new()
+        }
+        .is_transient());
+        assert!(!ClientError::Status {
+            status: 400,
+            body: String::new()
+        }
+        .is_transient());
         assert!(ClientError::Http(HttpError::ConnectionClosed).is_transient());
     }
 }

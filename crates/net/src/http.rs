@@ -104,7 +104,9 @@ impl Request {
 
     /// A header value (key is matched case-insensitively).
     pub fn header(&self, key: &str) -> Option<&str> {
-        self.headers.get(&key.to_ascii_lowercase()).map(String::as_str)
+        self.headers
+            .get(&key.to_ascii_lowercase())
+            .map(String::as_str)
     }
 
     /// Whether the client asked to keep the connection open.
@@ -265,7 +267,9 @@ pub async fn read_request(reader: &mut BufReader<OwnedReadHalf>) -> Result<Reque
         if hline.is_empty() {
             break;
         }
-        let (k, v) = hline.split_once(':').ok_or(HttpError::Malformed("header"))?;
+        let (k, v) = hline
+            .split_once(':')
+            .ok_or(HttpError::Malformed("header"))?;
         headers.insert(k.trim().to_ascii_lowercase(), v.trim().to_string());
     }
 
@@ -275,7 +279,9 @@ pub async fn read_request(reader: &mut BufReader<OwnedReadHalf>) -> Result<Reque
 
     let body = match headers.get("content-length") {
         Some(len) => {
-            let len: usize = len.parse().map_err(|_| HttpError::Malformed("content-length"))?;
+            let len: usize = len
+                .parse()
+                .map_err(|_| HttpError::Malformed("content-length"))?;
             if len > MAX_BODY {
                 return Err(HttpError::BodyTooLarge {
                     declared: len,
@@ -427,6 +433,9 @@ mod tests {
         });
         let mut client = tokio::net::TcpStream::connect(addr).await.unwrap();
         client.write_all(b"NONSENSE\r\n\r\n").await.unwrap();
-        assert!(matches!(server.await.unwrap(), Err(HttpError::Malformed(_))));
+        assert!(matches!(
+            server.await.unwrap(),
+            Err(HttpError::Malformed(_))
+        ));
     }
 }

@@ -9,12 +9,14 @@
 
 pub mod client;
 pub mod http;
+pub mod metrics;
 pub mod ratelimit;
 pub mod retry;
 pub mod server;
 
 pub use client::{ClientError, HttpClient};
 pub use http::{HttpError, Method, Request, Response};
+pub use metrics::metrics_response;
 pub use ratelimit::TokenBucket;
 pub use retry::{retry, RetryOutcome, RetryPolicy};
 pub use server::{Router, Server};

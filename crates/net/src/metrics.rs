@@ -1,0 +1,72 @@
+//! The `GET /metrics` endpoint: mount a [`sandwich_obs::Registry`] on any
+//! [`Router`].
+//!
+//! The endpoint serves two renderings of the same snapshot:
+//!
+//! * JSON (the default) — `{"counters": .., "gauges": .., "histograms": ..}`
+//! * Prometheus text exposition — when the request asks for it via
+//!   `?format=prometheus` or an `Accept: text/plain` header.
+
+use sandwich_obs::Registry;
+
+use crate::http::{Method, Request, Response};
+use crate::server::Router;
+
+/// Render a metrics response for `req` from a registry snapshot.
+pub fn metrics_response(registry: &Registry, req: &Request) -> Response {
+    let snapshot = registry.snapshot();
+    let wants_prometheus = req.query_param("format") == Some("prometheus")
+        || req
+            .header("accept")
+            .is_some_and(|a| a.contains("text/plain"));
+    if wants_prometheus {
+        Response::text(200, snapshot.to_prometheus_text())
+    } else {
+        Response::new(200, snapshot.to_json_string().into_bytes())
+            .header("content-type", "application/json")
+    }
+}
+
+impl Router {
+    /// Register `GET /metrics` serving the registry's live snapshot.
+    pub fn with_metrics(self, registry: Registry) -> Router {
+        self.route(Method::Get, "/metrics", move |req: Request| {
+            let registry = registry.clone();
+            async move { metrics_response(&registry, &req) }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::HttpClient;
+    use crate::server::Server;
+
+    #[tokio::test]
+    async fn metrics_endpoint_serves_json_and_prometheus() {
+        let registry = Registry::new();
+        registry.counter("test.hits").add(5);
+        registry.histogram("test.lat").observe(0.01);
+        let server = Server::bind("127.0.0.1:0", Router::new().with_metrics(registry.clone()))
+            .await
+            .unwrap();
+        let client = HttpClient::new(server.local_addr());
+
+        let json = client.get("/metrics").await.unwrap();
+        assert_eq!(json.status, 200);
+        assert_eq!(json.header_value("content-type"), Some("application/json"));
+        let body = String::from_utf8(json.body.to_vec()).unwrap();
+        assert!(body.contains("\"test.hits\":5"), "{body}");
+
+        // Counters recorded after the first scrape show up in the next one.
+        registry.counter("test.hits").inc();
+        let prom = client.get("/metrics?format=prometheus").await.unwrap();
+        let body = String::from_utf8(prom.body.to_vec()).unwrap();
+        assert!(body.contains("# TYPE test_hits counter"), "{body}");
+        assert!(body.contains("test_hits 6"), "{body}");
+        assert!(body.contains("test_lat_bucket"), "{body}");
+
+        server.shutdown().await;
+    }
+}

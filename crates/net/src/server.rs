@@ -171,7 +171,9 @@ mod tests {
 
     fn test_router() -> Router {
         Router::new()
-            .route(Method::Get, "/ping", |_req| async { Response::text(200, "pong") })
+            .route(Method::Get, "/ping", |_req| async {
+                Response::text(200, "pong")
+            })
             .route(Method::Post, "/echo", |req: Request| async move {
                 Response::new(200, req.body)
             })
@@ -241,7 +243,9 @@ mod tests {
         use tokio::io::{AsyncReadExt, AsyncWriteExt};
 
         let server = Server::bind("127.0.0.1:0", test_router()).await.unwrap();
-        let mut stream = tokio::net::TcpStream::connect(server.local_addr()).await.unwrap();
+        let mut stream = tokio::net::TcpStream::connect(server.local_addr())
+            .await
+            .unwrap();
 
         // Two pipelined requests over one connection; second closes it.
         stream
@@ -267,7 +271,9 @@ mod tests {
         use tokio::io::{AsyncReadExt, AsyncWriteExt};
 
         let server = Server::bind("127.0.0.1:0", test_router()).await.unwrap();
-        let mut stream = tokio::net::TcpStream::connect(server.local_addr()).await.unwrap();
+        let mut stream = tokio::net::TcpStream::connect(server.local_addr())
+            .await
+            .unwrap();
         stream
             .write_all(b"GET /ping HTTP/2.0-nonsense\r\n\r\n")
             .await

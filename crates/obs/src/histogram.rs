@@ -1,0 +1,266 @@
+//! Fixed-bucket histograms and the drop-to-observe span timer.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Default bucket upper bounds for latencies measured in seconds: 100µs up
+/// to 10s, roughly ×2.5 apart. Matches the scales in play here — in-process
+/// HTTP round trips at the bottom, multi-slot collector polls at the top.
+pub const DEFAULT_LATENCY_BUCKETS: [f64; 12] = [
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.1, 0.5, 2.5, 10.0,
+];
+
+/// A histogram with fixed bucket upper bounds plus an implicit `+Inf`
+/// overflow bucket. Observation is two relaxed atomic adds and one
+/// compare-exchange loop (for the running sum); percentiles are estimated at
+/// snapshot time by linear interpolation inside the target bucket.
+#[derive(Debug)]
+pub struct Histogram {
+    /// Finite upper bounds, strictly increasing.
+    bounds: Vec<f64>,
+    /// Per-bucket counts; `counts[bounds.len()]` is the overflow bucket.
+    counts: Vec<AtomicU64>,
+    /// Total observation count.
+    count: AtomicU64,
+    /// Running sum, stored as `f64` bits.
+    sum_bits: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram over the given finite bucket bounds (must be strictly
+    /// increasing and non-empty).
+    pub fn with_buckets(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram buckets must be strictly increasing"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// A histogram with [`DEFAULT_LATENCY_BUCKETS`].
+    pub fn latency() -> Self {
+        Self::with_buckets(&DEFAULT_LATENCY_BUCKETS)
+    }
+
+    /// Record one observation.
+    pub fn observe(&self, value: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + value).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// The finite bucket upper bounds.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts including the trailing overflow bucket.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Estimate the `q`-quantile (`0.0..=1.0`) from bucket counts.
+    ///
+    /// Within the target bucket the estimate interpolates linearly between
+    /// the bucket's bounds; observations in the overflow bucket clamp to the
+    /// largest finite bound (the histogram cannot see past it). Returns 0.0
+    /// for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let counts = self.bucket_counts();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * total as f64).max(1.0);
+        let mut cumulative = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            let next = cumulative + c;
+            if rank <= next as f64 || i == counts.len() - 1 {
+                if i >= self.bounds.len() {
+                    // Overflow bucket: the best we can say is "at least the
+                    // largest finite bound".
+                    return *self.bounds.last().unwrap();
+                }
+                let lower = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let upper = self.bounds[i];
+                if c == 0 {
+                    return upper;
+                }
+                let within = (rank - cumulative as f64) / c as f64;
+                return lower + within.clamp(0.0, 1.0) * (upper - lower);
+            }
+            cumulative = next;
+        }
+        *self.bounds.last().unwrap()
+    }
+
+    /// Start a timer that observes its elapsed seconds when dropped.
+    pub fn start_timer(self: &Arc<Self>) -> SpanTimer {
+        SpanTimer {
+            histogram: Arc::clone(self),
+            started: Instant::now(),
+            armed: true,
+        }
+    }
+}
+
+/// Times a span of work and records the elapsed seconds into its histogram
+/// on drop, so early returns and `?` propagation are still measured.
+#[derive(Debug)]
+pub struct SpanTimer {
+    histogram: Arc<Histogram>,
+    started: Instant,
+    armed: bool,
+}
+
+impl SpanTimer {
+    /// Observe now and return the elapsed seconds; the drop no longer fires.
+    pub fn stop(mut self) -> f64 {
+        let elapsed = self.started.elapsed().as_secs_f64();
+        self.histogram.observe(elapsed);
+        self.armed = false;
+        elapsed
+    }
+
+    /// Drop without recording anything.
+    pub fn discard(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for SpanTimer {
+    fn drop(&mut self) {
+        if self.armed {
+            self.histogram.observe(self.started.elapsed().as_secs_f64());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observations_land_in_the_right_buckets() {
+        let h = Histogram::with_buckets(&[1.0, 2.0, 4.0]);
+        for v in [0.5, 1.0, 1.5, 3.0, 100.0] {
+            h.observe(v);
+        }
+        // `<=` bound semantics: 1.0 goes in the first bucket.
+        assert_eq!(h.bucket_counts(), vec![2, 1, 1, 1]);
+        assert_eq!(h.count(), 5);
+        assert!((h.sum() - 106.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_interpolate_and_clamp() {
+        let h = Histogram::with_buckets(&[10.0, 20.0, 40.0]);
+        for _ in 0..50 {
+            h.observe(5.0); // first bucket
+        }
+        for _ in 0..50 {
+            h.observe(15.0); // second bucket
+        }
+        let p50 = h.quantile(0.5);
+        assert!((0.0..=10.0).contains(&p50), "p50 was {p50}");
+        let p99 = h.quantile(0.99);
+        assert!((10.0..=20.0).contains(&p99), "p99 was {p99}");
+        // Everything beyond the last bound clamps to it.
+        let h = Histogram::with_buckets(&[1.0, 2.0]);
+        h.observe(1e9);
+        assert_eq!(h.quantile(0.99), 2.0);
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_zero() {
+        let h = Histogram::latency();
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q() {
+        let h = Histogram::latency();
+        let mut v = 0.00005;
+        for _ in 0..200 {
+            h.observe(v);
+            v *= 1.07;
+        }
+        let mut prev = 0.0;
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            let est = h.quantile(q);
+            assert!(est >= prev, "quantile({q}) = {est} < {prev}");
+            prev = est;
+        }
+    }
+
+    #[test]
+    fn span_timer_observes_on_drop_and_stop() {
+        let h = Arc::new(Histogram::latency());
+        {
+            let _t = h.start_timer();
+        }
+        let elapsed = h.start_timer().stop();
+        assert!(elapsed >= 0.0);
+        h.start_timer().discard();
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn concurrent_observations_preserve_count() {
+        let h = Arc::new(Histogram::with_buckets(&[0.5]));
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for _ in 0..5_000 {
+                        h.observe(1.0);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 20_000);
+        assert!((h.sum() - 20_000.0).abs() < 1e-6);
+    }
+}

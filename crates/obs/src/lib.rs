@@ -1,0 +1,33 @@
+//! Process-local observability: named counters, gauges, and fixed-bucket
+//! histograms behind a cheap-to-clone [`Registry`].
+//!
+//! Every layer of the measurement stack (HTTP service, collector, block
+//! engine, bank, sim driver) records into a shared registry; the explorer's
+//! `GET /metrics` endpoint and the figure binaries render the same
+//! [`Snapshot`]. The crate deliberately has no external dependencies beyond
+//! the workspace lock shim: metric hot paths are single atomic RMW
+//! operations, and registration is a once-per-name lock acquisition.
+//!
+//! # Example
+//!
+//! ```
+//! use sandwich_obs::Registry;
+//!
+//! let registry = Registry::new();
+//! registry.counter("demo.requests").inc();
+//! let latency = registry.histogram("demo.latency_seconds");
+//! {
+//!     let _timer = latency.start_timer(); // observes on drop
+//! }
+//! let snap = registry.snapshot();
+//! assert_eq!(snap.counter("demo.requests"), Some(1));
+//! ```
+
+mod counter;
+mod histogram;
+mod registry;
+mod render;
+
+pub use counter::{Counter, Gauge};
+pub use histogram::{Histogram, SpanTimer, DEFAULT_LATENCY_BUCKETS};
+pub use registry::{HistogramSnapshot, Registry, Snapshot};

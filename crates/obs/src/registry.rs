@@ -1,0 +1,217 @@
+//! The metric registry and its point-in-time snapshot.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::counter::{Counter, Gauge};
+use crate::histogram::Histogram;
+
+#[derive(Default)]
+struct Inner {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+/// A shared, cheap-to-clone collection of named metrics.
+///
+/// Clones share storage, so every layer of the pipeline can hold its own
+/// handle while `GET /metrics` renders one coherent view. Lookup is a
+/// read-lock on the name map; the returned `Arc` should be cached by hot
+/// paths so steady-state recording is lock-free.
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Arc<Inner>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or create the counter `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        get_or_insert(&self.inner.counters, name, || Arc::new(Counter::new()))
+    }
+
+    /// Get or create the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        get_or_insert(&self.inner.gauges, name, || Arc::new(Gauge::new()))
+    }
+
+    /// Get or create the histogram `name` with the default latency buckets.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        get_or_insert(&self.inner.histograms, name, || {
+            Arc::new(Histogram::latency())
+        })
+    }
+
+    /// Get or create the histogram `name` with explicit bucket bounds.
+    ///
+    /// The bounds only apply on first creation; later calls return the
+    /// existing histogram unchanged.
+    pub fn histogram_with_buckets(&self, name: &str, bounds: &[f64]) -> Arc<Histogram> {
+        get_or_insert(&self.inner.histograms, name, || {
+            Arc::new(Histogram::with_buckets(bounds))
+        })
+    }
+
+    /// A point-in-time copy of every metric, sorted by name.
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = self
+            .inner
+            .counters
+            .read()
+            .iter()
+            .map(|(name, c)| (name.clone(), c.get()))
+            .collect();
+        let gauges = self
+            .inner
+            .gauges
+            .read()
+            .iter()
+            .map(|(name, g)| (name.clone(), g.get()))
+            .collect();
+        let histograms = self
+            .inner
+            .histograms
+            .read()
+            .iter()
+            .map(|(name, h)| {
+                (
+                    name.clone(),
+                    HistogramSnapshot {
+                        count: h.count(),
+                        sum: h.sum(),
+                        p50: h.quantile(0.50),
+                        p95: h.quantile(0.95),
+                        p99: h.quantile(0.99),
+                        buckets: h.bounds().iter().copied().zip(h.bucket_counts()).collect(),
+                    },
+                )
+            })
+            .collect();
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+fn get_or_insert<T>(
+    map: &RwLock<BTreeMap<String, Arc<T>>>,
+    name: &str,
+    make: impl FnOnce() -> Arc<T>,
+) -> Arc<T> {
+    if let Some(existing) = map.read().get(name) {
+        return Arc::clone(existing);
+    }
+    let mut write = map.write();
+    Arc::clone(write.entry(name.to_string()).or_insert_with(make))
+}
+
+/// Frozen histogram state inside a [`Snapshot`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Estimated median.
+    pub p50: f64,
+    /// Estimated 95th percentile.
+    pub p95: f64,
+    /// Estimated 99th percentile.
+    pub p99: f64,
+    /// `(upper_bound, count)` per finite bucket (overflow bucket omitted;
+    /// it is `count` minus the bucket counts' sum).
+    pub buckets: Vec<(f64, u64)>,
+}
+
+/// A point-in-time copy of a [`Registry`], sorted by metric name.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    /// Counter totals.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values.
+    pub gauges: Vec<(String, i64)>,
+    /// Histogram summaries.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl Snapshot {
+    /// The counter's value, if it exists.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// The gauge's value, if it exists.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// The histogram's summary, if it exists.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Sum of all counters whose name starts with `prefix` — convenient for
+    /// "any requests at all?" style assertions over per-endpoint counters.
+    pub fn counter_sum(&self, prefix: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(n, _)| n.starts_with(prefix))
+            .map(|&(_, v)| v)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_returns_same_metric() {
+        let r = Registry::new();
+        r.counter("a").inc();
+        r.counter("a").inc();
+        assert_eq!(r.counter("a").get(), 2);
+        let clone = r.clone();
+        clone.counter("a").inc();
+        assert_eq!(r.snapshot().counter("a"), Some(3));
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_queryable() {
+        let r = Registry::new();
+        r.counter("z.last").add(9);
+        r.counter("a.first").inc();
+        r.gauge("depth").set(-3);
+        r.histogram("lat").observe(0.002);
+        let snap = r.snapshot();
+        let names: Vec<_> = snap.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["a.first", "z.last"]);
+        assert_eq!(snap.gauge("depth"), Some(-3));
+        assert_eq!(snap.histogram("lat").unwrap().count, 1);
+        assert_eq!(snap.counter_sum("a."), 1);
+        assert_eq!(snap.counter_sum(""), 10);
+    }
+
+    #[test]
+    fn histogram_buckets_fixed_at_creation() {
+        let r = Registry::new();
+        let h = r.histogram_with_buckets("h", &[1.0, 2.0]);
+        let again = r.histogram_with_buckets("h", &[99.0]);
+        assert_eq!(h.bounds(), again.bounds());
+    }
+}

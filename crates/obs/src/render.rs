@@ -1,0 +1,157 @@
+//! Text renderings of a [`Snapshot`]: Prometheus exposition format and a
+//! plain JSON object. Both are hand-rolled so the crate stays free of
+//! serialization dependencies; metric names are dot-separated identifiers,
+//! so escaping needs are minimal.
+
+use std::fmt::Write;
+
+use crate::registry::Snapshot;
+
+impl Snapshot {
+    /// Prometheus text exposition format. Dots and dashes in metric names
+    /// become underscores to satisfy the `[a-zA-Z_][a-zA-Z0-9_]*` rule.
+    pub fn to_prometheus_text(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let n = prom_name(name);
+            let _ = writeln!(out, "# TYPE {n} counter");
+            let _ = writeln!(out, "{n} {value}");
+        }
+        for (name, value) in &self.gauges {
+            let n = prom_name(name);
+            let _ = writeln!(out, "# TYPE {n} gauge");
+            let _ = writeln!(out, "{n} {value}");
+        }
+        for (name, h) in &self.histograms {
+            let n = prom_name(name);
+            let _ = writeln!(out, "# TYPE {n} histogram");
+            let mut cumulative = 0u64;
+            for &(bound, count) in &h.buckets {
+                cumulative += count;
+                let _ = writeln!(out, "{n}_bucket{{le=\"{}\"}} {cumulative}", fmt_f64(bound));
+            }
+            let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", h.count);
+            let _ = writeln!(out, "{n}_sum {}", fmt_f64(h.sum));
+            let _ = writeln!(out, "{n}_count {}", h.count);
+        }
+        out
+    }
+
+    /// A JSON object:
+    /// `{"counters": {..}, "gauges": {..}, "histograms": {name: {count, sum,
+    /// p50, p95, p99}}}`.
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{value}", json_string(name));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, value)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{value}", json_string(name));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{}:{{\"count\":{},\"sum\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+                json_string(name),
+                h.count,
+                fmt_f64(h.sum),
+                fmt_f64(h.p50),
+                fmt_f64(h.p95),
+                fmt_f64(h.p99)
+            );
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Sanitize a dot-separated metric name into a Prometheus identifier.
+fn prom_name(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// JSON-quote a metric name (names are ASCII identifiers, but stay safe).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Finite floats in a JSON-compatible spelling (`1.0`, not `1`).
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "0.0".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::registry::Registry;
+
+    #[test]
+    fn prometheus_text_has_cumulative_buckets() {
+        let r = Registry::new();
+        r.counter("http.requests").add(3);
+        let h = r.histogram_with_buckets("http.latency", &[1.0, 2.0]);
+        h.observe(0.5);
+        h.observe(1.5);
+        h.observe(99.0);
+        let text = r.snapshot().to_prometheus_text();
+        assert!(text.contains("# TYPE http_requests counter"));
+        assert!(text.contains("http_requests 3"));
+        assert!(text.contains("http_latency_bucket{le=\"1.0\"} 1"));
+        assert!(text.contains("http_latency_bucket{le=\"2.0\"} 2"));
+        assert!(text.contains("http_latency_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("http_latency_count 3"));
+    }
+
+    #[test]
+    fn json_rendering_is_parseable_shape() {
+        let r = Registry::new();
+        r.counter("c").inc();
+        r.gauge("g").set(-2);
+        r.histogram("h").observe(0.001);
+        let json = r.snapshot().to_json_string();
+        assert!(json.starts_with("{\"counters\":{"));
+        assert!(json.contains("\"c\":1"));
+        assert!(json.contains("\"g\":-2"));
+        assert!(json.contains("\"count\":1"));
+        assert!(json.ends_with("}}"));
+    }
+
+    #[test]
+    fn empty_snapshot_renders() {
+        let snap = Registry::new().snapshot();
+        assert_eq!(
+            snap.to_json_string(),
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{}}"
+        );
+        assert_eq!(snap.to_prometheus_text(), "");
+    }
+}

@@ -145,7 +145,9 @@ impl ScenarioConfig {
 
     /// True when the collector is down on `day`.
     pub fn is_downtime(&self, day: u64) -> bool {
-        self.downtime_days.iter().any(|&(a, b)| day >= a && day <= b)
+        self.downtime_days
+            .iter()
+            .any(|&(a, b)| day >= a && day <= b)
     }
 
     /// Slot of (day, tick): blocks are spread uniformly over the day.
@@ -237,9 +239,14 @@ mod tests {
         let c = ScenarioConfig::default();
         assert!(c.defensive_fraction_on_day(0) < c.defensive_fraction_on_day(119));
         // Period average lands near the paper's 86%.
-        let avg: f64 =
-            (0..120).map(|d| c.defensive_fraction_on_day(d)).sum::<f64>() / 120.0;
-        assert!((avg - 0.86).abs() < 0.01, "average defensive fraction {avg}");
+        let avg: f64 = (0..120)
+            .map(|d| c.defensive_fraction_on_day(d))
+            .sum::<f64>()
+            / 120.0;
+        assert!(
+            (avg - 0.86).abs() < 0.01,
+            "average defensive fraction {avg}"
+        );
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! not do against mainnet.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -111,6 +112,25 @@ pub struct TickOutcome {
     pub result: SlotResult,
 }
 
+/// Cached metric handles for the tick loop.
+struct SimMetrics {
+    ticks: Arc<sandwich_obs::Counter>,
+    slots_produced: Arc<sandwich_obs::Counter>,
+    bundles_submitted: Arc<sandwich_obs::Counter>,
+    tick_seconds: Arc<sandwich_obs::Histogram>,
+}
+
+impl SimMetrics {
+    fn new(registry: &sandwich_obs::Registry) -> Self {
+        SimMetrics {
+            ticks: registry.counter("sim.ticks"),
+            slots_produced: registry.counter("sim.slots_produced"),
+            bundles_submitted: registry.counter("sim.bundles_submitted"),
+            tick_seconds: registry.histogram("sim.tick_seconds"),
+        }
+    }
+}
+
 /// The running simulation.
 pub struct Simulation {
     config: ScenarioConfig,
@@ -120,6 +140,7 @@ pub struct Simulation {
     rng: StdRng,
     clock: SlotClock,
     tick: u64,
+    metrics: Option<SimMetrics>,
     pub(crate) truth: GroundTruth,
 }
 
@@ -147,8 +168,19 @@ impl Simulation {
             rng,
             clock: SlotClock::default(),
             tick: 0,
+            metrics: None,
             truth,
         }
+    }
+
+    /// Record driver progress (ticks, slots, submitted bundles, wall-clock
+    /// tick durations) into `registry` under the `sim.` prefix, and wire
+    /// the block engine (`engine.`) and bank (`bank.`) into the same
+    /// registry so one snapshot covers the whole producing side.
+    pub fn attach_registry(&mut self, registry: &sandwich_obs::Registry) {
+        self.metrics = Some(SimMetrics::new(registry));
+        self.engine.attach_metrics(registry);
+        self.universe.bank.attach_metrics(registry);
     }
 
     /// The scenario configuration.
@@ -195,7 +227,10 @@ impl Simulation {
         }
 
         // Length-1: defensive vs priority.
-        let n1 = poisson(&mut self.rng, self.config.bundles_of_length_per_day(1) / tpd);
+        let n1 = poisson(
+            &mut self.rng,
+            self.config.bundles_of_length_per_day(1) / tpd,
+        );
         let defensive_frac = self.config.defensive_fraction_on_day(day);
         for _ in 0..n1 {
             if self.rng.gen::<f64>() < defensive_frac {
@@ -206,14 +241,16 @@ impl Simulation {
         }
 
         // Length-2 app bundles.
-        let n2 = poisson(&mut self.rng, self.config.bundles_of_length_per_day(2) / tpd);
+        let n2 = poisson(
+            &mut self.rng,
+            self.config.bundles_of_length_per_day(2) / tpd,
+        );
         for _ in 0..n2 {
             self.build_len2(&mut bundles, &mut pending);
         }
 
         // Length-3 decoys (length-3 volume minus the sandwich rate).
-        let decoy_rate =
-            (self.config.bundles_of_length_per_day(3) / tpd - sandwich_rate).max(0.0);
+        let decoy_rate = (self.config.bundles_of_length_per_day(3) / tpd - sandwich_rate).max(0.0);
         let n3 = poisson(&mut self.rng, decoy_rate);
         for _ in 0..n3 {
             self.build_len3_decoy(&mut bundles, &mut pending);
@@ -231,8 +268,16 @@ impl Simulation {
         }
 
         let slot = self.config.slot_for(day, tick_in_day);
+        let tick_started = std::time::Instant::now();
+        let submitted = bundles.len() as u64;
         let result = self.engine.produce_slot(slot, bundles, regular);
         self.account_truth(day, &pending, &result);
+        if let Some(m) = &self.metrics {
+            m.ticks.inc();
+            m.slots_produced.inc();
+            m.bundles_submitted.add(submitted);
+            m.tick_seconds.observe(tick_started.elapsed().as_secs_f64());
+        }
 
         self.tick += 1;
         Some(TickOutcome {
@@ -288,7 +333,7 @@ impl Simulation {
 
     // ----- agent picks and samplers -------------------------------------
 
-    fn pick<'a>(rng: &mut StdRng, agents: &'a [crate::population::Agent]) -> usize {
+    fn pick(rng: &mut StdRng, agents: &[crate::population::Agent]) -> usize {
         rng.gen_range(0..agents.len())
     }
 
@@ -445,14 +490,7 @@ impl Simulation {
                 rival_idx = (rival_idx + 1) % self.population.attackers.len();
             }
             if let Some((bundle, intent)) = self.plan_attack(
-                &pool,
-                &pool_ref,
-                mint_in,
-                mint_out,
-                victim_in,
-                min_out,
-                &victim_tx,
-                rival_idx,
+                &pool, &pool_ref, mint_in, mint_out, victim_in, min_out, &victim_tx, rival_idx,
                 0.25,
             ) {
                 pending.insert(bundle.id(), PendingKind::Sandwich(intent));
@@ -496,7 +534,12 @@ impl Simulation {
         let tip = if pool_ref.has_sol_leg {
             let share = 0.08 + self.rng.gen::<f64>() * 0.22;
             let t = (plan.gross_profit as f64 * share) as u64;
-            t.clamp(150_000, (plan.gross_profit as u64).saturating_sub(50_000).max(150_000))
+            t.clamp(
+                150_000,
+                (plan.gross_profit as u64)
+                    .saturating_sub(50_000)
+                    .max(150_000),
+            )
         } else {
             lognormal_clamped(&mut self.rng, 2_200_000.0, 0.8, 300_000.0, 60_000_000.0) as u64
         };
@@ -581,7 +624,10 @@ impl Simulation {
         } else {
             let other = Self::pick(&mut self.rng, &self.population.defenders);
             let amount = (lognormal_clamped(&mut self.rng, 0.01, 1.0, 0.0005, 0.5) * 1e9) as u64;
-            (None, Some((self.population.defenders[other].pubkey(), amount)))
+            (
+                None,
+                Some((self.population.defenders[other].pubkey(), amount)),
+            )
         };
 
         let agent = &mut self.population.defenders[idx];
@@ -680,24 +726,28 @@ impl Simulation {
         let tip = lognormal_clamped(&mut self.rng, 900.0, 0.6, 1_000.0, 10_000.0) as u64;
         let pool_count = self.universe.sol_pools.len();
 
-        let swap_tx = |sim: &mut Self, trader_idx: usize, pool_idx: usize, buy: bool, amount_sol: f64| {
-            let p = &sim.universe.sol_pools[pool_idx];
-            let token = p.token_of_sol_pool();
-            let agent = &mut sim.population.traders[trader_idx];
-            let nonce = agent.next_nonce();
-            let ix = if buy {
-                swap_ix(native_sol_mint(), token, (amount_sol * 1e9) as u64, 0)
-            } else {
-                // Sell a small stock of the token.
-                let held = sim.universe.bank.token_balance(&agent.keypair.pubkey(), &token);
-                swap_ix(token, native_sol_mint(), (held / 1_000).max(1_000), 0)
+        let swap_tx =
+            |sim: &mut Self, trader_idx: usize, pool_idx: usize, buy: bool, amount_sol: f64| {
+                let p = &sim.universe.sol_pools[pool_idx];
+                let token = p.token_of_sol_pool();
+                let agent = &mut sim.population.traders[trader_idx];
+                let nonce = agent.next_nonce();
+                let ix = if buy {
+                    swap_ix(native_sol_mint(), token, (amount_sol * 1e9) as u64, 0)
+                } else {
+                    // Sell a small stock of the token.
+                    let held = sim
+                        .universe
+                        .bank
+                        .token_balance(&agent.keypair.pubkey(), &token);
+                    swap_ix(token, native_sol_mint(), (held / 1_000).max(1_000), 0)
+                };
+                TransactionBuilder::new(agent.keypair)
+                    .nonce(nonce)
+                    .recent_blockhash(blockhash)
+                    .instruction(ix)
+                    .build()
             };
-            TransactionBuilder::new(agent.keypair)
-                .nonce(nonce)
-                .recent_blockhash(blockhash)
-                .instruction(ix)
-                .build()
-        };
 
         let txs = match kind {
             "swap_swap_tip" => {
@@ -767,11 +817,19 @@ impl Simulation {
                 let agent = &mut self.population.traders[t_a];
                 let nonce = agent.next_nonce();
                 let token = self.universe.sol_pools[p1].token_of_sol_pool();
-                let held = self.universe.bank.token_balance(&agent.keypair.pubkey(), &token);
+                let held = self
+                    .universe
+                    .bank
+                    .token_balance(&agent.keypair.pubkey(), &token);
                 let a2 = TransactionBuilder::new(agent.keypair)
                     .nonce(nonce)
                     .recent_blockhash(blockhash)
-                    .instruction(swap_ix(token, native_sol_mint(), (held / 2_000).max(1_000), 0))
+                    .instruction(swap_ix(
+                        token,
+                        native_sol_mint(),
+                        (held / 2_000).max(1_000),
+                        0,
+                    ))
                     .instruction(tip_ix(Lamports(tip), nonce))
                     .build();
                 vec![a1, b, a2]
@@ -818,7 +876,10 @@ impl Simulation {
                 };
                 let tx3 = {
                     let agent = &mut self.population.traders[t3];
-                    let held = self.universe.bank.token_balance(&agent.keypair.pubkey(), &token);
+                    let held = self
+                        .universe
+                        .bank
+                        .token_balance(&agent.keypair.pubkey(), &token);
                     let sell = ((q1 as f64 * 0.9) as u64).min(held / 2).max(1_000);
                     let nonce = agent.next_nonce();
                     TransactionBuilder::new(agent.keypair)
@@ -919,14 +980,14 @@ mod tests {
 
         // Length-1 dominates, as in Figure 1.
         let by_len: [u64; 5] = truth.per_day.iter().fold([0; 5], |mut acc, d| {
-            for i in 0..5 {
-                acc[i] += d.bundles_by_len[i];
+            for (slot, count) in acc.iter_mut().zip(d.bundles_by_len) {
+                *slot += count;
             }
             acc
         });
         assert!(by_len[0] > total / 2, "len-1 majority: {by_len:?}");
         // Length-3 present, includes sandwiches and decoys.
-        assert!(by_len[2] as u64 >= truth.total_sandwiches());
+        assert!(by_len[2] >= truth.total_sandwiches());
     }
 
     #[test]

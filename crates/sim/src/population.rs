@@ -52,8 +52,12 @@ impl Population {
         defender_count: usize,
     ) -> Population {
         let traders: Vec<Agent> = (0..trader_count).map(|i| Agent::new("trader", i)).collect();
-        let attackers: Vec<Agent> = (0..attacker_count).map(|i| Agent::new("attacker", i)).collect();
-        let defenders: Vec<Agent> = (0..defender_count).map(|i| Agent::new("defender", i)).collect();
+        let attackers: Vec<Agent> = (0..attacker_count)
+            .map(|i| Agent::new("attacker", i))
+            .collect();
+        let defenders: Vec<Agent> = (0..defender_count)
+            .map(|i| Agent::new("defender", i))
+            .collect();
 
         for t in &traders {
             universe.provision(t.pubkey(), 2_000.0, 1_000_000_000_000);
@@ -76,7 +80,12 @@ impl Population {
     pub fn top_up(&self, universe: &Universe) {
         let floor = Lamports::from_sol(100.0);
         let refill = Lamports::from_sol(1_000.0);
-        for agent in self.traders.iter().chain(&self.attackers).chain(&self.defenders) {
+        for agent in self
+            .traders
+            .iter()
+            .chain(&self.attackers)
+            .chain(&self.defenders)
+        {
             if universe.bank.lamports(&agent.pubkey()) < floor {
                 universe.bank.airdrop(agent.pubkey(), refill);
             }
@@ -113,11 +122,15 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let mut u = Universe::setup(&config, &mut rng);
         let pop = Population::provision(&mut u, 2, 1, 2);
-        assert_eq!(u.bank.lamports(&pop.traders[0].pubkey()), Lamports::from_sol(2_000.0));
+        assert_eq!(
+            u.bank.lamports(&pop.traders[0].pubkey()),
+            Lamports::from_sol(2_000.0)
+        );
 
         // Drain one defender below the floor, then top up.
         let poor = pop.defenders[0].pubkey();
-        u.bank.set_account(poor, sandwich_ledger::Account::wallet(Lamports(1)));
+        u.bank
+            .set_account(poor, sandwich_ledger::Account::wallet(Lamports(1)));
         pop.top_up(&u);
         assert!(u.bank.lamports(&poor) > Lamports::from_sol(999.0));
     }

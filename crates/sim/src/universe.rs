@@ -5,9 +5,7 @@ use std::sync::Arc;
 use rand::Rng;
 
 use sandwich_dex::{create_pool_ix, AmmProgram, PoolState};
-use sandwich_ledger::{
-    native_sol_mint, Bank, Instruction, TokenInstruction, TransactionBuilder,
-};
+use sandwich_ledger::{native_sol_mint, Bank, Instruction, TokenInstruction, TransactionBuilder};
 use sandwich_types::{Keypair, Lamports, Pubkey};
 
 use crate::config::{lognormal_clamped, ScenarioConfig};
@@ -85,7 +83,8 @@ impl Universe {
             let mint = u.mints[i];
             let sol_liq = lognormal_clamped(rng, 30.0, 1.0, 3.0, 600.0);
             let sol_reserve = (sol_liq * 1e9) as u64;
-            let token_reserve = (sol_reserve as f64 * lognormal_clamped(rng, 50.0, 1.0, 2.0, 5_000.0)) as u64;
+            let token_reserve =
+                (sol_reserve as f64 * lognormal_clamped(rng, 50.0, 1.0, 2.0, 5_000.0)) as u64;
             u.create_pool(native_sol_mint(), sol_reserve, mint, token_reserve);
             u.sol_pools.push(PoolRef {
                 mint_a: native_sol_mint(),
@@ -171,7 +170,10 @@ impl Universe {
                 for mint in chunk {
                     b = b.token_transfer(*mint, who, tokens_each);
                 }
-                let meta = self.bank.execute_transaction(&b.build()).expect("provision");
+                let meta = self
+                    .bank
+                    .execute_transaction(&b.build())
+                    .expect("provision");
                 assert!(meta.success, "provision failed: {:?}", meta.error);
             }
         }

@@ -5,9 +5,7 @@
 use std::sync::Arc;
 
 use sandwich_dex::{create_pool_ix, AmmProgram};
-use sandwich_ledger::{
-    native_sol_mint, Bank, Instruction, TokenInstruction, TransactionBuilder,
-};
+use sandwich_ledger::{native_sol_mint, Bank, Instruction, TokenInstruction, TransactionBuilder};
 use sandwich_types::{Keypair, Lamports, Pubkey};
 
 /// A small ready-made market: a bank with the AMM registered, one SOL/token

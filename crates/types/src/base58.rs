@@ -94,7 +94,9 @@ mod tests {
 
     #[test]
     fn roundtrip_32_bytes() {
-        let data: Vec<u8> = (0u8..32).map(|i| i.wrapping_mul(7).wrapping_add(3)).collect();
+        let data: Vec<u8> = (0u8..32)
+            .map(|i| i.wrapping_mul(7).wrapping_add(3))
+            .collect();
         assert_eq!(decode(&encode(&data)).unwrap(), data);
     }
 }

@@ -24,9 +24,7 @@ pub const MIN_JITO_TIP: Lamports = Lamports(1_000);
 pub const DEFENSIVE_TIP_THRESHOLD: Lamports = Lamports(100_000);
 
 /// An unsigned lamport amount.
-#[derive(
-    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct Lamports(pub u64);
 
@@ -111,9 +109,7 @@ impl fmt::Debug for Lamports {
 }
 
 /// A signed lamport change (positive = credit, negative = debit).
-#[derive(
-    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct LamportDelta(pub i64);
 
@@ -197,10 +193,7 @@ mod tests {
     fn checked_arithmetic() {
         assert_eq!(Lamports(5).checked_sub(Lamports(10)), None);
         assert_eq!(Lamports(5).saturating_sub(Lamports(10)), Lamports::ZERO);
-        assert_eq!(
-            Lamports(u64::MAX).checked_add(Lamports(1)),
-            None
-        );
+        assert_eq!(Lamports(u64::MAX).checked_add(Lamports(1)), None);
     }
 
     #[test]

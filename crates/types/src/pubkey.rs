@@ -190,10 +190,7 @@ mod tests {
         assert_eq!(Pubkey::derive("x"), Pubkey::derive("x"));
         assert_ne!(Pubkey::derive("x"), Pubkey::derive("y"));
         let parent = Pubkey::derive("mint");
-        assert_ne!(
-            Pubkey::derive_with(&parent, "x"),
-            Pubkey::derive("x")
-        );
+        assert_ne!(Pubkey::derive_with(&parent, "x"), Pubkey::derive("x"));
     }
 
     #[test]

@@ -71,29 +71,19 @@ impl SigningKey {
     /// Produce a deterministic Schnorr signature over `msg`.
     pub fn sign(&self, msg: &[u8]) -> SchnorrSig {
         // Deterministic nonce (RFC6979-style in spirit).
-        let k = hash_to_u64(&[
-            b"schnorr-k",
-            &self.secret.to_le_bytes(),
-            msg,
-        ]) % (ORDER - 1)
-            + 1;
+        let k = hash_to_u64(&[b"schnorr-k", &self.secret.to_le_bytes(), msg]) % (ORDER - 1) + 1;
         let r = pow_mod(G, k);
         let e = challenge(r, self.public, msg);
         // s = k + e * secret  (mod ORDER)
-        let s = ((k as u128 + (e as u128 * self.secret as u128) % ORDER as u128)
-            % ORDER as u128) as u64;
+        let s = ((k as u128 + (e as u128 * self.secret as u128) % ORDER as u128) % ORDER as u128)
+            as u64;
         SchnorrSig { r, s }
     }
 }
 
 /// Fiat–Shamir challenge.
 fn challenge(r: u64, public: u64, msg: &[u8]) -> u64 {
-    hash_to_u64(&[
-        b"schnorr-e",
-        &r.to_le_bytes(),
-        &public.to_le_bytes(),
-        msg,
-    ]) % ORDER
+    hash_to_u64(&[b"schnorr-e", &r.to_le_bytes(), &public.to_le_bytes(), msg]) % ORDER
 }
 
 /// A Schnorr signature (commitment, response).

@@ -35,12 +35,8 @@ impl Signature {
         let mut bytes = [0u8; SIGNATURE_BYTES];
         bytes[..8].copy_from_slice(&sig.r.to_le_bytes());
         bytes[8..16].copy_from_slice(&sig.s.to_le_bytes());
-        let tail = Hash::digest_parts(&[
-            b"sig-tail",
-            &sig.r.to_le_bytes(),
-            &sig.s.to_le_bytes(),
-            msg,
-        ]);
+        let tail =
+            Hash::digest_parts(&[b"sig-tail", &sig.r.to_le_bytes(), &sig.s.to_le_bytes(), msg]);
         bytes[16..48].copy_from_slice(&tail.0);
         bytes[48..].copy_from_slice(&Hash::digest_parts(&[b"sig-tail2", &tail.0]).0[..16]);
         Signature(bytes)

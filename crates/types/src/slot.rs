@@ -20,9 +20,7 @@ pub const SLOTS_PER_DAY: u64 = 86_400_000 / MS_PER_SLOT; // 216,000
 pub const MEASUREMENT_DAYS: u64 = 120;
 
 /// A slot number.
-#[derive(
-    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct Slot(pub u64);
 

@@ -61,8 +61,14 @@ fn main() {
 
     // Why the threshold matters: sweep it.
     println!("\n=== threshold sensitivity ===");
-    let sweep = threshold_sweep(records.iter(), &[1_000, 10_000, 100_000, 1_000_000, 10_000_000]);
-    println!("{:>14} {:>12} {:>20}", "threshold", "defensive", "fraction of len-1");
+    let sweep = threshold_sweep(
+        records.iter(),
+        &[1_000, 10_000, 100_000, 1_000_000, 10_000_000],
+    );
+    println!(
+        "{:>14} {:>12} {:>20}",
+        "threshold", "defensive", "fraction of len-1"
+    );
     for (threshold, stats) in sweep {
         println!(
             "{:>14} {:>12} {:>19.0}%",

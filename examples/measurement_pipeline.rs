@@ -53,6 +53,9 @@ async fn main() {
     println!("=== headline vs paper ===");
     println!("{}", report::headline(&analysis, volume_scale));
 
+    println!("=== collection health (final /metrics snapshot) ===");
+    println!("{}", run.metrics.to_json_string());
+
     // Validate against ground truth — the advantage of a simulated chain.
     let truth = sim.truth();
     println!(

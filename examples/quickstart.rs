@@ -19,13 +19,11 @@ fn main() {
     // The victim wants to buy the token with 5 SOL at 2% slippage tolerance.
     let victim_in = 5_000_000_000u64;
     let min_out = victim_min_out(&pool, &sol, victim_in, 200).expect("quotable");
-    println!(
-        "victim swap: 5 SOL → token, slippage tolerance 2% (min out {min_out} units)"
-    );
+    println!("victim swap: 5 SOL → token, slippage tolerance 2% (min out {min_out} units)");
 
     // The attacker observes it in a private mempool and plans the sandwich.
-    let plan = plan_optimal(&pool, &sol, victim_in, min_out, u64::MAX / 4, 1)
-        .expect("profitable plan");
+    let plan =
+        plan_optimal(&pool, &sol, victim_in, min_out, u64::MAX / 4, 1).expect("profitable plan");
     println!(
         "attacker plan: front-run {:.4} SOL, expected gross profit {:.6} SOL (${:.2})",
         plan.front_run_in as f64 / 1e9,
@@ -54,7 +52,10 @@ fn main() {
     let mut engine = BlockEngine::new(market.bank.clone());
     let result = engine.produce_slot(Slot(1), vec![bundle], vec![]);
     let landed = &result.bundles[0];
-    println!("landed in slot {} with realized tip {}", landed.slot.0, landed.tip);
+    println!(
+        "landed in slot {} with realized tip {}",
+        landed.slot.0, landed.tip
+    );
 
     // Run the paper's detector on the landed metas.
     let metas = [&landed.metas[0], &landed.metas[1], &landed.metas[2]];

@@ -13,10 +13,16 @@ fn main() {
     let sol = native_sol_mint();
     let oracle = SolUsdOracle::default();
 
-    println!("pool: {:.0} SOL deep, 30 bps LP fee\n", pool.reserves_for(&sol).unwrap().0 as f64 / 1e9);
+    println!(
+        "pool: {:.0} SOL deep, 30 bps LP fee\n",
+        pool.reserves_for(&sol).unwrap().0 as f64 / 1e9
+    );
 
     println!("=== sweep: slippage tolerance (victim trades 5 SOL) ===");
-    println!("{:>10} {:>16} {:>16} {:>14}", "slippage", "front-run (SOL)", "profit (SOL)", "profit (USD)");
+    println!(
+        "{:>10} {:>16} {:>16} {:>14}",
+        "slippage", "front-run (SOL)", "profit (SOL)", "profit (USD)"
+    );
     let victim_in = 5_000_000_000u64;
     for slippage_bps in [10u32, 25, 50, 100, 200, 500, 1_000, 2_000] {
         let min_out = victim_min_out(&pool, &sol, victim_in, slippage_bps).unwrap();
@@ -39,14 +45,20 @@ fn main() {
     }
 
     println!("\n=== sweep: victim trade size (2% slippage) ===");
-    println!("{:>12} {:>16} {:>16} {:>14}", "trade (SOL)", "front-run (SOL)", "profit (SOL)", "victim loss $");
+    println!(
+        "{:>12} {:>16} {:>16} {:>14}",
+        "trade (SOL)", "front-run (SOL)", "profit (SOL)", "victim loss $"
+    );
     for victim_sol in [0.1f64, 0.25, 0.5, 1.0, 2.0, 5.0] {
         let victim_in = (victim_sol * 1e9) as u64;
         let min_out = victim_min_out(&pool, &sol, victim_in, 200).unwrap();
         match plan_optimal(&pool, &sol, victim_in, min_out, u64::MAX / 4, 1) {
             Some(plan) => {
                 let shortfall = sandwich_dex::sandwich::victim_loss_tokens(
-                    &pool, &sol, victim_in, plan.victim_out,
+                    &pool,
+                    &sol,
+                    victim_in,
+                    plan.victim_out,
                 );
                 let loss_lamports =
                     sandwich_dex::sandwich::shortfall_in_input_mint(&pool, &sol, shortfall);
@@ -57,7 +69,10 @@ fn main() {
                     oracle.sol_to_usd(loss_lamports as f64 / 1e9),
                 );
             }
-            None => println!("{victim_sol:>12.2} {:>16} {:>16} {:>14}", "-", "unprofitable", "-"),
+            None => println!(
+                "{victim_sol:>12.2} {:>16} {:>16} {:>14}",
+                "-", "unprofitable", "-"
+            ),
         }
     }
 

@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# Repo health gate: formatting, lints, build, tests. Fully offline.
+#
+# Usage: scripts/check.sh
+# Runs from any directory; exits non-zero on the first failure.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (-D warnings)"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --offline --release --workspace
+
+echo "==> cargo test"
+cargo test --offline --workspace -q
+
+echo "==> all checks passed"

@@ -1,0 +1,353 @@
+//! Offline shim for `criterion`: a small wall-clock benchmark harness.
+//!
+//! The real crate does statistical analysis, outlier rejection, and HTML
+//! reports. This shim keeps the *interface* the benches are written against —
+//! `Criterion`, `benchmark_group`, `bench_with_input`, `Throughput`,
+//! `criterion_group!`/`criterion_main!` — and measures honestly but simply:
+//! a warm-up/calibration pass sizes the per-sample iteration count, then
+//! `sample_size` timed samples are reported as min/mean/max ns per iteration.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque a value to the optimiser so the benchmarked work is not elided.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Unit of work per iteration, used to derive a rate from the timing.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+    /// Iteration processes this many items.
+    Elements(u64),
+}
+
+/// A benchmark's display name.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id that is just the parameter's `Display` form (`.../100`).
+    pub fn from_parameter<P: Display>(p: P) -> Self {
+        BenchmarkId { id: p.to_string() }
+    }
+
+    /// `function_name/parameter` form.
+    pub fn new<P: Display>(function_name: &str, p: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{p}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Benchmark driver; holds the timing budget configuration.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Total time budget for the timed samples.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Calibration time before sampling starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Run a single benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(&id.into().id, None, &mut f);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    fn run_one<F>(&mut self, id: &str, throughput: Option<Throughput>, f: &mut F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            stats: None,
+        };
+        f(&mut bencher);
+        match bencher.stats {
+            Some(stats) => report(id, throughput, &stats),
+            None => eprintln!("{id:<44} (no iter() call; nothing measured)"),
+        }
+    }
+}
+
+/// One benchmark's result: per-iteration times in nanoseconds.
+struct Stats {
+    min_ns: f64,
+    mean_ns: f64,
+    max_ns: f64,
+}
+
+fn report(id: &str, throughput: Option<Throughput>, stats: &Stats) {
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) => {
+            format!(
+                "  thrpt: {}/s",
+                human_bytes(n as f64 / (stats.mean_ns * 1e-9))
+            )
+        }
+        Some(Throughput::Elements(n)) => {
+            format!(
+                "  thrpt: {} elem/s",
+                human_count(n as f64 / (stats.mean_ns * 1e-9))
+            )
+        }
+        None => String::new(),
+    };
+    eprintln!(
+        "{:<44} time: [{} {} {}]{}",
+        id,
+        human_time(stats.min_ns),
+        human_time(stats.mean_ns),
+        human_time(stats.max_ns),
+        rate
+    );
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn human_bytes(bytes_per_s: f64) -> String {
+    if bytes_per_s < 1024.0 {
+        format!("{bytes_per_s:.1} B")
+    } else if bytes_per_s < 1024.0 * 1024.0 {
+        format!("{:.1} KiB", bytes_per_s / 1024.0)
+    } else if bytes_per_s < 1024.0 * 1024.0 * 1024.0 {
+        format!("{:.1} MiB", bytes_per_s / (1024.0 * 1024.0))
+    } else {
+        format!("{:.1} GiB", bytes_per_s / (1024.0 * 1024.0 * 1024.0))
+    }
+}
+
+fn human_count(per_s: f64) -> String {
+    if per_s < 1_000.0 {
+        format!("{per_s:.1}")
+    } else if per_s < 1_000_000.0 {
+        format!("{:.1}K", per_s / 1_000.0)
+    } else {
+        format!("{:.1}M", per_s / 1_000_000.0)
+    }
+}
+
+/// Handed to each benchmark closure; `iter` does the measuring.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    stats: Option<Stats>,
+}
+
+impl Bencher {
+    /// Time `f`, called in batches sized during warm-up.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up doubles as calibration: how many calls fit in the budget?
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+
+        let sample_budget_ns = self.measurement_time.as_nanos() as f64 / self.sample_size as f64;
+        let iters_per_sample = ((sample_budget_ns / per_iter_ns) as u64).max(1);
+
+        let mut min_ns = f64::INFINITY;
+        let mut max_ns = 0.0f64;
+        let mut total_ns = 0.0f64;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            let sample_ns = start.elapsed().as_nanos() as f64 / iters_per_sample as f64;
+            min_ns = min_ns.min(sample_ns);
+            max_ns = max_ns.max(sample_ns);
+            total_ns += sample_ns;
+        }
+        self.stats = Some(Stats {
+            min_ns,
+            mean_ns: total_ns / self.sample_size as f64,
+            max_ns,
+        });
+    }
+}
+
+/// A set of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the throughput used for rate reporting on subsequent benches.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        let throughput = self.throughput;
+        self.criterion.run_one(&full, throughput, &mut f);
+        self
+    }
+
+    /// Run a parameterised benchmark in this group.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        let throughput = self.throughput;
+        self.criterion
+            .run_one(&full, throughput, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// End the group. (No summary output in the shim.)
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20))
+            .sample_size(5);
+        c.bench_function("shim/self_test", |b| b.iter(|| black_box(41u64) + 1));
+        let mut group = c.benchmark_group("shim/group");
+        group.throughput(Throughput::Elements(3));
+        group.bench_with_input(BenchmarkId::from_parameter(3), &3u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn group_macro_compiles() {
+        fn target(c: &mut Criterion) {
+            c.bench_function("shim/macro_target", |b| b.iter(|| black_box(1)));
+        }
+        criterion_group! {
+            name = benches;
+            config = Criterion::default()
+                .warm_up_time(Duration::from_millis(2))
+                .measurement_time(Duration::from_millis(10))
+                .sample_size(2);
+            targets = target
+        }
+        benches();
+    }
+}

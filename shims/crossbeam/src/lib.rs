@@ -1,0 +1,28 @@
+//! Offline shim for `crossbeam`.
+//!
+//! The workspace declares crossbeam (the simulator once used scoped threads)
+//! but no longer calls into it; this placeholder satisfies the dependency
+//! graph offline. A minimal `scope` is provided in case a caller returns.
+
+/// Spawn scoped threads, mirroring `crossbeam::scope`'s shape over
+/// `std::thread::scope`.
+pub fn scope<'env, F, T>(f: F) -> std::thread::Result<T>
+where
+    F: for<'scope> FnOnce(&'scope std::thread::Scope<'scope, 'env>) -> T,
+{
+    Ok(std::thread::scope(f))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins() {
+        let mut n = 0;
+        super::scope(|s| {
+            s.spawn(|| 1);
+            n = 2;
+        })
+        .unwrap();
+        assert_eq!(n, 2);
+    }
+}

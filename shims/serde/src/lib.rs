@@ -1,0 +1,650 @@
+//! Offline shim for `serde`.
+//!
+//! The real crate's visitor architecture is replaced by a concrete value
+//! tree: serializers accept a [`__private::Value`] and deserializers hand one
+//! out. The trait *signatures* mirror real serde closely enough that the
+//! workspace's hand-written impls (base58 pubkeys/signatures/hashes) and the
+//! shimmed `serde_derive` output compile unchanged:
+//!
+//! - `Serialize::serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error>`
+//! - `Deserialize::deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error>`
+//! - `serde::de::Error::custom`, `serde::de::DeserializeOwned`
+//!
+//! Integers are carried as `i128`/`u128` so token deltas round-trip exactly;
+//! object keys keep insertion order so JSON output is deterministic.
+
+// Let the derive expansion's `::serde::` paths resolve inside this crate's
+// own tests.
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Serialization error handling, mirroring `serde::ser`.
+pub mod ser {
+    use std::fmt::Display;
+
+    /// Errors a serializer can produce.
+    pub trait Error: Sized + Display {
+        /// Build an error from a message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+/// Deserialization error handling, mirroring `serde::de`.
+pub mod de {
+    use std::fmt::Display;
+
+    /// Errors a deserializer can produce.
+    pub trait Error: Sized + Display {
+        /// Build an error from a message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    /// Deserializable without borrowing from the input.
+    pub trait DeserializeOwned: for<'de> crate::Deserialize<'de> {}
+    impl<T: for<'de> crate::Deserialize<'de>> DeserializeOwned for T {}
+}
+
+/// A type that can render itself into a [`__private::Value`].
+pub trait Serialize {
+    /// Serialize `self` into the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A sink for serialized values.
+pub trait Serializer: Sized {
+    /// Output of a successful serialization.
+    type Ok;
+    /// Error type.
+    type Error: ser::Error;
+
+    /// Accept a fully built value tree.
+    fn serialize_value(self, value: __private::Value) -> Result<Self::Ok, Self::Error>;
+
+    /// Serialize a string (the form hand-written impls use).
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(__private::Value::Str(v.to_owned()))
+    }
+
+    /// Serialize a bool.
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(__private::Value::Bool(v))
+    }
+
+    /// Serialize an unsigned integer.
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(__private::Value::UInt(v as u128))
+    }
+
+    /// Serialize a signed integer.
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(__private::Value::Int(v as i128))
+    }
+
+    /// Serialize a float.
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(__private::Value::Float(v))
+    }
+
+    /// Serialize a unit value.
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(__private::Value::Null)
+    }
+}
+
+/// A source of deserialized values.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: de::Error;
+
+    /// Surrender the input as a value tree.
+    fn take_value(self) -> Result<__private::Value, Self::Error>;
+}
+
+/// A type constructible from a [`__private::Value`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserialize from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+pub mod __private {
+    //! Value model and helpers used by the derive expansion. Public so
+    //! generated code can reach it; not a stable API.
+
+    use super::{de, Deserialize, Deserializer, Serialize, Serializer};
+    use std::fmt;
+    use std::marker::PhantomData;
+
+    /// A JSON-shaped value tree. Object keys keep insertion order.
+    #[derive(Clone, Debug, PartialEq)]
+    pub enum Value {
+        /// `null`
+        Null,
+        /// `true` / `false`
+        Bool(bool),
+        /// A signed integer (i128 keeps token deltas exact).
+        Int(i128),
+        /// An unsigned integer.
+        UInt(u128),
+        /// A float.
+        Float(f64),
+        /// A string.
+        Str(String),
+        /// An array.
+        Arr(Vec<Value>),
+        /// An object, in insertion order.
+        Obj(Vec<(String, Value)>),
+    }
+
+    /// Serializer producing a [`Value`]; cannot actually fail.
+    pub struct ValueSerializer;
+
+    /// Error type for [`ValueSerializer`] — required by the trait bounds but
+    /// never constructed by the value path itself.
+    #[derive(Debug)]
+    pub struct ValueError(pub String);
+
+    impl fmt::Display for ValueError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl super::ser::Error for ValueError {
+        fn custom<T: fmt::Display>(msg: T) -> Self {
+            ValueError(msg.to_string())
+        }
+    }
+
+    impl de::Error for ValueError {
+        fn custom<T: fmt::Display>(msg: T) -> Self {
+            ValueError(msg.to_string())
+        }
+    }
+
+    impl Serializer for ValueSerializer {
+        type Ok = Value;
+        type Error = ValueError;
+
+        fn serialize_value(self, value: Value) -> Result<Value, ValueError> {
+            Ok(value)
+        }
+    }
+
+    /// Render any serializable value into a tree.
+    pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+        value
+            .serialize(ValueSerializer)
+            .expect("value-tree serialization is infallible")
+    }
+
+    /// Deserializer over an owned [`Value`] with a caller-chosen error type.
+    pub struct ValueDeserializer<E> {
+        value: Value,
+        _marker: PhantomData<fn() -> E>,
+    }
+
+    impl<E> ValueDeserializer<E> {
+        /// Wrap a value.
+        pub fn new(value: Value) -> Self {
+            ValueDeserializer {
+                value,
+                _marker: PhantomData,
+            }
+        }
+    }
+
+    impl<'de, E: de::Error> Deserializer<'de> for ValueDeserializer<E> {
+        type Error = E;
+
+        fn take_value(self) -> Result<Value, E> {
+            Ok(self.value)
+        }
+    }
+
+    /// Build a `T` out of a value tree.
+    pub fn from_value<T, E>(value: Value) -> Result<T, E>
+    where
+        T: de::DeserializeOwned,
+        E: de::Error,
+    {
+        T::deserialize(ValueDeserializer::<E>::new(value))
+    }
+
+    /// Remove `key` from an object body and deserialize it. Missing keys
+    /// deserialize from `Null`, which lets `Option` fields default to `None`
+    /// (matching serde) while other types report the missing field.
+    pub fn take_field<T, E>(obj: &mut Vec<(String, Value)>, key: &str) -> Result<T, E>
+    where
+        T: de::DeserializeOwned,
+        E: de::Error,
+    {
+        match obj.iter().position(|(k, _)| k == key) {
+            Some(idx) => from_value(obj.remove(idx).1),
+            None => from_value(Value::Null)
+                .map_err(|_: E| E::custom(format_args!("missing field `{key}`"))),
+        }
+    }
+
+    impl Serialize for Value {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            serializer.serialize_value(self.clone())
+        }
+    }
+
+    impl<'de> Deserialize<'de> for Value {
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+            deserializer.take_value()
+        }
+    }
+}
+
+use __private::Value;
+
+// ---------------------------------------------------------------------------
+// Serialize impls for std types
+// ---------------------------------------------------------------------------
+
+macro_rules! serialize_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_value(Value::UInt(*self as u128))
+            }
+        }
+    )*};
+}
+serialize_uint!(u8, u16, u32, u64, u128, usize);
+
+macro_rules! serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_value(Value::Int(*self as i128))
+            }
+        }
+    )*};
+}
+serialize_int!(i8, i16, i32, i64, i128, isize);
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Bool(*self))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Float(*self as f64))
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Float(*self))
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for char {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Str(self.to_string()))
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_unit()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => v.serialize(serializer),
+            None => serializer.serialize_value(Value::Null),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Arr(self.iter().map(__private::to_value).collect()))
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Obj(
+            self.iter()
+                .map(|(k, v)| (k.clone(), __private::to_value(v)))
+                .collect(),
+        ))
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::HashMap<String, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        // Sort for deterministic output; the real crate leaves hash order.
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), __private::to_value(v)))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        serializer.serialize_value(Value::Obj(entries))
+    }
+}
+
+macro_rules! serialize_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_value(Value::Arr(vec![$(__private::to_value(&self.$n)),+]))
+            }
+        }
+    )*};
+}
+serialize_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls for std types
+// ---------------------------------------------------------------------------
+
+fn type_error<E: de::Error>(expected: &str, got: &Value) -> E {
+    let kind = match got {
+        Value::Null => "null",
+        Value::Bool(_) => "bool",
+        Value::Int(_) | Value::UInt(_) => "integer",
+        Value::Float(_) => "float",
+        Value::Str(_) => "string",
+        Value::Arr(_) => "array",
+        Value::Obj(_) => "object",
+    };
+    E::custom(format_args!("expected {expected}, found {kind}"))
+}
+
+macro_rules! deserialize_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = d.take_value()?;
+                let out = match &v {
+                    Value::Int(n) => <$t>::try_from(*n).ok(),
+                    Value::UInt(n) => <$t>::try_from(*n).ok(),
+                    _ => None,
+                };
+                out.ok_or_else(|| type_error(stringify!($t), &v))
+            }
+        }
+    )*};
+}
+deserialize_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Bool(b) => Ok(b),
+            other => Err(type_error("bool", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Float(f) => Ok(f),
+            Value::Int(n) => Ok(n as f64),
+            Value::UInt(n) => Ok(n as f64),
+            other => Err(type_error("float", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        f64::deserialize(d).map(|f| f as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Str(s) => Ok(s),
+            other => Err(type_error("string", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(d)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(<D::Error as de::Error>::custom(
+                "expected single-character string",
+            )),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Null => Ok(()),
+            other => Err(type_error("null", &other)),
+        }
+    }
+}
+
+impl<'de, T: de::DeserializeOwned> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Null => Ok(None),
+            other => __private::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<'de, T: de::DeserializeOwned> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Arr(items) => items.into_iter().map(__private::from_value).collect(),
+            other => Err(type_error("array", &other)),
+        }
+    }
+}
+
+impl<'de, T: de::DeserializeOwned, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let items = Vec::<T>::deserialize(d)?;
+        let got = items.len();
+        items
+            .try_into()
+            .map_err(|_| de::Error::custom(format!("expected array of length {N}, got {got}")))
+    }
+}
+
+impl<'de, T: de::DeserializeOwned> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        T::deserialize(d).map(Box::new)
+    }
+}
+
+impl<'de, V: de::DeserializeOwned> Deserialize<'de> for std::collections::BTreeMap<String, V> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Obj(entries) => entries
+                .into_iter()
+                .map(|(k, v)| Ok((k, __private::from_value(v)?)))
+                .collect(),
+            other => Err(type_error("object", &other)),
+        }
+    }
+}
+
+impl<'de, V: de::DeserializeOwned> Deserialize<'de> for std::collections::HashMap<String, V> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Obj(entries) => entries
+                .into_iter()
+                .map(|(k, v)| Ok((k, __private::from_value(v)?)))
+                .collect(),
+            other => Err(type_error("object", &other)),
+        }
+    }
+}
+
+macro_rules! deserialize_tuple {
+    ($(($len:expr; $($n:tt $t:ident),+))*) => {$(
+        impl<'de, $($t: de::DeserializeOwned),+> Deserialize<'de> for ($($t,)+) {
+            fn deserialize<__D: Deserializer<'de>>(d: __D) -> Result<Self, __D::Error> {
+                match d.take_value()? {
+                    Value::Arr(items) if items.len() == $len => {
+                        let mut it = items.into_iter();
+                        Ok(($({ let _ = $n; __private::from_value::<$t, __D::Error>(it.next().unwrap())? },)+))
+                    }
+                    other => Err(type_error("tuple array", &other)),
+                }
+            }
+        }
+    )*};
+}
+deserialize_tuple! {
+    (1; 0 A)
+    (2; 0 A, 1 B)
+    (3; 0 A, 1 B, 2 C)
+    (4; 0 A, 1 B, 2 C, 3 D)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::__private::{from_value, to_value, Value, ValueError};
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(to_value(&42u64), Value::UInt(42));
+        assert_eq!(to_value(&-7i64), Value::Int(-7));
+        assert_eq!(to_value(&true), Value::Bool(true));
+        assert_eq!(to_value("hi"), Value::Str("hi".into()));
+        let n: u64 = from_value::<u64, ValueError>(Value::Int(9)).unwrap();
+        assert_eq!(n, 9);
+        let x: i128 = from_value::<i128, ValueError>(Value::Int(i128::MIN)).unwrap();
+        assert_eq!(x, i128::MIN);
+        assert!(from_value::<u8, ValueError>(Value::Int(-1)).is_err());
+    }
+
+    #[test]
+    fn options_and_vecs() {
+        assert_eq!(to_value(&Option::<u32>::None), Value::Null);
+        assert_eq!(to_value(&Some(1u32)), Value::UInt(1));
+        let v: Vec<Option<u8>> =
+            from_value::<_, ValueError>(Value::Arr(vec![Value::Null, Value::UInt(3)])).unwrap();
+        assert_eq!(v, vec![None, Some(3)]);
+    }
+
+    #[test]
+    fn derive_struct_and_enum() {
+        #[derive(Serialize, Deserialize, Debug, PartialEq)]
+        #[serde(rename_all = "camelCase")]
+        struct Wire {
+            tip_lamports: u64,
+            note: Option<String>,
+        }
+
+        #[derive(Serialize, Deserialize, Debug, PartialEq)]
+        enum Kind {
+            Plain,
+            Tagged(u32),
+            Shaped { count: u8 },
+        }
+
+        let w = Wire {
+            tip_lamports: 5,
+            note: None,
+        };
+        let v = to_value(&w);
+        assert_eq!(
+            v,
+            Value::Obj(vec![
+                ("tipLamports".into(), Value::UInt(5)),
+                ("note".into(), Value::Null),
+            ])
+        );
+        let back: Wire = from_value::<_, ValueError>(v).unwrap();
+        assert_eq!(back, w);
+        // Missing Option field defaults to None.
+        let partial = Value::Obj(vec![("tipLamports".into(), Value::UInt(9))]);
+        let back: Wire = from_value::<_, ValueError>(partial).unwrap();
+        assert_eq!(
+            back,
+            Wire {
+                tip_lamports: 9,
+                note: None
+            }
+        );
+
+        assert_eq!(to_value(&Kind::Plain), Value::Str("Plain".into()));
+        let tagged = to_value(&Kind::Tagged(7));
+        assert_eq!(tagged, Value::Obj(vec![("Tagged".into(), Value::UInt(7))]));
+        let shaped = to_value(&Kind::Shaped { count: 2 });
+        let back: Kind = from_value::<_, ValueError>(shaped).unwrap();
+        assert_eq!(back, Kind::Shaped { count: 2 });
+        let back: Kind = from_value::<_, ValueError>(tagged).unwrap();
+        assert_eq!(back, Kind::Tagged(7));
+        let back: Kind = from_value::<_, ValueError>(Value::Str("Plain".into())).unwrap();
+        assert_eq!(back, Kind::Plain);
+    }
+
+    #[test]
+    fn transparent_newtype() {
+        #[derive(Serialize, Deserialize, Debug, PartialEq)]
+        #[serde(transparent)]
+        struct Wrapper(u64);
+
+        assert_eq!(to_value(&Wrapper(11)), Value::UInt(11));
+        let w: Wrapper = from_value::<_, ValueError>(Value::UInt(11)).unwrap();
+        assert_eq!(w, Wrapper(11));
+    }
+}

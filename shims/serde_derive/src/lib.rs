@@ -1,0 +1,559 @@
+//! Offline shim for `serde_derive`.
+//!
+//! Generates `Serialize`/`Deserialize` impls that route through the serde
+//! shim's JSON-like value tree (`serde::__private::Value`) instead of the
+//! real crate's visitor machinery. Written against `proc_macro` alone (no
+//! syn/quote — those aren't available offline): the input is token-walked
+//! into a small container model and code is emitted as formatted strings.
+//!
+//! Supported shapes — exactly what this workspace uses:
+//! named-field structs, tuple/newtype structs, unit structs, and enums with
+//! unit / newtype / tuple / struct variants (externally tagged). Container
+//! attributes: `#[serde(rename_all = "camelCase" | "snake_case")]` and
+//! `#[serde(transparent)]`. Generics are not supported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Clone, Copy, PartialEq)]
+enum Case {
+    Keep,
+    Camel,
+    Snake,
+}
+
+struct Container {
+    name: String,
+    rename_all: Case,
+    data: Data,
+}
+
+enum Data {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+/// `Serialize` derive: builds a `serde::__private::Value` and hands it to the
+/// serializer.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let c = parse_container(input);
+    let body = match &c.data {
+        Data::Struct(fields) => serialize_fields_expr(&c.name, fields, c.rename_all, "self."),
+        Data::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let tag = apply_case(&v.name, c.rename_all, true);
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{}::{} => ::serde::__private::Value::Str(::std::string::String::from(\"{}\")),\n",
+                        c.name, v.name, tag
+                    )),
+                    Fields::Tuple(1) => arms.push_str(&format!(
+                        "{}::{}(__f0) => ::serde::__private::Value::Obj(::std::vec::Vec::from([(::std::string::String::from(\"{}\"), ::serde::__private::to_value(__f0))])),\n",
+                        c.name, v.name, tag
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::__private::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{}::{}({}) => ::serde::__private::Value::Obj(::std::vec::Vec::from([(::std::string::String::from(\"{}\"), ::serde::__private::Value::Arr(::std::vec::Vec::from([{}])))])),\n",
+                            c.name,
+                            v.name,
+                            binds.join(", "),
+                            tag,
+                            elems.join(", ")
+                        ));
+                    }
+                    Fields::Named(names) => {
+                        let binds = names.join(", ");
+                        let mut pushes = String::new();
+                        for f in names {
+                            // Serde's container-level rename_all renames
+                            // variants, not the fields inside them.
+                            pushes.push_str(&format!(
+                                "__o.push((::std::string::String::from(\"{f}\"), ::serde::__private::to_value({f})));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{}::{}{{ {} }} => {{ let mut __o: ::std::vec::Vec<(::std::string::String, ::serde::__private::Value)> = ::std::vec::Vec::new(); {} ::serde::__private::Value::Obj(::std::vec::Vec::from([(::std::string::String::from(\"{}\"), ::serde::__private::Value::Obj(__o))])) }},\n",
+                            c.name, v.name, binds, pushes, tag
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize<__S: ::serde::Serializer>(&self, __s: __S) -> ::std::result::Result<__S::Ok, __S::Error> {{\n\
+         let __v: ::serde::__private::Value = {body};\n\
+         ::serde::Serializer::serialize_value(__s, __v)\n\
+         }}\n}}",
+        name = c.name,
+        body = body
+    );
+    out.parse()
+        .expect("serde_derive: generated Serialize impl must parse")
+}
+
+/// `Deserialize` derive: takes the deserializer's value tree apart.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let c = parse_container(input);
+    let err = |msg: &str| {
+        format!("return ::std::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(\"{msg}\"))")
+    };
+    let body = match &c.data {
+        Data::Struct(Fields::Named(names)) => {
+            let mut inits = String::new();
+            for f in names {
+                let key = apply_case(f, c.rename_all, false);
+                inits.push_str(&format!(
+                    "{f}: ::serde::__private::take_field::<_, __D::Error>(&mut __o, \"{key}\")?,\n"
+                ));
+            }
+            format!(
+                "let mut __o = match __v {{\n\
+                 ::serde::__private::Value::Obj(o) => o,\n\
+                 _ => {err_obj},\n\
+                 }};\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})",
+                err_obj = err(&format!("expected JSON object for struct {}", c.name)),
+                name = c.name,
+                inits = inits
+            )
+        }
+        Data::Struct(Fields::Tuple(1)) => format!(
+            "::std::result::Result::Ok({}(::serde::__private::from_value::<_, __D::Error>(__v)?))",
+            c.name
+        ),
+        Data::Struct(Fields::Tuple(n)) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|_| {
+                    "::serde::__private::from_value::<_, __D::Error>(__it.next().unwrap())?"
+                        .to_string()
+                })
+                .collect();
+            format!(
+                "let __a = match __v {{\n\
+                 ::serde::__private::Value::Arr(a) => a,\n\
+                 _ => {err_arr},\n\
+                 }};\n\
+                 if __a.len() != {n} {{ {err_len} }}\n\
+                 let mut __it = __a.into_iter();\n\
+                 ::std::result::Result::Ok({name}({elems}))",
+                err_arr = err(&format!("expected JSON array for tuple struct {}", c.name)),
+                n = n,
+                err_len = err(&format!("wrong tuple length for {}", c.name)),
+                name = c.name,
+                elems = elems.join(", ")
+            )
+        }
+        Data::Struct(Fields::Unit) => {
+            format!("::std::result::Result::Ok({})", c.name)
+        }
+        Data::Enum(variants) => {
+            let mut str_arms = String::new();
+            let mut obj_arms = String::new();
+            for v in variants {
+                let tag = apply_case(&v.name, c.rename_all, true);
+                match &v.fields {
+                    Fields::Unit => str_arms.push_str(&format!(
+                        "\"{tag}\" => ::std::result::Result::Ok({}::{}),\n",
+                        c.name, v.name
+                    )),
+                    Fields::Tuple(1) => obj_arms.push_str(&format!(
+                        "\"{tag}\" => ::std::result::Result::Ok({}::{}(::serde::__private::from_value::<_, __D::Error>(__inner)?)),\n",
+                        c.name, v.name
+                    )),
+                    Fields::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|_| "::serde::__private::from_value::<_, __D::Error>(__it.next().unwrap())?".to_string())
+                            .collect();
+                        obj_arms.push_str(&format!(
+                            "\"{tag}\" => {{\n\
+                             let __a = match __inner {{ ::serde::__private::Value::Arr(a) => a, _ => {err_arr} }};\n\
+                             if __a.len() != {n} {{ {err_len} }}\n\
+                             let mut __it = __a.into_iter();\n\
+                             ::std::result::Result::Ok({name}::{vname}({elems}))\n\
+                             }},\n",
+                            tag = tag,
+                            err_arr = err("expected JSON array for tuple variant"),
+                            n = n,
+                            err_len = err("wrong tuple variant length"),
+                            name = c.name,
+                            vname = v.name,
+                            elems = elems.join(", ")
+                        ));
+                    }
+                    Fields::Named(names) => {
+                        let mut inits = String::new();
+                        for f in names {
+                            inits.push_str(&format!(
+                                "{f}: ::serde::__private::take_field::<_, __D::Error>(&mut __vo, \"{f}\")?,\n"
+                            ));
+                        }
+                        obj_arms.push_str(&format!(
+                            "\"{tag}\" => {{\n\
+                             let mut __vo = match __inner {{ ::serde::__private::Value::Obj(o) => o, _ => {err_obj} }};\n\
+                             ::std::result::Result::Ok({name}::{vname} {{ {inits} }})\n\
+                             }},\n",
+                            tag = tag,
+                            err_obj = err("expected JSON object for struct variant"),
+                            name = c.name,
+                            vname = v.name,
+                            inits = inits
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 ::serde::__private::Value::Str(__s) => match __s.as_str() {{\n\
+                 {str_arms}\
+                 _ => {err_var},\n\
+                 }},\n\
+                 ::serde::__private::Value::Obj(mut __o) => {{\n\
+                 if __o.len() != 1 {{ {err_shape} }}\n\
+                 let (__tag, __inner) = __o.remove(0);\n\
+                 match __tag.as_str() {{\n\
+                 {obj_arms}\
+                 _ => {err_var2},\n\
+                 }}\n\
+                 }},\n\
+                 _ => {err_kind},\n\
+                 }}",
+                str_arms = str_arms,
+                err_var = err(&format!("unknown variant for enum {}", c.name)),
+                err_shape = err(&format!("expected single-key object for enum {}", c.name)),
+                obj_arms = obj_arms,
+                err_var2 = err(&format!("unknown variant for enum {}", c.name)),
+                err_kind = err(&format!("expected string or object for enum {}", c.name)),
+            )
+        }
+    };
+    let out = format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize<__D: ::serde::Deserializer<'de>>(__d: __D) -> ::std::result::Result<Self, __D::Error> {{\n\
+         let __v = ::serde::Deserializer::take_value(__d)?;\n\
+         {body}\n\
+         }}\n}}",
+        name = c.name,
+        body = body
+    );
+    out.parse()
+        .expect("serde_derive: generated Deserialize impl must parse")
+}
+
+/// Expression serializing a struct's own fields (prefix = `self.`).
+fn serialize_fields_expr(name: &str, fields: &Fields, case: Case, prefix: &str) -> String {
+    match fields {
+        Fields::Named(names) => {
+            let mut pushes = String::new();
+            for f in names {
+                let key = apply_case(f, case, false);
+                pushes.push_str(&format!(
+                    "__o.push((::std::string::String::from(\"{key}\"), ::serde::__private::to_value(&{prefix}{f})));\n"
+                ));
+            }
+            format!(
+                "{{ let mut __o: ::std::vec::Vec<(::std::string::String, ::serde::__private::Value)> = ::std::vec::Vec::new(); {pushes} ::serde::__private::Value::Obj(__o) }}"
+            )
+        }
+        // Newtype structs serialize transparently, matching serde's JSON
+        // behaviour with or without #[serde(transparent)].
+        Fields::Tuple(1) => format!("::serde::__private::to_value(&{prefix}0)"),
+        Fields::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::__private::to_value(&{prefix}{i})"))
+                .collect();
+            format!(
+                "::serde::__private::Value::Arr(::std::vec::Vec::from([{}]))",
+                elems.join(", ")
+            )
+        }
+        Fields::Unit => {
+            let _ = name;
+            "::serde::__private::Value::Null".to_string()
+        }
+    }
+}
+
+/// Rename a field (snake source) or variant (Pascal source) per `rename_all`.
+fn apply_case(ident: &str, case: Case, is_variant: bool) -> String {
+    match (case, is_variant) {
+        (Case::Keep, _) => ident.to_string(),
+        (Case::Camel, false) => snake_to_camel(ident),
+        (Case::Camel, true) => {
+            let mut s = ident.to_string();
+            if let Some(first) = s.get(..1) {
+                let lower = first.to_lowercase();
+                s.replace_range(..1, &lower);
+            }
+            s
+        }
+        (Case::Snake, false) => ident.to_string(),
+        (Case::Snake, true) => pascal_to_snake(ident),
+    }
+}
+
+fn snake_to_camel(s: &str) -> String {
+    let mut out = String::new();
+    let mut upper_next = false;
+    for ch in s.chars() {
+        if ch == '_' {
+            upper_next = true;
+        } else if upper_next {
+            out.extend(ch.to_uppercase());
+            upper_next = false;
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+fn pascal_to_snake(s: &str) -> String {
+    let mut out = String::new();
+    for (i, ch) in s.chars().enumerate() {
+        if ch.is_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.extend(ch.to_lowercase());
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Token-walking parser
+// ---------------------------------------------------------------------------
+
+fn parse_container(input: TokenStream) -> Container {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut rename_all = Case::Keep;
+    let mut i = 0;
+    // Leading attributes (doc comments, #[serde(...)], #[repr(...)], ...).
+    while i < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[i] {
+            if p.as_char() == '#' {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    if let Some(case) = parse_serde_attr(g.stream()) {
+                        rename_all = case;
+                    }
+                    i += 2;
+                    continue;
+                }
+            }
+        }
+        break;
+    }
+    // Visibility (`pub`, `pub(crate)`, ...).
+    if matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive shim: expected struct/enum, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive shim: expected type name, got {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim: generic types are not supported (type {name})");
+    }
+    let data = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Struct(Fields::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::Struct(Fields::Tuple(count_tuple_fields(g.stream())))
+            }
+            _ => Data::Struct(Fields::Unit),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive shim: expected enum body, got {other:?}"),
+        },
+        other => panic!("serde_derive shim: unsupported item kind `{other}`"),
+    };
+    Container {
+        name,
+        rename_all,
+        data,
+    }
+}
+
+/// Extract `rename_all` from a `[serde(...)]` attribute group, if present.
+fn parse_serde_attr(attr: TokenStream) -> Option<Case> {
+    let tokens: Vec<TokenTree> = attr.into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let inner = match tokens.get(1) {
+        Some(TokenTree::Group(g)) => g.stream(),
+        _ => return None,
+    };
+    let inner: Vec<TokenTree> = inner.into_iter().collect();
+    let mut j = 0;
+    while j < inner.len() {
+        if let TokenTree::Ident(id) = &inner[j] {
+            match id.to_string().as_str() {
+                "rename_all" => {
+                    if let Some(TokenTree::Literal(lit)) = inner.get(j + 2) {
+                        let raw = lit.to_string();
+                        let value = raw.trim_matches('"');
+                        return Some(match value {
+                            "camelCase" => Case::Camel,
+                            "snake_case" => Case::Snake,
+                            other => {
+                                panic!("serde_derive shim: unsupported rename_all = \"{other}\"")
+                            }
+                        });
+                    }
+                }
+                // Transparent newtypes already serialize transparently.
+                "transparent" => return None,
+                other => panic!("serde_derive shim: unsupported serde attribute `{other}`"),
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Field names of a named-field body, in declaration order.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Attributes / doc comments on the field.
+        while matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '#') {
+            i += 2;
+        }
+        // Visibility.
+        if matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        match &tokens[i] {
+            TokenTree::Ident(id) => fields.push(id.to_string()),
+            other => panic!("serde_derive shim: expected field name, got {other}"),
+        }
+        i += 1; // name
+        i += 1; // ':'
+        i += skip_type(&tokens[i..]);
+        // Trailing comma, if any.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Number of fields in a tuple body (top-level comma count).
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut depth = 0i32;
+    for t in &tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => count += 1,
+                _ => {}
+            }
+        }
+    }
+    // A trailing comma would overcount; none of the workspace types have one
+    // in tuple position, but guard anyway.
+    if matches!(tokens.last(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+        count -= 1;
+    }
+    count
+}
+
+/// Tokens consumed by a type up to (not including) a top-level comma.
+fn skip_type(tokens: &[TokenTree]) -> usize {
+    let mut depth = 0i32;
+    for (n, t) in tokens.iter().enumerate() {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => return n,
+                _ => {}
+            }
+        }
+    }
+    tokens.len()
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '#') {
+            i += 2;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive shim: expected variant name, got {other}"),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}

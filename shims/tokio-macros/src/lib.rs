@@ -1,0 +1,65 @@
+//! Offline shim for `tokio-macros`: `#[tokio::test]` and `#[tokio::main]`.
+//!
+//! Both rewrites are purely syntactic: drop the `async` keyword and wrap the
+//! original body in `tokio::macros_support::block_on(async move { ... })`.
+//! Attribute arguments (`flavor`, `worker_threads`, `start_paused`) are
+//! accepted and ignored — the shim runtime has a single behaviour.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+/// `#[tokio::test]`: emit a synchronous `#[test]` that drives the async body.
+#[proc_macro_attribute]
+pub fn test(_args: TokenStream, item: TokenStream) -> TokenStream {
+    rewrite(item, true)
+}
+
+/// `#[tokio::main]`: emit a synchronous entry point driving the async body.
+#[proc_macro_attribute]
+pub fn main(_args: TokenStream, item: TokenStream) -> TokenStream {
+    rewrite(item, false)
+}
+
+fn rewrite(item: TokenStream, add_test_attr: bool) -> TokenStream {
+    let mut tokens: Vec<TokenTree> = item.into_iter().collect();
+
+    // Drop the first top-level `async`.
+    if let Some(idx) = tokens
+        .iter()
+        .position(|t| matches!(t, TokenTree::Ident(id) if id.to_string() == "async"))
+    {
+        tokens.remove(idx);
+    }
+
+    // The function body is the last top-level brace group.
+    let body_idx = tokens
+        .iter()
+        .rposition(|t| matches!(t, TokenTree::Group(g) if g.delimiter() == Delimiter::Brace))
+        .expect("tokio-macros shim: function body not found");
+    let body = match &tokens[body_idx] {
+        TokenTree::Group(g) => g.stream(),
+        _ => unreachable!(),
+    };
+
+    // { ::tokio::macros_support::block_on(async move { <body> }) }
+    let mut call_args = TokenStream::new();
+    call_args.extend("async move".parse::<TokenStream>().unwrap());
+    call_args.extend([TokenTree::Group(Group::new(Delimiter::Brace, body))]);
+    let mut new_body = TokenStream::new();
+    new_body.extend(
+        "::tokio::macros_support::block_on"
+            .parse::<TokenStream>()
+            .unwrap(),
+    );
+    new_body.extend([TokenTree::Group(Group::new(
+        Delimiter::Parenthesis,
+        call_args,
+    ))]);
+    tokens[body_idx] = TokenTree::Group(Group::new(Delimiter::Brace, new_body));
+
+    let mut out = TokenStream::new();
+    if add_test_attr {
+        out.extend("#[test]".parse::<TokenStream>().unwrap());
+    }
+    out.extend(tokens);
+    out
+}

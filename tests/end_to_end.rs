@@ -25,7 +25,9 @@ async fn detector_has_no_false_positives_and_high_recall() {
     let days = scenario.days;
     let pipeline = tiny_pipeline(&scenario);
     let mut sim = Simulation::new(scenario);
-    let run = sandwich_core::run_measurement(&mut sim, pipeline).await.unwrap();
+    let run = sandwich_core::run_measurement(&mut sim, pipeline)
+        .await
+        .unwrap();
     let report = run.analyze(&AnalysisConfig::paper_defaults(days));
     let truth = sim.truth();
 
@@ -61,7 +63,9 @@ async fn downtime_creates_gaps_without_breaking_analysis() {
     let days = scenario.days;
     let pipeline = tiny_pipeline(&scenario);
     let mut sim = Simulation::new(scenario);
-    let run = sandwich_core::run_measurement(&mut sim, pipeline).await.unwrap();
+    let run = sandwich_core::run_measurement(&mut sim, pipeline)
+        .await
+        .unwrap();
 
     // No polls on the downtime day.
     assert!(run.dataset.polls().iter().all(|p| p.day != 1));
@@ -90,7 +94,9 @@ async fn financial_estimates_track_ground_truth() {
     let days = scenario.days;
     let pipeline = tiny_pipeline(&scenario);
     let mut sim = Simulation::new(scenario);
-    let run = sandwich_core::run_measurement(&mut sim, pipeline).await.unwrap();
+    let run = sandwich_core::run_measurement(&mut sim, pipeline)
+        .await
+        .unwrap();
     let report = run.analyze(&AnalysisConfig::paper_defaults(days));
     let truth = sim.truth();
 
@@ -126,7 +132,9 @@ async fn defensive_classification_matches_ground_truth() {
     let days = scenario.days;
     let pipeline = tiny_pipeline(&scenario);
     let mut sim = Simulation::new(scenario);
-    let run = sandwich_core::run_measurement(&mut sim, pipeline).await.unwrap();
+    let run = sandwich_core::run_measurement(&mut sim, pipeline)
+        .await
+        .unwrap();
     let report = run.analyze(&AnalysisConfig::paper_defaults(days));
     let truth = sim.truth();
 

@@ -38,7 +38,9 @@ async fn start(bundles: Vec<LandedBundle>, cfg: ExplorerConfig) -> Explorer {
     for b in &bundles {
         store.record_bundle(b);
     }
-    Explorer::start(Arc::new(RwLock::new(store)), cfg).await.unwrap()
+    Explorer::start(Arc::new(RwLock::new(store)), cfg)
+        .await
+        .unwrap()
 }
 
 #[tokio::test]
@@ -61,7 +63,11 @@ async fn default_page_is_200_like_the_real_site() {
     let explorer = start(bundles, ExplorerConfig::default()).await;
     let client = HttpClient::new(explorer.addr());
     let page: RecentBundlesResponse = client.get_json("/api/v1/bundles").await.unwrap();
-    assert_eq!(page.bundles.len(), 200, "undocumented default the paper found");
+    assert_eq!(
+        page.bundles.len(),
+        200,
+        "undocumented default the paper found"
+    );
     explorer.shutdown().await;
 }
 
@@ -78,8 +84,15 @@ async fn pages_are_newest_first_and_consistent() {
     // Smaller page is a strict prefix.
     let small: RecentBundlesResponse = client.get_json("/api/v1/bundles?limit=10").await.unwrap();
     assert_eq!(
-        small.bundles.iter().map(|b| b.bundle_id).collect::<Vec<_>>(),
-        page.bundles[..10].iter().map(|b| b.bundle_id).collect::<Vec<_>>(),
+        small
+            .bundles
+            .iter()
+            .map(|b| b.bundle_id)
+            .collect::<Vec<_>>(),
+        page.bundles[..10]
+            .iter()
+            .map(|b| b.bundle_id)
+            .collect::<Vec<_>>(),
     );
     explorer.shutdown().await;
 }
@@ -116,7 +129,10 @@ async fn unknown_routes_and_methods() {
         client.post("/api/v1/bundles", vec![]).await.unwrap().status,
         405
     );
-    assert_eq!(client.get("/api/v1/transactions").await.unwrap().status, 405);
+    assert_eq!(
+        client.get("/api/v1/transactions").await.unwrap().status,
+        405
+    );
     explorer.shutdown().await;
 }
 
@@ -178,5 +194,84 @@ async fn collector_degrades_gracefully_under_rate_limit() {
     }
     assert!(failures >= 3, "rate limit bit: {failures} failures");
     assert!(collector.dataset.len() <= 10);
+    explorer.shutdown().await;
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 2)]
+async fn metrics_endpoint_serves_live_counters_during_run() {
+    use sandwich_core::{Collector, CollectorConfig};
+    use sandwich_obs::Registry;
+    use sandwich_sim::{ScenarioConfig, Simulation};
+
+    // One registry shared by every layer, scraped over HTTP mid-run.
+    let registry = Registry::new();
+    let mut sim = Simulation::new(ScenarioConfig::tiny());
+    sim.attach_registry(&registry);
+    let clock = sim.clock();
+
+    let store = Arc::new(RwLock::new(HistoryStore::new(clock, RetentionPolicy::All)));
+    let explorer =
+        Explorer::start_with_registry(store.clone(), ExplorerConfig::default(), registry.clone())
+            .await
+            .unwrap();
+    let mut collector = Collector::with_registry(
+        explorer.addr(),
+        CollectorConfig {
+            page_limit: 500,
+            detail_batch: 100,
+            ..Default::default()
+        },
+        &registry,
+    );
+
+    let mut tick = 0u64;
+    while let Some(outcome) = sim.step() {
+        store.write().record_slot(&outcome.result);
+        if tick.is_multiple_of(4) {
+            let _ = collector.poll_bundles(&clock, outcome.day).await;
+        }
+        tick += 1;
+    }
+    collector.fetch_pending_details().await.unwrap();
+
+    let snap = registry.snapshot();
+    for prefix in ["sim.", "engine.", "bank.", "explorer.", "collector."] {
+        assert!(snap.counter_sum(prefix) > 0, "no live {prefix} counters");
+    }
+
+    // The JSON scrape carries the same live values.
+    let client = HttpClient::new(explorer.addr());
+    let resp = client.get("/metrics").await.unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.header_value("content-type"), Some("application/json"));
+    let body = String::from_utf8(resp.body.to_vec()).unwrap();
+    for (name, value) in [
+        ("sim.ticks", snap.counter("sim.ticks").unwrap()),
+        (
+            "bank.tx_executed",
+            snap.counter("bank.tx_executed").unwrap(),
+        ),
+        (
+            "collector.polls_ok",
+            snap.counter("collector.polls_ok").unwrap(),
+        ),
+        (
+            "explorer.bundles_requests",
+            snap.counter("explorer.bundles_requests").unwrap(),
+        ),
+    ] {
+        assert!(value > 0, "{name} stayed zero");
+        assert!(
+            body.contains(&format!("\"{name}\":{value}")),
+            "missing {name}={value} in {body}"
+        );
+    }
+
+    // And the Prometheus rendering serves the same registry.
+    let prom = client.get("/metrics?format=prometheus").await.unwrap();
+    let text = String::from_utf8(prom.body.to_vec()).unwrap();
+    assert!(text.contains("# TYPE sim_ticks counter"), "{text}");
+    assert!(text.contains("engine_tip_lamports_bucket"), "{text}");
+
     explorer.shutdown().await;
 }

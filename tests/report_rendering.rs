@@ -19,8 +19,14 @@ async fn tiny_report() -> (
         ..Default::default()
     };
     let mut sim = Simulation::new(scenario.clone());
-    let run = sandwich_core::run_measurement(&mut sim, pipeline).await.unwrap();
-    (run.analyze(&AnalysisConfig::paper_defaults(days)), run.clock, scenario)
+    let run = sandwich_core::run_measurement(&mut sim, pipeline)
+        .await
+        .unwrap();
+    (
+        run.analyze(&AnalysisConfig::paper_defaults(days)),
+        run.clock,
+        scenario,
+    )
 }
 
 #[tokio::test(flavor = "multi_thread", worker_threads = 2)]
