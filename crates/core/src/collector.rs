@@ -6,11 +6,20 @@
 //! successive pages overlap (completeness), and separately batch-fetches
 //! transaction details — only for length-3 bundles, which average 2.77% of
 //! volume and carry the canonical sandwich shape.
+//!
+//! The collector is self-healing: an overlap miss (or the gap left by a
+//! failed epoch) triggers a bounded backfill that pages deeper through the
+//! `before` cursor until the gap is closed; a run of hard failures opens a
+//! circuit breaker that degrades polling to cheap single-attempt probes
+//! until the backend recovers.
 
 use std::sync::Arc;
 
 use sandwich_explorer::{RecentBundlesResponse, TxDetailsRequest, TxDetailsResponse};
-use sandwich_net::{retry, ClientError, HttpClient, RetryPolicy};
+use sandwich_net::{
+    retry_classified, BreakerConfig, BreakerState, CircuitBreaker, ClientError, ClientTimeouts,
+    HttpClient, RetryClass, RetryPolicy,
+};
 use sandwich_obs::{Counter, Gauge, Histogram, Registry};
 use sandwich_types::SlotClock;
 
@@ -28,6 +37,15 @@ pub struct CollectorConfig {
     pub detail_bundle_lens: &'static [usize],
     /// Retry policy for transient failures.
     pub retry: RetryPolicy,
+    /// Per-request connect/total deadlines.
+    pub timeouts: ClientTimeouts,
+    /// Circuit-breaker tunables (cooldown measured on the simulated clock
+    /// the pipeline passes as `now_ms`).
+    pub breaker: BreakerConfig,
+    /// Maximum deeper pages fetched per overlap miss. Bounds how much of
+    /// a long outage backfill will heal — a day-long gap stays a visible
+    /// gap, a single missed epoch is recovered in full.
+    pub backfill_max_pages: u32,
 }
 
 impl Default for CollectorConfig {
@@ -37,29 +55,42 @@ impl Default for CollectorConfig {
             detail_batch: 10_000,
             detail_bundle_lens: &[3],
             retry: RetryPolicy::default(),
+            timeouts: ClientTimeouts::default(),
+            breaker: BreakerConfig::default(),
+            backfill_max_pages: 8,
         }
     }
 }
 
 /// Cumulative collector health counters.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct CollectorStats {
     /// Successful bundle polls.
     pub polls_ok: u64,
     /// Bundle polls that failed after retries.
     pub polls_failed: u64,
+    /// Polls skipped because the circuit breaker was open.
+    pub polls_skipped: u64,
     /// Detail batches fetched.
     pub detail_batches: u64,
     /// Transaction details stored.
     pub details_fetched: u64,
     /// Total retry attempts spent.
     pub attempts: u64,
+    /// Backfill pages fetched after overlap misses.
+    pub backfill_pages: u64,
+    /// Bundles recovered by backfill.
+    pub bundles_recovered: u64,
+    /// Requests that hit a client-side deadline.
+    pub timeouts: u64,
 }
 
-/// Cached metric handles for collection health (`collector.` prefix).
+/// Cached metric handles for collection health (`collector.` prefix, plus
+/// the `client.` resilience metrics).
 struct CollectorMetrics {
     polls_ok: Arc<Counter>,
     polls_failed: Arc<Counter>,
+    polls_skipped_breaker: Arc<Counter>,
     retry_attempts: Arc<Counter>,
     overlap_misses: Arc<Counter>,
     poll_seconds: Arc<Histogram>,
@@ -67,6 +98,10 @@ struct CollectorMetrics {
     detail_batches: Arc<Counter>,
     details_fetched: Arc<Counter>,
     details_failed: Arc<Counter>,
+    backfill_pages: Arc<Counter>,
+    bundles_recovered: Arc<Counter>,
+    client_timeouts: Arc<Counter>,
+    breaker_state: Arc<Gauge>,
 }
 
 impl CollectorMetrics {
@@ -74,6 +109,7 @@ impl CollectorMetrics {
         CollectorMetrics {
             polls_ok: registry.counter("collector.polls_ok"),
             polls_failed: registry.counter("collector.polls_failed"),
+            polls_skipped_breaker: registry.counter("collector.polls_skipped_breaker"),
             retry_attempts: registry.counter("collector.retry_attempts"),
             overlap_misses: registry.counter("collector.overlap_misses"),
             poll_seconds: registry.histogram("collector.poll_seconds"),
@@ -81,7 +117,24 @@ impl CollectorMetrics {
             detail_batches: registry.counter("collector.detail_batches"),
             details_fetched: registry.counter("collector.details_fetched"),
             details_failed: registry.counter("collector.details_failed"),
+            backfill_pages: registry.counter("collector.backfill_pages"),
+            bundles_recovered: registry.counter("collector.bundles_recovered"),
+            client_timeouts: registry.counter("client.timeouts"),
+            breaker_state: registry.gauge("client.breaker_state"),
         }
+    }
+}
+
+/// Classify a client error for the retry loop, feeding 429 pacing hints
+/// back as the next delay.
+fn classify(e: &ClientError) -> RetryClass {
+    if let Some(hint) = e.retry_after() {
+        return RetryClass::AfterHint(hint);
+    }
+    if e.is_transient() {
+        RetryClass::Transient
+    } else {
+        RetryClass::Permanent
     }
 }
 
@@ -90,6 +143,7 @@ pub struct Collector {
     client: HttpClient,
     config: CollectorConfig,
     metrics: Option<CollectorMetrics>,
+    breaker: CircuitBreaker,
     /// Everything collected so far.
     pub dataset: Dataset,
     /// Health counters.
@@ -100,7 +154,8 @@ impl Collector {
     /// A collector aimed at an explorer instance.
     pub fn new(addr: std::net::SocketAddr, config: CollectorConfig) -> Self {
         Collector {
-            client: HttpClient::new(addr),
+            client: HttpClient::new(addr).with_timeouts(config.timeouts),
+            breaker: CircuitBreaker::new(config.breaker),
             config,
             metrics: None,
             dataset: Dataset::new(),
@@ -120,31 +175,119 @@ impl Collector {
         collector
     }
 
-    /// One polling epoch: fetch the most recent page and ingest it.
+    /// Current circuit-breaker state at simulated time `now_ms`.
+    pub fn breaker_state(&mut self, now_ms: u64) -> BreakerState {
+        self.breaker.state_at(now_ms)
+    }
+
+    /// Restore checkpointed state: the dataset and cumulative counters
+    /// pick up where the killed run left off. The restored counters are
+    /// replayed into the registry so `/metrics` stays consistent with
+    /// `stats` across a resume. The breaker restarts closed — worst case
+    /// the first poll re-discovers a still-down backend.
+    pub fn restore(&mut self, stats: CollectorStats, dataset: Dataset) {
+        if let Some(m) = &self.metrics {
+            m.polls_ok.add(stats.polls_ok);
+            m.polls_failed.add(stats.polls_failed);
+            m.polls_skipped_breaker.add(stats.polls_skipped);
+            m.retry_attempts.add(stats.attempts);
+            m.detail_batches.add(stats.detail_batches);
+            m.details_fetched.add(stats.details_fetched);
+            m.backfill_pages.add(stats.backfill_pages);
+            m.bundles_recovered.add(stats.bundles_recovered);
+            m.client_timeouts.add(stats.timeouts);
+        }
+        self.stats = stats;
+        self.dataset = dataset;
+    }
+
+    /// The retry policy for the current breaker state: half-open probes
+    /// are single-attempt so a still-down backend costs one request, not a
+    /// whole retry ladder.
+    fn policy_for(&mut self, now_ms: u64) -> RetryPolicy {
+        if self.breaker.state_at(now_ms) == BreakerState::HalfOpen {
+            RetryPolicy {
+                max_attempts: 1,
+                ..self.config.retry
+            }
+        } else {
+            self.config.retry
+        }
+    }
+
+    fn record_outcome(&mut self, ok: bool, now_ms: u64) {
+        if ok {
+            self.breaker.record_success();
+        } else {
+            self.breaker.record_failure(now_ms);
+        }
+        if let Some(m) = &self.metrics {
+            m.breaker_state
+                .set(self.breaker.state_at(now_ms).as_gauge());
+        }
+    }
+
+    fn count_timeouts(&mut self, n: u64) {
+        if n > 0 {
+            self.stats.timeouts += n;
+            if let Some(m) = &self.metrics {
+                m.client_timeouts.add(n);
+            }
+        }
+    }
+
+    /// One polling epoch at simulated time `now_ms`: fetch the most recent
+    /// page, ingest it, and heal any overlap miss by backfilling.
+    ///
+    /// Returns `Ok(None)` when the circuit breaker is open and the poll was
+    /// skipped (degraded mode) — not a failure, not a success.
     pub async fn poll_bundles(
         &mut self,
         clock: &SlotClock,
         day: u64,
-    ) -> Result<PollRecord, ClientError> {
+        now_ms: u64,
+    ) -> Result<Option<PollRecord>, ClientError> {
+        if !self.breaker.allow(now_ms) {
+            self.stats.polls_skipped += 1;
+            if let Some(m) = &self.metrics {
+                m.polls_skipped_breaker.inc();
+                m.breaker_state
+                    .set(self.breaker.state_at(now_ms).as_gauge());
+            }
+            return Ok(None);
+        }
         let client = self.client;
+        let policy = self.policy_for(now_ms);
         let path = format!("/api/v1/bundles?limit={}", self.config.page_limit);
         let started = std::time::Instant::now();
-        let outcome = retry(
-            self.config.retry,
+        // Count every attempt that hit a client deadline, including ones a
+        // later retry recovered — `client.timeouts` is an attempt-level
+        // signal, not a poll-level one.
+        let timed_out = std::cell::Cell::new(0u64);
+        let outcome = retry_classified(
+            policy,
             || client.get_json::<RecentBundlesResponse>(&path),
-            ClientError::is_transient,
+            |e| {
+                if e.is_timeout() {
+                    timed_out.set(timed_out.get() + 1);
+                }
+                classify(e)
+            },
         )
         .await;
+        self.count_timeouts(timed_out.get());
         self.stats.attempts += outcome.attempts as u64;
         if let Some(m) = &self.metrics {
             m.poll_seconds.observe(started.elapsed().as_secs_f64());
             m.retry_attempts
                 .add(outcome.attempts.saturating_sub(1) as u64);
         }
+        self.record_outcome(outcome.result.is_ok(), now_ms);
         match outcome.result {
             Ok(page) => {
                 self.stats.polls_ok += 1;
                 let had_prior_poll = !self.dataset.polls().is_empty();
+                let prior_newest = self.dataset.newest_slot();
                 let rec = self.dataset.ingest_page(&page.bundles, clock, day);
                 if let Some(m) = &self.metrics {
                     m.polls_ok.inc();
@@ -152,7 +295,21 @@ impl Collector {
                         m.overlap_misses.inc();
                     }
                 }
-                Ok(rec)
+                let mut rec = rec;
+                if had_prior_poll && !rec.overlapped_previous {
+                    // The page did not touch anything previously collected:
+                    // an epoch was missed. Page deeper until the gap closes
+                    // (bounded, so a day-long outage stays a visible gap).
+                    let oldest_fetched = page.bundles.last().map(|b| b.slot);
+                    if let (Some(cursor), Some(_)) = (oldest_fetched, prior_newest) {
+                        if self.backfill(clock, cursor).await {
+                            self.dataset.mark_last_poll_overlapped();
+                            rec.overlapped_previous = true;
+                        }
+                    }
+                    self.dataset.sort_chronological();
+                }
+                Ok(Some(rec))
             }
             Err(e) => {
                 self.stats.polls_failed += 1;
@@ -164,29 +321,96 @@ impl Collector {
         }
     }
 
+    /// Page deeper through the `before` cursor until a page overlaps
+    /// already-collected bundles, comes back empty, or the page budget is
+    /// spent. Returns true when the gap was closed.
+    async fn backfill(&mut self, clock: &SlotClock, mut cursor: u64) -> bool {
+        let client = self.client;
+        for _ in 0..self.config.backfill_max_pages {
+            let path = format!(
+                "/api/v1/bundles?limit={}&before={}",
+                self.config.page_limit, cursor
+            );
+            let timed_out = std::cell::Cell::new(0u64);
+            let outcome = retry_classified(
+                self.config.retry,
+                || client.get_json::<RecentBundlesResponse>(&path),
+                |e| {
+                    if e.is_timeout() {
+                        timed_out.set(timed_out.get() + 1);
+                    }
+                    classify(e)
+                },
+            )
+            .await;
+            self.count_timeouts(timed_out.get());
+            self.stats.attempts += outcome.attempts as u64;
+            if let Some(m) = &self.metrics {
+                m.retry_attempts
+                    .add(outcome.attempts.saturating_sub(1) as u64);
+            }
+            let page = match outcome.result {
+                Ok(page) => page,
+                // Backend still unhealthy: give up, leave the gap.
+                Err(_) => return false,
+            };
+            self.stats.backfill_pages += 1;
+            if let Some(m) = &self.metrics {
+                m.backfill_pages.inc();
+            }
+            if page.bundles.is_empty() {
+                // Walked past the beginning of history: nothing older
+                // exists, so there is no gap below us.
+                return true;
+            }
+            let (new, reached_known) = self.dataset.ingest_backfill_page(&page.bundles, clock);
+            self.stats.bundles_recovered += new as u64;
+            if let Some(m) = &self.metrics {
+                m.bundles_recovered.add(new as u64);
+            }
+            if reached_known {
+                return true;
+            }
+            cursor = page.bundles.last().map(|b| b.slot).unwrap_or(cursor);
+        }
+        false
+    }
+
     /// Fetch details for all length-3 bundles not yet resolved, in batches.
-    /// Returns the number of details stored.
-    pub async fn fetch_pending_details(&mut self) -> Result<usize, ClientError> {
+    /// Returns the number of details stored; skips entirely (Ok(0)) while
+    /// the breaker is open. A failed batch is requeued, not lost.
+    pub async fn fetch_pending_details(&mut self, now_ms: u64) -> Result<usize, ClientError> {
+        if !self.breaker.allow(now_ms) {
+            return Ok(0);
+        }
         let client = self.client;
         let mut total = 0usize;
         for &len in self.config.detail_bundle_lens {
             loop {
-                let ids = self
+                let (ids, marked) = self
                     .dataset
-                    .pending_detail_ids(len, self.config.detail_batch);
+                    .take_pending_details(len, self.config.detail_batch);
                 if let Some(m) = &self.metrics {
                     m.detail_backlog.set(ids.len() as i64);
                 }
                 if ids.is_empty() {
                     break;
                 }
+                let policy = self.policy_for(now_ms);
                 let request = TxDetailsRequest { tx_ids: ids };
-                let outcome = retry(
-                    self.config.retry,
+                let timed_out = std::cell::Cell::new(0u64);
+                let outcome = retry_classified(
+                    policy,
                     || client.post_json::<_, TxDetailsResponse>("/api/v1/transactions", &request),
-                    ClientError::is_transient,
+                    |e| {
+                        if e.is_timeout() {
+                            timed_out.set(timed_out.get() + 1);
+                        }
+                        classify(e)
+                    },
                 )
                 .await;
+                self.count_timeouts(timed_out.get());
                 self.stats.attempts += outcome.attempts as u64;
                 if let Some(m) = &self.metrics {
                     m.retry_attempts
@@ -195,7 +419,15 @@ impl Collector {
                         m.details_failed.inc();
                     }
                 }
-                let resp = outcome.result?;
+                self.record_outcome(outcome.result.is_ok(), now_ms);
+                let resp = match outcome.result {
+                    Ok(resp) => resp,
+                    Err(e) => {
+                        // Requeue: these bundles' details are still owed.
+                        self.dataset.unmark_detail_requested(&marked);
+                        return Err(e);
+                    }
+                };
                 let added = self.dataset.ingest_details(&resp.transactions);
                 self.stats.detail_batches += 1;
                 self.stats.details_fetched += added as u64;
@@ -263,10 +495,10 @@ mod tests {
             },
         );
         let clock = SlotClock::default();
-        let rec = collector.poll_bundles(&clock, 0).await.unwrap();
+        let rec = collector.poll_bundles(&clock, 0, 0).await.unwrap().unwrap();
         assert_eq!(rec.fetched, 20);
         assert_eq!(rec.new, 20);
-        let rec2 = collector.poll_bundles(&clock, 0).await.unwrap();
+        let rec2 = collector.poll_bundles(&clock, 0, 0).await.unwrap().unwrap();
         assert_eq!(rec2.new, 0);
         assert!(rec2.overlapped_previous);
         assert_eq!(collector.dataset.len(), 20);
@@ -276,25 +508,41 @@ mod tests {
 
     #[tokio::test]
     async fn survives_transient_failures_via_retry() {
+        use sandwich_explorer::FaultPlanConfig;
+
         let bundles: Vec<_> = (0..5).map(|i| landed(i, 1, i)).collect();
         let explorer = explorer_with(
             bundles,
             ExplorerConfig {
-                transient_failure_rate: 0.5,
-                seed: 3,
+                faults: FaultPlanConfig::uniform_503(0.5, 3),
                 ..Default::default()
             },
         )
         .await;
-        let mut collector = Collector::new(explorer.addr(), CollectorConfig::default());
+        let mut collector = Collector::new(
+            explorer.addr(),
+            CollectorConfig {
+                retry: RetryPolicy {
+                    base_delay: std::time::Duration::from_millis(1),
+                    max_delay: std::time::Duration::from_millis(4),
+                    ..RetryPolicy::default()
+                },
+                ..Default::default()
+            },
+        );
         let clock = SlotClock::default();
         // With four attempts per poll at 50% failure, ten polls virtually
-        // always succeed overall.
+        // always succeed overall. Spread polls across fault-plan buckets so
+        // each draws fresh fault decisions.
         let mut ok = 0;
-        for _ in 0..10 {
-            if collector.poll_bundles(&clock, 0).await.is_ok() {
+        for i in 0..10u64 {
+            if matches!(
+                collector.poll_bundles(&clock, 0, i * 61_000).await,
+                Ok(Some(_))
+            ) {
                 ok += 1;
             }
+            collector.breaker.record_success(); // isolate retry behaviour
         }
         assert!(ok >= 8, "{ok} of 10 polls succeeded");
         assert!(
@@ -315,12 +563,12 @@ mod tests {
         let explorer = explorer_with(bundles, ExplorerConfig::default()).await;
         let mut collector = Collector::new(explorer.addr(), CollectorConfig::default());
         let clock = SlotClock::default();
-        collector.poll_bundles(&clock, 0).await.unwrap();
-        let added = collector.fetch_pending_details().await.unwrap();
+        collector.poll_bundles(&clock, 0, 0).await.unwrap();
+        let added = collector.fetch_pending_details(0).await.unwrap();
         assert_eq!(added, 6, "two length-3 bundles × 3 transactions");
         assert_eq!(collector.dataset.detail_count(), 6);
         // Idempotent: nothing further pending.
-        assert_eq!(collector.fetch_pending_details().await.unwrap(), 0);
+        assert_eq!(collector.fetch_pending_details(0).await.unwrap(), 0);
         explorer.shutdown().await;
     }
 
@@ -336,10 +584,114 @@ mod tests {
             },
         );
         let clock = SlotClock::default();
-        collector.poll_bundles(&clock, 0).await.unwrap();
-        let added = collector.fetch_pending_details().await.unwrap();
+        collector.poll_bundles(&clock, 0, 0).await.unwrap();
+        let added = collector.fetch_pending_details(0).await.unwrap();
         assert_eq!(added, 30);
         assert_eq!(collector.stats.detail_batches, 5);
+        explorer.shutdown().await;
+    }
+
+    #[tokio::test]
+    async fn backfill_recovers_a_dropped_page() {
+        // 60 bundles exist; the collector's page only covers the newest 20.
+        // First poll sees 0..20 (oldest), then 40 more land before the next
+        // poll — a deliberate gap of one full page.
+        let mut store = HistoryStore::new(SlotClock::default(), RetentionPolicy::All);
+        for i in 0..20u64 {
+            store.record_bundle(&landed(i, 1, i));
+        }
+        let store = Arc::new(RwLock::new(store));
+        let explorer = Explorer::start(store.clone(), ExplorerConfig::default())
+            .await
+            .unwrap();
+        let mut collector = Collector::new(
+            explorer.addr(),
+            CollectorConfig {
+                page_limit: 20,
+                ..Default::default()
+            },
+        );
+        let clock = SlotClock::default();
+        collector.poll_bundles(&clock, 0, 0).await.unwrap();
+        assert_eq!(collector.dataset.len(), 20);
+
+        // 40 more bundles land: the next page (40..60) misses 20..40.
+        for i in 20..60u64 {
+            store.write().record_bundle(&landed(i, 1, i));
+        }
+        let rec = collector.poll_bundles(&clock, 0, 1).await.unwrap().unwrap();
+        // Backfill healed the gap and patched the poll record.
+        assert!(rec.overlapped_previous, "gap closed by backfill");
+        assert_eq!(collector.dataset.len(), 60, "all 60 bundles collected");
+        assert!(collector.stats.backfill_pages >= 1);
+        assert_eq!(collector.stats.bundles_recovered, 20);
+        assert_eq!(collector.dataset.overlap_rate(), 1.0);
+        // Chronological order restored despite out-of-order ingestion.
+        let slots: Vec<u64> = collector
+            .dataset
+            .bundles()
+            .iter()
+            .map(|b| b.slot.0)
+            .collect();
+        let mut sorted = slots.clone();
+        sorted.sort_unstable();
+        assert_eq!(slots, sorted);
+        explorer.shutdown().await;
+    }
+
+    #[tokio::test]
+    async fn breaker_opens_during_outage_and_recovers() {
+        use sandwich_explorer::FaultPlanConfig;
+
+        let bundles: Vec<_> = (0..10).map(|i| landed(i, 1, i)).collect();
+        let explorer = explorer_with(
+            bundles,
+            ExplorerConfig {
+                faults: FaultPlanConfig {
+                    outages_ms: vec![(0, 100_000)],
+                    ..FaultPlanConfig::default()
+                },
+                ..Default::default()
+            },
+        )
+        .await;
+        let mut collector = Collector::new(
+            explorer.addr(),
+            CollectorConfig {
+                retry: RetryPolicy {
+                    base_delay: std::time::Duration::from_millis(1),
+                    max_delay: std::time::Duration::from_millis(2),
+                    ..RetryPolicy::default()
+                },
+                breaker: BreakerConfig {
+                    failure_threshold: 3,
+                    cooldown_ms: 10_000,
+                },
+                ..Default::default()
+            },
+        );
+        let clock = SlotClock::default();
+        // Three failing polls trip the breaker.
+        for t in 0..3u64 {
+            assert!(collector.poll_bundles(&clock, 0, t * 1_000).await.is_err());
+        }
+        assert_eq!(collector.breaker_state(3_000), BreakerState::Open);
+        // While open, polls are skipped without touching the network.
+        let before = collector.stats.attempts;
+        assert!(matches!(
+            collector.poll_bundles(&clock, 0, 4_000).await,
+            Ok(None)
+        ));
+        assert_eq!(collector.stats.attempts, before, "no request sent");
+        assert_eq!(collector.stats.polls_skipped, 1);
+        // After the cooldown, a half-open probe fails (still in outage) and
+        // re-opens; explorer time must advance past the outage first.
+        explorer.set_now_ms(100_000);
+        assert!(matches!(
+            collector.poll_bundles(&clock, 0, 14_000).await,
+            Ok(Some(_))
+        ));
+        assert_eq!(collector.breaker_state(14_000), BreakerState::Closed);
         explorer.shutdown().await;
     }
 }

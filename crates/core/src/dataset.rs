@@ -122,6 +122,57 @@ impl Dataset {
         record
     }
 
+    /// Ingest a backfill page fetched behind a `before` cursor after a
+    /// missed epoch. Unlike [`Dataset::ingest_page`] this logs no poll
+    /// record — backfill repairs the gap left by an already-recorded poll.
+    ///
+    /// Returns `(new_bundles, reached_known)` where `reached_known` is true
+    /// once the page touched bundles already collected — the signal that
+    /// the gap has been closed.
+    pub fn ingest_backfill_page(
+        &mut self,
+        page: &[BundleSummaryJson],
+        clock: &SlotClock,
+    ) -> (usize, bool) {
+        let mut new = 0usize;
+        let mut reached_known = false;
+        for b in page.iter().rev() {
+            if self.seen.contains(&b.bundle_id) {
+                reached_known = true;
+                continue;
+            }
+            self.seen.insert(b.bundle_id);
+            self.bundles.push(CollectedBundle {
+                bundle_id: b.bundle_id,
+                slot: Slot(b.slot),
+                timestamp_ms: clock.unix_ms(Slot(b.slot)),
+                tip: b.tip(),
+                tx_ids: b.transactions.clone(),
+            });
+            new += 1;
+        }
+        (new, reached_known)
+    }
+
+    /// Newest collected slot, if any (the backfill cursor's starting edge).
+    pub fn newest_slot(&self) -> Option<u64> {
+        self.bundles.iter().map(|b| b.slot.0).max()
+    }
+
+    /// Mark the most recent poll as overlapping — called after a backfill
+    /// pass closed the gap that poll had opened.
+    pub fn mark_last_poll_overlapped(&mut self) {
+        if let Some(last) = self.polls.last_mut() {
+            last.overlapped_previous = true;
+        }
+    }
+
+    /// Restore chronological bundle order after backfill inserted older
+    /// bundles behind the newest page.
+    pub fn sort_chronological(&mut self) {
+        self.bundles.sort_by_key(|b| b.slot);
+    }
+
     /// Ingest a batch of transaction details.
     pub fn ingest_details(&mut self, details: &[Option<TxDetailJson>]) -> usize {
         let mut added = 0;
@@ -184,17 +235,38 @@ impl Dataset {
     /// requested yet; marks them requested. This is the paper's strategy of
     /// fetching details only for bundles of length three (§3.1).
     pub fn pending_detail_ids(&mut self, len: usize, max: usize) -> Vec<TransactionId> {
+        self.take_pending_details(len, max).0
+    }
+
+    /// Like [`Dataset::pending_detail_ids`], but also returns the bundle
+    /// ids that were marked — so a failed fetch can requeue them with
+    /// [`Dataset::unmark_detail_requested`] instead of silently losing the
+    /// details forever.
+    pub fn take_pending_details(
+        &mut self,
+        len: usize,
+        max: usize,
+    ) -> (Vec<TransactionId>, Vec<sandwich_jito::BundleId>) {
         let mut out = Vec::new();
+        let mut marked = Vec::new();
         for b in &self.bundles {
             if out.len() + len > max {
                 break;
             }
             if b.len() == len && !self.detail_requested.contains(&b.bundle_id) {
                 self.detail_requested.insert(b.bundle_id);
+                marked.push(b.bundle_id);
                 out.extend(b.tx_ids.iter().copied());
             }
         }
-        out
+        (out, marked)
+    }
+
+    /// Return bundles to the pending-details queue after a failed fetch.
+    pub fn unmark_detail_requested(&mut self, bundle_ids: &[sandwich_jito::BundleId]) {
+        for id in bundle_ids {
+            self.detail_requested.remove(id);
+        }
     }
 
     /// Measurement-day index of a collected bundle.
@@ -266,6 +338,16 @@ impl Dataset {
             }
         }
         ds.bundles.sort_by_key(|b| b.slot);
+        // Rebuild the pending-details bookkeeping: a bundle whose details
+        // all survived the roundtrip was requested; anything else goes back
+        // in the queue so a resumed run re-fetches it.
+        let requested: Vec<_> = ds
+            .bundles
+            .iter()
+            .filter(|b| b.tx_ids.iter().all(|id| ds.details.contains_key(id)))
+            .map(|b| b.bundle_id)
+            .collect();
+        ds.detail_requested.extend(requested);
         Ok(ds)
     }
 }
@@ -391,6 +473,69 @@ mod tests {
         sorted.sort_unstable();
         assert_eq!(slots, sorted, "chronological after reload");
         assert!(back.detail(&detail.tx_id).is_some());
+    }
+
+    #[test]
+    fn backfill_ingest_reaches_known_bundles() {
+        let clock = SlotClock::default();
+        let mut ds = Dataset::new();
+        // Normal poll over slots 0..5, then a gapped poll over 20..22.
+        let p1: Vec<_> = (0..5).rev().map(|i| page_entry(i, i, 1)).collect();
+        ds.ingest_page(&p1, &clock, 0);
+        let p2: Vec<_> = (20..22).rev().map(|i| page_entry(i, i, 1)).collect();
+        let r2 = ds.ingest_page(&p2, &clock, 0);
+        assert!(!r2.overlapped_previous);
+
+        // Backfill page covering the hole but not touching known bundles.
+        let fill: Vec<_> = (10..20).rev().map(|i| page_entry(i, i, 1)).collect();
+        let (new, reached) = ds.ingest_backfill_page(&fill, &clock);
+        assert_eq!(new, 10);
+        assert!(!reached);
+
+        // Deeper page reaches the previously collected range.
+        let fill2: Vec<_> = (3..10).rev().map(|i| page_entry(i, i, 1)).collect();
+        let (new, reached) = ds.ingest_backfill_page(&fill2, &clock);
+        assert_eq!(new, 5, "bundles 3 and 4 were already collected");
+        assert!(reached, "touched bundles 3 and 4");
+
+        ds.mark_last_poll_overlapped();
+        assert!(ds.polls().last().unwrap().overlapped_previous);
+        ds.sort_chronological();
+        let slots: Vec<u64> = ds.bundles().iter().map(|b| b.slot.0).collect();
+        let mut sorted = slots.clone();
+        sorted.sort_unstable();
+        assert_eq!(slots, sorted);
+    }
+
+    #[test]
+    fn unmark_requeues_failed_detail_fetches() {
+        let clock = SlotClock::default();
+        let mut ds = Dataset::new();
+        let page: Vec<_> = (0..2).map(|i| page_entry(i, i, 3)).collect();
+        ds.ingest_page(&page, &clock, 0);
+        let (ids, marked) = ds.take_pending_details(3, 100);
+        assert_eq!(ids.len(), 6);
+        assert_eq!(marked.len(), 2);
+        assert!(ds.pending_detail_ids(3, 100).is_empty());
+        // Fetch failed: requeue, then the same work comes back.
+        ds.unmark_detail_requested(&marked);
+        assert_eq!(ds.pending_detail_ids(3, 100).len(), 6);
+    }
+
+    #[test]
+    fn jsonl_reload_requeues_incomplete_details() {
+        let clock = SlotClock::default();
+        let mut ds = Dataset::new();
+        let page: Vec<_> = (0..2).map(|i| page_entry(i, i, 3)).collect();
+        ds.ingest_page(&page, &clock, 0);
+        // Mark both requested but ingest no details: after a reload both
+        // must be pending again.
+        let (_, marked) = ds.take_pending_details(3, 100);
+        assert_eq!(marked.len(), 2);
+        let mut buf = Vec::new();
+        ds.write_jsonl(&mut buf).unwrap();
+        let mut back = Dataset::read_jsonl(std::io::BufReader::new(&buf[..])).unwrap();
+        assert_eq!(back.pending_detail_ids(3, 100).len(), 6);
     }
 
     #[test]

@@ -14,6 +14,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod checkpoint;
 pub mod collector;
 pub mod counterfactual;
 pub mod dataset;
@@ -24,6 +25,7 @@ pub mod report;
 pub mod stats;
 
 pub use analysis::{analyze, AnalysisConfig, AnalysisReport, DatedFinding};
+pub use checkpoint::Checkpoint;
 pub use collector::{Collector, CollectorConfig, CollectorStats};
 pub use counterfactual::{
     defense_economics, defensive_counterfactual, slippage_counterfactual, DefenseEconomics,
@@ -34,5 +36,8 @@ pub use defense::{is_defensive, is_defensive_at, threshold_sweep, DefenseStats};
 pub use detector::{
     detect, detect_in_bundle, extract_trade, Currency, DetectorConfig, SandwichFinding, Trade,
 };
-pub use pipeline::{run_measurement, scaled_page_limit, MeasurementRun, PipelineConfig};
+pub use pipeline::{
+    run_measurement, run_measurement_with, scaled_page_limit, MeasurementRun, PipelineConfig,
+    RunOptions,
+};
 pub use stats::{Cdf, DailySeries};

@@ -2,10 +2,11 @@
 //! HTTP → polling collector → analysis.
 //!
 //! This is the whole paper in one function: the simulation produces blocks,
-//! the explorer serves its two endpoints, the collector polls every two
-//! simulated minutes (skipping the configured downtime windows, which
-//! become Figure 1's shaded gaps), and the analysis turns the dataset into
-//! the figures.
+//! the explorer serves its two endpoints (injecting whatever faults its
+//! plan schedules — including the configured downtime windows, which
+//! become Figure 1's shaded gaps), and the collector polls every two
+//! simulated minutes, riding out faults with retries, a circuit breaker,
+//! and overlap backfill. The analysis turns the dataset into the figures.
 
 use std::sync::Arc;
 
@@ -17,13 +18,17 @@ use sandwich_sim::Simulation;
 use sandwich_types::SlotClock;
 
 use crate::analysis::{analyze, AnalysisConfig, AnalysisReport};
+use crate::checkpoint::Checkpoint;
 use crate::collector::{Collector, CollectorConfig, CollectorStats};
 use crate::dataset::Dataset;
 
 /// Pipeline tunables.
 #[derive(Clone, Debug)]
 pub struct PipelineConfig {
-    /// Explorer service behaviour.
+    /// Explorer service behaviour, including its fault-injection plan.
+    /// The scenario's `downtime_days` are appended to the plan's outage
+    /// windows automatically — downtime is a server-side fault the
+    /// collector must survive, not a voluntary skip.
     pub explorer: ExplorerConfig,
     /// Collector behaviour. `page_limit` should be the scaled equivalent
     /// of the paper's 50,000 (see [`scaled_page_limit`]).
@@ -43,6 +48,18 @@ impl Default for PipelineConfig {
             detail_every_ticks: 30,
         }
     }
+}
+
+/// Run control: where to stop and where to pick up.
+#[derive(Default)]
+pub struct RunOptions {
+    /// Stop before processing this tick, as if the process were killed.
+    /// The run returns with `next_tick` set so it can be checkpointed.
+    pub halt_at_tick: Option<u64>,
+    /// Resume from a previous run's checkpoint: the simulation is replayed
+    /// deterministically (feeding the explorer's history) without polling
+    /// until the checkpointed cursor, then collection continues.
+    pub resume: Option<Checkpoint>,
 }
 
 /// The paper's 50,000-bundle page, scaled to the scenario.
@@ -68,6 +85,11 @@ pub struct MeasurementRun {
     pub explorer_requests: u64,
     /// Polls that failed even after retries (missed epochs).
     pub polls_failed: u64,
+    /// The first tick a resumed run would process. Equal to the tick count
+    /// for a run that finished; the halt point for a halted run.
+    pub next_tick: u64,
+    /// Whether the run stopped at `halt_at_tick` rather than completing.
+    pub halted: bool,
     /// Final metrics snapshot across every layer (`sim.`, `engine.`,
     /// `bank.`, `explorer.`, `collector.`, `pipeline.`).
     pub metrics: Snapshot,
@@ -80,6 +102,15 @@ impl MeasurementRun {
     pub fn analyze(&self, config: &AnalysisConfig) -> AnalysisReport {
         analyze(&self.dataset, &self.clock, config)
     }
+
+    /// Convert a (typically halted) run into a resumable checkpoint.
+    pub fn into_checkpoint(self) -> Checkpoint {
+        Checkpoint {
+            next_tick: self.next_tick,
+            stats: self.collector_stats,
+            dataset: self.dataset,
+        }
+    }
 }
 
 /// Drive `sim` to completion while collecting through a live explorer
@@ -87,6 +118,15 @@ impl MeasurementRun {
 pub async fn run_measurement(
     sim: &mut Simulation,
     config: PipelineConfig,
+) -> std::io::Result<MeasurementRun> {
+    run_measurement_with(sim, config, RunOptions::default()).await
+}
+
+/// [`run_measurement`] with halt/resume control.
+pub async fn run_measurement_with(
+    sim: &mut Simulation,
+    config: PipelineConfig,
+    opts: RunOptions,
 ) -> std::io::Result<MeasurementRun> {
     let clock = sim.clock();
     // Retain details exactly where the collector will ask for them.
@@ -99,31 +139,60 @@ pub async fn run_measurement(
     // One registry shared by every layer, live at the explorer's /metrics.
     let registry = Registry::new();
     sim.attach_registry(&registry);
+    // Scheduled downtime is served as a hard outage by the explorer, so the
+    // collector's retry/breaker path — not a voluntary skip — produces the
+    // Figure 1 gaps.
+    let mut explorer_config = config.explorer.clone();
+    explorer_config
+        .faults
+        .outages_ms
+        .extend(sim.config().downtime_windows_ms(&clock));
     let explorer =
-        Explorer::start_with_registry(store.clone(), config.explorer.clone(), registry.clone())
-            .await?;
+        Explorer::start_with_registry(store.clone(), explorer_config, registry.clone()).await?;
     let mut collector = Collector::with_registry(explorer.addr(), config.collector, &registry);
     let poll_errors = registry.counter("pipeline.poll_errors");
     let detail_errors = registry.counter("pipeline.detail_errors");
 
+    // Resume: restore the collected state, then fast-forward the (fully
+    // deterministic) simulation to the cursor without touching the network.
+    let start_tick = match opts.resume {
+        Some(cp) => {
+            // Keep the pipeline-level ledger in step with the restored
+            // collector counters (poll_errors mirrors polls_failed).
+            poll_errors.add(cp.stats.polls_failed);
+            collector.restore(cp.stats, cp.dataset);
+            cp.next_tick
+        }
+        None => 0,
+    };
+
     let mut tick_counter = 0u64;
+    let mut halted = false;
     while let Some(outcome) = sim.step() {
+        if opts.halt_at_tick.is_some_and(|h| tick_counter >= h) {
+            halted = true;
+            break;
+        }
         store.write().record_slot(&outcome.result);
         let now_ms = clock.unix_ms(outcome.result.block.slot);
         explorer.set_now_ms(now_ms);
 
-        let downtime = sim.config().is_downtime(outcome.day);
-        if !downtime {
+        if tick_counter >= start_tick {
             if tick_counter.is_multiple_of(config.poll_every_ticks) {
                 // Transient failures are survived by retries; a poll that
-                // still fails is a missed epoch, like the paper's — but it
-                // is counted, not discarded.
-                if collector.poll_bundles(&clock, outcome.day).await.is_err() {
+                // still fails after them is a missed epoch, like the
+                // paper's — but it is counted, not discarded. A poll the
+                // open circuit breaker skipped is neither.
+                if collector
+                    .poll_bundles(&clock, outcome.day, now_ms)
+                    .await
+                    .is_err()
+                {
                     poll_errors.inc();
                 }
             }
             if tick_counter.is_multiple_of(config.detail_every_ticks)
-                && collector.fetch_pending_details().await.is_err()
+                && collector.fetch_pending_details(now_ms).await.is_err()
             {
                 detail_errors.inc();
             }
@@ -131,9 +200,13 @@ pub async fn run_measurement(
         tick_counter += 1;
     }
 
-    // Final sweep for any details still pending.
-    if collector.fetch_pending_details().await.is_err() {
-        detail_errors.inc();
+    // Final sweep for any details still pending — unless we are emulating a
+    // kill, which gets no goodbye.
+    if !halted {
+        let now_ms = explorer.now_ms();
+        if collector.fetch_pending_details(now_ms).await.is_err() {
+            detail_errors.inc();
+        }
     }
 
     let explorer_requests = explorer.requests_served();
@@ -144,6 +217,8 @@ pub async fn run_measurement(
         polls_failed: collector.stats.polls_failed,
         collector_stats: collector.stats,
         explorer_requests,
+        next_tick: tick_counter,
+        halted,
         metrics: registry.snapshot(),
         clock,
     })
@@ -176,6 +251,10 @@ mod tests {
             run.dataset.len()
         );
         assert!(run.collector_stats.polls_ok > 0);
+        // Downtime is now a server-side outage: polls during it fail (or
+        // are skipped by the open breaker) instead of being silently
+        // withheld, and they are all accounted for.
+        assert!(run.polls_failed > 0, "downtime produced no failed polls");
 
         let report = run.analyze(&AnalysisConfig::paper_defaults(days));
 
@@ -207,8 +286,15 @@ mod tests {
             truth.total_sandwiches()
         );
 
-        // Downtime day (day 1 in the tiny scenario) has no polls.
+        // No poll *succeeds* during the downtime day (day 1 in the tiny
+        // scenario): the explorer drops every connection in the window.
         assert!(run.dataset.polls().iter().all(|p| p.day != 1));
+        // The first poll after the outage backfills the gap's trailing
+        // edge, recovering bundles no successful poll ever covered.
+        assert!(
+            run.collector_stats.bundles_recovered > 0,
+            "post-outage backfill recovered nothing"
+        );
 
         // Defensive classification catches ground-truth defensive bundles.
         assert!(report.defense.defensive > 0);
@@ -225,6 +311,8 @@ mod tests {
         }
         assert_eq!(m.counter("collector.polls_failed"), Some(run.polls_failed));
         assert_eq!(m.counter("pipeline.poll_errors"), Some(run.polls_failed));
+        // The outage is injected (and counted) by the fault plan.
+        assert!(m.counter("faults.injected.outage").unwrap_or(0) > 0);
         assert!(m.histogram("explorer.bundles_seconds").unwrap().count > 0);
         assert!(m.histogram("sim.tick_seconds").unwrap().count > 0);
     }

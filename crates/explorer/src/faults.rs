@@ -1,0 +1,423 @@
+//! Deterministic, seeded fault-injection plan for the explorer service.
+//!
+//! Replaces the old single `transient_failure_rate` knob with the failure
+//! modes a long-running collector actually meets: scheduled hard outages
+//! (connection dropped before a byte is written), correlated 503 bursts
+//! from a two-state (good/bad) Markov process, added latency, stalled
+//! responses (headers sent, body never arrives), truncated and corrupt
+//! JSON bodies, and 429s carrying `Retry-After`.
+//!
+//! Every decision is a pure function of `(seed, time bucket, request
+//! ordinal within the bucket)`, where time is the *simulated* clock the
+//! pipeline drives via `set_now_ms`. Two consequences matter:
+//!
+//! 1. Reruns of the same scenario see the same faults — the chaos matrix
+//!    is reproducible.
+//! 2. A collector resumed from a checkpoint replays the identical fault
+//!    sequence for the ticks it re-polls, because each tick starts its
+//!    bucket's ordinal count at zero in both runs.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sandwich_obs::{Counter, Registry};
+
+/// Correlated-failure (two-state Markov) burst parameters.
+///
+/// The chain is advanced once per time bucket: in the good state it enters
+/// the bad state with probability `enter`; in the bad state it exits with
+/// probability `exit`. While bad, each request is 503'd with probability
+/// `fail_rate` — failures cluster the way real backend incidents do.
+#[derive(Clone, Copy, Debug)]
+pub struct BurstConfig {
+    /// Per-bucket probability of entering the bad state.
+    pub enter: f64,
+    /// Per-bucket probability of leaving the bad state.
+    pub exit: f64,
+    /// Per-request 503 probability while the chain is in the bad state.
+    pub fail_rate: f64,
+}
+
+/// Latency-injection parameters (wall-clock, applied before serving).
+#[derive(Clone, Copy, Debug)]
+pub struct LatencyConfig {
+    /// Fraction of requests that get extra latency.
+    pub rate: f64,
+    /// Minimum injected delay, milliseconds.
+    pub min_ms: u64,
+    /// Maximum injected delay, milliseconds.
+    pub max_ms: u64,
+}
+
+/// The full fault plan. The default injects nothing.
+#[derive(Clone, Debug)]
+pub struct FaultPlanConfig {
+    /// Seed for every fault decision.
+    pub seed: u64,
+    /// Width of the decision bucket in simulated milliseconds. Must be no
+    /// larger than the pipeline's tick so each polling epoch lands in its
+    /// own bucket.
+    pub bucket_ms: u64,
+    /// Hard-outage windows `[start_ms, end_ms)` on the simulated clock;
+    /// inside one, every connection is dropped without a response byte.
+    pub outages_ms: Vec<(u64, u64)>,
+    /// Correlated 503 bursts.
+    pub burst: Option<BurstConfig>,
+    /// Uncorrelated per-request 503s (the old `transient_failure_rate`).
+    pub uniform_503_rate: f64,
+    /// Fraction of requests answered 429 with a `Retry-After` pacing hint.
+    pub rate_429: f64,
+    /// Pacing hint carried by injected 429s, milliseconds.
+    pub retry_after_ms: u64,
+    /// Fraction of responses whose headers are sent but whose body never
+    /// arrives (only a client deadline recovers).
+    pub stall_rate: f64,
+    /// Fraction of responses cut off mid-body (client sees EOF).
+    pub truncate_rate: f64,
+    /// Fraction of responses whose JSON body is corrupted (parses as
+    /// garbage; a permanent, non-retryable client error).
+    pub corrupt_rate: f64,
+    /// Latency injection.
+    pub latency: Option<LatencyConfig>,
+}
+
+impl Default for FaultPlanConfig {
+    fn default() -> Self {
+        FaultPlanConfig {
+            seed: 7,
+            bucket_ms: 60_000,
+            outages_ms: Vec::new(),
+            burst: None,
+            uniform_503_rate: 0.0,
+            rate_429: 0.0,
+            retry_after_ms: 250,
+            stall_rate: 0.0,
+            truncate_rate: 0.0,
+            corrupt_rate: 0.0,
+            latency: None,
+        }
+    }
+}
+
+impl FaultPlanConfig {
+    /// A plan with only the legacy uniform 503 knob set (what the old
+    /// `transient_failure_rate` field expressed).
+    pub fn uniform_503(rate: f64, seed: u64) -> Self {
+        FaultPlanConfig {
+            uniform_503_rate: rate,
+            seed,
+            ..FaultPlanConfig::default()
+        }
+    }
+
+    /// True when `now_ms` falls inside a scheduled outage window.
+    pub fn in_outage(&self, now_ms: u64) -> bool {
+        self.outages_ms
+            .iter()
+            .any(|&(start, end)| now_ms >= start && now_ms < end)
+    }
+}
+
+/// What the plan decided for one request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultDecision {
+    /// Serve normally, optionally after an injected delay (wall-clock ms).
+    Serve {
+        /// Injected latency before handling, milliseconds (0 = none).
+        latency_ms: u64,
+    },
+    /// Drop the connection without writing anything (hard outage).
+    Outage,
+    /// Reject with a correlated-burst 503.
+    Burst503,
+    /// Reject with an uncorrelated 503.
+    Uniform503,
+    /// Reject with 429 + `Retry-After`.
+    RateLimit429,
+    /// Send headers, never the body.
+    Stall,
+    /// Cut the body off mid-write.
+    Truncate,
+    /// Serve a corrupted JSON body.
+    Corrupt,
+}
+
+/// Cached counter handles, one per injected fault type
+/// (`faults.injected.*`).
+struct FaultMetrics {
+    outage: Arc<Counter>,
+    burst_503: Arc<Counter>,
+    uniform_503: Arc<Counter>,
+    rate_429: Arc<Counter>,
+    stall: Arc<Counter>,
+    truncate: Arc<Counter>,
+    corrupt: Arc<Counter>,
+    latency: Arc<Counter>,
+}
+
+impl FaultMetrics {
+    fn new(registry: &Registry) -> Self {
+        FaultMetrics {
+            outage: registry.counter("faults.injected.outage"),
+            burst_503: registry.counter("faults.injected.burst_503"),
+            uniform_503: registry.counter("faults.injected.uniform_503"),
+            rate_429: registry.counter("faults.injected.rate_429"),
+            stall: registry.counter("faults.injected.stall"),
+            truncate: registry.counter("faults.injected.truncate"),
+            corrupt: registry.counter("faults.injected.corrupt"),
+            latency: registry.counter("faults.injected.latency"),
+        }
+    }
+}
+
+/// Per-bucket mutable state: the Markov chain position and the request
+/// ordinal, both advanced deterministically.
+struct PlanState {
+    /// Bucket the Markov chain has been advanced to (exclusive).
+    chain_bucket: u64,
+    /// Whether the chain is currently in the bad state.
+    chain_bad: bool,
+    /// Bucket the ordinal counter belongs to.
+    ordinal_bucket: u64,
+    /// Requests seen so far in `ordinal_bucket`.
+    ordinal: u64,
+}
+
+/// The live fault plan the service consults once per request.
+pub struct FaultPlan {
+    config: FaultPlanConfig,
+    state: Mutex<PlanState>,
+    metrics: FaultMetrics,
+}
+
+fn mix(seed: u64, bucket: u64, ordinal: u64, salt: u64) -> u64 {
+    let mut h = DefaultHasher::new();
+    (seed, bucket, ordinal, salt).hash(&mut h);
+    h.finish()
+}
+
+impl FaultPlan {
+    /// A plan recording its injections into `registry`.
+    pub fn new(config: FaultPlanConfig, registry: &Registry) -> Self {
+        FaultPlan {
+            state: Mutex::new(PlanState {
+                chain_bucket: 0,
+                chain_bad: false,
+                ordinal_bucket: 0,
+                ordinal: 0,
+            }),
+            metrics: FaultMetrics::new(registry),
+            config,
+        }
+    }
+
+    /// The plan's configuration.
+    pub fn config(&self) -> &FaultPlanConfig {
+        &self.config
+    }
+
+    /// Decide the fate of one request arriving at simulated time `now_ms`.
+    pub fn decide(&self, now_ms: u64) -> FaultDecision {
+        if self.config.in_outage(now_ms) {
+            self.metrics.outage.inc();
+            return FaultDecision::Outage;
+        }
+
+        let bucket = now_ms / self.config.bucket_ms.max(1);
+        let (ordinal, burst_bad) = {
+            let mut st = self.state.lock();
+            if st.ordinal_bucket != bucket {
+                st.ordinal_bucket = bucket;
+                st.ordinal = 0;
+            }
+            let ordinal = st.ordinal;
+            st.ordinal += 1;
+            let bad = self.advance_chain(&mut st, bucket);
+            (ordinal, bad)
+        };
+
+        let mut rng = StdRng::seed_from_u64(mix(self.config.seed, bucket, ordinal, 0x0dec1de));
+        if let Some(burst) = &self.config.burst {
+            if burst_bad && rng.gen_bool(burst.fail_rate.clamp(0.0, 1.0)) {
+                self.metrics.burst_503.inc();
+                return FaultDecision::Burst503;
+            }
+        }
+        if roll(&mut rng, self.config.uniform_503_rate) {
+            self.metrics.uniform_503.inc();
+            return FaultDecision::Uniform503;
+        }
+        if roll(&mut rng, self.config.rate_429) {
+            self.metrics.rate_429.inc();
+            return FaultDecision::RateLimit429;
+        }
+        if roll(&mut rng, self.config.stall_rate) {
+            self.metrics.stall.inc();
+            return FaultDecision::Stall;
+        }
+        if roll(&mut rng, self.config.truncate_rate) {
+            self.metrics.truncate.inc();
+            return FaultDecision::Truncate;
+        }
+        if roll(&mut rng, self.config.corrupt_rate) {
+            self.metrics.corrupt.inc();
+            return FaultDecision::Corrupt;
+        }
+        if let Some(lat) = &self.config.latency {
+            if roll(&mut rng, lat.rate) {
+                self.metrics.latency.inc();
+                let hi = lat.max_ms.max(lat.min_ms);
+                let ms = if hi > lat.min_ms {
+                    rng.gen_range(lat.min_ms..hi + 1)
+                } else {
+                    lat.min_ms
+                };
+                return FaultDecision::Serve { latency_ms: ms };
+            }
+        }
+        FaultDecision::Serve { latency_ms: 0 }
+    }
+
+    /// Advance the Markov chain up to `bucket` (inclusive) and report its
+    /// state there. Transitions depend only on (seed, bucket), never on
+    /// request count, so the trajectory is identical across reruns.
+    fn advance_chain(&self, st: &mut PlanState, bucket: u64) -> bool {
+        let Some(burst) = &self.config.burst else {
+            return false;
+        };
+        while st.chain_bucket <= bucket {
+            let mut rng =
+                StdRng::seed_from_u64(mix(self.config.seed, st.chain_bucket, 0, 0x0b00_57ed));
+            let p: f64 = rng.gen();
+            st.chain_bad = if st.chain_bad {
+                p >= burst.exit.clamp(0.0, 1.0)
+            } else {
+                p < burst.enter.clamp(0.0, 1.0)
+            };
+            st.chain_bucket += 1;
+        }
+        st.chain_bad
+    }
+}
+
+fn roll(rng: &mut StdRng, rate: f64) -> bool {
+    rate > 0.0 && rng.gen_bool(rate.clamp(0.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn count(plan: &FaultPlan, now_ms: u64, n: u64, pred: impl Fn(FaultDecision) -> bool) -> u64 {
+        (0..n).filter(|_| pred(plan.decide(now_ms))).count() as u64
+    }
+
+    #[test]
+    fn default_plan_injects_nothing() {
+        let plan = FaultPlan::new(FaultPlanConfig::default(), &Registry::new());
+        for t in [0, 1_000, 86_400_000] {
+            assert_eq!(plan.decide(t), FaultDecision::Serve { latency_ms: 0 });
+        }
+    }
+
+    #[test]
+    fn outage_windows_drop_everything() {
+        let config = FaultPlanConfig {
+            outages_ms: vec![(1_000, 2_000)],
+            ..FaultPlanConfig::default()
+        };
+        let plan = FaultPlan::new(config, &Registry::new());
+        assert_eq!(plan.decide(999), FaultDecision::Serve { latency_ms: 0 });
+        assert_eq!(plan.decide(1_000), FaultDecision::Outage);
+        assert_eq!(plan.decide(1_999), FaultDecision::Outage);
+        assert_eq!(plan.decide(2_000), FaultDecision::Serve { latency_ms: 0 });
+    }
+
+    #[test]
+    fn decisions_are_deterministic_per_bucket_and_ordinal() {
+        let config = FaultPlanConfig {
+            uniform_503_rate: 0.5,
+            ..FaultPlanConfig::default()
+        };
+        let a = FaultPlan::new(config.clone(), &Registry::new());
+        let b = FaultPlan::new(config, &Registry::new());
+        // Same request sequence → identical decisions.
+        let seq_a: Vec<_> = (0..50).map(|i| a.decide(i * 61_000)).collect();
+        let seq_b: Vec<_> = (0..50).map(|i| b.decide(i * 61_000)).collect();
+        assert_eq!(seq_a, seq_b);
+        // Both outcomes occur.
+        assert!(seq_a.contains(&FaultDecision::Uniform503));
+        assert!(seq_a.contains(&FaultDecision::Serve { latency_ms: 0 }));
+    }
+
+    #[test]
+    fn burst_states_cluster_failures() {
+        let config = FaultPlanConfig {
+            burst: Some(BurstConfig {
+                enter: 0.3,
+                exit: 0.3,
+                fail_rate: 1.0,
+            }),
+            bucket_ms: 1_000,
+            ..FaultPlanConfig::default()
+        };
+        let plan = FaultPlan::new(config, &Registry::new());
+        // With fail_rate 1.0, a bucket either fails every request or none:
+        // failures are perfectly correlated within a bucket.
+        let mut bad_buckets = 0;
+        for bucket in 0..200u64 {
+            let now = bucket * 1_000;
+            let fails = count(&plan, now, 5, |d| d == FaultDecision::Burst503);
+            assert!(fails == 0 || fails == 5, "bucket {bucket}: {fails}/5");
+            if fails == 5 {
+                bad_buckets += 1;
+            }
+        }
+        assert!(
+            bad_buckets > 10 && bad_buckets < 190,
+            "chain never mixed: {bad_buckets}"
+        );
+    }
+
+    #[test]
+    fn chain_state_is_independent_of_request_volume() {
+        let config = FaultPlanConfig {
+            burst: Some(BurstConfig {
+                enter: 0.4,
+                exit: 0.4,
+                fail_rate: 1.0,
+            }),
+            bucket_ms: 1_000,
+            ..FaultPlanConfig::default()
+        };
+        // Plan A sees every bucket; plan B skips straight to bucket 120.
+        let a = FaultPlan::new(config.clone(), &Registry::new());
+        let b = FaultPlan::new(config, &Registry::new());
+        for bucket in 0..=120u64 {
+            a.decide(bucket * 1_000);
+        }
+        assert_eq!(a.decide(120_500), b.decide(120_500));
+    }
+
+    #[test]
+    fn injected_faults_are_counted() {
+        let registry = Registry::new();
+        let config = FaultPlanConfig {
+            uniform_503_rate: 1.0,
+            ..FaultPlanConfig::default()
+        };
+        let plan = FaultPlan::new(config, &registry);
+        for _ in 0..4 {
+            plan.decide(0);
+        }
+        assert_eq!(
+            registry.snapshot().counter("faults.injected.uniform_503"),
+            Some(4)
+        );
+    }
+}

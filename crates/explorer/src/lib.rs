@@ -6,6 +6,7 @@
 #![warn(missing_docs)]
 
 pub mod api;
+pub mod faults;
 pub mod service;
 pub mod store;
 
@@ -13,5 +14,6 @@ pub use api::{
     BundleSummaryJson, RecentBundlesResponse, SolDeltaJson, TipPercentilesResponse, TokenDeltaJson,
     TxDetailJson, TxDetailsRequest, TxDetailsResponse,
 };
+pub use faults::{BurstConfig, FaultDecision, FaultPlan, FaultPlanConfig, LatencyConfig};
 pub use service::{Explorer, ExplorerConfig};
 pub use store::{BundleSummary, HistoryStore, RetentionPolicy, TxDetail};

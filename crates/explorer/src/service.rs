@@ -1,24 +1,26 @@
 //! The explorer HTTP service: routing, page caps, rate limiting, and
-//! transient-fault injection.
+//! plan-driven fault injection.
 //!
 //! The endpoint defaults mirror what the paper reverse-engineered: the
 //! bundles page returns 200 by default and tops out at 50,000; detailed
-//! transaction data is fetched in batches of at most 10,000 (§3.1).
+//! transaction data is fetched in batches of at most 10,000 (§3.1). The
+//! failure modes — outages, 503 bursts, latency, stalls, truncated and
+//! corrupt bodies, 429s — come from the seeded [`FaultPlan`].
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use parking_lot::RwLock;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
-use sandwich_net::{Method, Request, Response, Router, Server, TokenBucket};
+use sandwich_net::{Method, Request, Response, Router, Server, TokenBucket, WireFault};
 use sandwich_obs::{Counter, Histogram, Registry};
 
 use crate::api::{
     RecentBundlesResponse, TipPercentilesResponse, TxDetailJson, TxDetailsRequest,
     TxDetailsResponse,
 };
+use crate::faults::{FaultDecision, FaultPlan, FaultPlanConfig};
 use crate::store::HistoryStore;
 
 /// Tunables for the explorer service.
@@ -30,13 +32,11 @@ pub struct ExplorerConfig {
     pub max_page: usize,
     /// Maximum transaction ids per detail batch.
     pub max_tx_batch: usize,
-    /// Probability of a transient 503 on any request (interface
-    /// instability the paper's collector had to survive).
-    pub transient_failure_rate: f64,
+    /// The fault-injection plan (replaces the old single
+    /// `transient_failure_rate` knob).
+    pub faults: FaultPlanConfig,
     /// Optional rate limit: (bucket capacity, refills per second).
     pub rate_limit: Option<(u32, f64)>,
-    /// RNG seed for fault injection.
-    pub seed: u64,
 }
 
 impl Default for ExplorerConfig {
@@ -45,9 +45,8 @@ impl Default for ExplorerConfig {
             default_page: 200,
             max_page: 50_000,
             max_tx_batch: 10_000,
-            transient_failure_rate: 0.0,
+            faults: FaultPlanConfig::default(),
             rate_limit: None,
-            seed: 7,
         }
     }
 }
@@ -86,33 +85,105 @@ struct ServiceState {
     store: Arc<RwLock<HistoryStore>>,
     config: ExplorerConfig,
     limiter: Option<TokenBucket>,
-    rng: parking_lot::Mutex<StdRng>,
+    faults: FaultPlan,
     clock_ms: AtomicU64,
     requests_served: AtomicU64,
     metrics: ExplorerMetrics,
 }
 
+/// What `admit` decided for one request, after the rate limiter and the
+/// fault plan both had their say.
+enum Admission {
+    /// Reject outright with this response (429 from the limiter, injected
+    /// 503/429, connection drop).
+    Reject(Response),
+    /// Serve normally after `latency_ms` of injected delay, then apply
+    /// `post` to the finished response.
+    Serve { latency_ms: u64, post: PostFault },
+}
+
+/// A fault applied to an otherwise-correct response.
+enum PostFault {
+    None,
+    /// Headers only; body withheld until shutdown.
+    Stall,
+    /// Body cut off mid-write.
+    Truncate,
+    /// Body bytes mangled into invalid JSON.
+    Corrupt,
+}
+
 impl ServiceState {
-    /// Advance the service's notion of "now" (drives the rate limiter on
-    /// the simulated clock).
+    /// Advance the service's notion of "now" (drives the rate limiter and
+    /// the fault plan on the simulated clock).
     fn now_ms(&self) -> u64 {
         self.clock_ms.load(Ordering::Relaxed)
     }
 
-    fn gate(&self) -> Option<Response> {
+    fn admit(&self) -> Admission {
         if let Some(limiter) = &self.limiter {
             if !limiter.try_acquire(self.now_ms()) {
                 self.metrics.requests_rejected.inc();
-                return Some(Response::text(429, "rate limited"));
+                return Admission::Reject(Response::text(429, "rate limited"));
             }
         }
-        let roll: f64 = self.rng.lock().gen();
-        if roll < self.config.transient_failure_rate {
-            self.metrics.requests_rejected.inc();
-            return Some(Response::text(503, "transient backend error"));
+        match self.faults.decide(self.now_ms()) {
+            FaultDecision::Serve { latency_ms } => {
+                self.requests_served.fetch_add(1, Ordering::Relaxed);
+                Admission::Serve {
+                    latency_ms,
+                    post: PostFault::None,
+                }
+            }
+            FaultDecision::Outage => {
+                self.metrics.requests_rejected.inc();
+                Admission::Reject(Response::text(503, "outage").with_wire_fault(WireFault::Drop))
+            }
+            FaultDecision::Burst503 | FaultDecision::Uniform503 => {
+                self.metrics.requests_rejected.inc();
+                Admission::Reject(Response::text(503, "transient backend error"))
+            }
+            FaultDecision::RateLimit429 => {
+                self.metrics.requests_rejected.inc();
+                let ms = self.faults.config().retry_after_ms;
+                Admission::Reject(
+                    Response::text(429, "rate limited")
+                        .header("retry-after-ms", &ms.to_string())
+                        .header("retry-after", &ms.div_ceil(1_000).to_string()),
+                )
+            }
+            FaultDecision::Stall => Admission::Serve {
+                latency_ms: 0,
+                post: PostFault::Stall,
+            },
+            FaultDecision::Truncate => Admission::Serve {
+                latency_ms: 0,
+                post: PostFault::Truncate,
+            },
+            FaultDecision::Corrupt => Admission::Serve {
+                latency_ms: 0,
+                post: PostFault::Corrupt,
+            },
         }
-        self.requests_served.fetch_add(1, Ordering::Relaxed);
-        None
+    }
+}
+
+/// Apply a post-serve fault to a finished response.
+fn apply_post_fault(resp: Response, post: &PostFault) -> Response {
+    match post {
+        PostFault::None => resp,
+        PostFault::Stall => resp.with_wire_fault(WireFault::StallAfterHeaders),
+        PostFault::Truncate => {
+            let n = resp.body.len() / 2;
+            resp.with_wire_fault(WireFault::TruncateBody(n))
+        }
+        PostFault::Corrupt => {
+            // Chop the JSON in half: valid HTTP framing, garbage payload —
+            // a permanent decode error on the client.
+            let body = resp.body[..resp.body.len() / 2].to_vec();
+            let status = resp.status;
+            Response::new(status, body).header("content-type", "application/json")
+        }
     }
 }
 
@@ -146,7 +217,7 @@ impl Explorer {
             .map(|(cap, per_sec)| TokenBucket::new(cap, per_sec, 0));
         let state = Arc::new(ServiceState {
             limiter,
-            rng: parking_lot::Mutex::new(StdRng::seed_from_u64(config.seed)),
+            faults: FaultPlan::new(config.faults.clone(), &registry),
             clock_ms: AtomicU64::new(0),
             requests_served: AtomicU64::new(0),
             metrics: ExplorerMetrics::new(&registry),
@@ -177,6 +248,11 @@ impl Explorer {
         self.state.clock_ms.store(now_ms, Ordering::Relaxed);
     }
 
+    /// The current simulated wall-clock reading.
+    pub fn now_ms(&self) -> u64 {
+        self.state.now_ms()
+    }
+
     /// Requests successfully served (for the ethics/rate-limit bench).
     pub fn requests_served(&self) -> u64 {
         self.state.requests_served.load(Ordering::Relaxed)
@@ -196,80 +272,107 @@ fn build_router(state: Arc<ServiceState>) -> Router {
     Router::new()
         .route(Method::Get, "/api/v1/bundles", move |req: Request| {
             let state = s1.clone();
-            async move { handle_bundles(&state, req) }
+            async move { handle_bundles(&state, req).await }
         })
         .route(Method::Post, "/api/v1/transactions", move |req: Request| {
             let state = s2.clone();
-            async move { handle_transactions(&state, req) }
+            async move { handle_transactions(&state, req).await }
         })
         .route(
             Method::Get,
             "/api/v1/tips/percentiles",
             move |req: Request| {
                 let state = s3.clone();
-                async move { handle_percentiles(&state, req) }
+                async move { handle_percentiles(&state, req).await }
             },
         )
 }
 
-fn handle_bundles(state: &ServiceState, req: Request) -> Response {
+/// Run the admission gate, injected latency, handler body, and post-serve
+/// fault for one request.
+async fn handle_faulted(
+    state: &ServiceState,
+    body: impl FnOnce(&ServiceState) -> Response,
+) -> Response {
+    match state.admit() {
+        Admission::Reject(resp) => resp,
+        Admission::Serve { latency_ms, post } => {
+            if latency_ms > 0 {
+                tokio::time::sleep(Duration::from_millis(latency_ms)).await;
+            }
+            apply_post_fault(body(state), &post)
+        }
+    }
+}
+
+async fn handle_bundles(state: &ServiceState, req: Request) -> Response {
     state.metrics.bundles_requests.inc();
     let _timer = state.metrics.bundles_seconds.clone().start_timer();
-    if let Some(resp) = state.gate() {
-        return resp;
-    }
-    let limit = match req.query_param("limit") {
-        None => state.config.default_page,
-        Some(raw) => match raw.parse::<usize>() {
-            Ok(n) if n > 0 => n.min(state.config.max_page),
-            _ => return Response::text(400, "invalid limit"),
-        },
-    };
-    let bundles = state.store.read().recent(limit);
-    state.metrics.page_size.observe(bundles.len() as f64);
-    Response::json(&RecentBundlesResponse { bundles })
+    handle_faulted(state, move |state| {
+        let limit = match req.query_param("limit") {
+            None => state.config.default_page,
+            Some(raw) => match raw.parse::<usize>() {
+                Ok(n) if n > 0 => n.min(state.config.max_page),
+                _ => return Response::text(400, "invalid limit"),
+            },
+        };
+        let before = match req.query_param("before") {
+            None => None,
+            Some(raw) => match raw.parse::<u64>() {
+                Ok(slot) => Some(slot),
+                Err(_) => return Response::text(400, "invalid before cursor"),
+            },
+        };
+        let bundles = match before {
+            Some(slot) => state.store.read().recent_before(slot, limit),
+            None => state.store.read().recent(limit),
+        };
+        state.metrics.page_size.observe(bundles.len() as f64);
+        Response::json(&RecentBundlesResponse { bundles })
+    })
+    .await
 }
 
-fn handle_transactions(state: &ServiceState, req: Request) -> Response {
+async fn handle_transactions(state: &ServiceState, req: Request) -> Response {
     state.metrics.transactions_requests.inc();
     let _timer = state.metrics.transactions_seconds.clone().start_timer();
-    if let Some(resp) = state.gate() {
-        return resp;
-    }
-    let body: TxDetailsRequest = match serde_json::from_slice(&req.body) {
-        Ok(b) => b,
-        Err(e) => return Response::text(400, format!("bad request body: {e}")),
-    };
-    if body.tx_ids.len() > state.config.max_tx_batch {
-        return Response::text(
-            400,
-            format!(
-                "batch of {} exceeds limit {}",
-                body.tx_ids.len(),
-                state.config.max_tx_batch
-            ),
-        );
-    }
-    let details = state.store.read().details_for(&body.tx_ids);
-    let transactions = details
-        .iter()
-        .map(|d| d.as_ref().map(TxDetailJson::from_detail))
-        .collect();
-    Response::json(&TxDetailsResponse { transactions })
+    handle_faulted(state, move |state| {
+        let body: TxDetailsRequest = match serde_json::from_slice(&req.body) {
+            Ok(b) => b,
+            Err(e) => return Response::text(400, format!("bad request body: {e}")),
+        };
+        if body.tx_ids.len() > state.config.max_tx_batch {
+            return Response::text(
+                400,
+                format!(
+                    "batch of {} exceeds limit {}",
+                    body.tx_ids.len(),
+                    state.config.max_tx_batch
+                ),
+            );
+        }
+        let details = state.store.read().details_for(&body.tx_ids);
+        let transactions = details
+            .iter()
+            .map(|d| d.as_ref().map(TxDetailJson::from_detail))
+            .collect();
+        Response::json(&TxDetailsResponse { transactions })
+    })
+    .await
 }
 
-fn handle_percentiles(state: &ServiceState, _req: Request) -> Response {
+async fn handle_percentiles(state: &ServiceState, _req: Request) -> Response {
     state.metrics.percentiles_requests.inc();
     let _timer = state.metrics.percentiles_seconds.clone().start_timer();
-    if let Some(resp) = state.gate() {
-        return resp;
-    }
-    let sample = 10_000;
-    let p95 = state.store.read().p95_tip_recent(sample);
-    Response::json(&TipPercentilesResponse {
-        p95_tip_lamports: p95.0,
-        sample,
+    handle_faulted(state, |state| {
+        let sample = 10_000;
+        let p95 = state.store.read().p95_tip_recent(sample);
+        Response::json(&TipPercentilesResponse {
+            p95_tip_lamports: p95.0,
+            sample,
+        })
     })
+    .await
 }
 
 #[cfg(test)]
@@ -395,7 +498,7 @@ mod tests {
         let explorer = Explorer::start(
             filled_store(10),
             ExplorerConfig {
-                transient_failure_rate: 1.0,
+                faults: FaultPlanConfig::uniform_503(1.0, 7),
                 ..Default::default()
             },
         )
@@ -404,6 +507,159 @@ mod tests {
         let client = HttpClient::new(explorer.addr());
         let resp = client.get("/api/v1/bundles").await.unwrap();
         assert_eq!(resp.status, 503);
+        assert_eq!(
+            explorer
+                .registry()
+                .snapshot()
+                .counter("faults.injected.uniform_503"),
+            Some(1)
+        );
+        explorer.shutdown().await;
+    }
+
+    #[tokio::test]
+    async fn injected_429_carries_retry_after() {
+        let explorer = Explorer::start(
+            filled_store(10),
+            ExplorerConfig {
+                faults: FaultPlanConfig {
+                    rate_429: 1.0,
+                    retry_after_ms: 350,
+                    ..FaultPlanConfig::default()
+                },
+                ..Default::default()
+            },
+        )
+        .await
+        .unwrap();
+        let client = HttpClient::new(explorer.addr());
+        let resp = client.get("/api/v1/bundles").await.unwrap();
+        assert_eq!(resp.status, 429);
+        assert_eq!(resp.header_value("retry-after-ms"), Some("350"));
+        assert_eq!(resp.header_value("retry-after"), Some("1"));
+        explorer.shutdown().await;
+    }
+
+    #[tokio::test]
+    async fn outage_window_drops_connections() {
+        let explorer = Explorer::start(
+            filled_store(10),
+            ExplorerConfig {
+                faults: FaultPlanConfig {
+                    outages_ms: vec![(0, 10_000)],
+                    ..FaultPlanConfig::default()
+                },
+                ..Default::default()
+            },
+        )
+        .await
+        .unwrap();
+        let client = HttpClient::new(explorer.addr());
+        // Inside the window the connection closes without a response.
+        assert!(client.get("/api/v1/bundles").await.is_err());
+        // After the window, service resumes.
+        explorer.set_now_ms(10_000);
+        assert_eq!(client.get("/api/v1/bundles").await.unwrap().status, 200);
+        explorer.shutdown().await;
+    }
+
+    #[tokio::test]
+    async fn stalled_response_recovered_by_client_deadline() {
+        use sandwich_net::ClientTimeouts;
+
+        let explorer = Explorer::start(
+            filled_store(10),
+            ExplorerConfig {
+                faults: FaultPlanConfig {
+                    stall_rate: 1.0,
+                    ..FaultPlanConfig::default()
+                },
+                ..Default::default()
+            },
+        )
+        .await
+        .unwrap();
+        let client = HttpClient::new(explorer.addr()).with_timeouts(ClientTimeouts {
+            connect: Duration::from_millis(500),
+            total: Duration::from_millis(200),
+        });
+        let start = std::time::Instant::now();
+        let err = client.get("/api/v1/bundles").await.unwrap_err();
+        assert!(
+            matches!(err, sandwich_net::HttpError::TimedOut { .. }),
+            "{err:?}"
+        );
+        assert!(start.elapsed() < Duration::from_secs(5), "hung on stall");
+        explorer.shutdown().await;
+    }
+
+    #[tokio::test]
+    async fn corrupt_body_is_a_decode_error() {
+        let explorer = Explorer::start(
+            filled_store(10),
+            ExplorerConfig {
+                faults: FaultPlanConfig {
+                    corrupt_rate: 1.0,
+                    ..FaultPlanConfig::default()
+                },
+                ..Default::default()
+            },
+        )
+        .await
+        .unwrap();
+        let client = HttpClient::new(explorer.addr());
+        let err = client
+            .get_json::<RecentBundlesResponse>("/api/v1/bundles")
+            .await
+            .unwrap_err();
+        assert!(
+            matches!(err, sandwich_net::ClientError::Decode(_)),
+            "{err:?}"
+        );
+        assert!(!err.is_transient());
+        explorer.shutdown().await;
+    }
+
+    #[tokio::test]
+    async fn truncated_body_is_a_transport_error() {
+        let explorer = Explorer::start(
+            filled_store(10),
+            ExplorerConfig {
+                faults: FaultPlanConfig {
+                    truncate_rate: 1.0,
+                    ..FaultPlanConfig::default()
+                },
+                ..Default::default()
+            },
+        )
+        .await
+        .unwrap();
+        let client = HttpClient::new(explorer.addr());
+        let err = client
+            .get_json::<RecentBundlesResponse>("/api/v1/bundles")
+            .await
+            .unwrap_err();
+        assert!(
+            err.is_transient(),
+            "truncation should be retryable: {err:?}"
+        );
+        explorer.shutdown().await;
+    }
+
+    #[tokio::test]
+    async fn bundles_before_cursor_pages_deeper() {
+        let explorer = Explorer::start(filled_store(100), ExplorerConfig::default())
+            .await
+            .unwrap();
+        let client = HttpClient::new(explorer.addr());
+        let page: RecentBundlesResponse = client
+            .get_json("/api/v1/bundles?limit=10&before=50")
+            .await
+            .unwrap();
+        assert_eq!(page.bundles.len(), 10);
+        assert_eq!(page.bundles[0].slot, 49, "newest strictly before cursor");
+        let resp = client.get("/api/v1/bundles?before=abc").await.unwrap();
+        assert_eq!(resp.status, 400);
         explorer.shutdown().await;
     }
 

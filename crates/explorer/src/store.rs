@@ -129,6 +129,19 @@ impl HistoryStore {
             .collect()
     }
 
+    /// Like [`HistoryStore::recent`], but only bundles that landed strictly
+    /// before `before_slot` — the cursor the collector's backfill uses to
+    /// page deeper after a missed epoch.
+    pub fn recent_before(&self, before_slot: u64, limit: usize) -> Vec<BundleSummaryJson> {
+        self.bundles
+            .iter()
+            .rev()
+            .filter(|b| b.slot.0 < before_slot)
+            .take(limit)
+            .map(|b| BundleSummaryJson::from_summary(b, &self.clock))
+            .collect()
+    }
+
     /// Look up details for a batch of transaction ids (None where the
     /// transaction is unknown or details were not retained).
     pub fn details_for(&self, ids: &[TransactionId]) -> Vec<Option<TxDetail>> {
@@ -213,6 +226,19 @@ mod tests {
         assert!(got[1].is_some());
         assert!(got[2].is_some());
         assert_eq!(got[1].as_ref().unwrap().bundle_id, b3.bundle_id);
+    }
+
+    #[test]
+    fn recent_before_pages_behind_a_cursor() {
+        let mut s = store();
+        for i in 0..10 {
+            s.record_bundle(&landed(1, i, 1_000, i));
+        }
+        let page = s.recent_before(7, 3);
+        assert_eq!(page.len(), 3);
+        assert_eq!(page[0].slot, 6, "newest strictly before the cursor");
+        assert_eq!(page[2].slot, 4);
+        assert!(s.recent_before(0, 3).is_empty());
     }
 
     #[test]

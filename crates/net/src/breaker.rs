@@ -1,0 +1,187 @@
+//! A closed/open/half-open circuit breaker.
+//!
+//! When the explorer is hard-down (scheduled outage, connection refused)
+//! every poll would otherwise burn a full retry ladder. The breaker trips
+//! after a run of consecutive failures, short-circuits calls while open,
+//! and lets a single probe through after the cooldown; a successful probe
+//! closes it again.
+//!
+//! Time is supplied by the caller as milliseconds (`now_ms`) rather than
+//! read from a wall clock, so the collector can drive the breaker on
+//! *simulated* time and state transitions stay deterministic for a given
+//! fault plan.
+
+/// Breaker tunables.
+#[derive(Clone, Copy, Debug)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip the breaker open.
+    pub failure_threshold: u32,
+    /// How long (in the caller's `now_ms` units) the breaker stays open
+    /// before allowing a half-open probe.
+    pub cooldown_ms: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown_ms: 60_000,
+        }
+    }
+}
+
+/// Breaker state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Calls flow normally; failures are counted.
+    Closed,
+    /// Calls are short-circuited until the cooldown elapses.
+    Open,
+    /// One probe is allowed through; its outcome decides the next state.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable numeric encoding for the `client.breaker_state` gauge:
+    /// closed = 0, open = 1, half-open = 2.
+    pub fn as_gauge(&self) -> i64 {
+        match self {
+            BreakerState::Closed => 0,
+            BreakerState::Open => 1,
+            BreakerState::HalfOpen => 2,
+        }
+    }
+}
+
+/// The breaker state machine. Not internally synchronized; the collector
+/// owns one and drives it from a single task.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at_ms: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given tunables.
+    pub fn new(config: BreakerConfig) -> Self {
+        CircuitBreaker {
+            config,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            opened_at_ms: 0,
+        }
+    }
+
+    /// Current state, after applying any cooldown transition due at
+    /// `now_ms` (open → half-open).
+    pub fn state_at(&mut self, now_ms: u64) -> BreakerState {
+        if self.state == BreakerState::Open
+            && now_ms.saturating_sub(self.opened_at_ms) >= self.config.cooldown_ms
+        {
+            self.state = BreakerState::HalfOpen;
+        }
+        self.state
+    }
+
+    /// Whether a call may proceed at `now_ms`. While open (and still
+    /// cooling down) this returns false — the caller should skip the call
+    /// entirely. In half-open state it returns true for the probe.
+    pub fn allow(&mut self, now_ms: u64) -> bool {
+        self.state_at(now_ms) != BreakerState::Open
+    }
+
+    /// Record a successful call: closes the breaker and resets the count.
+    pub fn record_success(&mut self) {
+        self.state = BreakerState::Closed;
+        self.consecutive_failures = 0;
+    }
+
+    /// Record a failed call at `now_ms`. A half-open probe failure re-opens
+    /// immediately; in closed state the breaker opens once the consecutive
+    /// failure count reaches the threshold.
+    pub fn record_failure(&mut self, now_ms: u64) {
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        let trip = self.state == BreakerState::HalfOpen
+            || self.consecutive_failures >= self.config.failure_threshold;
+        if trip {
+            self.state = BreakerState::Open;
+            self.opened_at_ms = now_ms;
+        }
+    }
+
+    /// Consecutive failures seen since the last success.
+    pub fn consecutive_failures(&self) -> u32 {
+        self.consecutive_failures
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker() -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 3,
+            cooldown_ms: 100,
+        })
+    }
+
+    #[test]
+    fn trips_after_threshold_and_cools_down() {
+        let mut b = breaker();
+        assert!(b.allow(0));
+        b.record_failure(0);
+        b.record_failure(1);
+        assert_eq!(b.state_at(2), BreakerState::Closed);
+        b.record_failure(2);
+        assert_eq!(b.state_at(3), BreakerState::Open);
+        assert!(!b.allow(50)); // still cooling down
+        assert!(b.allow(102)); // half-open probe allowed
+        assert_eq!(b.state_at(102), BreakerState::HalfOpen);
+    }
+
+    #[test]
+    fn half_open_probe_success_closes() {
+        let mut b = breaker();
+        for t in 0..3 {
+            b.record_failure(t);
+        }
+        assert!(b.allow(200));
+        b.record_success();
+        assert_eq!(b.state_at(201), BreakerState::Closed);
+        assert_eq!(b.consecutive_failures(), 0);
+    }
+
+    #[test]
+    fn half_open_probe_failure_reopens() {
+        let mut b = breaker();
+        for t in 0..3 {
+            b.record_failure(t);
+        }
+        assert!(b.allow(200)); // half-open
+        b.record_failure(200);
+        assert_eq!(b.state_at(250), BreakerState::Open);
+        assert!(!b.allow(250));
+        assert!(b.allow(300)); // cooldown counted from the re-open
+    }
+
+    #[test]
+    fn success_resets_failure_streak() {
+        let mut b = breaker();
+        b.record_failure(0);
+        b.record_failure(1);
+        b.record_success();
+        b.record_failure(2);
+        b.record_failure(3);
+        assert_eq!(b.state_at(4), BreakerState::Closed);
+    }
+
+    #[test]
+    fn gauge_encoding_is_stable() {
+        assert_eq!(BreakerState::Closed.as_gauge(), 0);
+        assert_eq!(BreakerState::Open.as_gauge(), 1);
+        assert_eq!(BreakerState::HalfOpen.as_gauge(), 2);
+    }
+}

@@ -5,11 +5,12 @@
 //! simple and observable.
 
 use std::net::SocketAddr;
+use std::time::Duration;
 
 use tokio::io::{AsyncReadExt, AsyncWriteExt, BufReader};
 use tokio::net::TcpStream;
 
-use crate::http::{HttpError, Response};
+use crate::http::{HttpError, Response, WireFault};
 
 /// Read one response from a buffered stream.
 async fn read_response(
@@ -67,19 +68,57 @@ async fn read_response(
         status,
         headers,
         body: body.into(),
+        wire_fault: WireFault::None,
     })
+}
+
+/// Per-request deadlines for [`HttpClient`].
+///
+/// Without these a single stalled response (headers sent, body never
+/// arrives) would block the caller forever; with them the worst case is
+/// `total` per attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ClientTimeouts {
+    /// Deadline for establishing the TCP connection.
+    pub connect: Duration,
+    /// Deadline for the whole request: connect + write + read.
+    pub total: Duration,
+}
+
+impl Default for ClientTimeouts {
+    fn default() -> Self {
+        ClientTimeouts {
+            connect: Duration::from_secs(2),
+            total: Duration::from_secs(10),
+        }
+    }
 }
 
 /// An HTTP client bound to one server address.
 #[derive(Clone, Copy, Debug)]
 pub struct HttpClient {
     addr: SocketAddr,
+    timeouts: ClientTimeouts,
 }
 
 impl HttpClient {
-    /// Client for `addr`.
+    /// Client for `addr` with default deadlines.
     pub fn new(addr: SocketAddr) -> Self {
-        HttpClient { addr }
+        HttpClient {
+            addr,
+            timeouts: ClientTimeouts::default(),
+        }
+    }
+
+    /// Replace the per-request deadlines.
+    pub fn with_timeouts(mut self, timeouts: ClientTimeouts) -> Self {
+        self.timeouts = timeouts;
+        self
+    }
+
+    /// The configured deadlines.
+    pub fn timeouts(&self) -> ClientTimeouts {
+        self.timeouts
     }
 
     async fn request(
@@ -88,7 +127,32 @@ impl HttpClient {
         path_and_query: &str,
         body: Option<Vec<u8>>,
     ) -> Result<Response, HttpError> {
-        let stream = TcpStream::connect(self.addr).await?;
+        match tokio::time::timeout(
+            self.timeouts.total,
+            self.request_inner(method, path_and_query, body),
+        )
+        .await
+        {
+            Ok(result) => result,
+            Err(_) => Err(HttpError::TimedOut { phase: "request" }),
+        }
+    }
+
+    async fn request_inner(
+        &self,
+        method: &str,
+        path_and_query: &str,
+        body: Option<Vec<u8>>,
+    ) -> Result<Response, HttpError> {
+        let stream = match tokio::time::timeout(
+            self.timeouts.connect,
+            TcpStream::connect(self.addr),
+        )
+        .await
+        {
+            Ok(connected) => connected?,
+            Err(_) => return Err(HttpError::TimedOut { phase: "connect" }),
+        };
         let (read, mut write) = stream.into_split();
 
         let body = body.unwrap_or_default();
@@ -124,10 +188,7 @@ impl HttpClient {
         let body = serde_json::to_vec(req).expect("serializable request");
         let resp = self.post(path, body).await?;
         if resp.status != 200 {
-            return Err(ClientError::Status {
-                status: resp.status,
-                body: String::from_utf8_lossy(&resp.body).into_owned(),
-            });
+            return Err(ClientError::from_status(&resp));
         }
         resp.body_json().map_err(ClientError::Decode)
     }
@@ -139,13 +200,24 @@ impl HttpClient {
     ) -> Result<Resp, ClientError> {
         let resp = self.get(path_and_query).await?;
         if resp.status != 200 {
-            return Err(ClientError::Status {
-                status: resp.status,
-                body: String::from_utf8_lossy(&resp.body).into_owned(),
-            });
+            return Err(ClientError::from_status(&resp));
         }
         resp.body_json().map_err(ClientError::Decode)
     }
+}
+
+/// The server's pacing hint, if any: `retry-after-ms` (milliseconds,
+/// preferred for sub-second pacing) or the standard `retry-after` (seconds).
+fn retry_after_of(resp: &Response) -> Option<Duration> {
+    if let Some(ms) = resp
+        .header_value("retry-after-ms")
+        .and_then(|v| v.parse::<u64>().ok())
+    {
+        return Some(Duration::from_millis(ms));
+    }
+    resp.header_value("retry-after")
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_secs)
 }
 
 /// Client-side errors including non-200 statuses.
@@ -153,25 +225,57 @@ impl HttpClient {
 pub enum ClientError {
     /// Transport-level failure.
     Http(HttpError),
+    /// A connect or whole-request deadline elapsed.
+    TimedOut {
+        /// Which phase of the request hit its deadline.
+        phase: &'static str,
+    },
     /// Server answered with a non-200 status.
     Status {
         /// The status code.
         status: u16,
         /// Body text for diagnostics.
         body: String,
+        /// Server pacing hint from `retry-after`/`retry-after-ms` headers.
+        retry_after: Option<Duration>,
     },
     /// Body failed to decode as the expected JSON shape.
     Decode(serde_json::Error),
 }
 
 impl ClientError {
-    /// True for failures worth retrying (transport errors and 5xx/429).
+    fn from_status(resp: &Response) -> Self {
+        ClientError::Status {
+            status: resp.status,
+            body: String::from_utf8_lossy(&resp.body).into_owned(),
+            retry_after: retry_after_of(resp),
+        }
+    }
+
+    /// True for failures worth retrying (transport errors, timeouts, and
+    /// 5xx/429 statuses).
     pub fn is_transient(&self) -> bool {
         match self {
-            ClientError::Http(_) => true,
+            ClientError::Http(_) | ClientError::TimedOut { .. } => true,
             ClientError::Status { status, .. } => *status == 429 || *status >= 500,
             ClientError::Decode(_) => false,
         }
+    }
+
+    /// The server's pacing hint, when this error carries one.
+    pub fn retry_after(&self) -> Option<Duration> {
+        match self {
+            ClientError::Status { retry_after, .. } => *retry_after,
+            _ => None,
+        }
+    }
+
+    /// True when a client-side deadline caused this error.
+    pub fn is_timeout(&self) -> bool {
+        matches!(
+            self,
+            ClientError::TimedOut { .. } | ClientError::Http(HttpError::TimedOut { .. })
+        )
     }
 }
 
@@ -179,7 +283,8 @@ impl std::fmt::Display for ClientError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ClientError::Http(e) => write!(f, "http error: {e}"),
-            ClientError::Status { status, body } => write!(f, "status {status}: {body}"),
+            ClientError::TimedOut { phase } => write!(f, "timed out during {phase}"),
+            ClientError::Status { status, body, .. } => write!(f, "status {status}: {body}"),
             ClientError::Decode(e) => write!(f, "decode error: {e}"),
         }
     }
@@ -189,7 +294,10 @@ impl std::error::Error for ClientError {}
 
 impl From<HttpError> for ClientError {
     fn from(e: HttpError) -> Self {
-        ClientError::Http(e)
+        match e {
+            HttpError::TimedOut { phase } => ClientError::TimedOut { phase },
+            other => ClientError::Http(other),
+        }
     }
 }
 
@@ -197,23 +305,37 @@ impl From<HttpError> for ClientError {
 mod tests {
     use super::*;
 
+    fn status_err(status: u16) -> ClientError {
+        ClientError::Status {
+            status,
+            body: String::new(),
+            retry_after: None,
+        }
+    }
+
     #[test]
     fn transient_classification() {
-        assert!(ClientError::Status {
-            status: 503,
-            body: String::new()
-        }
-        .is_transient());
-        assert!(ClientError::Status {
-            status: 429,
-            body: String::new()
-        }
-        .is_transient());
-        assert!(!ClientError::Status {
-            status: 400,
-            body: String::new()
-        }
-        .is_transient());
+        assert!(status_err(503).is_transient());
+        assert!(status_err(429).is_transient());
+        assert!(!status_err(400).is_transient());
         assert!(ClientError::Http(HttpError::ConnectionClosed).is_transient());
+        assert!(ClientError::TimedOut { phase: "request" }.is_transient());
+    }
+
+    #[test]
+    fn retry_after_header_parsing() {
+        let resp = Response::text(429, "slow down").header("retry-after", "2");
+        let err = ClientError::from_status(&resp);
+        assert_eq!(err.retry_after(), Some(Duration::from_secs(2)));
+
+        // Millisecond header wins over the seconds one.
+        let resp = Response::text(429, "slow down")
+            .header("retry-after", "2")
+            .header("retry-after-ms", "150");
+        let err = ClientError::from_status(&resp);
+        assert_eq!(err.retry_after(), Some(Duration::from_millis(150)));
+
+        let resp = Response::text(503, "oops");
+        assert_eq!(ClientError::from_status(&resp).retry_after(), None);
     }
 }

@@ -28,6 +28,11 @@ pub enum HttpError {
         /// Allowed maximum.
         limit: usize,
     },
+    /// A client-side deadline elapsed before the operation finished.
+    TimedOut {
+        /// Which phase of the request hit its deadline.
+        phase: &'static str,
+    },
 }
 
 impl fmt::Display for HttpError {
@@ -39,6 +44,7 @@ impl fmt::Display for HttpError {
             HttpError::BodyTooLarge { declared, limit } => {
                 write!(f, "body of {declared} bytes exceeds limit {limit}")
             }
+            HttpError::TimedOut { phase } => write!(f, "timed out during {phase}"),
         }
     }
 }
@@ -115,6 +121,27 @@ impl Request {
     }
 }
 
+/// A connection-level fault the server applies while writing a response.
+///
+/// Handlers attach these to otherwise-normal responses so the fault
+/// injection plan can exercise failure modes that live below HTTP
+/// semantics: dropped connections, stalled bodies, truncated payloads.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum WireFault {
+    /// No fault: write the response normally.
+    #[default]
+    None,
+    /// Close the connection without writing anything (hard outage).
+    Drop,
+    /// Write the status line and headers (declaring the full body length),
+    /// then never send the body — the connection stays open until server
+    /// shutdown, so only a client-side deadline can recover.
+    StallAfterHeaders,
+    /// Declare the full body length but send only this many bytes, then
+    /// close the connection mid-body.
+    TruncateBody(usize),
+}
+
 /// A response under construction.
 #[derive(Debug, Clone)]
 pub struct Response {
@@ -124,6 +151,8 @@ pub struct Response {
     pub headers: Vec<(String, String)>,
     /// Body bytes.
     pub body: Bytes,
+    /// Connection-level fault to apply while writing (fault injection).
+    pub wire_fault: WireFault,
 }
 
 impl Response {
@@ -133,6 +162,7 @@ impl Response {
             status,
             headers: Vec::new(),
             body: body.into(),
+            wire_fault: WireFault::None,
         }
     }
 
@@ -156,6 +186,12 @@ impl Response {
     /// Add a header.
     pub fn header(mut self, key: &str, value: &str) -> Self {
         self.headers.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Attach a connection-level fault to apply while writing.
+    pub fn with_wire_fault(mut self, fault: WireFault) -> Self {
+        self.wire_fault = fault;
         self
     }
 
@@ -304,12 +340,9 @@ pub async fn read_request(reader: &mut BufReader<OwnedReadHalf>) -> Result<Reque
     })
 }
 
-/// Write a response to a socket half.
-pub async fn write_response(
-    writer: &mut OwnedWriteHalf,
-    response: &Response,
-    keep_alive: bool,
-) -> Result<(), HttpError> {
+/// Serialize the status line and headers (always declaring the full body
+/// length, even when a wire fault will withhold part of it).
+pub fn response_head(response: &Response, keep_alive: bool) -> String {
     let mut head = format!(
         "HTTP/1.1 {} {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
         response.status,
@@ -324,8 +357,26 @@ pub async fn write_response(
         head.push_str("\r\n");
     }
     head.push_str("\r\n");
+    head
+}
+
+/// Write a response to a socket half, honoring [`WireFault::TruncateBody`]
+/// (the `Drop` and `StallAfterHeaders` faults are connection-scoped and
+/// handled by the server loop).
+pub async fn write_response(
+    writer: &mut OwnedWriteHalf,
+    response: &Response,
+    keep_alive: bool,
+) -> Result<(), HttpError> {
+    let head = response_head(response, keep_alive);
     writer.write_all(head.as_bytes()).await?;
-    writer.write_all(&response.body).await?;
+    match response.wire_fault {
+        WireFault::TruncateBody(n) => {
+            let n = n.min(response.body.len());
+            writer.write_all(&response.body[..n]).await?;
+        }
+        _ => writer.write_all(&response.body).await?,
+    }
     writer.flush().await?;
     Ok(())
 }

@@ -7,6 +7,7 @@
 
 #![warn(missing_docs)]
 
+pub mod breaker;
 pub mod client;
 pub mod http;
 pub mod metrics;
@@ -14,9 +15,10 @@ pub mod ratelimit;
 pub mod retry;
 pub mod server;
 
-pub use client::{ClientError, HttpClient};
-pub use http::{HttpError, Method, Request, Response};
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+pub use client::{ClientError, ClientTimeouts, HttpClient};
+pub use http::{HttpError, Method, Request, Response, WireFault};
 pub use metrics::metrics_response;
 pub use ratelimit::TokenBucket;
-pub use retry::{retry, RetryOutcome, RetryPolicy};
+pub use retry::{retry, retry_classified, BackoffSchedule, RetryClass, RetryOutcome, RetryPolicy};
 pub use server::{Router, Server};

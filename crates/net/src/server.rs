@@ -14,7 +14,9 @@ use tokio::net::{TcpListener, TcpStream};
 use tokio::sync::watch;
 use tokio::task::JoinSet;
 
-use crate::http::{read_request, write_response, HttpError, Method, Request, Response};
+use crate::http::{
+    read_request, response_head, write_response, HttpError, Method, Request, Response, WireFault,
+};
 
 /// Boxed async handler.
 pub type Handler =
@@ -157,7 +159,32 @@ async fn serve_connection(
             Ok(handler) => handler(request).await,
             Err(status) => Response::text(status, Response::reason(status)),
         };
-        write_response(&mut write, &response, keep_alive).await?;
+        match response.wire_fault {
+            WireFault::Drop => {
+                // Hard outage: hang up without writing a byte.
+                return Ok(());
+            }
+            WireFault::StallAfterHeaders => {
+                // Send the head (declaring the full body length), then hold
+                // the connection open without the body until shutdown. Only
+                // a client-side deadline gets the caller unstuck.
+                use tokio::io::AsyncWriteExt;
+                let head = response_head(&response, keep_alive);
+                write.write_all(head.as_bytes()).await?;
+                write.flush().await?;
+                let _ = shutdown.changed().await;
+                return Ok(());
+            }
+            WireFault::TruncateBody(_) => {
+                // write_response sends the partial body; closing here makes
+                // the client see EOF mid-body.
+                write_response(&mut write, &response, false).await?;
+                return Ok(());
+            }
+            WireFault::None => {
+                write_response(&mut write, &response, keep_alive).await?;
+            }
+        }
         if !keep_alive {
             return Ok(());
         }

@@ -54,8 +54,9 @@ pub struct ScenarioConfig {
     pub attacker_count: usize,
     /// Defensive-bundler population size.
     pub defender_count: usize,
-    /// Collector downtime windows as inclusive day ranges (Figure 1's
-    /// shaded gaps). The chain keeps running; the collector does not poll.
+    /// Explorer downtime windows as inclusive day ranges (Figure 1's
+    /// shaded gaps). The chain keeps running; the explorer drops every
+    /// connection, so the collector's polls fail and its breaker opens.
     pub downtime_days: Vec<(u64, u64)>,
 }
 
@@ -148,6 +149,21 @@ impl ScenarioConfig {
         self.downtime_days
             .iter()
             .any(|&(a, b)| day >= a && day <= b)
+    }
+
+    /// The downtime day ranges as `[start_ms, end_ms)` windows on `clock`
+    /// — the shape the explorer's fault plan consumes, so scheduled
+    /// downtime is injected server-side instead of the collector politely
+    /// skipping polls.
+    pub fn downtime_windows_ms(&self, clock: &sandwich_types::SlotClock) -> Vec<(u64, u64)> {
+        self.downtime_days
+            .iter()
+            .map(|&(a, b)| {
+                let start = clock.unix_ms(clock.day_start(a));
+                let end = clock.unix_ms(clock.day_start(b + 1));
+                (start, end)
+            })
+            .collect()
     }
 
     /// Slot of (day, tick): blocks are spread uniformly over the day.
@@ -254,6 +270,24 @@ mod tests {
         let c = ScenarioConfig::default();
         assert!(c.is_downtime(28));
         assert!(!c.is_downtime(30));
+    }
+
+    #[test]
+    fn downtime_windows_convert_to_clock_ms() {
+        let c = ScenarioConfig::tiny(); // downtime day 1 (inclusive)
+        let clock = sandwich_types::SlotClock::default();
+        let windows = c.downtime_windows_ms(&clock);
+        assert_eq!(windows.len(), 1);
+        let (start, end) = windows[0];
+        assert_eq!(start, clock.unix_ms(clock.day_start(1)));
+        assert_eq!(end, clock.unix_ms(clock.day_start(2)));
+        assert_eq!(end - start, 86_400_000, "one full day");
+        // Window boundaries: last slot of day 0 is outside, first of day 1
+        // inside, first of day 2 outside again.
+        let inside = clock.unix_ms(c.slot_for(1, 0));
+        assert!((start..end).contains(&inside));
+        let before = clock.unix_ms(c.slot_for(0, 47));
+        assert!(!(start..end).contains(&before));
     }
 
     #[test]

@@ -19,4 +19,10 @@ cargo build --offline --release --workspace
 echo "==> cargo test"
 cargo test --offline --workspace -q
 
+# The chaos matrix injects outages, bursts, stalls, corruption, and 429s
+# into the full pipeline; a hang here means a resilience regression, so it
+# runs again by name under a hard wall-clock bound.
+echo "==> chaos matrix (bounded)"
+timeout 420 cargo test --offline -p sandwich-suite --test chaos_matrix -q
+
 echo "==> all checks passed"

@@ -426,6 +426,7 @@ pub mod sync {
 pub mod time {
     //! Timers. Granularity is the runtime's park interval (~250µs).
 
+    use std::future::Future;
     use std::task::Poll;
     use std::time::{Duration, Instant};
 
@@ -442,6 +443,31 @@ pub mod time {
             }
         })
         .await
+    }
+
+    /// Error returned by [`timeout`] when the deadline elapses first.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct Elapsed;
+
+    impl std::fmt::Display for Elapsed {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "deadline has elapsed")
+        }
+    }
+
+    impl std::error::Error for Elapsed {}
+
+    /// Run `fut` for at most `duration`; the loser is dropped (cancelled).
+    pub async fn timeout<F: Future>(duration: Duration, fut: F) -> Result<F::Output, Elapsed> {
+        match crate::macros_support::select2(fut, sleep(duration)).await {
+            crate::macros_support::Either2::A(v) => Ok(v),
+            crate::macros_support::Either2::B(()) => Err(Elapsed),
+        }
+    }
+
+    /// Errors from the `time` module (mirrors tokio's layout).
+    pub mod error {
+        pub use super::Elapsed;
     }
 }
 

@@ -1,0 +1,428 @@
+//! Chaos matrix: the full measurement pipeline run under every fault
+//! profile the explorer's plan can inject. Each profile must finish in
+//! bounded wall-clock time, account for every failed poll, and still
+//! produce an analyzable dataset with recall ≥ 0.4 against ground truth.
+
+use std::time::{Duration, Instant};
+
+use sandwich_core::{AnalysisConfig, CollectorConfig, MeasurementRun, PipelineConfig};
+use sandwich_explorer::{BurstConfig, ExplorerConfig, FaultPlanConfig, LatencyConfig};
+use sandwich_net::{ClientTimeouts, RetryPolicy};
+use sandwich_sim::{ScenarioConfig, Simulation};
+
+/// A retry ladder in test-scale milliseconds so retry-heavy profiles stay
+/// fast; jitter stays on to exercise the decorrelated path.
+fn fast_retry() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 4,
+        base_delay: Duration::from_millis(2),
+        max_delay: Duration::from_millis(40),
+        ..Default::default()
+    }
+}
+
+struct ChaosOutcome {
+    run: MeasurementRun,
+    truth_sandwiches: u64,
+    coverage: f64,
+    recall: f64,
+    elapsed: Duration,
+}
+
+/// Run the tiny scenario (scheduled downtime cleared so each profile is
+/// isolated) under one fault profile.
+async fn run_profile(faults: FaultPlanConfig, timeouts: ClientTimeouts) -> ChaosOutcome {
+    let scenario = ScenarioConfig {
+        downtime_days: vec![],
+        ..ScenarioConfig::tiny()
+    };
+    let days = scenario.days;
+    let pipeline = PipelineConfig {
+        explorer: ExplorerConfig {
+            faults,
+            ..Default::default()
+        },
+        collector: CollectorConfig {
+            page_limit: sandwich_core::scaled_page_limit(&scenario, 1),
+            detail_batch: 100,
+            retry: fast_retry(),
+            timeouts,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let mut sim = Simulation::new(scenario);
+    let started = Instant::now();
+    let run = sandwich_core::run_measurement(&mut sim, pipeline)
+        .await
+        .unwrap();
+    let elapsed = started.elapsed();
+    let truth = sim.truth();
+
+    let total_truth: u64 = truth.per_day.iter().map(|d| d.total_bundles()).sum();
+    let coverage = run.dataset.len() as f64 / total_truth as f64;
+    let report = run.analyze(&AnalysisConfig::paper_defaults(days));
+    let recall = report.total_sandwiches() as f64 / truth.total_sandwiches() as f64;
+
+    ChaosOutcome {
+        run,
+        truth_sandwiches: truth.total_sandwiches(),
+        coverage,
+        recall,
+        elapsed,
+    }
+}
+
+/// The assertions every profile must satisfy, whatever it injects.
+fn assert_survived(name: &str, out: &ChaosOutcome) {
+    assert!(
+        out.elapsed < Duration::from_secs(90),
+        "{name}: unbounded wall-clock ({:?})",
+        out.elapsed
+    );
+    assert!(
+        out.run.collector_stats.polls_ok > 0,
+        "{name}: no poll ever succeeded"
+    );
+    // Every missed epoch is accounted for, at both layers, identically.
+    assert_eq!(
+        out.run.metrics.counter("pipeline.poll_errors"),
+        Some(out.run.polls_failed),
+        "{name}: pipeline ledger out of step with collector"
+    );
+    assert_eq!(
+        out.run.metrics.counter("collector.polls_failed"),
+        Some(out.run.collector_stats.polls_failed),
+        "{name}: collector metrics out of step with stats"
+    );
+    assert!(
+        out.recall >= 0.4,
+        "{name}: recall {:.2} below 0.4 (coverage {:.2})",
+        out.recall,
+        out.coverage
+    );
+    assert!(out.truth_sandwiches > 0, "{name}: empty ground truth");
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 2)]
+async fn clean_profile_is_the_baseline() {
+    let out = run_profile(FaultPlanConfig::default(), ClientTimeouts::default()).await;
+    assert_survived("clean", &out);
+    assert_eq!(out.run.polls_failed, 0);
+    assert!(out.coverage > 0.9, "clean coverage {:.2}", out.coverage);
+    // Nothing injected on the clean profile.
+    assert_eq!(out.run.metrics.counter_sum("faults.injected."), 0);
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 2)]
+async fn outage_window_fails_polls_and_backfill_heals_the_edge() {
+    // A half-day outage starting at day 1 of the measurement clock (fault
+    // windows live on the same simulated unix-ms timeline as the polls).
+    let clock = sandwich_types::SlotClock::default();
+    let start = clock.unix_ms(clock.day_start(1));
+    let faults = FaultPlanConfig {
+        outages_ms: vec![(start, start + 43_200_000)],
+        ..Default::default()
+    };
+    let out = run_profile(faults, ClientTimeouts::default()).await;
+    assert_survived("outage", &out);
+    let stats = &out.run.collector_stats;
+    assert!(stats.polls_failed > 0, "outage never bit");
+    assert!(
+        out.run
+            .metrics
+            .counter("faults.injected.outage")
+            .unwrap_or(0)
+            > 0,
+        "no outage faults recorded"
+    );
+    // The first post-outage poll walks the gap backwards.
+    assert!(stats.backfill_pages > 0);
+    assert!(stats.bundles_recovered > 0);
+    // A 24-epoch gap exceeds the backfill budget, so a visible gap remains,
+    // but overall coverage stays high.
+    assert!(out.coverage > 0.8, "outage coverage {:.2}", out.coverage);
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 2)]
+async fn markov_bursts_cost_epochs_then_backfill_recovers_them() {
+    // Correlated bad windows: whole polling epochs fail while the chain is
+    // in the bad state (fail_rate 1.0), exactly the "missed epoch" shape
+    // the paper reports. Backfill must recover ≥ 90% of the bundles those
+    // non-outage missed epochs dropped.
+    let faults = FaultPlanConfig {
+        burst: Some(BurstConfig {
+            enter: 0.2,
+            exit: 0.5,
+            fail_rate: 1.0,
+        }),
+        ..Default::default()
+    };
+    let out = run_profile(faults, ClientTimeouts::default()).await;
+    assert_survived("burst", &out);
+    let stats = &out.run.collector_stats;
+    assert!(stats.polls_failed > 0, "bursts never bit");
+    assert!(
+        out.run
+            .metrics
+            .counter("faults.injected.burst_503")
+            .unwrap_or(0)
+            > 0,
+        "no burst faults recorded"
+    );
+    assert!(stats.bundles_recovered > 0, "backfill recovered nothing");
+    // ≥ 90% of all bundles collected despite dozens of missed epochs:
+    // the paper's overlap-miss pathology, self-healed.
+    assert!(out.coverage >= 0.9, "burst coverage {:.2}", out.coverage);
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 2)]
+async fn injected_latency_slows_but_never_starves() {
+    let faults = FaultPlanConfig {
+        latency: Some(LatencyConfig {
+            rate: 0.3,
+            min_ms: 1,
+            max_ms: 20,
+        }),
+        ..Default::default()
+    };
+    let out = run_profile(faults, ClientTimeouts::default()).await;
+    assert_survived("latency", &out);
+    assert!(
+        out.run
+            .metrics
+            .counter("faults.injected.latency")
+            .unwrap_or(0)
+            > 0,
+        "no latency faults recorded"
+    );
+    // Latency alone (well under the total deadline) costs nothing.
+    assert_eq!(out.run.polls_failed, 0);
+    assert!(out.coverage > 0.9, "latency coverage {:.2}", out.coverage);
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 2)]
+async fn stalled_bodies_are_cut_by_the_client_deadline() {
+    let faults = FaultPlanConfig {
+        stall_rate: 0.15,
+        ..Default::default()
+    };
+    // A tight total deadline turns each stall into a fast, retryable
+    // timeout instead of a hung collector.
+    let timeouts = ClientTimeouts {
+        total: Duration::from_millis(200),
+        ..Default::default()
+    };
+    let out = run_profile(faults, timeouts).await;
+    assert_survived("stall", &out);
+    let stats = &out.run.collector_stats;
+    assert!(
+        out.run
+            .metrics
+            .counter("faults.injected.stall")
+            .unwrap_or(0)
+            > 0,
+        "no stalls recorded"
+    );
+    assert!(stats.timeouts > 0, "stalls never tripped the deadline");
+    assert_eq!(
+        out.run.metrics.counter("client.timeouts"),
+        Some(stats.timeouts)
+    );
+    assert!(out.coverage > 0.85, "stall coverage {:.2}", out.coverage);
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 2)]
+async fn corrupt_bodies_fail_fast_without_retry_storms() {
+    let faults = FaultPlanConfig {
+        corrupt_rate: 0.1,
+        ..Default::default()
+    };
+    let out = run_profile(faults, ClientTimeouts::default()).await;
+    assert_survived("corrupt", &out);
+    assert!(
+        out.run
+            .metrics
+            .counter("faults.injected.corrupt")
+            .unwrap_or(0)
+            > 0,
+        "no corruption recorded"
+    );
+    // Decode errors are permanent: each costs exactly one attempt, so the
+    // attempt count stays close to the request count (no retry ladders
+    // burned on garbage).
+    let stats = &out.run.collector_stats;
+    assert!(stats.polls_failed > 0, "corruption never bit");
+    assert!(out.coverage > 0.75, "corrupt coverage {:.2}", out.coverage);
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 2)]
+async fn rate_limit_429s_pace_the_collector_via_retry_after() {
+    let faults = FaultPlanConfig {
+        rate_429: 0.2,
+        retry_after_ms: 20,
+        ..Default::default()
+    };
+    let out = run_profile(faults, ClientTimeouts::default()).await;
+    assert_survived("429", &out);
+    assert!(
+        out.run
+            .metrics
+            .counter("faults.injected.rate_429")
+            .unwrap_or(0)
+            > 0,
+        "no 429s recorded"
+    );
+    // Hinted retries absorb a 20% reject rate completely.
+    assert_eq!(out.run.polls_failed, 0, "429s should be retried away");
+    assert!(out.coverage > 0.9, "429 coverage {:.2}", out.coverage);
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 2)]
+async fn resilience_metrics_are_scrapable_in_both_formats() {
+    use parking_lot::RwLock;
+    use sandwich_core::Collector;
+    use sandwich_explorer::{Explorer, HistoryStore, RetentionPolicy};
+    use sandwich_net::HttpClient;
+    use sandwich_obs::Registry;
+    use std::sync::Arc;
+
+    // Wire an explorer with a lossy fault plan and scrape /metrics live:
+    // every new resilience metric must appear in the JSON scrape, and the
+    // Prometheus rendering must carry the same families.
+    let registry = Registry::new();
+    let mut sim = Simulation::new(ScenarioConfig {
+        downtime_days: vec![],
+        ..ScenarioConfig::tiny()
+    });
+    sim.attach_registry(&registry);
+    let clock = sim.clock();
+    let store = Arc::new(RwLock::new(HistoryStore::new(clock, RetentionPolicy::All)));
+    let explorer = Explorer::start_with_registry(
+        store.clone(),
+        ExplorerConfig {
+            faults: FaultPlanConfig::uniform_503(0.4, 21),
+            ..Default::default()
+        },
+        registry.clone(),
+    )
+    .await
+    .unwrap();
+    let mut collector = Collector::with_registry(
+        explorer.addr(),
+        CollectorConfig {
+            page_limit: 200,
+            detail_batch: 100,
+            retry: fast_retry(),
+            ..Default::default()
+        },
+        &registry,
+    );
+
+    let mut tick = 0u64;
+    while let Some(outcome) = sim.step() {
+        store.write().record_slot(&outcome.result);
+        let now_ms = clock.unix_ms(outcome.result.block.slot);
+        explorer.set_now_ms(now_ms);
+        if tick.is_multiple_of(4) {
+            let _ = collector.poll_bundles(&clock, outcome.day, now_ms).await;
+        }
+        tick += 1;
+    }
+
+    let client = HttpClient::new(explorer.addr());
+    let json = client.get("/metrics").await.unwrap();
+    assert_eq!(json.status, 200);
+    let body = String::from_utf8(json.body.to_vec()).unwrap();
+    for name in [
+        "client.timeouts",
+        "client.breaker_state",
+        "collector.backfill_pages",
+        "collector.bundles_recovered",
+        "collector.polls_skipped_breaker",
+        "faults.injected.uniform_503",
+    ] {
+        assert!(
+            body.contains(&format!("\"{name}\":")),
+            "missing {name} in {body}"
+        );
+    }
+
+    let prom = client.get("/metrics?format=prometheus").await.unwrap();
+    let text = String::from_utf8(prom.body.to_vec()).unwrap();
+    for family in [
+        "# TYPE client_timeouts counter",
+        "# TYPE client_breaker_state gauge",
+        "# TYPE collector_backfill_pages counter",
+        "# TYPE collector_bundles_recovered counter",
+        "# TYPE faults_injected_uniform_503 counter",
+    ] {
+        assert!(
+            text.contains(family),
+            "missing `{family}` in prometheus text"
+        );
+    }
+    // The injected faults actually fired and were counted.
+    assert!(
+        registry
+            .snapshot()
+            .counter("faults.injected.uniform_503")
+            .unwrap_or(0)
+            > 0
+    );
+    explorer.shutdown().await;
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 2)]
+async fn kitchen_sink_profile_survives_everything_at_once() {
+    let faults = FaultPlanConfig {
+        burst: Some(BurstConfig {
+            enter: 0.1,
+            exit: 0.5,
+            fail_rate: 0.8,
+        }),
+        uniform_503_rate: 0.05,
+        rate_429: 0.05,
+        retry_after_ms: 20,
+        stall_rate: 0.03,
+        truncate_rate: 0.03,
+        corrupt_rate: 0.03,
+        latency: Some(LatencyConfig {
+            rate: 0.2,
+            min_ms: 1,
+            max_ms: 10,
+        }),
+        ..Default::default()
+    };
+    let timeouts = ClientTimeouts {
+        total: Duration::from_millis(200),
+        ..Default::default()
+    };
+    let out = run_profile(faults, timeouts).await;
+    assert_survived("kitchen-sink", &out);
+    assert!(
+        out.coverage > 0.7,
+        "kitchen-sink coverage {:.2}",
+        out.coverage
+    );
+    // Several distinct fault kinds actually fired.
+    let fired = [
+        "burst_503",
+        "uniform_503",
+        "rate_429",
+        "stall",
+        "truncate",
+        "corrupt",
+        "latency",
+    ]
+    .iter()
+    .filter(|k| {
+        out.run
+            .metrics
+            .counter(&format!("faults.injected.{k}"))
+            .unwrap_or(0)
+            > 0
+    })
+    .count();
+    assert!(fired >= 5, "only {fired} fault kinds fired");
+}

@@ -187,8 +187,8 @@ async fn collector_degrades_gracefully_under_rate_limit() {
     );
     let clock = SlotClock::default();
     let mut failures = 0;
-    for _ in 0..6 {
-        if collector.poll_bundles(&clock, 0).await.is_err() {
+    for i in 0..6u64 {
+        if collector.poll_bundles(&clock, 0, i).await.is_err() {
             failures += 1;
         }
     }
@@ -225,14 +225,16 @@ async fn metrics_endpoint_serves_live_counters_during_run() {
     );
 
     let mut tick = 0u64;
+    let mut now_ms = 0u64;
     while let Some(outcome) = sim.step() {
         store.write().record_slot(&outcome.result);
+        now_ms = clock.unix_ms(outcome.result.block.slot);
         if tick.is_multiple_of(4) {
-            let _ = collector.poll_bundles(&clock, outcome.day).await;
+            let _ = collector.poll_bundles(&clock, outcome.day, now_ms).await;
         }
         tick += 1;
     }
-    collector.fetch_pending_details().await.unwrap();
+    collector.fetch_pending_details(now_ms).await.unwrap();
 
     let snap = registry.snapshot();
     for prefix in ["sim.", "engine.", "bank.", "explorer.", "collector."] {
