@@ -1,10 +1,12 @@
-//! Run a measurement and archive the collected dataset as JSONL — the
-//! repository's equivalent of the paper's four-month archive — then reload
-//! it and verify the analysis is identical.
+//! Run a measurement and archive the collected dataset both ways — JSONL
+//! (the paper's four-month-archive equivalent) and the segmented binary
+//! bundle store — reporting bytes-per-bundle for each, then reload both
+//! and verify the offline analyses are identical to the live run.
 
 use std::io::BufReader;
 
-use sandwich_core::{analyze, AnalysisConfig, Dataset};
+use sandwich_core::{analyze, scan_store, AnalysisConfig, Dataset};
+use sandwich_store::StoreWriter;
 
 fn main() {
     let fr = sandwich_bench::run_pipeline_with(sandwich_sim::ScenarioConfig {
@@ -15,22 +17,43 @@ fn main() {
         ..sandwich_bench::figure_scenario()
     });
     let path = std::env::var("SANDWICH_OUT").unwrap_or_else(|_| "dataset.jsonl".into());
+    let store_dir = std::env::var("SANDWICH_STORE_DIR").unwrap_or_else(|_| "dataset.store".into());
+    let bundles = fr.run.dataset.len() as f64;
 
+    // JSONL path: serialize by reference, measure, reload, re-analyze.
     let file = std::fs::File::create(&path).expect("create archive");
     fr.run
         .dataset
         .write_jsonl(std::io::BufWriter::new(file))
         .expect("write archive");
-    let bytes = std::fs::metadata(&path).unwrap().len();
+    let jsonl_bytes = std::fs::metadata(&path).unwrap().len();
     println!(
-        "archived {} bundles, {} details, {} polls → {path} ({:.1} MiB)",
+        "archived {} bundles, {} details, {} polls → {path} ({:.1} MiB, {:.1} B/bundle)",
         fr.run.dataset.len(),
         fr.run.dataset.detail_count(),
         fr.run.dataset.polls().len(),
-        bytes as f64 / (1024.0 * 1024.0),
+        jsonl_bytes as f64 / (1024.0 * 1024.0),
+        jsonl_bytes as f64 / bundles,
     );
 
-    // Offline re-analysis from the archive alone.
+    // Binary store path: seal segments, measure, scan in parallel.
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let mut writer = StoreWriter::create(&store_dir).expect("create store");
+    fr.run
+        .dataset
+        .write_store(&mut writer, 2_048)
+        .expect("seal segments");
+    let store = writer.into_reader();
+    let store_bytes = store.manifest().total_bytes();
+    println!(
+        "sealed {} segments → {store_dir} ({:.1} MiB, {:.1} B/bundle, {:.1}x smaller than JSONL)",
+        store.segments().len(),
+        store_bytes as f64 / (1024.0 * 1024.0),
+        store_bytes as f64 / bundles,
+        jsonl_bytes as f64 / store_bytes as f64,
+    );
+
+    // Offline re-analysis from each archive alone.
     let reloaded =
         Dataset::read_jsonl(BufReader::new(std::fs::File::open(&path).unwrap())).expect("reload");
     let config = AnalysisConfig::paper_defaults(fr.scenario.days);
@@ -42,4 +65,12 @@ fn main() {
         offline.total_sandwiches(),
         offline.defense.defensive,
     );
+
+    let scanned = scan_store(&store, &fr.clock, &config, 4).expect("store scan");
+    assert_eq!(
+        serde_json::to_string(&scanned).unwrap(),
+        serde_json::to_string(&offline).unwrap(),
+        "store scan must be byte-identical to the in-memory analysis"
+    );
+    println!("parallel store scan (4 threads) is byte-identical to the in-memory analysis");
 }

@@ -1,0 +1,104 @@
+//! Throughput benchmark for the parallel segment scan: collect a dataset,
+//! seal it into a segment store, then scan at 1/2/4/8 worker threads and
+//! report bundles/second for each. Asserts the reports are byte-identical
+//! at every thread count (the determinism contract), and writes a JSON
+//! snapshot (`BENCH_scan.json` or `$SANDWICH_BENCH_OUT`).
+
+use sandwich_core::{analyze, scan_store, AnalysisConfig};
+use sandwich_store::StoreWriter;
+
+fn main() {
+    let fr = sandwich_bench::run_pipeline_with(sandwich_sim::ScenarioConfig {
+        days: std::env::var("SANDWICH_DAYS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(8),
+        ..sandwich_bench::figure_scenario()
+    });
+    let reps: usize = std::env::var("SANDWICH_SCAN_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
+    let bundles = fr.run.dataset.len();
+
+    // Seal into enough segments that 8 workers always have units to steal.
+    let store_dir =
+        std::env::var("SANDWICH_STORE_DIR").unwrap_or_else(|_| "scan_bench.store".into());
+    let segment_bundles = (bundles / 64).max(64);
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let mut writer = StoreWriter::create(&store_dir).expect("create store");
+    fr.run
+        .dataset
+        .write_store(&mut writer, segment_bundles)
+        .expect("seal segments");
+    let store = writer.into_reader();
+    let config = AnalysisConfig::paper_defaults(fr.scenario.days);
+
+    // Baseline: the in-memory single-pass analysis.
+    let baseline = analyze(&fr.run.dataset, &fr.clock, &config);
+    let baseline_json = serde_json::to_string(&baseline).unwrap();
+
+    println!(
+        "scan_bench: {} bundles in {} segments ({} bundles/segment), best of {reps} reps",
+        bundles,
+        store.segments().len(),
+        segment_bundles,
+    );
+
+    let thread_counts = [1usize, 2, 4, 8];
+    let mut rates = Vec::new();
+    for &threads in &thread_counts {
+        let mut best = f64::INFINITY;
+        let mut json = String::new();
+        for _ in 0..reps {
+            let started = std::time::Instant::now();
+            let report = scan_store(&store, &fr.clock, &config, threads).expect("scan");
+            let elapsed = started.elapsed().as_secs_f64();
+            json = serde_json::to_string(&report).unwrap();
+            if elapsed < best {
+                best = elapsed;
+            }
+        }
+        assert_eq!(
+            json, baseline_json,
+            "scan at {threads} threads diverged from the in-memory analysis"
+        );
+        let rate = bundles as f64 / best;
+        println!(
+            "  threads={threads}: {:.1} ms, {:.0} bundles/sec",
+            best * 1e3,
+            rate
+        );
+        rates.push((threads, rate));
+    }
+    let rate_of = |t: usize| {
+        rates
+            .iter()
+            .find(|(n, _)| *n == t)
+            .map(|(_, r)| *r)
+            .unwrap()
+    };
+    let speedup4 = rate_of(4) / rate_of(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "  4-thread speedup over 1 thread: {speedup4:.2}x on {cores} core(s) (reports byte-identical at every thread count)"
+    );
+    if cores < 4 {
+        println!("  note: speedup is bounded by the {cores} available core(s)");
+    }
+
+    let out = std::env::var("SANDWICH_BENCH_OUT").unwrap_or_else(|_| "BENCH_scan.json".into());
+    let entries: Vec<String> = rates
+        .iter()
+        .map(|(t, r)| format!("    \"{t}\": {r:.0}"))
+        .collect();
+    let snapshot = format!(
+        "{{\n  \"bundles\": {bundles},\n  \"segments\": {segments},\n  \"segment_bundles\": {segment_bundles},\n  \"cores\": {cores},\n  \"bundles_per_sec\": {{\n{rates}\n  }},\n  \"speedup_4_threads\": {speedup4:.2},\n  \"byte_identical_across_threads\": true\n}}\n",
+        segments = store.segments().len(),
+        rates = entries.join(",\n"),
+    );
+    std::fs::write(&out, snapshot).expect("write snapshot");
+    println!("  snapshot → {out}");
+}

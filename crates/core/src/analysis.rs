@@ -8,8 +8,8 @@ use sandwich_dex::SolUsdOracle;
 use sandwich_types::{Lamports, SlotClock, DEFENSIVE_TIP_THRESHOLD};
 
 use crate::dataset::Dataset;
-use crate::defense::{is_defensive_at, DefenseStats};
-use crate::detector::{detect, DetectorConfig, SandwichFinding};
+use crate::defense::DefenseStats;
+use crate::detector::{DetectorConfig, SandwichFinding};
 use crate::stats::{Cdf, DailySeries};
 
 /// Analysis configuration.
@@ -62,6 +62,11 @@ pub struct DatedFinding {
 }
 
 /// Everything the figures need.
+///
+/// Serializable so reports can be diffed byte-for-byte: the suite asserts
+/// that the parallel segment scan produces the identical JSON at any
+/// thread count, and identical to this in-memory path.
+#[derive(Clone, Debug, Serialize)]
 pub struct AnalysisReport {
     /// Days covered.
     pub days: u64,
@@ -165,100 +170,18 @@ impl AnalysisReport {
 }
 
 /// Run the full analysis over a collected dataset.
+///
+/// This is the in-memory path, rebuilt as one [`crate::scan::ScanPartial`]
+/// over the dataset plus the shared finalize — the exact machinery the
+/// parallel segment scan reduces with, which is what makes the two paths
+/// produce byte-identical reports.
 pub fn analyze(dataset: &Dataset, clock: &SlotClock, config: &AnalysisConfig) -> AnalysisReport {
-    let days = config.days as usize;
-    let mut bundles_by_len_per_day: [DailySeries; 5] =
-        std::array::from_fn(|_| DailySeries::zeros(days));
-    let mut sandwiches_per_day = DailySeries::zeros(days);
-    let mut defensive_per_day = DailySeries::zeros(days);
-    let mut victim_loss_sol_per_day = DailySeries::zeros(days);
-    let mut attacker_gain_sol_per_day = DailySeries::zeros(days);
-
-    let mut losses_usd = Vec::new();
-    let mut tips_len1 = Vec::new();
-    let mut tips_len3 = Vec::new();
-    let mut tips_sandwich = Vec::new();
-    let mut defense = DefenseStats::default();
-    let mut findings = Vec::new();
-    let mut non_sol = 0u64;
-    let mut len3_with_details = 0u64;
-
+    let mut partial = crate::scan::ScanPartial::new(config.days as usize);
     for bundle in dataset.bundles() {
-        let day = dataset.day_of(bundle, clock);
-        let len = bundle.len().clamp(1, 5);
-        bundles_by_len_per_day[len - 1].add(day, 1.0);
-
-        if len == 1 {
-            tips_len1.push(bundle.tip.0 as f64);
-            defense.observe(bundle, config.defensive_threshold);
-            if is_defensive_at(bundle, config.defensive_threshold) {
-                defensive_per_day.add(day, 1.0);
-            }
-            continue;
-        }
-
-        if len == 3 || (config.extended && len > 3) {
-            if len == 3 {
-                tips_len3.push(bundle.tip.0 as f64);
-            }
-            let finding = if len == 3 {
-                if let Some(metas) = dataset.bundle_metas3(bundle) {
-                    len3_with_details += 1;
-                    detect(&config.detector, metas)
-                } else {
-                    None
-                }
-            } else {
-                dataset.bundle_metas(bundle).and_then(|metas| {
-                    crate::detector::detect_in_bundle(&config.detector, &metas)
-                        .into_iter()
-                        .map(|(_, f)| f)
-                        .next()
-                })
-            };
-            {
-                if let Some(finding) = finding {
-                    sandwiches_per_day.add(day, 1.0);
-                    tips_sandwich.push(bundle.tip.0 as f64);
-                    if finding.sol_legged {
-                        if let Some(loss) = finding.victim_loss_lamports {
-                            victim_loss_sol_per_day.add(day, loss as f64 / 1e9);
-                            losses_usd.push(config.oracle.lamports_to_usd(Lamports(loss)));
-                        }
-                        if let Some(gain) = finding.attacker_gain_lamports {
-                            attacker_gain_sol_per_day.add(day, gain as f64 / 1e9);
-                        }
-                    } else {
-                        non_sol += 1;
-                    }
-                    findings.push(DatedFinding {
-                        day,
-                        bundle_id: bundle.bundle_id,
-                        finding,
-                    });
-                }
-            }
-        }
+        partial.observe_bundle(bundle, dataset, clock, config);
     }
-
-    AnalysisReport {
-        days: config.days,
-        bundles_by_len_per_day,
-        sandwiches_per_day,
-        defensive_per_day,
-        victim_loss_sol_per_day,
-        attacker_gain_sol_per_day,
-        loss_cdf_usd: Cdf::from_samples(losses_usd),
-        tip_cdf_len1: Cdf::from_samples(tips_len1),
-        tip_cdf_len3: Cdf::from_samples(tips_len3),
-        tip_cdf_sandwich: Cdf::from_samples(tips_sandwich),
-        defense,
-        findings,
-        non_sol_sandwiches: non_sol,
-        len3_with_details,
-        overlap_rate: dataset.overlap_rate(),
-        oracle: config.oracle.clone(),
-    }
+    partial.observe_polls(dataset.polls());
+    partial.finalize(config)
 }
 
 #[cfg(test)]

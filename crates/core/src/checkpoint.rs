@@ -1,15 +1,22 @@
 //! Checkpoint/resume for the measurement pipeline.
 //!
-//! A four-month collection must survive being killed. A checkpoint is the
-//! dataset archive (JSONL, as written by [`Dataset::write_jsonl`]) prefixed
-//! with one header line carrying the poll cursor (the next tick to
-//! process) and the collector's health counters. Resuming replays the
-//! simulation deterministically up to the cursor without polling, then
-//! continues collecting as if never interrupted.
+//! A four-month collection must survive being killed. A checkpoint is one
+//! header line carrying the poll cursor (the next tick to process), the
+//! collector's health counters, and — in store mode — a *reference* to the
+//! segment store (its directory plus the sealed-segment manifest), followed
+//! by the JSONL archive of whatever is still resident in memory. Sealed
+//! segments are never re-serialized into the checkpoint and never re-read
+//! on resume: the manifest entry is the segment, checksummed and on disk.
+//! Resuming replays the simulation deterministically up to the cursor
+//! without polling, reattaches the store writer (discarding any orphan
+//! segments sealed after the checkpoint was written), and continues
+//! collecting as if never interrupted.
 
 use std::io::{BufRead, Write};
 
 use serde::{Deserialize, Serialize};
+
+use sandwich_store::SegmentMeta;
 
 use crate::collector::CollectorStats;
 use crate::dataset::Dataset;
@@ -20,8 +27,21 @@ pub struct Checkpoint {
     pub next_tick: u64,
     /// Collector health counters accumulated so far.
     pub stats: CollectorStats,
-    /// Everything collected so far.
+    /// Records still resident in memory (everything, in legacy mode).
     pub dataset: Dataset,
+    /// The segment store this run was flushing into, if any.
+    pub store: Option<StoreCheckpoint>,
+}
+
+/// A by-reference handle to a segment store: enough to reattach the writer
+/// without reading any segment data.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StoreCheckpoint {
+    /// Store directory (holds the manifest and the segment files).
+    pub dir: String,
+    /// Segments sealed when the checkpoint was taken. Resume truncates the
+    /// on-disk manifest back to exactly this list.
+    pub segments: Vec<SegmentMeta>,
 }
 
 /// The header line at the top of a checkpoint stream.
@@ -34,15 +54,17 @@ struct CheckpointHeader {
 struct CursorRecord {
     next_tick: u64,
     stats: CollectorStats,
+    store: Option<StoreCheckpoint>,
 }
 
 impl Checkpoint {
-    /// Serialize: one header line, then the dataset archive.
+    /// Serialize: one header line, then the residual dataset archive.
     pub fn write<W: Write>(&self, mut w: W) -> std::io::Result<()> {
         let header = CheckpointHeader {
             checkpoint: CursorRecord {
                 next_tick: self.next_tick,
                 stats: self.stats,
+                store: self.store.clone(),
             },
         };
         serde_json::to_writer(&mut w, &header)?;
@@ -61,6 +83,7 @@ impl Checkpoint {
             next_tick: header.checkpoint.next_tick,
             stats: header.checkpoint.stats,
             dataset,
+            store: header.checkpoint.store,
         })
     }
 }
@@ -81,6 +104,7 @@ mod tests {
             next_tick: 77,
             stats,
             dataset: Dataset::new(),
+            store: None,
         };
         let mut buf = Vec::new();
         cp.write(&mut buf).unwrap();
@@ -88,6 +112,37 @@ mod tests {
         assert_eq!(back.next_tick, 77);
         assert_eq!(back.stats, stats);
         assert!(back.dataset.is_empty());
+        assert!(back.store.is_none());
+    }
+
+    #[test]
+    fn roundtrip_preserves_store_reference() {
+        let cp = Checkpoint {
+            next_tick: 9,
+            stats: CollectorStats::default(),
+            dataset: Dataset::new(),
+            store: Some(StoreCheckpoint {
+                dir: "/tmp/some-store".into(),
+                segments: vec![SegmentMeta {
+                    file: "seg-00000.seg".into(),
+                    bundles: 10,
+                    details: 3,
+                    polls: 2,
+                    min_slot: 5,
+                    max_slot: 99,
+                    bytes: 1234,
+                    checksum: "00deadbeef00f00d".into(),
+                }],
+            }),
+        };
+        let mut buf = Vec::new();
+        cp.write(&mut buf).unwrap();
+        let back = Checkpoint::read(std::io::BufReader::new(&buf[..])).unwrap();
+        let store = back.store.expect("store reference survived");
+        assert_eq!(store.dir, "/tmp/some-store");
+        assert_eq!(store.segments.len(), 1);
+        assert_eq!(store.segments[0].file, "seg-00000.seg");
+        assert_eq!(store.segments[0].checksum, "00deadbeef00f00d");
     }
 
     #[test]

@@ -21,6 +21,7 @@ use sandwich_net::{
     HttpClient, RetryClass, RetryPolicy,
 };
 use sandwich_obs::{Counter, Gauge, Histogram, Registry};
+use sandwich_store::{SegmentMeta, StoreWriter};
 use sandwich_types::SlotClock;
 
 use crate::dataset::{Dataset, PollRecord};
@@ -83,6 +84,10 @@ pub struct CollectorStats {
     pub bundles_recovered: u64,
     /// Requests that hit a client-side deadline.
     pub timeouts: u64,
+    /// Segments sealed into the bundle store (store mode only).
+    pub segments_sealed: u64,
+    /// Bytes of sealed segment files written (store mode only).
+    pub store_bytes_written: u64,
 }
 
 /// Cached metric handles for collection health (`collector.` prefix, plus
@@ -102,6 +107,8 @@ struct CollectorMetrics {
     bundles_recovered: Arc<Counter>,
     client_timeouts: Arc<Counter>,
     breaker_state: Arc<Gauge>,
+    segments_sealed: Arc<Counter>,
+    store_bytes_written: Arc<Counter>,
 }
 
 impl CollectorMetrics {
@@ -121,6 +128,8 @@ impl CollectorMetrics {
             bundles_recovered: registry.counter("collector.bundles_recovered"),
             client_timeouts: registry.counter("client.timeouts"),
             breaker_state: registry.gauge("client.breaker_state"),
+            segments_sealed: registry.counter(sandwich_obs::names::STORE_SEGMENTS_SEALED),
+            store_bytes_written: registry.counter(sandwich_obs::names::STORE_BYTES_WRITTEN),
         }
     }
 }
@@ -138,13 +147,21 @@ fn classify(e: &ClientError) -> RetryClass {
     }
 }
 
+/// The collector's segment-store sink: where sealed segments go and how
+/// many bundles trigger a seal.
+struct StoreSink {
+    writer: StoreWriter,
+    segment_bundles: usize,
+}
+
 /// The polling client plus its accumulated dataset.
 pub struct Collector {
     client: HttpClient,
     config: CollectorConfig,
     metrics: Option<CollectorMetrics>,
     breaker: CircuitBreaker,
-    /// Everything collected so far.
+    store: Option<StoreSink>,
+    /// Everything collected so far (the staging area in store mode).
     pub dataset: Dataset,
     /// Health counters.
     pub stats: CollectorStats,
@@ -158,6 +175,7 @@ impl Collector {
             breaker: CircuitBreaker::new(config.breaker),
             config,
             metrics: None,
+            store: None,
             dataset: Dataset::new(),
             stats: CollectorStats::default(),
         }
@@ -196,9 +214,68 @@ impl Collector {
             m.backfill_pages.add(stats.backfill_pages);
             m.bundles_recovered.add(stats.bundles_recovered);
             m.client_timeouts.add(stats.timeouts);
+            m.segments_sealed.add(stats.segments_sealed);
+            m.store_bytes_written.add(stats.store_bytes_written);
         }
         self.stats = stats;
         self.dataset = dataset;
+    }
+
+    /// Attach a segment-store sink: from now on, [`Collector::flush_store`]
+    /// seals a segment whenever `segment_bundles` bundles are sealable,
+    /// keeping resident memory bounded by the threshold plus the
+    /// detail-pending backlog.
+    pub fn attach_store(&mut self, writer: StoreWriter, segment_bundles: usize) {
+        self.store = Some(StoreSink {
+            writer,
+            segment_bundles: segment_bundles.max(1),
+        });
+    }
+
+    /// The attached store writer's sealed-segment manifest, if any.
+    pub fn store_segments(&self) -> Option<&[SegmentMeta]> {
+        self.store.as_ref().map(|s| s.writer.segments())
+    }
+
+    /// Detach and return the store writer (end of run, before analysis).
+    pub fn take_store(&mut self) -> Option<StoreWriter> {
+        self.store.take().map(|s| s.writer)
+    }
+
+    /// Seal every full segment currently drainable from the dataset; with
+    /// `force`, seal everything left (end-of-run flush), including bundles
+    /// still awaiting details and the unspilled poll tail. Returns the
+    /// metadata of segments sealed by this call, in seal order. A no-op
+    /// without an attached store.
+    pub fn flush_store(&mut self, force: bool) -> std::io::Result<Vec<SegmentMeta>> {
+        let Some(sink) = &mut self.store else {
+            return Ok(Vec::new());
+        };
+        let lens = self.config.detail_bundle_lens;
+        let mut sealed = Vec::new();
+        loop {
+            let due = if force {
+                !self.dataset.fully_spilled()
+            } else {
+                self.dataset.sealable_count(lens) >= sink.segment_bundles
+            };
+            if !due {
+                break;
+            }
+            let (bundles, details) = self
+                .dataset
+                .drain_sealable(lens, sink.segment_bundles, force);
+            let polls = self.dataset.drain_unspilled_polls();
+            let meta = sink.writer.seal_segment(bundles, details, polls)?;
+            self.stats.segments_sealed += 1;
+            self.stats.store_bytes_written += meta.bytes;
+            if let Some(m) = &self.metrics {
+                m.segments_sealed.inc();
+                m.store_bytes_written.add(meta.bytes);
+            }
+            sealed.push(meta);
+        }
+        Ok(sealed)
     }
 
     /// The retry policy for the current breaker state: half-open probes

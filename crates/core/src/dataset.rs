@@ -4,6 +4,14 @@
 //! deduplicates by bundle id and records, per poll, whether the new page
 //! overlapped the previous one — the paper's completeness argument (§3.1:
 //! 95% of successive request pairs overlapped).
+//!
+//! The dataset can run in two shapes. Standalone, it accumulates every
+//! record in memory (the original behaviour, still used by small runs and
+//! the unit tests). Backing a segment store, it is only the *staging area*:
+//! the collector periodically drains sealable records out of it into
+//! sealed segments ([`Dataset::drain_sealable`]), so resident memory stays
+//! bounded by the seal threshold plus the detail backlog while the `seen`
+//! id set keeps deduplication exact across the whole run.
 
 use std::collections::{HashMap, HashSet};
 
@@ -11,59 +19,9 @@ use serde::{Deserialize, Serialize};
 
 use sandwich_explorer::{BundleSummaryJson, TxDetailJson};
 use sandwich_ledger::{TransactionId, TransactionMeta};
-use sandwich_types::{Lamports, Slot, SlotClock};
+use sandwich_types::{Slot, SlotClock};
 
-/// One collected bundle record.
-#[derive(Clone, Debug, Serialize, Deserialize)]
-pub struct CollectedBundle {
-    /// The bundle id.
-    pub bundle_id: sandwich_jito::BundleId,
-    /// Landing slot.
-    pub slot: Slot,
-    /// Landing time (unix ms, from the API).
-    pub timestamp_ms: u64,
-    /// Tip in lamports.
-    pub tip: Lamports,
-    /// Transaction ids in bundle order.
-    pub tx_ids: Vec<TransactionId>,
-}
-
-impl CollectedBundle {
-    /// Number of bundled transactions.
-    pub fn len(&self) -> usize {
-        self.tx_ids.len()
-    }
-
-    /// Bundles are never empty.
-    pub fn is_empty(&self) -> bool {
-        self.tx_ids.is_empty()
-    }
-}
-
-/// Detail for one transaction of a collected bundle.
-#[derive(Clone, Debug, Serialize, Deserialize)]
-pub struct CollectedDetail {
-    /// The bundle the transaction belongs to.
-    pub bundle_id: sandwich_jito::BundleId,
-    /// Landing slot.
-    pub slot: Slot,
-    /// Execution metadata reconstructed from the wire.
-    pub meta: TransactionMeta,
-}
-
-/// Result of ingesting one page.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
-pub struct PollRecord {
-    /// Measurement day the poll happened on.
-    pub day: u64,
-    /// Bundles in the returned page.
-    pub fetched: usize,
-    /// Bundles not seen before.
-    pub new: usize,
-    /// Whether the page overlapped previously collected bundles — if every
-    /// successive pair overlaps, nothing was missed.
-    pub overlapped_previous: bool,
-}
+pub use sandwich_store::{CollectedBundle, CollectedDetail, PollRecord};
 
 /// The collector's accumulated dataset.
 #[derive(Default)]
@@ -73,12 +31,51 @@ pub struct Dataset {
     details: HashMap<TransactionId, CollectedDetail>,
     polls: Vec<PollRecord>,
     detail_requested: HashSet<sandwich_jito::BundleId>,
+    /// Bundles drained into sealed segments and no longer resident.
+    flushed_bundles: u64,
+    /// Details drained into sealed segments and no longer resident.
+    flushed_details: u64,
+    /// Poll records already copied into a sealed segment.
+    polls_spilled: usize,
+    /// Highest slot ever ingested, resident or flushed.
+    max_slot_seen: Option<u64>,
 }
 
 impl Dataset {
     /// An empty dataset.
     pub fn new() -> Self {
         Dataset::default()
+    }
+
+    /// Build one record from a wire summary (shared by live polls and
+    /// backfill pages).
+    fn record_from_summary(b: &BundleSummaryJson, clock: &SlotClock) -> CollectedBundle {
+        CollectedBundle {
+            bundle_id: b.bundle_id,
+            slot: Slot(b.slot),
+            timestamp_ms: clock.unix_ms(Slot(b.slot)),
+            tip: b.tip(),
+            tx_ids: b.transactions.clone(),
+        }
+    }
+
+    /// Ingest one page (newest-first, as served): store unseen bundles in
+    /// chronological order, report how many were new and whether the page
+    /// overlapped anything previously collected.
+    fn ingest_records(&mut self, page: &[BundleSummaryJson], clock: &SlotClock) -> (usize, bool) {
+        let mut new = 0usize;
+        let mut overlapped = false;
+        for b in page.iter().rev() {
+            if self.seen.contains(&b.bundle_id) {
+                overlapped = true;
+                continue;
+            }
+            self.seen.insert(b.bundle_id);
+            self.max_slot_seen = Some(self.max_slot_seen.unwrap_or(0).max(b.slot));
+            self.bundles.push(Self::record_from_summary(b, clock));
+            new += 1;
+        }
+        (new, overlapped)
     }
 
     /// Ingest one recent-bundles page (newest-first, as served).
@@ -89,24 +86,7 @@ impl Dataset {
         day: u64,
     ) -> PollRecord {
         let fetched = page.len();
-        let mut new = 0usize;
-        let mut overlapped = false;
-        // Store in chronological order: the page is newest-first.
-        for b in page.iter().rev() {
-            if self.seen.contains(&b.bundle_id) {
-                overlapped = true;
-                continue;
-            }
-            self.seen.insert(b.bundle_id);
-            self.bundles.push(CollectedBundle {
-                bundle_id: b.bundle_id,
-                slot: Slot(b.slot),
-                timestamp_ms: clock.unix_ms(Slot(b.slot)),
-                tip: b.tip(),
-                tx_ids: b.transactions.clone(),
-            });
-            new += 1;
-        }
+        let (new, mut overlapped) = self.ingest_records(page, clock);
         // The very first poll trivially "overlaps" nothing; count it as
         // overlapping so it does not read as a gap.
         if self.polls.is_empty() && fetched > 0 {
@@ -134,29 +114,13 @@ impl Dataset {
         page: &[BundleSummaryJson],
         clock: &SlotClock,
     ) -> (usize, bool) {
-        let mut new = 0usize;
-        let mut reached_known = false;
-        for b in page.iter().rev() {
-            if self.seen.contains(&b.bundle_id) {
-                reached_known = true;
-                continue;
-            }
-            self.seen.insert(b.bundle_id);
-            self.bundles.push(CollectedBundle {
-                bundle_id: b.bundle_id,
-                slot: Slot(b.slot),
-                timestamp_ms: clock.unix_ms(Slot(b.slot)),
-                tip: b.tip(),
-                tx_ids: b.transactions.clone(),
-            });
-            new += 1;
-        }
-        (new, reached_known)
+        self.ingest_records(page, clock)
     }
 
     /// Newest collected slot, if any (the backfill cursor's starting edge).
+    /// Includes bundles already drained into sealed segments.
     pub fn newest_slot(&self) -> Option<u64> {
-        self.bundles.iter().map(|b| b.slot.0).max()
+        self.max_slot_seen
     }
 
     /// Mark the most recent poll as overlapping — called after a backfill
@@ -190,29 +154,31 @@ impl Dataset {
         added
     }
 
-    /// All collected bundles, in collection (≈ chronological) order.
+    /// Resident (not yet drained) bundles, in collection (≈ chronological)
+    /// order. In standalone mode this is everything collected.
     pub fn bundles(&self) -> &[CollectedBundle] {
         &self.bundles
     }
 
-    /// Number of collected bundles.
+    /// Number of collected bundles, including ones drained into sealed
+    /// segments.
     pub fn len(&self) -> usize {
-        self.bundles.len()
+        self.bundles.len() + self.flushed_bundles as usize
     }
 
     /// True when nothing was collected.
     pub fn is_empty(&self) -> bool {
-        self.bundles.is_empty()
+        self.len() == 0
     }
 
-    /// Detail for one transaction, if fetched.
+    /// Detail for one transaction, if fetched and still resident.
     pub fn detail(&self, id: &TransactionId) -> Option<&CollectedDetail> {
         self.details.get(id)
     }
 
-    /// Number of fetched transaction details.
+    /// Number of fetched transaction details, including drained ones.
     pub fn detail_count(&self) -> usize {
-        self.details.len()
+        self.details.len() + self.flushed_details as usize
     }
 
     /// Poll log.
@@ -295,21 +261,127 @@ impl Dataset {
             .collect()
     }
 
+    /// True when a bundle can be drained into a sealed segment: either its
+    /// length never gets details fetched, or every detail has arrived — so
+    /// each sealed segment is self-contained (a bundle and its details
+    /// always share a segment), which is what lets the scan engine process
+    /// segments independently.
+    fn is_sealable(&self, bundle: &CollectedBundle, detail_lens: &[usize]) -> bool {
+        !detail_lens.contains(&bundle.len())
+            || bundle.tx_ids.iter().all(|id| self.details.contains_key(id))
+    }
+
+    /// Number of bundles currently drainable via [`Dataset::drain_sealable`].
+    pub fn sealable_count(&self, detail_lens: &[usize]) -> usize {
+        self.bundles
+            .iter()
+            .filter(|b| self.is_sealable(b, detail_lens))
+            .count()
+    }
+
+    /// Drain up to `max` sealable bundles (plus their resident details) out
+    /// of memory for sealing into a segment. With `force`, *every* resident
+    /// bundle drains — including ones still awaiting details — which is the
+    /// end-of-run flush. Returns `(bundles, details)`.
+    pub fn drain_sealable(
+        &mut self,
+        detail_lens: &'static [usize],
+        max: usize,
+        force: bool,
+    ) -> (Vec<CollectedBundle>, Vec<CollectedDetail>) {
+        let mut drained = Vec::new();
+        let mut kept = Vec::with_capacity(self.bundles.len());
+        for b in std::mem::take(&mut self.bundles) {
+            if drained.len() < max && (force || self.is_sealable(&b, detail_lens)) {
+                drained.push(b);
+            } else {
+                kept.push(b);
+            }
+        }
+        self.bundles = kept;
+        let mut details = Vec::new();
+        for b in &drained {
+            self.detail_requested.remove(&b.bundle_id);
+            for tx in &b.tx_ids {
+                if let Some(d) = self.details.remove(tx) {
+                    details.push(d);
+                }
+            }
+        }
+        self.flushed_bundles += drained.len() as u64;
+        self.flushed_details += details.len() as u64;
+        (drained, details)
+    }
+
+    /// Read-only view of the poll records not yet copied into a sealed
+    /// segment (the tail a combined store+residual scan still owes).
+    pub fn unspilled_polls(&self) -> &[PollRecord] {
+        &self.polls[self.polls_spilled..]
+    }
+
+    /// Poll records not yet copied into a sealed segment. Polls stay
+    /// resident either way (the ledger is tiny and `overlap_rate` needs
+    /// it); this only tracks which tail still owes the store a copy.
+    pub fn drain_unspilled_polls(&mut self) -> Vec<PollRecord> {
+        let tail = self.polls[self.polls_spilled..].to_vec();
+        self.polls_spilled = self.polls.len();
+        tail
+    }
+
+    /// True when nothing (bundles, details, polls) is waiting to be
+    /// written to the store.
+    pub fn fully_spilled(&self) -> bool {
+        self.bundles.is_empty() && self.polls_spilled == self.polls.len()
+    }
+
     /// Serialize the dataset as JSON lines: one `{"kind": ...}` record per
     /// line (bundles, details, polls) — an archive format a four-month
-    /// collection can stream to disk and re-analyze offline.
+    /// collection can stream to disk and re-analyze offline. When bundles
+    /// have been drained into a store, a single `flushed` line carries the
+    /// dedup ids and counters the resident records can no longer convey.
     pub fn write_jsonl<W: std::io::Write>(&self, mut w: W) -> std::io::Result<()> {
+        // Records are serialized by reference in the externally-tagged
+        // shape (`{"poll": {...}}`) the owned `DatasetRecord` enum reads
+        // back — without cloning every record through an enum first.
+        fn tagged<W: std::io::Write, T: Serialize>(
+            w: &mut W,
+            tag: &str,
+            value: &T,
+        ) -> std::io::Result<()> {
+            write!(w, "{{\"{tag}\":")?;
+            serde_json::to_writer(&mut *w, value)?;
+            w.write_all(b"}\n")
+        }
         for p in &self.polls {
-            serde_json::to_writer(&mut w, &DatasetRecord::Poll(*p))?;
-            w.write_all(b"\n")?;
+            tagged(&mut w, "poll", p)?;
         }
         for b in &self.bundles {
-            serde_json::to_writer(&mut w, &DatasetRecord::Bundle(b.clone()))?;
-            w.write_all(b"\n")?;
+            tagged(&mut w, "bundle", b)?;
         }
-        for d in self.details.values() {
-            serde_json::to_writer(&mut w, &DatasetRecord::Detail(d.clone()))?;
-            w.write_all(b"\n")?;
+        // HashMap iteration order is randomized per process; sort so the
+        // archive is byte-reproducible run to run.
+        let mut details: Vec<_> = self.details.values().collect();
+        details.sort_by_key(|d| d.meta.tx_id.0);
+        for d in details {
+            tagged(&mut w, "detail", d)?;
+        }
+        if self.flushed_bundles > 0 {
+            let resident: HashSet<_> = self.bundles.iter().map(|b| b.bundle_id).collect();
+            let mut ids: Vec<_> = self
+                .seen
+                .iter()
+                .filter(|id| !resident.contains(id))
+                .copied()
+                .collect();
+            ids.sort_by_key(|id| id.0);
+            let flushed = FlushedState {
+                ids,
+                bundles: self.flushed_bundles,
+                details: self.flushed_details,
+                polls_spilled: self.polls_spilled as u64,
+                max_slot: self.max_slot_seen,
+            };
+            tagged(&mut w, "flushed", &flushed)?;
         }
         Ok(())
     }
@@ -329,15 +401,28 @@ impl Dataset {
                 DatasetRecord::Poll(p) => ds.polls.push(p),
                 DatasetRecord::Bundle(b) => {
                     if ds.seen.insert(b.bundle_id) {
+                        ds.max_slot_seen = Some(ds.max_slot_seen.unwrap_or(0).max(b.slot.0));
                         ds.bundles.push(b);
                     }
                 }
                 DatasetRecord::Detail(d) => {
                     ds.details.insert(d.meta.tx_id, d);
                 }
+                DatasetRecord::Flushed(f) => {
+                    ds.seen.extend(f.ids);
+                    ds.flushed_bundles += f.bundles;
+                    ds.flushed_details += f.details;
+                    ds.polls_spilled = f.polls_spilled as usize;
+                    ds.max_slot_seen = match (ds.max_slot_seen, f.max_slot) {
+                        (a, None) => a,
+                        (None, b) => b,
+                        (Some(a), Some(b)) => Some(a.max(b)),
+                    };
+                }
             }
         }
         ds.bundles.sort_by_key(|b| b.slot);
+        ds.polls_spilled = ds.polls_spilled.min(ds.polls.len());
         // Rebuild the pending-details bookkeeping: a bundle whose details
         // all survived the roundtrip was requested; anything else goes back
         // in the queue so a resumed run re-fetches it.
@@ -350,12 +435,38 @@ impl Dataset {
         ds.detail_requested.extend(requested);
         Ok(ds)
     }
+
+    /// Archive the whole (resident) dataset into a segment store, sealing
+    /// one segment per `segment_bundles` bundles. Details ride in the same
+    /// segment as their bundle; the poll ledger goes with the first
+    /// segment. This is the offline JSONL → binary conversion path.
+    pub fn write_store(
+        &self,
+        writer: &mut sandwich_store::StoreWriter,
+        segment_bundles: usize,
+    ) -> std::io::Result<()> {
+        let chunk = segment_bundles.max(1);
+        let mut polls = Some(self.polls.clone());
+        if self.bundles.is_empty() {
+            writer.seal_segment(Vec::new(), Vec::new(), polls.take().unwrap_or_default())?;
+            return Ok(());
+        }
+        for bundles in self.bundles.chunks(chunk) {
+            let details = bundles
+                .iter()
+                .flat_map(|b| b.tx_ids.iter())
+                .filter_map(|tx| self.details.get(tx).cloned())
+                .collect();
+            writer.seal_segment(bundles.to_vec(), details, polls.take().unwrap_or_default())?;
+        }
+        Ok(())
+    }
 }
 
 /// One line of the JSONL archive format (externally tagged:
 /// `{"bundle": {...}}` — internal tagging would buffer through
 /// `serde_json::Value`, which cannot carry the i128 token deltas).
-#[derive(Serialize, Deserialize)]
+#[derive(Deserialize)]
 #[serde(rename_all = "snake_case")]
 enum DatasetRecord {
     /// A poll log entry.
@@ -364,6 +475,19 @@ enum DatasetRecord {
     Bundle(CollectedBundle),
     /// A fetched transaction detail.
     Detail(CollectedDetail),
+    /// Ids and counters for bundles drained into a sealed store.
+    Flushed(FlushedState),
+}
+
+/// What the archive must remember about drained records: their ids (for
+/// dedup), counts, and the newest slot (the backfill cursor edge).
+#[derive(Serialize, Deserialize)]
+struct FlushedState {
+    ids: Vec<sandwich_jito::BundleId>,
+    bundles: u64,
+    details: u64,
+    polls_spilled: u64,
+    max_slot: Option<u64>,
 }
 
 #[cfg(test)]
@@ -551,5 +675,90 @@ mod tests {
         ds.ingest_page(&[page_entry(1, 1, 1), page_entry(2, 2, 3)], &clock, 0);
         let ids = ds.pending_detail_ids(3, 100);
         assert_eq!(ids.len(), 3);
+    }
+
+    #[test]
+    fn drain_sealable_holds_back_pending_detail_bundles() {
+        let clock = SlotClock::default();
+        let mut ds = Dataset::new();
+        // Two len-1 bundles (sealable immediately), one len-3 (must wait).
+        ds.ingest_page(
+            &[
+                page_entry(1, 1, 1),
+                page_entry(2, 2, 3),
+                page_entry(3, 3, 1),
+            ],
+            &clock,
+            0,
+        );
+        assert_eq!(ds.sealable_count(&[3]), 2);
+        let (bundles, details) = ds.drain_sealable(&[3], 100, false);
+        assert_eq!(bundles.len(), 2);
+        assert!(details.is_empty());
+        assert_eq!(ds.bundles().len(), 1, "len-3 bundle stays resident");
+        assert_eq!(ds.len(), 3, "len counts drained bundles too");
+        // Re-poll with the same page: everything deduped against `seen`.
+        let rec = ds.ingest_page(&[page_entry(1, 1, 1)], &clock, 0);
+        assert_eq!(rec.new, 0);
+        assert_eq!(ds.newest_slot(), Some(3), "cursor survives the drain");
+        // Force drains the pending bundle as well.
+        let (bundles, _) = ds.drain_sealable(&[3], 100, true);
+        assert_eq!(bundles.len(), 1);
+        assert!(ds.bundles().is_empty());
+    }
+
+    #[test]
+    fn drained_detail_travels_with_its_bundle() {
+        let clock = SlotClock::default();
+        let mut ds = Dataset::new();
+        let entry = page_entry(7, 7, 3);
+        ds.ingest_page(std::slice::from_ref(&entry), &clock, 0);
+        assert_eq!(ds.sealable_count(&[3]), 0, "details missing");
+        let kp = sandwich_types::Keypair::from_label("ds");
+        let details: Vec<_> = (0..3)
+            .map(|i| {
+                Some(sandwich_explorer::TxDetailJson {
+                    tx_id: kp.sign(&(7 * 10 + i as u64).to_le_bytes()),
+                    bundle_id: entry.bundle_id,
+                    slot: 7,
+                    signer: kp.pubkey(),
+                    fee_lamports: 5_000,
+                    priority_fee_lamports: 0,
+                    success: true,
+                    sol_deltas: vec![],
+                    token_deltas: vec![],
+                })
+            })
+            .collect();
+        ds.ingest_details(&details);
+        assert_eq!(ds.sealable_count(&[3]), 1);
+        let (bundles, drained) = ds.drain_sealable(&[3], 100, false);
+        assert_eq!(bundles.len(), 1);
+        assert_eq!(drained.len(), 3, "all three details drain together");
+        assert_eq!(ds.detail_count(), 3, "count remembers drained details");
+        assert!(ds.detail(&details[0].as_ref().unwrap().tx_id).is_none());
+    }
+
+    #[test]
+    fn jsonl_roundtrip_preserves_flushed_state() {
+        let clock = SlotClock::default();
+        let mut ds = Dataset::new();
+        let page: Vec<_> = (0..6).map(|i| page_entry(i, i, 1)).collect();
+        ds.ingest_page(&page, &clock, 0);
+        let _ = ds.drain_unspilled_polls();
+        let (drained, _) = ds.drain_sealable(&[3], 4, false);
+        assert_eq!(drained.len(), 4);
+
+        let mut buf = Vec::new();
+        ds.write_jsonl(&mut buf).unwrap();
+        let back = Dataset::read_jsonl(std::io::BufReader::new(&buf[..])).unwrap();
+        assert_eq!(back.len(), 6);
+        assert_eq!(back.bundles().len(), 2, "only resident bundles rehydrate");
+        assert_eq!(back.newest_slot(), Some(5));
+        assert!(back.fully_spilled() || !back.fully_spilled()); // smoke: callable
+                                                                // Dedup still covers the drained ids.
+        let mut back = back;
+        let rec = back.ingest_page(&page, &clock, 0);
+        assert_eq!(rec.new, 0);
     }
 }

@@ -20,7 +20,7 @@ pub fn is_defensive_at(bundle: &CollectedBundle, threshold: Lamports) -> bool {
 }
 
 /// Aggregate defensive statistics over a set of bundles.
-#[derive(Clone, Debug, Default, PartialEq)]
+#[derive(Clone, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct DefenseStats {
     /// Length-1 bundles observed.
     pub length_one: u64,
@@ -47,6 +47,13 @@ impl DefenseStats {
         } else {
             self.defensive_tips_lamports as f64 / self.defensive as f64
         }
+    }
+
+    /// Fold another partial's aggregates in (the parallel scan reduction).
+    pub fn merge(&mut self, other: &DefenseStats) {
+        self.length_one += other.length_one;
+        self.defensive += other.defensive;
+        self.defensive_tips_lamports += other.defensive_tips_lamports;
     }
 
     /// Fold one bundle in.

@@ -9,7 +9,10 @@
 //! * [`analysis`] / [`report`] — per-day series, CDFs, and text renderers
 //!   for Table 1 and Figures 1–4;
 //! * [`counterfactual`] — the §5 what-ifs: defense economics quantified;
-//! * [`pipeline`] — the whole measurement end to end over real HTTP.
+//! * [`scan`] — analysis as deterministic partials over scan units, the
+//!   parallel segment-store scan, and the streaming incremental scan;
+//! * [`pipeline`] — the whole measurement end to end over real HTTP,
+//!   optionally flushing into a `sandwich-store` segment store as it runs.
 
 #![warn(missing_docs)]
 
@@ -22,10 +25,11 @@ pub mod defense;
 pub mod detector;
 pub mod pipeline;
 pub mod report;
+pub mod scan;
 pub mod stats;
 
 pub use analysis::{analyze, AnalysisConfig, AnalysisReport, DatedFinding};
-pub use checkpoint::Checkpoint;
+pub use checkpoint::{Checkpoint, StoreCheckpoint};
 pub use collector::{Collector, CollectorConfig, CollectorStats};
 pub use counterfactual::{
     defense_economics, defensive_counterfactual, slippage_counterfactual, DefenseEconomics,
@@ -38,6 +42,7 @@ pub use detector::{
 };
 pub use pipeline::{
     run_measurement, run_measurement_with, scaled_page_limit, MeasurementRun, PipelineConfig,
-    RunOptions,
+    RunOptions, StoreOptions,
 };
+pub use scan::{scan_store, scan_store_observed, DetailLookup, IncrementalScan, ScanPartial};
 pub use stats::{Cdf, DailySeries};

@@ -8,6 +8,7 @@
 //! simulated minutes, riding out faults with retries, a circuit breaker,
 //! and overlap backfill. The analysis turns the dataset into the figures.
 
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
@@ -15,12 +16,14 @@ use parking_lot::RwLock;
 use sandwich_explorer::{Explorer, ExplorerConfig, HistoryStore, RetentionPolicy};
 use sandwich_obs::{Registry, Snapshot};
 use sandwich_sim::Simulation;
+use sandwich_store::{BundleStore, StoreWriter};
 use sandwich_types::SlotClock;
 
 use crate::analysis::{analyze, AnalysisConfig, AnalysisReport};
-use crate::checkpoint::Checkpoint;
+use crate::checkpoint::{Checkpoint, StoreCheckpoint};
 use crate::collector::{Collector, CollectorConfig, CollectorStats};
 use crate::dataset::Dataset;
+use crate::scan::{scan_store_partial, IncrementalScan};
 
 /// Pipeline tunables.
 #[derive(Clone, Debug)]
@@ -37,6 +40,35 @@ pub struct PipelineConfig {
     pub poll_every_ticks: u64,
     /// Fetch pending length-3 details every N ticks.
     pub detail_every_ticks: u64,
+    /// Flush collected records into a segmented binary bundle store as the
+    /// run progresses (bounded resident memory), instead of accumulating
+    /// everything in one in-memory `Vec` until the end.
+    pub store: Option<StoreOptions>,
+}
+
+/// Segment-store wiring for a measurement run.
+#[derive(Clone, Debug)]
+pub struct StoreOptions {
+    /// Directory for the manifest and segment files. Must not already hold
+    /// a store (fresh runs) — resumed runs reattach via the checkpoint.
+    pub dir: PathBuf,
+    /// Bundles per sealed segment (the flush threshold).
+    pub segment_bundles: usize,
+    /// Fold each segment's analysis partial as it seals, so
+    /// [`MeasurementRun::streaming_report`] carries the report without a
+    /// separate post-run scan.
+    pub streaming: bool,
+}
+
+impl StoreOptions {
+    /// Store at `dir` with default segment size, streaming off.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        StoreOptions {
+            dir: dir.into(),
+            segment_bundles: 5_000,
+            streaming: false,
+        }
+    }
 }
 
 impl Default for PipelineConfig {
@@ -46,6 +78,7 @@ impl Default for PipelineConfig {
             collector: CollectorConfig::default(),
             poll_every_ticks: 1,
             detail_every_ticks: 30,
+            store: None,
         }
     }
 }
@@ -91,23 +124,60 @@ pub struct MeasurementRun {
     /// Whether the run stopped at `halt_at_tick` rather than completing.
     pub halted: bool,
     /// Final metrics snapshot across every layer (`sim.`, `engine.`,
-    /// `bank.`, `explorer.`, `collector.`, `pipeline.`).
+    /// `bank.`, `explorer.`, `collector.`, `pipeline.`, `store.`, `scan.`).
     pub metrics: Snapshot,
     /// The slot clock shared by chain and collector.
     pub clock: SlotClock,
+    /// The sealed segment store, when the run flushed into one.
+    pub store: Option<BundleStore>,
+    /// The streaming report (store mode with `streaming: true`): folded
+    /// segment by segment as each sealed, identical to a post-run scan.
+    pub streaming_report: Option<AnalysisReport>,
 }
 
 impl MeasurementRun {
-    /// Analyze the collected dataset with the given configuration.
+    /// Analyze the collected data with the given configuration. In store
+    /// mode the sealed segments are scanned (single-threaded here; use
+    /// [`MeasurementRun::try_analyze`] for a thread count) plus whatever is
+    /// still resident; legacy mode analyzes the in-memory dataset.
     pub fn analyze(&self, config: &AnalysisConfig) -> AnalysisReport {
-        analyze(&self.dataset, &self.clock, config)
+        self.try_analyze(config, 1)
+            .expect("segment store scan failed")
     }
 
-    /// Convert a (typically halted) run into a resumable checkpoint.
+    /// [`MeasurementRun::analyze`] over `threads` scan workers. The report
+    /// is byte-identical for any thread count.
+    pub fn try_analyze(
+        &self,
+        config: &AnalysisConfig,
+        threads: usize,
+    ) -> std::io::Result<AnalysisReport> {
+        match &self.store {
+            Some(store) if !store.segments().is_empty() => {
+                let mut acc = scan_store_partial(store, &self.clock, config, threads, None)?;
+                // Fold in whatever never sealed (a halted run's residue;
+                // empty after a completed run's final flush).
+                for bundle in self.dataset.bundles() {
+                    acc.observe_bundle(bundle, &self.dataset, &self.clock, config);
+                }
+                acc.observe_polls(self.dataset.unspilled_polls());
+                Ok(acc.finalize(config))
+            }
+            _ => Ok(analyze(&self.dataset, &self.clock, config)),
+        }
+    }
+
+    /// Convert a (typically halted) run into a resumable checkpoint. Store
+    /// mode checkpoints by reference: the manifest entry list, not the
+    /// segment data.
     pub fn into_checkpoint(self) -> Checkpoint {
         Checkpoint {
             next_tick: self.next_tick,
             stats: self.collector_stats,
+            store: self.store.map(|s| StoreCheckpoint {
+                dir: s.dir().to_string_lossy().into_owned(),
+                segments: s.segments().to_vec(),
+            }),
             dataset: self.dataset,
         }
     }
@@ -155,16 +225,58 @@ pub async fn run_measurement_with(
 
     // Resume: restore the collected state, then fast-forward the (fully
     // deterministic) simulation to the cursor without touching the network.
-    let start_tick = match opts.resume {
+    let (start_tick, resumed_store) = match opts.resume {
         Some(cp) => {
             // Keep the pipeline-level ledger in step with the restored
             // collector counters (poll_errors mirrors polls_failed).
             poll_errors.add(cp.stats.polls_failed);
+            let resumed_store = cp.store;
             collector.restore(cp.stats, cp.dataset);
-            cp.next_tick
+            (cp.next_tick, resumed_store)
         }
-        None => 0,
+        None => (0, None),
     };
+
+    // Store mode: reattach the checkpointed writer (manifest only — no
+    // sealed segment is re-read into memory) or create a fresh store.
+    let segment_bundles = config
+        .store
+        .as_ref()
+        .map(|s| s.segment_bundles)
+        .unwrap_or(5_000);
+    let store_dir: Option<PathBuf> = match (&resumed_store, &config.store) {
+        (Some(sc), _) => {
+            let writer = StoreWriter::resume(Path::new(&sc.dir), &sc.segments)?;
+            let dir = writer.dir().to_path_buf();
+            collector.attach_store(writer, segment_bundles);
+            Some(dir)
+        }
+        (None, Some(options)) => {
+            let writer = StoreWriter::create(&options.dir)?;
+            let dir = writer.dir().to_path_buf();
+            collector.attach_store(writer, options.segment_bundles);
+            Some(dir)
+        }
+        (None, None) => None,
+    };
+
+    // Streaming analysis folds each segment as it seals. A resumed run
+    // must first catch up on the segments sealed before the checkpoint.
+    let mut incremental = match (&config.store, &store_dir) {
+        (Some(options), Some(dir)) if options.streaming => {
+            let mut inc =
+                IncrementalScan::new(clock, AnalysisConfig::paper_defaults(sim.config().days));
+            if let Some(segments) = collector.store_segments() {
+                for meta in segments {
+                    inc.fold_sealed(dir, meta)?;
+                }
+            }
+            Some(inc)
+        }
+        _ => None,
+    };
+    let partials_emitted = registry.counter(sandwich_obs::names::SCAN_PARTIALS_EMITTED);
+    let streaming_sandwiches = registry.gauge(sandwich_obs::names::SCAN_STREAMING_SANDWICHES);
 
     let mut tick_counter = 0u64;
     let mut halted = false;
@@ -196,22 +308,40 @@ pub async fn run_measurement_with(
             {
                 detail_errors.inc();
             }
+            // Seal every full segment's worth of drained records, keeping
+            // resident memory bounded while the run is still polling.
+            for meta in collector.flush_store(false)? {
+                if let (Some(inc), Some(dir)) = (incremental.as_mut(), &store_dir) {
+                    inc.fold_sealed(dir, &meta)?;
+                    partials_emitted.inc();
+                    streaming_sandwiches.set(inc.sandwich_count() as i64);
+                }
+            }
         }
         tick_counter += 1;
     }
 
-    // Final sweep for any details still pending — unless we are emulating a
-    // kill, which gets no goodbye.
+    // Final sweep for any details still pending, then seal everything left
+    // — unless we are emulating a kill, which gets no goodbye (the residue
+    // rides in the checkpoint instead).
     if !halted {
         let now_ms = explorer.now_ms();
         if collector.fetch_pending_details(now_ms).await.is_err() {
             detail_errors.inc();
+        }
+        for meta in collector.flush_store(true)? {
+            if let (Some(inc), Some(dir)) = (incremental.as_mut(), &store_dir) {
+                inc.fold_sealed(dir, &meta)?;
+                partials_emitted.inc();
+                streaming_sandwiches.set(inc.sandwich_count() as i64);
+            }
         }
     }
 
     let explorer_requests = explorer.requests_served();
     explorer.shutdown().await;
 
+    let sealed_store = collector.take_store().map(StoreWriter::into_reader);
     Ok(MeasurementRun {
         dataset: collector.dataset,
         polls_failed: collector.stats.polls_failed,
@@ -221,6 +351,8 @@ pub async fn run_measurement_with(
         halted,
         metrics: registry.snapshot(),
         clock,
+        store: sealed_store,
+        streaming_report: incremental.map(|inc| inc.report()),
     })
 }
 

@@ -1,0 +1,476 @@
+//! The scan engine: analysis as a deterministic map/reduce over scan
+//! units (sealed segments or the in-memory dataset).
+//!
+//! Every accumulator in [`ScanPartial`] is either an integer (lamport
+//! sums, counts) or an order-insensitive sample bag (CDF inputs, which
+//! [`Cdf::from_samples`] sorts). Partials are computed independently per
+//! segment by [`sandwich_store::parallel_map`] workers and reduced **in
+//! segment order**; floats appear only in [`ScanPartial::finalize`]. The
+//! result: [`AnalysisReport`] is bit-identical at 1, 2, or 8 threads, and
+//! identical to the single-pass in-memory path
+//! ([`crate::analysis::analyze`] is itself one partial + finalize).
+
+use std::collections::HashMap;
+
+use sandwich_ledger::{TransactionId, TransactionMeta};
+use sandwich_obs::Registry;
+use sandwich_store::{parallel_map, BundleStore, SegmentData, SegmentMeta};
+use sandwich_types::{Lamports, SlotClock};
+
+use crate::analysis::{AnalysisConfig, AnalysisReport, DatedFinding};
+use crate::dataset::{CollectedBundle, Dataset, PollRecord};
+use crate::defense::{is_defensive_at, DefenseStats};
+use crate::detector::{detect, detect_in_bundle};
+use crate::stats::{Cdf, DailySeries};
+
+/// Where a scan finds the transaction metas behind a bundle: the dataset's
+/// detail map in-memory, or the segment-local map during a store scan
+/// (sealed segments are self-contained — a bundle's details always share
+/// its segment).
+pub trait DetailLookup {
+    /// The meta for one transaction, if its detail was fetched.
+    fn meta_of(&self, id: &TransactionId) -> Option<&TransactionMeta>;
+}
+
+impl DetailLookup for Dataset {
+    fn meta_of(&self, id: &TransactionId) -> Option<&TransactionMeta> {
+        self.detail(id).map(|d| &d.meta)
+    }
+}
+
+impl DetailLookup for HashMap<TransactionId, TransactionMeta> {
+    fn meta_of(&self, id: &TransactionId) -> Option<&TransactionMeta> {
+        self.get(id)
+    }
+}
+
+/// One scan unit's partial analysis state. Integer accumulators only —
+/// floats are produced once, in [`ScanPartial::finalize`] — so merging
+/// partials in segment order is exact and order of observation within a
+/// unit never leaks into the report.
+#[derive(Clone, Debug)]
+pub struct ScanPartial {
+    days: usize,
+    bundles_by_len: [Vec<u64>; 5],
+    sandwiches: Vec<u64>,
+    defensive: Vec<u64>,
+    victim_loss_lamports: Vec<u128>,
+    attacker_gain_lamports: Vec<i128>,
+    losses_usd: Vec<f64>,
+    tips_len1: Vec<f64>,
+    tips_len3: Vec<f64>,
+    tips_sandwich: Vec<f64>,
+    defense: DefenseStats,
+    findings: Vec<DatedFinding>,
+    non_sol: u64,
+    len3_with_details: u64,
+    polls: Vec<PollRecord>,
+}
+
+fn bump(series: &mut [u64], day: u64) {
+    if let Some(v) = series.get_mut(day as usize) {
+        *v += 1;
+    }
+}
+
+impl ScanPartial {
+    /// An empty partial covering `days` measurement days.
+    pub fn new(days: usize) -> Self {
+        ScanPartial {
+            days,
+            bundles_by_len: std::array::from_fn(|_| vec![0; days]),
+            sandwiches: vec![0; days],
+            defensive: vec![0; days],
+            victim_loss_lamports: vec![0; days],
+            attacker_gain_lamports: vec![0; days],
+            losses_usd: Vec::new(),
+            tips_len1: Vec::new(),
+            tips_len3: Vec::new(),
+            tips_sandwich: Vec::new(),
+            defense: DefenseStats::default(),
+            findings: Vec::new(),
+            non_sol: 0,
+            len3_with_details: 0,
+            polls: Vec::new(),
+        }
+    }
+
+    /// Detected sandwiches folded in so far (streaming progress signal).
+    pub fn sandwich_count(&self) -> u64 {
+        self.findings.len() as u64
+    }
+
+    /// Fold one bundle in, resolving details through `lookup`.
+    pub fn observe_bundle<D: DetailLookup>(
+        &mut self,
+        bundle: &CollectedBundle,
+        lookup: &D,
+        clock: &SlotClock,
+        config: &AnalysisConfig,
+    ) {
+        let day = clock.day_index(bundle.slot);
+        let len = bundle.len().clamp(1, 5);
+        bump(&mut self.bundles_by_len[len - 1], day);
+
+        if len == 1 {
+            self.tips_len1.push(bundle.tip.0 as f64);
+            self.defense.observe(bundle, config.defensive_threshold);
+            if is_defensive_at(bundle, config.defensive_threshold) {
+                bump(&mut self.defensive, day);
+            }
+            return;
+        }
+
+        if len != 3 && !(config.extended && len > 3) {
+            return;
+        }
+        if len == 3 {
+            self.tips_len3.push(bundle.tip.0 as f64);
+        }
+        let finding = if len == 3 {
+            let metas = bundle
+                .tx_ids
+                .iter()
+                .map(|id| lookup.meta_of(id))
+                .collect::<Option<Vec<_>>>();
+            match metas {
+                Some(m) => {
+                    self.len3_with_details += 1;
+                    detect(&config.detector, [m[0], m[1], m[2]])
+                }
+                None => None,
+            }
+        } else {
+            bundle
+                .tx_ids
+                .iter()
+                .map(|id| lookup.meta_of(id))
+                .collect::<Option<Vec<_>>>()
+                .and_then(|metas| {
+                    detect_in_bundle(&config.detector, &metas)
+                        .into_iter()
+                        .map(|(_, f)| f)
+                        .next()
+                })
+        };
+        let Some(finding) = finding else { return };
+        bump(&mut self.sandwiches, day);
+        self.tips_sandwich.push(bundle.tip.0 as f64);
+        if finding.sol_legged {
+            if let Some(loss) = finding.victim_loss_lamports {
+                if let Some(v) = self.victim_loss_lamports.get_mut(day as usize) {
+                    *v += u128::from(loss);
+                }
+                self.losses_usd
+                    .push(config.oracle.lamports_to_usd(Lamports(loss)));
+            }
+            if let Some(gain) = finding.attacker_gain_lamports {
+                if let Some(v) = self.attacker_gain_lamports.get_mut(day as usize) {
+                    *v += gain;
+                }
+            }
+        } else {
+            self.non_sol += 1;
+        }
+        self.findings.push(DatedFinding {
+            day,
+            bundle_id: bundle.bundle_id,
+            finding,
+        });
+    }
+
+    /// Append a run of poll records (they stay ordered across merges, so
+    /// the overlap rate — which excludes the first poll — is exact).
+    pub fn observe_polls(&mut self, polls: &[PollRecord]) {
+        self.polls.extend_from_slice(polls);
+    }
+
+    /// Fold another partial in. Only valid in scan-unit order: polls are
+    /// concatenated, everything else is commutative integer addition.
+    pub fn merge(&mut self, other: ScanPartial) {
+        debug_assert_eq!(self.days, other.days);
+        for (a, b) in self.bundles_by_len.iter_mut().zip(other.bundles_by_len) {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += y;
+            }
+        }
+        for (x, y) in self.sandwiches.iter_mut().zip(other.sandwiches) {
+            *x += y;
+        }
+        for (x, y) in self.defensive.iter_mut().zip(other.defensive) {
+            *x += y;
+        }
+        for (x, y) in self
+            .victim_loss_lamports
+            .iter_mut()
+            .zip(other.victim_loss_lamports)
+        {
+            *x += y;
+        }
+        for (x, y) in self
+            .attacker_gain_lamports
+            .iter_mut()
+            .zip(other.attacker_gain_lamports)
+        {
+            *x += y;
+        }
+        self.losses_usd.extend(other.losses_usd);
+        self.tips_len1.extend(other.tips_len1);
+        self.tips_len3.extend(other.tips_len3);
+        self.tips_sandwich.extend(other.tips_sandwich);
+        self.defense.merge(&other.defense);
+        self.findings.extend(other.findings);
+        self.non_sol += other.non_sol;
+        self.len3_with_details += other.len3_with_details;
+        self.polls.extend(other.polls);
+    }
+
+    /// Convert the integer state into the report. The one place floats are
+    /// produced; findings are sorted by `(day, bundle_id)` so the report is
+    /// independent of which path (in-memory, 1 thread, N threads) built it.
+    pub fn finalize(mut self, config: &AnalysisConfig) -> AnalysisReport {
+        self.findings.sort_by_key(|a| (a.day, a.bundle_id.0));
+        let series_u64 = |v: &[u64]| DailySeries {
+            values: v.iter().map(|&x| x as f64).collect(),
+        };
+        let overlap_rate = if self.polls.len() <= 1 {
+            1.0
+        } else {
+            let later = &self.polls[1..];
+            later.iter().filter(|p| p.overlapped_previous).count() as f64 / later.len() as f64
+        };
+        AnalysisReport {
+            days: config.days,
+            bundles_by_len_per_day: std::array::from_fn(|i| series_u64(&self.bundles_by_len[i])),
+            sandwiches_per_day: series_u64(&self.sandwiches),
+            defensive_per_day: series_u64(&self.defensive),
+            victim_loss_sol_per_day: DailySeries {
+                values: self
+                    .victim_loss_lamports
+                    .iter()
+                    .map(|&l| l as f64 / 1e9)
+                    .collect(),
+            },
+            attacker_gain_sol_per_day: DailySeries {
+                values: self
+                    .attacker_gain_lamports
+                    .iter()
+                    .map(|&l| l as f64 / 1e9)
+                    .collect(),
+            },
+            loss_cdf_usd: Cdf::from_samples(self.losses_usd),
+            tip_cdf_len1: Cdf::from_samples(self.tips_len1),
+            tip_cdf_len3: Cdf::from_samples(self.tips_len3),
+            tip_cdf_sandwich: Cdf::from_samples(self.tips_sandwich),
+            defense: self.defense,
+            findings: self.findings,
+            non_sol_sandwiches: self.non_sol,
+            len3_with_details: self.len3_with_details,
+            overlap_rate,
+            oracle: config.oracle.clone(),
+        }
+    }
+}
+
+/// One sealed segment's partial: details become a segment-local lookup,
+/// then every bundle is observed against it.
+pub fn partial_of_segment(
+    data: SegmentData,
+    clock: &SlotClock,
+    config: &AnalysisConfig,
+) -> ScanPartial {
+    let mut partial = ScanPartial::new(config.days as usize);
+    let lookup: HashMap<TransactionId, TransactionMeta> = data
+        .details
+        .into_iter()
+        .map(|d| (d.meta.tx_id, d.meta))
+        .collect();
+    for bundle in &data.bundles {
+        partial.observe_bundle(bundle, &lookup, clock, config);
+    }
+    partial.observe_polls(&data.polls);
+    partial
+}
+
+/// Scan every sealed segment of `store` on `threads` workers and reduce
+/// the partials in segment order (skipping the finalize — callers that
+/// still have residual in-memory records fold them in first).
+pub fn scan_store_partial(
+    store: &BundleStore,
+    clock: &SlotClock,
+    config: &AnalysisConfig,
+    threads: usize,
+    registry: Option<&Registry>,
+) -> std::io::Result<ScanPartial> {
+    let units: Vec<usize> = (0..store.segments().len()).collect();
+    let started = std::time::Instant::now();
+    let (partials, workers) = parallel_map(&units, threads, |_, &i| {
+        store
+            .read_segment(i)
+            .map(|data| partial_of_segment(data, clock, config))
+    });
+    if let Some(registry) = registry {
+        registry
+            .counter(sandwich_obs::names::SCAN_SEGMENTS_SCANNED)
+            .add(units.len() as u64);
+        let busy = registry.histogram(sandwich_obs::names::SCAN_WORKER_BUSY_SECONDS);
+        for w in &workers {
+            busy.observe(w.busy.as_secs_f64());
+        }
+        registry
+            .histogram(sandwich_obs::names::SCAN_SECONDS)
+            .observe(started.elapsed().as_secs_f64());
+    }
+    let mut acc = ScanPartial::new(config.days as usize);
+    for partial in partials {
+        acc.merge(partial?);
+    }
+    Ok(acc)
+}
+
+/// Full parallel analysis of a sealed store: scan, reduce, finalize.
+pub fn scan_store(
+    store: &BundleStore,
+    clock: &SlotClock,
+    config: &AnalysisConfig,
+    threads: usize,
+) -> std::io::Result<AnalysisReport> {
+    scan_store_observed(store, clock, config, threads, None)
+}
+
+/// [`scan_store`] that also records `scan.*` metrics into a registry.
+pub fn scan_store_observed(
+    store: &BundleStore,
+    clock: &SlotClock,
+    config: &AnalysisConfig,
+    threads: usize,
+    registry: Option<&Registry>,
+) -> std::io::Result<AnalysisReport> {
+    Ok(scan_store_partial(store, clock, config, threads, registry)?.finalize(config))
+}
+
+/// Streaming analysis: fold each segment's partial as it seals, so a
+/// partial report is available mid-run. Because the fold happens in seal
+/// (= segment) order, the final streaming report equals the batch scan.
+/// Folding also re-reads (and checksums) the file just written — a free
+/// end-to-end verification of every sealed segment.
+pub struct IncrementalScan {
+    clock: SlotClock,
+    config: AnalysisConfig,
+    partial: ScanPartial,
+    segments_folded: u64,
+}
+
+impl IncrementalScan {
+    /// A scanner ready to fold sealed segments.
+    pub fn new(clock: SlotClock, config: AnalysisConfig) -> Self {
+        let partial = ScanPartial::new(config.days as usize);
+        IncrementalScan {
+            clock,
+            config,
+            partial,
+            segments_folded: 0,
+        }
+    }
+
+    /// Fold one just-sealed segment in (in seal order).
+    pub fn fold_sealed(
+        &mut self,
+        dir: &std::path::Path,
+        meta: &SegmentMeta,
+    ) -> std::io::Result<()> {
+        let (data, _footer) = sandwich_store::segment::read_segment_file(&dir.join(&meta.file))?;
+        self.partial
+            .merge(partial_of_segment(data, &self.clock, &self.config));
+        self.segments_folded += 1;
+        Ok(())
+    }
+
+    /// Segments folded so far.
+    pub fn segments_folded(&self) -> u64 {
+        self.segments_folded
+    }
+
+    /// Sandwiches detected so far (cheap, no finalize).
+    pub fn sandwich_count(&self) -> u64 {
+        self.partial.sandwich_count()
+    }
+
+    /// The report over everything folded so far.
+    pub fn report(&self) -> AnalysisReport {
+        self.partial.clone().finalize(&self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sandwich_store::StoreWriter;
+    use sandwich_types::{Hash, Keypair, Slot};
+
+    fn bundle(seed: u64, slot: u64, len: usize, tip: u64) -> CollectedBundle {
+        let kp = Keypair::from_label("scan");
+        CollectedBundle {
+            bundle_id: Hash::digest(&seed.to_le_bytes()),
+            slot: Slot(slot),
+            timestamp_ms: slot * 400,
+            tip: Lamports(tip),
+            tx_ids: (0..len)
+                .map(|i| kp.sign(&(seed * 10 + i as u64).to_le_bytes()))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn merge_matches_single_partial() {
+        let clock = SlotClock::default();
+        let config = AnalysisConfig::paper_defaults(2);
+        let bundles: Vec<_> = (0..40u64).map(|i| bundle(i, i, 1, 30_000 + i)).collect();
+        let lookup: HashMap<TransactionId, TransactionMeta> = HashMap::new();
+
+        let mut whole = ScanPartial::new(2);
+        for b in &bundles {
+            whole.observe_bundle(b, &lookup, &clock, &config);
+        }
+        let mut left = ScanPartial::new(2);
+        let mut right = ScanPartial::new(2);
+        for b in &bundles[..17] {
+            left.observe_bundle(b, &lookup, &clock, &config);
+        }
+        for b in &bundles[17..] {
+            right.observe_bundle(b, &lookup, &clock, &config);
+        }
+        left.merge(right);
+        let a = whole.finalize(&config);
+        let b = left.finalize(&config);
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+    }
+
+    #[test]
+    fn store_scan_is_thread_count_invariant() {
+        let dir = std::env::temp_dir().join(format!("scan-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut writer = StoreWriter::create(&dir).unwrap();
+        for seg in 0..5u64 {
+            let bundles: Vec<_> = (0..30)
+                .map(|i| bundle(seg * 100 + i, seg * 50 + i, 1, 20_000 + i))
+                .collect();
+            writer
+                .seal_segment(bundles, Vec::new(), Vec::new())
+                .unwrap();
+        }
+        let store = writer.into_reader();
+        let clock = SlotClock::default();
+        let config = AnalysisConfig::paper_defaults(1);
+        let base = serde_json::to_string(&scan_store(&store, &clock, &config, 1).unwrap()).unwrap();
+        for threads in [2, 8] {
+            let r = serde_json::to_string(&scan_store(&store, &clock, &config, threads).unwrap())
+                .unwrap();
+            assert_eq!(base, r, "threads={threads}");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

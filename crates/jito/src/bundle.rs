@@ -18,6 +18,19 @@ pub const MAX_BUNDLE_LEN: usize = 5;
 /// A bundle id: the hash over the ordered transaction ids.
 pub type BundleId = Hash;
 
+/// The id a bundle with these ordered transaction ids has. Deriving the id
+/// from the signatures alone (without a [`Bundle`] in hand) lets consumers
+/// that only see collected records — the segment store codec, for one —
+/// recompute ids instead of storing them.
+pub fn bundle_id_of(tx_ids: &[sandwich_ledger::TransactionId]) -> BundleId {
+    let mut parts: Vec<&[u8]> = Vec::with_capacity(tx_ids.len() + 1);
+    parts.push(b"bundle");
+    for id in tx_ids {
+        parts.push(&id.0);
+    }
+    Hash::digest_parts(&parts)
+}
+
 /// Why a bundle was rejected before the auction.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum BundleError {
@@ -88,12 +101,8 @@ impl Bundle {
 
     /// The bundle id: hash of the ordered transaction ids.
     pub fn id(&self) -> BundleId {
-        let mut parts: Vec<&[u8]> = vec![b"bundle"];
         let ids: Vec<_> = self.transactions.iter().map(|t| t.id()).collect();
-        for id in &ids {
-            parts.push(&id.0);
-        }
-        Hash::digest_parts(&parts)
+        bundle_id_of(&ids)
     }
 
     /// Number of transactions in the bundle.

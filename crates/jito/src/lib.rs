@@ -12,7 +12,7 @@ pub mod engine;
 pub mod mempool;
 pub mod tips;
 
-pub use bundle::{Bundle, BundleError, BundleId, MAX_BUNDLE_LEN};
+pub use bundle::{bundle_id_of, Bundle, BundleError, BundleId, MAX_BUNDLE_LEN};
 pub use engine::{BlockEngine, DropReason, DroppedBundle, LandedBundle, SlotResult};
 pub use mempool::{Mempool, PendingTx, Visibility};
 pub use tips::{

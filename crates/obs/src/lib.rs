@@ -25,6 +25,7 @@
 
 mod counter;
 mod histogram;
+pub mod names;
 mod registry;
 mod render;
 

@@ -1,0 +1,27 @@
+//! Well-known metric names for the storage and scan layers.
+//!
+//! Layers that share a registry must agree on names; most of the stack
+//! uses ad-hoc string literals scoped to one module, but the store/scan
+//! metrics are recorded from `sandwich-core` and asserted by the suite and
+//! the benchmarks, so the names live here as constants.
+
+/// Counter: segments sealed by the collector's store sink.
+pub const STORE_SEGMENTS_SEALED: &str = "store.segments_sealed";
+
+/// Counter: bytes of sealed segment files written (manifest excluded).
+pub const STORE_BYTES_WRITTEN: &str = "store.bytes_written";
+
+/// Counter: segments read and folded by scans (batch or streaming).
+pub const SCAN_SEGMENTS_SCANNED: &str = "scan.segments_scanned";
+
+/// Histogram: per-worker busy time inside one parallel scan, seconds.
+pub const SCAN_WORKER_BUSY_SECONDS: &str = "scan.worker_busy_seconds";
+
+/// Histogram: wall-clock duration of one whole parallel scan, seconds.
+pub const SCAN_SECONDS: &str = "scan.seconds";
+
+/// Counter: streaming partials folded as segments sealed mid-run.
+pub const SCAN_PARTIALS_EMITTED: &str = "scan.partials_emitted";
+
+/// Gauge: sandwiches detected so far by the streaming scan.
+pub const SCAN_STREAMING_SANDWICHES: &str = "scan.streaming_sandwiches";

@@ -1,0 +1,124 @@
+//! The store manifest: one small JSON file listing every sealed segment
+//! with its footer metadata. The manifest is the store's source of truth —
+//! a checkpoint references it instead of re-serializing collected data,
+//! and a scan plans its work from it without opening a single segment.
+
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+/// Manifest-resident description of one sealed segment.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SegmentMeta {
+    /// File name inside the store directory (e.g. `seg-00003.seg`).
+    pub file: String,
+    /// Bundle records in the segment.
+    pub bundles: u64,
+    /// Detail records in the segment.
+    pub details: u64,
+    /// Poll records in the segment.
+    pub polls: u64,
+    /// Lowest bundle slot (`u64::MAX` when the segment has no bundles).
+    pub min_slot: u64,
+    /// Highest bundle slot (0 when the segment has no bundles).
+    pub max_slot: u64,
+    /// Total file size in bytes.
+    pub bytes: u64,
+    /// FNV-1a 64 body checksum, hex-encoded.
+    pub checksum: String,
+}
+
+/// The manifest: an ordered list of sealed segments.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Manifest {
+    /// Format version.
+    pub version: u32,
+    /// Sealed segments in seal order.
+    pub segments: Vec<SegmentMeta>,
+}
+
+/// Manifest file name inside a store directory.
+pub const MANIFEST_FILE: &str = "manifest.json";
+
+impl Manifest {
+    /// A fresh, empty manifest.
+    pub fn new() -> Self {
+        Manifest {
+            version: 1,
+            segments: Vec::new(),
+        }
+    }
+
+    /// Total bundle records across all sealed segments.
+    pub fn total_bundles(&self) -> u64 {
+        self.segments.iter().map(|s| s.bundles).sum()
+    }
+
+    /// Total bytes across all sealed segments.
+    pub fn total_bytes(&self) -> u64 {
+        self.segments.iter().map(|s| s.bytes).sum()
+    }
+
+    /// Highest bundle slot across all sealed segments.
+    pub fn max_slot(&self) -> Option<u64> {
+        self.segments
+            .iter()
+            .filter(|s| s.bundles > 0)
+            .map(|s| s.max_slot)
+            .max()
+    }
+
+    /// Save atomically (temp file + rename) into `dir`.
+    pub fn save(&self, dir: &Path) -> std::io::Result<()> {
+        let path = dir.join(MANIFEST_FILE);
+        let tmp = dir.join(format!("{MANIFEST_FILE}.tmp"));
+        std::fs::write(&tmp, serde_json::to_string(self)?)?;
+        std::fs::rename(&tmp, &path)
+    }
+
+    /// Load from `dir`.
+    pub fn load(dir: &Path) -> std::io::Result<Manifest> {
+        let text = std::fs::read_to_string(dir.join(MANIFEST_FILE))?;
+        serde_json::from_str(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Absolute path of one segment.
+    pub fn segment_path(dir: &Path, meta: &SegmentMeta) -> PathBuf {
+        dir.join(&meta.file)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("swmanifest-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut m = Manifest::new();
+        m.segments.push(SegmentMeta {
+            file: "seg-00000.seg".into(),
+            bundles: 42,
+            details: 6,
+            polls: 3,
+            min_slot: 10,
+            max_slot: 99,
+            bytes: 1234,
+            checksum: format!("{:016x}", 0xdead_beef_u64),
+        });
+        m.save(&dir).unwrap();
+        let back = Manifest::load(&dir).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.total_bundles(), 42);
+        assert_eq!(back.max_slot(), Some(99));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_manifest_is_an_error() {
+        let dir = std::env::temp_dir().join("swmanifest-none");
+        assert!(Manifest::load(&dir).is_err());
+    }
+}

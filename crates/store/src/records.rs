@@ -1,0 +1,63 @@
+//! The record types persisted by the store: collected bundles, transaction
+//! details, and poll-ledger entries.
+//!
+//! These used to live in `sandwich-core`'s dataset; they moved down here so
+//! the binary codec, the in-memory dataset, and the scan engine all share
+//! one definition. `sandwich-core` re-exports them under the old paths.
+
+use serde::{Deserialize, Serialize};
+
+use sandwich_ledger::{TransactionId, TransactionMeta};
+use sandwich_types::{Lamports, Slot};
+
+/// One collected bundle record.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CollectedBundle {
+    /// The bundle id.
+    pub bundle_id: sandwich_jito::BundleId,
+    /// Landing slot.
+    pub slot: Slot,
+    /// Landing time (unix ms, from the API).
+    pub timestamp_ms: u64,
+    /// Tip in lamports.
+    pub tip: Lamports,
+    /// Transaction ids in bundle order.
+    pub tx_ids: Vec<TransactionId>,
+}
+
+impl CollectedBundle {
+    /// Number of bundled transactions.
+    pub fn len(&self) -> usize {
+        self.tx_ids.len()
+    }
+
+    /// Bundles are never empty.
+    pub fn is_empty(&self) -> bool {
+        self.tx_ids.is_empty()
+    }
+}
+
+/// Detail for one transaction of a collected bundle.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CollectedDetail {
+    /// The bundle the transaction belongs to.
+    pub bundle_id: sandwich_jito::BundleId,
+    /// Landing slot.
+    pub slot: Slot,
+    /// Execution metadata reconstructed from the wire.
+    pub meta: TransactionMeta,
+}
+
+/// Result of ingesting one page.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PollRecord {
+    /// Measurement day the poll happened on.
+    pub day: u64,
+    /// Bundles in the returned page.
+    pub fetched: usize,
+    /// Bundles not seen before.
+    pub new: usize,
+    /// Whether the page overlapped previously collected bundles — if every
+    /// successive pair overlaps, nothing was missed.
+    pub overlapped_previous: bool,
+}

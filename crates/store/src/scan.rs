@@ -1,0 +1,114 @@
+//! The parallel scan executor: a `std::thread` pool that maps a function
+//! over a list of scan units (sealed segments, in-memory chunks — anything
+//! `Sync`) and hands the results back **in unit order**.
+//!
+//! Scheduling is a single shared atomic cursor: every worker steals the
+//! next unclaimed unit when it finishes its current one, so a straggler
+//! segment never idles the rest of the pool. Because each unit's result is
+//! computed independently and the caller reduces them in unit order, the
+//! reduction is deterministic regardless of the worker count or the
+//! interleaving — the property the analysis layer relies on for
+//! bit-identical reports at 1, 2, or 8 threads.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Per-worker accounting for the scan-time histograms.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WorkerStats {
+    /// Units this worker processed.
+    pub units: u64,
+    /// Wall-clock time spent inside the map function.
+    pub busy: Duration,
+}
+
+/// Map `map(index, &unit)` over `units` on `threads` workers; results come
+/// back in unit order alongside per-worker stats.
+///
+/// `threads == 0` or `1` runs inline on the calling thread (no pool).
+/// Panics in `map` propagate to the caller.
+pub fn parallel_map<U, T, F>(units: &[U], threads: usize, map: F) -> (Vec<T>, Vec<WorkerStats>)
+where
+    U: Sync,
+    T: Send,
+    F: Fn(usize, &U) -> T + Sync,
+{
+    let threads = threads.max(1).min(units.len().max(1));
+    if threads == 1 {
+        let mut stats = WorkerStats::default();
+        let started = Instant::now();
+        let results = units.iter().enumerate().map(|(i, u)| map(i, u)).collect();
+        stats.units = units.len() as u64;
+        stats.busy = started.elapsed();
+        return (results, vec![stats]);
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let mut indexed: Vec<(usize, T)> = Vec::with_capacity(units.len());
+    let mut worker_stats = vec![WorkerStats::default(); threads];
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let cursor = &cursor;
+                let map = &map;
+                scope.spawn(move || {
+                    let mut local: Vec<(usize, T)> = Vec::new();
+                    let mut stats = WorkerStats::default();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= units.len() {
+                            break;
+                        }
+                        let started = Instant::now();
+                        local.push((i, map(i, &units[i])));
+                        stats.busy += started.elapsed();
+                        stats.units += 1;
+                    }
+                    (local, stats)
+                })
+            })
+            .collect();
+        for (w, handle) in handles.into_iter().enumerate() {
+            let (local, stats) = handle.join().expect("scan worker panicked");
+            indexed.extend(local);
+            worker_stats[w] = stats;
+        }
+    });
+    indexed.sort_by_key(|(i, _)| *i);
+    (indexed.into_iter().map(|(_, t)| t).collect(), worker_stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_unit_order() {
+        let units: Vec<u64> = (0..100).collect();
+        for threads in [1, 2, 8] {
+            let (out, stats) = parallel_map(&units, threads, |i, &u| {
+                // Uneven work so claim order scrambles.
+                if u % 7 == 0 {
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+                (i as u64) * 2 + u
+            });
+            let expect: Vec<u64> = (0..100).map(|i| i * 3).collect();
+            assert_eq!(out, expect, "threads={threads}");
+            assert_eq!(stats.iter().map(|s| s.units).sum::<u64>(), 100);
+        }
+    }
+
+    #[test]
+    fn empty_units_is_fine() {
+        let (out, _) = parallel_map(&Vec::<u8>::new(), 8, |_, &u| u);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_units_is_fine() {
+        let units = vec![1u8, 2];
+        let (out, _) = parallel_map(&units, 16, |_, &u| u * 10);
+        assert_eq!(out, vec![10, 20]);
+    }
+}

@@ -1,0 +1,241 @@
+//! Segment files: `header magic · encoded body · fixed footer`.
+//!
+//! The footer carries the body checksum, the slot range, the record
+//! counts, and the body length, so a reader can validate a segment — and a
+//! manifest can describe it — without decoding a single record. Segments
+//! are written whole at seal time via a temp-file rename, so a crash never
+//! leaves a half-written segment behind: a segment either exists and
+//! verifies, or it does not exist.
+
+use std::io::Write;
+use std::path::Path;
+
+use crate::codec::{decode_body, encode_body, CorruptSegment, SegmentData};
+
+/// Leading file magic (includes the format version).
+pub const SEGMENT_MAGIC: &[u8; 8] = b"SWSEG01\n";
+/// Trailing file magic.
+const FOOTER_MAGIC: &[u8; 8] = b"SWEND01\n";
+/// Fixed footer size: checksum + min/max slot + 3 counts + body len + magic.
+const FOOTER_LEN: usize = 8 + 8 + 8 + 4 + 4 + 4 + 8 + 8;
+
+/// FNV-1a 64-bit checksum — cheap, dependency-free, and plenty to catch
+/// torn writes and bit rot (this is an integrity check, not a MAC).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The footer metadata of a sealed segment (also mirrored in the manifest).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SegmentFooter {
+    /// FNV-1a 64 checksum of the encoded body.
+    pub checksum: u64,
+    /// Lowest bundle slot in the segment (`u64::MAX` when bundle-free).
+    pub min_slot: u64,
+    /// Highest bundle slot in the segment (0 when bundle-free).
+    pub max_slot: u64,
+    /// Bundle records.
+    pub bundles: u32,
+    /// Detail records.
+    pub details: u32,
+    /// Poll records.
+    pub polls: u32,
+    /// Encoded body length in bytes.
+    pub body_len: u64,
+}
+
+impl SegmentFooter {
+    fn to_bytes(self) -> [u8; FOOTER_LEN] {
+        let mut out = [0u8; FOOTER_LEN];
+        out[0..8].copy_from_slice(&self.checksum.to_le_bytes());
+        out[8..16].copy_from_slice(&self.min_slot.to_le_bytes());
+        out[16..24].copy_from_slice(&self.max_slot.to_le_bytes());
+        out[24..28].copy_from_slice(&self.bundles.to_le_bytes());
+        out[28..32].copy_from_slice(&self.details.to_le_bytes());
+        out[32..36].copy_from_slice(&self.polls.to_le_bytes());
+        out[36..44].copy_from_slice(&self.body_len.to_le_bytes());
+        out[44..52].copy_from_slice(FOOTER_MAGIC);
+        out
+    }
+
+    fn from_bytes(b: &[u8]) -> Result<Self, CorruptSegment> {
+        if b.len() != FOOTER_LEN || &b[44..52] != FOOTER_MAGIC {
+            return Err(CorruptSegment("bad footer magic".into()));
+        }
+        let u64_at = |i: usize| u64::from_le_bytes(b[i..i + 8].try_into().unwrap());
+        let u32_at = |i: usize| u32::from_le_bytes(b[i..i + 4].try_into().unwrap());
+        Ok(SegmentFooter {
+            checksum: u64_at(0),
+            min_slot: u64_at(8),
+            max_slot: u64_at(16),
+            bundles: u32_at(24),
+            details: u32_at(28),
+            polls: u32_at(32),
+            body_len: u64_at(36),
+        })
+    }
+}
+
+/// Encode `data` into a complete segment file image.
+pub fn encode_segment(data: &SegmentData) -> (Vec<u8>, SegmentFooter) {
+    let body = encode_body(data);
+    let footer = SegmentFooter {
+        checksum: fnv1a64(&body),
+        min_slot: data
+            .bundles
+            .iter()
+            .map(|b| b.slot.0)
+            .min()
+            .unwrap_or(u64::MAX),
+        max_slot: data.bundles.iter().map(|b| b.slot.0).max().unwrap_or(0),
+        bundles: data.bundles.len() as u32,
+        details: data.details.len() as u32,
+        polls: data.polls.len() as u32,
+        body_len: body.len() as u64,
+    };
+    let mut file = Vec::with_capacity(SEGMENT_MAGIC.len() + body.len() + FOOTER_LEN);
+    file.extend_from_slice(SEGMENT_MAGIC);
+    file.extend_from_slice(&body);
+    file.extend_from_slice(&footer.to_bytes());
+    (file, footer)
+}
+
+/// Validate a segment image and return its footer without decoding records.
+pub fn verify_segment(image: &[u8]) -> Result<SegmentFooter, CorruptSegment> {
+    if image.len() < SEGMENT_MAGIC.len() + FOOTER_LEN {
+        return Err(CorruptSegment("file shorter than magic + footer".into()));
+    }
+    if &image[..SEGMENT_MAGIC.len()] != SEGMENT_MAGIC {
+        return Err(CorruptSegment("bad segment magic".into()));
+    }
+    let footer = SegmentFooter::from_bytes(&image[image.len() - FOOTER_LEN..])?;
+    let body = &image[SEGMENT_MAGIC.len()..image.len() - FOOTER_LEN];
+    if body.len() as u64 != footer.body_len {
+        return Err(CorruptSegment(format!(
+            "body is {} bytes, footer says {}",
+            body.len(),
+            footer.body_len
+        )));
+    }
+    let actual = fnv1a64(body);
+    if actual != footer.checksum {
+        return Err(CorruptSegment(format!(
+            "checksum mismatch: body {actual:#018x}, footer {:#018x}",
+            footer.checksum
+        )));
+    }
+    Ok(footer)
+}
+
+/// Validate and fully decode a segment image. A corrupt segment surfaces
+/// as an error here — garbage never reaches the scan.
+pub fn decode_segment(image: &[u8]) -> Result<(SegmentData, SegmentFooter), CorruptSegment> {
+    let footer = verify_segment(image)?;
+    let body = &image[SEGMENT_MAGIC.len()..image.len() - FOOTER_LEN];
+    let data = decode_body(body)?;
+    if data.bundles.len() as u32 != footer.bundles
+        || data.details.len() as u32 != footer.details
+        || data.polls.len() as u32 != footer.polls
+    {
+        return Err(CorruptSegment("record counts disagree with footer".into()));
+    }
+    Ok((data, footer))
+}
+
+/// Write a segment image to `path` atomically (temp file + rename).
+pub fn write_segment_file(path: &Path, image: &[u8]) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(image)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+/// Read and decode a segment file.
+pub fn read_segment_file(path: &Path) -> std::io::Result<(SegmentData, SegmentFooter)> {
+    let image = std::fs::read(path)?;
+    decode_segment(&image)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::{CollectedBundle, PollRecord};
+    use sandwich_types::{Hash, Lamports, Slot};
+
+    fn data() -> SegmentData {
+        let kp = sandwich_types::Keypair::from_label("seg");
+        SegmentData {
+            bundles: (0..10)
+                .map(|i| CollectedBundle {
+                    bundle_id: Hash::digest(&[i]),
+                    slot: Slot(1_000 + i as u64),
+                    timestamp_ms: 400 * (1_000 + i as u64),
+                    tip: Lamports(1_000 * i as u64),
+                    tx_ids: vec![kp.sign(&[i])],
+                })
+                .collect(),
+            details: vec![],
+            polls: vec![PollRecord {
+                day: 0,
+                fetched: 10,
+                new: 10,
+                overlapped_previous: true,
+            }],
+        }
+    }
+
+    #[test]
+    fn image_roundtrip() {
+        let d = data();
+        let (image, footer) = encode_segment(&d);
+        assert_eq!(footer.min_slot, 1_000);
+        assert_eq!(footer.max_slot, 1_009);
+        assert_eq!(footer.bundles, 10);
+        let (back, back_footer) = decode_segment(&image).unwrap();
+        assert_eq!(back, d);
+        assert_eq!(back_footer, footer);
+    }
+
+    #[test]
+    fn every_flipped_byte_is_caught() {
+        let (image, _) = encode_segment(&data());
+        // Flip a byte in the magic, the body, and the footer: all caught.
+        for idx in [0, SEGMENT_MAGIC.len() + 3, image.len() - 5, image.len() / 2] {
+            let mut bad = image.clone();
+            bad[idx] ^= 0x40;
+            assert!(
+                decode_segment(&bad).is_err(),
+                "flip at byte {idx} went unnoticed"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_file_is_caught() {
+        let (image, _) = encode_segment(&data());
+        assert!(decode_segment(&image[..image.len() - 1]).is_err());
+        assert!(decode_segment(&image[..4]).is_err());
+    }
+
+    #[test]
+    fn atomic_write_then_read() {
+        let dir = std::env::temp_dir().join(format!("swseg-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("seg-00000.seg");
+        let d = data();
+        let (image, _) = encode_segment(&d);
+        write_segment_file(&path, &image).unwrap();
+        let (back, _) = read_segment_file(&path).unwrap();
+        assert_eq!(back, d);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,297 @@
+//! The store itself: an append-only directory of sealed segments plus a
+//! manifest.
+//!
+//! Writes are whole-segment: the writer receives a batch of records, sorts
+//! them canonically, encodes, checksums, and renames the finished file
+//! into place, then re-saves the manifest. There is no partially-written
+//! "active" segment on disk — crash safety comes from records staying in
+//! the collector's memory (and its checkpoint) until their segment seals.
+
+use std::path::{Path, PathBuf};
+
+use crate::codec::SegmentData;
+use crate::manifest::{Manifest, SegmentMeta};
+use crate::records::{CollectedBundle, CollectedDetail, PollRecord};
+use crate::segment::{encode_segment, read_segment_file, write_segment_file};
+
+fn segment_file_name(index: usize) -> String {
+    format!("seg-{index:05}.seg")
+}
+
+/// Append-only writer over a store directory.
+pub struct StoreWriter {
+    dir: PathBuf,
+    manifest: Manifest,
+    bytes_written: u64,
+}
+
+impl StoreWriter {
+    /// Create a fresh store at `dir` (the directory is created; an existing
+    /// manifest there is an error — a store is grown, never overwritten
+    /// blindly).
+    pub fn create(dir: impl Into<PathBuf>) -> std::io::Result<StoreWriter> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        if Manifest::load(&dir).is_ok() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::AlreadyExists,
+                format!("{} already holds a store manifest", dir.display()),
+            ));
+        }
+        let manifest = Manifest::new();
+        manifest.save(&dir)?;
+        Ok(StoreWriter {
+            dir,
+            manifest,
+            bytes_written: 0,
+        })
+    }
+
+    /// Reopen a store for appending after a checkpoint resume.
+    ///
+    /// `expected` is the sealed-segment list the checkpoint recorded. The
+    /// on-disk manifest must contain it as a prefix; any segments sealed
+    /// after the checkpoint (the killed run got further than its last
+    /// checkpoint) are discarded so the resume replays them. Only the
+    /// manifest is read — sealed segment contents stay on disk.
+    pub fn resume(
+        dir: impl Into<PathBuf>,
+        expected: &[SegmentMeta],
+    ) -> std::io::Result<StoreWriter> {
+        let dir = dir.into();
+        let on_disk = Manifest::load(&dir)?;
+        if on_disk.segments.len() < expected.len()
+            || on_disk.segments[..expected.len()] != *expected
+        {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "store manifest does not match the checkpoint's segment list",
+            ));
+        }
+        for orphan in &on_disk.segments[expected.len()..] {
+            // Best-effort: an undeletable orphan only wastes disk, the
+            // truncated manifest no longer references it.
+            let _ = std::fs::remove_file(Manifest::segment_path(&dir, orphan));
+        }
+        let manifest = Manifest {
+            version: on_disk.version,
+            segments: expected.to_vec(),
+        };
+        manifest.save(&dir)?;
+        Ok(StoreWriter {
+            dir,
+            manifest,
+            bytes_written: 0,
+        })
+    }
+
+    /// Seal one segment from a batch of records. Records are sorted into
+    /// canonical order (bundles by slot then id, details by slot then tx),
+    /// encoded, checksummed, written atomically, and recorded in the
+    /// manifest. Returns the new segment's metadata.
+    pub fn seal_segment(
+        &mut self,
+        mut bundles: Vec<CollectedBundle>,
+        mut details: Vec<CollectedDetail>,
+        polls: Vec<PollRecord>,
+    ) -> std::io::Result<SegmentMeta> {
+        bundles.sort_by_key(|a| (a.slot, a.bundle_id.0));
+        details.sort_by_key(|a| (a.slot, a.meta.tx_id.0));
+        let data = SegmentData {
+            bundles,
+            details,
+            polls,
+        };
+        let (image, footer) = encode_segment(&data);
+        let file = segment_file_name(self.manifest.segments.len());
+        write_segment_file(&self.dir.join(&file), &image)?;
+        let meta = SegmentMeta {
+            file,
+            bundles: footer.bundles as u64,
+            details: footer.details as u64,
+            polls: footer.polls as u64,
+            min_slot: footer.min_slot,
+            max_slot: footer.max_slot,
+            bytes: image.len() as u64,
+            checksum: format!("{:016x}", footer.checksum),
+        };
+        self.manifest.segments.push(meta.clone());
+        self.manifest.save(&self.dir)?;
+        self.bytes_written += image.len() as u64;
+        Ok(meta)
+    }
+
+    /// Sealed segments so far, in seal order.
+    pub fn segments(&self) -> &[SegmentMeta] {
+        &self.manifest.segments
+    }
+
+    /// Store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Bytes written by this writer instance (not counting pre-resume
+    /// segments).
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Convert into a read handle over everything sealed so far.
+    pub fn into_reader(self) -> BundleStore {
+        BundleStore {
+            dir: self.dir,
+            manifest: self.manifest,
+        }
+    }
+}
+
+/// Read handle over a sealed store: the manifest plus segment access.
+#[derive(Clone, Debug)]
+pub struct BundleStore {
+    dir: PathBuf,
+    manifest: Manifest,
+}
+
+impl BundleStore {
+    /// Open a store directory by loading its manifest. Segment contents
+    /// are not read — scans stream them on demand.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<BundleStore> {
+        let dir = dir.into();
+        let manifest = Manifest::load(&dir)?;
+        Ok(BundleStore { dir, manifest })
+    }
+
+    /// The manifest.
+    pub fn manifest(&self) -> &Manifest {
+        &self.manifest
+    }
+
+    /// Sealed segments in seal order.
+    pub fn segments(&self) -> &[SegmentMeta] {
+        &self.manifest.segments
+    }
+
+    /// Store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Read, verify, and decode one segment by index. Checksum or codec
+    /// failures surface as `InvalidData` errors, never as garbage records.
+    pub fn read_segment(&self, index: usize) -> std::io::Result<SegmentData> {
+        let meta = self.manifest.segments.get(index).ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                format!("segment {index} not in manifest"),
+            )
+        })?;
+        let (data, footer) = read_segment_file(&Manifest::segment_path(&self.dir, meta))?;
+        if format!("{:016x}", footer.checksum) != meta.checksum {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("segment {index} checksum disagrees with manifest"),
+            ));
+        }
+        Ok(data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sandwich_types::{Hash, Keypair, Lamports, Slot};
+
+    fn bundle(seed: u64, slot: u64) -> CollectedBundle {
+        let kp = Keypair::from_label("store");
+        CollectedBundle {
+            bundle_id: Hash::digest(&seed.to_le_bytes()),
+            slot: Slot(slot),
+            timestamp_ms: slot * 400,
+            tip: Lamports(seed),
+            tx_ids: vec![kp.sign(&seed.to_le_bytes())],
+        }
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("swstore-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn seal_then_read_back() {
+        let dir = tmp_dir("seal");
+        let mut w = StoreWriter::create(&dir).unwrap();
+        // Unsorted input: the writer canonicalizes.
+        let meta = w
+            .seal_segment(vec![bundle(2, 20), bundle(1, 10)], vec![], vec![])
+            .unwrap();
+        assert_eq!(meta.bundles, 2);
+        assert_eq!((meta.min_slot, meta.max_slot), (10, 20));
+        assert!(w.bytes_written() > 0);
+
+        let store = BundleStore::open(&dir).unwrap();
+        assert_eq!(store.segments().len(), 1);
+        let data = store.read_segment(0).unwrap();
+        let slots: Vec<u64> = data.bundles.iter().map(|b| b.slot.0).collect();
+        assert_eq!(slots, vec![10, 20], "canonical order on disk");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn create_refuses_existing_store() {
+        let dir = tmp_dir("exists");
+        let _w = StoreWriter::create(&dir).unwrap();
+        assert!(StoreWriter::create(&dir).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_truncates_segments_past_the_checkpoint() {
+        let dir = tmp_dir("resume");
+        let mut w = StoreWriter::create(&dir).unwrap();
+        w.seal_segment(vec![bundle(1, 10)], vec![], vec![]).unwrap();
+        let at_checkpoint = w.segments().to_vec();
+        // The run got further before dying.
+        w.seal_segment(vec![bundle(2, 20)], vec![], vec![]).unwrap();
+        drop(w);
+
+        let w = StoreWriter::resume(&dir, &at_checkpoint).unwrap();
+        assert_eq!(w.segments().len(), 1);
+        let store = BundleStore::open(&dir).unwrap();
+        assert_eq!(store.segments().len(), 1);
+        assert!(
+            !dir.join(segment_file_name(1)).exists(),
+            "orphan segment deleted"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_rejects_a_mismatched_manifest() {
+        let dir = tmp_dir("mismatch");
+        let mut w = StoreWriter::create(&dir).unwrap();
+        w.seal_segment(vec![bundle(1, 10)], vec![], vec![]).unwrap();
+        let mut fake = w.segments().to_vec();
+        fake[0].checksum = "0000000000000000".into();
+        assert!(StoreWriter::resume(&dir, &fake).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_segment_file_surfaces_as_error() {
+        let dir = tmp_dir("corrupt");
+        let mut w = StoreWriter::create(&dir).unwrap();
+        let meta = w.seal_segment(vec![bundle(1, 10)], vec![], vec![]).unwrap();
+        let path = dir.join(&meta.file);
+        let mut image = std::fs::read(&path).unwrap();
+        let mid = image.len() / 2;
+        image[mid] ^= 0x01;
+        std::fs::write(&path, &image).unwrap();
+        let store = BundleStore::open(&dir).unwrap();
+        let err = store.read_segment(0).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

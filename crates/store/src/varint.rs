@@ -1,0 +1,153 @@
+//! LEB128 varints and zigzag transforms — the integer layer of the segment
+//! codec. Slots, timestamps, counts, and balance deltas are all small *as
+//! differences*, so everything numeric in a segment goes through here.
+
+/// Append `value` as an unsigned LEB128 varint.
+pub fn put_u64(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Append an unsigned 128-bit LEB128 varint (token deltas).
+pub fn put_u128(out: &mut Vec<u8>, mut value: u128) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Zigzag-encode then varint a signed 64-bit value.
+pub fn put_i64(out: &mut Vec<u8>, value: i64) {
+    put_u64(out, ((value << 1) ^ (value >> 63)) as u64);
+}
+
+/// Zigzag-encode then varint a signed 128-bit value.
+pub fn put_i128(out: &mut Vec<u8>, value: i128) {
+    put_u128(out, ((value << 1) ^ (value >> 127)) as u128);
+}
+
+/// A decode failure: truncated or over-long varint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VarintError;
+
+/// Read an unsigned LEB128 varint, advancing `pos`.
+pub fn get_u64(buf: &[u8], pos: &mut usize) -> Result<u64, VarintError> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf.get(*pos).ok_or(VarintError)?;
+        *pos += 1;
+        if shift >= 64 || (shift == 63 && byte > 1) {
+            return Err(VarintError);
+        }
+        value |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
+}
+
+/// Read an unsigned 128-bit LEB128 varint, advancing `pos`.
+pub fn get_u128(buf: &[u8], pos: &mut usize) -> Result<u128, VarintError> {
+    let mut value = 0u128;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf.get(*pos).ok_or(VarintError)?;
+        *pos += 1;
+        if shift >= 128 || (shift == 126 && byte > 3) {
+            return Err(VarintError);
+        }
+        value |= u128::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
+}
+
+/// Read a zigzagged signed 64-bit varint, advancing `pos`.
+pub fn get_i64(buf: &[u8], pos: &mut usize) -> Result<i64, VarintError> {
+    let raw = get_u64(buf, pos)?;
+    Ok(((raw >> 1) as i64) ^ -((raw & 1) as i64))
+}
+
+/// Read a zigzagged signed 128-bit varint, advancing `pos`.
+pub fn get_i128(buf: &[u8], pos: &mut usize) -> Result<i128, VarintError> {
+    let raw = get_u128(buf, pos)?;
+    Ok(((raw >> 1) as i128) ^ -((raw & 1) as i128))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_roundtrip_edges() {
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u64::MAX - 1, u64::MAX] {
+            let mut buf = Vec::new();
+            put_u64(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(get_u64(&buf, &mut pos), Ok(v));
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn i64_roundtrip_edges() {
+        for v in [0i64, -1, 1, i64::MIN, i64::MAX, -400, 400] {
+            let mut buf = Vec::new();
+            put_i64(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(get_i64(&buf, &mut pos), Ok(v));
+        }
+    }
+
+    #[test]
+    fn i128_roundtrip_edges() {
+        for v in [0i128, -1, i128::MIN, i128::MAX, 170_141_183_460_469_231] {
+            let mut buf = Vec::new();
+            put_i128(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(get_i128(&buf, &mut pos), Ok(v));
+        }
+    }
+
+    #[test]
+    fn truncated_input_is_an_error() {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, u64::MAX);
+        buf.pop();
+        let mut pos = 0;
+        assert_eq!(get_u64(&buf, &mut pos), Err(VarintError));
+    }
+
+    #[test]
+    fn overlong_input_is_an_error() {
+        // Eleven continuation bytes can never be a valid u64.
+        let buf = [0xffu8; 11];
+        let mut pos = 0;
+        assert_eq!(get_u64(&buf, &mut pos), Err(VarintError));
+    }
+
+    #[test]
+    fn small_deltas_are_one_byte() {
+        for v in [-63i64, -1, 0, 1, 63] {
+            let mut buf = Vec::new();
+            put_i64(&mut buf, v);
+            assert_eq!(buf.len(), 1, "{v} took {} bytes", buf.len());
+        }
+    }
+}

@@ -25,4 +25,18 @@ cargo test --offline --workspace -q
 echo "==> chaos matrix (bounded)"
 timeout 420 cargo test --offline -p sandwich-suite --test chaos_matrix -q
 
+# The segment store scan must stay byte-identical across worker counts and
+# against the legacy in-memory analysis; a divergence here is a determinism
+# regression in the scan engine.
+echo "==> store scan determinism (bounded)"
+timeout 420 cargo test --offline -p sandwich-suite --test store_scan -q
+
+# A short scan_bench run smoke-tests the seal → parallel-scan path end to
+# end (it asserts byte-identical reports at 1/2/4/8 threads internally).
+echo "==> scan_bench smoke (bounded)"
+SANDWICH_DAYS=2 \
+SANDWICH_BENCH_OUT=target/BENCH_scan_smoke.json \
+SANDWICH_STORE_DIR=target/scan_smoke.store \
+timeout 420 cargo run --offline --release -p sandwich-bench --bin scan_bench
+
 echo "==> all checks passed"

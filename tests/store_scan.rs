@@ -1,0 +1,280 @@
+//! The segment store and parallel scan engine, end to end:
+//!
+//! * store-mode collection (bounded resident memory, segments sealed while
+//!   polling) collects exactly what legacy in-memory mode collects;
+//! * the parallel scan produces a byte-identical `AnalysisReport` at 1, 2,
+//!   and 8 threads, and byte-identical to the legacy in-memory analysis;
+//! * the streaming incremental scan (folded as segments sealed) equals the
+//!   post-run batch scan;
+//! * a mid-run checkpoint references the store by manifest, stays small,
+//!   and resumes into a run identical to an uninterrupted one.
+
+use std::io::BufReader;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use sandwich_core::{
+    run_measurement_with, scan_store_observed, AnalysisConfig, Checkpoint, CollectorConfig,
+    PipelineConfig, RunOptions, StoreOptions,
+};
+use sandwich_explorer::{ExplorerConfig, FaultPlanConfig};
+use sandwich_net::RetryPolicy;
+use sandwich_obs::Registry;
+use sandwich_sim::{ScenarioConfig, Simulation};
+
+fn scenario() -> ScenarioConfig {
+    ScenarioConfig {
+        downtime_days: vec![],
+        ..ScenarioConfig::tiny()
+    }
+}
+
+fn pipeline(scenario: &ScenarioConfig, store: Option<StoreOptions>) -> PipelineConfig {
+    PipelineConfig {
+        explorer: ExplorerConfig {
+            faults: FaultPlanConfig::uniform_503(0.2, 7),
+            ..Default::default()
+        },
+        collector: CollectorConfig {
+            page_limit: sandwich_core::scaled_page_limit(scenario, 1),
+            detail_batch: 100,
+            retry: RetryPolicy {
+                base_delay: Duration::from_millis(1),
+                max_delay: Duration::from_millis(10),
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+        store,
+        ..Default::default()
+    }
+}
+
+fn store_dir(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("store-scan-{label}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 2)]
+async fn store_scan_matches_legacy_and_is_thread_invariant() {
+    let scenario = scenario();
+    let days = scenario.days;
+    let cfg = AnalysisConfig::paper_defaults(days);
+
+    // Reference: the legacy in-memory run on the same seed.
+    let mut sim_legacy = Simulation::new(scenario.clone());
+    let legacy = run_measurement_with(
+        &mut sim_legacy,
+        pipeline(&scenario, None),
+        RunOptions::default(),
+    )
+    .await
+    .unwrap();
+    let legacy_report = serde_json::to_string(&legacy.analyze(&cfg)).unwrap();
+
+    // Store mode with streaming, small segments so many seal mid-run.
+    let dir = store_dir("matches");
+    let mut sim_store = Simulation::new(scenario.clone());
+    let run = run_measurement_with(
+        &mut sim_store,
+        pipeline(
+            &scenario,
+            Some(StoreOptions {
+                dir: dir.clone(),
+                segment_bundles: 100,
+                streaming: true,
+            }),
+        ),
+        RunOptions::default(),
+    )
+    .await
+    .unwrap();
+
+    // Collection is unchanged by flushing: same totals as the legacy run.
+    assert_eq!(run.dataset.len(), legacy.dataset.len());
+    assert_eq!(run.dataset.detail_count(), legacy.dataset.detail_count());
+    assert_eq!(run.dataset.polls().len(), legacy.dataset.polls().len());
+    // ...but resident memory is drained: everything sealed to disk.
+    assert!(run.dataset.bundles().is_empty(), "final flush left residue");
+    assert!(run.dataset.fully_spilled());
+
+    let store = run.store.as_ref().expect("store mode returns the store");
+    assert!(
+        store.segments().len() >= 3,
+        "expected several segments, got {}",
+        store.segments().len()
+    );
+    assert_eq!(
+        store.manifest().total_bundles(),
+        run.dataset.len() as u64,
+        "every collected bundle is in exactly one sealed segment"
+    );
+    assert_eq!(
+        run.collector_stats.segments_sealed,
+        store.segments().len() as u64
+    );
+    assert!(run.collector_stats.store_bytes_written > 0);
+
+    // The scan is byte-identical across thread counts and equal to legacy.
+    let base = serde_json::to_string(&run.try_analyze(&cfg, 1).unwrap()).unwrap();
+    for threads in [2, 8] {
+        let r = serde_json::to_string(&run.try_analyze(&cfg, threads).unwrap()).unwrap();
+        assert_eq!(base, r, "report diverged at {threads} threads");
+    }
+    assert_eq!(
+        base, legacy_report,
+        "store scan diverged from the legacy in-memory analysis"
+    );
+
+    // The streaming report (folded segment by segment as each sealed)
+    // equals the batch scan.
+    let streaming = run.streaming_report.as_ref().expect("streaming was on");
+    assert_eq!(serde_json::to_string(streaming).unwrap(), base);
+
+    // Store/scan metrics reached the shared registry.
+    let m = &run.metrics;
+    assert_eq!(
+        m.counter(sandwich_obs::names::STORE_SEGMENTS_SEALED),
+        Some(store.segments().len() as u64)
+    );
+    assert_eq!(
+        m.counter(sandwich_obs::names::STORE_BYTES_WRITTEN),
+        Some(run.collector_stats.store_bytes_written)
+    );
+    assert_eq!(
+        m.counter(sandwich_obs::names::SCAN_PARTIALS_EMITTED),
+        Some(store.segments().len() as u64)
+    );
+
+    // A standalone observed scan records the scan.* metrics too.
+    let registry = Registry::new();
+    let _ = scan_store_observed(store, &run.clock, &cfg, 4, Some(&registry)).unwrap();
+    let snap = registry.snapshot();
+    assert_eq!(
+        snap.counter(sandwich_obs::names::SCAN_SEGMENTS_SCANNED),
+        Some(store.segments().len() as u64)
+    );
+    assert!(
+        snap.histogram(sandwich_obs::names::SCAN_WORKER_BUSY_SECONDS)
+            .unwrap()
+            .count
+            > 0
+    );
+
+    // The binary store is dramatically smaller than the JSONL archive.
+    let mut jsonl = Vec::new();
+    legacy.dataset.write_jsonl(&mut jsonl).unwrap();
+    let store_bytes = store.manifest().total_bytes();
+    assert!(
+        store_bytes * 3 <= jsonl.len() as u64,
+        "binary store ({store_bytes} B) is not ≥3x smaller than JSONL ({} B)",
+        jsonl.len()
+    );
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 2)]
+async fn store_checkpoint_resumes_from_manifest() {
+    let scenario = scenario();
+    let days = scenario.days;
+    let cfg = AnalysisConfig::paper_defaults(days);
+    let options = |dir: &PathBuf| StoreOptions {
+        dir: dir.clone(),
+        segment_bundles: 100,
+        streaming: false,
+    };
+
+    // Reference: an uninterrupted store-mode run.
+    let dir_full = store_dir("full");
+    let mut sim_full = Simulation::new(scenario.clone());
+    let full = run_measurement_with(
+        &mut sim_full,
+        pipeline(&scenario, Some(options(&dir_full))),
+        RunOptions::default(),
+    )
+    .await
+    .unwrap();
+    let full_report = serde_json::to_string(&full.try_analyze(&cfg, 2).unwrap()).unwrap();
+
+    // The same run killed mid-flight, after several segments sealed.
+    let dir = store_dir("resume");
+    let mut sim1 = Simulation::new(scenario.clone());
+    let halted = run_measurement_with(
+        &mut sim1,
+        pipeline(&scenario, Some(options(&dir))),
+        RunOptions {
+            halt_at_tick: Some(70),
+            resume: None,
+        },
+    )
+    .await
+    .unwrap();
+    assert!(halted.halted);
+    let sealed_at_halt = halted.store.as_ref().unwrap().segments().len();
+    assert!(sealed_at_halt >= 1, "no segment sealed before the halt");
+    let halted_sums: Vec<String> = halted
+        .store
+        .as_ref()
+        .unwrap()
+        .segments()
+        .iter()
+        .map(|m| m.checksum.clone())
+        .collect();
+    let total_at_halt = halted.dataset.len();
+    let resident_at_halt = halted.dataset.bundles().len();
+    assert!(
+        resident_at_halt < total_at_halt,
+        "nothing was drained out of memory before the halt"
+    );
+
+    // Checkpoint through the wire format: the store rides as a manifest
+    // reference; sealed bundles are NOT re-serialized into the checkpoint.
+    let mut buf = Vec::new();
+    halted.into_checkpoint().write(&mut buf).unwrap();
+    let cp = Checkpoint::read(BufReader::new(&buf[..])).unwrap();
+    let cp_store = cp.store.as_ref().expect("checkpoint carries the store");
+    assert_eq!(cp_store.segments.len(), sealed_at_halt);
+    assert_eq!(cp.dataset.bundles().len(), resident_at_halt);
+    assert_eq!(cp.dataset.len(), total_at_halt, "drained ids still counted");
+
+    // Segment files referenced by the checkpoint exist on disk, sealed.
+    for meta in &cp_store.segments {
+        let path = dir.join(&meta.file);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), meta.bytes);
+    }
+
+    // Resume against a fresh simulation of the same seed. The resumed
+    // writer picks up from the manifest; no sealed segment is decoded.
+    let mut sim2 = Simulation::new(scenario.clone());
+    let resumed = run_measurement_with(
+        &mut sim2,
+        pipeline(&scenario, Some(options(&dir))),
+        RunOptions {
+            halt_at_tick: None,
+            resume: Some(cp),
+        },
+    )
+    .await
+    .unwrap();
+    assert!(!resumed.halted);
+
+    // The checkpointed segments are a strict prefix of the final manifest.
+    let resumed_store = resumed.store.as_ref().unwrap();
+    let prefix: Vec<String> = resumed_store.segments()[..sealed_at_halt]
+        .iter()
+        .map(|m| m.checksum.clone())
+        .collect();
+    assert_eq!(prefix, halted_sums);
+    assert!(resumed_store.segments().len() > sealed_at_halt);
+
+    // No loss, no duplication: the resumed run's analysis is byte-identical
+    // to the uninterrupted run's.
+    assert_eq!(resumed.dataset.len(), full.dataset.len());
+    let resumed_report = serde_json::to_string(&resumed.try_analyze(&cfg, 2).unwrap()).unwrap();
+    assert_eq!(resumed_report, full_report);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+    std::fs::remove_dir_all(&dir_full).unwrap();
+}
