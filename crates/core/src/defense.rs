@@ -140,4 +140,75 @@ mod tests {
         let fractions: Vec<f64> = sweep.iter().map(|(_, s)| s.defensive_fraction()).collect();
         assert!(fractions[0] < fractions[1] && fractions[1] < fractions[2]);
     }
+
+    use proptest::prelude::*;
+
+    fn arb_stats() -> impl Strategy<Value = DefenseStats> {
+        (0..1_000_000u64, 0..1_000_000u64, 0..1_000_000_000u64).prop_map(
+            |(length_one, defensive, tips)| DefenseStats {
+                length_one,
+                defensive,
+                defensive_tips_lamports: tips,
+            },
+        )
+    }
+
+    proptest! {
+        #[test]
+        fn merge_is_commutative(a in arb_stats(), b in arb_stats()) {
+            let mut ab = a.clone();
+            ab.merge(&b);
+            let mut ba = b.clone();
+            ba.merge(&a);
+            prop_assert_eq!(ab, ba);
+        }
+
+        #[test]
+        fn merge_is_associative(a in arb_stats(), b in arb_stats(), c in arb_stats()) {
+            // (a + b) + c
+            let mut left = a.clone();
+            left.merge(&b);
+            left.merge(&c);
+            // a + (b + c)
+            let mut bc = b.clone();
+            bc.merge(&c);
+            let mut right = a.clone();
+            right.merge(&bc);
+            prop_assert_eq!(left, right);
+        }
+
+        #[test]
+        fn merge_identity_is_default(a in arb_stats()) {
+            let mut merged = a.clone();
+            merged.merge(&DefenseStats::default());
+            prop_assert_eq!(merged, a);
+        }
+
+        #[test]
+        fn sweep_fraction_never_decreases_in_threshold(
+            tips in prop::collection::vec((0u64..400_000, 1usize..4), 1..60),
+            thresholds in prop::collection::vec(0u64..500_000, 2..8),
+        ) {
+            let mut thresholds = thresholds;
+            // A higher threshold can only admit more length-1 bundles, so
+            // the defensive fraction is non-decreasing along a sorted sweep
+            // (the denominator — length-1 count — does not move).
+            let bundles: Vec<_> = tips
+                .iter()
+                .enumerate()
+                .map(|(i, &(tip, len))| bundle(len, tip, i as u64))
+                .collect();
+            thresholds.sort_unstable();
+            let sweep = threshold_sweep(bundles.iter(), &thresholds);
+            for w in sweep.windows(2) {
+                prop_assert!(
+                    w[1].1.defensive_fraction() >= w[0].1.defensive_fraction(),
+                    "fraction dropped between thresholds {} and {}",
+                    w[0].0 .0,
+                    w[1].0 .0
+                );
+                prop_assert_eq!(w[0].1.length_one, w[1].1.length_one);
+            }
+        }
+    }
 }

@@ -134,9 +134,21 @@ impl Default for DetectorConfig {
     }
 }
 
+/// Error for a criterion number outside the paper's 1–5 numbering.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InvalidCriterion(pub u8);
+
+impl std::fmt::Display for InvalidCriterion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "criteria are numbered 1-5, got {}", self.0)
+    }
+}
+
+impl std::error::Error for InvalidCriterion {}
+
 impl DetectorConfig {
     /// A config with the numbered criterion (1–5) disabled.
-    pub fn without_criterion(n: u8) -> Self {
+    pub fn without_criterion(n: u8) -> Result<Self, InvalidCriterion> {
         let mut c = DetectorConfig::default();
         match n {
             1 => c.same_outer_signer = false,
@@ -144,9 +156,9 @@ impl DetectorConfig {
             3 => c.rate_moves_against_victim = false,
             4 => c.attacker_profits = false,
             5 => c.exclude_tip_only_final = false,
-            _ => panic!("criteria are numbered 1–5"),
+            _ => return Err(InvalidCriterion(n)),
         }
-        c
+        Ok(c)
     }
 }
 
@@ -175,8 +187,16 @@ pub fn detect(config: &DetectorConfig, metas: [&TransactionMeta; 3]) -> Option<S
     let [m1, m2, m3] = metas;
 
     // Criterion 5 first: it is an exclusion, independent of trade shape.
-    if config.exclude_tip_only_final && is_tip_only(m3) {
-        return None;
+    if is_tip_only(m3) {
+        if config.exclude_tip_only_final {
+            return None;
+        }
+        // With criterion 5 disabled, fall back to the naive bundle-level
+        // reading the criterion exists to exclude: two swaps whose price
+        // action looks sandwich-shaped, with the "attacker" ending the
+        // bundle holding appreciated inventory. The ablation bench uses
+        // this to show the criterion is load-bearing.
+        return detect_naive_final_tip(config, m1, m2, m3);
     }
 
     // Criterion 1.
@@ -249,6 +269,58 @@ pub fn detect(config: &DetectorConfig, metas: [&TransactionMeta; 3]) -> Option<S
         sol_legged,
         victim_loss_lamports,
         attacker_gain_lamports,
+        bundle_tip,
+    })
+}
+
+/// The naive two-legged reading of a bundle whose final transaction only
+/// tips: criteria 1–3 applied to the first two trades, with "profit" read
+/// as the first signer holding inventory the second trade appreciated.
+/// Reached only when criterion 5 is disabled — the real detector excludes
+/// these bundles outright, and the ablation grid asserts exactly which
+/// near-miss family this admits.
+fn detect_naive_final_tip(
+    config: &DetectorConfig,
+    m1: &TransactionMeta,
+    m2: &TransactionMeta,
+    m3: &TransactionMeta,
+) -> Option<SandwichFinding> {
+    if config.same_outer_signer && !(m1.signer == m3.signer && m1.signer != m2.signer) {
+        return None;
+    }
+    let t1 = extract_trade(m1)?;
+    let t2 = extract_trade(m2)?;
+    if config.same_currencies && t1.currencies() != t2.currencies() {
+        return None;
+    }
+    if config.rate_moves_against_victim {
+        if t1.paid.0 != t2.paid.0 || t1.received.0 != t2.received.0 {
+            return None;
+        }
+        if t2.rate() <= t1.rate() {
+            return None;
+        }
+    }
+    if config.attacker_profits && t1.received.1 == 0 {
+        return None;
+    }
+
+    let currencies: Vec<Currency> = t2.currencies().to_vec();
+    let sol_legged = currencies.contains(&Currency::Sol);
+    let victim_loss_lamports = if sol_legged {
+        quantify_victim_loss(&t1, &t2)
+    } else {
+        None
+    };
+    let bundle_tip = realized_tip(m1) + realized_tip(m2) + realized_tip(m3);
+
+    Some(SandwichFinding {
+        attacker: m1.signer,
+        victim: m2.signer,
+        currencies,
+        sol_legged,
+        victim_loss_lamports,
+        attacker_gain_lamports: None,
         bundle_tip,
     })
 }
@@ -404,7 +476,7 @@ mod tests {
         let (f, v, _) = canonical();
         let b = swap_meta("other", 3, 115_000_000_000, -10_000, 0);
         assert!(detect(&DetectorConfig::default(), [&f, &v, &b]).is_none());
-        assert!(detect(&DetectorConfig::without_criterion(1), [&f, &v, &b]).is_some());
+        assert!(detect(&DetectorConfig::without_criterion(1).unwrap(), [&f, &v, &b]).is_some());
     }
 
     #[test]
@@ -424,7 +496,7 @@ mod tests {
         // Criterion 3's direction check partially subsumes criterion 2 for
         // this shape: only with both disabled does the mismatch slip through
         // (the outer legs still satisfy criteria 1 and 4).
-        let mut relaxed = DetectorConfig::without_criterion(2);
+        let mut relaxed = DetectorConfig::without_criterion(2).unwrap();
         relaxed.rate_moves_against_victim = false;
         assert!(detect(&relaxed, [&f, &v2, &b]).is_some());
     }
@@ -453,7 +525,7 @@ mod tests {
         // Attacker sells at a loss.
         let b = swap_meta("attacker", 3, 90_000_000_000, -10_000, 0);
         assert!(detect(&DetectorConfig::default(), [&f, &v, &b]).is_none());
-        assert!(detect(&DetectorConfig::without_criterion(4), [&f, &v, &b]).is_some());
+        assert!(detect(&DetectorConfig::without_criterion(4).unwrap(), [&f, &v, &b]).is_some());
     }
 
     #[test]
@@ -464,11 +536,30 @@ mod tests {
         let v = swap_meta("someone", 2, -120_000_000_000, 10_000, 0);
         let tip_only = swap_meta("app-user", 3, 0, 0, 10_000);
         assert!(detect(&DetectorConfig::default(), [&f, &v, &tip_only]).is_none());
-        // Without criterion 5, trade extraction still fails on the tip-only
-        // transaction (no trade), so it stays undetected — the criterion
-        // exists because *some* tip-only finals would otherwise slip
-        // through when paired with profit-shaped outer legs.
-        assert!(detect(&DetectorConfig::without_criterion(5), [&f, &v, &tip_only]).is_none());
+        // Without criterion 5 the naive bundle-level reading kicks in: the
+        // first signer holds inventory the second swap appreciated, so the
+        // pattern is (wrongly) admitted — exactly what the criterion is for.
+        let finding = detect(
+            &DetectorConfig::without_criterion(5).unwrap(),
+            [&f, &v, &tip_only],
+        )
+        .expect("naive reading admits the app pattern");
+        assert_eq!(finding.attacker, pk("app-user"));
+        assert_eq!(finding.attacker_gain_lamports, None, "no exit leg");
+        assert!(finding.victim_loss_lamports.unwrap() > 0);
+    }
+
+    #[test]
+    fn without_criterion_rejects_out_of_range() {
+        assert!(DetectorConfig::without_criterion(0).is_err());
+        assert!(DetectorConfig::without_criterion(6).is_err());
+        assert_eq!(
+            DetectorConfig::without_criterion(9).unwrap_err(),
+            InvalidCriterion(9)
+        );
+        for n in 1..=5 {
+            assert!(DetectorConfig::without_criterion(n).is_ok());
+        }
     }
 
     #[test]
@@ -538,5 +629,74 @@ mod tests {
     fn transfer_only_is_not_a_trade() {
         let m = swap_meta("someone", 9, -1_000_000, 0, 0);
         assert!(extract_trade(&m).is_none());
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn extract_orientation_matches_delta_signs(
+            sol_mag in 1_001i64..1_000_000_000_000,
+            sol_sign in prop::bool::ANY,
+            tok_mag in 1i128..1_000_000_000_000,
+            tok_sign in prop::bool::ANY,
+            tip in 0u64..10_000_000,
+        ) {
+            // Opposite-signed legs form a trade whose paid/received sides
+            // follow the delta signs; same-signed legs are not a trade.
+            let sol = if sol_sign { sol_mag } else { -sol_mag };
+            let tokens = if tok_sign { tok_mag } else { -tok_mag };
+            let m = swap_meta("prop", 1, sol, tokens, tip);
+            match extract_trade(&m) {
+                Some(t) => {
+                    prop_assert!(sol_sign != tok_sign, "one leg in, one leg out");
+                    let (sol_leg, tok_leg) = if sol_sign {
+                        (t.received, t.paid)
+                    } else {
+                        (t.paid, t.received)
+                    };
+                    prop_assert_eq!(sol_leg, (Currency::Sol, sol_mag as u128));
+                    prop_assert_eq!(
+                        tok_leg,
+                        (Currency::Token(mint()), tok_mag as u128)
+                    );
+                    // Rate is finite and positive for every extracted trade.
+                    prop_assert!(t.rate().is_finite());
+                    prop_assert!(t.rate() > 0.0);
+                }
+                None => prop_assert!(
+                    sol_sign == tok_sign,
+                    "opposite-signed legs above dust must extract"
+                ),
+            }
+        }
+
+        #[test]
+        fn zero_amount_legs_rejected(
+            sol in -1_000i64..1_001,
+            tip in 0u64..10_000_000,
+        ) {
+            // A dust-scale SOL move with no token leg is never a trade, and
+            // a zero token delta contributes no leg at all.
+            let no_tokens = swap_meta("prop", 2, sol, 0, tip);
+            prop_assert!(extract_trade(&no_tokens).is_none());
+
+            let mut zero_tok = swap_meta("prop", 3, sol, 1, tip);
+            zero_tok.token_deltas[0].delta = 0;
+            prop_assert!(extract_trade(&zero_tok).is_none());
+        }
+
+        #[test]
+        fn fee_and_tip_never_leak_into_the_trade(
+            sol_mag in 1_001i64..1_000_000_000,
+            tok in 1i128..1_000_000,
+            tip in 0u64..50_000_000,
+        ) {
+            // The extracted SOL leg must equal the market move exactly,
+            // regardless of how large the tip was.
+            let m = swap_meta("prop", 4, -sol_mag, tok, tip);
+            let t = extract_trade(&m).expect("valid trade");
+            prop_assert_eq!(t.paid, (Currency::Sol, sol_mag as u128));
+        }
     }
 }

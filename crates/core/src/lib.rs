@@ -6,6 +6,9 @@
 //! * [`detector`] — the five-criteria sandwich detector over balance
 //!   deltas, with financial quantification (§3.2, §4.1);
 //! * [`defense`] — the defensive-bundling classifier (§3.3, §4.2);
+//! * [`conformance`] — the ground-truth oracle: per-bundle precision and
+//!   recall against the simulator's labels, quantification-error
+//!   distributions, and the criterion ablation grid;
 //! * [`analysis`] / [`report`] — per-day series, CDFs, and text renderers
 //!   for Table 1 and Figures 1–4;
 //! * [`counterfactual`] — the §5 what-ifs: defense economics quantified;
@@ -19,6 +22,7 @@
 pub mod analysis;
 pub mod checkpoint;
 pub mod collector;
+pub mod conformance;
 pub mod counterfactual;
 pub mod dataset;
 pub mod defense;
@@ -31,6 +35,10 @@ pub mod stats;
 pub use analysis::{analyze, AnalysisConfig, AnalysisReport, DatedFinding};
 pub use checkpoint::{Checkpoint, StoreCheckpoint};
 pub use collector::{Collector, CollectorConfig, CollectorStats};
+pub use conformance::{
+    ablation_grid, defensive_confusion, score, score_findings, AblationRow, Conformance,
+    ConfusionMatrix, QuantErrors,
+};
 pub use counterfactual::{
     defense_economics, defensive_counterfactual, slippage_counterfactual, DefenseEconomics,
     DefensiveCounterfactual, SlippageCounterfactual,
@@ -38,7 +46,8 @@ pub use counterfactual::{
 pub use dataset::{CollectedBundle, CollectedDetail, Dataset, PollRecord};
 pub use defense::{is_defensive, is_defensive_at, threshold_sweep, DefenseStats};
 pub use detector::{
-    detect, detect_in_bundle, extract_trade, Currency, DetectorConfig, SandwichFinding, Trade,
+    detect, detect_in_bundle, extract_trade, Currency, DetectorConfig, InvalidCriterion,
+    SandwichFinding, Trade,
 };
 pub use pipeline::{
     run_measurement, run_measurement_with, scaled_page_limit, MeasurementRun, PipelineConfig,

@@ -162,6 +162,47 @@ mod tests {
     }
 
     #[test]
+    fn quantile_on_empty_and_single_sample() {
+        let empty = Cdf::from_samples(vec![]);
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(empty.quantile(q), None);
+        }
+        let single = Cdf::from_samples(vec![42.0]);
+        // Every quantile of a one-sample set is that sample, including the
+        // out-of-range inputs (clamped).
+        for q in [-1.0, 0.0, 0.25, 0.5, 1.0, 2.0] {
+            assert_eq!(single.quantile(q), Some(42.0));
+        }
+        assert_eq!(single.median(), Some(42.0));
+        assert_eq!(single.mean(), Some(42.0));
+        assert_eq!(single.max(), Some(42.0));
+    }
+
+    #[test]
+    fn fraction_at_exact_sample_boundaries() {
+        let cdf = Cdf::from_samples(vec![1.0, 2.0, 3.0, 4.0]);
+        // Exactly at each sample: that sample is included (at *or* below).
+        assert!((cdf.fraction_at_or_below(1.0) - 0.25).abs() < 1e-12);
+        assert!((cdf.fraction_at_or_below(2.0) - 0.50).abs() < 1e-12);
+        assert!((cdf.fraction_at_or_below(3.0) - 0.75).abs() < 1e-12);
+        assert!((cdf.fraction_at_or_below(4.0) - 1.00).abs() < 1e-12);
+        // Just below the smallest sample: nothing counted.
+        assert_eq!(cdf.fraction_at_or_below(1.0 - 1e-9), 0.0);
+        // Between samples: count sticks to the lower boundary.
+        assert!((cdf.fraction_at_or_below(2.5) - 0.50).abs() < 1e-12);
+    }
+
+    #[test]
+    fn points_zero_and_one() {
+        let cdf = Cdf::from_samples(vec![5.0, 6.0, 7.0]);
+        assert!(cdf.points(0).is_empty());
+        // One point: quantile 0, i.e. the minimum, at fraction 0.
+        assert_eq!(cdf.points(1), vec![(5.0, 0.0)]);
+        // And an empty set yields no points regardless of n.
+        assert!(Cdf::from_samples(vec![]).points(1).is_empty());
+    }
+
+    #[test]
     fn nan_samples_dropped() {
         let cdf = Cdf::from_samples(vec![1.0, f64::NAN, 3.0]);
         assert_eq!(cdf.len(), 2);

@@ -4,6 +4,11 @@
 //! recent N bundles, one returning detailed data for batches of
 //! transactions (§3.1). These JSON shapes are this reproduction's version
 //! of that contract; the collector in `sandwich-core` speaks exactly this.
+//!
+//! Ground-truth labels (the simulator's `LabelBook`) deliberately never
+//! appear here: the measurement pipeline must work from exactly what the
+//! real explorer exposes, and the conformance oracle joins labels back by
+//! bundle id only *after* analysis. A test below pins that blindness.
 
 use serde::{Deserialize, Serialize};
 
@@ -239,6 +244,39 @@ mod tests {
         let back: TxDetailJson = serde_json::from_str(&wire).unwrap();
         assert_eq!(back.to_meta(), meta);
         assert_eq!(back.slot_typed(), Slot(9));
+    }
+
+    /// The wire contract is label-blind: ground truth must never leak to
+    /// the collector, or the conformance oracle would be scoring the
+    /// detector against information a real measurement cannot see.
+    #[test]
+    fn wire_carries_no_ground_truth_labels() {
+        let summary = BundleSummaryJson {
+            bundle_id: Hash::digest(b"b"),
+            slot: 1,
+            timestamp_ms: 2,
+            tip_lamports: 3,
+            transactions: vec![],
+        };
+        let wire = serde_json::to_string(&summary).unwrap();
+        for field in ["label", "groundTruth", "sandwich", "nearMiss"] {
+            assert!(!wire.contains(field), "label leak in {wire}");
+        }
+        let detail = TxDetailJson {
+            tx_id: sandwich_types::Keypair::from_label("lb").sign(b"t"),
+            bundle_id: Hash::digest(b"b"),
+            slot: 1,
+            signer: Pubkey::derive("s"),
+            fee_lamports: 0,
+            priority_fee_lamports: 0,
+            success: true,
+            sol_deltas: vec![],
+            token_deltas: vec![],
+        };
+        let wire = serde_json::to_string(&detail).unwrap();
+        for field in ["label", "groundTruth", "sandwich", "nearMiss"] {
+            assert!(!wire.contains(field), "label leak in {wire}");
+        }
     }
 
     #[test]

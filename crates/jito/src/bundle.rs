@@ -101,8 +101,13 @@ impl Bundle {
 
     /// The bundle id: hash of the ordered transaction ids.
     pub fn id(&self) -> BundleId {
-        let ids: Vec<_> = self.transactions.iter().map(|t| t.id()).collect();
-        bundle_id_of(&ids)
+        bundle_id_of(&self.tx_ids())
+    }
+
+    /// The ordered transaction ids — the join key the ground-truth label
+    /// book uses to find a bundle again after it lands.
+    pub fn tx_ids(&self) -> Vec<sandwich_ledger::TransactionId> {
+        self.transactions.iter().map(|t| t.id()).collect()
     }
 
     /// Number of transactions in the bundle.
@@ -170,6 +175,14 @@ mod tests {
     fn declared_tip_sums_across_transactions() {
         let bundle = Bundle::new(vec![tx("a", 1), tx("b", 2)]).unwrap();
         assert_eq!(bundle.declared_tip(), Lamports(2_000));
+    }
+
+    #[test]
+    fn tx_ids_match_id_derivation() {
+        let bundle = Bundle::new(vec![tx("a", 1), tx("b", 2)]).unwrap();
+        let ids = bundle.tx_ids();
+        assert_eq!(ids.len(), 2);
+        assert_eq!(bundle_id_of(&ids), bundle.id());
     }
 
     #[test]

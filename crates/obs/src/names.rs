@@ -25,3 +25,18 @@ pub const SCAN_PARTIALS_EMITTED: &str = "scan.partials_emitted";
 
 /// Gauge: sandwiches detected so far by the streaming scan.
 pub const SCAN_STREAMING_SANDWICHES: &str = "scan.streaming_sandwiches";
+
+/// Counter: findings matched to a labeled sandwich by the conformance join.
+pub const CONFORMANCE_TRUE_POSITIVES: &str = "conformance.true_positives";
+
+/// Counter: findings whose label was not a sandwich (or missing).
+pub const CONFORMANCE_FALSE_POSITIVES: &str = "conformance.false_positives";
+
+/// Counter: labeled, detectable sandwiches the analysis did not find.
+pub const CONFORMANCE_FALSE_NEGATIVES: &str = "conformance.false_negatives";
+
+/// Counter: labeled near-miss bundles scored by the conformance join.
+pub const CONFORMANCE_NEAR_MISSES_SCORED: &str = "conformance.near_misses_scored";
+
+/// Counter: near-miss bundles wrongly flagged by the full detector.
+pub const CONFORMANCE_NEAR_MISSES_FLAGGED: &str = "conformance.near_misses_flagged";

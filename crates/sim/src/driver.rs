@@ -19,26 +19,9 @@ use sandwich_ledger::{native_sol_mint, Transaction, TransactionBuilder};
 use sandwich_types::{Lamports, Pubkey, SlotClock};
 
 use crate::config::{lognormal_clamped, poisson, weighted_choice, ScenarioConfig};
+use crate::labels::{BenignKind, BundleLabel, LabelBook, NearMissFamily, SandwichLabel};
 use crate::population::Population;
 use crate::universe::{PoolRef, Universe};
-
-/// What one submitted bundle was, for ground-truth bookkeeping.
-enum PendingKind {
-    Sandwich(SandwichIntent),
-    Defensive,
-    Other,
-}
-
-/// A planned sandwich, to be counted only if it lands.
-struct SandwichIntent {
-    has_sol_leg: bool,
-    /// Disguised by an appended unrelated transaction (length-4 bundle).
-    disguised: bool,
-    /// Victim loss at the pre-attack rate, lamports (0 when unpriceable).
-    victim_loss_lamports: u64,
-    /// Attacker gain after tip, lamports (0 when unpriceable).
-    attacker_gain_lamports: i128,
-}
 
 /// Ground truth for one day.
 #[derive(Clone, Debug, Default)]
@@ -142,6 +125,7 @@ pub struct Simulation {
     tick: u64,
     metrics: Option<SimMetrics>,
     pub(crate) truth: GroundTruth,
+    labels: LabelBook,
 }
 
 impl Simulation {
@@ -170,6 +154,7 @@ impl Simulation {
             tick: 0,
             metrics: None,
             truth,
+            labels: LabelBook::new(),
         }
     }
 
@@ -198,6 +183,13 @@ impl Simulation {
         &self.truth
     }
 
+    /// Per-bundle labels of every *landed* bundle so far. The labels never
+    /// travel through the explorer/collector path — the measured system is
+    /// blind to them; consumers join on the bundle id after analysis.
+    pub fn labels(&self) -> &LabelBook {
+        &self.labels
+    }
+
     /// Current day (the day the *next* tick belongs to).
     pub fn current_day(&self) -> u64 {
         self.tick / self.config.ticks_per_day
@@ -216,7 +208,7 @@ impl Simulation {
 
         let tpd = self.config.ticks_per_day as f64;
         let mut bundles: Vec<Bundle> = Vec::new();
-        let mut pending: HashMap<BundleId, PendingKind> = HashMap::new();
+        let mut pending: HashMap<BundleId, BundleLabel> = HashMap::new();
         let regular: Vec<Transaction> = Vec::new();
 
         // Sandwiches (they are length-3 bundles; decoys fill the rest).
@@ -297,7 +289,7 @@ impl Simulation {
     fn account_truth(
         &mut self,
         day: u64,
-        pending: &HashMap<BundleId, PendingKind>,
+        pending: &HashMap<BundleId, BundleLabel>,
         result: &SlotResult,
     ) {
         let truth = &mut self.truth.per_day[day as usize];
@@ -305,29 +297,34 @@ impl Simulation {
         for lb in &result.bundles {
             let len = lb.len().min(5);
             truth.bundles_by_len[len - 1] += 1;
-            match pending.get(&lb.bundle_id) {
-                Some(PendingKind::Sandwich(intent)) => {
+            let label = pending
+                .get(&lb.bundle_id)
+                .cloned()
+                .unwrap_or(BundleLabel::Benign(BenignKind::Batch));
+            match &label {
+                BundleLabel::Sandwich(intent) => {
                     truth.sandwiches += 1;
                     self.truth.sandwich_ids.insert(lb.bundle_id);
                     if intent.disguised {
                         truth.disguised_sandwiches += 1;
                         self.truth.disguised_sandwich_ids.insert(lb.bundle_id);
                     }
-                    if intent.has_sol_leg {
-                        truth.victim_loss_lamports += intent.victim_loss_lamports;
-                        truth.attacker_gain_lamports += intent.attacker_gain_lamports;
+                    if intent.sol_legged {
+                        truth.victim_loss_lamports += intent.expected_loss_lamports;
+                        truth.attacker_gain_lamports += intent.expected_gain_lamports;
                     } else {
                         truth.non_sol_sandwiches += 1;
                         self.truth.non_sol_sandwich_ids.insert(lb.bundle_id);
                     }
                 }
-                Some(PendingKind::Defensive) => {
+                BundleLabel::Defensive => {
                     truth.defensive += 1;
                     truth.defensive_tips_lamports += lb.tip.0;
                     self.truth.defensive_ids.insert(lb.bundle_id);
                 }
-                _ => {}
+                BundleLabel::Benign(_) | BundleLabel::NearMiss(_) => {}
             }
+            self.labels.insert(lb.bundle_id, label);
         }
     }
 
@@ -360,7 +357,7 @@ impl Simulation {
     fn build_sandwich(
         &mut self,
         bundles: &mut Vec<Bundle>,
-        pending: &mut HashMap<BundleId, PendingKind>,
+        pending: &mut HashMap<BundleId, BundleLabel>,
     ) {
         // Decide the pool class once so retries cannot skew the SOL /
         // non-SOL mix (SOL plans fail more often than token plans).
@@ -376,7 +373,7 @@ impl Simulation {
         &mut self,
         non_sol: bool,
         bundles: &mut Vec<Bundle>,
-        pending: &mut HashMap<BundleId, PendingKind>,
+        pending: &mut HashMap<BundleId, BundleLabel>,
     ) -> bool {
         let pool_ref: PoolRef = if non_sol && !self.universe.token_pools.is_empty() {
             let i = self.rng.gen_range(0..self.universe.token_pools.len());
@@ -477,7 +474,7 @@ impl Simulation {
         } else {
             bundle
         };
-        pending.insert(bundle.id(), PendingKind::Sandwich(intent));
+        pending.insert(bundle.id(), BundleLabel::Sandwich(intent));
         bundles.push(bundle);
 
         // Occasionally a rival contends for the same victim with a smaller
@@ -493,7 +490,7 @@ impl Simulation {
                 &pool, &pool_ref, mint_in, mint_out, victim_in, min_out, &victim_tx, rival_idx,
                 0.25,
             ) {
-                pending.insert(bundle.id(), PendingKind::Sandwich(intent));
+                pending.insert(bundle.id(), BundleLabel::Sandwich(intent));
                 bundles.push(bundle);
             }
         }
@@ -512,7 +509,7 @@ impl Simulation {
         victim_tx: &Transaction,
         attacker_idx: usize,
         bankroll_fraction: f64,
-    ) -> Option<(Bundle, SandwichIntent)> {
+    ) -> Option<(Bundle, SandwichLabel)> {
         let attacker_pk = self.population.attackers[attacker_idx].pubkey();
         let bankroll_full = if mint_in == native_sol_mint() {
             self.universe
@@ -579,6 +576,7 @@ impl Simulation {
             .instruction(tip_ix(Lamports(tip), back_nonce))
             .build();
 
+        let victim_pk = victim_tx.signer();
         let bundle = Bundle::new(vec![front, victim_tx.clone(), back]).ok()?;
         let intent = if pool_ref.has_sol_leg {
             // Same methodology as the paper's quantification (§4.1): the
@@ -586,18 +584,22 @@ impl Simulation {
             // price the victim would have paid unsandwiched.
             let rate_a = plan.front_run_in as f64 / plan.front_run_out.max(1) as f64;
             let loss = (victim_in as f64 - rate_a * plan.victim_out as f64).max(0.0);
-            SandwichIntent {
-                has_sol_leg: true,
+            SandwichLabel {
+                attacker: attacker_pk,
+                victim: victim_pk,
+                sol_legged: true,
                 disguised: false,
-                victim_loss_lamports: loss as u64,
-                attacker_gain_lamports: gross_gain - tip as i128,
+                expected_loss_lamports: loss as u64,
+                expected_gain_lamports: gross_gain - tip as i128,
             }
         } else {
-            SandwichIntent {
-                has_sol_leg: false,
+            SandwichLabel {
+                attacker: attacker_pk,
+                victim: victim_pk,
+                sol_legged: false,
                 disguised: false,
-                victim_loss_lamports: 0,
-                attacker_gain_lamports: 0,
+                expected_loss_lamports: 0,
+                expected_gain_lamports: 0,
             }
         };
         Some((bundle, intent))
@@ -607,7 +609,7 @@ impl Simulation {
     fn build_defensive(
         &mut self,
         bundles: &mut Vec<Bundle>,
-        pending: &mut HashMap<BundleId, PendingKind>,
+        pending: &mut HashMap<BundleId, BundleLabel>,
     ) {
         let idx = Self::pick(&mut self.rng, &self.population.defenders);
         let tip = lognormal_clamped(&mut self.rng, 7_000.0, 1.0, 1_000.0, 100_000.0) as u64;
@@ -643,7 +645,7 @@ impl Simulation {
         }
         let tx = b.instruction(tip_ix(Lamports(tip), nonce)).build();
         if let Ok(bundle) = Bundle::new(vec![tx]) {
-            pending.insert(bundle.id(), PendingKind::Defensive);
+            pending.insert(bundle.id(), BundleLabel::Defensive);
             bundles.push(bundle);
         }
     }
@@ -652,7 +654,7 @@ impl Simulation {
     fn build_priority(
         &mut self,
         bundles: &mut Vec<Bundle>,
-        pending: &mut HashMap<BundleId, PendingKind>,
+        pending: &mut HashMap<BundleId, BundleLabel>,
     ) {
         let idx = Self::pick(&mut self.rng, &self.population.traders);
         let tip = lognormal_clamped(&mut self.rng, 500_000.0, 1.2, 100_001.0, 30_000_000.0) as u64;
@@ -669,7 +671,7 @@ impl Simulation {
             .instruction(tip_ix(Lamports(tip), nonce))
             .build();
         if let Ok(bundle) = Bundle::new(vec![tx]) {
-            pending.insert(bundle.id(), PendingKind::Other);
+            pending.insert(bundle.id(), BundleLabel::Benign(BenignKind::Priority));
             bundles.push(bundle);
         }
     }
@@ -678,7 +680,7 @@ impl Simulation {
     fn build_len2(
         &mut self,
         bundles: &mut Vec<Bundle>,
-        pending: &mut HashMap<BundleId, PendingKind>,
+        pending: &mut HashMap<BundleId, BundleLabel>,
     ) {
         let idx = Self::pick(&mut self.rng, &self.population.traders);
         let p = &self.universe.sol_pools[self.rng.gen_range(0..self.universe.sol_pools.len())];
@@ -700,7 +702,7 @@ impl Simulation {
             .instruction(tip_ix(Lamports(tip), n2))
             .build();
         if let Ok(bundle) = Bundle::new(vec![swap_tx, tip_tx]) {
-            pending.insert(bundle.id(), PendingKind::Other);
+            pending.insert(bundle.id(), BundleLabel::Benign(BenignKind::AppPair));
             bundles.push(bundle);
         }
     }
@@ -710,16 +712,17 @@ impl Simulation {
     fn build_len3_decoy(
         &mut self,
         bundles: &mut Vec<Bundle>,
-        pending: &mut HashMap<BundleId, PendingKind>,
+        pending: &mut HashMap<BundleId, BundleLabel>,
     ) {
         let kind = *weighted_choice(
             &mut self.rng,
             &[
-                ("swap_swap_tip", 0.52),
-                ("three_unrelated", 0.25),
-                ("same_signer_diff_mints", 0.10),
+                ("swap_swap_tip", 0.40),
+                ("three_unrelated", 0.22),
+                ("unprofitable_exit", 0.12),
+                ("disjoint_exit", 0.10),
                 ("third_party_backrun", 0.08),
-                ("reverse_order", 0.05),
+                ("rate_for_victim", 0.08),
             ],
         );
         let blockhash = self.universe.bank.latest_blockhash();
@@ -749,7 +752,7 @@ impl Simulation {
                     .build()
             };
 
-        let txs = match kind {
+        let (txs, label) = match kind {
             "swap_swap_tip" => {
                 // Two swaps by different users; final transaction is ONLY a
                 // tip — criterion 5 must exclude this.
@@ -768,7 +771,10 @@ impl Simulation {
                     .recent_blockhash(blockhash)
                     .instruction(tip_ix(Lamports(tip), nonce))
                     .build();
-                vec![a, b, c]
+                (
+                    vec![a, b, c],
+                    BundleLabel::NearMiss(NearMissFamily::TipOnlyFinal),
+                )
             }
             "three_unrelated" => {
                 // Three different signers, three different pools — fails
@@ -797,11 +803,14 @@ impl Simulation {
                     }
                     txs.push(tx);
                 }
-                txs
+                (txs, BundleLabel::Benign(BenignKind::UnrelatedSwaps))
             }
-            "same_signer_diff_mints" => {
-                // A, B, A — but A's two trades touch a different mint than
-                // B's — fails criterion 2.
+            "disjoint_exit" => {
+                // A buys pool 1, B buys pool 1 at a worse rate, then A exits
+                // by selling a *different* pool's token for more SOL than the
+                // entry cost. Signers match, the rate moved against B, and
+                // the exit is profitable — only the traded-currency-set
+                // criterion (2) rejects it.
                 let t_a = Self::pick(&mut self.rng, &self.population.traders);
                 let mut t_b = Self::pick(&mut self.rng, &self.population.traders);
                 if t_b == t_a {
@@ -812,27 +821,42 @@ impl Simulation {
                 if p2 == p1 {
                     p2 = (p2 + 1) % pool_count;
                 }
-                let a1 = swap_tx(self, t_a, p1, true, 0.08);
-                let b = swap_tx(self, t_b, p2, true, 0.08);
+                let entry = 20_000_000u64; // 0.02 SOL
+                let a1 = swap_tx(self, t_a, p1, true, entry as f64 / 1e9);
+                let b = swap_tx(self, t_b, p1, true, 0.05);
+                let sol = native_sol_mint();
+                let token2 = self.universe.sol_pools[p2].token_of_sol_pool();
+                let pool2 = self.universe.pool(&self.universe.sol_pools[p2].clone());
                 let agent = &mut self.population.traders[t_a];
-                let nonce = agent.next_nonce();
-                let token = self.universe.sol_pools[p1].token_of_sol_pool();
                 let held = self
                     .universe
                     .bank
-                    .token_balance(&agent.keypair.pubkey(), &token);
+                    .token_balance(&agent.keypair.pubkey(), &token2);
+                // Size the sell so SOL proceeds comfortably clear the entry
+                // cost plus fees and tip; quote is monotone, so double until
+                // it does (bounded by half the held stock).
+                let needed = entry + tip + 20_000;
+                let (r_sol2, r_tok2) = pool2.reserves_for(&sol).unwrap_or((1, 1));
+                let mut sell =
+                    ((needed as f64 * 3.0) * r_tok2 as f64 / r_sol2.max(1) as f64) as u64;
+                sell = sell.clamp(1_000, (held / 2).max(1_000));
+                for _ in 0..4 {
+                    match pool2.quote(&token2, sell) {
+                        Some(q) if q >= needed * 2 => break,
+                        _ => sell = sell.saturating_mul(2).min((held / 2).max(1_000)),
+                    }
+                }
+                let nonce = agent.next_nonce();
                 let a2 = TransactionBuilder::new(agent.keypair)
                     .nonce(nonce)
                     .recent_blockhash(blockhash)
-                    .instruction(swap_ix(
-                        token,
-                        native_sol_mint(),
-                        (held / 2_000).max(1_000),
-                        0,
-                    ))
+                    .instruction(swap_ix(token2, sol, sell, 0))
                     .instruction(tip_ix(Lamports(tip), nonce))
                     .build();
-                vec![a1, b, a2]
+                (
+                    vec![a1, b, a2],
+                    BundleLabel::NearMiss(NearMissFamily::DisjointCurrencies),
+                )
             }
             "third_party_backrun" => {
                 // Two different buyers followed by an unrelated profit-
@@ -889,34 +913,99 @@ impl Simulation {
                         .instruction(tip_ix(Lamports(tip), nonce))
                         .build()
                 };
-                vec![tx1, tx2, tx3]
+                (
+                    vec![tx1, tx2, tx3],
+                    BundleLabel::NearMiss(NearMissFamily::DifferentOuterSigner),
+                )
             }
-            _ => {
-                // "reverse_order": A sells first (improving B's rate), B
-                // buys, A re-buys — fails criterion 3.
+            "rate_for_victim" => {
+                // A *sells* first — improving B's subsequent buy rate — then
+                // B buys, then A re-buys more tokens than it sold. A ends the
+                // bundle inventory-positive (profitable by the proceeds
+                // branch), so only the rate-direction criterion (3) rejects
+                // it: the first trade moved the rate *for* the victim.
                 let t_a = Self::pick(&mut self.rng, &self.population.traders);
                 let mut t_b = Self::pick(&mut self.rng, &self.population.traders);
                 if t_b == t_a {
                     t_b = (t_b + 1) % self.population.traders.len();
                 }
                 let p1 = self.rng.gen_range(0..pool_count);
-                let a1 = swap_tx(self, t_a, p1, false, 0.0);
+                let sol = native_sol_mint();
+                let token = self.universe.sol_pools[p1].token_of_sol_pool();
+                let pool = self.universe.pool(&self.universe.sol_pools[p1].clone());
+                let (r_sol, r_tok) = pool.reserves_for(&sol).unwrap_or((1, 1));
+                let agent_pk = self.population.traders[t_a].pubkey();
+                let held = self.universe.bank.token_balance(&agent_pk, &token);
+                let sold = (r_tok / 2_000).clamp(1_000, (held / 2).max(1_000));
+                // Spend enough SOL to re-buy strictly more than was sold,
+                // with headroom for the LP fee and B's price push.
+                let mut spend = ((sold as f64 * 1.3) * r_sol as f64 / r_tok.max(1) as f64) as u64;
+                spend = spend.clamp(1_000_000, 20_000_000_000);
+                for _ in 0..4 {
+                    match pool.quote(&sol, spend) {
+                        Some(q) if q > sold + sold / 10 => break,
+                        _ => spend = spend.saturating_mul(2).min(20_000_000_000),
+                    }
+                }
+                let a1 = {
+                    let agent = &mut self.population.traders[t_a];
+                    let nonce = agent.next_nonce();
+                    TransactionBuilder::new(agent.keypair)
+                        .nonce(nonce)
+                        .recent_blockhash(blockhash)
+                        .instruction(swap_ix(token, sol, sold, 0))
+                        .build()
+                };
                 let b = swap_tx(self, t_b, p1, true, 0.05);
                 let agent = &mut self.population.traders[t_a];
                 let nonce = agent.next_nonce();
-                let token = self.universe.sol_pools[p1].token_of_sol_pool();
                 let a2 = TransactionBuilder::new(agent.keypair)
                     .nonce(nonce)
                     .recent_blockhash(blockhash)
-                    .instruction(swap_ix(native_sol_mint(), token, 30_000_000, 0))
+                    .instruction(swap_ix(sol, token, spend, 0))
                     .instruction(tip_ix(Lamports(tip), nonce))
                     .build();
-                vec![a1, b, a2]
+                (
+                    vec![a1, b, a2],
+                    BundleLabel::NearMiss(NearMissFamily::RateMovedForVictim),
+                )
+            }
+            _ => {
+                // "unprofitable_exit": sandwich-shaped — A buys, B buys at a
+                // worse rate, A sells — but A dumps only a third of the
+                // acquired inventory, so the SOL proceeds sit far below the
+                // entry cost. Both profit branches of criterion 4 fail;
+                // everything else holds.
+                let t_a = Self::pick(&mut self.rng, &self.population.traders);
+                let mut t_b = Self::pick(&mut self.rng, &self.population.traders);
+                if t_b == t_a {
+                    t_b = (t_b + 1) % self.population.traders.len();
+                }
+                let p1 = self.rng.gen_range(0..pool_count);
+                let sol = native_sol_mint();
+                let token = self.universe.sol_pools[p1].token_of_sol_pool();
+                let pool = self.universe.pool(&self.universe.sol_pools[p1].clone());
+                let entry = 60_000_000u64; // 0.06 SOL
+                let q_est = pool.quote(&sol, entry).unwrap_or(3_000);
+                let a1 = swap_tx(self, t_a, p1, true, entry as f64 / 1e9);
+                let b = swap_tx(self, t_b, p1, true, 0.05);
+                let agent = &mut self.population.traders[t_a];
+                let nonce = agent.next_nonce();
+                let a2 = TransactionBuilder::new(agent.keypair)
+                    .nonce(nonce)
+                    .recent_blockhash(blockhash)
+                    .instruction(swap_ix(token, sol, (q_est / 3).max(1_000), 0))
+                    .instruction(tip_ix(Lamports(tip), nonce))
+                    .build();
+                (
+                    vec![a1, b, a2],
+                    BundleLabel::NearMiss(NearMissFamily::UnprofitableAttacker),
+                )
             }
         };
 
         if let Ok(bundle) = Bundle::new(txs) {
-            pending.insert(bundle.id(), PendingKind::Other);
+            pending.insert(bundle.id(), label);
             bundles.push(bundle);
         }
     }
@@ -926,7 +1015,7 @@ impl Simulation {
         &mut self,
         len: usize,
         bundles: &mut Vec<Bundle>,
-        pending: &mut HashMap<BundleId, PendingKind>,
+        pending: &mut HashMap<BundleId, BundleLabel>,
     ) {
         let tip = lognormal_clamped(&mut self.rng, 2_000.0, 0.8, 1_000.0, 50_000.0) as u64;
         let blockhash = self.universe.bank.latest_blockhash();
@@ -947,7 +1036,7 @@ impl Simulation {
             txs.push(b.build());
         }
         if let Ok(bundle) = Bundle::new(txs) {
-            pending.insert(bundle.id(), PendingKind::Other);
+            pending.insert(bundle.id(), BundleLabel::Benign(BenignKind::Batch));
             bundles.push(bundle);
         }
     }

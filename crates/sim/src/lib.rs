@@ -6,10 +6,14 @@
 
 pub mod config;
 pub mod driver;
+pub mod fuzzer;
+pub mod labels;
 pub mod population;
 pub mod universe;
 
 pub use config::{lognormal_clamped, poisson, standard_normal, weighted_choice, ScenarioConfig};
 pub use driver::{DayTruth, GroundTruth, Simulation, TickOutcome};
+pub use fuzzer::{NearMissCase, NearMissFuzzer};
+pub use labels::{BenignKind, BundleLabel, LabelBook, NearMissFamily, SandwichLabel};
 pub use population::{Agent, Population};
 pub use universe::{PoolRef, Universe};

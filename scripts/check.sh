@@ -39,4 +39,15 @@ SANDWICH_BENCH_OUT=target/BENCH_scan_smoke.json \
 SANDWICH_STORE_DIR=target/scan_smoke.store \
 timeout 420 cargo run --offline --release -p sandwich-bench --bin scan_bench
 
+# The conformance smoke replays the ground-truth lab end to end: detector
+# precision/recall 1.0 against the sim's labels, every criterion ablation
+# load-bearing, all fuzzer near-miss families rejected, and a byte-identical
+# scorecard on a second identically-seeded run.
+echo "==> conformance_bench smoke (bounded)"
+SANDWICH_DAYS=2 \
+SANDWICH_FUZZ_CASES=5 \
+SANDWICH_SCORE_REPS=2 \
+SANDWICH_BENCH_OUT=target/BENCH_conformance_smoke.json \
+timeout 420 cargo run --offline --release -p sandwich-bench --bin conformance_bench
+
 echo "==> all checks passed"
