@@ -1,0 +1,323 @@
+//! Load harness for the query-serving subsystem.
+//!
+//! Seeds a multi-day measurement, seals it into a segment store, starts
+//! the `queryd` service on an ephemeral port, and replays a seeded mixed
+//! workload against it over real sockets:
+//!
+//! - **Phase A (zipfian)** — hot keys drawn from a zipf-weighted set of
+//!   endpoints (summary, days, leaderboards, top attackers and pools), the
+//!   regime a public tracker UI produces. Asserts the cache-hit rate.
+//! - **Phase B (cold scans)** — distinct slot-range queries that each miss
+//!   the cache, the regime of a crawler walking history.
+//!
+//! Every distinct request's HTTP body is compared byte-for-byte against an
+//! uncached evaluation on the same engine snapshot, and a fresh service
+//! opened on the same directory must reuse the persisted index (zero
+//! rebuilds). Writes p50/p95/p99 latency and throughput to
+//! `results/BENCH_query.json` (or `$SANDWICH_BENCH_OUT`).
+
+use rand::{Rng, SeedableRng};
+
+use sandwich_core::AnalysisConfig;
+use sandwich_net::{HttpClient, Server};
+use sandwich_obs::{names, Registry};
+use sandwich_query::{QueryRequest, QueryService, QueryServiceConfig};
+use sandwich_store::StoreWriter;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// One workload item: the HTTP path and its typed form (for the uncached
+/// correctness check).
+#[derive(Clone)]
+struct WorkItem {
+    path: String,
+    typed: QueryRequest,
+}
+
+fn percentile_ms(sorted_us: &[u64], q: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted_us.len() - 1) as f64 * q).round() as usize;
+    sorted_us[rank] as f64 / 1_000.0
+}
+
+fn main() {
+    let days = env_usize("SANDWICH_DAYS", 8) as u64;
+    let clients = env_usize("SANDWICH_QUERY_CLIENTS", 4);
+    let zipf_requests = env_usize("SANDWICH_QUERY_ZIPF_REQUESTS", 600);
+    let cold_requests = env_usize("SANDWICH_QUERY_COLD_REQUESTS", 120);
+    let seed = env_usize("SANDWICH_SEED", 7) as u64;
+
+    // Seed the store from the simulated measurement.
+    let fr = sandwich_bench::run_pipeline_with(sandwich_sim::ScenarioConfig {
+        days,
+        ..sandwich_bench::figure_scenario()
+    });
+    let store_dir =
+        std::env::var("SANDWICH_QUERY_STORE_DIR").unwrap_or_else(|_| "query_bench.store".into());
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let mut writer = StoreWriter::create(&store_dir).expect("create store");
+    let segment_bundles = (fr.run.dataset.len() / 32).max(64);
+    fr.run
+        .dataset
+        .write_store(&mut writer, segment_bundles)
+        .expect("seal segments");
+    let store = writer.into_reader();
+    println!(
+        "query_bench: {} bundles in {} segments over {days} day(s)",
+        fr.run.dataset.len(),
+        store.segments().len()
+    );
+    drop(store);
+
+    // Open the service with the same semantics the analysis used.
+    let analysis = AnalysisConfig::paper_defaults(days);
+    let mut service_config = QueryServiceConfig::new(&store_dir);
+    service_config.query.detector = analysis.detector;
+    service_config.query.defensive_threshold = analysis.defensive_threshold;
+    service_config.query.clock = fr.clock;
+    let registry = Registry::new();
+    let service =
+        QueryService::open(service_config.clone(), registry.clone()).expect("open service");
+    let engine = service.engine_snapshot();
+    let index = engine.index();
+    println!(
+        "  index: {} sandwiches, {} attackers, {} pools, generation {}",
+        index.totals.sandwiches,
+        index.attackers.len(),
+        index.pools.len(),
+        engine.generation()
+    );
+
+    // Hot-key set, zipf-weighted by rank.
+    let mut hot: Vec<WorkItem> = vec![
+        WorkItem {
+            path: "/api/summary".into(),
+            typed: QueryRequest::Summary,
+        },
+        WorkItem {
+            path: "/api/days".into(),
+            typed: QueryRequest::Days,
+        },
+        WorkItem {
+            path: "/api/attackers?limit=20".into(),
+            typed: QueryRequest::Attackers {
+                limit: 20,
+                after: 0,
+            },
+        },
+        WorkItem {
+            path: "/api/sandwiches?from_slot=0&to_slot=500000&limit=50".into(),
+            typed: QueryRequest::Sandwiches {
+                from_slot: 0,
+                to_slot: 500_000,
+                limit: 50,
+                after: 0,
+            },
+        },
+    ];
+    for entry in index.attackers.iter().take(5) {
+        hot.push(WorkItem {
+            path: format!("/api/attacker/{}", entry.attacker),
+            typed: QueryRequest::Attacker {
+                pubkey: entry.attacker,
+            },
+        });
+    }
+    for entry in index.pools.iter().take(5) {
+        hot.push(WorkItem {
+            path: format!("/api/pool/{}", entry.mint),
+            typed: QueryRequest::Pool { mint: entry.mint },
+        });
+    }
+
+    // Cold scans: distinct slot windows, each seen exactly once.
+    let max_slot = index.totals.max_slot.max(1);
+    let window = (max_slot / cold_requests.max(1) as u64).max(1);
+    let cold: Vec<WorkItem> = (0..cold_requests as u64)
+        .map(|i| {
+            let from = i * window;
+            let to = from + window;
+            WorkItem {
+                path: format!("/api/sandwiches?from_slot={from}&to_slot={to}&limit=100"),
+                typed: QueryRequest::Sandwiches {
+                    from_slot: from,
+                    to_slot: to,
+                    limit: 100,
+                    after: 0,
+                },
+            }
+        })
+        .collect();
+
+    // Zipf sampling: weight 1/(rank+1), deterministic per seed.
+    let weights: Vec<f64> = (0..hot.len()).map(|r| 1.0 / (r as f64 + 1.0)).collect();
+    let total_weight: f64 = weights.iter().sum();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut zipf_plan: Vec<Vec<WorkItem>> = vec![Vec::new(); clients];
+    for i in 0..zipf_requests {
+        let mut pick = rng.gen::<f64>() * total_weight;
+        let mut chosen = 0;
+        for (rank, w) in weights.iter().enumerate() {
+            if pick < *w {
+                chosen = rank;
+                break;
+            }
+            pick -= w;
+        }
+        zipf_plan[i % clients].push(hot[chosen].clone());
+    }
+    let mut cold_plan: Vec<Vec<WorkItem>> = vec![Vec::new(); clients];
+    for (i, item) in cold.iter().enumerate() {
+        cold_plan[i % clients].push(item.clone());
+    }
+
+    let runtime = tokio::runtime::Builder::new_multi_thread()
+        .enable_all()
+        .build()
+        .expect("tokio runtime");
+    let result = runtime.block_on(async move {
+        let server = Server::bind("127.0.0.1:0", service.router())
+            .await
+            .expect("bind");
+        let addr = server.local_addr();
+
+        let run_phase = |plans: Vec<Vec<WorkItem>>| async move {
+            let started = std::time::Instant::now();
+            let mut set = tokio::task::JoinSet::new();
+            for plan in plans {
+                set.spawn(async move {
+                    let client = HttpClient::new(addr);
+                    let mut latencies_us = Vec::with_capacity(plan.len());
+                    for item in plan {
+                        let t = std::time::Instant::now();
+                        let response = client.get(&item.path).await.expect("request");
+                        latencies_us.push(t.elapsed().as_micros() as u64);
+                        assert_eq!(response.status, 200, "{}", item.path);
+                    }
+                    latencies_us
+                });
+            }
+            let mut all = Vec::new();
+            while let Some(joined) = set.join_next().await {
+                all.extend(joined.expect("client task"));
+            }
+            (all, started.elapsed().as_secs_f64())
+        };
+
+        // Phase A: zipfian hot keys.
+        let before = registry.snapshot();
+        let (zipf_latencies, zipf_wall) = run_phase(zipf_plan).await;
+        let after = registry.snapshot();
+        let hits = after.counter(names::QUERY_CACHE_HITS).unwrap_or(0)
+            - before.counter(names::QUERY_CACHE_HITS).unwrap_or(0);
+        let misses = after.counter(names::QUERY_CACHE_MISSES).unwrap_or(0)
+            - before.counter(names::QUERY_CACHE_MISSES).unwrap_or(0);
+        let zipf_hit_rate = hits as f64 / (hits + misses).max(1) as f64;
+
+        // Phase B: cold scans.
+        let (cold_latencies, cold_wall) = run_phase(cold_plan).await;
+
+        // Byte-identical: every distinct request vs uncached evaluation on
+        // the same engine snapshot.
+        let client = HttpClient::new(addr);
+        let mut distinct: Vec<&WorkItem> = hot.iter().chain(cold.iter()).collect();
+        distinct.sort_by(|a, b| a.path.cmp(&b.path));
+        distinct.dedup_by(|a, b| a.path == b.path);
+        let mut compared = 0usize;
+        for item in &distinct {
+            let served = client.get(&item.path).await.expect("request");
+            let uncached = engine.evaluate(&item.typed);
+            assert_eq!(
+                &served.body[..],
+                &uncached.body[..],
+                "cached response for {} diverged from uncached evaluation",
+                item.path
+            );
+            compared += 1;
+        }
+
+        server.shutdown().await;
+        (
+            zipf_latencies,
+            zipf_wall,
+            zipf_hit_rate,
+            cold_latencies,
+            cold_wall,
+            compared,
+        )
+    });
+    let (mut zipf_latencies, zipf_wall, zipf_hit_rate, mut cold_latencies, cold_wall, compared) =
+        result;
+
+    assert!(
+        zipf_hit_rate > 0.5,
+        "zipfian phase must be cache-dominated, got hit rate {zipf_hit_rate:.3}"
+    );
+
+    // Restart on the same directory: the persisted index is reused.
+    let restart_registry = Registry::new();
+    let reopened =
+        QueryService::open(service_config, restart_registry.clone()).expect("reopen service");
+    let snap = restart_registry.snapshot();
+    let rebuilds = snap.counter(names::QUERY_INDEX_REBUILDS).unwrap_or(0);
+    let loads = snap.counter(names::QUERY_INDEX_LOADS).unwrap_or(0);
+    assert_eq!(rebuilds, 0, "restart must reuse the persisted index");
+    assert_eq!(loads, 1, "restart must load the persisted index once");
+    drop(reopened);
+
+    zipf_latencies.sort_unstable();
+    cold_latencies.sort_unstable();
+    let mut all: Vec<u64> = zipf_latencies
+        .iter()
+        .chain(cold_latencies.iter())
+        .copied()
+        .collect();
+    all.sort_unstable();
+    let requests = all.len();
+    let wall = zipf_wall + cold_wall;
+    let throughput_rps = requests as f64 / wall.max(1e-9);
+
+    println!(
+        "  zipf phase: {} requests, hit rate {:.1}%, p50 {:.2} ms",
+        zipf_latencies.len(),
+        zipf_hit_rate * 100.0,
+        percentile_ms(&zipf_latencies, 0.50),
+    );
+    println!(
+        "  cold phase: {} requests, p50 {:.2} ms",
+        cold_latencies.len(),
+        percentile_ms(&cold_latencies, 0.50),
+    );
+    println!(
+        "  overall: p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms, {:.0} req/s over {clients} client(s)",
+        percentile_ms(&all, 0.50),
+        percentile_ms(&all, 0.95),
+        percentile_ms(&all, 0.99),
+        throughput_rps,
+    );
+    println!("  byte-identical vs uncached evaluation: {compared} distinct requests verified");
+
+    let out = std::env::var("SANDWICH_BENCH_OUT").unwrap_or_else(|_| {
+        let _ = std::fs::create_dir_all("results");
+        "results/BENCH_query.json".into()
+    });
+    let snapshot = format!(
+        "{{\n  \"days\": {days},\n  \"clients\": {clients},\n  \"requests\": {requests},\n  \"zipf_requests\": {zr},\n  \"cold_requests\": {cr},\n  \"zipf_cache_hit_rate\": {zipf_hit_rate:.3},\n  \"p50_ms\": {p50:.3},\n  \"p95_ms\": {p95:.3},\n  \"p99_ms\": {p99:.3},\n  \"throughput_rps\": {throughput_rps:.0},\n  \"byte_identical\": true,\n  \"restart_rebuilds\": {rebuilds},\n  \"restart_loads\": {loads}\n}}\n",
+        zr = zipf_latencies.len(),
+        cr = cold_latencies.len(),
+        p50 = percentile_ms(&all, 0.50),
+        p95 = percentile_ms(&all, 0.95),
+        p99 = percentile_ms(&all, 0.99),
+    );
+    std::fs::write(&out, snapshot).expect("write snapshot");
+    println!("  snapshot → {out}");
+
+    let _ = std::fs::remove_dir_all(&store_dir);
+}

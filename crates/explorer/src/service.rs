@@ -721,4 +721,40 @@ mod tests {
         assert!(resp.p95_tip_lamports >= 1_000);
         explorer.shutdown().await;
     }
+
+    /// Regression: malformed input — bad query strings, percent-encoded
+    /// junk, invalid JSON bodies — must come back as 4xx responses, never
+    /// kill the connection task or the server.
+    #[tokio::test]
+    async fn malformed_requests_never_kill_the_server() {
+        let explorer = Explorer::start(filled_store(20), ExplorerConfig::default())
+            .await
+            .unwrap();
+        let client = HttpClient::new(explorer.addr());
+
+        for bad in [
+            "/api/v1/bundles?limit=banana",
+            "/api/v1/bundles?limit=-1",
+            "/api/v1/bundles?limit=99999999999999999999999999",
+            "/api/v1/bundles?before=not-a-slot",
+            "/api/v1/bundles?limit=%zz%2&before=%",
+        ] {
+            let resp = client.get(bad).await.unwrap();
+            assert_eq!(resp.status, 400, "{bad} must be rejected, not fatal");
+        }
+
+        // Invalid and non-JSON bodies on the POST endpoint.
+        for body in [&b"not json"[..], &b"{\"tx_ids\": 7}"[..], &[0xff, 0xfe]] {
+            let resp = client
+                .post("/api/v1/transactions", body.to_vec())
+                .await
+                .unwrap();
+            assert_eq!(resp.status, 400, "bad body must be a 400");
+        }
+
+        // The server is still healthy after every rejection.
+        let resp = client.get("/api/v1/bundles?limit=5").await.unwrap();
+        assert_eq!(resp.status, 200);
+        explorer.shutdown().await;
+    }
 }

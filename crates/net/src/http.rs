@@ -96,6 +96,8 @@ pub struct Request {
     pub path: String,
     /// Decoded query parameters.
     pub query: HashMap<String, String>,
+    /// Path parameters captured by `{name}` route segments, percent-decoded.
+    pub params: HashMap<String, String>,
     /// Headers, keys lower-cased.
     pub headers: HashMap<String, String>,
     /// Raw body bytes.
@@ -106,6 +108,11 @@ impl Request {
     /// A query parameter, if present.
     pub fn query_param(&self, key: &str) -> Option<&str> {
         self.query.get(key).map(String::as_str)
+    }
+
+    /// A path parameter captured by a `{name}` route segment, if present.
+    pub fn path_param(&self, key: &str) -> Option<&str> {
+        self.params.get(key).map(String::as_str)
     }
 
     /// A header value (key is matched case-insensitively).
@@ -172,9 +179,14 @@ impl Response {
     }
 
     /// JSON response with an explicit status.
+    ///
+    /// A value that fails to serialize becomes a 500 — a handler must never
+    /// panic (and take its connection down) over a response body.
     pub fn json_with_status<T: serde::Serialize>(status: u16, value: &T) -> Self {
-        let body = serde_json::to_vec(value).expect("serializable response");
-        Response::new(status, body).header("content-type", "application/json")
+        match serde_json::to_vec(value) {
+            Ok(body) => Response::new(status, body).header("content-type", "application/json"),
+            Err(e) => Response::text(500, format!("response serialization failed: {e}")),
+        }
     }
 
     /// Plain-text response.
@@ -335,6 +347,7 @@ pub async fn read_request(reader: &mut BufReader<OwnedReadHalf>) -> Result<Reque
         method,
         path,
         query,
+        params: HashMap::new(),
         headers,
         body,
     })

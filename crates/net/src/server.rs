@@ -22,10 +22,84 @@ use crate::http::{
 pub type Handler =
     Arc<dyn Fn(Request) -> Pin<Box<dyn Future<Output = Response> + Send>> + Send + Sync>;
 
-/// Routes requests by (method, exact path).
+/// Captured `{name}` path parameters, in route-pattern order.
+type PathParams = Vec<(String, String)>;
+
+/// One segment of a registered route path: a literal, or a `{name}`
+/// parameter capture.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum RouteSegment {
+    Literal(String),
+    Param(String),
+}
+
+/// A registered route: method, compiled path pattern, handler.
+#[derive(Clone)]
+struct Route {
+    method: Method,
+    segments: Vec<RouteSegment>,
+    handler: Handler,
+}
+
+/// Split a path into segments, ignoring at most one trailing slash (so
+/// `/ping/` dispatches like `/ping` instead of 404ing or panicking).
+fn path_segments(path: &str) -> Vec<&str> {
+    let trimmed = path.strip_suffix('/').unwrap_or(path);
+    let trimmed = trimmed.strip_prefix('/').unwrap_or(trimmed);
+    if trimmed.is_empty() {
+        Vec::new()
+    } else {
+        trimmed.split('/').collect()
+    }
+}
+
+fn compile_pattern(path: &str) -> Vec<RouteSegment> {
+    path_segments(path)
+        .into_iter()
+        .map(
+            |seg| match seg.strip_prefix('{').and_then(|s| s.strip_suffix('}')) {
+                Some(name) if !name.is_empty() => RouteSegment::Param(name.to_string()),
+                _ => RouteSegment::Literal(seg.to_string()),
+            },
+        )
+        .collect()
+}
+
+/// Match request segments against a compiled pattern; on success, returns
+/// the captured `{name}` parameters (percent-decoded) plus the number of
+/// literal segments matched (the specificity score).
+fn match_pattern(
+    pattern: &[RouteSegment],
+    request: &[&str],
+) -> Option<(Vec<(String, String)>, usize)> {
+    if pattern.len() != request.len() {
+        return None;
+    }
+    let mut params = Vec::new();
+    let mut literals = 0usize;
+    for (pat, seg) in pattern.iter().zip(request) {
+        match pat {
+            RouteSegment::Literal(lit) => {
+                if lit != seg {
+                    return None;
+                }
+                literals += 1;
+            }
+            RouteSegment::Param(name) => {
+                params.push((name.clone(), crate::http::percent_decode(seg)));
+            }
+        }
+    }
+    Some((params, literals))
+}
+
+/// Routes requests by method and path pattern. A pattern segment written
+/// `{name}` captures the request segment as a path parameter; literal
+/// segments always win over parameter segments (`/api/attacker/top` beats
+/// `/api/attacker/{pubkey}` for `GET /api/attacker/top`).
 #[derive(Default, Clone)]
 pub struct Router {
-    routes: Vec<(Method, String, Handler)>,
+    routes: Vec<Route>,
 }
 
 impl Router {
@@ -34,29 +108,45 @@ impl Router {
         Router::default()
     }
 
-    /// Register a handler for a method and exact path.
+    /// Register a handler for a method and path pattern (literal segments
+    /// plus optional `{name}` captures).
     pub fn route<F, Fut>(mut self, method: Method, path: &str, handler: F) -> Self
     where
         F: Fn(Request) -> Fut + Send + Sync + 'static,
         Fut: Future<Output = Response> + Send + 'static,
     {
         let handler: Handler = Arc::new(move |req| Box::pin(handler(req)));
-        self.routes.push((method, path.to_string(), handler));
+        self.routes.push(Route {
+            method,
+            segments: compile_pattern(path),
+            handler,
+        });
         self
     }
 
     /// Find a handler; distinguishes 404 from 405 like a polite server.
-    fn dispatch(&self, method: Method, path: &str) -> Result<Handler, u16> {
+    /// Among matching patterns the most literal one wins; ties go to the
+    /// earliest registration.
+    fn dispatch(&self, method: Method, path: &str) -> Result<(Handler, PathParams), u16> {
+        let request = path_segments(path);
         let mut path_matched = false;
-        for (m, p, h) in &self.routes {
-            if p == path {
-                if *m == method {
-                    return Ok(h.clone());
-                }
-                path_matched = true;
+        let mut best: Option<(Handler, PathParams, usize)> = None;
+        for route in &self.routes {
+            let Some((params, literals)) = match_pattern(&route.segments, &request) else {
+                continue;
+            };
+            path_matched = true;
+            if route.method != method {
+                continue;
+            }
+            if best.as_ref().is_none_or(|(_, _, b)| literals > *b) {
+                best = Some((route.handler.clone(), params, literals));
             }
         }
-        Err(if path_matched { 405 } else { 404 })
+        match best {
+            Some((handler, params, _)) => Ok((handler, params)),
+            None => Err(if path_matched { 405 } else { 404 }),
+        }
     }
 }
 
@@ -156,7 +246,11 @@ async fn serve_connection(
 
         let keep_alive = request.keep_alive();
         let response = match router.dispatch(request.method, &request.path) {
-            Ok(handler) => handler(request).await,
+            Ok((handler, params)) => {
+                let mut request = request;
+                request.params.extend(params);
+                handler(request).await
+            }
             Err(status) => Response::text(status, Response::reason(status)),
         };
         match response.wire_fault {
@@ -208,6 +302,71 @@ mod tests {
                 let v = req.query_param("v").unwrap_or("none").to_string();
                 Response::text(200, v)
             })
+            .route(Method::Get, "/item/{id}", |req: Request| async move {
+                let id = req.path_param("id").unwrap_or("?").to_string();
+                Response::text(200, format!("item:{id}"))
+            })
+            .route(Method::Get, "/item/special", |_req| async {
+                Response::text(200, "special")
+            })
+    }
+
+    #[test]
+    fn dispatch_distinguishes_404_from_405() {
+        let router = test_router();
+        assert!(matches!(router.dispatch(Method::Get, "/nope"), Err(404)));
+        assert!(matches!(router.dispatch(Method::Post, "/ping"), Err(405)));
+        // A parameter route also participates in the 405 distinction.
+        assert!(matches!(
+            router.dispatch(Method::Post, "/item/42"),
+            Err(405)
+        ));
+        assert!(router.dispatch(Method::Get, "/ping").is_ok());
+    }
+
+    #[test]
+    fn dispatch_captures_path_parameters() {
+        let router = test_router();
+        let (_, params) = router.dispatch(Method::Get, "/item/42").unwrap();
+        assert_eq!(params, vec![("id".to_string(), "42".to_string())]);
+    }
+
+    #[test]
+    fn literal_segments_win_over_param_segments() {
+        let router = test_router();
+        let (_, params) = router.dispatch(Method::Get, "/item/special").unwrap();
+        assert!(params.is_empty(), "literal route must win: {params:?}");
+        // Registration order does not matter: literal-first routers agree.
+        let reversed = Router::new()
+            .route(Method::Get, "/item/special", |_req| async {
+                Response::text(200, "special")
+            })
+            .route(Method::Get, "/item/{id}", |_req| async {
+                Response::text(200, "param")
+            });
+        let (_, params) = reversed.dispatch(Method::Get, "/item/special").unwrap();
+        assert!(params.is_empty());
+    }
+
+    #[test]
+    fn trailing_slashes_do_not_panic_or_404() {
+        let router = test_router();
+        assert!(router.dispatch(Method::Get, "/ping/").is_ok());
+        assert!(router.dispatch(Method::Get, "/item/42/").is_ok());
+        // Root and degenerate paths are handled without panicking.
+        assert!(matches!(router.dispatch(Method::Get, "/"), Err(404)));
+        assert!(matches!(router.dispatch(Method::Get, ""), Err(404)));
+        assert!(matches!(router.dispatch(Method::Get, "//"), Err(404)));
+    }
+
+    #[test]
+    fn percent_encoded_parameters_are_decoded() {
+        let router = test_router();
+        let (_, params) = router.dispatch(Method::Get, "/item/a%2Fb%20c").unwrap();
+        assert_eq!(params[0].1, "a/b c");
+        // Encoded junk stays inert (kept literal, never a panic).
+        let (_, params) = router.dispatch(Method::Get, "/item/%zz%2").unwrap();
+        assert_eq!(params[0].1, "%zz%2");
     }
 
     #[tokio::test]
@@ -226,6 +385,17 @@ mod tests {
         let r = client.post("/ping", b"x".to_vec()).await.unwrap();
         assert_eq!(r.status, 405);
 
+        server.shutdown().await;
+    }
+
+    #[tokio::test]
+    async fn path_parameters_reach_handler_over_socket() {
+        let server = Server::bind("127.0.0.1:0", test_router()).await.unwrap();
+        let client = HttpClient::new(server.local_addr());
+        let r = client.get("/item/sandwich-42").await.unwrap();
+        assert_eq!(&r.body[..], b"item:sandwich-42");
+        let r = client.get("/item/special").await.unwrap();
+        assert_eq!(&r.body[..], b"special");
         server.shutdown().await;
     }
 

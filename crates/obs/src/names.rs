@@ -40,3 +40,40 @@ pub const CONFORMANCE_NEAR_MISSES_SCORED: &str = "conformance.near_misses_scored
 
 /// Counter: near-miss bundles wrongly flagged by the full detector.
 pub const CONFORMANCE_NEAR_MISSES_FLAGGED: &str = "conformance.near_misses_flagged";
+
+/// Counter: query indexes rebuilt from segments (a persisted-index reuse
+/// shows up as zero rebuilds).
+pub const QUERY_INDEX_REBUILDS: &str = "query.index.rebuilds";
+
+/// Counter: query indexes loaded from a valid persisted file.
+pub const QUERY_INDEX_LOADS: &str = "query.index.loads";
+
+/// Counter: persisted index files rejected (bad magic, checksum, or stale
+/// generation) and rebuilt instead of trusted.
+pub const QUERY_INDEX_REJECTED: &str = "query.index.rejected";
+
+/// Histogram: wall-clock seconds to build one query index from segments.
+pub const QUERY_INDEX_BUILD_SECONDS: &str = "query.index.build_seconds";
+
+/// Counter: query API requests served (all endpoints).
+pub const QUERY_REQUESTS: &str = "query.requests";
+
+/// Counter: responses answered from the response cache.
+pub const QUERY_CACHE_HITS: &str = "query.cache.hits";
+
+/// Counter: responses that had to be evaluated (cache miss).
+pub const QUERY_CACHE_MISSES: &str = "query.cache.misses";
+
+/// Counter: cache entries evicted by the per-shard LRU.
+pub const QUERY_CACHE_EVICTIONS: &str = "query.cache.evictions";
+
+/// Counter: requests that waited on an identical in-flight evaluation
+/// instead of decoding again (single-flight dedup).
+pub const QUERY_CACHE_SINGLE_FLIGHT_WAITS: &str = "query.cache.single_flight_waits";
+
+/// Counter: engine reloads after a manifest generation change.
+pub const QUERY_RELOADS: &str = "query.reloads";
+
+/// Prefix for the per-endpoint latency histograms (seconds); the endpoint
+/// name is appended, e.g. `query.seconds.summary`.
+pub const QUERY_SECONDS_PREFIX: &str = "query.seconds.";

@@ -1,0 +1,75 @@
+//! `queryd` — the analytics API daemon.
+//!
+//! Opens a sealed bundle store, loads or builds the query index, and
+//! serves the `/api/*` endpoints plus `/metrics` until killed.
+//!
+//! Environment:
+//! - `SANDWICH_QUERY_STORE`  — store directory (default `collector.store`)
+//! - `SANDWICH_QUERY_ADDR`   — bind address (default `127.0.0.1:8080`)
+//! - `SANDWICH_QUERY_THREADS` — index-build workers (default 4)
+//! - `SANDWICH_QUERYD_ONCE=1` — exit right after startup (smoke tests)
+//!
+//! The daemon polls the manifest every few seconds and hot-swaps the index
+//! when the collector seals a new segment, so a tracker UI pointed at this
+//! process follows the measurement live.
+
+use std::time::Duration;
+
+use sandwich_obs::Registry;
+use sandwich_query::{QueryService, QueryServiceConfig};
+
+fn env_or(key: &str, default: &str) -> String {
+    std::env::var(key).unwrap_or_else(|_| default.to_string())
+}
+
+fn main() {
+    let store_dir = env_or("SANDWICH_QUERY_STORE", "collector.store");
+    let addr = env_or("SANDWICH_QUERY_ADDR", "127.0.0.1:8080");
+    let threads: usize = env_or("SANDWICH_QUERY_THREADS", "4").parse().unwrap_or(4);
+    let once = env_or("SANDWICH_QUERYD_ONCE", "0") == "1";
+
+    let mut config = QueryServiceConfig::new(&store_dir);
+    config.query.threads = threads;
+    let registry = Registry::new();
+
+    let runtime = tokio::runtime::Builder::new_multi_thread()
+        .enable_all()
+        .build()
+        .expect("tokio runtime");
+    runtime.block_on(async move {
+        let service = match QueryService::open(config, registry) {
+            Ok(service) => service,
+            Err(e) => {
+                eprintln!("queryd: cannot open store at {store_dir}: {e}");
+                std::process::exit(2);
+            }
+        };
+        let server = match sandwich_net::Server::bind(&addr, service.router()).await {
+            Ok(server) => server,
+            Err(e) => {
+                eprintln!("queryd: cannot bind {addr}: {e}");
+                std::process::exit(2);
+            }
+        };
+        println!(
+            "queryd: serving store {} on http://{} (generation {})",
+            store_dir,
+            server.local_addr(),
+            service.generation()
+        );
+        if once {
+            server.shutdown().await;
+            return;
+        }
+        loop {
+            tokio::time::sleep(Duration::from_secs(3)).await;
+            match service.reload() {
+                Ok(true) => {
+                    println!("queryd: reloaded, generation {}", service.generation())
+                }
+                Ok(false) => {}
+                Err(e) => eprintln!("queryd: reload failed: {e}"),
+            }
+        }
+    });
+}

@@ -1,0 +1,651 @@
+//! The query engine: typed requests, canonical cache keys, and
+//! deterministic evaluation against one immutable [`QueryIndex`].
+//!
+//! Every endpoint answers from the secondary indexes — evaluation never
+//! touches segment files, so request latency is independent of store size
+//! (modulo the one-time index build). Pagination uses numeric offsets
+//! carried in `after=`; responses echo the paging state and include `next`
+//! when more rows remain.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use serde::Serialize;
+
+use sandwich_net::Request;
+use sandwich_types::Pubkey;
+
+use crate::cache::CachedResponse;
+use crate::index::{
+    first_ref_at_or_after, AttackerEntry, DayRollup, IndexTotals, PoolEntry, QueryIndex,
+    SandwichRef,
+};
+
+/// Default page size when `limit=` is absent.
+pub const DEFAULT_LIMIT: usize = 20;
+
+/// Hard ceiling on `limit=` to bound response sizes.
+pub const MAX_LIMIT: usize = 500;
+
+/// Sandwich rows embedded in an attacker/pool detail response.
+const DETAIL_REF_CAP: usize = 100;
+
+/// A parsed, validated API request. Construction validates all
+/// parameters, so evaluation is infallible.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QueryRequest {
+    /// `GET /api/summary`
+    Summary,
+    /// `GET /api/days`
+    Days,
+    /// `GET /api/attackers?limit=&after=`
+    Attackers {
+        /// Page size.
+        limit: usize,
+        /// Leaderboard offset of the first row.
+        after: usize,
+    },
+    /// `GET /api/attacker/{pubkey}`
+    Attacker {
+        /// The attacker address.
+        pubkey: Pubkey,
+    },
+    /// `GET /api/pool/{mint}`
+    Pool {
+        /// The pool's token mint.
+        mint: Pubkey,
+    },
+    /// `GET /api/sandwiches?from_slot=&to_slot=&limit=&after=`
+    Sandwiches {
+        /// Inclusive lower slot bound.
+        from_slot: u64,
+        /// Inclusive upper slot bound.
+        to_slot: u64,
+        /// Page size.
+        limit: usize,
+        /// In-range offset of the first row.
+        after: usize,
+    },
+}
+
+fn parse_usize(request: &Request, key: &str, default: usize) -> Result<usize, String> {
+    match request.query.get(key) {
+        None => Ok(default),
+        Some(raw) => raw.parse::<usize>().map_err(|_| {
+            format!("query parameter {key:?} must be a non-negative integer, got {raw:?}")
+        }),
+    }
+}
+
+fn parse_u64(request: &Request, key: &str, default: u64) -> Result<u64, String> {
+    match request.query.get(key) {
+        None => Ok(default),
+        Some(raw) => raw.parse::<u64>().map_err(|_| {
+            format!("query parameter {key:?} must be a non-negative integer, got {raw:?}")
+        }),
+    }
+}
+
+fn parse_pubkey(request: &Request, param: &str) -> Result<Pubkey, String> {
+    let raw = request
+        .path_param(param)
+        .ok_or_else(|| format!("missing path parameter {param:?}"))?;
+    raw.parse::<Pubkey>()
+        .map_err(|_| format!("{param:?} is not a valid base58 address: {raw:?}"))
+}
+
+impl QueryRequest {
+    /// Parse an HTTP request for `endpoint` into a typed query, or a
+    /// human-readable 400 message. `endpoint` is one of the names returned
+    /// by [`QueryRequest::endpoint`].
+    pub fn parse(endpoint: &str, request: &Request) -> Result<QueryRequest, String> {
+        match endpoint {
+            "summary" => Ok(QueryRequest::Summary),
+            "days" => Ok(QueryRequest::Days),
+            "attackers" => Ok(QueryRequest::Attackers {
+                limit: parse_usize(request, "limit", DEFAULT_LIMIT)?.clamp(1, MAX_LIMIT),
+                after: parse_usize(request, "after", 0)?,
+            }),
+            "attacker" => Ok(QueryRequest::Attacker {
+                pubkey: parse_pubkey(request, "pubkey")?,
+            }),
+            "pool" => Ok(QueryRequest::Pool {
+                mint: parse_pubkey(request, "mint")?,
+            }),
+            "sandwiches" => {
+                let from_slot = parse_u64(request, "from_slot", 0)?;
+                let to_slot = parse_u64(request, "to_slot", u64::MAX)?;
+                if from_slot > to_slot {
+                    return Err(format!("from_slot {from_slot} exceeds to_slot {to_slot}"));
+                }
+                Ok(QueryRequest::Sandwiches {
+                    from_slot,
+                    to_slot,
+                    limit: parse_usize(request, "limit", DEFAULT_LIMIT)?.clamp(1, MAX_LIMIT),
+                    after: parse_usize(request, "after", 0)?,
+                })
+            }
+            other => Err(format!("unknown endpoint {other:?}")),
+        }
+    }
+
+    /// Endpoint name, used for metric names and routing.
+    pub fn endpoint(&self) -> &'static str {
+        match self {
+            QueryRequest::Summary => "summary",
+            QueryRequest::Days => "days",
+            QueryRequest::Attackers { .. } => "attackers",
+            QueryRequest::Attacker { .. } => "attacker",
+            QueryRequest::Pool { .. } => "pool",
+            QueryRequest::Sandwiches { .. } => "sandwiches",
+        }
+    }
+
+    /// Canonical cache key for this request (excludes the generation; the
+    /// cache prepends it).
+    pub fn canonical_key(&self) -> String {
+        match self {
+            QueryRequest::Summary => "summary".to_string(),
+            QueryRequest::Days => "days".to_string(),
+            QueryRequest::Attackers { limit, after } => {
+                format!("attackers?limit={limit}&after={after}")
+            }
+            QueryRequest::Attacker { pubkey } => format!("attacker/{pubkey}"),
+            QueryRequest::Pool { mint } => format!("pool/{mint}"),
+            QueryRequest::Sandwiches {
+                from_slot,
+                to_slot,
+                limit,
+                after,
+            } => format!(
+                "sandwiches?from_slot={from_slot}&to_slot={to_slot}&limit={limit}&after={after}"
+            ),
+        }
+    }
+}
+
+// The serde_derive shim cannot handle lifetime or type parameters, so
+// every response struct owns its data; bodies are built once per cache
+// miss, so the clones are off the hot path.
+
+#[derive(Serialize)]
+struct SummaryResponse {
+    generation: String,
+    totals: IndexTotals,
+    days: u64,
+    attackers: u64,
+    pools: u64,
+}
+
+#[derive(Serialize)]
+struct DaysResponse {
+    generation: String,
+    days: Vec<DayRollup>,
+}
+
+#[derive(Serialize)]
+struct AttackerRow {
+    rank: usize,
+    attacker: Pubkey,
+    sandwiches: u64,
+    attacker_gain_lamports: i128,
+    victim_loss_lamports: u128,
+    tips_lamports: u128,
+}
+
+impl AttackerRow {
+    fn of(rank: usize, entry: &AttackerEntry) -> Self {
+        AttackerRow {
+            rank,
+            attacker: entry.attacker,
+            sandwiches: entry.sandwiches,
+            attacker_gain_lamports: entry.attacker_gain_lamports,
+            victim_loss_lamports: entry.victim_loss_lamports,
+            tips_lamports: entry.tips_lamports,
+        }
+    }
+}
+
+#[derive(Serialize)]
+struct AttackersPage {
+    generation: String,
+    total: usize,
+    limit: usize,
+    after: usize,
+    next: Option<usize>,
+    rows: Vec<AttackerRow>,
+}
+
+#[derive(Serialize)]
+struct AttackerDetailResponse {
+    generation: String,
+    row: AttackerRow,
+    recent: Vec<SandwichRef>,
+}
+
+#[derive(Serialize)]
+struct PoolRow {
+    rank: usize,
+    mint: Pubkey,
+    sandwiches: u64,
+    victim_loss_lamports: u128,
+    attackers: u64,
+}
+
+impl PoolRow {
+    fn of(rank: usize, entry: &PoolEntry) -> Self {
+        PoolRow {
+            rank,
+            mint: entry.mint,
+            sandwiches: entry.sandwiches,
+            victim_loss_lamports: entry.victim_loss_lamports,
+            attackers: entry.attackers,
+        }
+    }
+}
+
+#[derive(Serialize)]
+struct PoolDetailResponse {
+    generation: String,
+    row: PoolRow,
+    recent: Vec<SandwichRef>,
+}
+
+#[derive(Serialize)]
+struct RangeResponse {
+    generation: String,
+    from_slot: u64,
+    to_slot: u64,
+    total: usize,
+    limit: usize,
+    after: usize,
+    next: Option<usize>,
+    rows: Vec<SandwichRef>,
+}
+
+#[derive(Serialize)]
+struct ErrorBody {
+    error: String,
+}
+
+fn json_response<T: Serialize>(status: u16, value: &T) -> CachedResponse {
+    let body = serde_json::to_vec(value)
+        .unwrap_or_else(|e| format!("{{\"error\":\"serialization failed: {e}\"}}").into_bytes());
+    CachedResponse {
+        status,
+        content_type: "application/json".to_string(),
+        body,
+    }
+}
+
+/// A 4xx error body (same shape the engine uses for 404s).
+pub fn error_response(status: u16, message: impl Into<String>) -> CachedResponse {
+    json_response(
+        status,
+        &ErrorBody {
+            error: message.into(),
+        },
+    )
+}
+
+/// Immutable evaluation over one index snapshot, plus the lookup maps the
+/// persisted form does not carry.
+pub struct Engine {
+    index: Arc<QueryIndex>,
+    attacker_rank: HashMap<Pubkey, usize>,
+    pool_rank: HashMap<Pubkey, usize>,
+}
+
+impl Engine {
+    /// Wrap `index`, building the runtime lookup maps.
+    pub fn new(index: Arc<QueryIndex>) -> Self {
+        let attacker_rank = index
+            .attackers
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (e.attacker, i))
+            .collect();
+        let pool_rank = index
+            .pools
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (e.mint, i))
+            .collect();
+        Engine {
+            index,
+            attacker_rank,
+            pool_rank,
+        }
+    }
+
+    /// The index this engine answers from.
+    pub fn index(&self) -> &QueryIndex {
+        &self.index
+    }
+
+    /// The manifest generation this engine answers for.
+    pub fn generation(&self) -> &str {
+        &self.index.generation
+    }
+
+    fn recent_refs(&self, refs: &[u32]) -> Vec<SandwichRef> {
+        refs.iter()
+            .rev()
+            .take(DETAIL_REF_CAP)
+            .filter_map(|&i| self.index.refs.get(i as usize).cloned())
+            .collect()
+    }
+
+    /// Evaluate a validated request. Pure: identical requests against the
+    /// same index yield byte-identical bodies.
+    pub fn evaluate(&self, request: &QueryRequest) -> CachedResponse {
+        let index = &*self.index;
+        match request {
+            QueryRequest::Summary => json_response(
+                200,
+                &SummaryResponse {
+                    generation: index.generation.clone(),
+                    totals: index.totals.clone(),
+                    days: index.days.len() as u64,
+                    attackers: index.attackers.len() as u64,
+                    pools: index.pools.len() as u64,
+                },
+            ),
+            QueryRequest::Days => json_response(
+                200,
+                &DaysResponse {
+                    generation: index.generation.clone(),
+                    days: index.days.clone(),
+                },
+            ),
+            QueryRequest::Attackers { limit, after } => {
+                let total = index.attackers.len();
+                let rows: Vec<AttackerRow> = index
+                    .attackers
+                    .iter()
+                    .enumerate()
+                    .skip(*after)
+                    .take(*limit)
+                    .map(|(rank, entry)| AttackerRow::of(rank, entry))
+                    .collect();
+                let end = after + rows.len();
+                json_response(
+                    200,
+                    &AttackersPage {
+                        generation: index.generation.clone(),
+                        total,
+                        limit: *limit,
+                        after: *after,
+                        next: (end < total).then_some(end),
+                        rows,
+                    },
+                )
+            }
+            QueryRequest::Attacker { pubkey } => match self.attacker_rank.get(pubkey) {
+                None => error_response(404, format!("unknown attacker {pubkey}")),
+                Some(&rank) => {
+                    let entry = &index.attackers[rank];
+                    json_response(
+                        200,
+                        &AttackerDetailResponse {
+                            generation: index.generation.clone(),
+                            row: AttackerRow::of(rank, entry),
+                            recent: self.recent_refs(&entry.refs),
+                        },
+                    )
+                }
+            },
+            QueryRequest::Pool { mint } => match self.pool_rank.get(mint) {
+                None => error_response(404, format!("unknown pool {mint}")),
+                Some(&rank) => {
+                    let entry = &index.pools[rank];
+                    json_response(
+                        200,
+                        &PoolDetailResponse {
+                            generation: index.generation.clone(),
+                            row: PoolRow::of(rank, entry),
+                            recent: self.recent_refs(&entry.refs),
+                        },
+                    )
+                }
+            },
+            QueryRequest::Sandwiches {
+                from_slot,
+                to_slot,
+                limit,
+                after,
+            } => {
+                let start = first_ref_at_or_after(&index.refs, *from_slot);
+                let end = match to_slot.checked_add(1) {
+                    Some(bound) => first_ref_at_or_after(&index.refs, bound),
+                    None => index.refs.len(),
+                };
+                let in_range = &index.refs[start..end];
+                let rows: Vec<SandwichRef> =
+                    in_range.iter().skip(*after).take(*limit).cloned().collect();
+                let next = after + rows.len();
+                json_response(
+                    200,
+                    &RangeResponse {
+                        generation: index.generation.clone(),
+                        from_slot: *from_slot,
+                        to_slot: *to_slot,
+                        total: in_range.len(),
+                        limit: *limit,
+                        after: *after,
+                        next: (next < in_range.len()).then_some(next),
+                        rows,
+                    },
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::{IndexTotals, QueryIndex, SandwichRef};
+    use sandwich_types::Hash;
+
+    fn key(n: u8) -> Pubkey {
+        Pubkey([n; 32])
+    }
+
+    /// The deterministic JSON body as text (shim output has no whitespace).
+    fn body_text(response: &CachedResponse) -> String {
+        String::from_utf8(response.body.clone()).unwrap()
+    }
+
+    fn sandwich(slot: u64, attacker: u8, mint: u8, gain: i128) -> SandwichRef {
+        SandwichRef {
+            day: slot / 216_000,
+            slot,
+            bundle_id: Hash::digest(&slot.to_le_bytes()),
+            attacker: key(attacker),
+            victim: key(200),
+            mints: vec![key(mint)],
+            sol_legged: true,
+            victim_loss_lamports: Some(1_000),
+            attacker_gain_lamports: Some(gain),
+            tip_lamports: 50_000,
+        }
+    }
+
+    fn toy_index() -> QueryIndex {
+        let refs = vec![
+            sandwich(10, 1, 30, 500),
+            sandwich(20, 1, 30, 700),
+            sandwich(30, 2, 31, 300),
+            sandwich(40, 1, 31, 900),
+        ];
+        let mut attackers = vec![
+            AttackerEntry {
+                attacker: key(1),
+                sandwiches: 3,
+                attacker_gain_lamports: 2_100,
+                victim_loss_lamports: 3_000,
+                tips_lamports: 150_000,
+                refs: vec![0, 1, 3],
+            },
+            AttackerEntry {
+                attacker: key(2),
+                sandwiches: 1,
+                attacker_gain_lamports: 300,
+                victim_loss_lamports: 1_000,
+                tips_lamports: 50_000,
+                refs: vec![2],
+            },
+        ];
+        attackers.sort_by_key(|a| std::cmp::Reverse(a.attacker_gain_lamports));
+        let pools = vec![
+            PoolEntry {
+                mint: key(30),
+                sandwiches: 2,
+                victim_loss_lamports: 2_000,
+                attackers: 1,
+                refs: vec![0, 1],
+            },
+            PoolEntry {
+                mint: key(31),
+                sandwiches: 2,
+                victim_loss_lamports: 2_000,
+                attackers: 2,
+                refs: vec![2, 3],
+            },
+        ];
+        QueryIndex {
+            generation: "cafebabecafebabe".to_string(),
+            totals: IndexTotals {
+                segments: 1,
+                bundles: 4,
+                sandwiches: 4,
+                ..IndexTotals::default()
+            },
+            days: vec![],
+            refs,
+            attackers,
+            pools,
+        }
+    }
+
+    fn http(query: &[(&str, &str)], params: &[(&str, &str)]) -> Request {
+        Request {
+            method: sandwich_net::Method::Get,
+            path: "/api/test".to_string(),
+            query: query
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            params: params
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            headers: HashMap::new(),
+            body: bytes::Bytes::new(),
+        }
+    }
+
+    #[test]
+    fn parse_validates_parameters() {
+        assert!(QueryRequest::parse("summary", &http(&[], &[])).is_ok());
+        assert!(QueryRequest::parse("attackers", &http(&[("limit", "5")], &[])).is_ok());
+        assert!(QueryRequest::parse("attackers", &http(&[("limit", "nope")], &[])).is_err());
+        assert!(QueryRequest::parse("attackers", &http(&[("after", "-3")], &[])).is_err());
+        assert!(QueryRequest::parse(
+            "sandwiches",
+            &http(&[("from_slot", "9"), ("to_slot", "3")], &[])
+        )
+        .is_err());
+        assert!(QueryRequest::parse("attacker", &http(&[], &[("pubkey", "!!!")],)).is_err());
+        let ok = QueryRequest::parse("attacker", &http(&[], &[("pubkey", &key(9).to_string())]));
+        assert_eq!(ok.unwrap(), QueryRequest::Attacker { pubkey: key(9) });
+        assert!(QueryRequest::parse("nope", &http(&[], &[])).is_err());
+    }
+
+    #[test]
+    fn limits_are_clamped_not_rejected() {
+        let parsed = QueryRequest::parse("attackers", &http(&[("limit", "100000")], &[])).unwrap();
+        assert_eq!(
+            parsed,
+            QueryRequest::Attackers {
+                limit: MAX_LIMIT,
+                after: 0
+            }
+        );
+        let parsed = QueryRequest::parse("attackers", &http(&[("limit", "0")], &[])).unwrap();
+        assert_eq!(parsed, QueryRequest::Attackers { limit: 1, after: 0 });
+    }
+
+    #[test]
+    fn pagination_walks_the_leaderboard() {
+        let engine = Engine::new(Arc::new(toy_index()));
+        let page1 = engine.evaluate(&QueryRequest::Attackers { limit: 1, after: 0 });
+        assert_eq!(page1.status, 200);
+        let text = body_text(&page1);
+        assert!(text.contains("\"total\":2"), "{text}");
+        assert!(text.contains("\"next\":1"), "{text}");
+        let page2 = engine.evaluate(&QueryRequest::Attackers { limit: 1, after: 1 });
+        let text = body_text(&page2);
+        assert!(text.contains("\"next\":null"), "{text}");
+        assert_ne!(page1.body, page2.body);
+    }
+
+    #[test]
+    fn slot_ranges_use_binary_search_bounds() {
+        let engine = Engine::new(Arc::new(toy_index()));
+        let response = engine.evaluate(&QueryRequest::Sandwiches {
+            from_slot: 15,
+            to_slot: 30,
+            limit: 10,
+            after: 0,
+        });
+        let text = body_text(&response);
+        assert!(text.contains("\"total\":2"), "slots 20 and 30: {text}");
+        // An unbounded range covers everything without overflow.
+        let all = engine.evaluate(&QueryRequest::Sandwiches {
+            from_slot: 0,
+            to_slot: u64::MAX,
+            limit: 500,
+            after: 0,
+        });
+        let text = body_text(&all);
+        assert!(text.contains("\"total\":4"), "{text}");
+    }
+
+    #[test]
+    fn unknown_entities_get_404_json() {
+        let engine = Engine::new(Arc::new(toy_index()));
+        let response = engine.evaluate(&QueryRequest::Attacker { pubkey: key(99) });
+        assert_eq!(response.status, 404);
+        assert!(body_text(&response).contains("unknown attacker"));
+        let response = engine.evaluate(&QueryRequest::Pool { mint: key(99) });
+        assert_eq!(response.status, 404);
+    }
+
+    #[test]
+    fn evaluation_is_deterministic() {
+        let engine = Engine::new(Arc::new(toy_index()));
+        for request in [
+            QueryRequest::Summary,
+            QueryRequest::Days,
+            QueryRequest::Attackers {
+                limit: 20,
+                after: 0,
+            },
+            QueryRequest::Attacker { pubkey: key(1) },
+            QueryRequest::Pool { mint: key(30) },
+            QueryRequest::Sandwiches {
+                from_slot: 0,
+                to_slot: u64::MAX,
+                limit: 20,
+                after: 0,
+            },
+        ] {
+            let a = engine.evaluate(&request);
+            let b = engine.evaluate(&request);
+            assert_eq!(a.body, b.body, "{request:?}");
+            assert_eq!(a.status, b.status);
+        }
+    }
+}

@@ -1,0 +1,615 @@
+//! Secondary indexes over a sealed bundle store: one parallel pass over
+//! the segments produces everything the query API answers from, so no
+//! endpoint ever decodes a whole segment at request time.
+//!
+//! The index is keyed to the store's **manifest generation** — an FNV-1a 64
+//! fingerprint of the manifest JSON. It persists next to the manifest as
+//! `query-index.bin` in the store's checksummed framing (magic · JSON body ·
+//! FNV footer), and is only trusted when the magic, checksum, *and*
+//! generation all agree; anything else is rejected and rebuilt from the
+//! segments.
+
+use std::collections::HashMap;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use sandwich_core::{detect, is_defensive_at, Currency, DetectorConfig};
+use sandwich_jito::BundleId;
+use sandwich_ledger::{TransactionId, TransactionMeta};
+use sandwich_store::{fnv1a64, parallel_map, BundleStore, Manifest};
+use sandwich_types::{Lamports, Pubkey, SlotClock, DEFENSIVE_TIP_THRESHOLD};
+
+/// Index file name inside a store directory (next to `manifest.json`).
+pub const INDEX_FILE: &str = "query-index.bin";
+
+/// Leading magic of a persisted index file (includes the format version).
+pub const INDEX_MAGIC: &[u8; 8] = b"SWQIX01\n";
+
+/// Trailing magic of a persisted index file.
+const INDEX_FOOTER_MAGIC: &[u8; 8] = b"SWQEND1\n";
+
+/// What the index build needs to know about the analysis semantics.
+#[derive(Clone, Debug)]
+pub struct QueryConfig {
+    /// Detection criteria (paper defaults).
+    pub detector: DetectorConfig,
+    /// Defensive-tip threshold (paper: 100,000 lamports).
+    pub defensive_threshold: Lamports,
+    /// Slot → wall-time mapping shared with the writer of the store.
+    pub clock: SlotClock,
+    /// Worker threads for the segment pass.
+    pub threads: usize,
+}
+
+impl Default for QueryConfig {
+    fn default() -> Self {
+        QueryConfig {
+            detector: DetectorConfig::default(),
+            defensive_threshold: DEFENSIVE_TIP_THRESHOLD,
+            clock: SlotClock::default(),
+            threads: 4,
+        }
+    }
+}
+
+/// The manifest generation: a 16-hex FNV-1a 64 fingerprint of the manifest
+/// JSON. Sealing a segment changes the manifest, hence the generation.
+pub fn generation_of(manifest: &Manifest) -> String {
+    let json = serde_json::to_string(manifest).unwrap_or_default();
+    format!("{:016x}", fnv1a64(json.as_bytes()))
+}
+
+/// Per-day rollup: Figure 1/2 numbers pre-aggregated for `/api/days`.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DayRollup {
+    /// Zero-based measurement day.
+    pub day: u64,
+    /// Calendar-ish label ("Feb 09").
+    pub label: String,
+    /// All bundles landed this day.
+    pub bundles: u64,
+    /// Bundles by length; index 0 = length 1, clamped at 5.
+    pub bundles_by_len: Vec<u64>,
+    /// Detected sandwiches.
+    pub sandwiches: u64,
+    /// Defensive length-1 bundles.
+    pub defensive: u64,
+    /// Victim losses, lamports.
+    pub victim_loss_lamports: u128,
+    /// Attacker gains, lamports.
+    pub attacker_gain_lamports: i128,
+    /// Total tips paid, lamports.
+    pub tips_lamports: u128,
+}
+
+impl DayRollup {
+    fn new(day: u64) -> Self {
+        DayRollup {
+            day,
+            bundles_by_len: vec![0; 5],
+            ..DayRollup::default()
+        }
+    }
+}
+
+/// One detected sandwich, as the API serves it: enough to render a row on
+/// a tracker site without re-reading the segment it came from.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SandwichRef {
+    /// Measurement day.
+    pub day: u64,
+    /// Landing slot.
+    pub slot: u64,
+    /// The bundle.
+    pub bundle_id: BundleId,
+    /// Attacker (signer of transactions 1 and 3).
+    pub attacker: Pubkey,
+    /// Victim (signer of transaction 2).
+    pub victim: Pubkey,
+    /// Token mints traded (the non-SOL legs).
+    pub mints: Vec<Pubkey>,
+    /// Whether one traded leg is SOL (only these carry loss/gain figures).
+    pub sol_legged: bool,
+    /// Victim loss in lamports, when priced.
+    pub victim_loss_lamports: Option<u64>,
+    /// Attacker gross gain in lamports, when priced.
+    pub attacker_gain_lamports: Option<i128>,
+    /// Total Jito tip paid inside the bundle.
+    pub tip_lamports: u64,
+}
+
+/// Aggregates for one attacker, plus the refs behind them.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttackerEntry {
+    /// The attacker's address.
+    pub attacker: Pubkey,
+    /// Sandwiches attributed to this attacker.
+    pub sandwiches: u64,
+    /// Summed priced gains, lamports.
+    pub attacker_gain_lamports: i128,
+    /// Summed priced victim losses inflicted, lamports.
+    pub victim_loss_lamports: u128,
+    /// Summed bundle tips paid, lamports.
+    pub tips_lamports: u128,
+    /// Indices into [`QueryIndex::refs`], slot-ordered.
+    pub refs: Vec<u32>,
+}
+
+/// Aggregates for one pool (token mint), plus the refs behind them.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PoolEntry {
+    /// The traded token mint identifying the pool.
+    pub mint: Pubkey,
+    /// Sandwiches that traded this mint.
+    pub sandwiches: u64,
+    /// Summed priced victim losses in this pool, lamports.
+    pub victim_loss_lamports: u128,
+    /// Distinct attackers seen in this pool.
+    pub attackers: u64,
+    /// Indices into [`QueryIndex::refs`], slot-ordered.
+    pub refs: Vec<u32>,
+}
+
+/// Store-wide totals for `/api/summary`.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IndexTotals {
+    /// Segments indexed.
+    pub segments: u64,
+    /// All bundles.
+    pub bundles: u64,
+    /// Detected sandwiches.
+    pub sandwiches: u64,
+    /// Sandwiches without a SOL leg (unpriced).
+    pub non_sol_sandwiches: u64,
+    /// Defensive length-1 bundles.
+    pub defensive: u64,
+    /// Summed victim losses, lamports.
+    pub victim_loss_lamports: u128,
+    /// Summed attacker gains, lamports.
+    pub attacker_gain_lamports: i128,
+    /// Summed tips across all bundles, lamports.
+    pub tips_lamports: u128,
+    /// Highest bundle slot indexed.
+    pub max_slot: u64,
+}
+
+/// The complete secondary index for one manifest generation.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueryIndex {
+    /// The manifest generation this index describes.
+    pub generation: String,
+    /// Store-wide totals.
+    pub totals: IndexTotals,
+    /// Per-day rollups, dense from day 0.
+    pub days: Vec<DayRollup>,
+    /// Every detected sandwich, sorted by `(slot, bundle_id)`.
+    pub refs: Vec<SandwichRef>,
+    /// Attacker leaderboard: gain desc, then count desc, then address asc.
+    pub attackers: Vec<AttackerEntry>,
+    /// Pool leaderboard: loss desc, then count desc, then mint asc.
+    pub pools: Vec<PoolEntry>,
+}
+
+/// Per-segment partial of the index build (merged in segment order).
+#[derive(Default)]
+struct IndexPartial {
+    days: Vec<DayRollup>,
+    refs: Vec<SandwichRef>,
+    non_sol: u64,
+    max_slot: u64,
+}
+
+impl IndexPartial {
+    fn day_mut(&mut self, day: u64) -> &mut DayRollup {
+        let needed = day as usize + 1;
+        while self.days.len() < needed {
+            self.days.push(DayRollup::new(self.days.len() as u64));
+        }
+        &mut self.days[day as usize]
+    }
+
+    fn merge(&mut self, other: IndexPartial) {
+        for rollup in other.days {
+            let into = self.day_mut(rollup.day);
+            into.bundles += rollup.bundles;
+            for (a, b) in into.bundles_by_len.iter_mut().zip(&rollup.bundles_by_len) {
+                *a += b;
+            }
+            into.sandwiches += rollup.sandwiches;
+            into.defensive += rollup.defensive;
+            into.victim_loss_lamports += rollup.victim_loss_lamports;
+            into.attacker_gain_lamports += rollup.attacker_gain_lamports;
+            into.tips_lamports += rollup.tips_lamports;
+        }
+        self.refs.extend(other.refs);
+        self.non_sol += other.non_sol;
+        self.max_slot = self.max_slot.max(other.max_slot);
+    }
+}
+
+fn partial_of_segment(data: sandwich_store::SegmentData, config: &QueryConfig) -> IndexPartial {
+    let mut partial = IndexPartial::default();
+    let lookup: HashMap<TransactionId, TransactionMeta> = data
+        .details
+        .into_iter()
+        .map(|d| (d.meta.tx_id, d.meta))
+        .collect();
+    for bundle in &data.bundles {
+        let day = config.clock.day_index(bundle.slot);
+        partial.max_slot = partial.max_slot.max(bundle.slot.0);
+        let rollup = partial.day_mut(day);
+        rollup.bundles += 1;
+        let len = bundle.len().clamp(1, 5);
+        rollup.bundles_by_len[len - 1] += 1;
+        rollup.tips_lamports += u128::from(bundle.tip.0);
+        if is_defensive_at(bundle, config.defensive_threshold) {
+            rollup.defensive += 1;
+        }
+        if len != 3 {
+            continue;
+        }
+        let Some(metas) = bundle
+            .tx_ids
+            .iter()
+            .map(|id| lookup.get(id))
+            .collect::<Option<Vec<_>>>()
+        else {
+            continue;
+        };
+        let Some(finding) = detect(&config.detector, [metas[0], metas[1], metas[2]]) else {
+            continue;
+        };
+        let rollup = partial.day_mut(day);
+        rollup.sandwiches += 1;
+        if let Some(loss) = finding.victim_loss_lamports {
+            rollup.victim_loss_lamports += u128::from(loss);
+        }
+        if let Some(gain) = finding.attacker_gain_lamports {
+            rollup.attacker_gain_lamports += gain;
+        }
+        if !finding.sol_legged {
+            partial.non_sol += 1;
+        }
+        let mints = finding
+            .currencies
+            .iter()
+            .filter_map(|c| match c {
+                Currency::Sol => None,
+                Currency::Token(mint) => Some(*mint),
+            })
+            .collect();
+        partial.refs.push(SandwichRef {
+            day,
+            slot: bundle.slot.0,
+            bundle_id: bundle.bundle_id,
+            attacker: finding.attacker,
+            victim: finding.victim,
+            mints,
+            sol_legged: finding.sol_legged,
+            victim_loss_lamports: finding.victim_loss_lamports,
+            attacker_gain_lamports: finding.attacker_gain_lamports,
+            tip_lamports: bundle.tip.0,
+        });
+    }
+    partial
+}
+
+/// Build the index from every sealed segment of `store` on
+/// `config.threads` workers. Deterministic: the result depends only on the
+/// store contents, never on the worker count or interleaving.
+pub fn build_index(store: &BundleStore, config: &QueryConfig) -> std::io::Result<QueryIndex> {
+    let units: Vec<usize> = (0..store.segments().len()).collect();
+    let (partials, _workers) = parallel_map(&units, config.threads, |_, &i| {
+        store
+            .read_segment(i)
+            .map(|data| partial_of_segment(data, config))
+    });
+    let mut acc = IndexPartial::default();
+    for partial in partials {
+        acc.merge(partial?);
+    }
+    Ok(finalize(acc, store, config))
+}
+
+fn finalize(mut acc: IndexPartial, store: &BundleStore, config: &QueryConfig) -> QueryIndex {
+    acc.refs.sort_by_key(|r| (r.slot, r.bundle_id.0));
+    for (day, rollup) in acc.days.iter_mut().enumerate() {
+        rollup.label = config.clock.day_label(day as u64);
+    }
+
+    let mut attackers: HashMap<Pubkey, AttackerEntry> = HashMap::new();
+    let mut pools: HashMap<Pubkey, PoolEntry> = HashMap::new();
+    let mut pool_attackers: HashMap<Pubkey, std::collections::BTreeSet<Pubkey>> = HashMap::new();
+    for (i, r) in acc.refs.iter().enumerate() {
+        let entry = attackers
+            .entry(r.attacker)
+            .or_insert_with(|| AttackerEntry {
+                attacker: r.attacker,
+                sandwiches: 0,
+                attacker_gain_lamports: 0,
+                victim_loss_lamports: 0,
+                tips_lamports: 0,
+                refs: Vec::new(),
+            });
+        entry.sandwiches += 1;
+        entry.attacker_gain_lamports += r.attacker_gain_lamports.unwrap_or(0);
+        entry.victim_loss_lamports += u128::from(r.victim_loss_lamports.unwrap_or(0));
+        entry.tips_lamports += u128::from(r.tip_lamports);
+        entry.refs.push(i as u32);
+        for mint in &r.mints {
+            let pool = pools.entry(*mint).or_insert_with(|| PoolEntry {
+                mint: *mint,
+                sandwiches: 0,
+                victim_loss_lamports: 0,
+                attackers: 0,
+                refs: Vec::new(),
+            });
+            pool.sandwiches += 1;
+            pool.victim_loss_lamports += u128::from(r.victim_loss_lamports.unwrap_or(0));
+            pool.refs.push(i as u32);
+            pool_attackers.entry(*mint).or_default().insert(r.attacker);
+        }
+    }
+    for (mint, set) in pool_attackers {
+        if let Some(pool) = pools.get_mut(&mint) {
+            pool.attackers = set.len() as u64;
+        }
+    }
+
+    let mut attackers: Vec<AttackerEntry> = attackers.into_values().collect();
+    attackers.sort_by(|a, b| {
+        b.attacker_gain_lamports
+            .cmp(&a.attacker_gain_lamports)
+            .then(b.sandwiches.cmp(&a.sandwiches))
+            .then(a.attacker.cmp(&b.attacker))
+    });
+    let mut pools: Vec<PoolEntry> = pools.into_values().collect();
+    pools.sort_by(|a, b| {
+        b.victim_loss_lamports
+            .cmp(&a.victim_loss_lamports)
+            .then(b.sandwiches.cmp(&a.sandwiches))
+            .then(a.mint.cmp(&b.mint))
+    });
+
+    let totals = IndexTotals {
+        segments: store.segments().len() as u64,
+        bundles: acc.days.iter().map(|d| d.bundles).sum(),
+        sandwiches: acc.refs.len() as u64,
+        non_sol_sandwiches: acc.non_sol,
+        defensive: acc.days.iter().map(|d| d.defensive).sum(),
+        victim_loss_lamports: acc.days.iter().map(|d| d.victim_loss_lamports).sum(),
+        attacker_gain_lamports: acc.days.iter().map(|d| d.attacker_gain_lamports).sum(),
+        tips_lamports: acc.days.iter().map(|d| d.tips_lamports).sum(),
+        max_slot: acc.max_slot,
+    };
+    QueryIndex {
+        generation: generation_of(store.manifest()),
+        totals,
+        days: acc.days,
+        refs: acc.refs,
+        attackers,
+        pools,
+    }
+}
+
+/// Why a persisted index file was not trusted.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IndexReject {
+    /// No persisted index exists yet.
+    Missing,
+    /// Bad leading or trailing magic, or too short to frame.
+    BadFrame,
+    /// Body checksum disagrees with the footer (corruption).
+    BadChecksum,
+    /// The body does not parse as an index.
+    BadBody,
+    /// The index describes a different manifest generation.
+    StaleGeneration {
+        /// Generation recorded in the file.
+        found: String,
+        /// Generation of the live manifest.
+        expected: String,
+    },
+}
+
+impl std::fmt::Display for IndexReject {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IndexReject::Missing => write!(f, "no persisted index"),
+            IndexReject::BadFrame => write!(f, "bad index framing"),
+            IndexReject::BadChecksum => write!(f, "index checksum mismatch"),
+            IndexReject::BadBody => write!(f, "index body does not parse"),
+            IndexReject::StaleGeneration { found, expected } => {
+                write!(f, "index generation {found} != manifest {expected}")
+            }
+        }
+    }
+}
+
+/// Persist `index` next to the manifest (atomic temp + rename), framed as
+/// `magic · JSON body · FNV-1a 64 checksum (LE) · footer magic`.
+pub fn save_index(dir: &Path, index: &QueryIndex) -> std::io::Result<()> {
+    let body = serde_json::to_vec(index)?;
+    let mut image = Vec::with_capacity(body.len() + 24);
+    image.extend_from_slice(INDEX_MAGIC);
+    image.extend_from_slice(&body);
+    image.extend_from_slice(&fnv1a64(&body).to_le_bytes());
+    image.extend_from_slice(INDEX_FOOTER_MAGIC);
+    let path = dir.join(INDEX_FILE);
+    let tmp = dir.join(format!("{INDEX_FILE}.tmp"));
+    std::fs::write(&tmp, &image)?;
+    std::fs::rename(&tmp, &path)
+}
+
+/// Load a persisted index, trusting it only when the framing, the
+/// checksum, and the manifest generation all verify.
+pub fn load_index(dir: &Path, expected_generation: &str) -> Result<QueryIndex, IndexReject> {
+    let image = match std::fs::read(dir.join(INDEX_FILE)) {
+        Ok(image) => image,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Err(IndexReject::Missing),
+        Err(_) => return Err(IndexReject::BadFrame),
+    };
+    let frame = INDEX_MAGIC.len() + 8 + INDEX_FOOTER_MAGIC.len();
+    if image.len() < frame
+        || &image[..INDEX_MAGIC.len()] != INDEX_MAGIC
+        || &image[image.len() - INDEX_FOOTER_MAGIC.len()..] != INDEX_FOOTER_MAGIC
+    {
+        return Err(IndexReject::BadFrame);
+    }
+    let body = &image[INDEX_MAGIC.len()..image.len() - 8 - INDEX_FOOTER_MAGIC.len()];
+    let checksum = u64::from_le_bytes(
+        image[image.len() - 8 - INDEX_FOOTER_MAGIC.len()..image.len() - INDEX_FOOTER_MAGIC.len()]
+            .try_into()
+            .expect("8-byte checksum slice"),
+    );
+    if fnv1a64(body) != checksum {
+        return Err(IndexReject::BadChecksum);
+    }
+    let index: QueryIndex = serde_json::from_slice(body).map_err(|_| IndexReject::BadBody)?;
+    if index.generation != expected_generation {
+        return Err(IndexReject::StaleGeneration {
+            found: index.generation,
+            expected: expected_generation.to_string(),
+        });
+    }
+    Ok(index)
+}
+
+/// Convenience: slot range owned by day `day` (for cold range scans).
+pub fn day_slot_range(clock: &SlotClock, day: u64) -> (u64, u64) {
+    let (start, end) = clock.day_range(day);
+    (start.0, end.0)
+}
+
+/// Find the index of the first ref at or after `slot` (refs are
+/// slot-sorted).
+pub fn first_ref_at_or_after(refs: &[SandwichRef], slot: u64) -> usize {
+    refs.partition_point(|r| r.slot < slot)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sandwich_store::StoreWriter;
+    use sandwich_types::{Hash, Keypair, Slot};
+
+    fn bundle(seed: u64, slot: u64, len: usize, tip: u64) -> sandwich_store::CollectedBundle {
+        let kp = Keypair::from_label("qidx");
+        sandwich_store::CollectedBundle {
+            bundle_id: Hash::digest(&seed.to_le_bytes()),
+            slot: Slot(slot),
+            timestamp_ms: slot * 400,
+            tip: Lamports(tip),
+            tx_ids: (0..len)
+                .map(|i| kp.sign(&(seed * 16 + i as u64).to_le_bytes()))
+                .collect(),
+        }
+    }
+
+    fn tmp_store(tag: &str, segments: usize) -> BundleStore {
+        let dir = std::env::temp_dir().join(format!("swquery-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut w = StoreWriter::create(&dir).unwrap();
+        for seg in 0..segments as u64 {
+            let bundles: Vec<_> = (0..20)
+                .map(|i| bundle(seg * 100 + i, seg * 300 + i * 3, 1, 40_000 + i))
+                .collect();
+            w.seal_segment(bundles, Vec::new(), Vec::new()).unwrap();
+        }
+        w.into_reader()
+    }
+
+    #[test]
+    fn build_is_thread_count_invariant() {
+        let store = tmp_store("threads", 5);
+        let mut config = QueryConfig {
+            threads: 1,
+            ..QueryConfig::default()
+        };
+        let base = serde_json::to_string(&build_index(&store, &config).unwrap()).unwrap();
+        for threads in [2, 8] {
+            config.threads = threads;
+            let other = serde_json::to_string(&build_index(&store, &config).unwrap()).unwrap();
+            assert_eq!(base, other, "threads={threads}");
+        }
+        std::fs::remove_dir_all(store.dir()).unwrap();
+    }
+
+    #[test]
+    fn rollups_count_bundles_and_defensive() {
+        let store = tmp_store("rollup", 2);
+        let index = build_index(&store, &QueryConfig::default()).unwrap();
+        assert_eq!(index.totals.segments, 2);
+        assert_eq!(index.totals.bundles, 40);
+        // Tips of 40,000..40,020 lamports are all under the 100k threshold.
+        assert_eq!(index.totals.defensive, 40);
+        assert_eq!(index.days.len(), 1, "all slots land on day 0");
+        assert_eq!(index.days[0].bundles, 40);
+        assert_eq!(index.days[0].bundles_by_len[0], 40);
+        assert!(!index.days[0].label.is_empty());
+        std::fs::remove_dir_all(store.dir()).unwrap();
+    }
+
+    #[test]
+    fn persisted_index_roundtrips_and_rejects_corruption() {
+        let store = tmp_store("persist", 3);
+        let dir = store.dir().to_path_buf();
+        let index = build_index(&store, &QueryConfig::default()).unwrap();
+        save_index(&dir, &index).unwrap();
+
+        let back = load_index(&dir, &index.generation).unwrap();
+        assert_eq!(back, index);
+
+        // A stale generation is rejected even when the bytes verify.
+        match load_index(&dir, "0000000000000000") {
+            Err(IndexReject::StaleGeneration { .. }) => {}
+            other => panic!("expected stale-generation reject, got {other:?}"),
+        }
+
+        // Flip one body byte: the checksum catches it.
+        let path = dir.join(INDEX_FILE);
+        let mut image = std::fs::read(&path).unwrap();
+        let mid = image.len() / 2;
+        image[mid] ^= 0x20;
+        std::fs::write(&path, &image).unwrap();
+        assert_eq!(
+            load_index(&dir, &index.generation).unwrap_err(),
+            IndexReject::BadChecksum
+        );
+
+        // Truncation breaks the framing.
+        std::fs::write(&path, &image[..10]).unwrap();
+        assert_eq!(
+            load_index(&dir, &index.generation).unwrap_err(),
+            IndexReject::BadFrame
+        );
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_index_is_reported_as_missing() {
+        let store = tmp_store("missing", 1);
+        assert_eq!(
+            load_index(store.dir(), "whatever").unwrap_err(),
+            IndexReject::Missing
+        );
+        std::fs::remove_dir_all(store.dir()).unwrap();
+    }
+
+    #[test]
+    fn generation_tracks_manifest_changes() {
+        let dir = std::env::temp_dir().join(format!("swquery-gen-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut w = StoreWriter::create(&dir).unwrap();
+        w.seal_segment(vec![bundle(1, 10, 1, 1_000)], vec![], vec![])
+            .unwrap();
+        let g1 = generation_of(&Manifest::load(&dir).unwrap());
+        w.seal_segment(vec![bundle(2, 20, 1, 1_000)], vec![], vec![])
+            .unwrap();
+        let g2 = generation_of(&Manifest::load(&dir).unwrap());
+        assert_ne!(g1, g2, "sealing a segment must change the generation");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

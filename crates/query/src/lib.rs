@@ -1,0 +1,27 @@
+//! Read-side analytics over a sealed bundle store.
+//!
+//! The measurement pipeline writes segments; this crate serves them. Three
+//! layers, one per module:
+//!
+//! - [`index`] — one parallel pass over the segments builds secondary
+//!   indexes (per-day rollups, attacker and pool leaderboards, a
+//!   slot-sorted sandwich list), persisted next to the manifest in the
+//!   store's checksummed framing and keyed to the manifest generation.
+//! - [`engine`] + [`cache`] — typed requests evaluate against one
+//!   immutable index snapshot; a sharded LRU with single-flight
+//!   deduplication makes the hot path allocation-free after first touch.
+//! - [`service`] — the `queryd` HTTP API over `sandwich-net`, exporting
+//!   `query.*` metrics through `sandwich-obs`.
+
+pub mod cache;
+pub mod engine;
+pub mod index;
+pub mod service;
+
+pub use cache::{CacheOutcome, CachedResponse, ResponseCache};
+pub use engine::{Engine, QueryRequest, DEFAULT_LIMIT, MAX_LIMIT};
+pub use index::{
+    build_index, generation_of, load_index, save_index, AttackerEntry, DayRollup, IndexReject,
+    IndexTotals, PoolEntry, QueryConfig, QueryIndex, SandwichRef, INDEX_FILE, INDEX_MAGIC,
+};
+pub use service::{QueryService, QueryServiceConfig};

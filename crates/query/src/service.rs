@@ -1,0 +1,357 @@
+//! The `queryd` HTTP service: routes, caching, metrics, and engine
+//! lifecycle (load-or-build on open, atomic swap on reload).
+//!
+//! Consistency model: a handler snapshots the engine `Arc` exactly once
+//! per request, so every response is computed against a single manifest
+//! generation even while a reload swaps the engine mid-flight — there are
+//! no torn reads by construction. The generation that answered is echoed
+//! in the `x-query-generation` response header.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::RwLock;
+
+use sandwich_net::{Method, Request, Response, Router};
+use sandwich_obs::{names, Registry};
+use sandwich_store::{BundleStore, Manifest};
+
+use crate::cache::{CacheOutcome, ResponseCache};
+use crate::engine::{error_response, Engine, QueryRequest};
+use crate::index::{build_index, generation_of, load_index, save_index, IndexReject, QueryConfig};
+
+/// Tunables for one service instance.
+#[derive(Clone, Debug)]
+pub struct QueryServiceConfig {
+    /// Directory of the sealed bundle store (and the persisted index).
+    pub store_dir: PathBuf,
+    /// Index-build semantics (detector, threshold, clock, threads).
+    pub query: QueryConfig,
+    /// Response-cache shards.
+    pub cache_shards: usize,
+    /// Entries per cache shard.
+    pub cache_per_shard: usize,
+}
+
+impl QueryServiceConfig {
+    /// Paper-default semantics over `store_dir` with a small cache.
+    pub fn new(store_dir: impl Into<PathBuf>) -> Self {
+        QueryServiceConfig {
+            store_dir: store_dir.into(),
+            query: QueryConfig::default(),
+            cache_shards: 8,
+            cache_per_shard: 128,
+        }
+    }
+}
+
+struct ServiceInner {
+    config: QueryServiceConfig,
+    engine: RwLock<Arc<Engine>>,
+    cache: ResponseCache,
+    registry: Registry,
+}
+
+/// The query service: open once, serve many, reload on demand.
+#[derive(Clone)]
+pub struct QueryService {
+    inner: Arc<ServiceInner>,
+}
+
+/// Load the persisted index when it verifies, rebuild from segments when
+/// it does not, and record which happened.
+fn load_or_build(
+    store: &BundleStore,
+    config: &QueryConfig,
+    registry: &Registry,
+) -> std::io::Result<Engine> {
+    let generation = generation_of(store.manifest());
+    let index = match load_index(store.dir(), &generation) {
+        Ok(index) => {
+            registry.counter(names::QUERY_INDEX_LOADS).inc();
+            index
+        }
+        Err(reject) => {
+            if reject != IndexReject::Missing {
+                registry.counter(names::QUERY_INDEX_REJECTED).inc();
+            }
+            let started = Instant::now();
+            let index = build_index(store, config)?;
+            registry
+                .histogram(names::QUERY_INDEX_BUILD_SECONDS)
+                .observe(started.elapsed().as_secs_f64());
+            registry.counter(names::QUERY_INDEX_REBUILDS).inc();
+            save_index(store.dir(), &index)?;
+            index
+        }
+    };
+    Ok(Engine::new(Arc::new(index)))
+}
+
+impl QueryService {
+    /// Open the store, load or build the index, and make the service
+    /// ready to serve. Metrics land in `registry`.
+    pub fn open(config: QueryServiceConfig, registry: Registry) -> std::io::Result<QueryService> {
+        let store = BundleStore::open(&config.store_dir)?;
+        let engine = load_or_build(&store, &config.query, &registry)?;
+        let cache = ResponseCache::new(config.cache_shards, config.cache_per_shard);
+        Ok(QueryService {
+            inner: Arc::new(ServiceInner {
+                config,
+                engine: RwLock::new(Arc::new(engine)),
+                cache,
+                registry,
+            }),
+        })
+    }
+
+    /// The generation currently being served.
+    pub fn generation(&self) -> String {
+        self.inner.engine.read().generation().to_string()
+    }
+
+    /// The metrics registry this service records into.
+    pub fn registry(&self) -> &Registry {
+        &self.inner.registry
+    }
+
+    /// The engine snapshot currently serving (for harnesses that compare
+    /// live responses against uncached evaluation).
+    pub fn engine_snapshot(&self) -> Arc<Engine> {
+        self.inner.engine.read().clone()
+    }
+
+    /// Re-check the manifest; when its generation changed, load-or-build
+    /// the new index and swap it in atomically. Returns `true` when a new
+    /// generation went live. In-flight requests keep the engine snapshot
+    /// they already took.
+    pub fn reload(&self) -> std::io::Result<bool> {
+        let manifest = Manifest::load(&self.inner.config.store_dir)?;
+        let generation = generation_of(&manifest);
+        if *self.inner.engine.read().generation() == generation {
+            return Ok(false);
+        }
+        let store = BundleStore::open(&self.inner.config.store_dir)?;
+        let engine = load_or_build(&store, &self.inner.config.query, &self.inner.registry)?;
+        *self.inner.engine.write() = Arc::new(engine);
+        self.inner.registry.counter(names::QUERY_RELOADS).inc();
+        Ok(true)
+    }
+
+    async fn handle(&self, endpoint: &'static str, request: Request) -> Response {
+        let inner = &self.inner;
+        inner.registry.counter(names::QUERY_REQUESTS).inc();
+        let timer = Instant::now();
+
+        // One engine snapshot per request: everything below answers from
+        // this generation, reloads notwithstanding.
+        let engine: Arc<Engine> = inner.engine.read().clone();
+
+        let response = match QueryRequest::parse(endpoint, &request) {
+            Err(message) => {
+                // Invalid parameters never reach the cache.
+                let cached = error_response(400, message);
+                (Arc::new(cached), CacheOutcome::Miss, 0)
+            }
+            Ok(query) => {
+                let key = format!("{}|{}", engine.generation(), query.canonical_key());
+                let evaluate = {
+                    let engine = engine.clone();
+                    move || engine.evaluate(&query)
+                };
+                inner.cache.get_or_compute(&key, evaluate).await
+            }
+        };
+        let (cached, outcome, evicted) = response;
+        match outcome {
+            CacheOutcome::Hit => inner.registry.counter(names::QUERY_CACHE_HITS).inc(),
+            CacheOutcome::Miss => inner.registry.counter(names::QUERY_CACHE_MISSES).inc(),
+            CacheOutcome::Deduped => {
+                inner
+                    .registry
+                    .counter(names::QUERY_CACHE_SINGLE_FLIGHT_WAITS)
+                    .inc();
+                inner.registry.counter(names::QUERY_CACHE_HITS).inc();
+            }
+        }
+        if evicted > 0 {
+            inner
+                .registry
+                .counter(names::QUERY_CACHE_EVICTIONS)
+                .add(evicted);
+        }
+        inner
+            .registry
+            .histogram(&format!("{}{endpoint}", names::QUERY_SECONDS_PREFIX))
+            .observe(timer.elapsed().as_secs_f64());
+
+        Response::new(cached.status, cached.body.clone())
+            .header("content-type", &cached.content_type)
+            .header("x-query-generation", engine.generation())
+    }
+
+    /// The API router (plus `GET /metrics` from the shared registry).
+    pub fn router(&self) -> Router {
+        let endpoints: [(&'static str, &'static str); 6] = [
+            ("summary", "/api/summary"),
+            ("days", "/api/days"),
+            ("attackers", "/api/attackers"),
+            ("attacker", "/api/attacker/{pubkey}"),
+            ("pool", "/api/pool/{mint}"),
+            ("sandwiches", "/api/sandwiches"),
+        ];
+        let mut router = Router::new();
+        for (endpoint, path) in endpoints {
+            let service = self.clone();
+            router = router.route(Method::Get, path, move |request: Request| {
+                let service = service.clone();
+                async move { service.handle(endpoint, request).await }
+            });
+        }
+        router.with_metrics(self.inner.registry.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sandwich_net::{HttpClient, Server};
+    use sandwich_store::{CollectedBundle, StoreWriter};
+    use sandwich_types::{Hash, Keypair, Lamports, Slot};
+
+    fn bundle(seed: u64, slot: u64, tip: u64) -> CollectedBundle {
+        let kp = Keypair::from_label("qsvc");
+        CollectedBundle {
+            bundle_id: Hash::digest(&seed.to_le_bytes()),
+            slot: Slot(slot),
+            timestamp_ms: slot * 400,
+            tip: Lamports(tip),
+            tx_ids: vec![kp.sign(&seed.to_le_bytes())],
+        }
+    }
+
+    fn seed_store(tag: &str, segments: u64) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("swqsvc-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut w = StoreWriter::create(&dir).unwrap();
+        for seg in 0..segments {
+            let bundles: Vec<_> = (0..10)
+                .map(|i| bundle(seg * 100 + i, seg * 50 + i, 30_000))
+                .collect();
+            w.seal_segment(bundles, Vec::new(), Vec::new()).unwrap();
+        }
+        dir
+    }
+
+    fn block_on<F: std::future::Future>(fut: F) -> F::Output {
+        tokio::runtime::Builder::new_multi_thread()
+            .enable_all()
+            .build()
+            .unwrap()
+            .block_on(fut)
+    }
+
+    #[test]
+    fn open_builds_then_reopen_loads() {
+        let dir = seed_store("reopen", 2);
+
+        let r1 = Registry::new();
+        let service = QueryService::open(QueryServiceConfig::new(&dir), r1.clone()).unwrap();
+        let generation = service.generation();
+        let snap = r1.snapshot();
+        assert_eq!(snap.counter(names::QUERY_INDEX_REBUILDS), Some(1));
+        assert_eq!(snap.counter(names::QUERY_INDEX_LOADS), None);
+
+        // Second open against an unchanged manifest: pure load, no rebuild.
+        let r2 = Registry::new();
+        let service = QueryService::open(QueryServiceConfig::new(&dir), r2.clone()).unwrap();
+        assert_eq!(service.generation(), generation);
+        let snap = r2.snapshot();
+        assert_eq!(snap.counter(names::QUERY_INDEX_REBUILDS), None);
+        assert_eq!(snap.counter(names::QUERY_INDEX_LOADS), Some(1));
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupted_index_is_rejected_and_rebuilt() {
+        let dir = seed_store("corrupt", 1);
+        QueryService::open(QueryServiceConfig::new(&dir), Registry::new()).unwrap();
+
+        let path = dir.join(crate::index::INDEX_FILE);
+        let mut image = std::fs::read(&path).unwrap();
+        let mid = image.len() / 2;
+        image[mid] ^= 0x01;
+        std::fs::write(&path, &image).unwrap();
+
+        let registry = Registry::new();
+        QueryService::open(QueryServiceConfig::new(&dir), registry.clone()).unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter(names::QUERY_INDEX_REJECTED), Some(1));
+        assert_eq!(snap.counter(names::QUERY_INDEX_REBUILDS), Some(1));
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reload_is_noop_without_manifest_change() {
+        let dir = seed_store("noop", 1);
+        let registry = Registry::new();
+        let service = QueryService::open(QueryServiceConfig::new(&dir), registry.clone()).unwrap();
+        assert!(!service.reload().unwrap());
+        assert_eq!(registry.snapshot().counter(names::QUERY_RELOADS), None);
+
+        // Seal another segment: the reload goes live and says so.
+        let sealed = Manifest::load(&dir).unwrap().segments;
+        let mut w = StoreWriter::resume(&dir, &sealed).unwrap();
+        w.seal_segment(vec![bundle(999, 500, 30_000)], Vec::new(), Vec::new())
+            .unwrap();
+        assert!(service.reload().unwrap());
+        assert_eq!(registry.snapshot().counter(names::QUERY_RELOADS), Some(1));
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn endpoints_serve_over_a_socket_with_cache_and_generation_header() {
+        block_on(async {
+            let dir = seed_store("socket", 2);
+            let registry = Registry::new();
+            let service =
+                QueryService::open(QueryServiceConfig::new(&dir), registry.clone()).unwrap();
+            let generation = service.generation();
+            let server = Server::bind("127.0.0.1:0", service.router()).await.unwrap();
+            let client = HttpClient::new(server.local_addr());
+
+            let first = client.get("/api/summary").await.unwrap();
+            assert_eq!(first.status, 200);
+            assert_eq!(
+                first.header_value("x-query-generation"),
+                Some(generation.as_str()),
+                "generation header on every response"
+            );
+            let second = client.get("/api/summary").await.unwrap();
+            assert_eq!(first.body, second.body, "cache returns identical bytes");
+            let snap = registry.snapshot();
+            assert_eq!(snap.counter(names::QUERY_CACHE_MISSES), Some(1));
+            assert_eq!(snap.counter(names::QUERY_CACHE_HITS), Some(1));
+
+            // Malformed parameters: 400, never cached, never fatal.
+            let bad = client.get("/api/attackers?limit=banana").await.unwrap();
+            assert_eq!(bad.status, 400);
+            let still_up = client.get("/api/days").await.unwrap();
+            assert_eq!(still_up.status, 200);
+
+            // Unknown attacker via a path parameter: 404 JSON.
+            let missing = client
+                .get("/api/attacker/1111111111111111111111111111111111111111111")
+                .await
+                .unwrap();
+            assert!(missing.status == 404 || missing.status == 400);
+
+            server.shutdown().await;
+            std::fs::remove_dir_all(&dir).unwrap();
+        });
+    }
+}

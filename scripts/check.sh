@@ -50,4 +50,33 @@ SANDWICH_SCORE_REPS=2 \
 SANDWICH_BENCH_OUT=target/BENCH_conformance_smoke.json \
 timeout 420 cargo run --offline --release -p sandwich-bench --bin conformance_bench
 
+# The query subsystem: index build/persistence/corruption handling and the
+# no-torn-reads contract under concurrent clients and reloads.
+echo "==> query service tests (bounded)"
+timeout 420 cargo test --offline -p sandwich-query -q
+timeout 420 cargo test --offline -p sandwich-suite --test query_service -q
+
+# A short query_bench run drives the live service over real sockets: it
+# asserts the zipf cache-hit rate, byte-identical cached vs uncached
+# bodies, and persisted-index reuse on restart.
+echo "==> query_bench smoke (bounded)"
+SANDWICH_DAYS=2 \
+SANDWICH_QUERY_STORE_DIR=target/query_smoke.store \
+SANDWICH_BENCH_OUT=target/BENCH_query_smoke.json \
+timeout 420 cargo run --offline --release -p sandwich-bench --bin query_bench
+for field in p50_ms p95_ms p99_ms throughput_rps zipf_cache_hit_rate; do
+  grep -q "\"$field\"" target/BENCH_query_smoke.json || {
+    echo "BENCH_query_smoke.json is missing \"$field\"" >&2
+    exit 1
+  }
+done
+if [ -f results/BENCH_query.json ]; then
+  for field in p50_ms p95_ms p99_ms throughput_rps; do
+    grep -q "\"$field\"" results/BENCH_query.json || {
+      echo "results/BENCH_query.json is missing \"$field\"" >&2
+      exit 1
+    }
+  done
+fi
+
 echo "==> all checks passed"
