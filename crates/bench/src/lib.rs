@@ -10,6 +10,8 @@
 //!   i.e. 1/4000 of mainnet's 14.8M bundles/day)
 //! * `SANDWICH_SEED`  — RNG seed (default the paper's start date)
 
+pub mod scale;
+
 use sandwich_core::{
     AnalysisConfig, AnalysisReport, CollectorConfig, MeasurementRun, PipelineConfig,
 };

@@ -16,7 +16,14 @@ pub fn is_defensive(bundle: &CollectedBundle) -> bool {
 
 /// Classify with an explicit threshold (sensitivity sweep).
 pub fn is_defensive_at(bundle: &CollectedBundle, threshold: Lamports) -> bool {
-    bundle.len() == 1 && bundle.tip <= threshold && bundle.tip > Lamports::ZERO
+    bundle.len() == 1 && is_defensive_tip(bundle.tip, threshold)
+}
+
+/// The tip-side half of the classification, for callers that already know
+/// the bundle has length 1 (the columnar scan reads both facts straight
+/// from the segment columns without materializing the record).
+pub fn is_defensive_tip(tip: Lamports, threshold: Lamports) -> bool {
+    tip <= threshold && tip > Lamports::ZERO
 }
 
 /// Aggregate defensive statistics over a set of bundles.
@@ -59,11 +66,16 @@ impl DefenseStats {
     /// Fold one bundle in.
     pub fn observe(&mut self, bundle: &CollectedBundle, threshold: Lamports) {
         if bundle.len() == 1 {
-            self.length_one += 1;
-            if is_defensive_at(bundle, threshold) {
-                self.defensive += 1;
-                self.defensive_tips_lamports += bundle.tip.0;
-            }
+            self.observe_len1(bundle.tip, threshold);
+        }
+    }
+
+    /// Fold one length-1 bundle in by its tip alone.
+    pub fn observe_len1(&mut self, tip: Lamports, threshold: Lamports) {
+        self.length_one += 1;
+        if is_defensive_tip(tip, threshold) {
+            self.defensive += 1;
+            self.defensive_tips_lamports += tip.0;
         }
     }
 }

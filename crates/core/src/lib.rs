@@ -53,5 +53,8 @@ pub use pipeline::{
     run_measurement, run_measurement_with, scaled_page_limit, MeasurementRun, PipelineConfig,
     RunOptions, StoreOptions,
 };
-pub use scan::{scan_store, scan_store_observed, DetailLookup, IncrementalScan, ScanPartial};
+pub use scan::{
+    scan_store, scan_store_materializing, scan_store_observed, DetailLookup, IncrementalScan,
+    ScanPartial,
+};
 pub use stats::{Cdf, DailySeries};

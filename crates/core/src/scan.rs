@@ -14,13 +14,16 @@ use std::collections::HashMap;
 
 use sandwich_ledger::{TransactionId, TransactionMeta};
 use sandwich_obs::Registry;
-use sandwich_store::{parallel_map, BundleStore, SegmentData, SegmentMeta};
-use sandwich_types::{Lamports, SlotClock};
+use sandwich_store::{
+    parallel_map, BundleStore, Columns, CorruptSegment, SegmentData, SegmentMeta, SegmentView,
+    META_C1, META_C2, META_LINKED,
+};
+use sandwich_types::{Hash, Lamports, Slot, SlotClock};
 
 use crate::analysis::{AnalysisConfig, AnalysisReport, DatedFinding};
 use crate::dataset::{CollectedBundle, Dataset, PollRecord};
-use crate::defense::{is_defensive_at, DefenseStats};
-use crate::detector::{detect, detect_in_bundle};
+use crate::defense::{is_defensive_tip, DefenseStats};
+use crate::detector::{detect, detect_in_bundle, SandwichFinding};
 use crate::stats::{Cdf, DailySeries};
 
 /// Where a scan finds the transaction metas behind a bundle: the dataset's
@@ -113,11 +116,7 @@ impl ScanPartial {
         bump(&mut self.bundles_by_len[len - 1], day);
 
         if len == 1 {
-            self.tips_len1.push(bundle.tip.0 as f64);
-            self.defense.observe(bundle, config.defensive_threshold);
-            if is_defensive_at(bundle, config.defensive_threshold) {
-                bump(&mut self.defensive, day);
-            }
+            self.observe_len1(day, bundle.tip, config);
             return;
         }
 
@@ -154,8 +153,31 @@ impl ScanPartial {
                 })
         };
         let Some(finding) = finding else { return };
+        self.fold_finding(day, bundle.bundle_id, bundle.tip, finding, config);
+    }
+
+    /// Fold one length-1 bundle in from its day and tip alone — the facts
+    /// the columnar fast path reads without materializing the record.
+    fn observe_len1(&mut self, day: u64, tip: Lamports, config: &AnalysisConfig) {
+        self.tips_len1.push(tip.0 as f64);
+        self.defense.observe_len1(tip, config.defensive_threshold);
+        if is_defensive_tip(tip, config.defensive_threshold) {
+            bump(&mut self.defensive, day);
+        }
+    }
+
+    /// Fold one confirmed sandwich in. Shared verbatim between the
+    /// materializing and zero-copy paths so the report stays byte-identical.
+    fn fold_finding(
+        &mut self,
+        day: u64,
+        bundle_id: Hash,
+        tip: Lamports,
+        finding: SandwichFinding,
+        config: &AnalysisConfig,
+    ) {
         bump(&mut self.sandwiches, day);
-        self.tips_sandwich.push(bundle.tip.0 as f64);
+        self.tips_sandwich.push(tip.0 as f64);
         if finding.sol_legged {
             if let Some(loss) = finding.victim_loss_lamports {
                 if let Some(v) = self.victim_loss_lamports.get_mut(day as usize) {
@@ -174,7 +196,7 @@ impl ScanPartial {
         }
         self.findings.push(DatedFinding {
             day,
-            bundle_id: bundle.bundle_id,
+            bundle_id,
             finding,
         });
     }
@@ -292,9 +314,109 @@ pub fn partial_of_segment(
     partial
 }
 
+/// One sealed segment's partial, computed from a zero-copy view without
+/// materializing every record.
+///
+/// The columns alone give each bundle's day, length, tip, and the three
+/// detector pre-filter facts (LINKED, criterion 1, criterion 2), so the
+/// overwhelmingly common cases — length-1 bundles and length-3 bundles
+/// that cannot be sandwiches — fold in without touching the body. Only a
+/// surviving candidate decodes its three details (and, on a confirmed
+/// finding, its bundle record for the id). `cols` is caller-provided
+/// scratch so a worker scanning many segments reuses one arena.
+///
+/// Soundness of each skip is argued bit-by-bit in `store::column`; the
+/// pre-filters are only consulted under the detector configuration that
+/// makes them exact, and [`partial_of_view_or_segment`] routes extended
+/// scans (which inspect longer bundles) to the materializing path.
+pub fn partial_of_view(
+    view: &SegmentView,
+    cols: &mut Columns,
+    clock: &SlotClock,
+    config: &AnalysisConfig,
+) -> Result<ScanPartial, CorruptSegment> {
+    view.read_columns(cols)?;
+    let mut partial = ScanPartial::new(config.days as usize);
+    let det = &config.detector;
+    let mut linked_cursor = 0usize;
+    for i in 0..cols.slot.len() {
+        let day = clock.day_index(Slot(cols.slot[i]));
+        let len = (cols.tx_count[i] as usize).clamp(1, 5);
+        bump(&mut partial.bundles_by_len[len - 1], day);
+        let flags = cols.flags[i];
+        let entry = if flags & META_LINKED != 0 {
+            let e =
+                cols.linked.get(linked_cursor).copied().ok_or_else(|| {
+                    CorruptSegment("more LINKED flags than linked entries".into())
+                })?;
+            linked_cursor += 1;
+            Some(e)
+        } else {
+            None
+        };
+        let tip = Lamports(cols.tip[i]);
+        if len == 1 {
+            partial.observe_len1(day, tip, config);
+            continue;
+        }
+        if len != 3 {
+            continue;
+        }
+        partial.tips_len3.push(tip.0 as f64);
+        let Some(entry) = entry else { continue };
+        partial.len3_with_details += 1;
+        if det.same_outer_signer && flags & META_C1 == 0 {
+            continue;
+        }
+        if det.same_currencies && det.exclude_tip_only_final && flags & META_C2 == 0 {
+            continue;
+        }
+        let m1 = view.detail_meta(cols, entry.details[0] as usize)?;
+        let m2 = view.detail_meta(cols, entry.details[1] as usize)?;
+        let m3 = view.detail_meta(cols, entry.details[2] as usize)?;
+        if let Some(finding) = detect(det, [&m1, &m2, &m3]) {
+            let bundle_id = view.bundle_record(cols, i)?.bundle_id;
+            partial.fold_finding(day, bundle_id, tip, finding, config);
+        }
+    }
+    partial.observe_polls(&view.polls(cols)?);
+    Ok(partial)
+}
+
+std::thread_local! {
+    /// Per-worker column scratch: cleared between segments, never shrunk,
+    /// so a scan over thousands of segments allocates its column arenas
+    /// once per thread.
+    static SCAN_SCRATCH: std::cell::RefCell<Columns> = std::cell::RefCell::new(Columns::default());
+}
+
+/// Scan one view on the fast path when it can be exact, falling back to a
+/// full decode otherwise (v1 segments without columns; extended scans,
+/// whose longer-bundle detection needs every record).
+pub fn partial_of_view_or_segment(
+    view: &SegmentView,
+    clock: &SlotClock,
+    config: &AnalysisConfig,
+) -> std::io::Result<ScanPartial> {
+    let corrupt =
+        |e: CorruptSegment| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string());
+    if view.has_columns() && !config.extended {
+        SCAN_SCRATCH
+            .with(|scratch| partial_of_view(view, &mut scratch.borrow_mut(), clock, config))
+            .map_err(corrupt)
+    } else {
+        let data = view.decode_all().map_err(corrupt)?;
+        Ok(partial_of_segment(data, clock, config))
+    }
+}
+
 /// Scan every sealed segment of `store` on `threads` workers and reduce
 /// the partials in segment order (skipping the finalize — callers that
 /// still have residual in-memory records fold them in first).
+///
+/// Segments are memory-mapped and scanned through the columnar fast path
+/// when they carry one; [`scan_store_materializing`] forces the
+/// record-by-record decode for comparison.
 pub fn scan_store_partial(
     store: &BundleStore,
     clock: &SlotClock,
@@ -305,9 +427,8 @@ pub fn scan_store_partial(
     let units: Vec<usize> = (0..store.segments().len()).collect();
     let started = std::time::Instant::now();
     let (partials, workers) = parallel_map(&units, threads, |_, &i| {
-        store
-            .read_segment(i)
-            .map(|data| partial_of_segment(data, clock, config))
+        let view = store.open_view(i)?;
+        partial_of_view_or_segment(&view, clock, config)
     });
     if let Some(registry) = registry {
         registry
@@ -349,6 +470,28 @@ pub fn scan_store_observed(
     Ok(scan_store_partial(store, clock, config, threads, registry)?.finalize(config))
 }
 
+/// Full parallel analysis that decodes every record of every segment —
+/// the pre-columnar scan path, kept as the reference the zero-copy scan
+/// is benchmarked (and byte-equality-tested) against.
+pub fn scan_store_materializing(
+    store: &BundleStore,
+    clock: &SlotClock,
+    config: &AnalysisConfig,
+    threads: usize,
+) -> std::io::Result<AnalysisReport> {
+    let units: Vec<usize> = (0..store.segments().len()).collect();
+    let (partials, _workers) = parallel_map(&units, threads, |_, &i| {
+        store
+            .read_segment(i)
+            .map(|data| partial_of_segment(data, clock, config))
+    });
+    let mut acc = ScanPartial::new(config.days as usize);
+    for partial in partials {
+        acc.merge(partial?);
+    }
+    Ok(acc.finalize(config))
+}
+
 /// Streaming analysis: fold each segment's partial as it seals, so a
 /// partial report is available mid-run. Because the fold happens in seal
 /// (= segment) order, the final streaming report equals the batch scan.
@@ -379,9 +522,12 @@ impl IncrementalScan {
         dir: &std::path::Path,
         meta: &SegmentMeta,
     ) -> std::io::Result<()> {
-        let (data, _footer) = sandwich_store::segment::read_segment_file(&dir.join(&meta.file))?;
-        self.partial
-            .merge(partial_of_segment(data, &self.clock, &self.config));
+        let view = SegmentView::open(&dir.join(&meta.file))?;
+        self.partial.merge(partial_of_view_or_segment(
+            &view,
+            &self.clock,
+            &self.config,
+        )?);
         self.segments_folded += 1;
         Ok(())
     }

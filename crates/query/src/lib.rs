@@ -12,6 +12,7 @@
 //!   deduplication makes the hot path allocation-free after first touch.
 //! - [`service`] — the `queryd` HTTP API over `sandwich-net`, exporting
 //!   `query.*` metrics through `sandwich-obs`.
+#![warn(missing_docs)]
 
 pub mod cache;
 pub mod engine;

@@ -96,9 +96,29 @@ const FLAG_SUCCESS: u8 = 1;
 const FLAG_HAS_ERROR: u8 = 2;
 const FLAG_OVERLAPPED: u8 = 1;
 
+/// Byte positions of every record inside an encoded body — the raw
+/// material for the columnar fast-path section ([`crate::column`]). Only
+/// the encoder produces this; readers get the same offsets back from the
+/// columnar section itself.
+pub(crate) struct BodyLayout {
+    /// Offset of each bundle record (the header varint).
+    pub bundle_offsets: Vec<u64>,
+    /// Offset of each detail record (the bundle-ref varint).
+    pub detail_offsets: Vec<u64>,
+    /// Offset of the poll-section count varint.
+    pub polls_offset: u64,
+    /// The interning table built during encoding (pubkey → table index).
+    pub key_index: HashMap<Pubkey, u64>,
+}
+
 /// Encode a segment body. Records should already be in their canonical
 /// order (the writer sorts before calling this).
 pub fn encode_body(data: &SegmentData) -> Vec<u8> {
+    encode_body_with_layout(data).0
+}
+
+/// [`encode_body`] that also reports where each record landed.
+pub(crate) fn encode_body_with_layout(data: &SegmentData) -> (Vec<u8>, BodyLayout) {
     // Pass 1: intern every pubkey the details reference.
     let mut table = KeyTable::default();
     for d in &data.details {
@@ -119,9 +139,11 @@ pub fn encode_body(data: &SegmentData) -> Vec<u8> {
     }
 
     put_u64(&mut out, data.bundles.len() as u64);
+    let mut bundle_offsets = Vec::with_capacity(data.bundles.len());
     let mut prev_slot = 0i64;
     let mut prev_ts = 0i64;
     for b in &data.bundles {
+        bundle_offsets.push(out.len() as u64);
         let derived = b.bundle_id == sandwich_jito::bundle_id_of(&b.tx_ids);
         put_u64(&mut out, (b.tx_ids.len() as u64) << 1 | u64::from(derived));
         put_i64(&mut out, b.slot.0 as i64 - prev_slot);
@@ -143,8 +165,10 @@ pub fn encode_body(data: &SegmentData) -> Vec<u8> {
     }
 
     put_u64(&mut out, data.details.len() as u64);
+    let mut detail_offsets = Vec::with_capacity(data.details.len());
     let mut prev_slot = 0i64;
     for d in &data.details {
+        detail_offsets.push(out.len() as u64);
         match bundle_index.get(&d.bundle_id) {
             Some(&i) => {
                 let b = &data.bundles[i];
@@ -194,6 +218,7 @@ pub fn encode_body(data: &SegmentData) -> Vec<u8> {
         }
     }
 
+    let polls_offset = out.len() as u64;
     put_u64(&mut out, data.polls.len() as u64);
     for p in &data.polls {
         put_u64(&mut out, p.day);
@@ -206,7 +231,15 @@ pub fn encode_body(data: &SegmentData) -> Vec<u8> {
         });
     }
 
-    out
+    (
+        out,
+        BodyLayout {
+            bundle_offsets,
+            detail_offsets,
+            polls_offset,
+            key_index: table.index,
+        },
+    )
 }
 
 fn get_bytes<'a>(buf: &'a [u8], pos: &mut usize, n: usize) -> Result<&'a [u8], CorruptSegment> {
@@ -242,18 +275,337 @@ fn get_count(buf: &[u8], pos: &mut usize, max: usize, what: &str) -> Result<usiz
     Ok(n)
 }
 
-/// Decode a segment body produced by [`encode_body`].
-pub fn decode_body(buf: &[u8]) -> Result<SegmentData, CorruptSegment> {
-    let mut pos = 0usize;
-
-    let key_count = get_count(buf, &mut pos, buf.len() / 32, "pubkey table")?;
+/// Decode the pubkey interning table at the head of a body. Returns the
+/// table and leaves `pos` at the bundle-count varint.
+pub(crate) fn decode_key_table(buf: &[u8], pos: &mut usize) -> Result<Vec<Pubkey>, CorruptSegment> {
+    let key_count = get_count(buf, pos, buf.len() / 32, "pubkey table")?;
     let mut keys = Vec::with_capacity(key_count);
     for _ in 0..key_count {
-        let b = get_bytes(buf, &mut pos, 32)?;
+        let b = get_bytes(buf, pos, 32)?;
         let mut arr = [0u8; 32];
         arr.copy_from_slice(b);
         keys.push(Pubkey(arr));
     }
+    Ok(keys)
+}
+
+/// Decode one bundle record at `pos`. `prev_slot`/`prev_ts` are the
+/// delta-coding context: the previous bundle's absolute values (0 for the
+/// first record). The sequential decoder threads them through the loop;
+/// the zero-copy view reads them from the slot column instead.
+pub(crate) fn decode_bundle_record(
+    buf: &[u8],
+    pos: &mut usize,
+    prev_slot: i64,
+    prev_ts: i64,
+) -> Result<CollectedBundle, CorruptSegment> {
+    let header = get_u64(buf, pos)?;
+    let derived = header & 1 != 0;
+    let tx_count = (header >> 1) as usize;
+    if tx_count > buf.len() / 64 {
+        return Err(CorruptSegment(format!(
+            "tx id count {tx_count} exceeds body"
+        )));
+    }
+    let slot = prev_slot
+        .checked_add(get_i64(buf, pos)?)
+        .ok_or_else(|| CorruptSegment("slot delta overflow".into()))?;
+    let stored_id = if derived {
+        None
+    } else {
+        Some(get_hash(buf, pos)?)
+    };
+    let ts = prev_ts
+        .checked_add(get_i64(buf, pos)?)
+        .ok_or_else(|| CorruptSegment("timestamp delta overflow".into()))?;
+    let tip = get_u64(buf, pos)?;
+    let mut tx_ids = Vec::with_capacity(tx_count);
+    for _ in 0..tx_count {
+        tx_ids.push(get_signature(buf, pos)?);
+    }
+    if slot < 0 || ts < 0 {
+        return Err(CorruptSegment("negative slot or timestamp".into()));
+    }
+    let bundle_id = stored_id.unwrap_or_else(|| sandwich_jito::bundle_id_of(&tx_ids));
+    Ok(CollectedBundle {
+        bundle_id,
+        slot: Slot(slot as u64),
+        timestamp_ms: ts as u64,
+        tip: Lamports(tip),
+        tx_ids,
+    })
+}
+
+/// A bundle record parsed just far enough for random access: everything
+/// but the delta-coded slot/timestamp (which the zero-copy view reads
+/// from the columnar section instead) and the tx ids (left in place as a
+/// fixed-stride region so single signatures can be read without
+/// materializing the list).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct BundleBrief {
+    /// The stored bundle id, or `None` when it is derived from the tx ids.
+    pub stored_id: Option<Hash>,
+    /// Offset of the first signature (64 bytes each).
+    pub tx_ids_at: usize,
+    /// Number of signatures.
+    pub tx_count: usize,
+}
+
+impl BundleBrief {
+    /// Signature `p` of the bundle, read in place.
+    pub fn tx(&self, buf: &[u8], p: usize) -> Option<Signature> {
+        if p >= self.tx_count {
+            return None;
+        }
+        let mut pos = self.tx_ids_at + 64 * p;
+        get_signature(buf, &mut pos).ok()
+    }
+
+    /// The bundle id: the stored one, or derived from the tx ids.
+    pub fn bundle_id(&self, buf: &[u8]) -> Result<Hash, CorruptSegment> {
+        if let Some(id) = self.stored_id {
+            return Ok(id);
+        }
+        let mut pos = self.tx_ids_at;
+        let mut tx_ids = Vec::with_capacity(self.tx_count);
+        for _ in 0..self.tx_count {
+            tx_ids.push(get_signature(buf, &mut pos)?);
+        }
+        Ok(sandwich_jito::bundle_id_of(&tx_ids))
+    }
+}
+
+/// Parse one bundle record at `pos` without reconstructing its slot or
+/// timestamp (their deltas are skipped). Same wire walk and bounds checks
+/// as [`decode_bundle_record`], minus the work the fast path never needs.
+pub(crate) fn decode_bundle_brief(
+    buf: &[u8],
+    pos: &mut usize,
+) -> Result<BundleBrief, CorruptSegment> {
+    let header = get_u64(buf, pos)?;
+    let derived = header & 1 != 0;
+    let tx_count = (header >> 1) as usize;
+    if tx_count > buf.len() / 64 {
+        return Err(CorruptSegment(format!(
+            "tx id count {tx_count} exceeds body"
+        )));
+    }
+    get_i64(buf, pos)?; // slot delta
+    let stored_id = if derived {
+        None
+    } else {
+        Some(get_hash(buf, pos)?)
+    };
+    get_i64(buf, pos)?; // timestamp delta
+    get_u64(buf, pos)?; // tip (the columns carry it)
+    let tx_ids_at = *pos;
+    get_bytes(buf, pos, tx_count * 64)?;
+    Ok(BundleBrief {
+        stored_id,
+        tx_ids_at,
+        tx_count,
+    })
+}
+
+/// What a detail record needs from the bundle it references: enough to
+/// resolve its elided bundle id, slot base, and tx id. Implemented by the
+/// decoded bundle slice (sequential decode) and by the lazy segment view.
+pub(crate) trait BundleBriefs {
+    /// `(slot, tx_count)` of bundle `index`, if it exists.
+    fn brief(&self, index: usize) -> Option<(Slot, usize)>;
+    /// The id of bundle `index`. Separate from [`Self::brief`] because a
+    /// derived id costs a hash — callers that only need the meta
+    /// ([`decode_detail_meta`]) never ask.
+    fn id(&self, index: usize) -> Option<Hash>;
+    /// Tx id at position `p` of bundle `index`, if in range.
+    fn tx_at(&self, index: usize, p: usize) -> Option<Signature>;
+}
+
+impl BundleBriefs for [CollectedBundle] {
+    fn brief(&self, index: usize) -> Option<(Slot, usize)> {
+        self.get(index).map(|b| (b.slot, b.tx_ids.len()))
+    }
+
+    fn id(&self, index: usize) -> Option<Hash> {
+        self.get(index).map(|b| b.bundle_id)
+    }
+
+    fn tx_at(&self, index: usize, p: usize) -> Option<Signature> {
+        self.get(index).and_then(|b| b.tx_ids.get(p)).copied()
+    }
+}
+
+/// Where a decoded detail's bundle id comes from: stored inline (external
+/// details) or resolved from the referenced bundle on demand.
+enum IdSource {
+    Stored(Hash),
+    Bundle(usize),
+}
+
+/// Decode one detail record at `pos`. `prev_slot` is the previous
+/// *external* detail context (the running detail slot); in-segment details
+/// take their slot base from the referenced bundle via `briefs`.
+pub(crate) fn decode_detail_record<B, K>(
+    buf: &[u8],
+    pos: &mut usize,
+    prev_slot: i64,
+    briefs: &B,
+    key_at: &K,
+) -> Result<CollectedDetail, CorruptSegment>
+where
+    B: BundleBriefs + ?Sized,
+    K: Fn(u64) -> Result<Pubkey, CorruptSegment>,
+{
+    let (id, slot, meta) = decode_detail_inner(buf, pos, prev_slot, briefs, key_at)?;
+    let bundle_id = match id {
+        IdSource::Stored(hash) => hash,
+        IdSource::Bundle(index) => briefs
+            .id(index)
+            .ok_or_else(|| CorruptSegment(format!("detail bundle ref {index} out of segment")))?,
+    };
+    Ok(CollectedDetail {
+        bundle_id,
+        slot,
+        meta,
+    })
+}
+
+/// Decode only the transaction meta of a detail record — the id of the
+/// bundle it belongs to is never resolved (for derived ids that is a hash
+/// per record, which the scan's candidate path doesn't need: the detector
+/// consumes metas alone).
+pub(crate) fn decode_detail_meta<B, K>(
+    buf: &[u8],
+    pos: &mut usize,
+    prev_slot: i64,
+    briefs: &B,
+    key_at: &K,
+) -> Result<TransactionMeta, CorruptSegment>
+where
+    B: BundleBriefs + ?Sized,
+    K: Fn(u64) -> Result<Pubkey, CorruptSegment>,
+{
+    decode_detail_inner(buf, pos, prev_slot, briefs, key_at).map(|(_, _, meta)| meta)
+}
+
+fn decode_detail_inner<B, K>(
+    buf: &[u8],
+    pos: &mut usize,
+    prev_slot: i64,
+    briefs: &B,
+    key_at: &K,
+) -> Result<(IdSource, Slot, TransactionMeta), CorruptSegment>
+where
+    B: BundleBriefs + ?Sized,
+    K: Fn(u64) -> Result<Pubkey, CorruptSegment>,
+{
+    let bundle_ref = get_u64(buf, pos)?;
+    let (id, tx_id, slot) = if bundle_ref == 0 {
+        let slot = prev_slot
+            .checked_add(get_i64(buf, pos)?)
+            .ok_or_else(|| CorruptSegment("slot delta overflow".into()))?;
+        let bundle_id = get_hash(buf, pos)?;
+        let tx_id = get_signature(buf, pos)?;
+        (IdSource::Stored(bundle_id), tx_id, slot)
+    } else {
+        let index = bundle_ref as usize - 1;
+        let (bundle_slot, tx_count) = briefs.brief(index).ok_or_else(|| {
+            CorruptSegment(format!("detail bundle ref {bundle_ref} out of segment"))
+        })?;
+        let p = get_u64(buf, pos)? as usize;
+        let tx_id = if p == tx_count {
+            get_signature(buf, pos)?
+        } else {
+            briefs
+                .tx_at(index, p)
+                .ok_or_else(|| CorruptSegment(format!("detail tx position {p} out of bundle")))?
+        };
+        let slot = (bundle_slot.0 as i64)
+            .checked_add(get_i64(buf, pos)?)
+            .ok_or_else(|| CorruptSegment("slot delta overflow".into()))?;
+        (IdSource::Bundle(index), tx_id, slot)
+    };
+    let signer = key_at(get_u64(buf, pos)?)?;
+    let fee = get_u64(buf, pos)?;
+    let priority_fee = get_u64(buf, pos)?;
+    let flags = *buf
+        .get(*pos)
+        .ok_or_else(|| CorruptSegment("truncated detail flags".into()))?;
+    *pos += 1;
+    let error = if flags & FLAG_HAS_ERROR != 0 {
+        let len = get_count(buf, pos, buf.len(), "error string")?;
+        let bytes = get_bytes(buf, pos, len)?;
+        Some(
+            String::from_utf8(bytes.to_vec())
+                .map_err(|_| CorruptSegment("error string is not utf-8".into()))?,
+        )
+    } else {
+        None
+    };
+    let sol_count = get_count(buf, pos, buf.len(), "sol delta")?;
+    let mut sol_deltas = Vec::with_capacity(sol_count);
+    for _ in 0..sol_count {
+        let account = key_at(get_u64(buf, pos)?)?;
+        let delta = LamportDelta(get_i64(buf, pos)?);
+        sol_deltas.push(SolDelta { account, delta });
+    }
+    let token_count = get_count(buf, pos, buf.len(), "token delta")?;
+    let mut token_deltas = Vec::with_capacity(token_count);
+    for _ in 0..token_count {
+        let owner = key_at(get_u64(buf, pos)?)?;
+        let mint = key_at(get_u64(buf, pos)?)?;
+        let delta = get_i128(buf, pos)?;
+        token_deltas.push(TokenDelta { owner, mint, delta });
+    }
+    if slot < 0 {
+        return Err(CorruptSegment("negative detail slot".into()));
+    }
+    Ok((
+        id,
+        Slot(slot as u64),
+        TransactionMeta {
+            tx_id,
+            signer,
+            fee: Lamports(fee),
+            priority_fee: Lamports(priority_fee),
+            success: flags & FLAG_SUCCESS != 0,
+            error,
+            sol_deltas,
+            token_deltas,
+        },
+    ))
+}
+
+/// Decode the poll section at `pos` (the count varint).
+pub(crate) fn decode_poll_section(
+    buf: &[u8],
+    pos: &mut usize,
+) -> Result<Vec<PollRecord>, CorruptSegment> {
+    let poll_count = get_count(buf, pos, buf.len(), "poll")?;
+    let mut polls = Vec::with_capacity(poll_count);
+    for _ in 0..poll_count {
+        let day = get_u64(buf, pos)?;
+        let fetched = get_u64(buf, pos)? as usize;
+        let new = get_u64(buf, pos)? as usize;
+        let flags = *buf
+            .get(*pos)
+            .ok_or_else(|| CorruptSegment("truncated poll flags".into()))?;
+        *pos += 1;
+        polls.push(PollRecord {
+            day,
+            fetched,
+            new,
+            overlapped_previous: flags & FLAG_OVERLAPPED != 0,
+        });
+    }
+    Ok(polls)
+}
+
+/// Decode a segment body produced by [`encode_body`].
+pub fn decode_body(buf: &[u8]) -> Result<SegmentData, CorruptSegment> {
+    let mut pos = 0usize;
+
+    let keys = decode_key_table(buf, &mut pos)?;
     let key_at = |i: u64| -> Result<Pubkey, CorruptSegment> {
         keys.get(i as usize)
             .copied()
@@ -265,143 +617,22 @@ pub fn decode_body(buf: &[u8]) -> Result<SegmentData, CorruptSegment> {
     let mut prev_slot = 0i64;
     let mut prev_ts = 0i64;
     for _ in 0..bundle_count {
-        let header = get_u64(buf, &mut pos)?;
-        let derived = header & 1 != 0;
-        let tx_count = (header >> 1) as usize;
-        if tx_count > buf.len() / 64 {
-            return Err(CorruptSegment(format!(
-                "tx id count {tx_count} exceeds body"
-            )));
-        }
-        let slot = prev_slot
-            .checked_add(get_i64(buf, &mut pos)?)
-            .ok_or_else(|| CorruptSegment("slot delta overflow".into()))?;
-        prev_slot = slot;
-        let stored_id = if derived {
-            None
-        } else {
-            Some(get_hash(buf, &mut pos)?)
-        };
-        let ts = prev_ts
-            .checked_add(get_i64(buf, &mut pos)?)
-            .ok_or_else(|| CorruptSegment("timestamp delta overflow".into()))?;
-        prev_ts = ts;
-        let tip = get_u64(buf, &mut pos)?;
-        let mut tx_ids = Vec::with_capacity(tx_count);
-        for _ in 0..tx_count {
-            tx_ids.push(get_signature(buf, &mut pos)?);
-        }
-        if slot < 0 || ts < 0 {
-            return Err(CorruptSegment("negative slot or timestamp".into()));
-        }
-        let bundle_id = stored_id.unwrap_or_else(|| sandwich_jito::bundle_id_of(&tx_ids));
-        bundles.push(CollectedBundle {
-            bundle_id,
-            slot: Slot(slot as u64),
-            timestamp_ms: ts as u64,
-            tip: Lamports(tip),
-            tx_ids,
-        });
+        let b = decode_bundle_record(buf, &mut pos, prev_slot, prev_ts)?;
+        prev_slot = b.slot.0 as i64;
+        prev_ts = b.timestamp_ms as i64;
+        bundles.push(b);
     }
 
     let detail_count = get_count(buf, &mut pos, buf.len(), "detail")?;
     let mut details = Vec::with_capacity(detail_count);
     let mut prev_slot = 0i64;
     for _ in 0..detail_count {
-        let bundle_ref = get_u64(buf, &mut pos)?;
-        let (bundle_id, tx_id, slot) = if bundle_ref == 0 {
-            let slot = prev_slot
-                .checked_add(get_i64(buf, &mut pos)?)
-                .ok_or_else(|| CorruptSegment("slot delta overflow".into()))?;
-            let bundle_id = get_hash(buf, &mut pos)?;
-            let tx_id = get_signature(buf, &mut pos)?;
-            (bundle_id, tx_id, slot)
-        } else {
-            let b = bundles.get(bundle_ref as usize - 1).ok_or_else(|| {
-                CorruptSegment(format!("detail bundle ref {bundle_ref} out of segment"))
-            })?;
-            let p = get_u64(buf, &mut pos)? as usize;
-            let tx_id = if p == b.tx_ids.len() {
-                get_signature(buf, &mut pos)?
-            } else {
-                *b.tx_ids.get(p).ok_or_else(|| {
-                    CorruptSegment(format!("detail tx position {p} out of bundle"))
-                })?
-            };
-            let slot = (b.slot.0 as i64)
-                .checked_add(get_i64(buf, &mut pos)?)
-                .ok_or_else(|| CorruptSegment("slot delta overflow".into()))?;
-            (b.bundle_id, tx_id, slot)
-        };
-        prev_slot = slot;
-        let signer = key_at(get_u64(buf, &mut pos)?)?;
-        let fee = get_u64(buf, &mut pos)?;
-        let priority_fee = get_u64(buf, &mut pos)?;
-        let flags = *buf
-            .get(pos)
-            .ok_or_else(|| CorruptSegment("truncated detail flags".into()))?;
-        pos += 1;
-        let error = if flags & FLAG_HAS_ERROR != 0 {
-            let len = get_count(buf, &mut pos, buf.len(), "error string")?;
-            let bytes = get_bytes(buf, &mut pos, len)?;
-            Some(
-                String::from_utf8(bytes.to_vec())
-                    .map_err(|_| CorruptSegment("error string is not utf-8".into()))?,
-            )
-        } else {
-            None
-        };
-        let sol_count = get_count(buf, &mut pos, buf.len(), "sol delta")?;
-        let mut sol_deltas = Vec::with_capacity(sol_count);
-        for _ in 0..sol_count {
-            let account = key_at(get_u64(buf, &mut pos)?)?;
-            let delta = LamportDelta(get_i64(buf, &mut pos)?);
-            sol_deltas.push(SolDelta { account, delta });
-        }
-        let token_count = get_count(buf, &mut pos, buf.len(), "token delta")?;
-        let mut token_deltas = Vec::with_capacity(token_count);
-        for _ in 0..token_count {
-            let owner = key_at(get_u64(buf, &mut pos)?)?;
-            let mint = key_at(get_u64(buf, &mut pos)?)?;
-            let delta = get_i128(buf, &mut pos)?;
-            token_deltas.push(TokenDelta { owner, mint, delta });
-        }
-        if slot < 0 {
-            return Err(CorruptSegment("negative detail slot".into()));
-        }
-        details.push(CollectedDetail {
-            bundle_id,
-            slot: Slot(slot as u64),
-            meta: TransactionMeta {
-                tx_id,
-                signer,
-                fee: Lamports(fee),
-                priority_fee: Lamports(priority_fee),
-                success: flags & FLAG_SUCCESS != 0,
-                error,
-                sol_deltas,
-                token_deltas,
-            },
-        });
+        let d = decode_detail_record(buf, &mut pos, prev_slot, &bundles[..], &key_at)?;
+        prev_slot = d.slot.0 as i64;
+        details.push(d);
     }
 
-    let poll_count = get_count(buf, &mut pos, buf.len(), "poll")?;
-    let mut polls = Vec::with_capacity(poll_count);
-    for _ in 0..poll_count {
-        let day = get_u64(buf, &mut pos)?;
-        let fetched = get_u64(buf, &mut pos)? as usize;
-        let new = get_u64(buf, &mut pos)? as usize;
-        let flags = *buf
-            .get(pos)
-            .ok_or_else(|| CorruptSegment("truncated poll flags".into()))?;
-        pos += 1;
-        polls.push(PollRecord {
-            day,
-            fetched,
-            new,
-            overlapped_previous: flags & FLAG_OVERLAPPED != 0,
-        });
-    }
+    let polls = decode_poll_section(buf, &mut pos)?;
 
     if pos != buf.len() {
         return Err(CorruptSegment(format!(

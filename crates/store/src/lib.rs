@@ -24,16 +24,22 @@
 #![warn(missing_docs)]
 
 pub mod codec;
+pub mod column;
 pub mod manifest;
+pub mod mmap;
 pub mod records;
 pub mod scan;
 pub mod segment;
 pub mod store;
 pub mod varint;
+pub mod view;
 
 pub use codec::{CorruptSegment, SegmentData};
+pub use column::{Columns, LinkedColumns, META_C1, META_C2, META_LINKED, META_TXC_MASK};
 pub use manifest::{Manifest, SegmentMeta, MANIFEST_FILE};
+pub use mmap::Mapped;
 pub use records::{CollectedBundle, CollectedDetail, PollRecord};
 pub use scan::{parallel_map, WorkerStats};
-pub use segment::{fnv1a64, SegmentFooter, SEGMENT_MAGIC};
+pub use segment::{fnv1a64, SegmentFooter, FORMAT_VERSION, SEGMENT_MAGIC, SEGMENT_MAGIC_V1};
 pub use store::{BundleStore, StoreWriter};
+pub use view::{SegmentView, ViewBundle};

@@ -1,23 +1,50 @@
-//! Segment files: `header magic · encoded body · fixed footer`.
+//! Segment files: `header magic · encoded body · columnar section · fixed
+//! footer`.
 //!
 //! The footer carries the body checksum, the slot range, the record
-//! counts, and the body length, so a reader can validate a segment — and a
-//! manifest can describe it — without decoding a single record. Segments
-//! are written whole at seal time via a temp-file rename, so a crash never
-//! leaves a half-written segment behind: a segment either exists and
-//! verifies, or it does not exist.
+//! counts, and the section lengths, so a reader can validate a segment —
+//! and a manifest can describe it — without decoding a single record.
+//! Segments are written whole at seal time via a temp-file rename, so a
+//! crash never leaves a half-written segment behind: a segment either
+//! exists and verifies, or it does not exist.
+//!
+//! Two format versions are readable (see `docs/FORMAT.md` for the
+//! normative spec):
+//!
+//! * **v1** (`SWSEG01` / `SWEND01`): magic, body, 52-byte footer.
+//! * **v2** (`SWSEG02` / `SWEND02`): adds the columnar fast-path section
+//!   ([`crate::column`]) between body and footer, and extends the footer
+//!   with the section's length and its own FNV checksum (68 bytes). The
+//!   body encoding is byte-identical to v1.
+//!
+//! New segments are always written as v2; v1 segments decode and scan
+//! exactly as before (they simply have no fast path).
 
 use std::io::Write;
+use std::ops::Range;
 use std::path::Path;
 
-use crate::codec::{decode_body, encode_body, CorruptSegment, SegmentData};
+use crate::codec::{
+    decode_body, encode_body, encode_body_with_layout, CorruptSegment, SegmentData,
+};
+use crate::column::build_columns;
 
-/// Leading file magic (includes the format version).
-pub const SEGMENT_MAGIC: &[u8; 8] = b"SWSEG01\n";
-/// Trailing file magic.
-const FOOTER_MAGIC: &[u8; 8] = b"SWEND01\n";
-/// Fixed footer size: checksum + min/max slot + 3 counts + body len + magic.
-const FOOTER_LEN: usize = 8 + 8 + 8 + 4 + 4 + 4 + 8 + 8;
+/// The current segment format version (the digit baked into the magics).
+pub const FORMAT_VERSION: u8 = 2;
+
+/// Leading file magic of the current version.
+pub const SEGMENT_MAGIC: &[u8; 8] = b"SWSEG02\n";
+/// Trailing file magic of the current version.
+const FOOTER_MAGIC: &[u8; 8] = b"SWEND02\n";
+/// Leading file magic of the pre-columnar format.
+pub const SEGMENT_MAGIC_V1: &[u8; 8] = b"SWSEG01\n";
+/// Trailing file magic of the pre-columnar format.
+const FOOTER_MAGIC_V1: &[u8; 8] = b"SWEND01\n";
+
+/// v1 footer: checksum + min/max slot + 3 counts + body len + magic.
+const FOOTER_LEN_V1: usize = 8 + 8 + 8 + 4 + 4 + 4 + 8 + 8;
+/// v2 footer: v1 fields + columnar length + columnar checksum.
+const FOOTER_LEN: usize = FOOTER_LEN_V1 + 8 + 8;
 
 /// FNV-1a 64-bit checksum — cheap, dependency-free, and plenty to catch
 /// torn writes and bit rot (this is an integrity check, not a MAC).
@@ -30,7 +57,8 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
     hash
 }
 
-/// The footer metadata of a sealed segment (also mirrored in the manifest).
+/// The footer metadata of a sealed segment (also mirrored in the
+/// manifest). For v1 segments the columnar fields read as zero.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SegmentFooter {
     /// FNV-1a 64 checksum of the encoded body.
@@ -47,6 +75,10 @@ pub struct SegmentFooter {
     pub polls: u32,
     /// Encoded body length in bytes.
     pub body_len: u64,
+    /// Columnar section length in bytes (0 in a v1 segment).
+    pub col_len: u64,
+    /// FNV-1a 64 checksum of the columnar section (0 in a v1 segment).
+    pub col_checksum: u64,
 }
 
 impl SegmentFooter {
@@ -59,16 +91,33 @@ impl SegmentFooter {
         out[28..32].copy_from_slice(&self.details.to_le_bytes());
         out[32..36].copy_from_slice(&self.polls.to_le_bytes());
         out[36..44].copy_from_slice(&self.body_len.to_le_bytes());
-        out[44..52].copy_from_slice(FOOTER_MAGIC);
+        out[44..52].copy_from_slice(&self.col_len.to_le_bytes());
+        out[52..60].copy_from_slice(&self.col_checksum.to_le_bytes());
+        out[60..68].copy_from_slice(FOOTER_MAGIC);
+        out
+    }
+
+    fn to_bytes_v1(self) -> [u8; FOOTER_LEN_V1] {
+        let mut out = [0u8; FOOTER_LEN_V1];
+        out[0..8].copy_from_slice(&self.checksum.to_le_bytes());
+        out[8..16].copy_from_slice(&self.min_slot.to_le_bytes());
+        out[16..24].copy_from_slice(&self.max_slot.to_le_bytes());
+        out[24..28].copy_from_slice(&self.bundles.to_le_bytes());
+        out[28..32].copy_from_slice(&self.details.to_le_bytes());
+        out[32..36].copy_from_slice(&self.polls.to_le_bytes());
+        out[36..44].copy_from_slice(&self.body_len.to_le_bytes());
+        out[44..52].copy_from_slice(FOOTER_MAGIC_V1);
         out
     }
 
     fn from_bytes(b: &[u8]) -> Result<Self, CorruptSegment> {
-        if b.len() != FOOTER_LEN || &b[44..52] != FOOTER_MAGIC {
-            return Err(CorruptSegment("bad footer magic".into()));
-        }
         let u64_at = |i: usize| u64::from_le_bytes(b[i..i + 8].try_into().unwrap());
         let u32_at = |i: usize| u32::from_le_bytes(b[i..i + 4].try_into().unwrap());
+        let (col_len, col_checksum) = match b.len() {
+            FOOTER_LEN if &b[60..68] == FOOTER_MAGIC => (u64_at(44), u64_at(52)),
+            FOOTER_LEN_V1 if &b[44..52] == FOOTER_MAGIC_V1 => (0, 0),
+            _ => return Err(CorruptSegment("bad footer magic".into())),
+        };
         Ok(SegmentFooter {
             checksum: u64_at(0),
             min_slot: u64_at(8),
@@ -77,15 +126,29 @@ impl SegmentFooter {
             details: u32_at(28),
             polls: u32_at(32),
             body_len: u64_at(36),
+            col_len,
+            col_checksum,
         })
     }
 }
 
-/// Encode `data` into a complete segment file image.
-pub fn encode_segment(data: &SegmentData) -> (Vec<u8>, SegmentFooter) {
-    let body = encode_body(data);
-    let footer = SegmentFooter {
-        checksum: fnv1a64(&body),
+/// A validated segment image carved into its sections: byte ranges into
+/// the image for the body and (in v2) the columnar section.
+#[derive(Clone, Debug)]
+pub struct ParsedSegment {
+    /// Format version of the image (1 or 2).
+    pub version: u8,
+    /// The footer.
+    pub footer: SegmentFooter,
+    /// Byte range of the encoded body.
+    pub body: Range<usize>,
+    /// Byte range of the columnar section (`None` in a v1 segment).
+    pub columns: Option<Range<usize>>,
+}
+
+fn footer_of(data: &SegmentData, body: &[u8], columns: &[u8]) -> SegmentFooter {
+    SegmentFooter {
+        checksum: fnv1a64(body),
         min_slot: data
             .bundles
             .iter()
@@ -97,54 +160,111 @@ pub fn encode_segment(data: &SegmentData) -> (Vec<u8>, SegmentFooter) {
         details: data.details.len() as u32,
         polls: data.polls.len() as u32,
         body_len: body.len() as u64,
-    };
-    let mut file = Vec::with_capacity(SEGMENT_MAGIC.len() + body.len() + FOOTER_LEN);
+        col_len: columns.len() as u64,
+        col_checksum: if columns.is_empty() {
+            0
+        } else {
+            fnv1a64(columns)
+        },
+    }
+}
+
+/// Encode `data` into a complete current-version segment file image.
+pub fn encode_segment(data: &SegmentData) -> (Vec<u8>, SegmentFooter) {
+    let (body, layout) = encode_body_with_layout(data);
+    let columns = build_columns(data, &layout);
+    let footer = footer_of(data, &body, &columns);
+    let mut file =
+        Vec::with_capacity(SEGMENT_MAGIC.len() + body.len() + columns.len() + FOOTER_LEN);
     file.extend_from_slice(SEGMENT_MAGIC);
     file.extend_from_slice(&body);
+    file.extend_from_slice(&columns);
     file.extend_from_slice(&footer.to_bytes());
     (file, footer)
 }
 
-/// Validate a segment image and return its footer without decoding records.
-pub fn verify_segment(image: &[u8]) -> Result<SegmentFooter, CorruptSegment> {
-    if image.len() < SEGMENT_MAGIC.len() + FOOTER_LEN {
+/// Encode `data` as a pre-columnar v1 segment image. Kept so the
+/// version-compatibility fixture can assert the old encoder never drifts;
+/// production sealing always writes the current version.
+pub fn encode_segment_v1(data: &SegmentData) -> (Vec<u8>, SegmentFooter) {
+    let body = encode_body(data);
+    let footer = footer_of(data, &body, &[]);
+    let mut file = Vec::with_capacity(SEGMENT_MAGIC_V1.len() + body.len() + FOOTER_LEN_V1);
+    file.extend_from_slice(SEGMENT_MAGIC_V1);
+    file.extend_from_slice(&body);
+    file.extend_from_slice(&footer.to_bytes_v1());
+    (file, footer)
+}
+
+/// Validate a segment image (either version) and carve it into sections,
+/// without decoding records. Checks both magics, the section lengths, and
+/// the body and columnar checksums.
+pub fn parse_segment(image: &[u8]) -> Result<ParsedSegment, CorruptSegment> {
+    let (version, footer_len) = if image.len() >= 8 && &image[..8] == SEGMENT_MAGIC {
+        (FORMAT_VERSION, FOOTER_LEN)
+    } else if image.len() >= 8 && &image[..8] == SEGMENT_MAGIC_V1 {
+        (1, FOOTER_LEN_V1)
+    } else {
+        return Err(CorruptSegment("bad segment magic".into()));
+    };
+    if image.len() < 8 + footer_len {
         return Err(CorruptSegment("file shorter than magic + footer".into()));
     }
-    if &image[..SEGMENT_MAGIC.len()] != SEGMENT_MAGIC {
-        return Err(CorruptSegment("bad segment magic".into()));
-    }
-    let footer = SegmentFooter::from_bytes(&image[image.len() - FOOTER_LEN..])?;
-    let body = &image[SEGMENT_MAGIC.len()..image.len() - FOOTER_LEN];
-    if body.len() as u64 != footer.body_len {
+    let footer = SegmentFooter::from_bytes(&image[image.len() - footer_len..])?;
+    let sections = (image.len() - 8 - footer_len) as u64;
+    if footer
+        .body_len
+        .checked_add(footer.col_len)
+        .is_none_or(|total| total != sections)
+    {
         return Err(CorruptSegment(format!(
-            "body is {} bytes, footer says {}",
-            body.len(),
-            footer.body_len
+            "sections are {sections} bytes, footer says {} body + {} columns",
+            footer.body_len, footer.col_len
         )));
     }
-    let actual = fnv1a64(body);
+    let body = 8..8 + footer.body_len as usize;
+    let actual = fnv1a64(&image[body.clone()]);
     if actual != footer.checksum {
         return Err(CorruptSegment(format!(
             "checksum mismatch: body {actual:#018x}, footer {:#018x}",
             footer.checksum
         )));
     }
-    Ok(footer)
+    let columns = (footer.col_len > 0).then(|| body.end..body.end + footer.col_len as usize);
+    if let Some(cols) = &columns {
+        let actual = fnv1a64(&image[cols.clone()]);
+        if actual != footer.col_checksum {
+            return Err(CorruptSegment(format!(
+                "columnar checksum mismatch: section {actual:#018x}, footer {:#018x}",
+                footer.col_checksum
+            )));
+        }
+    }
+    Ok(ParsedSegment {
+        version,
+        footer,
+        body,
+        columns,
+    })
+}
+
+/// Validate a segment image and return its footer without decoding records.
+pub fn verify_segment(image: &[u8]) -> Result<SegmentFooter, CorruptSegment> {
+    parse_segment(image).map(|p| p.footer)
 }
 
 /// Validate and fully decode a segment image. A corrupt segment surfaces
 /// as an error here — garbage never reaches the scan.
 pub fn decode_segment(image: &[u8]) -> Result<(SegmentData, SegmentFooter), CorruptSegment> {
-    let footer = verify_segment(image)?;
-    let body = &image[SEGMENT_MAGIC.len()..image.len() - FOOTER_LEN];
-    let data = decode_body(body)?;
-    if data.bundles.len() as u32 != footer.bundles
-        || data.details.len() as u32 != footer.details
-        || data.polls.len() as u32 != footer.polls
+    let parsed = parse_segment(image)?;
+    let data = decode_body(&image[parsed.body])?;
+    if data.bundles.len() as u32 != parsed.footer.bundles
+        || data.details.len() as u32 != parsed.footer.details
+        || data.polls.len() as u32 != parsed.footer.polls
     {
         return Err(CorruptSegment("record counts disagree with footer".into()));
     }
-    Ok((data, footer))
+    Ok((data, parsed.footer))
 }
 
 /// Write a segment image to `path` atomically (temp file + rename).
@@ -200,21 +320,56 @@ mod tests {
         assert_eq!(footer.min_slot, 1_000);
         assert_eq!(footer.max_slot, 1_009);
         assert_eq!(footer.bundles, 10);
+        assert!(footer.col_len > 0);
         let (back, back_footer) = decode_segment(&image).unwrap();
         assert_eq!(back, d);
         assert_eq!(back_footer, footer);
+        let parsed = parse_segment(&image).unwrap();
+        assert_eq!(parsed.version, FORMAT_VERSION);
+        assert!(parsed.columns.is_some());
+    }
+
+    #[test]
+    fn v1_image_roundtrip() {
+        let d = data();
+        let (image, footer) = encode_segment_v1(&d);
+        assert_eq!((footer.col_len, footer.col_checksum), (0, 0));
+        let (back, back_footer) = decode_segment(&image).unwrap();
+        assert_eq!(back, d);
+        assert_eq!(back_footer, footer);
+        let parsed = parse_segment(&image).unwrap();
+        assert_eq!(parsed.version, 1);
+        assert!(parsed.columns.is_none());
     }
 
     #[test]
     fn every_flipped_byte_is_caught() {
-        let (image, _) = encode_segment(&data());
-        // Flip a byte in the magic, the body, and the footer: all caught.
-        for idx in [0, SEGMENT_MAGIC.len() + 3, image.len() - 5, image.len() / 2] {
+        for encode in [encode_segment, encode_segment_v1] {
+            let (image, _) = encode(&data());
+            // Flip a byte in the magic, the body, the columnar section (v2),
+            // and the footer: all caught.
+            for idx in [0, 8 + 3, image.len() - 5, image.len() / 2, image.len() - 80] {
+                let mut bad = image.clone();
+                bad[idx] ^= 0x40;
+                assert!(
+                    decode_segment(&bad).is_err(),
+                    "flip at byte {idx} went unnoticed"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_columnar_section_is_rejected_by_checksum() {
+        let (image, footer) = encode_segment(&data());
+        let col_start = 8 + footer.body_len as usize;
+        for off in 0..footer.col_len as usize {
             let mut bad = image.clone();
-            bad[idx] ^= 0x40;
+            bad[col_start + off] ^= 0x01;
+            let err = parse_segment(&bad).unwrap_err();
             assert!(
-                decode_segment(&bad).is_err(),
-                "flip at byte {idx} went unnoticed"
+                err.0.contains("columnar checksum") || err.0.contains("count"),
+                "columnar flip at +{off} produced unexpected error: {err}"
             );
         }
     }

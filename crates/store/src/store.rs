@@ -195,6 +195,26 @@ impl BundleStore {
         }
         Ok(data)
     }
+
+    /// Open a zero-copy view over one segment by index, with the same
+    /// manifest cross-check as [`Self::read_segment`] (the view itself
+    /// verifies the body and columnar checksums on open).
+    pub fn open_view(&self, index: usize) -> std::io::Result<crate::view::SegmentView> {
+        let meta = self.manifest.segments.get(index).ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                format!("segment {index} not in manifest"),
+            )
+        })?;
+        let view = crate::view::SegmentView::open(&Manifest::segment_path(&self.dir, meta))?;
+        if format!("{:016x}", view.footer().checksum) != meta.checksum {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("segment {index} checksum disagrees with manifest"),
+            ));
+        }
+        Ok(view)
+    }
 }
 
 #[cfg(test)]

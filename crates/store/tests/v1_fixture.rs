@@ -1,0 +1,130 @@
+//! Backward-compatibility golden test: a checked-in v1 (`SWSEG01`,
+//! pre-columnar) segment image must keep decoding to exactly the records
+//! it was sealed from, and the v1 encoder must keep producing exactly
+//! those bytes (so old stores on disk stay readable forever).
+//!
+//! Regenerate the fixture after an *intentional* v1 encoding change with:
+//!
+//! ```sh
+//! REGEN_V1_FIXTURE=1 cargo test -p sandwich-store --test v1_fixture
+//! ```
+//!
+//! An unintentional byte drift fails the golden comparison instead.
+
+use sandwich_ledger::{SolDelta, TokenDelta, TransactionMeta};
+use sandwich_store::codec::SegmentData;
+use sandwich_store::records::{CollectedBundle, CollectedDetail, PollRecord};
+use sandwich_store::segment::{encode_segment_v1, parse_segment};
+use sandwich_store::{Columns, SegmentView};
+use sandwich_types::{Hash, Keypair, LamportDelta, Lamports, Pubkey, Slot};
+
+const FIXTURE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/v1.seg");
+
+/// The records the fixture was sealed from — everything derived from
+/// labels and constants, so the image is a pure function of the encoder.
+fn fixture_data() -> SegmentData {
+    let attacker = Keypair::from_label("fixture:attacker");
+    let victim = Keypair::from_label("fixture:victim");
+    let mint = Pubkey::derive("fixture:mint");
+    let trio: Vec<_> = (0..3u64).map(|i| attacker.sign(&i.to_le_bytes())).collect();
+    let bundle_id = sandwich_jito::bundle_id_of(&trio);
+    let solo = vec![victim.sign(b"solo")];
+    let meta = |n: u64, signer: &Keypair, sol: i64, tokens: i128| TransactionMeta {
+        tx_id: trio[n as usize],
+        signer: signer.pubkey(),
+        fee: Lamports(5_000),
+        priority_fee: Lamports(100),
+        success: true,
+        error: None,
+        sol_deltas: vec![SolDelta {
+            account: signer.pubkey(),
+            delta: LamportDelta(sol),
+        }],
+        token_deltas: vec![TokenDelta {
+            owner: signer.pubkey(),
+            mint,
+            delta: tokens,
+        }],
+    };
+    SegmentData {
+        bundles: vec![
+            CollectedBundle {
+                bundle_id,
+                slot: Slot(1_000),
+                timestamp_ms: 400_000,
+                tip: Lamports(2_000_000),
+                tx_ids: trio.clone(),
+            },
+            CollectedBundle {
+                bundle_id: Hash::digest(b"fixture:solo"),
+                slot: Slot(1_010),
+                timestamp_ms: 404_000,
+                tip: Lamports(50_000),
+                tx_ids: solo,
+            },
+        ],
+        details: vec![
+            CollectedDetail {
+                bundle_id,
+                slot: Slot(1_000),
+                meta: meta(0, &attacker, -100_000_000_000, 10_000),
+            },
+            CollectedDetail {
+                bundle_id,
+                slot: Slot(1_000),
+                meta: meta(1, &victim, -120_000_000_000, 10_000),
+            },
+            CollectedDetail {
+                bundle_id,
+                slot: Slot(1_000),
+                meta: meta(2, &attacker, 115_000_000_000, -10_000),
+            },
+        ],
+        polls: vec![PollRecord {
+            day: 0,
+            fetched: 2,
+            new: 2,
+            overlapped_previous: true,
+        }],
+    }
+}
+
+#[test]
+fn v1_fixture_bytes_are_stable_and_decode_identically() {
+    let data = fixture_data();
+    let (image, footer) = encode_segment_v1(&data);
+
+    if std::env::var("REGEN_V1_FIXTURE").is_ok() {
+        std::fs::create_dir_all(std::path::Path::new(FIXTURE).parent().unwrap()).unwrap();
+        std::fs::write(FIXTURE, &image).unwrap();
+    }
+    let golden = std::fs::read(FIXTURE)
+        .expect("fixture missing — run with REGEN_V1_FIXTURE=1 to create it, then check it in");
+
+    // The encoder still produces the checked-in bytes, bit for bit.
+    assert_eq!(
+        golden, image,
+        "v1 encoder drifted from the checked-in fixture bytes"
+    );
+
+    // The checked-in bytes still parse as v1 and decode to the records.
+    let parsed = parse_segment(&golden).expect("fixture parses");
+    assert_eq!(parsed.version, 1);
+    assert!(parsed.columns.is_none(), "v1 has no columnar section");
+    assert_eq!(parsed.footer.checksum, footer.checksum);
+    assert_eq!(parsed.footer.bundles, 2);
+    assert_eq!(parsed.footer.details, 3);
+
+    // A zero-copy view opens it (heap or map), reports no columns, and
+    // the materializing fallback decodes the exact records.
+    let dir = std::env::temp_dir().join(format!("v1fix-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("seg-00000.seg");
+    std::fs::write(&path, &golden).unwrap();
+    let view = SegmentView::open(&path).unwrap();
+    assert_eq!(view.version(), 1);
+    assert!(!view.has_columns());
+    assert!(view.read_columns(&mut Columns::default()).is_err());
+    assert_eq!(view.decode_all().unwrap(), data);
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -31,13 +31,44 @@ timeout 420 cargo test --offline -p sandwich-suite --test chaos_matrix -q
 echo "==> store scan determinism (bounded)"
 timeout 420 cargo test --offline -p sandwich-suite --test store_scan -q
 
-# A short scan_bench run smoke-tests the seal → parallel-scan path end to
-# end (it asserts byte-identical reports at 1/2/4/8 threads internally).
-echo "==> scan_bench smoke (bounded)"
-SANDWICH_DAYS=2 \
+# A bounded scale_gen + scan_bench run smoke-tests the synthesize → seal →
+# scan path end to end: it asserts the findings count equals the planted
+# ground truth and that the zero-copy, materializing, and multi-thread
+# scans all serialize byte-identically. The >=2x speedup gate only arms at
+# >=200k bundles, so this checks correctness, not the ratio.
+echo "==> scan_bench smoke (bounded, 50k-bundle scale store)"
+SANDWICH_SCAN_BUNDLES=50000 \
 SANDWICH_BENCH_OUT=target/BENCH_scan_smoke.json \
 SANDWICH_STORE_DIR=target/scan_smoke.store \
 timeout 420 cargo run --offline --release -p sandwich-bench --bin scan_bench
+for field in zero_copy_speedup_1_thread materializing_bundles_per_sec \
+             byte_identical_across_paths_and_threads single_core; do
+  grep -q "\"$field\"" target/BENCH_scan_smoke.json || {
+    echo "BENCH_scan_smoke.json is missing \"$field\"" >&2
+    exit 1
+  }
+done
+if [ -f results/BENCH_scan.json ]; then
+  for field in zero_copy_speedup_1_thread materializing_bundles_per_sec \
+               byte_identical_across_paths_and_threads; do
+    grep -q "\"$field\"" results/BENCH_scan.json || {
+      echo "results/BENCH_scan.json is missing \"$field\"" >&2
+      exit 1
+    }
+  done
+fi
+
+# The on-disk format spec must agree with the code on the format version:
+# docs/FORMAT.md states it as a greppable "FORMAT_VERSION = N" line, and
+# crates/store declares "FORMAT_VERSION: u8 = N". Extract both, compare.
+echo "==> FORMAT.md version matches store::FORMAT_VERSION"
+spec_ver=$(sed -n 's/^FORMAT_VERSION = \([0-9][0-9]*\)$/\1/p' docs/FORMAT.md)
+code_ver=$(sed -n 's/^pub const FORMAT_VERSION: u8 = \([0-9][0-9]*\);$/\1/p' crates/store/src/segment.rs)
+if [ -z "$spec_ver" ] || [ -z "$code_ver" ] || [ "$spec_ver" != "$code_ver" ]; then
+  echo "format version drift: docs/FORMAT.md says '${spec_ver:-missing}'," \
+       "crates/store/src/segment.rs says '${code_ver:-missing}'" >&2
+  exit 1
+fi
 
 # The conformance smoke replays the ground-truth lab end to end: detector
 # precision/recall 1.0 against the sim's labels, every criterion ablation

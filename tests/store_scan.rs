@@ -127,6 +127,17 @@ async fn store_scan_matches_legacy_and_is_thread_invariant() {
         "store scan diverged from the legacy in-memory analysis"
     );
 
+    // The zero-copy columnar scan (the default path above) is byte-identical
+    // to a forced record-by-record materializing scan of the same store.
+    let materialized = serde_json::to_string(
+        &sandwich_core::scan_store_materializing(store, &run.clock, &cfg, 2).unwrap(),
+    )
+    .unwrap();
+    assert_eq!(
+        base, materialized,
+        "zero-copy scan diverged from the materializing scan"
+    );
+
     // The streaming report (folded segment by segment as each sealed)
     // equals the batch scan.
     let streaming = run.streaming_report.as_ref().expect("streaming was on");
@@ -163,12 +174,15 @@ async fn store_scan_matches_legacy_and_is_thread_invariant() {
     );
 
     // The binary store is dramatically smaller than the JSONL archive.
+    // The v2 columnar section spends ~11% of segment size buying the
+    // zero-copy fast path, so the bound is 2.5x rather than the 3.1x the
+    // pure row encoding measured.
     let mut jsonl = Vec::new();
     legacy.dataset.write_jsonl(&mut jsonl).unwrap();
     let store_bytes = store.manifest().total_bytes();
     assert!(
-        store_bytes * 3 <= jsonl.len() as u64,
-        "binary store ({store_bytes} B) is not ≥3x smaller than JSONL ({} B)",
+        store_bytes * 5 <= jsonl.len() as u64 * 2,
+        "binary store ({store_bytes} B) is not ≥2.5x smaller than JSONL ({} B)",
         jsonl.len()
     );
 
