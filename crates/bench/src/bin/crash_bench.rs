@@ -1,0 +1,373 @@
+//! Crash-safety benchmark and conformance harness for the bundle store.
+//!
+//! Three phases, one invariant: **no silent divergence** — every injected
+//! failure must end in either a byte-identical recovered store/report or
+//! an explicit quarantine with exact coverage accounting. Anything else
+//! counts as `silent_divergence` and fails the gate.
+//!
+//! * **Phase A (crash matrix)** — enumerate every crash step of a full
+//!   segment seal (segment write → footer → rename → directory fsync →
+//!   manifest update), and for each step × {clean kill, torn write} kill
+//!   the writer mid-seal, resume, re-seal, and require the recovered
+//!   store and its analysis report to be byte-identical to an
+//!   uninterrupted reference run.
+//! * **Phase B (doctor matrix)** — at `SANDWICH_CRASH_BUNDLES` scale,
+//!   mutate a sealed segment (torn tails, zeroed/flipped footers, body
+//!   flips, deleted files), run `store doctor --repair`, and require
+//!   either a byte-identical repaired report or an explicit quarantine
+//!   whose coverage matches the victim exactly.
+//! * **Phase C (degraded serving)** — quarantine a segment and require
+//!   `queryd` to keep serving: `/healthz` 200, `/api/summary` carrying
+//!   the quarantine in its coverage block.
+//!
+//! Writes `results/BENCH_crash.json` (or `$SANDWICH_BENCH_OUT`) with
+//! `crash_points`, `silent_divergence`, recovery timings, and
+//! `torn_tail_bytes_reclaimed`. Scale knobs: `SANDWICH_CRASH_BUNDLES`
+//! (default 50,000) and `SANDWICH_CRASH_STRIDE` (matrix subsampling for
+//! smoke runs; default 1 = every crash point).
+
+use std::path::Path;
+use std::time::Instant;
+
+use sandwich_bench::scale::{generate, ScaleConfig};
+use sandwich_core::{scan_store, scan_store_degraded, AnalysisConfig};
+use sandwich_net::{HttpClient, Server};
+use sandwich_obs::Registry;
+use sandwich_query::{QueryService, QueryServiceConfig};
+use sandwich_store::{
+    crash, doctor, is_injected_crash, BundleStore, CollectedBundle, CrashPlan, Manifest,
+    StoreWriter,
+};
+use sandwich_types::{Hash, Keypair, Lamports, Slot, SlotClock};
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn copy_dir(src: &Path, dst: &Path) {
+    let _ = std::fs::remove_dir_all(dst);
+    std::fs::create_dir_all(dst).expect("create copy dir");
+    for entry in std::fs::read_dir(src).expect("read src dir") {
+        let entry = entry.expect("dir entry");
+        std::fs::copy(entry.path(), dst.join(entry.file_name())).expect("copy file");
+    }
+}
+
+fn mk_bundle(seed: u64, slot: u64, tip: u64) -> CollectedBundle {
+    let kp = Keypair::from_label("crashbench");
+    CollectedBundle {
+        bundle_id: Hash::digest(&seed.to_le_bytes()),
+        slot: Slot(slot),
+        timestamp_ms: slot * 400,
+        tip: Lamports(tip),
+        tx_ids: vec![kp.sign(&seed.to_le_bytes())],
+    }
+}
+
+fn batch(seed: u64, base_slot: u64, n: u64) -> Vec<CollectedBundle> {
+    (0..n)
+        .map(|i| mk_bundle(seed * 1_000 + i, base_slot + i * 2, 30_000 + i))
+        .collect()
+}
+
+/// Scan a store and return the deterministic report JSON.
+fn report_json(dir: &Path, clock: &SlotClock, config: &AnalysisConfig) -> String {
+    let store = BundleStore::open(dir).expect("open store");
+    let report = scan_store(&store, clock, config, 2).expect("scan");
+    serde_json::to_string(&report).expect("serialize report")
+}
+
+fn main() {
+    let bundles = env_u64("SANDWICH_CRASH_BUNDLES", 50_000);
+    let stride = env_u64("SANDWICH_CRASH_STRIDE", 1).max(1);
+    let scratch = std::env::temp_dir().join(format!("crash-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::fs::create_dir_all(&scratch).expect("scratch dir");
+
+    let clock = SlotClock::default();
+    let small_cfg = AnalysisConfig::paper_defaults(1);
+
+    // ---------- Phase A: the seal crash matrix ----------
+    // Base store: two sealed segments; the matrix crashes a third seal.
+    let base = scratch.join("matrix.base");
+    let mut w = StoreWriter::create(&base).expect("create base");
+    w.seal_segment(batch(1, 100, 50), Vec::new(), Vec::new())
+        .expect("seal 1");
+    w.seal_segment(batch(2, 300, 50), Vec::new(), Vec::new())
+        .expect("seal 2");
+    drop(w);
+    let base_sealed = Manifest::load(&base).expect("base manifest").segments;
+    let extra = || batch(3, 500, 50);
+
+    // Uninterrupted reference: seal the third segment, snapshot the store.
+    let reference = scratch.join("matrix.ref");
+    copy_dir(&base, &reference);
+    let mut w = StoreWriter::resume(&reference, &base_sealed).expect("resume ref");
+    let ref_meta = w
+        .seal_segment(extra(), Vec::new(), Vec::new())
+        .expect("seal ref");
+    drop(w);
+    let ref_json = report_json(&reference, &clock, &small_cfg);
+    let ref_seg_bytes = std::fs::read(reference.join(&ref_meta.file)).expect("read ref segment");
+
+    // Count the crash steps of one full seal (segment file + manifest).
+    let steps = {
+        let dir = scratch.join("matrix.count");
+        copy_dir(&base, &dir);
+        let mut w = StoreWriter::resume(&dir, &base_sealed).expect("resume count");
+        let mut plan = CrashPlan::count();
+        w.seal_segment_with(extra(), Vec::new(), Vec::new(), Some(&mut plan))
+            .expect("counting seal");
+        plan.steps_seen()
+    };
+    println!("crash_bench: one seal = {steps} crash points, stride {stride}");
+
+    let mut silent_divergence: u64 = 0;
+    let mut matrix_cases: u64 = 0;
+    let mut recovery_us: Vec<u64> = Vec::new();
+    for step in (0..steps).step_by(stride as usize) {
+        for torn in [false, true] {
+            matrix_cases += 1;
+            let dir = scratch.join(format!("matrix.s{step}.t{}", torn as u8));
+            copy_dir(&base, &dir);
+            let mut w = StoreWriter::resume(&dir, &base_sealed).expect("resume victim");
+            let mut plan = CrashPlan::crash_at(step, torn, 0xC0FFEE ^ (step * 2 + torn as u64));
+            let err = w
+                .seal_segment_with(extra(), Vec::new(), Vec::new(), Some(&mut plan))
+                .expect_err("crash plan must fire inside the seal");
+            assert!(
+                is_injected_crash(&err),
+                "step {step} torn={torn}: unexpected error {err}"
+            );
+            drop(w); // the crashed writer is dead
+
+            // Recovery: resume back to the checkpointed prefix, then
+            // redo the seal. Whatever the crash left behind (torn tail,
+            // orphan segment, half-renamed manifest), the result must be
+            // byte-identical to the uninterrupted reference.
+            let t = Instant::now();
+            let mut w = StoreWriter::resume(&dir, &base_sealed).expect("recovery resume");
+            recovery_us.push(t.elapsed().as_micros() as u64);
+            let meta = w
+                .seal_segment(extra(), Vec::new(), Vec::new())
+                .expect("re-seal after recovery");
+            drop(w);
+
+            let seg_bytes = std::fs::read(dir.join(&meta.file)).expect("read recovered segment");
+            let json = report_json(&dir, &clock, &small_cfg);
+            if meta.file != ref_meta.file || seg_bytes != ref_seg_bytes || json != ref_json {
+                silent_divergence += 1;
+                eprintln!("DIVERGENCE at step {step} torn={torn}");
+            }
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+    recovery_us.sort_unstable();
+    let recovery_max_ms = recovery_us.last().copied().unwrap_or(0) as f64 / 1_000.0;
+    let recovery_p50_ms =
+        recovery_us.get(recovery_us.len() / 2).copied().unwrap_or(0) as f64 / 1_000.0;
+    println!(
+        "  matrix: {matrix_cases} cases ({} divergent), recovery p50 {recovery_p50_ms:.2} ms / max {recovery_max_ms:.2} ms",
+        silent_divergence
+    );
+
+    // ---------- Phase B: the doctor matrix at scale ----------
+    let store_dir = scratch.join("doctor.store");
+    let scale = ScaleConfig {
+        bundles,
+        segment_bundles: ((bundles / 8).max(512) as usize).min(8_192),
+        days: 2,
+        ..ScaleConfig::default()
+    };
+    let mut writer = StoreWriter::create(&store_dir).expect("create scale store");
+    let stats = generate(&mut writer, &scale).expect("generate scale store");
+    let store = writer.into_reader();
+    let scale_cfg = AnalysisConfig::paper_defaults(scale.days);
+    let ref_report = scan_store(&store, &clock, &scale_cfg, 4).expect("reference scan");
+    let ref_scale_json = serde_json::to_string(&ref_report).expect("serialize");
+    let victim = store
+        .segments()
+        .last()
+        .expect("at least one segment")
+        .clone();
+    let total_bundles = store.manifest().total_bundles();
+    drop(store);
+    println!(
+        "  doctor store: {} bundles in {} segments, victim {} ({} bundles)",
+        stats.bundles,
+        Manifest::load(&store_dir).unwrap().segments.len(),
+        victim.file,
+        victim.bundles
+    );
+
+    let victim_path = store_dir.join(&victim.file);
+    let victim_bytes = std::fs::read(&victim_path).expect("read victim");
+    let manifest_bytes =
+        std::fs::read(store_dir.join(sandwich_store::MANIFEST_FILE)).expect("read manifest");
+    let vlen = victim_bytes.len() as u64;
+
+    type MutationCase = (&'static str, Box<dyn Fn()>);
+    let cases: Vec<MutationCase> = vec![
+        ("torn_tail_1", {
+            let p = victim_path.clone();
+            Box::new(move || crash::truncate_to(&p, vlen - 1).unwrap())
+        }),
+        ("torn_tail_64", {
+            let p = victim_path.clone();
+            Box::new(move || crash::truncate_to(&p, vlen - 64).unwrap())
+        }),
+        ("torn_tail_eighth", {
+            let p = victim_path.clone();
+            Box::new(move || crash::truncate_to(&p, vlen - vlen / 8).unwrap())
+        }),
+        ("torn_tail_quarter_len", {
+            let p = victim_path.clone();
+            Box::new(move || crash::truncate_to(&p, vlen / 4).unwrap())
+        }),
+        ("appended_garbage", {
+            let p = victim_path.clone();
+            Box::new(move || {
+                // A torn tail whose page kept bytes of a later, unrelated
+                // write: junk past the sealed footer, reclaimed on repair.
+                use std::io::Write;
+                let mut f = std::fs::OpenOptions::new().append(true).open(&p).unwrap();
+                f.write_all(&[0xA5u8; 777]).unwrap();
+            })
+        }),
+        ("zero_footer", {
+            let p = victim_path.clone();
+            Box::new(move || crash::zero_tail(&p, 68).unwrap())
+        }),
+        ("flip_footer", {
+            let p = victim_path.clone();
+            Box::new(move || crash::flip_byte(&p, vlen - 20).unwrap())
+        }),
+        ("flip_mid", {
+            let p = victim_path.clone();
+            Box::new(move || crash::flip_byte(&p, vlen / 2).unwrap())
+        }),
+        ("flip_body", {
+            let p = victim_path.clone();
+            Box::new(move || crash::flip_byte(&p, 12).unwrap())
+        }),
+        ("missing_file", {
+            let p = victim_path.clone();
+            Box::new(move || std::fs::remove_file(&p).unwrap())
+        }),
+    ];
+
+    let mut doctor_repaired: u64 = 0;
+    let mut doctor_quarantined: u64 = 0;
+    let mut torn_tail_bytes_reclaimed: u64 = 0;
+    let mut doctor_ms_max: f64 = 0.0;
+    let doctor_cases = cases.len() as u64;
+    for (name, mutate) in &cases {
+        mutate();
+        let t = Instant::now();
+        let report = doctor::repair(&store_dir).expect("doctor repair");
+        doctor_ms_max = doctor_ms_max.max(t.elapsed().as_secs_f64() * 1_000.0);
+        torn_tail_bytes_reclaimed += report.bytes_reclaimed;
+
+        let reopened = BundleStore::open(&store_dir).expect("reopen after doctor");
+        let (scanned, coverage) =
+            scan_store_degraded(&reopened, &clock, &scale_cfg, 4, None).expect("degraded scan");
+        if report.quarantined == 0 {
+            // Repaired (or clean): the report must be byte-identical and
+            // the coverage complete — anything else is silent divergence.
+            doctor_repaired += 1;
+            let json = serde_json::to_string(&scanned).expect("serialize");
+            if json != ref_scale_json || !coverage.complete() {
+                silent_divergence += 1;
+                eprintln!("DIVERGENCE in doctor case {name}: repaired but report differs");
+            }
+        } else {
+            // Quarantined: the loss must be explicit and exact.
+            doctor_quarantined += 1;
+            let exact = coverage.segments_quarantined == 1
+                && coverage.bundles_quarantined == victim.bundles
+                && coverage.bundles_scanned + coverage.bundles_quarantined == total_bundles
+                && reopened.quarantined().len() == 1;
+            if !exact {
+                silent_divergence += 1;
+                eprintln!("DIVERGENCE in doctor case {name}: quarantine accounting inexact");
+            }
+        }
+        println!(
+            "  doctor {name}: {} (bytes_reclaimed {})",
+            if report.quarantined > 0 {
+                "quarantined"
+            } else {
+                "repaired"
+            },
+            report.bytes_reclaimed
+        );
+
+        // Restore the healthy baseline for the next case.
+        std::fs::write(&victim_path, &victim_bytes).expect("restore victim");
+        std::fs::write(
+            store_dir.join(sandwich_store::MANIFEST_FILE),
+            &manifest_bytes,
+        )
+        .expect("restore manifest");
+        let _ = std::fs::remove_file(store_dir.join(sandwich_query::INDEX_FILE));
+    }
+
+    // ---------- Phase C: queryd serves over a quarantined store ----------
+    crash::flip_byte(&victim_path, 12).expect("flip body");
+    let report = doctor::repair(&store_dir).expect("doctor repair");
+    assert_eq!(report.quarantined, 1, "victim must quarantine for phase C");
+    let runtime = tokio::runtime::Builder::new_multi_thread()
+        .enable_all()
+        .build()
+        .expect("tokio runtime");
+    let (healthz_ok, summary_has_quarantine) = runtime.block_on(async {
+        let service = QueryService::open(QueryServiceConfig::new(&store_dir), Registry::new())
+            .expect("open queryd over quarantined store");
+        let server = Server::bind("127.0.0.1:0", service.router())
+            .await
+            .expect("bind");
+        let client = HttpClient::new(server.local_addr());
+        let health = client.get("/healthz").await.expect("healthz");
+        let summary = client.get("/api/summary").await.expect("summary");
+        let text = String::from_utf8_lossy(&summary.body).to_string();
+        server.shutdown().await;
+        (
+            health.status == 200 && summary.status == 200,
+            text.contains("\"segments_quarantined\":1"),
+        )
+    });
+    if !healthz_ok || !summary_has_quarantine {
+        silent_divergence += 1;
+        eprintln!("DIVERGENCE in phase C: queryd did not serve the quarantined store");
+    }
+    println!("  queryd over quarantined store: healthz_ok={healthz_ok}, coverage reported={summary_has_quarantine}");
+
+    // ---------- Snapshot + gates ----------
+    let out = std::env::var("SANDWICH_BENCH_OUT").unwrap_or_else(|_| {
+        let _ = std::fs::create_dir_all("results");
+        "results/BENCH_crash.json".into()
+    });
+    let snapshot = format!(
+        "{{\n  \"crash_points\": {steps},\n  \"crash_matrix_cases\": {matrix_cases},\n  \"stride\": {stride},\n  \"silent_divergence\": {silent_divergence},\n  \"recovery_p50_ms\": {recovery_p50_ms:.3},\n  \"recovery_max_ms\": {recovery_max_ms:.3},\n  \"store_bundles\": {store_bundles},\n  \"doctor_cases\": {doctor_cases},\n  \"doctor_repaired\": {doctor_repaired},\n  \"doctor_quarantined\": {doctor_quarantined},\n  \"doctor_ms_max\": {doctor_ms_max:.3},\n  \"torn_tail_bytes_reclaimed\": {torn_tail_bytes_reclaimed},\n  \"queryd_served_with_quarantine\": {served},\n  \"healthz_ok\": {healthz_ok}\n}}\n",
+        store_bundles = stats.bundles,
+        served = summary_has_quarantine,
+    );
+    std::fs::write(&out, snapshot).expect("write snapshot");
+    println!("  snapshot → {out}");
+
+    let _ = std::fs::remove_dir_all(&scratch);
+    assert!(
+        steps >= 20,
+        "crash matrix too small: {steps} crash points (need >= 20)"
+    );
+    assert_eq!(
+        silent_divergence, 0,
+        "crash harness observed silent divergence"
+    );
+    println!(
+        "crash_bench: {matrix_cases} matrix cases + {doctor_cases} doctor cases, zero silent divergence"
+    );
+}

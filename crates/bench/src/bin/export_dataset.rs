@@ -21,10 +21,11 @@ fn main() {
     let bundles = fr.run.dataset.len() as f64;
 
     // JSONL path: serialize by reference, measure, reload, re-analyze.
-    let file = std::fs::File::create(&path).expect("create archive");
+    // The durable file write (temp + fsync + atomic rename) means a
+    // killed export never leaves a half-written archive behind.
     fr.run
         .dataset
-        .write_jsonl(std::io::BufWriter::new(file))
+        .write_jsonl_file(&path)
         .expect("write archive");
     let jsonl_bytes = std::fs::metadata(&path).unwrap().len();
     println!(

@@ -386,6 +386,15 @@ impl Dataset {
         Ok(())
     }
 
+    /// [`Dataset::write_jsonl`] straight to a file, durably: the archive
+    /// streams into a temp file which is fsynced, atomically renamed over
+    /// `path`, and made durable with a parent-directory fsync — a crash
+    /// mid-export leaves either the old archive or the new one, never a
+    /// half-written file.
+    pub fn write_jsonl_file(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        write_file_durable(path.as_ref(), |w| self.write_jsonl(w))
+    }
+
     /// Reload a dataset from [`Dataset::write_jsonl`] output. Unknown lines
     /// are rejected; bundle order is restored chronologically by slot.
     pub fn read_jsonl<R: std::io::BufRead>(r: R) -> std::io::Result<Dataset> {
@@ -488,6 +497,29 @@ struct FlushedState {
     details: u64,
     polls_spilled: u64,
     max_slot: Option<u64>,
+}
+
+/// Stream `fill` into `path` durably: buffered temp file, fsync, atomic
+/// rename, parent-directory fsync. Shared by every file-producing artifact
+/// in this crate (JSONL archives, checkpoints) so none is ever observably
+/// half-written.
+pub(crate) fn write_file_durable(
+    path: &std::path::Path,
+    fill: impl FnOnce(&mut std::io::BufWriter<std::fs::File>) -> std::io::Result<()>,
+) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    let mut w = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
+    fill(&mut w)?;
+    use std::io::Write;
+    w.flush()?;
+    w.into_inner()
+        .map_err(|e| std::io::Error::other(e.to_string()))?
+        .sync_all()?;
+    std::fs::rename(&tmp, path)?;
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        sandwich_store::crash::fsync_dir(parent)?;
+    }
+    Ok(())
 }
 
 #[cfg(test)]

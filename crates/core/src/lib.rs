@@ -54,7 +54,7 @@ pub use pipeline::{
     RunOptions, StoreOptions,
 };
 pub use scan::{
-    scan_store, scan_store_materializing, scan_store_observed, DetailLookup, IncrementalScan,
-    ScanPartial,
+    scan_store, scan_store_degraded, scan_store_materializing, scan_store_observed, DetailLookup,
+    IncrementalScan, ScanCoverage, ScanPartial,
 };
 pub use stats::{Cdf, DailySeries};

@@ -470,6 +470,100 @@ pub fn scan_store_observed(
     Ok(scan_store_partial(store, clock, config, threads, registry)?.finalize(config))
 }
 
+/// Exact accounting of what a degraded scan covered: segments and
+/// bundles actually scanned, sitting in quarantine, or skipped because
+/// they failed to read/verify. `segments_total` counts every segment the
+/// manifest has ever sealed and kept on the books (serving + quarantine).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ScanCoverage {
+    /// Serving segments + quarantined segments.
+    pub segments_total: u64,
+    /// Segments scanned into the report.
+    pub segments_scanned: u64,
+    /// Segments in the manifest's quarantine list (never read).
+    pub segments_quarantined: u64,
+    /// Serving segments that failed to read or verify and were skipped.
+    pub segments_failed: u64,
+    /// Bundle records scanned into the report.
+    pub bundles_scanned: u64,
+    /// Bundle records in quarantined segments.
+    pub bundles_quarantined: u64,
+    /// Bundle records in skipped (failed) segments.
+    pub bundles_failed: u64,
+}
+
+impl ScanCoverage {
+    /// Did the scan cover every bundle the store has on the books?
+    pub fn complete(&self) -> bool {
+        self.segments_quarantined == 0 && self.segments_failed == 0
+    }
+}
+
+/// Degraded-mode scan: like [`scan_store_observed`], but a segment that
+/// fails to read or verify is *skipped and accounted* instead of failing
+/// the whole scan, and quarantined segments are reported in the coverage
+/// block. The report over the surviving segments is still deterministic —
+/// byte-identical to a clean scan of the same surviving set at any thread
+/// count.
+pub fn scan_store_degraded(
+    store: &BundleStore,
+    clock: &SlotClock,
+    config: &AnalysisConfig,
+    threads: usize,
+    registry: Option<&Registry>,
+) -> std::io::Result<(AnalysisReport, ScanCoverage)> {
+    let units: Vec<usize> = (0..store.segments().len()).collect();
+    let started = std::time::Instant::now();
+    let (partials, workers) = parallel_map(&units, threads, |_, &i| {
+        let result: std::io::Result<ScanPartial> = store
+            .open_view(i)
+            .and_then(|view| partial_of_view_or_segment(&view, clock, config));
+        // Propagate the outcome, not the error: the reduce below turns
+        // failures into coverage accounting.
+        result.ok()
+    });
+    let mut coverage = ScanCoverage {
+        segments_quarantined: store.quarantined().len() as u64,
+        bundles_quarantined: store.manifest().total_quarantined_bundles(),
+        ..ScanCoverage::default()
+    };
+    coverage.segments_total = store.segments().len() as u64 + coverage.segments_quarantined;
+    let mut acc = ScanPartial::new(config.days as usize);
+    for (i, partial) in partials.into_iter().enumerate() {
+        let meta = &store.segments()[i];
+        match partial {
+            Some(p) => {
+                coverage.segments_scanned += 1;
+                coverage.bundles_scanned += meta.bundles;
+                acc.merge(p);
+            }
+            None => {
+                coverage.segments_failed += 1;
+                coverage.bundles_failed += meta.bundles;
+            }
+        }
+    }
+    if let Some(registry) = registry {
+        registry
+            .counter(sandwich_obs::names::SCAN_SEGMENTS_SCANNED)
+            .add(coverage.segments_scanned);
+        registry
+            .counter(sandwich_obs::names::SCAN_SEGMENTS_FAILED)
+            .add(coverage.segments_failed);
+        registry
+            .counter(sandwich_obs::names::SCAN_SEGMENTS_QUARANTINED)
+            .add(coverage.segments_quarantined);
+        let busy = registry.histogram(sandwich_obs::names::SCAN_WORKER_BUSY_SECONDS);
+        for w in &workers {
+            busy.observe(w.busy.as_secs_f64());
+        }
+        registry
+            .histogram(sandwich_obs::names::SCAN_SECONDS)
+            .observe(started.elapsed().as_secs_f64());
+    }
+    Ok((acc.finalize(config), coverage))
+}
+
 /// Full parallel analysis that decodes every record of every segment —
 /// the pre-columnar scan path, kept as the reference the zero-copy scan
 /// is benchmarked (and byte-equality-tested) against.

@@ -77,3 +77,19 @@ pub const QUERY_RELOADS: &str = "query.reloads";
 /// Prefix for the per-endpoint latency histograms (seconds); the endpoint
 /// name is appended, e.g. `query.seconds.summary`.
 pub const QUERY_SECONDS_PREFIX: &str = "query.seconds.";
+
+/// Counter: segments skipped by a degraded (coverage-accounted) scan
+/// because they failed to read or verify.
+pub const SCAN_SEGMENTS_FAILED: &str = "scan.segments_failed";
+
+/// Counter: quarantined segments a degraded scan accounted for (never
+/// read, reported in the coverage block).
+pub const SCAN_SEGMENTS_QUARANTINED: &str = "scan.segments_quarantined";
+
+/// Counter: segments an index build skipped because they failed to read
+/// or verify (the index serves with a degraded coverage block).
+pub const QUERY_INDEX_SEGMENTS_FAILED: &str = "query.index.segments_failed";
+
+/// Counter: requests shed by admission control (503 + Retry-After)
+/// because the bounded in-flight limit was reached.
+pub const QUERY_SHED: &str = "query.shed";

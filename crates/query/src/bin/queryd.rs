@@ -7,7 +7,14 @@
 //! - `SANDWICH_QUERY_STORE`  — store directory (default `collector.store`)
 //! - `SANDWICH_QUERY_ADDR`   — bind address (default `127.0.0.1:8080`)
 //! - `SANDWICH_QUERY_THREADS` — index-build workers (default 4)
+//! - `SANDWICH_QUERY_MAX_INFLIGHT` — admission-control bound on
+//!   concurrent API requests; excess load is shed with 503 +
+//!   `Retry-After` (default 256)
 //! - `SANDWICH_QUERYD_ONCE=1` — exit right after startup (smoke tests)
+//!
+//! `GET /healthz` answers 200 while the process serves; `GET /readyz`
+//! flips to 503 while the most recent index reload failed (the daemon
+//! keeps serving the last good generation meanwhile).
 //!
 //! The daemon polls the manifest every few seconds and hot-swaps the index
 //! when the collector seals a new segment, so a tracker UI pointed at this
@@ -26,10 +33,14 @@ fn main() {
     let store_dir = env_or("SANDWICH_QUERY_STORE", "collector.store");
     let addr = env_or("SANDWICH_QUERY_ADDR", "127.0.0.1:8080");
     let threads: usize = env_or("SANDWICH_QUERY_THREADS", "4").parse().unwrap_or(4);
+    let max_in_flight: usize = env_or("SANDWICH_QUERY_MAX_INFLIGHT", "256")
+        .parse()
+        .unwrap_or(256);
     let once = env_or("SANDWICH_QUERYD_ONCE", "0") == "1";
 
     let mut config = QueryServiceConfig::new(&store_dir);
     config.query.threads = threads;
+    config.max_in_flight = max_in_flight;
     let registry = Registry::new();
 
     let runtime = tokio::runtime::Builder::new_multi_thread()

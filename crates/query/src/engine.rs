@@ -17,8 +17,8 @@ use sandwich_types::Pubkey;
 
 use crate::cache::CachedResponse;
 use crate::index::{
-    first_ref_at_or_after, AttackerEntry, DayRollup, IndexTotals, PoolEntry, QueryIndex,
-    SandwichRef,
+    first_ref_at_or_after, AttackerEntry, DayRollup, IndexCoverage, IndexTotals, PoolEntry,
+    QueryIndex, SandwichRef,
 };
 
 /// Default page size when `limit=` is absent.
@@ -171,6 +171,8 @@ impl QueryRequest {
 #[derive(Serialize)]
 struct SummaryResponse {
     generation: String,
+    coverage: IndexCoverage,
+    complete: bool,
     totals: IndexTotals,
     days: u64,
     attackers: u64,
@@ -345,6 +347,8 @@ impl Engine {
                 200,
                 &SummaryResponse {
                     generation: index.generation.clone(),
+                    coverage: index.coverage.clone(),
+                    complete: index.coverage.complete(),
                     totals: index.totals.clone(),
                     days: index.days.len() as u64,
                     attackers: index.attackers.len() as u64,
@@ -516,6 +520,12 @@ mod tests {
         ];
         QueryIndex {
             generation: "cafebabecafebabe".to_string(),
+            coverage: IndexCoverage {
+                segments_total: 1,
+                segments_scanned: 1,
+                bundles_scanned: 4,
+                ..IndexCoverage::default()
+            },
             totals: IndexTotals {
                 segments: 1,
                 bundles: 4,

@@ -151,6 +151,37 @@ pub struct PoolEntry {
     pub refs: Vec<u32>,
 }
 
+/// What fraction of the store this index actually describes. A healthy
+/// build scans every serving segment; a degraded build (unreadable
+/// segment files, quarantined segments in the manifest) still succeeds
+/// but says exactly what it skipped, so `/api/summary` can surface the
+/// gap instead of silently under-reporting.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IndexCoverage {
+    /// Serving segments in the manifest when the build ran.
+    pub segments_total: u64,
+    /// Segments decoded and folded into the index.
+    pub segments_scanned: u64,
+    /// Segments the manifest had already quarantined (never read).
+    pub segments_quarantined: u64,
+    /// Serving segments that failed to read or decode and were skipped.
+    pub segments_failed: u64,
+    /// Bundles inside the scanned segments.
+    pub bundles_scanned: u64,
+    /// Bundles inside quarantined segments (per their manifest entries).
+    pub bundles_quarantined: u64,
+    /// Bundles inside skipped segments (per their manifest entries).
+    pub bundles_failed: u64,
+}
+
+impl IndexCoverage {
+    /// `true` when nothing was skipped or quarantined — the index
+    /// describes every bundle ever sealed into the store.
+    pub fn complete(&self) -> bool {
+        self.segments_failed == 0 && self.segments_quarantined == 0
+    }
+}
+
 /// Store-wide totals for `/api/summary`.
 #[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct IndexTotals {
@@ -179,6 +210,8 @@ pub struct IndexTotals {
 pub struct QueryIndex {
     /// The manifest generation this index describes.
     pub generation: String,
+    /// How much of the store the build covered (degraded-mode accounting).
+    pub coverage: IndexCoverage,
     /// Store-wide totals.
     pub totals: IndexTotals,
     /// Per-day rollups, dense from day 0.
@@ -298,21 +331,50 @@ fn partial_of_segment(data: sandwich_store::SegmentData, config: &QueryConfig) -
 /// Build the index from every sealed segment of `store` on
 /// `config.threads` workers. Deterministic: the result depends only on the
 /// store contents, never on the worker count or interleaving.
+///
+/// Degraded mode: a segment that fails to read or decode is *skipped*,
+/// not fatal — the build still returns an index, and
+/// [`QueryIndex::coverage`] records exactly which segments (and how many
+/// bundles) are missing from it. Quarantined segments are accounted for
+/// from the manifest without being read.
 pub fn build_index(store: &BundleStore, config: &QueryConfig) -> std::io::Result<QueryIndex> {
     let units: Vec<usize> = (0..store.segments().len()).collect();
     let (partials, _workers) = parallel_map(&units, config.threads, |_, &i| {
         store
             .read_segment(i)
+            .ok()
             .map(|data| partial_of_segment(data, config))
     });
     let mut acc = IndexPartial::default();
-    for partial in partials {
-        acc.merge(partial?);
+    let mut coverage = IndexCoverage {
+        segments_total: store.segments().len() as u64,
+        segments_quarantined: store.quarantined().len() as u64,
+        bundles_quarantined: store.manifest().total_quarantined_bundles(),
+        ..IndexCoverage::default()
+    };
+    for (i, partial) in partials.into_iter().enumerate() {
+        let bundles = store.segments()[i].bundles;
+        match partial {
+            Some(partial) => {
+                coverage.segments_scanned += 1;
+                coverage.bundles_scanned += bundles;
+                acc.merge(partial);
+            }
+            None => {
+                coverage.segments_failed += 1;
+                coverage.bundles_failed += bundles;
+            }
+        }
     }
-    Ok(finalize(acc, store, config))
+    Ok(finalize(acc, coverage, store, config))
 }
 
-fn finalize(mut acc: IndexPartial, store: &BundleStore, config: &QueryConfig) -> QueryIndex {
+fn finalize(
+    mut acc: IndexPartial,
+    coverage: IndexCoverage,
+    store: &BundleStore,
+    config: &QueryConfig,
+) -> QueryIndex {
     acc.refs.sort_by_key(|r| (r.slot, r.bundle_id.0));
     for (day, rollup) in acc.days.iter_mut().enumerate() {
         rollup.label = config.clock.day_label(day as u64);
@@ -385,6 +447,7 @@ fn finalize(mut acc: IndexPartial, store: &BundleStore, config: &QueryConfig) ->
     };
     QueryIndex {
         generation: generation_of(store.manifest()),
+        coverage,
         totals,
         days: acc.days,
         refs: acc.refs,
@@ -427,8 +490,10 @@ impl std::fmt::Display for IndexReject {
     }
 }
 
-/// Persist `index` next to the manifest (atomic temp + rename), framed as
-/// `magic · JSON body · FNV-1a 64 checksum (LE) · footer magic`.
+/// Persist `index` next to the manifest, durably: temp file + fsync +
+/// atomic rename + directory fsync, framed as `magic · JSON body ·
+/// FNV-1a 64 checksum (LE) · footer magic`. A crash mid-save leaves the
+/// previous index (or none) — never a torn frame.
 pub fn save_index(dir: &Path, index: &QueryIndex) -> std::io::Result<()> {
     let body = serde_json::to_vec(index)?;
     let mut image = Vec::with_capacity(body.len() + 24);
@@ -438,8 +503,14 @@ pub fn save_index(dir: &Path, index: &QueryIndex) -> std::io::Result<()> {
     image.extend_from_slice(INDEX_FOOTER_MAGIC);
     let path = dir.join(INDEX_FILE);
     let tmp = dir.join(format!("{INDEX_FILE}.tmp"));
-    std::fs::write(&tmp, &image)?;
-    std::fs::rename(&tmp, &path)
+    {
+        use std::io::Write;
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(&image)?;
+        file.sync_all()?;
+    }
+    std::fs::rename(&tmp, &path)?;
+    sandwich_store::crash::fsync_dir(dir)
 }
 
 /// Load a persisted index, trusting it only when the framing, the
@@ -585,6 +656,27 @@ mod tests {
             IndexReject::BadFrame
         );
 
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn degraded_build_skips_unreadable_segments_with_exact_coverage() {
+        let store = tmp_store("degraded", 3);
+        let dir = store.dir().to_path_buf();
+        let full = build_index(&store, &QueryConfig::default()).unwrap();
+        assert!(full.coverage.complete());
+        assert_eq!(full.coverage.segments_scanned, 3);
+        assert_eq!(full.coverage.bundles_scanned, 60);
+
+        // Delete one segment file out from under the reader: the build
+        // degrades to the remaining segments instead of failing.
+        std::fs::remove_file(dir.join(&store.segments()[1].file)).unwrap();
+        let degraded = build_index(&store, &QueryConfig::default()).unwrap();
+        assert!(!degraded.coverage.complete());
+        assert_eq!(degraded.coverage.segments_scanned, 2);
+        assert_eq!(degraded.coverage.segments_failed, 1);
+        assert_eq!(degraded.coverage.bundles_failed, 20);
+        assert_eq!(degraded.totals.bundles, 40, "skipped bundles are absent");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -22,7 +22,8 @@ pub mod service;
 pub use cache::{CacheOutcome, CachedResponse, ResponseCache};
 pub use engine::{Engine, QueryRequest, DEFAULT_LIMIT, MAX_LIMIT};
 pub use index::{
-    build_index, generation_of, load_index, save_index, AttackerEntry, DayRollup, IndexReject,
-    IndexTotals, PoolEntry, QueryConfig, QueryIndex, SandwichRef, INDEX_FILE, INDEX_MAGIC,
+    build_index, generation_of, load_index, save_index, AttackerEntry, DayRollup, IndexCoverage,
+    IndexReject, IndexTotals, PoolEntry, QueryConfig, QueryIndex, SandwichRef, INDEX_FILE,
+    INDEX_MAGIC,
 };
 pub use service::{QueryService, QueryServiceConfig};

@@ -6,8 +6,17 @@
 //! generation even while a reload swaps the engine mid-flight — there are
 //! no torn reads by construction. The generation that answered is echoed
 //! in the `x-query-generation` response header.
+//!
+//! Degraded mode: the service keeps serving through partial failure
+//! instead of dying. Index builds skip unreadable segments (coverage is
+//! reported on `/api/summary`), a failed reload keeps the last good
+//! engine serving (stale-while-revalidate; `/readyz` flips to 503 until
+//! a reload succeeds), and bounded-in-flight admission control sheds
+//! excess API load with `503` + `Retry-After` rather than queueing
+//! without bound. `/healthz` answers as long as the process serves.
 
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -32,6 +41,10 @@ pub struct QueryServiceConfig {
     pub cache_shards: usize,
     /// Entries per cache shard.
     pub cache_per_shard: usize,
+    /// Bound on concurrently-admitted API requests; excess load is shed
+    /// with `503` + `Retry-After`. Zero admits nothing (useful in tests);
+    /// `/healthz`, `/readyz`, and `/metrics` are always exempt.
+    pub max_in_flight: usize,
 }
 
 impl QueryServiceConfig {
@@ -42,6 +55,7 @@ impl QueryServiceConfig {
             query: QueryConfig::default(),
             cache_shards: 8,
             cache_per_shard: 128,
+            max_in_flight: 256,
         }
     }
 }
@@ -51,6 +65,21 @@ struct ServiceInner {
     engine: RwLock<Arc<Engine>>,
     cache: ResponseCache,
     registry: Registry,
+    /// API requests currently admitted (admission control).
+    in_flight: AtomicUsize,
+    /// Whether the most recent reload attempt succeeded. Starts true (an
+    /// open that fails never constructs a service at all).
+    last_reload_ok: AtomicBool,
+}
+
+/// Decrements the in-flight gauge when an admitted request finishes,
+/// however it finishes.
+struct InFlightGuard<'a>(&'a AtomicUsize);
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Release);
+    }
 }
 
 /// The query service: open once, serve many, reload on demand.
@@ -86,6 +115,11 @@ fn load_or_build(
             index
         }
     };
+    if index.coverage.segments_failed > 0 {
+        registry
+            .counter(names::QUERY_INDEX_SEGMENTS_FAILED)
+            .add(index.coverage.segments_failed);
+    }
     Ok(Engine::new(Arc::new(index)))
 }
 
@@ -102,6 +136,8 @@ impl QueryService {
                 engine: RwLock::new(Arc::new(engine)),
                 cache,
                 registry,
+                in_flight: AtomicUsize::new(0),
+                last_reload_ok: AtomicBool::new(true),
             }),
         })
     }
@@ -126,7 +162,19 @@ impl QueryService {
     /// the new index and swap it in atomically. Returns `true` when a new
     /// generation went live. In-flight requests keep the engine snapshot
     /// they already took.
+    ///
+    /// Stale-while-revalidate: a failed reload leaves the last good
+    /// engine serving and flips `/readyz` to 503 until a later reload
+    /// succeeds. The error is still returned for the caller to log.
     pub fn reload(&self) -> std::io::Result<bool> {
+        let result = self.reload_inner();
+        self.inner
+            .last_reload_ok
+            .store(result.is_ok(), Ordering::Release);
+        result
+    }
+
+    fn reload_inner(&self) -> std::io::Result<bool> {
         let manifest = Manifest::load(&self.inner.config.store_dir)?;
         let generation = generation_of(&manifest);
         if *self.inner.engine.read().generation() == generation {
@@ -139,10 +187,62 @@ impl QueryService {
         Ok(true)
     }
 
+    /// Try to admit one API request under the in-flight bound.
+    fn admit(&self) -> Option<InFlightGuard<'_>> {
+        let inner = &self.inner;
+        let prev = inner.in_flight.fetch_add(1, Ordering::AcqRel);
+        if prev >= inner.config.max_in_flight {
+            inner.in_flight.fetch_sub(1, Ordering::Release);
+            inner.registry.counter(names::QUERY_SHED).inc();
+            None
+        } else {
+            Some(InFlightGuard(&inner.in_flight))
+        }
+    }
+
+    /// `GET /healthz`: liveness. 200 as long as the process can answer at
+    /// all — never gated on admission control or reload state.
+    fn health_response(&self) -> Response {
+        let body = format!(
+            "{{\"status\":\"ok\",\"generation\":\"{}\"}}",
+            self.generation()
+        );
+        Response::new(200, body.into_bytes()).header("content-type", "application/json")
+    }
+
+    /// `GET /readyz`: readiness. 503 while the last reload attempt
+    /// failed (the service keeps serving its stale generation meanwhile);
+    /// also reports whether the served index covers the whole store.
+    fn ready_response(&self) -> Response {
+        let ok = self.inner.last_reload_ok.load(Ordering::Acquire);
+        let engine = self.engine_snapshot();
+        let body = format!(
+            "{{\"ready\":{ok},\"complete\":{},\"generation\":\"{}\"}}",
+            engine.index().coverage.complete(),
+            engine.generation()
+        );
+        let response = Response::new(if ok { 200 } else { 503 }, body.into_bytes())
+            .header("content-type", "application/json");
+        if ok {
+            response
+        } else {
+            response.header("retry-after", "3")
+        }
+    }
+
     async fn handle(&self, endpoint: &'static str, request: Request) -> Response {
         let inner = &self.inner;
         inner.registry.counter(names::QUERY_REQUESTS).inc();
         let timer = Instant::now();
+
+        // Admission control: bound concurrent API work, shed the rest
+        // with an explicit retry hint instead of queueing without bound.
+        let Some(_guard) = self.admit() else {
+            let shed = error_response(503, "server at capacity, retry shortly");
+            return Response::new(shed.status, shed.body)
+                .header("content-type", &shed.content_type)
+                .header("retry-after", "1");
+        };
 
         // One engine snapshot per request: everything below answers from
         // this generation, reloads notwithstanding.
@@ -209,6 +309,16 @@ impl QueryService {
                 async move { service.handle(endpoint, request).await }
             });
         }
+        let service = self.clone();
+        router = router.route(Method::Get, "/healthz", move |_request: Request| {
+            let service = service.clone();
+            async move { service.health_response() }
+        });
+        let service = self.clone();
+        router = router.route(Method::Get, "/readyz", move |_request: Request| {
+            let service = service.clone();
+            async move { service.ready_response() }
+        });
         router.with_metrics(self.inner.registry.clone())
     }
 }
@@ -349,6 +459,112 @@ mod tests {
                 .await
                 .unwrap();
             assert!(missing.status == 404 || missing.status == 400);
+
+            server.shutdown().await;
+            std::fs::remove_dir_all(&dir).unwrap();
+        });
+    }
+
+    #[test]
+    fn admission_control_sheds_with_retry_after_but_health_stays_up() {
+        block_on(async {
+            let dir = seed_store("admit", 1);
+            let registry = Registry::new();
+            let mut config = QueryServiceConfig::new(&dir);
+            config.max_in_flight = 0; // admit nothing: every API call sheds
+            let service = QueryService::open(config, registry.clone()).unwrap();
+            let server = Server::bind("127.0.0.1:0", service.router()).await.unwrap();
+            let client = HttpClient::new(server.local_addr());
+
+            let shed = client.get("/api/summary").await.unwrap();
+            assert_eq!(shed.status, 503);
+            assert_eq!(shed.header_value("retry-after"), Some("1"));
+            assert!(String::from_utf8_lossy(&shed.body).contains("capacity"));
+            assert_eq!(registry.snapshot().counter(names::QUERY_SHED), Some(1));
+
+            // Liveness and readiness are exempt from admission control.
+            let health = client.get("/healthz").await.unwrap();
+            assert_eq!(health.status, 200);
+            let ready = client.get("/readyz").await.unwrap();
+            assert_eq!(ready.status, 200);
+            assert!(String::from_utf8_lossy(&ready.body).contains("\"ready\":true"));
+
+            server.shutdown().await;
+            std::fs::remove_dir_all(&dir).unwrap();
+        });
+    }
+
+    #[test]
+    fn quarantined_segment_degrades_coverage_but_keeps_serving() {
+        block_on(async {
+            let dir = seed_store("quarantine", 3);
+
+            // Corrupt one segment body and let the doctor quarantine it.
+            let victim = Manifest::load(&dir).unwrap().segments[0].file.clone();
+            let path = dir.join(&victim);
+            let mut image = std::fs::read(&path).unwrap();
+            image[12] ^= 0x40; // inside the body: unrecoverable by design
+            std::fs::write(&path, &image).unwrap();
+            let report = sandwich_store::doctor::repair(&dir).unwrap();
+            assert_eq!(report.quarantined, 1, "doctor quarantined the victim");
+
+            let registry = Registry::new();
+            let service =
+                QueryService::open(QueryServiceConfig::new(&dir), registry.clone()).unwrap();
+            let server = Server::bind("127.0.0.1:0", service.router()).await.unwrap();
+            let client = HttpClient::new(server.local_addr());
+
+            let summary = client.get("/api/summary").await.unwrap();
+            assert_eq!(summary.status, 200, "queryd serves over a damaged store");
+            let text = String::from_utf8_lossy(&summary.body).to_string();
+            assert!(text.contains("\"segments_quarantined\":1"), "{text}");
+            assert!(text.contains("\"bundles_quarantined\":10"), "{text}");
+            assert!(text.contains("\"complete\":false"), "{text}");
+            assert!(
+                text.contains("\"bundles\":20"),
+                "two clean segments: {text}"
+            );
+
+            let health = client.get("/healthz").await.unwrap();
+            assert_eq!(health.status, 200);
+            let ready = client.get("/readyz").await.unwrap();
+            assert_eq!(ready.status, 200);
+            assert!(String::from_utf8_lossy(&ready.body).contains("\"complete\":false"));
+
+            server.shutdown().await;
+            std::fs::remove_dir_all(&dir).unwrap();
+        });
+    }
+
+    #[test]
+    fn failed_reload_keeps_serving_stale_and_flips_readyz() {
+        block_on(async {
+            let dir = seed_store("stale", 1);
+            let service =
+                QueryService::open(QueryServiceConfig::new(&dir), Registry::new()).unwrap();
+            let server = Server::bind("127.0.0.1:0", service.router()).await.unwrap();
+            let client = HttpClient::new(server.local_addr());
+
+            // Break the store out from under the daemon, then reload.
+            let manifest_path = dir.join(sandwich_store::MANIFEST_FILE);
+            let manifest_bytes = std::fs::read(&manifest_path).unwrap();
+            std::fs::remove_file(&manifest_path).unwrap();
+            assert!(service.reload().is_err());
+
+            // Stale-while-revalidate: the old generation keeps answering.
+            let summary = client.get("/api/summary").await.unwrap();
+            assert_eq!(summary.status, 200);
+            let ready = client.get("/readyz").await.unwrap();
+            assert_eq!(ready.status, 503);
+            assert_eq!(ready.header_value("retry-after"), Some("3"));
+            let health = client.get("/healthz").await.unwrap();
+            assert_eq!(health.status, 200, "liveness is not readiness");
+
+            // Restore the manifest: the next reload clears readiness.
+            std::fs::write(&manifest_path, &manifest_bytes).unwrap();
+            assert!(!service.reload().unwrap(), "same generation: no swap");
+            let ready = client.get("/readyz").await.unwrap();
+            assert_eq!(ready.status, 200);
 
             server.shutdown().await;
             std::fs::remove_dir_all(&dir).unwrap();

@@ -1,0 +1,124 @@
+//! `store` — command-line maintenance for a bundle-store directory.
+//!
+//! ```text
+//! store doctor <dir>            inspect only (exit 0 healthy, 1 problems)
+//! store doctor <dir> --repair   repair/quarantine in place
+//! store ls <dir>                list the manifest
+//! ```
+
+use sandwich_store::doctor::{DoctorReport, SegmentHealth};
+use sandwich_store::BundleStore;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("doctor") => cmd_doctor(&args[1..]),
+        Some("ls") => cmd_ls(&args[1..]),
+        _ => {
+            eprintln!("usage: store doctor <dir> [--repair] | store ls <dir>");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn cmd_doctor(args: &[String]) -> i32 {
+    let repair = args.iter().any(|a| a == "--repair");
+    let dirs: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let [dir] = dirs.as_slice() else {
+        eprintln!("usage: store doctor <dir> [--repair]");
+        return 2;
+    };
+    let dir = std::path::Path::new(dir);
+    let result = if repair {
+        sandwich_store::doctor::repair(dir)
+    } else {
+        sandwich_store::doctor::diagnose(dir)
+    };
+    match result {
+        Ok(report) => {
+            print_report(&report, repair);
+            if report.healthy() && report.quarantined == 0 {
+                0
+            } else {
+                1
+            }
+        }
+        Err(e) => {
+            eprintln!("store doctor: {e}");
+            2
+        }
+    }
+}
+
+fn print_report(report: &DoctorReport, repair: bool) {
+    let mode = if repair { "repair" } else { "diagnose" };
+    if report.manifest_rebuilt {
+        println!("manifest: unreadable, rebuilt from segment files");
+    }
+    for check in &report.checks {
+        let verdict = match &check.health {
+            SegmentHealth::Clean => "clean".to_string(),
+            SegmentHealth::RepairedTail { bytes_reclaimed } => {
+                format!("repaired torn tail ({bytes_reclaimed} bytes reclaimed)")
+            }
+            SegmentHealth::RepairedColumns => "repaired columnar section".to_string(),
+            SegmentHealth::Quarantined { reason } => format!("QUARANTINED ({reason})"),
+        };
+        println!("{:<16} {:>9} bundles  {verdict}", check.file, check.bundles);
+    }
+    println!(
+        "{mode}: {} clean, {} repaired, {} quarantined ({} standing), \
+         {} bundles served, {} in quarantine, {} tmp files, {} tail bytes reclaimed",
+        report.clean,
+        report.repaired,
+        report.quarantined,
+        report.already_quarantined,
+        report.bundles_served,
+        report.bundles_quarantined,
+        report.tmp_files,
+        report.bytes_reclaimed,
+    );
+    if !repair && (report.repaired > 0 || report.quarantined > 0 || report.tmp_files > 0) {
+        println!("(inspect only — rerun with --repair to apply)");
+    }
+}
+
+fn cmd_ls(args: &[String]) -> i32 {
+    let [dir] = args else {
+        eprintln!("usage: store ls <dir>");
+        return 2;
+    };
+    match BundleStore::open(dir) {
+        Ok(store) => {
+            for meta in store.segments() {
+                println!(
+                    "{:<16} {:>9} bundles  slots {:>10}..{:<10} {:>10} bytes  {}",
+                    meta.file,
+                    meta.bundles,
+                    meta.min_slot,
+                    meta.max_slot,
+                    meta.bytes,
+                    meta.checksum
+                );
+            }
+            for q in store.quarantined() {
+                println!(
+                    "{:<16} {:>9} bundles  QUARANTINED ({})",
+                    q.meta.file, q.meta.bundles, q.reason
+                );
+            }
+            println!(
+                "{} segments, {} bundles served, {} quarantined",
+                store.segments().len(),
+                store.manifest().total_bundles(),
+                store.manifest().total_quarantined_bundles(),
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("store ls: {e}");
+            2
+        }
+    }
+}

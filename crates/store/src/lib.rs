@@ -15,7 +15,12 @@
 //!   handle checkpoints reference instead of re-serializing data;
 //! * [`store`] — [`StoreWriter`] (append/seal) and [`BundleStore`] (read);
 //! * [`scan`] — [`parallel_map`], the work-stealing executor whose
-//!   unit-ordered results make parallel reductions deterministic.
+//!   unit-ordered results make parallel reductions deterministic;
+//! * [`crash`] — the durable-write primitive (temp file + fsync + atomic
+//!   rename + directory fsync) and the deterministic [`CrashPlan`]
+//!   injection harness over its enumerated steps;
+//! * [`doctor`] — offline fsck: verify every checksum, repair what is
+//!   provably recoverable, quarantine the rest with reason codes.
 //!
 //! The crate is std-only (plus the workspace serde shim for the manifest);
 //! analysis semantics live in `sandwich-core`, which maps its partial
@@ -25,6 +30,8 @@
 
 pub mod codec;
 pub mod column;
+pub mod crash;
+pub mod doctor;
 pub mod manifest;
 pub mod mmap;
 pub mod records;
@@ -36,7 +43,9 @@ pub mod view;
 
 pub use codec::{CorruptSegment, SegmentData};
 pub use column::{Columns, LinkedColumns, META_C1, META_C2, META_LINKED, META_TXC_MASK};
-pub use manifest::{Manifest, SegmentMeta, MANIFEST_FILE};
+pub use crash::{is_injected_crash, CrashPlan};
+pub use doctor::{DoctorReport, SegmentCheckReport, SegmentHealth};
+pub use manifest::{Manifest, QuarantinedSegment, SegmentMeta, MANIFEST_FILE};
 pub use mmap::Mapped;
 pub use records::{CollectedBundle, CollectedDetail, PollRecord};
 pub use scan::{parallel_map, WorkerStats};

@@ -2,10 +2,21 @@
 //! with its footer metadata. The manifest is the store's source of truth —
 //! a checkpoint references it instead of re-serializing collected data,
 //! and a scan plans its work from it without opening a single segment.
+//!
+//! Since the crash-safety work the manifest also carries the *quarantine
+//! list*: segments the doctor found damaged beyond provable repair, moved
+//! out of `segments` (so no scan ever reads them) but kept on the books
+//! with a reason code, so coverage accounting stays exact — a reader can
+//! always say how many bundles are served and how many sit in quarantine.
+//! Saves go through the durable write path (temp file + fsync + atomic
+//! rename + directory fsync); a crash mid-save leaves either the old or
+//! the new manifest, never a torn one.
 
 use std::path::{Path, PathBuf};
 
 use serde::{Deserialize, Serialize};
+
+use crate::crash::{write_durable_with, CrashPlan};
 
 /// Manifest-resident description of one sealed segment.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -28,13 +39,30 @@ pub struct SegmentMeta {
     pub checksum: String,
 }
 
-/// The manifest: an ordered list of sealed segments.
+/// A segment the doctor removed from service: its last-known metadata
+/// plus the reason code explaining why it cannot be served.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuarantinedSegment {
+    /// The segment's manifest entry at the time it was quarantined.
+    pub meta: SegmentMeta,
+    /// Machine-readable reason code (see `docs/RELIABILITY.md`):
+    /// `missing_file`, `bad_magic`, `body_corrupt`, `count_mismatch`,
+    /// `manifest_mismatch`, `reencode_unstable`.
+    pub reason: String,
+}
+
+/// The manifest: an ordered list of sealed segments, plus the quarantine
+/// list.
 #[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Manifest {
     /// Format version.
     pub version: u32,
     /// Sealed segments in seal order.
     pub segments: Vec<SegmentMeta>,
+    /// Segments pulled from service by the doctor. `None` only when
+    /// loaded from a pre-quarantine manifest (reads as empty); saves
+    /// always write the list.
+    pub quarantined: Option<Vec<QuarantinedSegment>>,
 }
 
 /// Manifest file name inside a store directory.
@@ -46,6 +74,7 @@ impl Manifest {
         Manifest {
             version: 1,
             segments: Vec::new(),
+            quarantined: Some(Vec::new()),
         }
     }
 
@@ -68,12 +97,59 @@ impl Manifest {
             .max()
     }
 
-    /// Save atomically (temp file + rename) into `dir`.
+    /// The quarantine list (empty for pre-quarantine manifests).
+    pub fn quarantined(&self) -> &[QuarantinedSegment] {
+        self.quarantined.as_deref().unwrap_or(&[])
+    }
+
+    /// Total bundle records sitting in quarantine.
+    pub fn total_quarantined_bundles(&self) -> u64 {
+        self.quarantined().iter().map(|q| q.meta.bundles).sum()
+    }
+
+    /// Move the segment at `index` out of service with a reason code.
+    pub fn quarantine(&mut self, index: usize, reason: impl Into<String>) -> QuarantinedSegment {
+        let meta = self.segments.remove(index);
+        let entry = QuarantinedSegment {
+            meta,
+            reason: reason.into(),
+        };
+        self.quarantined
+            .get_or_insert_with(Vec::new)
+            .push(entry.clone());
+        entry
+    }
+
+    /// The index the next sealed segment file should use: one past the
+    /// highest index present anywhere in the manifest — including the
+    /// quarantine list, so a new segment never reuses the file name of a
+    /// quarantined one.
+    pub fn next_segment_index(&self) -> usize {
+        self.segments
+            .iter()
+            .map(|s| s.file.as_str())
+            .chain(self.quarantined().iter().map(|q| q.meta.file.as_str()))
+            .filter_map(parse_segment_index)
+            .map(|i| i + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Save durably (temp file + fsync + atomic rename + directory
+    /// fsync) into `dir`.
     pub fn save(&self, dir: &Path) -> std::io::Result<()> {
-        let path = dir.join(MANIFEST_FILE);
-        let tmp = dir.join(format!("{MANIFEST_FILE}.tmp"));
-        std::fs::write(&tmp, serde_json::to_string(self)?)?;
-        std::fs::rename(&tmp, &path)
+        self.save_with(dir, None)
+    }
+
+    /// [`Self::save`] with an optional crash plan threaded through the
+    /// durable write (each chunk/fsync/rename is an enumerated crash
+    /// step).
+    pub fn save_with(&self, dir: &Path, plan: Option<&mut CrashPlan>) -> std::io::Result<()> {
+        let bytes = serde_json::to_string(self)?.into_bytes();
+        // Split the JSON into thirds so torn-manifest crash points land
+        // inside the document, not only at its edges.
+        let cuts = [bytes.len() / 3, 2 * bytes.len() / 3];
+        write_durable_with(&dir.join(MANIFEST_FILE), &bytes, &cuts, plan)
     }
 
     /// Load from `dir`.
@@ -89,36 +165,95 @@ impl Manifest {
     }
 }
 
+/// Parse the numeric index out of a `seg-NNNNN.seg` file name.
+pub(crate) fn parse_segment_index(name: &str) -> Option<usize> {
+    name.strip_prefix("seg-")?
+        .strip_suffix(".seg")?
+        .parse()
+        .ok()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    #[test]
-    fn save_load_roundtrip() {
-        let dir = std::env::temp_dir().join(format!("swmanifest-{}", std::process::id()));
+    /// Unique per-test directory: temp dirs keyed on pid alone collide
+    /// when tests run in parallel within one process or when a dirty
+    /// previous run left the directory behind.
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("swmanifest-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
-        let mut m = Manifest::new();
-        m.segments.push(SegmentMeta {
-            file: "seg-00000.seg".into(),
-            bundles: 42,
+        dir
+    }
+
+    fn meta(file: &str, bundles: u64) -> SegmentMeta {
+        SegmentMeta {
+            file: file.into(),
+            bundles,
             details: 6,
             polls: 3,
             min_slot: 10,
             max_slot: 99,
             bytes: 1234,
             checksum: format!("{:016x}", 0xdead_beef_u64),
-        });
+        }
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = tmp_dir("roundtrip");
+        let mut m = Manifest::new();
+        m.segments.push(meta("seg-00000.seg", 42));
         m.save(&dir).unwrap();
         let back = Manifest::load(&dir).unwrap();
         assert_eq!(back, m);
         assert_eq!(back.total_bundles(), 42);
         assert_eq!(back.max_slot(), Some(99));
+        assert!(back.quarantined().is_empty());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn missing_manifest_is_an_error() {
-        let dir = std::env::temp_dir().join("swmanifest-none");
+        let dir = tmp_dir("missing");
         assert!(Manifest::load(&dir).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn pre_quarantine_manifest_still_loads() {
+        let dir = tmp_dir("compat");
+        // A manifest saved before the quarantine list existed.
+        std::fs::write(
+            dir.join(MANIFEST_FILE),
+            r#"{"version":1,"segments":[{"file":"seg-00000.seg","bundles":7,"details":0,"polls":0,"min_slot":1,"max_slot":9,"bytes":100,"checksum":"00000000deadbeef"}]}"#,
+        )
+        .unwrap();
+        let m = Manifest::load(&dir).unwrap();
+        assert_eq!(m.total_bundles(), 7);
+        assert!(m.quarantined().is_empty());
+        assert_eq!(m.total_quarantined_bundles(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn quarantine_moves_a_segment_off_the_serving_list() {
+        let mut m = Manifest::new();
+        m.segments.push(meta("seg-00000.seg", 10));
+        m.segments.push(meta("seg-00001.seg", 20));
+        let q = m.quarantine(0, "body_corrupt");
+        assert_eq!(q.meta.file, "seg-00000.seg");
+        assert_eq!(m.segments.len(), 1);
+        assert_eq!(m.quarantined().len(), 1);
+        assert_eq!(m.total_bundles(), 20);
+        assert_eq!(m.total_quarantined_bundles(), 10);
+        // The next seal must not reuse the quarantined segment's name.
+        assert_eq!(m.next_segment_index(), 2);
+    }
+
+    #[test]
+    fn next_index_is_zero_for_an_empty_manifest() {
+        assert_eq!(Manifest::new().next_segment_index(), 0);
     }
 }

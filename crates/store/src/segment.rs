@@ -4,9 +4,11 @@
 //! The footer carries the body checksum, the slot range, the record
 //! counts, and the section lengths, so a reader can validate a segment —
 //! and a manifest can describe it — without decoding a single record.
-//! Segments are written whole at seal time via a temp-file rename, so a
-//! crash never leaves a half-written segment behind: a segment either
-//! exists and verifies, or it does not exist.
+//! Segments are written whole at seal time through the durable write
+//! path (temp file + fsync + atomic rename + directory fsync, see
+//! [`crate::crash`]), so a crash never leaves a half-written segment
+//! under its final name: a segment either exists and verifies, or it
+//! does not exist.
 //!
 //! Two format versions are readable (see `docs/FORMAT.md` for the
 //! normative spec):
@@ -20,7 +22,6 @@
 //! New segments are always written as v2; v1 segments decode and scan
 //! exactly as before (they simply have no fast path).
 
-use std::io::Write;
 use std::ops::Range;
 use std::path::Path;
 
@@ -28,6 +29,7 @@ use crate::codec::{
     decode_body, encode_body, encode_body_with_layout, CorruptSegment, SegmentData,
 };
 use crate::column::build_columns;
+use crate::crash::{write_durable_with, CrashPlan};
 
 /// The current segment format version (the digit baked into the magics).
 pub const FORMAT_VERSION: u8 = 2;
@@ -35,16 +37,16 @@ pub const FORMAT_VERSION: u8 = 2;
 /// Leading file magic of the current version.
 pub const SEGMENT_MAGIC: &[u8; 8] = b"SWSEG02\n";
 /// Trailing file magic of the current version.
-const FOOTER_MAGIC: &[u8; 8] = b"SWEND02\n";
+pub(crate) const FOOTER_MAGIC: &[u8; 8] = b"SWEND02\n";
 /// Leading file magic of the pre-columnar format.
 pub const SEGMENT_MAGIC_V1: &[u8; 8] = b"SWSEG01\n";
 /// Trailing file magic of the pre-columnar format.
-const FOOTER_MAGIC_V1: &[u8; 8] = b"SWEND01\n";
+pub(crate) const FOOTER_MAGIC_V1: &[u8; 8] = b"SWEND01\n";
 
 /// v1 footer: checksum + min/max slot + 3 counts + body len + magic.
-const FOOTER_LEN_V1: usize = 8 + 8 + 8 + 4 + 4 + 4 + 8 + 8;
+pub(crate) const FOOTER_LEN_V1: usize = 8 + 8 + 8 + 4 + 4 + 4 + 8 + 8;
 /// v2 footer: v1 fields + columnar length + columnar checksum.
-const FOOTER_LEN: usize = FOOTER_LEN_V1 + 8 + 8;
+pub(crate) const FOOTER_LEN: usize = FOOTER_LEN_V1 + 8 + 8;
 
 /// FNV-1a 64-bit checksum — cheap, dependency-free, and plenty to catch
 /// torn writes and bit rot (this is an integrity check, not a MAC).
@@ -110,7 +112,7 @@ impl SegmentFooter {
         out
     }
 
-    fn from_bytes(b: &[u8]) -> Result<Self, CorruptSegment> {
+    pub(crate) fn from_bytes(b: &[u8]) -> Result<Self, CorruptSegment> {
         let u64_at = |i: usize| u64::from_le_bytes(b[i..i + 8].try_into().unwrap());
         let u32_at = |i: usize| u32::from_le_bytes(b[i..i + 4].try_into().unwrap());
         let (col_len, col_checksum) = match b.len() {
@@ -267,15 +269,53 @@ pub fn decode_segment(image: &[u8]) -> Result<(SegmentData, SegmentFooter), Corr
     Ok((data, parsed.footer))
 }
 
-/// Write a segment image to `path` atomically (temp file + rename).
-pub fn write_segment_file(path: &Path, image: &[u8]) -> std::io::Result<()> {
-    let tmp = path.with_extension("tmp");
-    {
-        let mut f = std::fs::File::create(&tmp)?;
-        f.write_all(image)?;
-        f.sync_all()?;
+/// Crash-step boundaries of a segment image: chunk cuts at the magic
+/// edge, the body quartiles, the section edges, and mid-footer, so an
+/// enumerated crash matrix exercises a torn write inside every
+/// structurally distinct region of the file.
+fn section_boundaries(image: &[u8]) -> Vec<usize> {
+    let mut cuts = vec![8];
+    if let Ok(parsed) = parse_segment(image) {
+        let body_len = parsed.body.end - parsed.body.start;
+        for quarter in 1..4 {
+            cuts.push(parsed.body.start + body_len * quarter / 4);
+        }
+        cuts.push(parsed.body.end);
+        let footer_start = match &parsed.columns {
+            Some(cols) => {
+                cuts.push((cols.start + cols.end) / 2);
+                cuts.push(cols.end);
+                cols.end
+            }
+            None => parsed.body.end,
+        };
+        cuts.push((footer_start + image.len()) / 2);
+    } else {
+        // Unparseable image (never produced by the sealer): fall back to
+        // quartile cuts.
+        for quarter in 1..4 {
+            cuts.push(image.len() * quarter / 4);
+        }
     }
-    std::fs::rename(&tmp, path)
+    cuts
+}
+
+/// Write a segment image to `path` durably (temp file + fsync + atomic
+/// rename + directory fsync).
+pub fn write_segment_file(path: &Path, image: &[u8]) -> std::io::Result<()> {
+    write_segment_file_with(path, image, None)
+}
+
+/// [`write_segment_file`] with an optional [`CrashPlan`] threaded through
+/// the durable write: every chunk (split at section boundaries), the file
+/// fsync, the rename, and the directory fsync is one enumerated crash
+/// step.
+pub fn write_segment_file_with(
+    path: &Path,
+    image: &[u8],
+    plan: Option<&mut CrashPlan>,
+) -> std::io::Result<()> {
+    write_durable_with(path, image, &section_boundaries(image), plan)
 }
 
 /// Read and decode a segment file.

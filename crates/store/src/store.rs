@@ -10,15 +10,21 @@
 use std::path::{Path, PathBuf};
 
 use crate::codec::SegmentData;
-use crate::manifest::{Manifest, SegmentMeta};
+use crate::crash::{remove_stale_tmp_files, CrashPlan};
+use crate::doctor::{check_segment, Verdict};
+use crate::manifest::{Manifest, QuarantinedSegment, SegmentMeta};
 use crate::records::{CollectedBundle, CollectedDetail, PollRecord};
-use crate::segment::{encode_segment, read_segment_file, write_segment_file};
+use crate::segment::{
+    encode_segment, read_segment_file, write_segment_file, write_segment_file_with, SegmentFooter,
+    FOOTER_LEN, FOOTER_LEN_V1, SEGMENT_MAGIC, SEGMENT_MAGIC_V1,
+};
 
 fn segment_file_name(index: usize) -> String {
     format!("seg-{index:05}.seg")
 }
 
 /// Append-only writer over a store directory.
+#[derive(Debug)]
 pub struct StoreWriter {
     dir: PathBuf,
     manifest: Manifest,
@@ -60,6 +66,9 @@ impl StoreWriter {
     ) -> std::io::Result<StoreWriter> {
         let dir = dir.into();
         let on_disk = Manifest::load(&dir)?;
+        // A crashed seal can leave a write-ahead temp file behind; it was
+        // never part of the store.
+        remove_stale_tmp_files(&dir)?;
         if on_disk.segments.len() < expected.len()
             || on_disk.segments[..expected.len()] != *expected
         {
@@ -76,7 +85,15 @@ impl StoreWriter {
         let manifest = Manifest {
             version: on_disk.version,
             segments: expected.to_vec(),
+            quarantined: Some(on_disk.quarantined().to_vec()),
         };
+        // Every retained segment gets a cheap structural probe (size +
+        // both magics + footer parse); a damaged one gets one shot at
+        // provable recovery — truncating a torn tail back to the last
+        // valid footer — before resume refuses to build on it.
+        for meta in &manifest.segments {
+            verify_or_recover(&dir, meta)?;
+        }
         manifest.save(&dir)?;
         Ok(StoreWriter {
             dir,
@@ -91,9 +108,24 @@ impl StoreWriter {
     /// manifest. Returns the new segment's metadata.
     pub fn seal_segment(
         &mut self,
+        bundles: Vec<CollectedBundle>,
+        details: Vec<CollectedDetail>,
+        polls: Vec<PollRecord>,
+    ) -> std::io::Result<SegmentMeta> {
+        self.seal_segment_with(bundles, details, polls, None)
+    }
+
+    /// [`Self::seal_segment`] with an optional [`CrashPlan`] threaded
+    /// through both durable writes (segment file, then manifest), so a
+    /// test harness can kill the seal at every enumerated crash step.
+    /// After an injected crash the writer must be considered dead —
+    /// recover by dropping it and calling [`StoreWriter::resume`].
+    pub fn seal_segment_with(
+        &mut self,
         mut bundles: Vec<CollectedBundle>,
         mut details: Vec<CollectedDetail>,
         polls: Vec<PollRecord>,
+        mut plan: Option<&mut CrashPlan>,
     ) -> std::io::Result<SegmentMeta> {
         bundles.sort_by_key(|a| (a.slot, a.bundle_id.0));
         details.sort_by_key(|a| (a.slot, a.meta.tx_id.0));
@@ -103,8 +135,10 @@ impl StoreWriter {
             polls,
         };
         let (image, footer) = encode_segment(&data);
-        let file = segment_file_name(self.manifest.segments.len());
-        write_segment_file(&self.dir.join(&file), &image)?;
+        // One past the highest index anywhere in the manifest — counting
+        // quarantined segments, whose file names must never be reused.
+        let file = segment_file_name(self.manifest.next_segment_index());
+        write_segment_file_with(&self.dir.join(&file), &image, plan.as_deref_mut())?;
         let meta = SegmentMeta {
             file,
             bundles: footer.bundles as u64,
@@ -116,7 +150,10 @@ impl StoreWriter {
             checksum: format!("{:016x}", footer.checksum),
         };
         self.manifest.segments.push(meta.clone());
-        self.manifest.save(&self.dir)?;
+        if let Err(e) = self.manifest.save_with(&self.dir, plan) {
+            self.manifest.segments.pop();
+            return Err(e);
+        }
         self.bytes_written += image.len() as u64;
         Ok(meta)
     }
@@ -146,6 +183,67 @@ impl StoreWriter {
     }
 }
 
+/// Cheap structural probe of a sealed segment (size, leading magic,
+/// footer parse, manifest cross-check) without reading the body. `false`
+/// means "needs the full recovery path", not "unrecoverable".
+fn quick_probe(path: &Path, meta: &SegmentMeta) -> std::io::Result<bool> {
+    use std::io::{Read, Seek, SeekFrom};
+    let mut f = std::fs::File::open(path)?;
+    let len = f.metadata()?.len();
+    if len != meta.bytes {
+        return Ok(false);
+    }
+    let mut magic = [0u8; 8];
+    f.read_exact(&mut magic)?;
+    let footer_len = if &magic == SEGMENT_MAGIC {
+        FOOTER_LEN
+    } else if &magic == SEGMENT_MAGIC_V1 {
+        FOOTER_LEN_V1
+    } else {
+        return Ok(false);
+    };
+    if (len as usize) < 8 + footer_len {
+        return Ok(false);
+    }
+    let mut foot = vec![0u8; footer_len];
+    f.seek(SeekFrom::End(-(footer_len as i64)))?;
+    f.read_exact(&mut foot)?;
+    let Ok(footer) = SegmentFooter::from_bytes(&foot) else {
+        return Ok(false);
+    };
+    Ok(format!("{:016x}", footer.checksum) == meta.checksum
+        && footer.bundles as u64 == meta.bundles
+        && 8 + footer.body_len + footer.col_len + footer_len as u64 == len)
+}
+
+/// Probe one retained segment at resume; if the probe fails, try the
+/// doctor's provable-recovery path (truncate a torn tail back to the
+/// last valid footer / rebuild a damaged columnar section) before
+/// refusing the resume.
+fn verify_or_recover(dir: &Path, meta: &SegmentMeta) -> std::io::Result<()> {
+    let path = Manifest::segment_path(dir, meta);
+    if quick_probe(&path, meta).unwrap_or(false) {
+        return Ok(());
+    }
+    let image = std::fs::read(&path).map_err(|e| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("segment {} unreadable at resume: {e}", meta.file),
+        )
+    })?;
+    match check_segment(&image, Some(meta)) {
+        Verdict::Clean { .. } => Ok(()),
+        Verdict::Rebuild { image, .. } => write_segment_file(&path, &image),
+        Verdict::Quarantine { reason } => Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!(
+                "segment {} is damaged beyond provable recovery ({reason}); run `store doctor` to quarantine it",
+                meta.file
+            ),
+        )),
+    }
+}
+
 /// Read handle over a sealed store: the manifest plus segment access.
 #[derive(Clone, Debug)]
 pub struct BundleStore {
@@ -170,6 +268,12 @@ impl BundleStore {
     /// Sealed segments in seal order.
     pub fn segments(&self) -> &[SegmentMeta] {
         &self.manifest.segments
+    }
+
+    /// Segments the doctor has pulled from service (never scanned, but
+    /// accounted for in coverage).
+    pub fn quarantined(&self) -> &[QuarantinedSegment] {
+        self.manifest.quarantined()
     }
 
     /// Store directory.
@@ -297,6 +401,133 @@ mod tests {
         fake[0].checksum = "0000000000000000".into();
         assert!(StoreWriter::resume(&dir, &fake).is_err());
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_truncates_a_torn_segment_tail() {
+        let dir = tmp_dir("torntail");
+        let mut w = StoreWriter::create(&dir).unwrap();
+        let meta = w
+            .seal_segment(vec![bundle(1, 10), bundle(2, 20)], vec![], vec![])
+            .unwrap();
+        let expected = w.segments().to_vec();
+        drop(w);
+        // Tear into the columnar section (body intact) and leave a stale
+        // write-ahead temp file, like a killed seal would.
+        let path = dir.join(&meta.file);
+        let sealed = std::fs::read(&path).unwrap();
+        let parsed = crate::segment::parse_segment(&sealed).unwrap();
+        crate::crash::truncate_to(&path, (parsed.body.end + 2) as u64).unwrap();
+        std::fs::write(dir.join("seg-00001.tmp"), b"half a segment").unwrap();
+
+        let w = StoreWriter::resume(&dir, &expected).unwrap();
+        assert_eq!(w.segments(), &expected[..]);
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            sealed,
+            "bit-for-bit recovery"
+        );
+        assert!(!dir.join("seg-00001.tmp").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_refuses_an_unrecoverable_segment() {
+        let dir = tmp_dir("unrec");
+        let mut w = StoreWriter::create(&dir).unwrap();
+        let meta = w.seal_segment(vec![bundle(1, 10)], vec![], vec![]).unwrap();
+        let expected = w.segments().to_vec();
+        drop(w);
+        let path = dir.join(&meta.file);
+        // Tear into the body itself: the sealed bytes are gone, no
+        // recovery can prove anything.
+        crate::crash::truncate_to(&path, meta.bytes / 4).unwrap();
+        let err = StoreWriter::resume(&dir, &expected).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("store doctor"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn seal_never_reuses_a_quarantined_file_name() {
+        let dir = tmp_dir("reuse");
+        let mut w = StoreWriter::create(&dir).unwrap();
+        w.seal_segment(vec![bundle(1, 10)], vec![], vec![]).unwrap();
+        let meta1 = w.seal_segment(vec![bundle(2, 20)], vec![], vec![]).unwrap();
+        drop(w);
+        // Quarantine seg-00001 the way the doctor would.
+        let mut m = Manifest::load(&dir).unwrap();
+        m.quarantine(1, "body_corrupt");
+        m.save(&dir).unwrap();
+
+        let expected = m.segments.clone();
+        let mut w = StoreWriter::resume(&dir, &expected).unwrap();
+        let meta2 = w.seal_segment(vec![bundle(3, 30)], vec![], vec![]).unwrap();
+        assert_eq!(meta2.file, "seg-00002.seg");
+        assert_ne!(meta2.file, meta1.file);
+        let store = w.into_reader();
+        assert_eq!(store.segments().len(), 2);
+        assert_eq!(store.quarantined().len(), 1, "quarantine survives resume");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crashed_seal_resumes_to_a_byte_identical_store() {
+        use crate::crash::{is_injected_crash, CrashPlan};
+        let base = tmp_dir("crashseal");
+        let mut w = StoreWriter::create(&base).unwrap();
+        w.seal_segment(vec![bundle(1, 10)], vec![], vec![]).unwrap();
+        let expected = w.segments().to_vec();
+        drop(w);
+
+        // Reference: the uninterrupted seal.
+        let refdir = tmp_dir("crashseal-ref");
+        copy_dir(&base, &refdir);
+        let mut w = StoreWriter::resume(&refdir, &expected).unwrap();
+        w.seal_segment(vec![bundle(2, 20)], vec![], vec![]).unwrap();
+        let want = std::fs::read(refdir.join("seg-00001.seg")).unwrap();
+
+        let mut count = CrashPlan::count();
+        let crashdir = tmp_dir("crashseal-n");
+        copy_dir(&base, &crashdir);
+        let mut w = StoreWriter::resume(&crashdir, &expected).unwrap();
+        w.seal_segment_with(vec![bundle(2, 20)], vec![], vec![], Some(&mut count))
+            .unwrap();
+        let total = count.steps_seen();
+        assert!(total >= 15, "expected a rich crash matrix, got {total}");
+
+        for step in 0..total {
+            let dir = tmp_dir("crashseal-case");
+            copy_dir(&base, &dir);
+            let mut w = StoreWriter::resume(&dir, &expected).unwrap();
+            let mut plan = CrashPlan::crash_at(step, true, 99 + step);
+            let err = w
+                .seal_segment_with(vec![bundle(2, 20)], vec![], vec![], Some(&mut plan))
+                .unwrap_err();
+            assert!(is_injected_crash(&err));
+            drop(w);
+            // Recover exactly as the collector would: resume + re-seal.
+            let mut w = StoreWriter::resume(&dir, &expected).unwrap();
+            w.seal_segment(vec![bundle(2, 20)], vec![], vec![]).unwrap();
+            assert_eq!(
+                std::fs::read(dir.join("seg-00001.seg")).unwrap(),
+                want,
+                "crash at step {step} diverged after recovery"
+            );
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+        std::fs::remove_dir_all(&base).unwrap();
+        std::fs::remove_dir_all(&refdir).unwrap();
+        std::fs::remove_dir_all(&crashdir).unwrap();
+    }
+
+    fn copy_dir(from: &Path, to: &Path) {
+        let _ = std::fs::remove_dir_all(to);
+        std::fs::create_dir_all(to).unwrap();
+        for entry in std::fs::read_dir(from).unwrap() {
+            let entry = entry.unwrap();
+            std::fs::copy(entry.path(), to.join(entry.file_name())).unwrap();
+        }
     }
 
     #[test]

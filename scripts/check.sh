@@ -31,6 +31,46 @@ timeout 420 cargo test --offline -p sandwich-suite --test chaos_matrix -q
 echo "==> store scan determinism (bounded)"
 timeout 420 cargo test --offline -p sandwich-suite --test store_scan -q
 
+# The crash matrix kills the store writer at every enumerated crash point
+# of a segment seal (clean kill and torn write), and fuzzes truncations and
+# bit flips over sealed segments: every case must recover byte-identically
+# or quarantine explicitly. Runs by name under a wall-clock bound.
+echo "==> crash matrix (bounded)"
+timeout 420 cargo test --offline -p sandwich-suite --test crash_matrix -q
+
+# A bounded crash_bench run drives the same matrix end to end at a 10k-
+# bundle store scale, exercises the doctor over torn tails / footer rot /
+# body rot / missing files, and proves queryd keeps serving (healthz OK,
+# coverage reported) over a store with one quarantined segment. The two
+# hard gates: zero silent divergence, and at least 20 enumerated crash
+# points per seal.
+echo "==> crash_bench smoke (bounded, 10k-bundle store)"
+SANDWICH_CRASH_BUNDLES=10000 \
+SANDWICH_BENCH_OUT=target/BENCH_crash_smoke.json \
+timeout 420 cargo run --offline --release -p sandwich-bench --bin crash_bench
+gate_crash_json() {
+  f="$1"
+  grep -q '"silent_divergence": 0' "$f" || {
+    echo "$f: silent_divergence != 0 — a crash case produced a silently different store" >&2
+    exit 1
+  }
+  points=$(sed -n 's/.*"crash_points": \([0-9][0-9]*\).*/\1/p' "$f")
+  if [ -z "$points" ] || [ "$points" -lt 20 ]; then
+    echo "$f: crash_points '${points:-missing}' is under the floor of 20" >&2
+    exit 1
+  fi
+  for field in recovery_max_ms torn_tail_bytes_reclaimed queryd_served_with_quarantine healthz_ok; do
+    grep -q "\"$field\"" "$f" || {
+      echo "$f is missing \"$field\"" >&2
+      exit 1
+    }
+  done
+}
+gate_crash_json target/BENCH_crash_smoke.json
+if [ -f results/BENCH_crash.json ]; then
+  gate_crash_json results/BENCH_crash.json
+fi
+
 # A bounded scale_gen + scan_bench run smoke-tests the synthesize → seal →
 # scan path end to end: it asserts the findings count equals the planted
 # ground truth and that the zero-copy, materializing, and multi-thread

@@ -4,7 +4,7 @@
 //! falls back to a full decode per v1 segment, takes the columnar fast
 //! path per v2 segment, and neither choice may leak into the result.
 
-use sandwich_core::{scan_store, scan_store_materializing, AnalysisConfig};
+use sandwich_core::{scan_store, scan_store_degraded, scan_store_materializing, AnalysisConfig};
 use sandwich_ledger::{SolDelta, TokenDelta, TransactionMeta};
 use sandwich_store::codec::SegmentData;
 use sandwich_store::records::{CollectedBundle, CollectedDetail};
@@ -135,6 +135,79 @@ fn mixed_version_store_scans_byte_identically() {
     // Both planted sandwiches (one per segment, one per format) are found.
     let report = scan_store(&store, &clock, &cfg, 2).unwrap();
     assert_eq!(report.findings.len(), 2, "one sandwich per segment version");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A mixed-version store with one quarantined segment keeps scanning: the
+/// serving segments (one v1, one v2) produce the same results on every
+/// path, and the degraded scan reports the quarantined segment's bundles
+/// exactly — the cross-version fallback and the quarantine bookkeeping
+/// must compose.
+#[test]
+fn quarantined_segment_in_a_mixed_store_scans_with_exact_coverage() {
+    let dir = std::env::temp_dir().join(format!("format-compat-q-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Three segments: v1, v2, and a second v2 that will be damaged.
+    let mut manifest = Manifest::new();
+    let specs: [(bool, u64); 3] = [(true, 100), (false, 100_000), (false, 200_000)];
+    for (i, (v1, base)) in specs.into_iter().enumerate() {
+        let data = segment_data(base);
+        let (image, footer) = if v1 {
+            encode_segment_v1(&data)
+        } else {
+            encode_segment(&data)
+        };
+        let file = format!("seg-{i:05}.seg");
+        write_segment_file(&dir.join(&file), &image).unwrap();
+        manifest.segments.push(SegmentMeta {
+            file,
+            bundles: data.bundles.len() as u64,
+            details: data.details.len() as u64,
+            polls: data.polls.len() as u64,
+            min_slot: footer.min_slot,
+            max_slot: footer.max_slot,
+            bytes: image.len() as u64,
+            checksum: format!("{:016x}", footer.checksum),
+        });
+    }
+    manifest.save(&dir).unwrap();
+
+    // Damage the third segment's body (unrecoverable by construction) and
+    // let the doctor quarantine it.
+    sandwich_store::crash::flip_byte(&dir.join("seg-00002.seg"), 12).unwrap();
+    let report = sandwich_store::doctor::repair(&dir).unwrap();
+    assert_eq!(report.quarantined, 1, "the damaged v2 segment quarantines");
+    assert_eq!(report.clean, 2, "the v1 and v2 serving segments are clean");
+
+    let store = BundleStore::open(&dir).unwrap();
+    assert_eq!(store.segments().len(), 2);
+    assert_eq!(store.quarantined().len(), 1);
+
+    let clock = SlotClock::default();
+    let cfg = AnalysisConfig::paper_defaults(1);
+    let reference =
+        serde_json::to_string(&scan_store_materializing(&store, &clock, &cfg, 1).unwrap()).unwrap();
+    let (degraded, coverage) = scan_store_degraded(&store, &clock, &cfg, 2, None).unwrap();
+    assert_eq!(
+        serde_json::to_string(&degraded).unwrap(),
+        reference,
+        "degraded scan over the serving segments matches the materializing scan"
+    );
+    assert_eq!(coverage.segments_scanned, 2);
+    assert_eq!(coverage.segments_quarantined, 1);
+    assert_eq!(
+        coverage.bundles_quarantined, 2,
+        "both victim bundles accounted"
+    );
+    assert!(!coverage.complete());
+
+    // One sandwich per *serving* segment: the quarantined one is excluded
+    // explicitly, not silently miscounted.
+    let scanned = scan_store(&store, &clock, &cfg, 2).unwrap();
+    assert_eq!(scanned.findings.len(), 2);
 
     std::fs::remove_dir_all(&dir).unwrap();
 }
