@@ -25,6 +25,11 @@
 //! `torn_tail_bytes_reclaimed`. Scale knobs: `SANDWICH_CRASH_BUNDLES`
 //! (default 50,000) and `SANDWICH_CRASH_STRIDE` (matrix subsampling for
 //! smoke runs; default 1 = every crash point).
+//!
+//! `--store <dir>` points phases B and C at an existing shared store
+//! (e.g. the one `shard_bench --store` generated) instead of generating
+//! a scratch one; every mutated byte is restored before exit, so the
+//! shared store survives the run unchanged.
 
 use std::path::Path;
 use std::time::Instant;
@@ -83,6 +88,12 @@ fn report_json(dir: &Path, clock: &SlotClock, config: &AnalysisConfig) -> String
 fn main() {
     let bundles = env_u64("SANDWICH_CRASH_BUNDLES", 50_000);
     let stride = env_u64("SANDWICH_CRASH_STRIDE", 1).max(1);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let shared_store = args
+        .iter()
+        .position(|a| a == "--store")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     let scratch = std::env::temp_dir().join(format!("crash-bench-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&scratch);
     std::fs::create_dir_all(&scratch).expect("scratch dir");
@@ -175,17 +186,32 @@ fn main() {
     );
 
     // ---------- Phase B: the doctor matrix at scale ----------
-    let store_dir = scratch.join("doctor.store");
-    let scale = ScaleConfig {
-        bundles,
-        segment_bundles: ((bundles / 8).max(512) as usize).min(8_192),
-        days: 2,
-        ..ScaleConfig::default()
+    // `--store` points the destructive phases at an existing shared
+    // store; otherwise generate a scratch one. Either way the analysis
+    // config only has to be self-consistent between the reference scan
+    // and every post-repair scan.
+    let (store_dir, owned_store) = match &shared_store {
+        Some(dir) => (std::path::PathBuf::from(dir), false),
+        None => (scratch.join("doctor.store"), true),
     };
-    let mut writer = StoreWriter::create(&store_dir).expect("create scale store");
-    let stats = generate(&mut writer, &scale).expect("generate scale store");
-    let store = writer.into_reader();
-    let scale_cfg = AnalysisConfig::paper_defaults(scale.days);
+    if owned_store {
+        let scale = ScaleConfig {
+            bundles,
+            segment_bundles: ((bundles / 8).max(512) as usize).min(8_192),
+            days: 2,
+            ..ScaleConfig::default()
+        };
+        let mut writer = StoreWriter::create(&store_dir).expect("create scale store");
+        generate(&mut writer, &scale).expect("generate scale store");
+        drop(writer.into_reader());
+    }
+    let store = BundleStore::open(&store_dir).expect("open doctor store");
+    assert!(
+        store.quarantined().is_empty(),
+        "doctor store must start healthy (run `store doctor --repair` first)"
+    );
+    let store_bundles = store.manifest().total_bundles();
+    let scale_cfg = AnalysisConfig::paper_defaults(2);
     let ref_report = scan_store(&store, &clock, &scale_cfg, 4).expect("reference scan");
     let ref_scale_json = serde_json::to_string(&ref_report).expect("serialize");
     let victim = store
@@ -196,9 +222,10 @@ fn main() {
     let total_bundles = store.manifest().total_bundles();
     drop(store);
     println!(
-        "  doctor store: {} bundles in {} segments, victim {} ({} bundles)",
-        stats.bundles,
+        "  doctor store: {} bundles in {} segments{}, victim {} ({} bundles)",
+        store_bundles,
         Manifest::load(&store_dir).unwrap().segments.len(),
+        if owned_store { "" } else { " (shared)" },
         victim.file,
         victim.bundles
     );
@@ -345,6 +372,18 @@ fn main() {
     }
     println!("  queryd over quarantined store: healthz_ok={healthz_ok}, coverage reported={summary_has_quarantine}");
 
+    // A shared store must survive the run unchanged: undo the phase C
+    // corruption + quarantine and drop the index built over it.
+    if !owned_store {
+        std::fs::write(&victim_path, &victim_bytes).expect("restore shared victim");
+        std::fs::write(
+            store_dir.join(sandwich_store::MANIFEST_FILE),
+            &manifest_bytes,
+        )
+        .expect("restore shared manifest");
+        let _ = std::fs::remove_file(store_dir.join(sandwich_query::INDEX_FILE));
+    }
+
     // ---------- Snapshot + gates ----------
     let out = std::env::var("SANDWICH_BENCH_OUT").unwrap_or_else(|_| {
         let _ = std::fs::create_dir_all("results");
@@ -352,7 +391,6 @@ fn main() {
     });
     let snapshot = format!(
         "{{\n  \"crash_points\": {steps},\n  \"crash_matrix_cases\": {matrix_cases},\n  \"stride\": {stride},\n  \"silent_divergence\": {silent_divergence},\n  \"recovery_p50_ms\": {recovery_p50_ms:.3},\n  \"recovery_max_ms\": {recovery_max_ms:.3},\n  \"store_bundles\": {store_bundles},\n  \"doctor_cases\": {doctor_cases},\n  \"doctor_repaired\": {doctor_repaired},\n  \"doctor_quarantined\": {doctor_quarantined},\n  \"doctor_ms_max\": {doctor_ms_max:.3},\n  \"torn_tail_bytes_reclaimed\": {torn_tail_bytes_reclaimed},\n  \"queryd_served_with_quarantine\": {served},\n  \"healthz_ok\": {healthz_ok}\n}}\n",
-        store_bundles = stats.bundles,
         served = summary_has_quarantine,
     );
     std::fs::write(&out, snapshot).expect("write snapshot");

@@ -15,6 +15,10 @@
 //! opened on the same directory must reuse the persisted index (zero
 //! rebuilds). Writes p50/p95/p99 latency and throughput to
 //! `results/BENCH_query.json` (or `$SANDWICH_BENCH_OUT`).
+//!
+//! `--store <dir>` replays the workload against an existing store (e.g.
+//! the one `shard_bench --store` generated) instead of seeding a fresh
+//! one; a shared store is never deleted on exit.
 
 use rand::{Rng, SeedableRng};
 
@@ -53,35 +57,57 @@ fn main() {
     let zipf_requests = env_usize("SANDWICH_QUERY_ZIPF_REQUESTS", 600);
     let cold_requests = env_usize("SANDWICH_QUERY_COLD_REQUESTS", 120);
     let seed = env_usize("SANDWICH_SEED", 7) as u64;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let shared_store = args
+        .iter()
+        .position(|a| a == "--store")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
 
-    // Seed the store from the simulated measurement.
-    let fr = sandwich_bench::run_pipeline_with(sandwich_sim::ScenarioConfig {
-        days,
-        ..sandwich_bench::figure_scenario()
-    });
-    let store_dir =
-        std::env::var("SANDWICH_QUERY_STORE_DIR").unwrap_or_else(|_| "query_bench.store".into());
-    let _ = std::fs::remove_dir_all(&store_dir);
-    let mut writer = StoreWriter::create(&store_dir).expect("create store");
-    let segment_bundles = (fr.run.dataset.len() / 32).max(64);
-    fr.run
-        .dataset
-        .write_store(&mut writer, segment_bundles)
-        .expect("seal segments");
-    let store = writer.into_reader();
-    println!(
-        "query_bench: {} bundles in {} segments over {days} day(s)",
-        fr.run.dataset.len(),
-        store.segments().len()
-    );
-    drop(store);
+    // Seed the store from the simulated measurement, or reuse a shared
+    // generated store (`--store <dir>`, e.g. one `shard_bench` built) —
+    // shared stores are opened with default query semantics and are left
+    // intact on exit.
+    let (store_dir, owned_store, service_config) = if let Some(dir) = shared_store {
+        let store = sandwich_store::BundleStore::open(&dir).expect("open shared store");
+        println!(
+            "query_bench: reusing {} bundles in {} segments from {dir}",
+            store.manifest().total_bundles(),
+            store.segments().len()
+        );
+        drop(store);
+        let config = QueryServiceConfig::new(&dir);
+        (dir, false, config)
+    } else {
+        let fr = sandwich_bench::run_pipeline_with(sandwich_sim::ScenarioConfig {
+            days,
+            ..sandwich_bench::figure_scenario()
+        });
+        let store_dir = std::env::var("SANDWICH_QUERY_STORE_DIR")
+            .unwrap_or_else(|_| "query_bench.store".into());
+        let _ = std::fs::remove_dir_all(&store_dir);
+        let mut writer = StoreWriter::create(&store_dir).expect("create store");
+        let segment_bundles = (fr.run.dataset.len() / 32).max(64);
+        fr.run
+            .dataset
+            .write_store(&mut writer, segment_bundles)
+            .expect("seal segments");
+        let store = writer.into_reader();
+        println!(
+            "query_bench: {} bundles in {} segments over {days} day(s)",
+            fr.run.dataset.len(),
+            store.segments().len()
+        );
+        drop(store);
 
-    // Open the service with the same semantics the analysis used.
-    let analysis = AnalysisConfig::paper_defaults(days);
-    let mut service_config = QueryServiceConfig::new(&store_dir);
-    service_config.query.detector = analysis.detector;
-    service_config.query.defensive_threshold = analysis.defensive_threshold;
-    service_config.query.clock = fr.clock;
+        // Open the service with the same semantics the analysis used.
+        let analysis = AnalysisConfig::paper_defaults(days);
+        let mut service_config = QueryServiceConfig::new(&store_dir);
+        service_config.query.detector = analysis.detector;
+        service_config.query.defensive_threshold = analysis.defensive_threshold;
+        service_config.query.clock = fr.clock;
+        (store_dir, true, service_config)
+    };
     let registry = Registry::new();
     let service =
         QueryService::open(service_config.clone(), registry.clone()).expect("open service");
@@ -319,5 +345,7 @@ fn main() {
     std::fs::write(&out, snapshot).expect("write snapshot");
     println!("  snapshot → {out}");
 
-    let _ = std::fs::remove_dir_all(&store_dir);
+    if owned_store {
+        let _ = std::fs::remove_dir_all(&store_dir);
+    }
 }

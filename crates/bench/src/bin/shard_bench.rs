@@ -1,0 +1,428 @@
+//! Shard scaling benchmark: one scale store through 1/2/4/8 shards.
+//!
+//! Reuses (or generates) a `scale_gen`-shaped store, builds a legacy
+//! single-engine byte reference for a fixed probe set, then for each
+//! shard count N:
+//!
+//! 1. drops the persisted shard map and per-shard indexes and re-plans,
+//! 2. times the N per-shard index builds running in parallel on one
+//!    thread each — the scan-parallelism ladder `scan_speedup_4_shards`
+//!    is read from,
+//! 3. serves a [`ServingCluster`] over real loopback sockets and asserts
+//!    every probe response (summary coverage, leaderboard pages, details,
+//!    paginated slot ranges, 404s) byte-identical to the legacy engine,
+//! 4. replays a mixed probe load through the router for throughput.
+//!
+//! Writes `results/BENCH_shard.json` (or `$SANDWICH_BENCH_OUT`) and
+//! aborts — in-bench, not just in the gate — unless every response at
+//! every shard count matched the single-engine bytes.
+//!
+//! `--store <dir>` (or `$SANDWICH_SHARD_STORE`) points at a shared store
+//! directory: reused when it already holds a manifest, generated there
+//! (and kept) when it does not, so `query_bench --store` / `crash_bench
+//! --store` can run against the same corpus without regenerating it.
+
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+use sandwich_net::HttpClient;
+use sandwich_obs::Registry;
+use sandwich_query::{
+    build_index, build_index_subset, save_index_as, Engine, QueryConfig, QueryRequest,
+};
+use sandwich_shard::{
+    shard_index_file, ClusterConfig, ServingCluster, ShardMap, SHARD_INDEX_PREFIX, SHARD_MAP_FILE,
+};
+use sandwich_store::{BundleStore, StoreWriter, MANIFEST_FILE};
+use sandwich_types::Keypair;
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// One probe: the router path and its typed form for the legacy
+/// single-engine reference evaluation.
+#[derive(Clone)]
+struct Probe {
+    path: String,
+    typed: QueryRequest,
+}
+
+fn percentile_ms(sorted_us: &[u64], q: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted_us.len() - 1) as f64 * q).round() as usize;
+    sorted_us[rank] as f64 / 1_000.0
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let store_override = args
+        .iter()
+        .position(|a| a == "--store")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .or_else(|| std::env::var("SANDWICH_SHARD_STORE").ok());
+    let bundles = env_u64("SANDWICH_SHARD_BUNDLES", 1_000_000);
+    let counts: Vec<usize> = std::env::var("SANDWICH_SHARD_COUNTS")
+        .unwrap_or_else(|_| "1,2,4,8".into())
+        .split(',')
+        .filter_map(|v| v.trim().parse().ok())
+        .filter(|&n| n >= 1)
+        .collect();
+    let clients = env_usize("SANDWICH_SHARD_CLIENTS", 4);
+    let load_requests = env_usize("SANDWICH_SHARD_REQUESTS", 400);
+
+    // Resolve the store: reuse a directory that already holds a manifest,
+    // generate otherwise. A generated store is kept when the caller named
+    // the directory (that is the sharing workflow) and deleted when it
+    // went to the scratch default.
+    let (store_dir, owned) = match store_override {
+        Some(dir) => {
+            let reused = Path::new(&dir).join(MANIFEST_FILE).exists();
+            if !reused {
+                generate_store(&dir, bundles);
+            }
+            println!(
+                "shard_bench: {} store {dir}",
+                if reused {
+                    "reusing"
+                } else {
+                    "generated shared"
+                }
+            );
+            (dir, false)
+        }
+        None => {
+            let dir = "shard_bench.store".to_string();
+            let _ = std::fs::remove_dir_all(&dir);
+            generate_store(&dir, bundles);
+            (dir, true)
+        }
+    };
+
+    let store = BundleStore::open(&store_dir).expect("open store");
+    let store_bundles = store.manifest().total_bundles();
+    let segments = store.segments().len();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    println!("  {store_bundles} bundles in {segments} segments, {cores} cores");
+
+    // Legacy single-engine reference: full-store build on one thread —
+    // the same per-worker budget every shard build gets below, so the
+    // build-time ladder isolates shard-level scan parallelism.
+    let build_config = QueryConfig {
+        threads: 1,
+        ..Default::default()
+    };
+    let t = Instant::now();
+    let index = build_index(&store, &build_config).expect("legacy index build");
+    let legacy_build_s = t.elapsed().as_secs_f64();
+    let engine = Engine::new(Arc::new(index));
+    let index = engine.index();
+    println!(
+        "  legacy engine: {} sandwiches, {} attackers, {} pools, built in {legacy_build_s:.2}s (1 thread)",
+        index.totals.sandwiches,
+        index.attackers.len(),
+        index.pools.len(),
+    );
+
+    // Probe set: coverage, rollups, paginated leaderboards, details for
+    // entities whose refs span shard boundaries, paginated slot ranges,
+    // and 404s — every endpoint family the router merges.
+    let mut probes: Vec<Probe> = vec![
+        Probe {
+            path: "/api/summary".into(),
+            typed: QueryRequest::Summary,
+        },
+        Probe {
+            path: "/api/days".into(),
+            typed: QueryRequest::Days,
+        },
+        Probe {
+            path: "/api/attackers?limit=20".into(),
+            typed: QueryRequest::Attackers {
+                limit: 20,
+                after: 0,
+            },
+        },
+        Probe {
+            path: "/api/attackers?limit=100".into(),
+            typed: QueryRequest::Attackers {
+                limit: 100,
+                after: 0,
+            },
+        },
+        Probe {
+            path: "/api/attackers?limit=20&after=20".into(),
+            typed: QueryRequest::Attackers {
+                limit: 20,
+                after: 20,
+            },
+        },
+    ];
+    for entry in index.attackers.iter().take(3) {
+        probes.push(Probe {
+            path: format!("/api/attacker/{}", entry.attacker),
+            typed: QueryRequest::Attacker {
+                pubkey: entry.attacker,
+            },
+        });
+    }
+    for entry in index.pools.iter().take(3) {
+        probes.push(Probe {
+            path: format!("/api/pool/{}", entry.mint),
+            typed: QueryRequest::Pool { mint: entry.mint },
+        });
+    }
+    let nobody = Keypair::from_label("shard-bench-nobody").pubkey();
+    probes.push(Probe {
+        path: format!("/api/attacker/{nobody}"),
+        typed: QueryRequest::Attacker { pubkey: nobody },
+    });
+    probes.push(Probe {
+        path: format!("/api/pool/{nobody}"),
+        typed: QueryRequest::Pool { mint: nobody },
+    });
+    let max_slot = index.totals.max_slot.max(1);
+    for (from, to, limit, after) in [
+        (0, max_slot + 1, 50, 0),
+        (0, max_slot + 1, 50, 25),
+        (max_slot / 3, 2 * max_slot / 3, 100, 0),
+        (max_slot / 3, 2 * max_slot / 3, 100, 100),
+        (0, max_slot + 1, 20, u64::MAX as usize / 2),
+    ] {
+        probes.push(Probe {
+            path: format!(
+                "/api/sandwiches?from_slot={from}&to_slot={to}&limit={limit}&after={after}"
+            ),
+            typed: QueryRequest::Sandwiches {
+                from_slot: from,
+                to_slot: to,
+                limit,
+                after,
+            },
+        });
+    }
+    let reference: Vec<_> = probes.iter().map(|p| engine.evaluate(&p.typed)).collect();
+
+    let runtime = tokio::runtime::Builder::new_multi_thread()
+        .enable_all()
+        .build()
+        .expect("tokio runtime");
+
+    let mut merged_identical = true;
+    let mut build_seconds: Vec<(usize, f64)> = Vec::new();
+    let mut throughput_rps: Vec<(usize, f64)> = Vec::new();
+    let mut p50_ms: Vec<(usize, f64)> = Vec::new();
+
+    for &n in &counts {
+        // Fresh plan for this shard count: drop the persisted map and
+        // every per-shard index so the timed builds start cold.
+        let _ = std::fs::remove_file(Path::new(&store_dir).join(SHARD_MAP_FILE));
+        if let Ok(entries) = std::fs::read_dir(&store_dir) {
+            for entry in entries.flatten() {
+                if entry
+                    .file_name()
+                    .to_string_lossy()
+                    .starts_with(SHARD_INDEX_PREFIX)
+                {
+                    let _ = std::fs::remove_file(entry.path());
+                }
+            }
+        }
+        let map = ShardMap::plan(store.manifest(), n);
+        map.save(Path::new(&store_dir)).expect("save shard map");
+
+        // N per-shard builds in parallel, one thread each.
+        let t = Instant::now();
+        std::thread::scope(|scope| {
+            for shard in 0..n {
+                let map = &map;
+                let store = &store;
+                let store_dir = &store_dir;
+                let build_config = &build_config;
+                scope.spawn(move || {
+                    let (serving, quarantined) =
+                        map.resolve(store.manifest(), shard).expect("resolve shard");
+                    let index = build_index_subset(store, build_config, &serving, &quarantined)
+                        .expect("shard index build");
+                    let file = shard_index_file(shard, n, &map.fingerprint(shard));
+                    save_index_as(Path::new(store_dir), &index, &file).expect("save shard index");
+                });
+            }
+        });
+        let build_s = t.elapsed().as_secs_f64();
+        build_seconds.push((n, build_s));
+
+        let (identical, rps, p50) = runtime.block_on(serve_and_probe(
+            &store_dir,
+            n,
+            &probes,
+            &reference,
+            clients,
+            load_requests,
+        ));
+        merged_identical &= identical;
+        throughput_rps.push((n, rps));
+        p50_ms.push((n, p50));
+        println!(
+            "  {n} shard(s): build {build_s:.2}s, {rps:.0} req/s, p50 {p50:.2} ms, byte-identical: {identical}"
+        );
+    }
+
+    let build_of = |n: usize| build_seconds.iter().find(|(c, _)| *c == n).map(|(_, s)| *s);
+    let speedup_base = build_of(1).unwrap_or(legacy_build_s);
+    let speedup_at = build_of(4)
+        .or_else(|| build_seconds.last().map(|(_, s)| *s))
+        .unwrap_or(speedup_base);
+    let scan_speedup_4_shards = speedup_base / speedup_at.max(1e-9);
+    println!(
+        "  scan speedup at 4 shards: {scan_speedup_4_shards:.2}x (1-shard {speedup_base:.2}s)"
+    );
+
+    let out = std::env::var("SANDWICH_BENCH_OUT").unwrap_or_else(|_| {
+        let _ = std::fs::create_dir_all("results");
+        "results/BENCH_shard.json".into()
+    });
+    let json_map = |pairs: &[(usize, f64)], precision: usize| -> String {
+        let body: Vec<String> = pairs
+            .iter()
+            .map(|(n, v)| format!("\"{n}\": {v:.precision$}"))
+            .collect();
+        format!("{{{}}}", body.join(", "))
+    };
+    let snapshot = format!(
+        "{{\n  \"bundles\": {store_bundles},\n  \"segments\": {segments},\n  \"cores\": {cores},\n  \"probes\": {np},\n  \"shard_counts\": [{sc}],\n  \"legacy_build_seconds\": {legacy_build_s:.3},\n  \"build_seconds\": {builds},\n  \"throughput_rps\": {rps},\n  \"p50_ms\": {p50s},\n  \"scan_speedup_4_shards\": {scan_speedup_4_shards:.3},\n  \"merged_identical\": {merged_identical}\n}}\n",
+        np = probes.len(),
+        sc = counts
+            .iter()
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>()
+            .join(", "),
+        builds = json_map(&build_seconds, 3),
+        rps = json_map(&throughput_rps, 0),
+        p50s = json_map(&p50_ms, 3),
+    );
+    std::fs::write(&out, snapshot).expect("write snapshot");
+    println!("  snapshot → {out}");
+
+    drop(engine);
+    drop(store);
+    if owned {
+        let _ = std::fs::remove_dir_all(&store_dir);
+    }
+    assert!(
+        merged_identical,
+        "sharded responses diverged from the single-engine bytes"
+    );
+}
+
+/// Generate a scale store into `dir` (the `scale_gen` corpus shape).
+fn generate_store(dir: &str, bundles: u64) {
+    use sandwich_bench::scale::{generate, ScaleConfig};
+    let scale = ScaleConfig {
+        bundles,
+        segment_bundles: env_usize("SANDWICH_SHARD_SEGMENT", 8_192),
+        ..ScaleConfig::default()
+    };
+    let t = Instant::now();
+    let mut writer = StoreWriter::create(dir).expect("create store");
+    let stats = generate(&mut writer, &scale).expect("generate scale store");
+    drop(writer.into_reader());
+    println!(
+        "shard_bench: generated {} bundles in {} segments in {:.1}s",
+        stats.bundles,
+        stats.segments,
+        t.elapsed().as_secs_f64()
+    );
+}
+
+/// Serve an N-shard cluster, byte-check every probe against the legacy
+/// reference, and replay a mixed probe load for throughput. Returns
+/// `(identical, requests_per_second, p50_ms)`.
+async fn serve_and_probe(
+    store_dir: &str,
+    n: usize,
+    probes: &[Probe],
+    reference: &[sandwich_query::CachedResponse],
+    clients: usize,
+    load_requests: usize,
+) -> (bool, f64, f64) {
+    let mut config = ClusterConfig::new(store_dir, n);
+    // Engines load the indexes persisted by the timed build phase; the
+    // thread budget only matters for a (unexpected) rebuild.
+    config.query.threads = 1;
+    let cluster = ServingCluster::serve(config, Registry::new())
+        .await
+        .expect("serve cluster");
+    let addr = cluster.router_addr();
+    let client = HttpClient::new(addr);
+
+    let mut identical = true;
+    for (probe, want) in probes.iter().zip(reference) {
+        let served = client.get(&probe.path).await.expect("probe request");
+        let same = served.status == want.status && served.body[..] == want.body[..];
+        if !same {
+            println!(
+                "  MISMATCH at {n} shard(s): {} (status {} vs {}, {} vs {} bytes)",
+                probe.path,
+                served.status,
+                want.status,
+                served.body.len(),
+                want.body.len(),
+            );
+            identical = false;
+        }
+    }
+
+    // Mixed load: the probe set cycled across the client pool.
+    let pool = clients.max(1);
+    let mut plans: Vec<Vec<String>> = vec![Vec::new(); pool];
+    for i in 0..load_requests {
+        plans[i % pool].push(probes[i % probes.len()].path.clone());
+    }
+    let started = Instant::now();
+    let mut set = tokio::task::JoinSet::new();
+    for plan in plans {
+        set.spawn(async move {
+            let client = HttpClient::new(addr);
+            let mut latencies_us = Vec::with_capacity(plan.len());
+            for path in plan {
+                let t = Instant::now();
+                let response = client.get(&path).await.expect("load request");
+                latencies_us.push(t.elapsed().as_micros() as u64);
+                assert!(
+                    response.status == 200 || response.status == 404,
+                    "{path}: status {}",
+                    response.status
+                );
+            }
+            latencies_us
+        });
+    }
+    let mut latencies: Vec<u64> = Vec::with_capacity(load_requests);
+    while let Some(joined) = set.join_next().await {
+        latencies.extend(joined.expect("client task"));
+    }
+    let wall = started.elapsed().as_secs_f64();
+    latencies.sort_unstable();
+    let rps = latencies.len() as f64 / wall.max(1e-9);
+    let p50 = percentile_ms(&latencies, 0.50);
+
+    cluster.shutdown().await;
+    (identical, rps, p50)
+}

@@ -93,3 +93,26 @@ pub const QUERY_INDEX_SEGMENTS_FAILED: &str = "query.index.segments_failed";
 /// Counter: requests shed by admission control (503 + Retry-After)
 /// because the bounded in-flight limit was reached.
 pub const QUERY_SHED: &str = "query.shed";
+
+/// Counter: scatter-gather fanouts executed by the shard router (one per
+/// cache-missing API request).
+pub const QUERY_SHARD_FANOUTS: &str = "query.shard.fanouts";
+
+/// Histogram: shards contacted per fanout (the fanout width).
+pub const QUERY_SHARD_FANOUT_WIDTH: &str = "query.shard.fanout_width";
+
+/// Prefix for the per-shard request latency histograms (seconds); the
+/// shard id is appended, e.g. `query.shard.latency.2`.
+pub const QUERY_SHARD_LATENCY_PREFIX: &str = "query.shard.latency.";
+
+/// Histogram: wall-clock seconds the router spent merging shard partials
+/// and rendering the response (excludes the fanout itself).
+pub const QUERY_SHARD_MERGE_SECONDS: &str = "query.shard.merge_seconds";
+
+/// Counter: straggler shard responses (slower than twice the fastest
+/// shard in the same fanout).
+pub const QUERY_SHARD_STRAGGLERS: &str = "query.shard.stragglers";
+
+/// Counter: fanouts that failed (a shard was unreachable, answered a
+/// non-200, or disagreed on the store generation) and were answered 503.
+pub const QUERY_SHARD_FANOUT_FAILURES: &str = "query.shard.fanout_failures";

@@ -115,6 +115,13 @@ impl ResponseCache {
         self.len() == 0
     }
 
+    /// Drop `key` from the resident entries, if present. The router uses
+    /// this to un-cache a transient scatter-gather failure (a 503 from a
+    /// dead shard must not be served from cache once the shard is back).
+    pub fn invalidate(&self, key: &str) {
+        self.shard_of(key).lock().entries.remove(key);
+    }
+
     /// Look `key` up; on a miss run `compute` (synchronously, outside the
     /// shard lock) and publish the result to every concurrent waiter.
     /// Returns the response, how it was obtained, and how many entries the
@@ -126,6 +133,23 @@ impl ResponseCache {
     ) -> (Arc<CachedResponse>, CacheOutcome, u64)
     where
         F: FnOnce() -> CachedResponse,
+    {
+        self.get_or_compute_async(key, || std::future::ready(compute()))
+            .await
+    }
+
+    /// [`Self::get_or_compute`] with an **async** compute — the shard
+    /// router's miss path fans out over sockets and must await inside the
+    /// leader slot. Identical single-flight semantics: one leader runs the
+    /// future, concurrent identical misses await the published result.
+    pub async fn get_or_compute_async<F, Fut>(
+        &self,
+        key: &str,
+        compute: F,
+    ) -> (Arc<CachedResponse>, CacheOutcome, u64)
+    where
+        F: FnOnce() -> Fut,
+        Fut: std::future::Future<Output = CachedResponse>,
     {
         let mut compute = Some(compute);
         loop {
@@ -162,7 +186,7 @@ impl ResponseCache {
                     let Some(compute) = compute.take() else {
                         unreachable!("leader role is taken at most once per call");
                     };
-                    let value = Arc::new(compute());
+                    let value = Arc::new(compute().await);
                     let evicted = {
                         let mut shard = self.shard_of(key).lock();
                         shard.inflight.remove(key);

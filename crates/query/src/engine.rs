@@ -10,25 +10,18 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use serde::Serialize;
-
 use sandwich_net::Request;
 use sandwich_types::Pubkey;
 
 use crate::cache::CachedResponse;
-use crate::index::{
-    first_ref_at_or_after, AttackerEntry, DayRollup, IndexCoverage, IndexTotals, PoolEntry,
-    QueryIndex, SandwichRef,
-};
+use crate::index::{first_ref_at_or_after, AttackerEntry, PoolEntry, QueryIndex, SandwichRef};
+use crate::render::{self, DETAIL_REF_CAP};
 
 /// Default page size when `limit=` is absent.
 pub const DEFAULT_LIMIT: usize = 20;
 
 /// Hard ceiling on `limit=` to bound response sizes.
 pub const MAX_LIMIT: usize = 500;
-
-/// Sandwich rows embedded in an attacker/pool detail response.
-const DETAIL_REF_CAP: usize = 100;
 
 /// A parsed, validated API request. Construction validates all
 /// parameters, so evaluation is infallible.
@@ -164,131 +157,10 @@ impl QueryRequest {
     }
 }
 
-// The serde_derive shim cannot handle lifetime or type parameters, so
-// every response struct owns its data; bodies are built once per cache
-// miss, so the clones are off the hot path.
-
-#[derive(Serialize)]
-struct SummaryResponse {
-    generation: String,
-    coverage: IndexCoverage,
-    complete: bool,
-    totals: IndexTotals,
-    days: u64,
-    attackers: u64,
-    pools: u64,
-}
-
-#[derive(Serialize)]
-struct DaysResponse {
-    generation: String,
-    days: Vec<DayRollup>,
-}
-
-#[derive(Serialize)]
-struct AttackerRow {
-    rank: usize,
-    attacker: Pubkey,
-    sandwiches: u64,
-    attacker_gain_lamports: i128,
-    victim_loss_lamports: u128,
-    tips_lamports: u128,
-}
-
-impl AttackerRow {
-    fn of(rank: usize, entry: &AttackerEntry) -> Self {
-        AttackerRow {
-            rank,
-            attacker: entry.attacker,
-            sandwiches: entry.sandwiches,
-            attacker_gain_lamports: entry.attacker_gain_lamports,
-            victim_loss_lamports: entry.victim_loss_lamports,
-            tips_lamports: entry.tips_lamports,
-        }
-    }
-}
-
-#[derive(Serialize)]
-struct AttackersPage {
-    generation: String,
-    total: usize,
-    limit: usize,
-    after: usize,
-    next: Option<usize>,
-    rows: Vec<AttackerRow>,
-}
-
-#[derive(Serialize)]
-struct AttackerDetailResponse {
-    generation: String,
-    row: AttackerRow,
-    recent: Vec<SandwichRef>,
-}
-
-#[derive(Serialize)]
-struct PoolRow {
-    rank: usize,
-    mint: Pubkey,
-    sandwiches: u64,
-    victim_loss_lamports: u128,
-    attackers: u64,
-}
-
-impl PoolRow {
-    fn of(rank: usize, entry: &PoolEntry) -> Self {
-        PoolRow {
-            rank,
-            mint: entry.mint,
-            sandwiches: entry.sandwiches,
-            victim_loss_lamports: entry.victim_loss_lamports,
-            attackers: entry.attackers,
-        }
-    }
-}
-
-#[derive(Serialize)]
-struct PoolDetailResponse {
-    generation: String,
-    row: PoolRow,
-    recent: Vec<SandwichRef>,
-}
-
-#[derive(Serialize)]
-struct RangeResponse {
-    generation: String,
-    from_slot: u64,
-    to_slot: u64,
-    total: usize,
-    limit: usize,
-    after: usize,
-    next: Option<usize>,
-    rows: Vec<SandwichRef>,
-}
-
-#[derive(Serialize)]
-struct ErrorBody {
-    error: String,
-}
-
-fn json_response<T: Serialize>(status: u16, value: &T) -> CachedResponse {
-    let body = serde_json::to_vec(value)
-        .unwrap_or_else(|e| format!("{{\"error\":\"serialization failed: {e}\"}}").into_bytes());
-    CachedResponse {
-        status,
-        content_type: "application/json".to_string(),
-        body,
-    }
-}
-
-/// A 4xx error body (same shape the engine uses for 404s).
-pub fn error_response(status: u16, message: impl Into<String>) -> CachedResponse {
-    json_response(
-        status,
-        &ErrorBody {
-            error: message.into(),
-        },
-    )
-}
+// Response bodies are rendered by [`crate::render`], shared with the
+// shard router so single-engine and scatter-gather answers are built by
+// the same code. Re-exported here for source compatibility.
+pub use crate::render::error_response;
 
 /// Immutable evaluation over one index snapshot, plus the lookup maps the
 /// persisted form does not carry.
@@ -338,79 +210,57 @@ impl Engine {
             .collect()
     }
 
+    /// Rank and entry for an attacker, when the index knows it.
+    pub fn attacker_entry(&self, pubkey: &Pubkey) -> Option<(usize, &AttackerEntry)> {
+        let &rank = self.attacker_rank.get(pubkey)?;
+        Some((rank, &self.index.attackers[rank]))
+    }
+
+    /// Rank and entry for a pool, when the index knows it.
+    pub fn pool_entry(&self, mint: &Pubkey) -> Option<(usize, &PoolEntry)> {
+        let &rank = self.pool_rank.get(mint)?;
+        Some((rank, &self.index.pools[rank]))
+    }
+
+    /// The newest `cap` refs behind `refs`, **oldest first** (ascending
+    /// slot order) — the shape a shard ships so the router can merge
+    /// tails from several shards before reversing once.
+    pub fn ref_tail(&self, refs: &[u32], cap: usize) -> Vec<SandwichRef> {
+        let start = refs.len().saturating_sub(cap);
+        refs[start..]
+            .iter()
+            .filter_map(|&i| self.index.refs.get(i as usize).cloned())
+            .collect()
+    }
+
     /// Evaluate a validated request. Pure: identical requests against the
     /// same index yield byte-identical bodies.
     pub fn evaluate(&self, request: &QueryRequest) -> CachedResponse {
         let index = &*self.index;
+        let generation = index.generation.as_str();
         match request {
-            QueryRequest::Summary => json_response(
-                200,
-                &SummaryResponse {
-                    generation: index.generation.clone(),
-                    coverage: index.coverage.clone(),
-                    complete: index.coverage.complete(),
-                    totals: index.totals.clone(),
-                    days: index.days.len() as u64,
-                    attackers: index.attackers.len() as u64,
-                    pools: index.pools.len() as u64,
-                },
+            QueryRequest::Summary => render::summary(
+                generation,
+                &index.coverage,
+                &index.totals,
+                index.days.len() as u64,
+                index.attackers.len() as u64,
+                index.pools.len() as u64,
             ),
-            QueryRequest::Days => json_response(
-                200,
-                &DaysResponse {
-                    generation: index.generation.clone(),
-                    days: index.days.clone(),
-                },
-            ),
+            QueryRequest::Days => render::days(generation, &index.days),
             QueryRequest::Attackers { limit, after } => {
-                let total = index.attackers.len();
-                let rows: Vec<AttackerRow> = index
-                    .attackers
-                    .iter()
-                    .enumerate()
-                    .skip(*after)
-                    .take(*limit)
-                    .map(|(rank, entry)| AttackerRow::of(rank, entry))
-                    .collect();
-                let end = after + rows.len();
-                json_response(
-                    200,
-                    &AttackersPage {
-                        generation: index.generation.clone(),
-                        total,
-                        limit: *limit,
-                        after: *after,
-                        next: (end < total).then_some(end),
-                        rows,
-                    },
-                )
+                render::attackers_page(generation, &index.attackers, *limit, *after)
             }
-            QueryRequest::Attacker { pubkey } => match self.attacker_rank.get(pubkey) {
-                None => error_response(404, format!("unknown attacker {pubkey}")),
-                Some(&rank) => {
-                    let entry = &index.attackers[rank];
-                    json_response(
-                        200,
-                        &AttackerDetailResponse {
-                            generation: index.generation.clone(),
-                            row: AttackerRow::of(rank, entry),
-                            recent: self.recent_refs(&entry.refs),
-                        },
-                    )
+            QueryRequest::Attacker { pubkey } => match self.attacker_entry(pubkey) {
+                None => render::unknown_attacker(pubkey),
+                Some((rank, entry)) => {
+                    render::attacker_detail(generation, rank, entry, self.recent_refs(&entry.refs))
                 }
             },
-            QueryRequest::Pool { mint } => match self.pool_rank.get(mint) {
-                None => error_response(404, format!("unknown pool {mint}")),
-                Some(&rank) => {
-                    let entry = &index.pools[rank];
-                    json_response(
-                        200,
-                        &PoolDetailResponse {
-                            generation: index.generation.clone(),
-                            row: PoolRow::of(rank, entry),
-                            recent: self.recent_refs(&entry.refs),
-                        },
-                    )
+            QueryRequest::Pool { mint } => match self.pool_entry(mint) {
+                None => render::unknown_pool(mint),
+                Some((rank, entry)) => {
+                    render::pool_detail(generation, rank, entry, self.recent_refs(&entry.refs))
                 }
             },
             QueryRequest::Sandwiches {
@@ -427,19 +277,14 @@ impl Engine {
                 let in_range = &index.refs[start..end];
                 let rows: Vec<SandwichRef> =
                     in_range.iter().skip(*after).take(*limit).cloned().collect();
-                let next = after + rows.len();
-                json_response(
-                    200,
-                    &RangeResponse {
-                        generation: index.generation.clone(),
-                        from_slot: *from_slot,
-                        to_slot: *to_slot,
-                        total: in_range.len(),
-                        limit: *limit,
-                        after: *after,
-                        next: (next < in_range.len()).then_some(next),
-                        rows,
-                    },
+                render::sandwiches_page(
+                    generation,
+                    *from_slot,
+                    *to_slot,
+                    in_range.len(),
+                    *limit,
+                    *after,
+                    rows,
                 )
             }
         }
@@ -449,7 +294,7 @@ impl Engine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::index::{IndexTotals, QueryIndex, SandwichRef};
+    use crate::index::{IndexCoverage, IndexTotals, QueryIndex, SandwichRef};
     use sandwich_types::Hash;
 
     fn key(n: u8) -> Pubkey {

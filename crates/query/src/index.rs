@@ -338,8 +338,28 @@ fn partial_of_segment(data: sandwich_store::SegmentData, config: &QueryConfig) -
 /// bundles) are missing from it. Quarantined segments are accounted for
 /// from the manifest without being read.
 pub fn build_index(store: &BundleStore, config: &QueryConfig) -> std::io::Result<QueryIndex> {
-    let units: Vec<usize> = (0..store.segments().len()).collect();
-    let (partials, _workers) = parallel_map(&units, config.threads, |_, &i| {
+    let serving: Vec<usize> = (0..store.segments().len()).collect();
+    let quarantined: Vec<usize> = (0..store.quarantined().len()).collect();
+    build_index_subset(store, config, &serving, &quarantined)
+}
+
+/// Build an index over a **subset** of the store: `serving` indexes into
+/// [`BundleStore::segments`], `quarantined` into
+/// [`BundleStore::quarantined`]. This is the per-shard build — a shard
+/// map partitions the manifest and each shard indexes only its slice.
+///
+/// The resulting index carries the *full* manifest generation (every
+/// shard of one store generation agrees on it) and a coverage block that
+/// accounts only for the subset, so summing coverage blocks across a
+/// disjoint exhaustive partition reproduces the whole-store coverage
+/// exactly.
+pub fn build_index_subset(
+    store: &BundleStore,
+    config: &QueryConfig,
+    serving: &[usize],
+    quarantined: &[usize],
+) -> std::io::Result<QueryIndex> {
+    let (partials, _workers) = parallel_map(serving, config.threads, |_, &i| {
         store
             .read_segment(i)
             .ok()
@@ -347,12 +367,16 @@ pub fn build_index(store: &BundleStore, config: &QueryConfig) -> std::io::Result
     });
     let mut acc = IndexPartial::default();
     let mut coverage = IndexCoverage {
-        segments_total: store.segments().len() as u64,
-        segments_quarantined: store.quarantined().len() as u64,
-        bundles_quarantined: store.manifest().total_quarantined_bundles(),
+        segments_total: serving.len() as u64,
+        segments_quarantined: quarantined.len() as u64,
+        bundles_quarantined: quarantined
+            .iter()
+            .filter_map(|&q| store.quarantined().get(q))
+            .map(|q| q.meta.bundles)
+            .sum(),
         ..IndexCoverage::default()
     };
-    for (i, partial) in partials.into_iter().enumerate() {
+    for (&i, partial) in serving.iter().zip(partials) {
         let bundles = store.segments()[i].bundles;
         match partial {
             Some(partial) => {
@@ -366,13 +390,44 @@ pub fn build_index(store: &BundleStore, config: &QueryConfig) -> std::io::Result
             }
         }
     }
-    Ok(finalize(acc, coverage, store, config))
+    Ok(finalize(
+        acc,
+        coverage,
+        generation_of(store.manifest()),
+        serving.len() as u64,
+        config,
+    ))
+}
+
+/// Sort attacker entries into leaderboard order: gain desc, then count
+/// desc, then address asc. The shard router re-sorts merged entries with
+/// this exact comparator so ranks match the single-engine answer.
+pub fn sort_attacker_entries(attackers: &mut [AttackerEntry]) {
+    attackers.sort_by(|a, b| {
+        b.attacker_gain_lamports
+            .cmp(&a.attacker_gain_lamports)
+            .then(b.sandwiches.cmp(&a.sandwiches))
+            .then(a.attacker.cmp(&b.attacker))
+    });
+}
+
+/// Sort pool entries into leaderboard order: loss desc, then count desc,
+/// then mint asc. Shared with the shard router like
+/// [`sort_attacker_entries`].
+pub fn sort_pool_entries(pools: &mut [PoolEntry]) {
+    pools.sort_by(|a, b| {
+        b.victim_loss_lamports
+            .cmp(&a.victim_loss_lamports)
+            .then(b.sandwiches.cmp(&a.sandwiches))
+            .then(a.mint.cmp(&b.mint))
+    });
 }
 
 fn finalize(
     mut acc: IndexPartial,
     coverage: IndexCoverage,
-    store: &BundleStore,
+    generation: String,
+    segments: u64,
     config: &QueryConfig,
 ) -> QueryIndex {
     acc.refs.sort_by_key(|r| (r.slot, r.bundle_id.0));
@@ -420,22 +475,12 @@ fn finalize(
     }
 
     let mut attackers: Vec<AttackerEntry> = attackers.into_values().collect();
-    attackers.sort_by(|a, b| {
-        b.attacker_gain_lamports
-            .cmp(&a.attacker_gain_lamports)
-            .then(b.sandwiches.cmp(&a.sandwiches))
-            .then(a.attacker.cmp(&b.attacker))
-    });
+    sort_attacker_entries(&mut attackers);
     let mut pools: Vec<PoolEntry> = pools.into_values().collect();
-    pools.sort_by(|a, b| {
-        b.victim_loss_lamports
-            .cmp(&a.victim_loss_lamports)
-            .then(b.sandwiches.cmp(&a.sandwiches))
-            .then(a.mint.cmp(&b.mint))
-    });
+    sort_pool_entries(&mut pools);
 
     let totals = IndexTotals {
-        segments: store.segments().len() as u64,
+        segments,
         bundles: acc.days.iter().map(|d| d.bundles).sum(),
         sandwiches: acc.refs.len() as u64,
         non_sol_sandwiches: acc.non_sol,
@@ -446,7 +491,7 @@ fn finalize(
         max_slot: acc.max_slot,
     };
     QueryIndex {
-        generation: generation_of(store.manifest()),
+        generation,
         coverage,
         totals,
         days: acc.days,
@@ -495,14 +540,21 @@ impl std::fmt::Display for IndexReject {
 /// FNV-1a 64 checksum (LE) · footer magic`. A crash mid-save leaves the
 /// previous index (or none) — never a torn frame.
 pub fn save_index(dir: &Path, index: &QueryIndex) -> std::io::Result<()> {
+    save_index_as(dir, index, INDEX_FILE)
+}
+
+/// [`save_index`] under an explicit file name — per-shard indexes persist
+/// next to the whole-store one (e.g. `query-index.shard-0of4-<fp>.bin`)
+/// without clobbering it.
+pub fn save_index_as(dir: &Path, index: &QueryIndex, file: &str) -> std::io::Result<()> {
     let body = serde_json::to_vec(index)?;
     let mut image = Vec::with_capacity(body.len() + 24);
     image.extend_from_slice(INDEX_MAGIC);
     image.extend_from_slice(&body);
     image.extend_from_slice(&fnv1a64(&body).to_le_bytes());
     image.extend_from_slice(INDEX_FOOTER_MAGIC);
-    let path = dir.join(INDEX_FILE);
-    let tmp = dir.join(format!("{INDEX_FILE}.tmp"));
+    let path = dir.join(file);
+    let tmp = dir.join(format!("{file}.tmp"));
     {
         use std::io::Write;
         let mut file = std::fs::File::create(&tmp)?;
@@ -516,7 +568,16 @@ pub fn save_index(dir: &Path, index: &QueryIndex) -> std::io::Result<()> {
 /// Load a persisted index, trusting it only when the framing, the
 /// checksum, and the manifest generation all verify.
 pub fn load_index(dir: &Path, expected_generation: &str) -> Result<QueryIndex, IndexReject> {
-    let image = match std::fs::read(dir.join(INDEX_FILE)) {
+    load_index_as(dir, INDEX_FILE, expected_generation)
+}
+
+/// [`load_index`] under an explicit file name (see [`save_index_as`]).
+pub fn load_index_as(
+    dir: &Path,
+    file: &str,
+    expected_generation: &str,
+) -> Result<QueryIndex, IndexReject> {
+    let image = match std::fs::read(dir.join(file)) {
         Ok(image) => image,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Err(IndexReject::Missing),
         Err(_) => return Err(IndexReject::BadFrame),

@@ -17,13 +17,15 @@
 pub mod cache;
 pub mod engine;
 pub mod index;
+pub mod render;
 pub mod service;
 
 pub use cache::{CacheOutcome, CachedResponse, ResponseCache};
 pub use engine::{Engine, QueryRequest, DEFAULT_LIMIT, MAX_LIMIT};
 pub use index::{
-    build_index, generation_of, load_index, save_index, AttackerEntry, DayRollup, IndexCoverage,
-    IndexReject, IndexTotals, PoolEntry, QueryConfig, QueryIndex, SandwichRef, INDEX_FILE,
-    INDEX_MAGIC,
+    build_index, build_index_subset, generation_of, load_index, load_index_as, save_index,
+    save_index_as, sort_attacker_entries, sort_pool_entries, AttackerEntry, DayRollup,
+    IndexCoverage, IndexReject, IndexTotals, PoolEntry, QueryConfig, QueryIndex, SandwichRef,
+    INDEX_FILE, INDEX_MAGIC,
 };
 pub use service::{QueryService, QueryServiceConfig};

@@ -1,0 +1,286 @@
+//! The shared response-rendering layer: every JSON body the API serves is
+//! built here, whether the inputs came from one local engine or from
+//! merged shard partials.
+//!
+//! This is the keystone of the scatter-gather design in `sandwich-shard`:
+//! the single-engine [`crate::Engine`] and the shard router both call
+//! these functions with structurally identical inputs, so byte-identical
+//! responses at every shard count are a property of the code shape, not a
+//! test-enforced coincidence. Nothing in this module consults an engine
+//! or an index — callers supply fully-merged values.
+
+use serde::Serialize;
+
+use sandwich_types::Pubkey;
+
+use crate::cache::CachedResponse;
+use crate::index::{AttackerEntry, DayRollup, IndexCoverage, IndexTotals, PoolEntry, SandwichRef};
+
+/// Sandwich rows embedded in an attacker/pool detail response.
+pub const DETAIL_REF_CAP: usize = 100;
+
+// The serde_derive shim cannot handle lifetime or type parameters, so
+// every response struct owns its data; bodies are built once per cache
+// miss, so the clones are off the hot path.
+
+#[derive(Serialize)]
+struct SummaryResponse {
+    generation: String,
+    coverage: IndexCoverage,
+    complete: bool,
+    totals: IndexTotals,
+    days: u64,
+    attackers: u64,
+    pools: u64,
+}
+
+#[derive(Serialize)]
+struct DaysResponse {
+    generation: String,
+    days: Vec<DayRollup>,
+}
+
+#[derive(Serialize)]
+struct AttackerRow {
+    rank: usize,
+    attacker: Pubkey,
+    sandwiches: u64,
+    attacker_gain_lamports: i128,
+    victim_loss_lamports: u128,
+    tips_lamports: u128,
+}
+
+impl AttackerRow {
+    fn of(rank: usize, entry: &AttackerEntry) -> Self {
+        AttackerRow {
+            rank,
+            attacker: entry.attacker,
+            sandwiches: entry.sandwiches,
+            attacker_gain_lamports: entry.attacker_gain_lamports,
+            victim_loss_lamports: entry.victim_loss_lamports,
+            tips_lamports: entry.tips_lamports,
+        }
+    }
+}
+
+#[derive(Serialize)]
+struct AttackersPage {
+    generation: String,
+    total: usize,
+    limit: usize,
+    after: usize,
+    next: Option<usize>,
+    rows: Vec<AttackerRow>,
+}
+
+#[derive(Serialize)]
+struct AttackerDetailResponse {
+    generation: String,
+    row: AttackerRow,
+    recent: Vec<SandwichRef>,
+}
+
+#[derive(Serialize)]
+struct PoolRow {
+    rank: usize,
+    mint: Pubkey,
+    sandwiches: u64,
+    victim_loss_lamports: u128,
+    attackers: u64,
+}
+
+impl PoolRow {
+    fn of(rank: usize, entry: &PoolEntry) -> Self {
+        PoolRow {
+            rank,
+            mint: entry.mint,
+            sandwiches: entry.sandwiches,
+            victim_loss_lamports: entry.victim_loss_lamports,
+            attackers: entry.attackers,
+        }
+    }
+}
+
+#[derive(Serialize)]
+struct PoolDetailResponse {
+    generation: String,
+    row: PoolRow,
+    recent: Vec<SandwichRef>,
+}
+
+#[derive(Serialize)]
+struct RangeResponse {
+    generation: String,
+    from_slot: u64,
+    to_slot: u64,
+    total: usize,
+    limit: usize,
+    after: usize,
+    next: Option<usize>,
+    rows: Vec<SandwichRef>,
+}
+
+#[derive(Serialize)]
+struct ErrorBody {
+    error: String,
+}
+
+fn json_response<T: Serialize>(status: u16, value: &T) -> CachedResponse {
+    let body = serde_json::to_vec(value)
+        .unwrap_or_else(|e| format!("{{\"error\":\"serialization failed: {e}\"}}").into_bytes());
+    CachedResponse {
+        status,
+        content_type: "application/json".to_string(),
+        body,
+    }
+}
+
+/// A 4xx/5xx error body (same shape the engine uses for 404s).
+pub fn error_response(status: u16, message: impl Into<String>) -> CachedResponse {
+    json_response(
+        status,
+        &ErrorBody {
+            error: message.into(),
+        },
+    )
+}
+
+/// The 404 for an attacker no shard (or the local index) knows.
+pub fn unknown_attacker(pubkey: &Pubkey) -> CachedResponse {
+    error_response(404, format!("unknown attacker {pubkey}"))
+}
+
+/// The 404 for a pool no shard (or the local index) knows.
+pub fn unknown_pool(mint: &Pubkey) -> CachedResponse {
+    error_response(404, format!("unknown pool {mint}"))
+}
+
+/// `GET /api/summary` — `days`/`attackers`/`pools` are the merged
+/// cardinalities (distinct-count fields are not plain-summable, so the
+/// router unions key sets before calling this).
+pub fn summary(
+    generation: &str,
+    coverage: &IndexCoverage,
+    totals: &IndexTotals,
+    days: u64,
+    attackers: u64,
+    pools: u64,
+) -> CachedResponse {
+    json_response(
+        200,
+        &SummaryResponse {
+            generation: generation.to_string(),
+            coverage: coverage.clone(),
+            complete: coverage.complete(),
+            totals: totals.clone(),
+            days,
+            attackers,
+            pools,
+        },
+    )
+}
+
+/// `GET /api/days` — `days` must be dense from day 0.
+pub fn days(generation: &str, days: &[DayRollup]) -> CachedResponse {
+    json_response(
+        200,
+        &DaysResponse {
+            generation: generation.to_string(),
+            days: days.to_vec(),
+        },
+    )
+}
+
+/// `GET /api/attackers` — `entries` must already be in leaderboard order
+/// (see [`crate::index::sort_attacker_entries`]); pagination and `next`
+/// are computed here so every caller paginates identically.
+pub fn attackers_page(
+    generation: &str,
+    entries: &[AttackerEntry],
+    limit: usize,
+    after: usize,
+) -> CachedResponse {
+    let total = entries.len();
+    let rows: Vec<AttackerRow> = entries
+        .iter()
+        .enumerate()
+        .skip(after)
+        .take(limit)
+        .map(|(rank, entry)| AttackerRow::of(rank, entry))
+        .collect();
+    let end = after + rows.len();
+    json_response(
+        200,
+        &AttackersPage {
+            generation: generation.to_string(),
+            total,
+            limit,
+            after,
+            next: (end < total).then_some(end),
+            rows,
+        },
+    )
+}
+
+/// `GET /api/attacker/{pubkey}` — `recent` must be the newest refs,
+/// newest first, capped at [`DETAIL_REF_CAP`].
+pub fn attacker_detail(
+    generation: &str,
+    rank: usize,
+    entry: &AttackerEntry,
+    recent: Vec<SandwichRef>,
+) -> CachedResponse {
+    json_response(
+        200,
+        &AttackerDetailResponse {
+            generation: generation.to_string(),
+            row: AttackerRow::of(rank, entry),
+            recent,
+        },
+    )
+}
+
+/// `GET /api/pool/{mint}` — like [`attacker_detail`]; `entry.attackers`
+/// must be the merged distinct-attacker count.
+pub fn pool_detail(
+    generation: &str,
+    rank: usize,
+    entry: &PoolEntry,
+    recent: Vec<SandwichRef>,
+) -> CachedResponse {
+    json_response(
+        200,
+        &PoolDetailResponse {
+            generation: generation.to_string(),
+            row: PoolRow::of(rank, entry),
+            recent,
+        },
+    )
+}
+
+/// `GET /api/sandwiches` — `total` is the full in-range count and `rows`
+/// the `[after, after+limit)` slice of the slot-ordered in-range refs.
+pub fn sandwiches_page(
+    generation: &str,
+    from_slot: u64,
+    to_slot: u64,
+    total: usize,
+    limit: usize,
+    after: usize,
+    rows: Vec<SandwichRef>,
+) -> CachedResponse {
+    let next = after + rows.len();
+    json_response(
+        200,
+        &RangeResponse {
+            generation: generation.to_string(),
+            from_slot,
+            to_slot,
+            total,
+            limit,
+            after,
+            next: (next < total).then_some(next),
+            rows,
+        },
+    )
+}

@@ -1,0 +1,413 @@
+//! The [`ShardMap`]: which shard owns which segment.
+//!
+//! Planning is deterministic: serving segments are ordered by slot range
+//! (`min_slot`, then `max_slot`, then file name) and cut into N
+//! contiguous groups balanced by cumulative bundle count, so each shard
+//! owns a slot range and a roughly equal share of the data. Quarantined
+//! segments are assigned to the shard whose slot range covers them, so a
+//! disjoint exhaustive partition of *all* manifest entries exists and the
+//! router's summed coverage equals the single-engine coverage exactly.
+//!
+//! The map persists next to the manifest as `shard-map.bin`, framed like
+//! the query index (`SWSMAP1\n` · JSON body · FNV-1a 64 checksum (LE) ·
+//! `SWSEND1\n`) and keyed to the manifest generation: any manifest change
+//! (a new seal, a quarantine, a rebalance) invalidates it, and the next
+//! open re-plans. Writes go through the store's durable-write primitive
+//! (temp file + fsync + atomic rename + directory fsync), so a crash
+//! mid-swap leaves the previous map or none — never a torn frame.
+
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use sandwich_store::{crash, fnv1a64, Manifest, SegmentMeta};
+
+/// Shard-map file name inside a store directory (next to `manifest.json`).
+pub const SHARD_MAP_FILE: &str = "shard-map.bin";
+
+/// Leading magic of a persisted shard map (includes the format version).
+pub const SHARD_MAP_MAGIC: &[u8; 8] = b"SWSMAP1\n";
+
+/// Trailing magic of a persisted shard map.
+const SHARD_MAP_FOOTER_MAGIC: &[u8; 8] = b"SWSEND1\n";
+
+/// One shard's slice of the manifest.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardSpec {
+    /// Shard id (index into [`ShardMap::shards`]).
+    pub shard: u64,
+    /// Serving segment file names owned by this shard, manifest order.
+    pub segments: Vec<String>,
+    /// Quarantined segment file names accounted to this shard.
+    pub quarantined: Vec<String>,
+    /// Bundles inside the serving segments (planning weight).
+    pub bundles: u64,
+    /// Lowest slot this shard serves (0 when empty).
+    pub min_slot: u64,
+    /// Highest slot this shard serves (0 when empty).
+    pub max_slot: u64,
+}
+
+/// The complete assignment for one manifest generation.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardMap {
+    /// The manifest generation this map partitions.
+    pub generation: String,
+    /// One spec per shard; every manifest entry appears in exactly one.
+    pub shards: Vec<ShardSpec>,
+}
+
+/// Why a persisted shard map was not trusted.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ShardMapReject {
+    /// No persisted map exists yet.
+    Missing,
+    /// Bad leading or trailing magic, or too short to frame.
+    BadFrame,
+    /// Body checksum disagrees with the footer (corruption).
+    BadChecksum,
+    /// The body does not parse as a shard map.
+    BadBody,
+    /// The map describes a different manifest generation.
+    StaleGeneration {
+        /// Generation recorded in the file.
+        found: String,
+        /// Generation of the live manifest.
+        expected: String,
+    },
+    /// The map was planned for a different shard count.
+    ShardCountMismatch {
+        /// Shards in the file.
+        found: usize,
+        /// Shards requested now.
+        expected: usize,
+    },
+}
+
+impl std::fmt::Display for ShardMapReject {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardMapReject::Missing => write!(f, "no persisted shard map"),
+            ShardMapReject::BadFrame => write!(f, "bad shard-map framing"),
+            ShardMapReject::BadChecksum => write!(f, "shard-map checksum mismatch"),
+            ShardMapReject::BadBody => write!(f, "shard-map body does not parse"),
+            ShardMapReject::StaleGeneration { found, expected } => {
+                write!(f, "shard-map generation {found} != manifest {expected}")
+            }
+            ShardMapReject::ShardCountMismatch { found, expected } => {
+                write!(f, "shard map has {found} shards, {expected} requested")
+            }
+        }
+    }
+}
+
+/// Slot-order sort key shared by planning and quarantine assignment.
+fn slot_key(meta: &SegmentMeta) -> (u64, u64, String) {
+    (meta.min_slot, meta.max_slot, meta.file.clone())
+}
+
+impl ShardMap {
+    /// Plan a fresh map for `manifest` across `shards` shards.
+    /// Deterministic: depends only on the manifest contents.
+    pub fn plan(manifest: &Manifest, shards: usize) -> ShardMap {
+        let n = shards.max(1);
+        let mut specs: Vec<ShardSpec> = (0..n)
+            .map(|i| ShardSpec {
+                shard: i as u64,
+                ..ShardSpec::default()
+            })
+            .collect();
+
+        let mut serving: Vec<&SegmentMeta> = manifest.segments.iter().collect();
+        serving.sort_by_key(|m| slot_key(m));
+        let total: u64 = serving.iter().map(|m| m.bundles).sum();
+        let mut cum = 0u64;
+        let mut shard = 0usize;
+        for (i, meta) in serving.iter().enumerate() {
+            if total == 0 {
+                shard = i % n;
+            } else {
+                // Advance while this shard has met its pro-rata quota of
+                // the total bundle count; contiguity in slot order is
+                // what makes a shard a slot range.
+                while shard + 1 < n && cum * n as u64 >= total * (shard as u64 + 1) {
+                    shard += 1;
+                }
+            }
+            let spec = &mut specs[shard];
+            if spec.segments.is_empty() {
+                spec.min_slot = meta.min_slot;
+                spec.max_slot = meta.max_slot;
+            } else {
+                spec.min_slot = spec.min_slot.min(meta.min_slot);
+                spec.max_slot = spec.max_slot.max(meta.max_slot);
+            }
+            spec.segments.push(meta.file.clone());
+            spec.bundles += meta.bundles;
+            cum += meta.bundles;
+        }
+
+        // Quarantined segments: owned by the last shard whose range
+        // starts at or before them (slot affinity), shard 0 otherwise.
+        let mut quarantined: Vec<&sandwich_store::QuarantinedSegment> =
+            manifest.quarantined().iter().collect();
+        quarantined.sort_by_key(|q| slot_key(&q.meta));
+        for q in quarantined {
+            let owner = specs
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| !s.segments.is_empty() && s.min_slot <= q.meta.min_slot)
+                .map(|(i, _)| i)
+                .next_back()
+                .unwrap_or(0);
+            specs[owner].quarantined.push(q.meta.file.clone());
+        }
+
+        ShardMap {
+            generation: sandwich_query::generation_of(manifest),
+            shards: specs,
+        }
+    }
+
+    /// Number of shards in this map.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// A 16-hex FNV-1a 64 fingerprint of one shard's assignment — embedded
+    /// in the shard's persisted index file name so a re-plan (different
+    /// shard count, rebalanced layout) can never alias a stale index.
+    pub fn fingerprint(&self, shard: usize) -> String {
+        let spec = &self.shards[shard];
+        let mut bytes = Vec::new();
+        for file in spec.segments.iter().chain(&spec.quarantined) {
+            bytes.extend_from_slice(file.as_bytes());
+            bytes.push(b'\n');
+        }
+        format!("{:016x}", fnv1a64(&bytes))
+    }
+
+    /// Resolve one shard's file names back to indices into
+    /// `manifest.segments` / `manifest.quarantined()`. Fails when the map
+    /// references a file the manifest no longer lists (stale map).
+    pub fn resolve(
+        &self,
+        manifest: &Manifest,
+        shard: usize,
+    ) -> Result<(Vec<usize>, Vec<usize>), ShardMapReject> {
+        let spec = &self.shards[shard];
+        let mut serving = Vec::with_capacity(spec.segments.len());
+        for file in &spec.segments {
+            let i = manifest
+                .segments
+                .iter()
+                .position(|m| &m.file == file)
+                .ok_or(ShardMapReject::BadBody)?;
+            serving.push(i);
+        }
+        // Serve in manifest order so per-shard scans fold partials in the
+        // same order an unsharded scan would within this slice.
+        serving.sort_unstable();
+        let mut quarantined = Vec::with_capacity(spec.quarantined.len());
+        for file in &spec.quarantined {
+            let i = manifest
+                .quarantined()
+                .iter()
+                .position(|q| &q.meta.file == file)
+                .ok_or(ShardMapReject::BadBody)?;
+            quarantined.push(i);
+        }
+        quarantined.sort_unstable();
+        Ok((serving, quarantined))
+    }
+
+    /// Persist this map durably next to the manifest (atomic swap: the
+    /// previous map stays intact until the rename).
+    pub fn save(&self, dir: &Path) -> std::io::Result<()> {
+        let body = serde_json::to_vec(self)?;
+        let mut image = Vec::with_capacity(body.len() + 24);
+        image.extend_from_slice(SHARD_MAP_MAGIC);
+        image.extend_from_slice(&body);
+        image.extend_from_slice(&fnv1a64(&body).to_le_bytes());
+        image.extend_from_slice(SHARD_MAP_FOOTER_MAGIC);
+        crash::write_durable_with(&dir.join(SHARD_MAP_FILE), &image, &[], None)
+    }
+
+    /// Load the persisted map, trusting it only when the framing, the
+    /// checksum, the manifest generation, and the shard count all verify.
+    pub fn load(
+        dir: &Path,
+        expected_generation: &str,
+        expected_shards: usize,
+    ) -> Result<ShardMap, ShardMapReject> {
+        let image = match std::fs::read(dir.join(SHARD_MAP_FILE)) {
+            Ok(image) => image,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(ShardMapReject::Missing)
+            }
+            Err(_) => return Err(ShardMapReject::BadFrame),
+        };
+        let frame = SHARD_MAP_MAGIC.len() + 8 + SHARD_MAP_FOOTER_MAGIC.len();
+        if image.len() < frame
+            || &image[..SHARD_MAP_MAGIC.len()] != SHARD_MAP_MAGIC
+            || &image[image.len() - SHARD_MAP_FOOTER_MAGIC.len()..] != SHARD_MAP_FOOTER_MAGIC
+        {
+            return Err(ShardMapReject::BadFrame);
+        }
+        let body = &image[SHARD_MAP_MAGIC.len()..image.len() - 8 - SHARD_MAP_FOOTER_MAGIC.len()];
+        let checksum = u64::from_le_bytes(
+            image[image.len() - 8 - SHARD_MAP_FOOTER_MAGIC.len()
+                ..image.len() - SHARD_MAP_FOOTER_MAGIC.len()]
+                .try_into()
+                .expect("8-byte checksum slice"),
+        );
+        if fnv1a64(body) != checksum {
+            return Err(ShardMapReject::BadChecksum);
+        }
+        let map: ShardMap = serde_json::from_slice(body).map_err(|_| ShardMapReject::BadBody)?;
+        if map.generation != expected_generation {
+            return Err(ShardMapReject::StaleGeneration {
+                found: map.generation,
+                expected: expected_generation.to_string(),
+            });
+        }
+        if map.shard_count() != expected_shards {
+            return Err(ShardMapReject::ShardCountMismatch {
+                found: map.shard_count(),
+                expected: expected_shards,
+            });
+        }
+        Ok(map)
+    }
+
+    /// Load a valid persisted map or plan, persist, and return a fresh
+    /// one. The common open path for shard clusters.
+    pub fn load_or_plan(
+        dir: &Path,
+        manifest: &Manifest,
+        shards: usize,
+    ) -> std::io::Result<ShardMap> {
+        let generation = sandwich_query::generation_of(manifest);
+        match ShardMap::load(dir, &generation, shards) {
+            Ok(map) => Ok(map),
+            Err(_) => {
+                let map = ShardMap::plan(manifest, shards);
+                map.save(dir)?;
+                Ok(map)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sandwich_store::StoreWriter;
+    use sandwich_types::{Hash, Keypair, Lamports, Slot};
+
+    fn seed_store(tag: &str, segments: u64, per_segment: u64) -> sandwich_store::BundleStore {
+        let dir = std::env::temp_dir().join(format!("swmap-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let kp = Keypair::from_label("map");
+        let mut w = StoreWriter::create(&dir).unwrap();
+        for seg in 0..segments {
+            let bundles: Vec<_> = (0..per_segment)
+                .map(|i| sandwich_store::CollectedBundle {
+                    bundle_id: Hash::digest(&(seg * 1000 + i).to_le_bytes()),
+                    slot: Slot(seg * 500 + i),
+                    timestamp_ms: (seg * 500 + i) * 400,
+                    tip: Lamports(10_000),
+                    tx_ids: vec![kp.sign(&(seg * 1000 + i).to_le_bytes())],
+                })
+                .collect();
+            w.seal_segment(bundles, Vec::new(), Vec::new()).unwrap();
+        }
+        w.into_reader()
+    }
+
+    #[test]
+    fn plan_partitions_every_segment_exactly_once() {
+        let store = seed_store("plan", 10, 8);
+        for n in [1, 2, 3, 4, 8, 16] {
+            let map = ShardMap::plan(store.manifest(), n);
+            assert_eq!(map.shard_count(), n);
+            let mut seen: Vec<&String> = map.shards.iter().flat_map(|s| &s.segments).collect();
+            seen.sort();
+            seen.dedup();
+            assert_eq!(seen.len(), 10, "n={n}: every segment exactly once");
+            // Contiguity: shard slot ranges are non-decreasing.
+            let mins: Vec<u64> = map
+                .shards
+                .iter()
+                .filter(|s| !s.segments.is_empty())
+                .map(|s| s.min_slot)
+                .collect();
+            let mut sorted = mins.clone();
+            sorted.sort_unstable();
+            assert_eq!(mins, sorted, "n={n}: slot-ordered shards");
+        }
+        std::fs::remove_dir_all(store.dir()).unwrap();
+    }
+
+    #[test]
+    fn persisted_map_roundtrips_and_rejects() {
+        let store = seed_store("persist", 4, 5);
+        let dir = store.dir().to_path_buf();
+        let map = ShardMap::plan(store.manifest(), 2);
+        map.save(&dir).unwrap();
+
+        let back = ShardMap::load(&dir, &map.generation, 2).unwrap();
+        assert_eq!(back, map);
+
+        assert!(matches!(
+            ShardMap::load(&dir, &map.generation, 4),
+            Err(ShardMapReject::ShardCountMismatch {
+                found: 2,
+                expected: 4
+            })
+        ));
+        assert!(matches!(
+            ShardMap::load(&dir, "0000000000000000", 2),
+            Err(ShardMapReject::StaleGeneration { .. })
+        ));
+
+        let path = dir.join(SHARD_MAP_FILE);
+        let mut image = std::fs::read(&path).unwrap();
+        let mid = image.len() / 2;
+        image[mid] ^= 0x08;
+        std::fs::write(&path, &image).unwrap();
+        assert_eq!(
+            ShardMap::load(&dir, &map.generation, 2).unwrap_err(),
+            ShardMapReject::BadChecksum
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resolve_maps_names_back_to_manifest_indices() {
+        let store = seed_store("resolve", 6, 4);
+        let map = ShardMap::plan(store.manifest(), 3);
+        let mut all: Vec<usize> = Vec::new();
+        for shard in 0..3 {
+            let (serving, quarantined) = map.resolve(store.manifest(), shard).unwrap();
+            assert!(quarantined.is_empty());
+            all.extend(serving);
+        }
+        all.sort_unstable();
+        assert_eq!(all, (0..6).collect::<Vec<_>>());
+        std::fs::remove_dir_all(store.dir()).unwrap();
+    }
+
+    #[test]
+    fn fingerprint_tracks_assignment_changes() {
+        let store = seed_store("fp", 8, 4);
+        let two = ShardMap::plan(store.manifest(), 2);
+        let four = ShardMap::plan(store.manifest(), 4);
+        assert_ne!(two.fingerprint(0), four.fingerprint(0));
+        assert_eq!(
+            two.fingerprint(0),
+            ShardMap::plan(store.manifest(), 2).fingerprint(0)
+        );
+        std::fs::remove_dir_all(store.dir()).unwrap();
+    }
+}

@@ -1,0 +1,251 @@
+//! Shard partials and the pure merge functions that fold them.
+//!
+//! Every `/api/*` endpoint decomposes into a per-shard partial (served
+//! under `/shard/*`) and an associative, commutative-by-construction
+//! merge. The merged values feed `sandwich_query::render`, the same
+//! rendering code the single-engine path uses — so byte-identity across
+//! shard counts reduces to the merge functions reproducing the
+//! single-index aggregates, which the property tests pin.
+//!
+//! Merge semantics per endpoint:
+//!
+//! - **summary** — coverage and totals are field-wise sums (`max_slot`
+//!   by max); distinct attacker/pool counts are *not* summable, so
+//!   shards ship their key lists and the router counts the union.
+//! - **days** — rollups are dense from day 0 on every shard; merging is
+//!   element-wise addition up to the longest list, labels agree by
+//!   construction (same clock).
+//! - **attackers / pools** — group by key, sum the aggregates, then
+//!   re-sort with the exact leaderboard comparators from
+//!   `sandwich_query::index`; ranks fall out of the merged order.
+//! - **detail recency / slot ranges** — refs are globally ordered by
+//!   `(slot, bundle_id)`; each shard's refs are a subsequence of the
+//!   global order, so any global top/bottom-K is contained in the union
+//!   of per-shard top/bottom-Ks (the prefix property the router's
+//!   re-pagination relies on).
+
+use std::collections::{BTreeSet, HashMap};
+
+use serde::{Deserialize, Serialize};
+
+use sandwich_query::{
+    sort_attacker_entries, sort_pool_entries, AttackerEntry, DayRollup, IndexCoverage, IndexTotals,
+    PoolEntry, SandwichRef,
+};
+use sandwich_types::Pubkey;
+
+/// Shard partial for `GET /api/summary`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SummaryPartial {
+    /// Store generation this shard answered for.
+    pub generation: String,
+    /// This shard's exact coverage block (its slice of the manifest).
+    pub coverage: IndexCoverage,
+    /// This shard's totals.
+    pub totals: IndexTotals,
+    /// Days this shard's rollups span (dense from day 0).
+    pub days: u64,
+    /// Distinct attacker addresses on this shard (for union counting).
+    pub attacker_keys: Vec<Pubkey>,
+    /// Distinct pool mints on this shard (for union counting).
+    pub pool_keys: Vec<Pubkey>,
+}
+
+/// Shard partial for `GET /api/days`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DaysPartial {
+    /// Store generation this shard answered for.
+    pub generation: String,
+    /// Per-day rollups, dense from day 0.
+    pub days: Vec<DayRollup>,
+}
+
+/// Shard partial for `GET /api/attackers` (and the leaderboard half of
+/// attacker detail): every attacker entry, refs cleared (the router never
+/// needs them and they dominate the wire size).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttackersPartial {
+    /// Store generation this shard answered for.
+    pub generation: String,
+    /// This shard's attacker entries (any order; the router re-sorts).
+    pub entries: Vec<AttackerEntry>,
+}
+
+/// Shard partial for `GET /api/attacker/{pubkey}`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttackerDetailPartial {
+    /// Store generation this shard answered for.
+    pub generation: String,
+    /// Every attacker entry (rank needs the whole leaderboard).
+    pub entries: Vec<AttackerEntry>,
+    /// The target attacker's newest refs, **oldest first**, capped.
+    pub recent: Vec<SandwichRef>,
+}
+
+/// Shard partial for `GET /api/pool/{mint}`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PoolDetailPartial {
+    /// Store generation this shard answered for.
+    pub generation: String,
+    /// Every pool entry (rank needs the whole leaderboard).
+    pub pools: Vec<PoolEntry>,
+    /// Distinct attackers in the target pool on this shard.
+    pub attackers: Vec<Pubkey>,
+    /// The target pool's newest refs, **oldest first**, capped.
+    pub recent: Vec<SandwichRef>,
+}
+
+/// Shard partial for `GET /api/sandwiches`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RangePartial {
+    /// Store generation this shard answered for.
+    pub generation: String,
+    /// In-range sandwiches on this shard (the full count, not `refs.len()`).
+    pub total: u64,
+    /// The first `min(total, need)` in-range refs, slot order.
+    pub refs: Vec<SandwichRef>,
+}
+
+/// Field-wise sum of shard coverage blocks. Because the shard map
+/// partitions every manifest entry (serving and quarantined) into exactly
+/// one shard, the sum equals the single-engine coverage block.
+pub fn merge_coverage(parts: &[IndexCoverage]) -> IndexCoverage {
+    let mut merged = IndexCoverage::default();
+    for c in parts {
+        merged.segments_total += c.segments_total;
+        merged.segments_scanned += c.segments_scanned;
+        merged.segments_quarantined += c.segments_quarantined;
+        merged.segments_failed += c.segments_failed;
+        merged.bundles_scanned += c.bundles_scanned;
+        merged.bundles_quarantined += c.bundles_quarantined;
+        merged.bundles_failed += c.bundles_failed;
+    }
+    merged
+}
+
+/// Field-wise sum of shard totals (`max_slot` by max).
+pub fn merge_totals(parts: &[IndexTotals]) -> IndexTotals {
+    let mut merged = IndexTotals::default();
+    for t in parts {
+        merged.segments += t.segments;
+        merged.bundles += t.bundles;
+        merged.sandwiches += t.sandwiches;
+        merged.non_sol_sandwiches += t.non_sol_sandwiches;
+        merged.defensive += t.defensive;
+        merged.victim_loss_lamports += t.victim_loss_lamports;
+        merged.attacker_gain_lamports += t.attacker_gain_lamports;
+        merged.tips_lamports += t.tips_lamports;
+        merged.max_slot = merged.max_slot.max(t.max_slot);
+    }
+    merged
+}
+
+/// Distinct keys across shard key lists.
+pub fn distinct_count(lists: &[Vec<Pubkey>]) -> u64 {
+    let set: BTreeSet<&Pubkey> = lists.iter().flatten().collect();
+    set.len() as u64
+}
+
+/// Element-wise sum of dense day-rollup lists; the merged list is as long
+/// as the longest input and every day keeps its label.
+pub fn merge_days(parts: &[Vec<DayRollup>]) -> Vec<DayRollup> {
+    let len = parts.iter().map(|d| d.len()).max().unwrap_or(0);
+    let mut merged: Vec<DayRollup> = (0..len as u64)
+        .map(|day| DayRollup {
+            day,
+            bundles_by_len: vec![0; 5],
+            ..DayRollup::default()
+        })
+        .collect();
+    for part in parts {
+        for rollup in part {
+            let into = &mut merged[rollup.day as usize];
+            if into.label.is_empty() {
+                into.label = rollup.label.clone();
+            }
+            into.bundles += rollup.bundles;
+            for (a, b) in into.bundles_by_len.iter_mut().zip(&rollup.bundles_by_len) {
+                *a += b;
+            }
+            into.sandwiches += rollup.sandwiches;
+            into.defensive += rollup.defensive;
+            into.victim_loss_lamports += rollup.victim_loss_lamports;
+            into.attacker_gain_lamports += rollup.attacker_gain_lamports;
+            into.tips_lamports += rollup.tips_lamports;
+        }
+    }
+    merged
+}
+
+/// Group shard attacker entries by address, sum the aggregates, and
+/// re-sort into leaderboard order. Refs are dropped (rank and row data
+/// never need them on the router).
+pub fn merge_attackers(parts: Vec<Vec<AttackerEntry>>) -> Vec<AttackerEntry> {
+    let mut by_key: HashMap<Pubkey, AttackerEntry> = HashMap::new();
+    for entry in parts.into_iter().flatten() {
+        let merged = by_key
+            .entry(entry.attacker)
+            .or_insert_with(|| AttackerEntry {
+                attacker: entry.attacker,
+                sandwiches: 0,
+                attacker_gain_lamports: 0,
+                victim_loss_lamports: 0,
+                tips_lamports: 0,
+                refs: Vec::new(),
+            });
+        merged.sandwiches += entry.sandwiches;
+        merged.attacker_gain_lamports += entry.attacker_gain_lamports;
+        merged.victim_loss_lamports += entry.victim_loss_lamports;
+        merged.tips_lamports += entry.tips_lamports;
+    }
+    let mut merged: Vec<AttackerEntry> = by_key.into_values().collect();
+    sort_attacker_entries(&mut merged);
+    merged
+}
+
+/// Group shard pool entries by mint, sum the aggregates, and re-sort into
+/// leaderboard order. The distinct-attacker count is **not** summable and
+/// is zeroed here; the router overwrites it for the one pool it renders
+/// (from the unioned [`PoolDetailPartial::attackers`] lists). The
+/// leaderboard comparator never reads it, so ranks are unaffected.
+pub fn merge_pools(parts: Vec<Vec<PoolEntry>>) -> Vec<PoolEntry> {
+    let mut by_key: HashMap<Pubkey, PoolEntry> = HashMap::new();
+    for entry in parts.into_iter().flatten() {
+        let merged = by_key.entry(entry.mint).or_insert_with(|| PoolEntry {
+            mint: entry.mint,
+            sandwiches: 0,
+            victim_loss_lamports: 0,
+            attackers: 0,
+            refs: Vec::new(),
+        });
+        merged.sandwiches += entry.sandwiches;
+        merged.victim_loss_lamports += entry.victim_loss_lamports;
+    }
+    let mut merged: Vec<PoolEntry> = by_key.into_values().collect();
+    sort_pool_entries(&mut merged);
+    merged
+}
+
+/// Merge per-shard recency tails (each oldest-first) into the global
+/// newest-first list capped at `cap`. Correct because each shard's tail
+/// contains every ref that can appear in the global tail (the prefix
+/// property), so concatenating, re-sorting, and keeping the last `cap`
+/// reproduces the single-engine answer.
+pub fn merge_recent(tails: Vec<Vec<SandwichRef>>, cap: usize) -> Vec<SandwichRef> {
+    let mut all: Vec<SandwichRef> = tails.into_iter().flatten().collect();
+    all.sort_by_key(|a| (a.slot, a.bundle_id.0));
+    let start = all.len().saturating_sub(cap);
+    let mut recent = all.split_off(start);
+    recent.reverse();
+    recent
+}
+
+/// Merge range partials: the global in-range total and the slot-ordered
+/// union of the shipped prefixes (long enough to slice any page the
+/// request can ask for, by the same prefix property).
+pub fn merge_range(parts: Vec<RangePartial>) -> (usize, Vec<SandwichRef>) {
+    let total: usize = parts.iter().map(|p| p.total as usize).sum();
+    let mut refs: Vec<SandwichRef> = parts.into_iter().flat_map(|p| p.refs).collect();
+    refs.sort_by_key(|a| (a.slot, a.bundle_id.0));
+    (total, refs)
+}

@@ -1,0 +1,480 @@
+//! [`ShardService`] — one shard's engine and its `/shard/*` partial API.
+//!
+//! A shard owns a slice of the manifest (per the [`crate::ShardMap`]),
+//! builds its index with `build_index_subset` over exactly that slice,
+//! persists it under a shard-and-fingerprint-qualified file name
+//! (`query-index.shard-{i}of{n}-{fp}.bin`, same `SWQIX01` frame), and
+//! serves merge-ready partials from its own response cache. Coverage is
+//! exact per shard: a shard whose slice contains quarantined or
+//! unreadable segments reports them in its own coverage block, and the
+//! router's sum reproduces the whole-store block.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::RwLock;
+
+use sandwich_net::{Method, Request, Response, Router};
+use sandwich_obs::{names, Registry};
+use sandwich_query::render::{error_response, DETAIL_REF_CAP};
+use sandwich_query::{
+    build_index_subset, generation_of, load_index_as, save_index_as, AttackerEntry, CachedResponse,
+    Engine, PoolEntry, QueryConfig, ResponseCache, SandwichRef,
+};
+use sandwich_store::BundleStore;
+use sandwich_types::Pubkey;
+
+use crate::map::ShardMap;
+use crate::merge::{
+    AttackerDetailPartial, AttackersPartial, DaysPartial, PoolDetailPartial, RangePartial,
+    SummaryPartial,
+};
+
+/// File name of one shard's persisted index: qualified by shard id, shard
+/// count, and the assignment fingerprint so a re-plan never aliases a
+/// stale index (the generation inside the frame is still checked on load).
+pub fn shard_index_file(shard: usize, shards: usize, fingerprint: &str) -> String {
+    format!("query-index.shard-{shard}of{shards}-{fingerprint}.bin")
+}
+
+/// Leading file-name prefix of every per-shard index (for garbage
+/// collection of stale fingerprints).
+pub const SHARD_INDEX_PREFIX: &str = "query-index.shard-";
+
+/// Tunables for one shard service.
+#[derive(Clone, Debug)]
+pub struct ShardConfig {
+    /// Directory of the sealed bundle store.
+    pub store_dir: PathBuf,
+    /// Index-build semantics (detector, threshold, clock, threads).
+    pub query: QueryConfig,
+    /// This shard's id (index into the shard map).
+    pub shard: usize,
+    /// Response-cache shards.
+    pub cache_shards: usize,
+    /// Entries per cache shard.
+    pub cache_per_shard: usize,
+}
+
+impl ShardConfig {
+    /// Paper-default semantics for shard `shard` over `store_dir`.
+    pub fn new(store_dir: impl Into<PathBuf>, shard: usize) -> Self {
+        ShardConfig {
+            store_dir: store_dir.into(),
+            query: QueryConfig::default(),
+            shard,
+            cache_shards: 4,
+            cache_per_shard: 64,
+        }
+    }
+}
+
+/// An owned, validated shard query (the `Request` itself is not `Clone`,
+/// and the single-flight compute closure must own its inputs).
+enum ShardQuery {
+    Summary,
+    Days,
+    Attackers,
+    Attacker(Pubkey),
+    Pool(Pubkey),
+    Range {
+        from_slot: u64,
+        to_slot: u64,
+        need: usize,
+    },
+}
+
+impl ShardQuery {
+    /// Canonical cache-key tail (unique per distinct answer).
+    fn canonical(&self) -> String {
+        match self {
+            ShardQuery::Summary => "summary".to_string(),
+            ShardQuery::Days => "days".to_string(),
+            ShardQuery::Attackers => "attackers".to_string(),
+            ShardQuery::Attacker(pubkey) => format!("attacker/{pubkey}"),
+            ShardQuery::Pool(mint) => format!("pool/{mint}"),
+            ShardQuery::Range {
+                from_slot,
+                to_slot,
+                need,
+            } => format!("sandwiches?from={from_slot}&to={to_slot}&need={need}"),
+        }
+    }
+}
+
+struct ShardState {
+    engine: Arc<Engine>,
+    fingerprint: String,
+    shards: usize,
+}
+
+struct ShardInner {
+    config: ShardConfig,
+    state: RwLock<ShardState>,
+    cache: ResponseCache,
+    registry: Registry,
+    last_install_ok: AtomicBool,
+}
+
+/// One shard: an engine over its manifest slice plus the partial API.
+#[derive(Clone)]
+pub struct ShardService {
+    inner: Arc<ShardInner>,
+}
+
+/// Load the shard's persisted index when it verifies, rebuild its subset
+/// from segments when it does not, and record which happened.
+fn load_or_build_shard(
+    config: &ShardConfig,
+    map: &ShardMap,
+    registry: &Registry,
+) -> std::io::Result<ShardState> {
+    let store = BundleStore::open(&config.store_dir)?;
+    let generation = generation_of(store.manifest());
+    if map.generation != generation {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!(
+                "shard map generation {} does not match manifest {generation}",
+                map.generation
+            ),
+        ));
+    }
+    let (serving, quarantined) = map.resolve(store.manifest(), config.shard).map_err(|e| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("stale shard map: {e}"),
+        )
+    })?;
+    let fingerprint = map.fingerprint(config.shard);
+    let file = shard_index_file(config.shard, map.shard_count(), &fingerprint);
+    let index = match load_index_as(store.dir(), &file, &generation) {
+        Ok(index) => {
+            registry.counter(names::QUERY_INDEX_LOADS).inc();
+            index
+        }
+        Err(_) => {
+            let started = Instant::now();
+            let index = build_index_subset(&store, &config.query, &serving, &quarantined)?;
+            registry
+                .histogram(names::QUERY_INDEX_BUILD_SECONDS)
+                .observe(started.elapsed().as_secs_f64());
+            registry.counter(names::QUERY_INDEX_REBUILDS).inc();
+            save_index_as(store.dir(), &index, &file)?;
+            index
+        }
+    };
+    if index.coverage.segments_failed > 0 {
+        registry
+            .counter(names::QUERY_INDEX_SEGMENTS_FAILED)
+            .add(index.coverage.segments_failed);
+    }
+    Ok(ShardState {
+        engine: Arc::new(Engine::new(Arc::new(index))),
+        fingerprint,
+        shards: map.shard_count(),
+    })
+}
+
+impl ShardService {
+    /// Open the store and build (or load) this shard's slice of the index
+    /// per `map`. Metrics land in `registry`.
+    pub fn open(
+        config: ShardConfig,
+        map: &ShardMap,
+        registry: Registry,
+    ) -> std::io::Result<ShardService> {
+        let state = load_or_build_shard(&config, map, &registry)?;
+        let cache = ResponseCache::new(config.cache_shards, config.cache_per_shard);
+        Ok(ShardService {
+            inner: Arc::new(ShardInner {
+                config,
+                state: RwLock::new(state),
+                cache,
+                registry,
+                last_install_ok: AtomicBool::new(true),
+            }),
+        })
+    }
+
+    /// Swap in the engine for a (possibly new) shard map — the reload
+    /// path after a seal or a rebalance. Returns `true` when a different
+    /// generation or assignment went live. A failed install keeps the
+    /// last good engine serving and flips `/readyz` until one succeeds.
+    pub fn install(&self, map: &ShardMap) -> std::io::Result<bool> {
+        let result = self.install_inner(map);
+        self.inner
+            .last_install_ok
+            .store(result.is_ok(), Ordering::Release);
+        result
+    }
+
+    fn install_inner(&self, map: &ShardMap) -> std::io::Result<bool> {
+        {
+            let state = self.inner.state.read();
+            if state.engine.generation() == map.generation
+                && state.fingerprint == map.fingerprint(self.inner.config.shard)
+                && state.shards == map.shard_count()
+            {
+                return Ok(false);
+            }
+        }
+        let state = load_or_build_shard(&self.inner.config, map, &self.inner.registry)?;
+        *self.inner.state.write() = state;
+        self.inner.registry.counter(names::QUERY_RELOADS).inc();
+        Ok(true)
+    }
+
+    /// This shard's id.
+    pub fn shard(&self) -> usize {
+        self.inner.config.shard
+    }
+
+    /// The generation currently being served.
+    pub fn generation(&self) -> String {
+        self.inner.state.read().engine.generation().to_string()
+    }
+
+    /// The engine snapshot currently serving (for tests and benches).
+    pub fn engine_snapshot(&self) -> Arc<Engine> {
+        self.inner.state.read().engine.clone()
+    }
+
+    fn engine(&self) -> Arc<Engine> {
+        self.inner.state.read().engine.clone()
+    }
+
+    fn json<T: serde::Serialize>(value: &T) -> CachedResponse {
+        CachedResponse {
+            status: 200,
+            content_type: "application/json".to_string(),
+            body: serde_json::to_vec(value).unwrap_or_default(),
+        }
+    }
+
+    fn summary_partial(engine: &Engine) -> CachedResponse {
+        let index = engine.index();
+        Self::json(&SummaryPartial {
+            generation: index.generation.clone(),
+            coverage: index.coverage.clone(),
+            totals: index.totals.clone(),
+            days: index.days.len() as u64,
+            attacker_keys: index.attackers.iter().map(|e| e.attacker).collect(),
+            pool_keys: index.pools.iter().map(|e| e.mint).collect(),
+        })
+    }
+
+    /// Entries with refs cleared: rank and row data only, off the wire.
+    fn wire_attackers(engine: &Engine) -> Vec<AttackerEntry> {
+        engine
+            .index()
+            .attackers
+            .iter()
+            .map(|e| AttackerEntry {
+                refs: Vec::new(),
+                ..e.clone()
+            })
+            .collect()
+    }
+
+    fn wire_pools(engine: &Engine) -> Vec<PoolEntry> {
+        engine
+            .index()
+            .pools
+            .iter()
+            .map(|e| PoolEntry {
+                refs: Vec::new(),
+                ..e.clone()
+            })
+            .collect()
+    }
+
+    fn attacker_detail_partial(engine: &Engine, pubkey: &Pubkey) -> CachedResponse {
+        let recent = engine
+            .attacker_entry(pubkey)
+            .map(|(_, entry)| engine.ref_tail(&entry.refs, DETAIL_REF_CAP))
+            .unwrap_or_default();
+        Self::json(&AttackerDetailPartial {
+            generation: engine.generation().to_string(),
+            entries: Self::wire_attackers(engine),
+            recent,
+        })
+    }
+
+    fn pool_detail_partial(engine: &Engine, mint: &Pubkey) -> CachedResponse {
+        let (attackers, recent) = match engine.pool_entry(mint) {
+            None => (Vec::new(), Vec::new()),
+            Some((_, entry)) => {
+                let all: Vec<SandwichRef> = engine.ref_tail(&entry.refs, usize::MAX);
+                let set: std::collections::BTreeSet<Pubkey> =
+                    all.iter().map(|r| r.attacker).collect();
+                (
+                    set.into_iter().collect(),
+                    engine.ref_tail(&entry.refs, DETAIL_REF_CAP),
+                )
+            }
+        };
+        Self::json(&PoolDetailPartial {
+            generation: engine.generation().to_string(),
+            pools: Self::wire_pools(engine),
+            attackers,
+            recent,
+        })
+    }
+
+    fn range_partial(engine: &Engine, from_slot: u64, to_slot: u64, need: usize) -> CachedResponse {
+        let refs = &engine.index().refs;
+        let start = sandwich_query::index::first_ref_at_or_after(refs, from_slot);
+        let end = match to_slot.checked_add(1) {
+            Some(bound) => sandwich_query::index::first_ref_at_or_after(refs, bound),
+            None => refs.len(),
+        };
+        let in_range = &refs[start..end];
+        Self::json(&RangePartial {
+            generation: engine.generation().to_string(),
+            total: in_range.len() as u64,
+            refs: in_range.iter().take(need).cloned().collect(),
+        })
+    }
+
+    async fn handle(&self, kind: &'static str, request: Request) -> Response {
+        let engine = self.engine();
+        let generation = engine.generation().to_string();
+
+        // Parse into an owned query (Request is not Clone) or a 400.
+        let parsed: Result<ShardQuery, String> = match kind {
+            "summary" => Ok(ShardQuery::Summary),
+            "days" => Ok(ShardQuery::Days),
+            "attackers" => Ok(ShardQuery::Attackers),
+            "attacker" | "pool" => {
+                let param = if kind == "attacker" { "pubkey" } else { "mint" };
+                match request.path_param(param).map(str::parse::<Pubkey>) {
+                    Some(Ok(key)) if kind == "attacker" => Ok(ShardQuery::Attacker(key)),
+                    Some(Ok(key)) => Ok(ShardQuery::Pool(key)),
+                    _ => Err(format!("invalid {param}")),
+                }
+            }
+            "sandwiches" => {
+                let parse = |key: &str, default: u64| -> Result<u64, String> {
+                    match request.query.get(key) {
+                        None => Ok(default),
+                        Some(raw) => raw
+                            .parse::<u64>()
+                            .map_err(|_| format!("query parameter {key:?} must be an integer")),
+                    }
+                };
+                match (
+                    parse("from_slot", 0),
+                    parse("to_slot", u64::MAX),
+                    parse("need", u64::MAX),
+                ) {
+                    (Ok(f), Ok(t), Ok(n)) if f <= t => Ok(ShardQuery::Range {
+                        from_slot: f,
+                        to_slot: t,
+                        need: n.min(usize::MAX as u64) as usize,
+                    }),
+                    (Ok(f), Ok(t), Ok(_)) => Err(format!("from_slot {f} exceeds to_slot {t}")),
+                    (Err(e), ..) | (_, Err(e), _) | (_, _, Err(e)) => Err(e),
+                }
+            }
+            other => Err(format!("unknown shard endpoint {other:?}")),
+        };
+
+        let cached = match parsed {
+            Err(message) => Arc::new(error_response(400, message)),
+            Ok(query) => {
+                let key = format!("{generation}|{}", query.canonical());
+                let compute = {
+                    let engine = engine.clone();
+                    move || match query {
+                        ShardQuery::Summary => Self::summary_partial(&engine),
+                        ShardQuery::Days => Self::json(&DaysPartial {
+                            generation: engine.generation().to_string(),
+                            days: engine.index().days.clone(),
+                        }),
+                        ShardQuery::Attackers => Self::json(&AttackersPartial {
+                            generation: engine.generation().to_string(),
+                            entries: Self::wire_attackers(&engine),
+                        }),
+                        ShardQuery::Attacker(pubkey) => {
+                            Self::attacker_detail_partial(&engine, &pubkey)
+                        }
+                        ShardQuery::Pool(mint) => Self::pool_detail_partial(&engine, &mint),
+                        ShardQuery::Range {
+                            from_slot,
+                            to_slot,
+                            need,
+                        } => Self::range_partial(&engine, from_slot, to_slot, need),
+                    }
+                };
+                let (cached, _outcome, _evicted) =
+                    self.inner.cache.get_or_compute(&key, compute).await;
+                cached
+            }
+        };
+
+        Response::new(cached.status, cached.body.clone())
+            .header("content-type", &cached.content_type)
+            .header("x-query-generation", &generation)
+    }
+
+    fn health_response(&self) -> Response {
+        let body = format!(
+            "{{\"status\":\"ok\",\"shard\":{},\"generation\":\"{}\"}}",
+            self.shard(),
+            self.generation()
+        );
+        Response::new(200, body.into_bytes()).header("content-type", "application/json")
+    }
+
+    fn ready_response(&self) -> Response {
+        let ok = self.inner.last_install_ok.load(Ordering::Acquire);
+        let engine = self.engine();
+        let body = format!(
+            "{{\"ready\":{ok},\"shard\":{},\"complete\":{},\"generation\":\"{}\"}}",
+            self.shard(),
+            engine.index().coverage.complete(),
+            engine.generation()
+        );
+        let response = Response::new(if ok { 200 } else { 503 }, body.into_bytes())
+            .header("content-type", "application/json");
+        if ok {
+            response
+        } else {
+            response.header("retry-after", "3")
+        }
+    }
+
+    /// The partial API router (plus `GET /metrics` from the registry).
+    pub fn router(&self) -> Router {
+        let endpoints: [(&'static str, &'static str); 6] = [
+            ("summary", "/shard/summary"),
+            ("days", "/shard/days"),
+            ("attackers", "/shard/attackers"),
+            ("attacker", "/shard/attacker/{pubkey}"),
+            ("pool", "/shard/pool/{mint}"),
+            ("sandwiches", "/shard/sandwiches"),
+        ];
+        let mut router = Router::new();
+        for (kind, path) in endpoints {
+            let service = self.clone();
+            router = router.route(Method::Get, path, move |request: Request| {
+                let service = service.clone();
+                async move { service.handle(kind, request).await }
+            });
+        }
+        let service = self.clone();
+        router = router.route(Method::Get, "/healthz", move |_request: Request| {
+            let service = service.clone();
+            async move { service.health_response() }
+        });
+        let service = self.clone();
+        router = router.route(Method::Get, "/readyz", move |_request: Request| {
+            let service = service.clone();
+            async move { service.ready_response() }
+        });
+        router.with_metrics(self.inner.registry.clone())
+    }
+}

@@ -4,22 +4,87 @@
 //! store doctor <dir>            inspect only (exit 0 healthy, 1 problems)
 //! store doctor <dir> --repair   repair/quarantine in place
 //! store ls <dir>                list the manifest
+//! store rebalance <dir> [--min-bundles N] [--max-bundles N]
+//!                               merge small segments, split oversized ones
 //! ```
 
 use sandwich_store::doctor::{DoctorReport, SegmentHealth};
-use sandwich_store::BundleStore;
+use sandwich_store::{BundleStore, RebalanceConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
         Some("doctor") => cmd_doctor(&args[1..]),
         Some("ls") => cmd_ls(&args[1..]),
+        Some("rebalance") => cmd_rebalance(&args[1..]),
         _ => {
-            eprintln!("usage: store doctor <dir> [--repair] | store ls <dir>");
+            eprintln!(
+                "usage: store doctor <dir> [--repair] | store ls <dir> | \
+                 store rebalance <dir> [--min-bundles N] [--max-bundles N]"
+            );
             2
         }
     };
     std::process::exit(code);
+}
+
+fn cmd_rebalance(args: &[String]) -> i32 {
+    let usage = "usage: store rebalance <dir> [--min-bundles N] [--max-bundles N]";
+    let mut config = RebalanceConfig::default();
+    let mut dir: Option<&String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let bound = match arg.as_str() {
+            "--min-bundles" => Some(&mut config.min_bundles),
+            "--max-bundles" => Some(&mut config.max_bundles),
+            _ if arg.starts_with("--") => {
+                eprintln!("{usage}");
+                return 2;
+            }
+            _ => {
+                if dir.replace(arg).is_some() {
+                    eprintln!("{usage}");
+                    return 2;
+                }
+                None
+            }
+        };
+        if let Some(bound) = bound {
+            match it.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(value)) => *bound = value,
+                _ => {
+                    eprintln!("{usage}");
+                    return 2;
+                }
+            }
+        }
+    }
+    let Some(dir) = dir else {
+        eprintln!("{usage}");
+        return 2;
+    };
+    match sandwich_store::rebalance(std::path::Path::new(dir), &config) {
+        Ok(report) => {
+            println!(
+                "rebalance: {} -> {} segments ({} merges, {} splits), \
+                 {} bundles, {} bytes written",
+                report.segments_before,
+                report.segments_after,
+                report.merges,
+                report.splits,
+                report.bundles,
+                report.bytes_written,
+            );
+            if !report.changed() {
+                println!("(already within bounds — nothing rewritten)");
+            }
+            0
+        }
+        Err(e) => {
+            eprintln!("store rebalance: {e}");
+            2
+        }
+    }
 }
 
 fn cmd_doctor(args: &[String]) -> i32 {

@@ -20,7 +20,10 @@
 //!   rename + directory fsync) and the deterministic [`CrashPlan`]
 //!   injection harness over its enumerated steps;
 //! * [`doctor`] — offline fsck: verify every checksum, repair what is
-//!   provably recoverable, quarantine the rest with reason codes.
+//!   provably recoverable, quarantine the rest with reason codes;
+//! * [`rebalance`] — compaction: merge runs of small segments, split
+//!   oversized ones, and swap the manifest atomically, preserving the
+//!   record set exactly (safe under a live reader).
 //!
 //! The crate is std-only (plus the workspace serde shim for the manifest);
 //! analysis semantics live in `sandwich-core`, which maps its partial
@@ -34,6 +37,7 @@ pub mod crash;
 pub mod doctor;
 pub mod manifest;
 pub mod mmap;
+pub mod rebalance;
 pub mod records;
 pub mod scan;
 pub mod segment;
@@ -47,6 +51,7 @@ pub use crash::{is_injected_crash, CrashPlan};
 pub use doctor::{DoctorReport, SegmentCheckReport, SegmentHealth};
 pub use manifest::{Manifest, QuarantinedSegment, SegmentMeta, MANIFEST_FILE};
 pub use mmap::Mapped;
+pub use rebalance::{rebalance, RebalanceConfig, RebalanceReport};
 pub use records::{CollectedBundle, CollectedDetail, PollRecord};
 pub use scan::{parallel_map, WorkerStats};
 pub use segment::{fnv1a64, SegmentFooter, FORMAT_VERSION, SEGMENT_MAGIC, SEGMENT_MAGIC_V1};

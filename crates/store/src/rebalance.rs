@@ -1,0 +1,429 @@
+//! Segment rebalance/compaction: merge runs of small segments, split
+//! oversized ones, and swap the manifest atomically.
+//!
+//! A long-running collector seals whatever its flush cadence produced —
+//! trickle periods leave confetti segments (each one is a scan unit and an
+//! open/verify round-trip), hot slot ranges leave monsters that serialize
+//! a whole worker. Rebalancing rewrites both shapes into segments between
+//! `min_bundles` and `max_bundles` while preserving the record set
+//! *exactly*: every bundle, detail, and poll survives with the same
+//! canonical in-segment ordering the sealer produces, so any index built
+//! before and after the rebalance answers every query identically (only
+//! the manifest `generation` moves).
+//!
+//! Crash ordering mirrors a seal: new segment files are written durably
+//! first (unreferenced until the swap — a crash strands files a later
+//! rebalance or seal simply overwrites, never corrupts), then the
+//! manifest swap commits through the durable-write path, then the
+//! replaced files are deleted best-effort. The operation is safe under a
+//! live reader: an open `BundleStore` keeps answering from the old
+//! manifest snapshot and old segment files it has already opened; a
+//! serving daemon picks the new generation up on its next reload.
+
+use std::collections::HashMap;
+use std::path::Path;
+
+use crate::codec::SegmentData;
+use crate::manifest::{Manifest, SegmentMeta};
+use crate::segment::{encode_segment, write_segment_file_with};
+use crate::store::{segment_file_name, BundleStore};
+
+/// Size targets for one rebalance pass.
+#[derive(Clone, Copy, Debug)]
+pub struct RebalanceConfig {
+    /// Segments with fewer bundles than this are merge candidates.
+    pub min_bundles: u64,
+    /// No produced segment exceeds this many bundles; segments above it
+    /// are split.
+    pub max_bundles: u64,
+}
+
+impl Default for RebalanceConfig {
+    fn default() -> Self {
+        RebalanceConfig {
+            min_bundles: 10_000,
+            max_bundles: 200_000,
+        }
+    }
+}
+
+/// What one rebalance pass did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RebalanceReport {
+    /// Merge operations performed (each folds ≥ 2 segments into one).
+    pub merges: usize,
+    /// Split operations performed (each fans 1 segment into ≥ 2).
+    pub splits: usize,
+    /// Serving segments before the pass.
+    pub segments_before: usize,
+    /// Serving segments after the pass.
+    pub segments_after: usize,
+    /// Total bundles across serving segments (unchanged by the pass).
+    pub bundles: u64,
+    /// Bytes of new segment files written.
+    pub bytes_written: u64,
+}
+
+impl RebalanceReport {
+    /// Whether the pass rewrote anything at all.
+    pub fn changed(&self) -> bool {
+        self.merges > 0 || self.splits > 0
+    }
+}
+
+/// One planned unit of work over the old manifest.
+enum Op {
+    /// Carry the segment at this index through untouched.
+    Keep(usize),
+    /// Fold these consecutive indices into one new segment.
+    Merge(Vec<usize>),
+    /// Fan the segment at this index into `max_bundles`-sized chunks.
+    Split(usize),
+}
+
+/// Plan merge runs and splits over the serving list in manifest order.
+fn plan(segments: &[SegmentMeta], config: &RebalanceConfig) -> Vec<Op> {
+    let mut ops = Vec::new();
+    let mut run: Vec<usize> = Vec::new();
+    let mut run_bundles = 0u64;
+    let flush = |run: &mut Vec<usize>, run_bundles: &mut u64, ops: &mut Vec<Op>| {
+        if run.len() >= 2 {
+            ops.push(Op::Merge(std::mem::take(run)));
+        } else {
+            ops.extend(run.drain(..).map(Op::Keep));
+        }
+        *run_bundles = 0;
+    };
+    for (i, meta) in segments.iter().enumerate() {
+        if meta.bundles < config.min_bundles {
+            if run_bundles + meta.bundles > config.max_bundles {
+                flush(&mut run, &mut run_bundles, &mut ops);
+            }
+            run_bundles += meta.bundles;
+            run.push(i);
+            continue;
+        }
+        flush(&mut run, &mut run_bundles, &mut ops);
+        if meta.bundles > config.max_bundles {
+            ops.push(Op::Split(i));
+        } else {
+            ops.push(Op::Keep(i));
+        }
+    }
+    flush(&mut run, &mut run_bundles, &mut ops);
+    ops
+}
+
+/// Canonicalize, encode, durably write, and describe one new segment.
+fn seal_new(
+    dir: &Path,
+    next_index: &mut usize,
+    mut data: SegmentData,
+) -> std::io::Result<(SegmentMeta, u64)> {
+    data.bundles.sort_by_key(|b| (b.slot, b.bundle_id.0));
+    data.details.sort_by_key(|d| (d.slot, d.meta.tx_id.0));
+    let (image, footer) = encode_segment(&data);
+    let file = segment_file_name(*next_index);
+    *next_index += 1;
+    write_segment_file_with(&dir.join(&file), &image, None)?;
+    let bytes = image.len() as u64;
+    Ok((
+        SegmentMeta {
+            file,
+            bundles: footer.bundles as u64,
+            details: footer.details as u64,
+            polls: footer.polls as u64,
+            min_slot: footer.min_slot,
+            max_slot: footer.max_slot,
+            bytes,
+            checksum: format!("{:016x}", footer.checksum),
+        },
+        bytes,
+    ))
+}
+
+/// Split one decoded segment into chunks of at most `max_bundles`
+/// bundles. Details follow the bundle that carries their transaction;
+/// details whose transaction matches no bundle — and every poll — land in
+/// the first chunk, so nothing is dropped.
+fn split_chunks(data: SegmentData, max_bundles: u64) -> Vec<SegmentData> {
+    let per = max_bundles.max(1) as usize;
+    let chunks = data.bundles.len().div_ceil(per).max(1);
+    let mut route = HashMap::new();
+    let mut out: Vec<SegmentData> = (0..chunks).map(|_| SegmentData::default()).collect();
+    for (i, bundle) in data.bundles.into_iter().enumerate() {
+        let chunk = i / per;
+        for tx in &bundle.tx_ids {
+            route.insert(tx.0, chunk);
+        }
+        out[chunk].bundles.push(bundle);
+    }
+    for detail in data.details {
+        let chunk = route.get(&detail.meta.tx_id.0).copied().unwrap_or(0);
+        out[chunk].details.push(detail);
+    }
+    out[0].polls = data.polls;
+    out
+}
+
+/// Run one rebalance pass over the store at `dir`. Returns without
+/// touching disk when the plan is all `Keep`s. See the module docs for
+/// the crash-ordering contract.
+pub fn rebalance(dir: &Path, config: &RebalanceConfig) -> std::io::Result<RebalanceReport> {
+    if config.min_bundles > config.max_bundles {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!(
+                "min_bundles {} exceeds max_bundles {}",
+                config.min_bundles, config.max_bundles
+            ),
+        ));
+    }
+    let store = BundleStore::open(dir)?;
+    let old = store.manifest().clone();
+    let ops = plan(&old.segments, config);
+
+    let mut report = RebalanceReport {
+        segments_before: old.segments.len(),
+        bundles: old.total_bundles(),
+        ..RebalanceReport::default()
+    };
+    if !ops.iter().any(|op| !matches!(op, Op::Keep(_))) {
+        report.segments_after = report.segments_before;
+        return Ok(report);
+    }
+
+    let mut next_index = old.next_segment_index();
+    let mut new_segments: Vec<SegmentMeta> = Vec::new();
+    let mut replaced: Vec<String> = Vec::new();
+    for op in ops {
+        match op {
+            Op::Keep(i) => new_segments.push(old.segments[i].clone()),
+            Op::Merge(indices) => {
+                let mut data = SegmentData::default();
+                for &i in &indices {
+                    let part = store.read_segment(i)?;
+                    data.bundles.extend(part.bundles);
+                    data.details.extend(part.details);
+                    data.polls.extend(part.polls);
+                    replaced.push(old.segments[i].file.clone());
+                }
+                let (meta, bytes) = seal_new(dir, &mut next_index, data)?;
+                report.bytes_written += bytes;
+                report.merges += 1;
+                new_segments.push(meta);
+            }
+            Op::Split(i) => {
+                let data = store.read_segment(i)?;
+                replaced.push(old.segments[i].file.clone());
+                for chunk in split_chunks(data, config.max_bundles) {
+                    let (meta, bytes) = seal_new(dir, &mut next_index, chunk)?;
+                    report.bytes_written += bytes;
+                    new_segments.push(meta);
+                }
+                report.splits += 1;
+            }
+        }
+    }
+
+    // The commit point: one durable manifest swap.
+    let manifest = Manifest {
+        version: old.version,
+        segments: new_segments,
+        quarantined: Some(old.quarantined().to_vec()),
+    };
+    manifest.save(dir)?;
+    report.segments_after = manifest.segments.len();
+
+    // Old files are garbage now; deleting them is best-effort (a survivor
+    // only wastes disk — nothing references it).
+    for file in replaced {
+        let _ = std::fs::remove_file(dir.join(file));
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::{CollectedBundle, CollectedDetail, PollRecord};
+    use crate::store::StoreWriter;
+    use sandwich_ledger::{SolDelta, TransactionMeta};
+    use sandwich_types::{Hash, Keypair, LamportDelta, Lamports, Slot};
+    use std::path::PathBuf;
+
+    fn bundle(seed: u64, slot: u64) -> CollectedBundle {
+        let kp = Keypair::from_label("rebal");
+        CollectedBundle {
+            bundle_id: Hash::digest(&seed.to_le_bytes()),
+            slot: Slot(slot),
+            timestamp_ms: slot * 400,
+            tip: Lamports(10_000 + seed),
+            tx_ids: vec![kp.sign(&seed.to_le_bytes())],
+        }
+    }
+
+    fn detail_for(b: &CollectedBundle) -> CollectedDetail {
+        let kp = Keypair::from_label("rebal");
+        CollectedDetail {
+            bundle_id: b.bundle_id,
+            slot: b.slot,
+            meta: TransactionMeta {
+                tx_id: b.tx_ids[0],
+                signer: kp.pubkey(),
+                fee: Lamports(5_000),
+                priority_fee: Lamports::ZERO,
+                success: true,
+                error: None,
+                sol_deltas: vec![SolDelta {
+                    account: kp.pubkey(),
+                    delta: LamportDelta(-9_000),
+                }],
+                token_deltas: vec![],
+            },
+        }
+    }
+
+    fn poll() -> PollRecord {
+        PollRecord {
+            day: 0,
+            fetched: 1,
+            new: 1,
+            overlapped_previous: true,
+        }
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("swrebal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// Every record in the store, as a canonical sorted list that ignores
+    /// segmentation entirely.
+    fn flatten(dir: &Path) -> (Vec<(u64, [u8; 32])>, usize, usize) {
+        let store = BundleStore::open(dir).unwrap();
+        let mut bundles = Vec::new();
+        let mut details = 0;
+        let mut polls = 0;
+        for i in 0..store.segments().len() {
+            let data = store.read_segment(i).unwrap();
+            bundles.extend(data.bundles.iter().map(|b| (b.slot.0, b.bundle_id.0)));
+            details += data.details.len();
+            polls += data.polls.len();
+        }
+        bundles.sort();
+        (bundles, details, polls)
+    }
+
+    #[test]
+    fn merges_a_run_of_confetti_segments() {
+        let dir = tmp_dir("merge");
+        let mut w = StoreWriter::create(&dir).unwrap();
+        for seg in 0..4u64 {
+            let b = bundle(seg, 100 + seg * 10);
+            let d = detail_for(&b);
+            w.seal_segment(vec![b], vec![d], vec![poll()]).unwrap();
+        }
+        let before = flatten(&dir);
+
+        let report = rebalance(
+            &dir,
+            &RebalanceConfig {
+                min_bundles: 10,
+                max_bundles: 100,
+            },
+        )
+        .unwrap();
+        assert_eq!(report.merges, 1);
+        assert_eq!(report.splits, 0);
+        assert_eq!(report.segments_before, 4);
+        assert_eq!(report.segments_after, 1);
+        assert!(report.changed());
+
+        let store = BundleStore::open(&dir).unwrap();
+        assert_eq!(store.segments().len(), 1);
+        assert_eq!(store.segments()[0].file, "seg-00004.seg");
+        assert_eq!(flatten(&dir), before, "record set preserved exactly");
+        for seg in 0..4 {
+            assert!(!dir.join(segment_file_name(seg)).exists(), "old file gone");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn splits_an_oversized_segment_and_routes_details() {
+        let dir = tmp_dir("split");
+        let mut w = StoreWriter::create(&dir).unwrap();
+        let bundles: Vec<CollectedBundle> = (0..10).map(|i| bundle(i, 50 + i)).collect();
+        let details: Vec<CollectedDetail> = bundles.iter().map(detail_for).collect();
+        w.seal_segment(bundles, details, vec![poll()]).unwrap();
+        let before = flatten(&dir);
+
+        let report = rebalance(
+            &dir,
+            &RebalanceConfig {
+                min_bundles: 1,
+                max_bundles: 4,
+            },
+        )
+        .unwrap();
+        assert_eq!(report.splits, 1);
+        assert_eq!(report.segments_after, 3, "10 bundles / max 4 = 3 chunks");
+
+        let store = BundleStore::open(&dir).unwrap();
+        for i in 0..store.segments().len() {
+            let data = store.read_segment(i).unwrap();
+            assert!(data.bundles.len() <= 4);
+            // Each detail rides with its bundle's chunk.
+            for d in &data.details {
+                assert!(
+                    data.bundles.iter().any(|b| b.tx_ids[0] == d.meta.tx_id),
+                    "detail stranded away from its bundle"
+                );
+            }
+        }
+        assert_eq!(flatten(&dir), before, "record set preserved exactly");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn well_sized_store_is_untouched() {
+        let dir = tmp_dir("noop");
+        let mut w = StoreWriter::create(&dir).unwrap();
+        w.seal_segment((0..5).map(|i| bundle(i, 10 + i)).collect(), vec![], vec![])
+            .unwrap();
+        let manifest_before = std::fs::read(dir.join(crate::manifest::MANIFEST_FILE)).unwrap();
+        let report = rebalance(
+            &dir,
+            &RebalanceConfig {
+                min_bundles: 2,
+                max_bundles: 100,
+            },
+        )
+        .unwrap();
+        assert!(!report.changed());
+        assert_eq!(
+            std::fs::read(dir.join(crate::manifest::MANIFEST_FILE)).unwrap(),
+            manifest_before,
+            "no-op pass does not rewrite the manifest"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rejects_inverted_bounds() {
+        let dir = tmp_dir("bounds");
+        StoreWriter::create(&dir).unwrap();
+        let err = rebalance(
+            &dir,
+            &RebalanceConfig {
+                min_bundles: 100,
+                max_bundles: 10,
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

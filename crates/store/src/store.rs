@@ -19,7 +19,7 @@ use crate::segment::{
     FOOTER_LEN, FOOTER_LEN_V1, SEGMENT_MAGIC, SEGMENT_MAGIC_V1,
 };
 
-fn segment_file_name(index: usize) -> String {
+pub(crate) fn segment_file_name(index: usize) -> String {
     format!("seg-{index:05}.seg")
 }
 

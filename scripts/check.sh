@@ -150,4 +150,40 @@ if [ -f results/BENCH_query.json ]; then
   done
 fi
 
+# The sharded router: merge-layer properties, byte-identity across shard
+# counts (incl. pagination, coverage, 404s), degraded shards, and
+# rebalance under a live router.
+echo "==> shard router tests (bounded)"
+timeout 420 cargo test --offline -p sandwich-shard -q
+timeout 420 cargo test --offline -p sandwich-suite --test shard_props -q
+timeout 420 cargo test --offline -p sandwich-suite --test shard_router -q
+
+# A bounded shard_bench run drives a 50k-bundle store through 1/2/4/8
+# shards over real sockets. The hard gate is merged_identical: every
+# router response byte-identical to the single engine at every shard
+# count. scan_speedup_4_shards is reported, not gated — it only means
+# something on multi-core hardware.
+echo "==> shard_bench smoke (bounded, 50k-bundle store)"
+SANDWICH_SHARD_BUNDLES=50000 \
+SANDWICH_SHARD_REQUESTS=200 \
+SANDWICH_BENCH_OUT=target/BENCH_shard_smoke.json \
+timeout 420 cargo run --offline --release -p sandwich-bench --bin shard_bench
+gate_shard_json() {
+  f="$1"
+  grep -q '"merged_identical": true' "$f" || {
+    echo "$f: merged_identical != true — a sharded response diverged from the single engine" >&2
+    exit 1
+  }
+  for field in scan_speedup_4_shards build_seconds throughput_rps; do
+    grep -q "\"$field\"" "$f" || {
+      echo "$f is missing \"$field\"" >&2
+      exit 1
+    }
+  done
+}
+gate_shard_json target/BENCH_shard_smoke.json
+if [ -f results/BENCH_shard.json ]; then
+  gate_shard_json results/BENCH_shard.json
+fi
+
 echo "==> all checks passed"
