@@ -13,8 +13,19 @@
 //! Every distinct request's HTTP body is compared byte-for-byte against an
 //! uncached evaluation on the same engine snapshot, and a fresh service
 //! opened on the same directory must reuse the persisted index (zero
-//! rebuilds). Writes p50/p95/p99 latency and throughput to
-//! `results/BENCH_query.json` (or `$SANDWICH_BENCH_OUT`).
+//! rebuilds).
+//!
+//! - **Phase C (live tail)** — on a small dedicated store, a writer seals
+//!   segments (each with one planted sandwich) while the service folds
+//!   forward and a cursor-walking client tails `/api/live`. Measures
+//!   freshness (seals between planting a sandwich and seeing it on the
+//!   tail), asserts every reload was an incremental fold (zero full
+//!   rebuilds), and checks the sharded router serves identical live bytes.
+//!
+//! Writes p50/p95/p99 latency, throughput, and the live-tail gate fields
+//! (`fold_only_reloads`, `full_rebuilds`, `p99_freshness_seals`,
+//! `live_identical`) to `results/BENCH_query.json` (or
+//! `$SANDWICH_BENCH_OUT`).
 //!
 //! `--store <dir>` replays the workload against an existing store (e.g.
 //! the one `shard_bench --store` generated) instead of seeding a fresh
@@ -23,10 +34,14 @@
 use rand::{Rng, SeedableRng};
 
 use sandwich_core::AnalysisConfig;
+use sandwich_jito::{bundle_id_of, tip_account};
+use sandwich_ledger::{SolDelta, TokenDelta, TransactionMeta};
 use sandwich_net::{HttpClient, Server};
 use sandwich_obs::{names, Registry};
 use sandwich_query::{QueryRequest, QueryService, QueryServiceConfig};
-use sandwich_store::StoreWriter;
+use sandwich_shard::{ClusterConfig, ServingCluster};
+use sandwich_store::{CollectedBundle, CollectedDetail, Manifest, StoreWriter};
+use sandwich_types::{Hash, Keypair, LamportDelta, Lamports, Pubkey, Signature, Slot};
 
 fn env_usize(key: &str, default: usize) -> usize {
     std::env::var(key)
@@ -49,6 +64,102 @@ fn percentile_ms(sorted_us: &[u64], q: f64) -> f64 {
     }
     let rank = ((sorted_us.len() - 1) as f64 * q).round() as usize;
     sorted_us[rank] as f64 / 1_000.0
+}
+
+fn percentile_u64(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    sorted[((sorted.len() - 1) as f64 * q).round() as usize]
+}
+
+/// A swap leg for the planted live-tail sandwiches, mirroring the scale
+/// generator's shape.
+fn swap_meta(
+    tx_id: Signature,
+    signer: Pubkey,
+    mint: Pubkey,
+    sol_delta_trade: i64,
+    tokens: i128,
+    tip: u64,
+) -> TransactionMeta {
+    let fee = 5_000i64;
+    let mut sol_deltas = vec![SolDelta {
+        account: signer,
+        delta: LamportDelta(sol_delta_trade - fee - tip as i64),
+    }];
+    if tip > 0 {
+        sol_deltas.push(SolDelta {
+            account: tip_account(0),
+            delta: LamportDelta(tip as i64),
+        });
+    }
+    TransactionMeta {
+        tx_id,
+        signer,
+        fee: Lamports(fee as u64),
+        priority_fee: Lamports::ZERO,
+        success: true,
+        error: None,
+        sol_deltas,
+        token_deltas: vec![TokenDelta {
+            owner: signer,
+            mint,
+            delta: tokens,
+        }],
+    }
+}
+
+/// One segment for the live-tail phase: `fill` plain bundles plus one
+/// planted, detectable sandwich. Returns the sandwich's bundle id.
+fn live_segment(n: u64, fill: u64) -> (Vec<CollectedBundle>, Vec<CollectedDetail>, Hash) {
+    let kp = Keypair::from_label("query-bench-live");
+    let base_slot = n * 400;
+    let mut bundles: Vec<CollectedBundle> = (0..fill)
+        .map(|i| {
+            let seed = n * 100_000 + i;
+            CollectedBundle {
+                bundle_id: Hash::digest(&seed.to_le_bytes()),
+                slot: Slot(base_slot + i * 2),
+                timestamp_ms: (base_slot + i * 2) * 400,
+                tip: Lamports(25_000 + i),
+                tx_ids: vec![kp.sign(&seed.to_le_bytes())],
+            }
+        })
+        .collect();
+    let attacker = Pubkey::derive(&format!("qb-live-attacker-{n}"));
+    let victim = Pubkey::derive(&format!("qb-live-victim-{n}"));
+    let mint = Pubkey::derive(&format!("qb-live-pool-{n}"));
+    let tx_ids: Vec<Signature> = (0..3u8).map(|t| kp.sign(&[n as u8, t, 0xB7])).collect();
+    let (sol_in, tokens, tip) = (2_000_000_000i64, 10_000i128, 1_000_000u64);
+    let front = swap_meta(tx_ids[0], attacker, mint, -sol_in, tokens, 0);
+    let mid = swap_meta(tx_ids[1], victim, mint, -(sol_in + 600_000_000), tokens, 0);
+    let back = swap_meta(
+        tx_ids[2],
+        attacker,
+        mint,
+        sol_in + 150_000_000,
+        -tokens,
+        tip,
+    );
+    let bundle_id = bundle_id_of(&tx_ids);
+    let slot = Slot(base_slot + fill);
+    let details = [front, mid, back]
+        .into_iter()
+        .map(|meta| CollectedDetail {
+            bundle_id,
+            slot,
+            meta,
+        })
+        .collect();
+    bundles.push(CollectedBundle {
+        bundle_id,
+        slot,
+        timestamp_ms: slot.0 * 400,
+        tip: Lamports(tip),
+        tx_ids,
+    });
+    (bundles, details, bundle_id)
 }
 
 fn main() {
@@ -298,6 +409,129 @@ fn main() {
     assert_eq!(loads, 1, "restart must load the persisted index once");
     drop(reopened);
 
+    // Phase C: live-tail freshness on a small dedicated store. A writer
+    // seals segments (one planted sandwich each), every seal is folded —
+    // never rebuilt — into the live index, and a cursor-tailing client
+    // measures how many seals pass before each sandwich shows up on
+    // `/api/live`.
+    let live_seals = env_usize("SANDWICH_LIVE_SEALS", 8) as u64;
+    let live_fill = env_usize("SANDWICH_LIVE_FILL", 64) as u64;
+    let live_dir = std::env::var("SANDWICH_LIVE_STORE_DIR")
+        .unwrap_or_else(|_| "query_bench.live.store".into());
+    let _ = std::fs::remove_dir_all(&live_dir);
+    let mut live_writer = StoreWriter::create(&live_dir).expect("create live store");
+    let (bundles, details, _) = live_segment(0, live_fill);
+    live_writer
+        .seal_segment(bundles, details, Vec::new())
+        .expect("seal live segment");
+    drop(live_writer);
+
+    fn extract_cursor(body: &str) -> String {
+        let needle = "\"cursor\":\"";
+        let start = body.find(needle).expect("cursor field") + needle.len();
+        let end = body[start..].find('"').expect("cursor end") + start;
+        body[start..end].to_string()
+    }
+
+    let live_registry = Registry::new();
+    let live_service =
+        QueryService::open(QueryServiceConfig::new(&live_dir), live_registry.clone())
+            .expect("open live service");
+    let live_path = std::path::Path::new(&live_dir).to_path_buf();
+    let (mut freshness, live_identical) = runtime.block_on(async {
+        let server = Server::bind("127.0.0.1:0", live_service.router())
+            .await
+            .expect("bind live");
+        let client = HttpClient::new(server.local_addr());
+
+        // Drain the initial tail so the cursor sits at the tip.
+        let first = client.get("/api/live?limit=64").await.expect("live");
+        let mut cursor = extract_cursor(std::str::from_utf8(&first.body).expect("utf8"));
+
+        let mut pending: Vec<(u64, String)> = Vec::new();
+        let mut freshness: Vec<u64> = Vec::new();
+        for seal in 1..=live_seals {
+            let sealed = Manifest::load(&live_path).expect("manifest").segments;
+            let mut writer = StoreWriter::resume(&live_path, &sealed).expect("resume");
+            let (bundles, details, bundle_id) = live_segment(seal, live_fill);
+            writer
+                .seal_segment(bundles, details, Vec::new())
+                .expect("seal");
+            drop(writer);
+            pending.push((seal, bundle_id.to_string()));
+            assert!(
+                live_service.reload().expect("live reload"),
+                "a seal must advance the generation"
+            );
+
+            let response = client
+                .get(&format!("/api/live?cursor={cursor}&limit=64&wait_ms=100"))
+                .await
+                .expect("tail");
+            assert_eq!(response.status, 200);
+            let body = String::from_utf8(response.body.to_vec()).expect("utf8");
+            cursor = extract_cursor(&body);
+            pending.retain(|(planted, id)| {
+                if body.contains(id.as_str()) {
+                    freshness.push(seal - planted + 1);
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        assert!(
+            pending.is_empty(),
+            "every planted sandwich must reach the live tail"
+        );
+
+        // The sharded router must serve the same live bytes.
+        let cluster = ServingCluster::serve(ClusterConfig::new(&live_dir, 2), Registry::new())
+            .await
+            .expect("cluster");
+        let router_client = HttpClient::new(cluster.router_addr());
+        let mut live_identical = true;
+        let mut walk = String::new();
+        for _ in 0..(live_seals as usize + 8) {
+            let path = if walk.is_empty() {
+                "/api/live?limit=4".to_string()
+            } else {
+                format!("/api/live?cursor={walk}&limit=4")
+            };
+            let a = client.get(&path).await.expect("single live");
+            let b = router_client.get(&path).await.expect("router live");
+            live_identical &= a.status == 200 && b.status == 200 && a.body == b.body;
+            let body = String::from_utf8(a.body.to_vec()).expect("utf8");
+            if body.contains("\"rows\":[]") {
+                break;
+            }
+            walk = extract_cursor(&body);
+        }
+        cluster.shutdown().await;
+        server.shutdown().await;
+        (freshness, live_identical)
+    });
+    let live_snap = live_registry.snapshot();
+    let live_folds = live_snap.counter(names::QUERY_INDEX_FOLDS).unwrap_or(0);
+    let live_reloads = live_snap.counter(names::QUERY_RELOADS).unwrap_or(0);
+    let full_rebuilds = live_snap
+        .counter(names::QUERY_INDEX_FULL_REBUILDS)
+        .unwrap_or(0);
+    let fold_only_reloads =
+        full_rebuilds == 0 && live_reloads == live_seals && live_folds == live_reloads;
+    assert!(
+        fold_only_reloads,
+        "live phase must fold every reload: folds {live_folds}, reloads {live_reloads}, full rebuilds {full_rebuilds}"
+    );
+    assert!(live_identical, "router live pages must match single engine");
+    freshness.sort_unstable();
+    let p99_freshness_seals = percentile_u64(&freshness, 0.99);
+    println!(
+        "  live phase: {live_seals} seals folded ({live_folds} folds, {full_rebuilds} full rebuilds), freshness p50 {} / p99 {p99_freshness_seals} seal(s), router identical: {live_identical}",
+        percentile_u64(&freshness, 0.50),
+    );
+    let _ = std::fs::remove_dir_all(&live_dir);
+
     zipf_latencies.sort_unstable();
     cold_latencies.sort_unstable();
     let mut all: Vec<u64> = zipf_latencies
@@ -335,7 +569,7 @@ fn main() {
         "results/BENCH_query.json".into()
     });
     let snapshot = format!(
-        "{{\n  \"days\": {days},\n  \"clients\": {clients},\n  \"requests\": {requests},\n  \"zipf_requests\": {zr},\n  \"cold_requests\": {cr},\n  \"zipf_cache_hit_rate\": {zipf_hit_rate:.3},\n  \"p50_ms\": {p50:.3},\n  \"p95_ms\": {p95:.3},\n  \"p99_ms\": {p99:.3},\n  \"throughput_rps\": {throughput_rps:.0},\n  \"byte_identical\": true,\n  \"restart_rebuilds\": {rebuilds},\n  \"restart_loads\": {loads}\n}}\n",
+        "{{\n  \"days\": {days},\n  \"clients\": {clients},\n  \"requests\": {requests},\n  \"zipf_requests\": {zr},\n  \"cold_requests\": {cr},\n  \"zipf_cache_hit_rate\": {zipf_hit_rate:.3},\n  \"p50_ms\": {p50:.3},\n  \"p95_ms\": {p95:.3},\n  \"p99_ms\": {p99:.3},\n  \"throughput_rps\": {throughput_rps:.0},\n  \"byte_identical\": true,\n  \"restart_rebuilds\": {rebuilds},\n  \"restart_loads\": {loads},\n  \"live_seals\": {live_seals},\n  \"fold_only_reloads\": {fold_only_reloads},\n  \"full_rebuilds\": {full_rebuilds},\n  \"p99_freshness_seals\": {p99_freshness_seals},\n  \"live_identical\": {live_identical}\n}}\n",
         zr = zipf_latencies.len(),
         cr = cold_latencies.len(),
         p50 = percentile_ms(&all, 0.50),

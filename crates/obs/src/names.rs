@@ -116,3 +116,34 @@ pub const QUERY_SHARD_STRAGGLERS: &str = "query.shard.stragglers";
 /// Counter: fanouts that failed (a shard was unreachable, answered a
 /// non-200, or disagreed on the store generation) and were answered 503.
 pub const QUERY_SHARD_FANOUT_FAILURES: &str = "query.shard.fanout_failures";
+
+/// Counter: generation changes where the delta was **not** foldable (a
+/// covered segment left the serving or quarantine list) and the whole
+/// index had to be rebuilt from segments. A live-tail deployment expects
+/// this to stay at zero forever — seals only ever append.
+pub const QUERY_INDEX_FULL_REBUILDS: &str = "query.index.full_rebuilds";
+
+/// Counter: incremental index folds applied (one per generation change
+/// absorbed by folding only the new segments into the live index).
+pub const QUERY_INDEX_FOLDS: &str = "query.index.fold.applied";
+
+/// Counter: segments scanned by incremental folds (only the manifest
+/// delta, never the whole store).
+pub const QUERY_INDEX_FOLD_SEGMENTS: &str = "query.index.fold.segments";
+
+/// Histogram: wall-clock seconds to scan a manifest delta and fold it
+/// into the live index (compare `query.index.build_seconds`).
+pub const QUERY_INDEX_FOLD_SECONDS: &str = "query.index.fold.seconds";
+
+/// Counter: `/api/live` requests served (page-poll and long-poll).
+pub const QUERY_LIVE_REQUESTS: &str = "query.live.requests";
+
+/// Counter: `/api/live` requests that asked to long-poll (`wait_ms` > 0).
+pub const QUERY_LIVE_LONG_POLLS: &str = "query.live.long_polls";
+
+/// Counter: sandwich rows streamed out over `/api/live`.
+pub const QUERY_LIVE_ROWS: &str = "query.live.rows";
+
+/// Histogram: seconds a long-poll actually waited before answering
+/// (bounded by the request's `wait_ms`).
+pub const QUERY_LIVE_WAIT_SECONDS: &str = "query.live.wait_seconds";

@@ -16,14 +16,19 @@
 //! flips to 503 while the most recent index reload failed (the daemon
 //! keeps serving the last good generation meanwhile).
 //!
-//! The daemon polls the manifest every few seconds and hot-swaps the index
-//! when the collector seals a new segment, so a tracker UI pointed at this
-//! process follows the measurement live.
+//! The daemon watches the manifest (cheap stat, no JSON parse) every few
+//! seconds; when the collector seals a new segment it folds just the
+//! delta into the live index (`query.index.fold.*` metrics) and swaps it
+//! in — a full rebuild happens only if the manifest history stopped being
+//! append-only. `/api/live` streams the newly folded sandwiches behind an
+//! opaque cursor, with bounded long-polling, so a tracker UI pointed at
+//! this process follows the measurement live.
 
 use std::time::Duration;
 
 use sandwich_obs::Registry;
 use sandwich_query::{QueryService, QueryServiceConfig};
+use sandwich_store::SealWatcher;
 
 fn env_or(key: &str, default: &str) -> String {
     std::env::var(key).unwrap_or_else(|_| default.to_string())
@@ -72,11 +77,19 @@ fn main() {
             server.shutdown().await;
             return;
         }
+        let mut watcher = SealWatcher::new(std::path::Path::new(&store_dir));
+        watcher.changed(); // arm at the already-served manifest
         loop {
             tokio::time::sleep(Duration::from_secs(3)).await;
+            if !watcher.changed() {
+                continue;
+            }
             match service.reload() {
                 Ok(true) => {
-                    println!("queryd: reloaded, generation {}", service.generation())
+                    println!(
+                        "queryd: folded forward, generation {}",
+                        service.generation()
+                    )
                 }
                 Ok(false) => {}
                 Err(e) => eprintln!("queryd: reload failed: {e}"),

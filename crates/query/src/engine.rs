@@ -11,10 +11,13 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use sandwich_net::Request;
-use sandwich_types::Pubkey;
+use sandwich_types::{Hash, Pubkey};
 
 use crate::cache::CachedResponse;
-use crate::index::{first_ref_at_or_after, AttackerEntry, PoolEntry, QueryIndex, SandwichRef};
+use crate::index::{
+    first_ref_after_cursor, first_ref_at_or_after, live_minutes, AttackerEntry, PoolEntry,
+    QueryIndex, SandwichRef,
+};
 use crate::render::{self, DETAIL_REF_CAP};
 
 /// Default page size when `limit=` is absent.
@@ -22,6 +25,40 @@ pub const DEFAULT_LIMIT: usize = 20;
 
 /// Hard ceiling on `limit=` to bound response sizes.
 pub const MAX_LIMIT: usize = 500;
+
+/// Hard ceiling on `/api/live` long-poll waits, milliseconds. Well under
+/// the HTTP client's total-request timeout, so a long-poll that finds
+/// nothing still answers cleanly.
+pub const MAX_LIVE_WAIT_MS: u64 = 5_000;
+
+/// The origin live cursor position: strictly-after `(0, zero-hash)`,
+/// i.e. the beginning of the stream.
+pub fn origin_cursor() -> (u64, Hash) {
+    (0, Hash([0u8; 32]))
+}
+
+/// Render a live cursor: `v1.<generation>.<slot hex>.<bundle id base58>`.
+/// Opaque to clients; the generation is informational (positions stay
+/// valid across folds because folding never reorders existing refs).
+pub fn encode_live_cursor(generation: &str, slot: u64, bundle_id: &Hash) -> String {
+    format!("v1.{generation}.{slot:016x}.{bundle_id}")
+}
+
+/// Parse a live cursor produced by [`encode_live_cursor`].
+pub fn decode_live_cursor(raw: &str) -> Result<(u64, Hash), String> {
+    let reject = || format!("malformed live cursor {raw:?}");
+    let mut parts = raw.splitn(4, '.');
+    let (v, generation, slot, id) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(v), Some(g), Some(s), Some(i)) => (v, g, s, i),
+        _ => return Err(reject()),
+    };
+    if v != "v1" || generation.len() != 16 || !generation.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return Err(reject());
+    }
+    let slot = u64::from_str_radix(slot, 16).map_err(|_| reject())?;
+    let bundle_id = Hash::from_base58(id).ok_or_else(reject)?;
+    Ok((slot, bundle_id))
+}
 
 /// A parsed, validated API request. Construction validates all
 /// parameters, so evaluation is infallible.
@@ -58,6 +95,21 @@ pub enum QueryRequest {
         limit: usize,
         /// In-range offset of the first row.
         after: usize,
+    },
+    /// `GET /api/live?cursor=&limit=&wait_ms=` — the streaming tail:
+    /// sandwiches strictly after the cursor position plus the rolling
+    /// per-minute window. `wait_ms > 0` long-polls until a row lands or
+    /// the bound expires; it never changes the response body shape.
+    Live {
+        /// Cursor slot (exclusive, paired with `after_id`).
+        after_slot: u64,
+        /// Cursor bundle id (exclusive tie-break within `after_slot`).
+        after_id: Hash,
+        /// Page size.
+        limit: usize,
+        /// Long-poll bound, ms; 0 answers immediately. Excluded from the
+        /// cache key — at one generation the body is wait-invariant.
+        wait_ms: u64,
     },
 }
 
@@ -118,6 +170,18 @@ impl QueryRequest {
                     after: parse_usize(request, "after", 0)?,
                 })
             }
+            "live" => {
+                let (after_slot, after_id) = match request.query.get("cursor") {
+                    None => origin_cursor(),
+                    Some(raw) => decode_live_cursor(raw)?,
+                };
+                Ok(QueryRequest::Live {
+                    after_slot,
+                    after_id,
+                    limit: parse_usize(request, "limit", DEFAULT_LIMIT)?.clamp(1, MAX_LIMIT),
+                    wait_ms: parse_u64(request, "wait_ms", 0)?.min(MAX_LIVE_WAIT_MS),
+                })
+            }
             other => Err(format!("unknown endpoint {other:?}")),
         }
     }
@@ -131,6 +195,7 @@ impl QueryRequest {
             QueryRequest::Attacker { .. } => "attacker",
             QueryRequest::Pool { .. } => "pool",
             QueryRequest::Sandwiches { .. } => "sandwiches",
+            QueryRequest::Live { .. } => "live",
         }
     }
 
@@ -153,6 +218,14 @@ impl QueryRequest {
             } => format!(
                 "sandwiches?from_slot={from_slot}&to_slot={to_slot}&limit={limit}&after={after}"
             ),
+            // `wait_ms` deliberately absent: at one generation a long-poll
+            // answers with the same bytes as a page-poll at its position.
+            QueryRequest::Live {
+                after_slot,
+                after_id,
+                limit,
+                ..
+            } => format!("live?after={after_slot:016x}.{after_id}&limit={limit}"),
         }
     }
 }
@@ -222,6 +295,13 @@ impl Engine {
         Some((rank, &self.index.pools[rank]))
     }
 
+    /// How many refs sit strictly after the live cursor position — what a
+    /// long-poll loop checks per snapshot without rendering anything.
+    pub fn live_rows_after(&self, after_slot: u64, after_id: &Hash) -> usize {
+        let refs = &self.index.refs;
+        refs.len() - first_ref_after_cursor(refs, after_slot, after_id)
+    }
+
     /// The newest `cap` refs behind `refs`, **oldest first** (ascending
     /// slot order) — the shape a shard ships so the router can merge
     /// tails from several shards before reversing once.
@@ -285,6 +365,28 @@ impl Engine {
                     *limit,
                     *after,
                     rows,
+                )
+            }
+            QueryRequest::Live {
+                after_slot,
+                after_id,
+                limit,
+                ..
+            } => {
+                let start = first_ref_after_cursor(&index.refs, *after_slot, after_id);
+                let total_after = index.refs.len() - start;
+                let rows: Vec<SandwichRef> =
+                    index.refs[start..].iter().take(*limit).cloned().collect();
+                let minutes = live_minutes(&index.refs, index.totals.max_slot);
+                render::live_page(
+                    generation,
+                    *after_slot,
+                    after_id,
+                    index.totals.max_slot,
+                    total_after,
+                    *limit,
+                    rows,
+                    minutes,
                 )
             }
         }
@@ -381,6 +483,8 @@ mod tests {
             refs,
             attackers,
             pools,
+            segment_files: vec!["seg-00000.seg".to_string()],
+            quarantined_files: Vec::new(),
         }
     }
 
@@ -466,6 +570,91 @@ mod tests {
         });
         let text = body_text(&all);
         assert!(text.contains("\"total\":4"), "{text}");
+    }
+
+    #[test]
+    fn live_cursor_roundtrips_and_rejects_garbage() {
+        let id = Hash::digest(b"cursor");
+        let cursor = encode_live_cursor("cafebabecafebabe", 42, &id);
+        assert_eq!(decode_live_cursor(&cursor).unwrap(), (42, id));
+        for bad in [
+            "",
+            "v1.cafebabecafebabe.10",
+            "v2.cafebabecafebabe.000000000000002a.11111111111111111111111111111111",
+            "v1.nothex!!!!!!!!!!.000000000000002a.11111111111111111111111111111111",
+            "v1.cafebabecafebabe.nothex.11111111111111111111111111111111",
+            "v1.cafebabecafebabe.000000000000002a.!!!",
+        ] {
+            assert!(decode_live_cursor(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn live_streams_strictly_after_the_cursor_without_skips_or_dups() {
+        let engine = Engine::new(Arc::new(toy_index()));
+        // From the origin: all four rows, cursor advances to the last row.
+        let all = engine.evaluate(&QueryRequest::Live {
+            after_slot: 0,
+            after_id: Hash([0u8; 32]),
+            limit: 500,
+            wait_ms: 0,
+        });
+        assert_eq!(all.status, 200);
+        let text = body_text(&all);
+        assert!(text.contains("\"total_after\":4"), "{text}");
+        assert!(text.contains("\"more\":false"), "{text}");
+
+        // Page through with limit 1: each page advances by exactly one
+        // row and the union is all four rows, no skips, no duplicates.
+        let mut cursor = origin_cursor();
+        let mut seen = Vec::new();
+        for _ in 0..4 {
+            let page = engine.evaluate(&QueryRequest::Live {
+                after_slot: cursor.0,
+                after_id: cursor.1,
+                limit: 1,
+                wait_ms: 0,
+            });
+            let text = body_text(&page);
+            let row_slot = engine
+                .index()
+                .refs
+                .iter()
+                .find(|r| (r.slot, r.bundle_id.0) > (cursor.0, cursor.1 .0))
+                .map(|r| (r.slot, r.bundle_id))
+                .unwrap();
+            assert!(text.contains(&format!("\"slot\":{}", row_slot.0)), "{text}");
+            seen.push(row_slot);
+            cursor = (row_slot.0, row_slot.1);
+        }
+        assert_eq!(seen.len(), 4);
+        seen.dedup();
+        assert_eq!(seen.len(), 4, "no duplicates across pages");
+        // Past the end: empty page, same-position cursor echoed.
+        let done = engine.evaluate(&QueryRequest::Live {
+            after_slot: cursor.0,
+            after_id: cursor.1,
+            limit: 1,
+            wait_ms: 0,
+        });
+        assert!(body_text(&done).contains("\"total_after\":0"));
+    }
+
+    #[test]
+    fn wait_ms_is_excluded_from_the_cache_key() {
+        let quick = QueryRequest::Live {
+            after_slot: 7,
+            after_id: Hash::digest(b"x"),
+            limit: 20,
+            wait_ms: 0,
+        };
+        let slow = QueryRequest::Live {
+            after_slot: 7,
+            after_id: Hash::digest(b"x"),
+            limit: 20,
+            wait_ms: 5_000,
+        };
+        assert_eq!(quick.canonical_key(), slow.canonical_key());
     }
 
     #[test]

@@ -17,6 +17,7 @@ use serde::{Deserialize, Serialize};
 use sandwich_core::{detect, is_defensive_at, Currency, DetectorConfig};
 use sandwich_jito::BundleId;
 use sandwich_ledger::{TransactionId, TransactionMeta};
+use sandwich_store::crash::{write_durable_with, CrashPlan};
 use sandwich_store::{fnv1a64, parallel_map, BundleStore, Manifest};
 use sandwich_types::{Lamports, Pubkey, SlotClock, DEFENSIVE_TIP_THRESHOLD};
 
@@ -222,6 +223,14 @@ pub struct QueryIndex {
     pub attackers: Vec<AttackerEntry>,
     /// Pool leaderboard: loss desc, then count desc, then mint asc.
     pub pools: Vec<PoolEntry>,
+    /// Sorted file names of the serving segments this index folded — the
+    /// snapshot [`sandwich_store::Manifest::delta_from`] diffs against on
+    /// the incremental reload path. Pre-fold index files lack this field
+    /// and fail to parse ([`IndexReject::BadBody`]), forcing exactly one
+    /// rebuild on upgrade.
+    pub segment_files: Vec<String>,
+    /// Sorted file names of the quarantined segments accounted for.
+    pub quarantined_files: Vec<String>,
 }
 
 /// Per-segment partial of the index build (merged in segment order).
@@ -390,13 +399,70 @@ pub fn build_index_subset(
             }
         }
     }
-    Ok(finalize(
+    let mut index = finalize(
         acc,
         coverage,
         generation_of(store.manifest()),
         serving.len() as u64,
         config,
-    ))
+    );
+    index.segment_files = serving
+        .iter()
+        .filter_map(|&i| store.segments().get(i))
+        .map(|s| s.file.clone())
+        .collect();
+    index.segment_files.sort();
+    index.quarantined_files = quarantined
+        .iter()
+        .filter_map(|&q| store.quarantined().get(q))
+        .map(|q| q.meta.file.clone())
+        .collect();
+    index.quarantined_files.sort();
+    Ok(index)
+}
+
+/// Fold already-built indexes into one, exactly as if their segments had
+/// been scanned in a single [`build_index_subset`] pass: reconstruct each
+/// part's pre-finalize partial (days, refs, non-SOL count, max slot —
+/// the leaderboards and totals are pure functions of those), merge with
+/// the same associative [`IndexPartial::merge`], sum the coverage blocks,
+/// and finalize once under `generation`.
+///
+/// Because the merge is associative and commutative and `finalize` is a
+/// deterministic function of the merged multiset, folding any partition
+/// of the segments in any order is **byte-identical** to a from-scratch
+/// rebuild — the invariant `tests/live_fold_props.rs` pins and the whole
+/// live-tail reload path rests on.
+pub fn fold_indexes(generation: &str, parts: Vec<QueryIndex>, config: &QueryConfig) -> QueryIndex {
+    let mut acc = IndexPartial::default();
+    let mut coverage = IndexCoverage::default();
+    let mut segments = 0u64;
+    let mut segment_files = Vec::new();
+    let mut quarantined_files = Vec::new();
+    for part in parts {
+        coverage.segments_total += part.coverage.segments_total;
+        coverage.segments_scanned += part.coverage.segments_scanned;
+        coverage.segments_quarantined += part.coverage.segments_quarantined;
+        coverage.segments_failed += part.coverage.segments_failed;
+        coverage.bundles_scanned += part.coverage.bundles_scanned;
+        coverage.bundles_quarantined += part.coverage.bundles_quarantined;
+        coverage.bundles_failed += part.coverage.bundles_failed;
+        segments += part.totals.segments;
+        segment_files.extend(part.segment_files);
+        quarantined_files.extend(part.quarantined_files);
+        acc.merge(IndexPartial {
+            days: part.days,
+            refs: part.refs,
+            non_sol: part.totals.non_sol_sandwiches,
+            max_slot: part.totals.max_slot,
+        });
+    }
+    segment_files.sort();
+    quarantined_files.sort();
+    let mut folded = finalize(acc, coverage, generation.to_string(), segments, config);
+    folded.segment_files = segment_files;
+    folded.quarantined_files = quarantined_files;
+    folded
 }
 
 /// Sort attacker entries into leaderboard order: gain desc, then count
@@ -498,6 +564,8 @@ fn finalize(
         refs: acc.refs,
         attackers,
         pools,
+        segment_files: Vec::new(),
+        quarantined_files: Vec::new(),
     }
 }
 
@@ -547,22 +615,31 @@ pub fn save_index(dir: &Path, index: &QueryIndex) -> std::io::Result<()> {
 /// next to the whole-store one (e.g. `query-index.shard-0of4-<fp>.bin`)
 /// without clobbering it.
 pub fn save_index_as(dir: &Path, index: &QueryIndex, file: &str) -> std::io::Result<()> {
+    save_index_with(dir, index, file, None)
+}
+
+/// [`save_index_as`] with an optional [`CrashPlan`] threaded through the
+/// durable write: every temp-create / chunk-write / fsync / rename /
+/// dir-fsync is an enumerated crash step, and the `write_durable_with`
+/// invariant (destination is entirely-old or entirely-new at every step,
+/// torn or clean) is what lets the fold-persist crash matrix prove a
+/// reader never sees a torn index.
+pub fn save_index_with(
+    dir: &Path,
+    index: &QueryIndex,
+    file: &str,
+    plan: Option<&mut CrashPlan>,
+) -> std::io::Result<()> {
     let body = serde_json::to_vec(index)?;
     let mut image = Vec::with_capacity(body.len() + 24);
     image.extend_from_slice(INDEX_MAGIC);
     image.extend_from_slice(&body);
     image.extend_from_slice(&fnv1a64(&body).to_le_bytes());
     image.extend_from_slice(INDEX_FOOTER_MAGIC);
-    let path = dir.join(file);
-    let tmp = dir.join(format!("{file}.tmp"));
-    {
-        use std::io::Write;
-        let mut file = std::fs::File::create(&tmp)?;
-        file.write_all(&image)?;
-        file.sync_all()?;
-    }
-    std::fs::rename(&tmp, &path)?;
-    sandwich_store::crash::fsync_dir(dir)
+    // Split the frame into thirds so torn-write crash points land inside
+    // the JSON body, not only at the frame edges.
+    let cuts = [image.len() / 3, 2 * image.len() / 3];
+    write_durable_with(&dir.join(file), &image, &cuts, plan)
 }
 
 /// Load a persisted index, trusting it only when the framing, the
@@ -577,6 +654,21 @@ pub fn load_index_as(
     file: &str,
     expected_generation: &str,
 ) -> Result<QueryIndex, IndexReject> {
+    let index = load_index_any(dir, file)?;
+    if index.generation != expected_generation {
+        return Err(IndexReject::StaleGeneration {
+            found: index.generation,
+            expected: expected_generation.to_string(),
+        });
+    }
+    Ok(index)
+}
+
+/// Load a persisted index accepting **any** generation, as long as the
+/// framing, checksum, and body all verify. This is the fold base after a
+/// restart: a stale-but-valid index plus the manifest delta replaces a
+/// full rebuild.
+pub fn load_index_any(dir: &Path, file: &str) -> Result<QueryIndex, IndexReject> {
     let image = match std::fs::read(dir.join(file)) {
         Ok(image) => image,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Err(IndexReject::Missing),
@@ -598,14 +690,7 @@ pub fn load_index_as(
     if fnv1a64(body) != checksum {
         return Err(IndexReject::BadChecksum);
     }
-    let index: QueryIndex = serde_json::from_slice(body).map_err(|_| IndexReject::BadBody)?;
-    if index.generation != expected_generation {
-        return Err(IndexReject::StaleGeneration {
-            found: index.generation,
-            expected: expected_generation.to_string(),
-        });
-    }
-    Ok(index)
+    serde_json::from_slice(body).map_err(|_| IndexReject::BadBody)
 }
 
 /// Convenience: slot range owned by day `day` (for cold range scans).
@@ -618,6 +703,115 @@ pub fn day_slot_range(clock: &SlotClock, day: u64) -> (u64, u64) {
 /// slot-sorted).
 pub fn first_ref_at_or_after(refs: &[SandwichRef], slot: u64) -> usize {
     refs.partition_point(|r| r.slot < slot)
+}
+
+/// Find the index of the first ref strictly after the `(slot, bundle_id)`
+/// live cursor position — the resume point for `/api/live` pagination.
+pub fn first_ref_after_cursor(refs: &[SandwichRef], slot: u64, bundle_id: &BundleId) -> usize {
+    refs.partition_point(|r| (r.slot, r.bundle_id.0) <= (slot, bundle_id.0))
+}
+
+/// Slots per wall-clock minute at Solana's 400 ms slot cadence — the
+/// bucket width of the `/api/live` rolling aggregates. Derived purely
+/// from slot numbers so every shard buckets identically without a clock.
+pub const SLOTS_PER_MINUTE: u64 = 150;
+
+/// Dense minutes in the `/api/live` rolling window (newest last).
+pub const LIVE_MINUTES: u64 = 10;
+
+/// The minute bucket a slot lands in.
+pub fn minute_of(slot: u64) -> u64 {
+    slot / SLOTS_PER_MINUTE
+}
+
+/// One minute bucket of the `/api/live` rolling aggregates: sandwich
+/// counts and priced flows for sandwiches whose bundle landed in this
+/// minute. Additive across any partition of the refs, so shard windows
+/// sum to the single-engine window.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LiveMinute {
+    /// Absolute minute ordinal (`slot / SLOTS_PER_MINUTE`).
+    pub minute: u64,
+    /// Sandwiches landing this minute.
+    pub sandwiches: u64,
+    /// Summed priced victim losses, lamports.
+    pub victim_loss_lamports: u128,
+    /// Summed priced attacker gains, lamports.
+    pub attacker_gain_lamports: i128,
+    /// Summed bundle tips of the sandwich bundles, lamports.
+    pub tips_lamports: u128,
+}
+
+impl LiveMinute {
+    fn empty(minute: u64) -> LiveMinute {
+        LiveMinute {
+            minute,
+            ..LiveMinute::default()
+        }
+    }
+
+    fn absorb_ref(&mut self, r: &SandwichRef) {
+        self.sandwiches += 1;
+        self.victim_loss_lamports += u128::from(r.victim_loss_lamports.unwrap_or(0));
+        self.attacker_gain_lamports += r.attacker_gain_lamports.unwrap_or(0);
+        self.tips_lamports += u128::from(r.tip_lamports);
+    }
+
+    fn absorb(&mut self, other: &LiveMinute) {
+        self.sandwiches += other.sandwiches;
+        self.victim_loss_lamports += other.victim_loss_lamports;
+        self.attacker_gain_lamports += other.attacker_gain_lamports;
+        self.tips_lamports += other.tips_lamports;
+    }
+}
+
+/// The dense [`LIVE_MINUTES`]-wide rolling window ending at the minute of
+/// `tip_slot`, aggregated from slot-sorted `refs`. Buckets with no
+/// sandwiches are present and zero, so clients can chart the window
+/// without gap-filling.
+pub fn live_minutes(refs: &[SandwichRef], tip_slot: u64) -> Vec<LiveMinute> {
+    let tip = minute_of(tip_slot);
+    let start = tip.saturating_sub(LIVE_MINUTES - 1);
+    let mut window: Vec<LiveMinute> = (start..=tip).map(LiveMinute::empty).collect();
+    let from = first_ref_at_or_after(refs, start * SLOTS_PER_MINUTE);
+    for r in &refs[from..] {
+        let minute = minute_of(r.slot);
+        if minute > tip {
+            continue;
+        }
+        window[(minute - start) as usize].absorb_ref(r);
+    }
+    window
+}
+
+/// Re-window per-minute aggregates (e.g. concatenated shard windows) onto
+/// the dense global window ending at `tip_slot`: sum buckets by absolute
+/// minute, then slice the window, filling zeros. Shard windows are a
+/// superset of each shard's contribution to the global window (every
+/// shard tip is at most the global tip), so this reproduces
+/// [`live_minutes`] over the union of the refs — the property the router
+/// merge relies on.
+pub fn window_minutes(
+    minutes: impl IntoIterator<Item = LiveMinute>,
+    tip_slot: u64,
+) -> Vec<LiveMinute> {
+    let mut by_minute: std::collections::BTreeMap<u64, LiveMinute> =
+        std::collections::BTreeMap::new();
+    for m in minutes {
+        by_minute
+            .entry(m.minute)
+            .or_insert_with(|| LiveMinute::empty(m.minute))
+            .absorb(&m);
+    }
+    let tip = minute_of(tip_slot);
+    let start = tip.saturating_sub(LIVE_MINUTES - 1);
+    (start..=tip)
+        .map(|minute| {
+            by_minute
+                .remove(&minute)
+                .unwrap_or_else(|| LiveMinute::empty(minute))
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -680,6 +874,45 @@ mod tests {
         assert_eq!(index.days[0].bundles, 40);
         assert_eq!(index.days[0].bundles_by_len[0], 40);
         assert!(!index.days[0].label.is_empty());
+        std::fs::remove_dir_all(store.dir()).unwrap();
+    }
+
+    #[test]
+    fn folding_per_segment_subsets_matches_the_full_build() {
+        let store = tmp_store("fold", 4);
+        let config = QueryConfig::default();
+        let full = build_index(&store, &config).unwrap();
+        assert_eq!(full.segment_files.len(), 4, "file coverage is recorded");
+        let parts: Vec<QueryIndex> = (0..4)
+            .map(|i| build_index_subset(&store, &config, &[i], &[]).unwrap())
+            .collect();
+        let folded = fold_indexes(&full.generation, parts, &config);
+        assert_eq!(
+            serde_json::to_string(&folded).unwrap(),
+            serde_json::to_string(&full).unwrap(),
+            "fold of per-segment builds must be byte-identical to one pass"
+        );
+        std::fs::remove_dir_all(store.dir()).unwrap();
+    }
+
+    #[test]
+    fn live_minutes_window_is_dense_and_rewindowable() {
+        let store = tmp_store("livemin", 3);
+        let index = build_index(&store, &QueryConfig::default()).unwrap();
+        let window = live_minutes(&index.refs, index.totals.max_slot);
+        assert_eq!(
+            window.len() as u64,
+            minute_of(index.totals.max_slot).min(LIVE_MINUTES - 1) + 1
+        );
+        assert_eq!(
+            window.last().unwrap().minute,
+            minute_of(index.totals.max_slot)
+        );
+        // Re-windowing the window is the identity (same tip).
+        assert_eq!(
+            window_minutes(window.clone(), index.totals.max_slot),
+            window
+        );
         std::fs::remove_dir_all(store.dir()).unwrap();
     }
 

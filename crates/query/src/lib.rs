@@ -21,11 +21,15 @@ pub mod render;
 pub mod service;
 
 pub use cache::{CacheOutcome, CachedResponse, ResponseCache};
-pub use engine::{Engine, QueryRequest, DEFAULT_LIMIT, MAX_LIMIT};
+pub use engine::{
+    decode_live_cursor, encode_live_cursor, origin_cursor, Engine, QueryRequest, DEFAULT_LIMIT,
+    MAX_LIMIT, MAX_LIVE_WAIT_MS,
+};
 pub use index::{
-    build_index, build_index_subset, generation_of, load_index, load_index_as, save_index,
-    save_index_as, sort_attacker_entries, sort_pool_entries, AttackerEntry, DayRollup,
-    IndexCoverage, IndexReject, IndexTotals, PoolEntry, QueryConfig, QueryIndex, SandwichRef,
-    INDEX_FILE, INDEX_MAGIC,
+    build_index, build_index_subset, first_ref_after_cursor, fold_indexes, generation_of,
+    live_minutes, load_index, load_index_any, load_index_as, minute_of, save_index, save_index_as,
+    save_index_with, sort_attacker_entries, sort_pool_entries, window_minutes, AttackerEntry,
+    DayRollup, IndexCoverage, IndexReject, IndexTotals, LiveMinute, PoolEntry, QueryConfig,
+    QueryIndex, SandwichRef, INDEX_FILE, INDEX_MAGIC, LIVE_MINUTES, SLOTS_PER_MINUTE,
 };
 pub use service::{QueryService, QueryServiceConfig};

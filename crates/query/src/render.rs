@@ -11,10 +11,13 @@
 
 use serde::Serialize;
 
-use sandwich_types::Pubkey;
+use sandwich_types::{Hash, Pubkey};
 
 use crate::cache::CachedResponse;
-use crate::index::{AttackerEntry, DayRollup, IndexCoverage, IndexTotals, PoolEntry, SandwichRef};
+use crate::engine::encode_live_cursor;
+use crate::index::{
+    AttackerEntry, DayRollup, IndexCoverage, IndexTotals, LiveMinute, PoolEntry, SandwichRef,
+};
 
 /// Sandwich rows embedded in an attacker/pool detail response.
 pub const DETAIL_REF_CAP: usize = 100;
@@ -118,6 +121,18 @@ struct RangeResponse {
     after: usize,
     next: Option<usize>,
     rows: Vec<SandwichRef>,
+}
+
+#[derive(Serialize)]
+struct LiveResponse {
+    generation: String,
+    tip_slot: u64,
+    total_after: usize,
+    limit: usize,
+    more: bool,
+    cursor: String,
+    rows: Vec<SandwichRef>,
+    minutes: Vec<LiveMinute>,
 }
 
 #[derive(Serialize)]
@@ -254,6 +269,43 @@ pub fn pool_detail(
             generation: generation.to_string(),
             row: PoolRow::of(rank, entry),
             recent,
+        },
+    )
+}
+
+/// `GET /api/live` — the streaming tail page. `rows` must be the
+/// slot-ordered refs strictly after the `(after_slot, after_id)` cursor,
+/// already capped at `limit`; `total_after` the uncapped count;
+/// `minutes` the merged rolling window at `tip_slot` (see
+/// [`crate::index::live_minutes`]). The next cursor points at the last
+/// row served, or echoes the caller's position when the page is empty,
+/// so resuming from it never skips and never repeats a row.
+#[allow(clippy::too_many_arguments)]
+pub fn live_page(
+    generation: &str,
+    after_slot: u64,
+    after_id: &Hash,
+    tip_slot: u64,
+    total_after: usize,
+    limit: usize,
+    rows: Vec<SandwichRef>,
+    minutes: Vec<LiveMinute>,
+) -> CachedResponse {
+    let (cursor_slot, cursor_id) = rows
+        .last()
+        .map(|r| (r.slot, r.bundle_id))
+        .unwrap_or((after_slot, *after_id));
+    json_response(
+        200,
+        &LiveResponse {
+            generation: generation.to_string(),
+            tip_slot,
+            total_after,
+            limit,
+            more: total_after > rows.len(),
+            cursor: encode_live_cursor(generation, cursor_slot, &cursor_id),
+            rows,
+            minutes,
         },
     )
 }

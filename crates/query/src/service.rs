@@ -1,5 +1,12 @@
 //! The `queryd` HTTP service: routes, caching, metrics, and engine
-//! lifecycle (load-or-build on open, atomic swap on reload).
+//! lifecycle (load-fold-or-build on open, atomic swap on reload).
+//!
+//! Reloads are **incremental**: a generation change is absorbed by
+//! scanning only the manifest delta and folding it into the live index
+//! ([`fold_from_base`]), which is byte-identical to a full rebuild;
+//! `query.index.full_rebuilds` counts the (expected-never) fallbacks.
+//! `/api/live` streams newly folded sandwiches behind an opaque cursor,
+//! with a bounded long-poll that waits for the next fold.
 //!
 //! Consistency model: a handler snapshots the engine `Arc` exactly once
 //! per request, so every response is computed against a single manifest
@@ -18,7 +25,7 @@
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use parking_lot::RwLock;
 
@@ -28,7 +35,13 @@ use sandwich_store::{BundleStore, Manifest};
 
 use crate::cache::{CacheOutcome, ResponseCache};
 use crate::engine::{error_response, Engine, QueryRequest};
-use crate::index::{build_index, generation_of, load_index, save_index, IndexReject, QueryConfig};
+use crate::index::{
+    build_index, build_index_subset, fold_indexes, generation_of, load_index, load_index_any,
+    save_index, IndexReject, QueryConfig, QueryIndex, INDEX_FILE,
+};
+
+/// How often a long-poll re-checks the engine for rows past its cursor.
+const LONG_POLL_TICK: Duration = Duration::from_millis(12);
 
 /// Tunables for one service instance.
 #[derive(Clone, Debug)]
@@ -88,8 +101,70 @@ pub struct QueryService {
     inner: Arc<ServiceInner>,
 }
 
-/// Load the persisted index when it verifies, rebuild from segments when
-/// it does not, and record which happened.
+/// Rebuild the whole index from segments, persist it, and record timing.
+fn rebuild_all(
+    store: &BundleStore,
+    config: &QueryConfig,
+    registry: &Registry,
+) -> std::io::Result<QueryIndex> {
+    let started = Instant::now();
+    let index = build_index(store, config)?;
+    registry
+        .histogram(names::QUERY_INDEX_BUILD_SECONDS)
+        .observe(started.elapsed().as_secs_f64());
+    registry.counter(names::QUERY_INDEX_REBUILDS).inc();
+    save_index(store.dir(), &index)?;
+    Ok(index)
+}
+
+/// Try to absorb a generation change by folding only the manifest delta
+/// into `base` (an index built for an earlier generation of the same
+/// store). Returns `Ok(None)` when the delta is not foldable — a covered
+/// segment left the serving or quarantine list, or the base itself is
+/// incomplete — and the caller must rebuild from scratch.
+///
+/// The fold scans only the *new* segments and merges their partial with
+/// the base through the same associative merge the full build uses, so
+/// the result is byte-identical to a from-scratch rebuild (the invariant
+/// `tests/live_fold_props.rs` pins).
+fn fold_from_base(
+    store: &BundleStore,
+    base: QueryIndex,
+    generation: &str,
+    config: &QueryConfig,
+    registry: &Registry,
+) -> std::io::Result<Option<QueryIndex>> {
+    // A base that skipped segments (degraded build) or predates per-file
+    // coverage tracking cannot prove what it already scanned: folding
+    // would bake the gap in forever, so rebuild instead.
+    if base.coverage.segments_failed > 0
+        || base.segment_files.len() as u64 != base.coverage.segments_total
+    {
+        return Ok(None);
+    }
+    let Some(delta) = store
+        .manifest()
+        .delta_from(&base.segment_files, &base.quarantined_files)
+    else {
+        return Ok(None);
+    };
+    let started = Instant::now();
+    let delta_index =
+        build_index_subset(store, config, &delta.new_serving, &delta.new_quarantined)?;
+    let folded = fold_indexes(generation, vec![base, delta_index], config);
+    registry.counter(names::QUERY_INDEX_FOLDS).inc();
+    registry
+        .counter(names::QUERY_INDEX_FOLD_SEGMENTS)
+        .add(delta.len() as u64);
+    registry
+        .histogram(names::QUERY_INDEX_FOLD_SECONDS)
+        .observe(started.elapsed().as_secs_f64());
+    Ok(Some(folded))
+}
+
+/// Load the persisted index when it verifies, fold forward when it is
+/// merely stale, rebuild from segments only when neither works, and
+/// record which happened.
 fn load_or_build(
     store: &BundleStore,
     config: &QueryConfig,
@@ -101,18 +176,29 @@ fn load_or_build(
             registry.counter(names::QUERY_INDEX_LOADS).inc();
             index
         }
+        Err(IndexReject::StaleGeneration { .. }) => {
+            // The frame is intact, just older: fold the manifest delta
+            // into it instead of rescanning the world.
+            let folded = match load_index_any(store.dir(), INDEX_FILE) {
+                Ok(base) => fold_from_base(store, base, &generation, config, registry)?,
+                Err(_) => None,
+            };
+            match folded {
+                Some(folded) => {
+                    save_index(store.dir(), &folded)?;
+                    folded
+                }
+                None => {
+                    registry.counter(names::QUERY_INDEX_FULL_REBUILDS).inc();
+                    rebuild_all(store, config, registry)?
+                }
+            }
+        }
         Err(reject) => {
             if reject != IndexReject::Missing {
                 registry.counter(names::QUERY_INDEX_REJECTED).inc();
             }
-            let started = Instant::now();
-            let index = build_index(store, config)?;
-            registry
-                .histogram(names::QUERY_INDEX_BUILD_SECONDS)
-                .observe(started.elapsed().as_secs_f64());
-            registry.counter(names::QUERY_INDEX_REBUILDS).inc();
-            save_index(store.dir(), &index)?;
-            index
+            rebuild_all(store, config, registry)?
         }
     };
     if index.coverage.segments_failed > 0 {
@@ -177,13 +263,38 @@ impl QueryService {
     fn reload_inner(&self) -> std::io::Result<bool> {
         let manifest = Manifest::load(&self.inner.config.store_dir)?;
         let generation = generation_of(&manifest);
+        // Same generation (including a no-op manifest touch): nothing to
+        // do, and crucially the response cache — whose keys are
+        // generation-prefixed — keeps every warm entry.
         if *self.inner.engine.read().generation() == generation {
             return Ok(false);
         }
         let store = BundleStore::open(&self.inner.config.store_dir)?;
-        let engine = load_or_build(&store, &self.inner.config.query, &self.inner.registry)?;
-        *self.inner.engine.write() = Arc::new(engine);
-        self.inner.registry.counter(names::QUERY_RELOADS).inc();
+        let generation = generation_of(store.manifest());
+        let registry = &self.inner.registry;
+        let config = &self.inner.config.query;
+        // Fold forward from the index already in memory — the common
+        // seal-only case scans just the new segments. Anything else
+        // (compaction, quarantine of a covered segment) falls back to a
+        // full rebuild.
+        let base = self.inner.engine.read().index().clone();
+        let index = match fold_from_base(&store, base, &generation, config, registry)? {
+            Some(folded) => {
+                save_index(store.dir(), &folded)?;
+                folded
+            }
+            None => {
+                registry.counter(names::QUERY_INDEX_FULL_REBUILDS).inc();
+                rebuild_all(&store, config, registry)?
+            }
+        };
+        if index.coverage.segments_failed > 0 {
+            registry
+                .counter(names::QUERY_INDEX_SEGMENTS_FAILED)
+                .add(index.coverage.segments_failed);
+        }
+        *self.inner.engine.write() = Arc::new(Engine::new(Arc::new(index)));
+        registry.counter(names::QUERY_RELOADS).inc();
         Ok(true)
     }
 
@@ -244,11 +355,57 @@ impl QueryService {
                 .header("retry-after", "1");
         };
 
+        let parsed = QueryRequest::parse(endpoint, &request);
+
+        // Live long-poll: before taking the answering snapshot, wait
+        // (bounded by the request's `wait_ms`) for a reload to fold in
+        // rows past the caller's cursor. The wait itself holds no lock —
+        // each tick re-reads the freshest engine.
+        if let Ok(QueryRequest::Live {
+            after_slot,
+            after_id,
+            wait_ms,
+            ..
+        }) = &parsed
+        {
+            inner.registry.counter(names::QUERY_LIVE_REQUESTS).inc();
+            if *wait_ms > 0 {
+                inner.registry.counter(names::QUERY_LIVE_LONG_POLLS).inc();
+                let waited = Instant::now();
+                let deadline = Duration::from_millis(*wait_ms);
+                while inner.engine.read().live_rows_after(*after_slot, after_id) == 0
+                    && waited.elapsed() < deadline
+                {
+                    tokio::time::sleep(LONG_POLL_TICK).await;
+                }
+                inner
+                    .registry
+                    .histogram(names::QUERY_LIVE_WAIT_SECONDS)
+                    .observe(waited.elapsed().as_secs_f64());
+            }
+        }
+
         // One engine snapshot per request: everything below answers from
         // this generation, reloads notwithstanding.
         let engine: Arc<Engine> = inner.engine.read().clone();
 
-        let response = match QueryRequest::parse(endpoint, &request) {
+        if let Ok(QueryRequest::Live {
+            after_slot,
+            after_id,
+            limit,
+            ..
+        }) = &parsed
+        {
+            let rows = engine.live_rows_after(*after_slot, after_id).min(*limit);
+            if rows > 0 {
+                inner
+                    .registry
+                    .counter(names::QUERY_LIVE_ROWS)
+                    .add(rows as u64);
+            }
+        }
+
+        let response = match parsed {
             Err(message) => {
                 // Invalid parameters never reach the cache.
                 let cached = error_response(400, message);
@@ -293,13 +450,14 @@ impl QueryService {
 
     /// The API router (plus `GET /metrics` from the shared registry).
     pub fn router(&self) -> Router {
-        let endpoints: [(&'static str, &'static str); 6] = [
+        let endpoints: [(&'static str, &'static str); 7] = [
             ("summary", "/api/summary"),
             ("days", "/api/days"),
             ("attackers", "/api/attackers"),
             ("attacker", "/api/attacker/{pubkey}"),
             ("pool", "/api/pool/{mint}"),
             ("sandwiches", "/api/sandwiches"),
+            ("live", "/api/live"),
         ];
         let mut router = Router::new();
         for (endpoint, path) in endpoints {
@@ -421,6 +579,160 @@ mod tests {
         assert_eq!(registry.snapshot().counter(names::QUERY_RELOADS), Some(1));
 
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reload_folds_the_delta_instead_of_rebuilding() {
+        let dir = seed_store("fold", 2);
+        let registry = Registry::new();
+        let service = QueryService::open(QueryServiceConfig::new(&dir), registry.clone()).unwrap();
+        assert_eq!(
+            registry.snapshot().counter(names::QUERY_INDEX_REBUILDS),
+            Some(1),
+            "cold open builds once"
+        );
+
+        // Seal two more segments and reload: the new generation must be
+        // absorbed by folding exactly the delta, not rebuilding.
+        let sealed = Manifest::load(&dir).unwrap().segments;
+        let mut w = StoreWriter::resume(&dir, &sealed).unwrap();
+        for seg in 2..4u64 {
+            let bundles: Vec<_> = (0..10)
+                .map(|i| bundle(seg * 100 + i, seg * 50 + i, 30_000))
+                .collect();
+            w.seal_segment(bundles, Vec::new(), Vec::new()).unwrap();
+        }
+        assert!(service.reload().unwrap());
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter(names::QUERY_INDEX_FOLDS), Some(1));
+        assert_eq!(snap.counter(names::QUERY_INDEX_FOLD_SEGMENTS), Some(2));
+        assert_eq!(
+            snap.counter(names::QUERY_INDEX_REBUILDS),
+            Some(1),
+            "still just the cold build"
+        );
+        assert_eq!(snap.counter(names::QUERY_INDEX_FULL_REBUILDS), None);
+
+        // The folded index is byte-identical to a from-scratch build.
+        let store = BundleStore::open(&dir).unwrap();
+        let full = build_index(&store, &QueryServiceConfig::new(&dir).query).unwrap();
+        let folded = service.engine_snapshot().index().clone();
+        assert_eq!(
+            serde_json::to_string(&folded).unwrap(),
+            serde_json::to_string(&full).unwrap()
+        );
+
+        // The fold was persisted: a cold reopen is a pure load.
+        let r2 = Registry::new();
+        let reopened = QueryService::open(QueryServiceConfig::new(&dir), r2.clone()).unwrap();
+        assert_eq!(reopened.generation(), service.generation());
+        assert_eq!(r2.snapshot().counter(names::QUERY_INDEX_LOADS), Some(1));
+        assert_eq!(r2.snapshot().counter(names::QUERY_INDEX_REBUILDS), None);
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopen_after_seal_folds_the_stale_persisted_index_forward() {
+        let dir = seed_store("stalefold", 2);
+        QueryService::open(QueryServiceConfig::new(&dir), Registry::new()).unwrap();
+
+        // Seal while no service is running: the persisted index is now
+        // one generation stale. A fresh open folds it forward.
+        let sealed = Manifest::load(&dir).unwrap().segments;
+        let mut w = StoreWriter::resume(&dir, &sealed).unwrap();
+        w.seal_segment(vec![bundle(999, 500, 30_000)], Vec::new(), Vec::new())
+            .unwrap();
+
+        let registry = Registry::new();
+        let service = QueryService::open(QueryServiceConfig::new(&dir), registry.clone()).unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter(names::QUERY_INDEX_FOLDS), Some(1));
+        assert_eq!(snap.counter(names::QUERY_INDEX_FOLD_SEGMENTS), Some(1));
+        assert_eq!(
+            snap.counter(names::QUERY_INDEX_REBUILDS),
+            None,
+            "no rescan of old segments"
+        );
+        assert_eq!(snap.counter(names::QUERY_INDEX_FULL_REBUILDS), None);
+
+        let store = BundleStore::open(&dir).unwrap();
+        let full = build_index(&store, &QueryServiceConfig::new(&dir).query).unwrap();
+        assert_eq!(
+            serde_json::to_string(service.engine_snapshot().index()).unwrap(),
+            serde_json::to_string(&full).unwrap()
+        );
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn noop_manifest_touch_keeps_the_response_cache_warm() {
+        block_on(async {
+            let dir = seed_store("touch", 1);
+            let registry = Registry::new();
+            let service =
+                QueryService::open(QueryServiceConfig::new(&dir), registry.clone()).unwrap();
+            let server = Server::bind("127.0.0.1:0", service.router()).await.unwrap();
+            let client = HttpClient::new(server.local_addr());
+
+            let first = client.get("/api/summary").await.unwrap();
+            let warm = client.get("/api/summary").await.unwrap();
+            assert_eq!(first.body, warm.body);
+            assert_eq!(
+                registry.snapshot().counter(names::QUERY_CACHE_HITS),
+                Some(1)
+            );
+
+            // Rewrite the manifest byte-for-byte (a no-op touch): the
+            // generation is unchanged, so the reload must not swap the
+            // engine, and every warm cache entry must stay warm.
+            let manifest_path = dir.join(sandwich_store::MANIFEST_FILE);
+            let bytes = std::fs::read(&manifest_path).unwrap();
+            std::fs::write(&manifest_path, &bytes).unwrap();
+            assert!(!service.reload().unwrap());
+
+            let still_warm = client.get("/api/summary").await.unwrap();
+            assert_eq!(first.body, still_warm.body);
+            let snap = registry.snapshot();
+            assert_eq!(snap.counter(names::QUERY_CACHE_HITS), Some(2));
+            assert_eq!(snap.counter(names::QUERY_CACHE_MISSES), Some(1));
+            assert_eq!(snap.counter(names::QUERY_RELOADS), None);
+
+            server.shutdown().await;
+            std::fs::remove_dir_all(&dir).unwrap();
+        });
+    }
+
+    #[test]
+    fn live_long_poll_answers_when_a_reload_folds_rows_in() {
+        block_on(async {
+            let dir = seed_store("livepoll", 1);
+            let registry = Registry::new();
+            let service =
+                QueryService::open(QueryServiceConfig::new(&dir), registry.clone()).unwrap();
+            let server = Server::bind("127.0.0.1:0", service.router()).await.unwrap();
+            let client = HttpClient::new(server.local_addr());
+
+            // Page-poll from the origin: 200 with an opaque cursor, no rows
+            // (the seeded bundles are not sandwiches).
+            let page = client.get("/api/live?limit=10").await.unwrap();
+            assert_eq!(page.status, 200);
+            let text = String::from_utf8_lossy(&page.body).to_string();
+            assert!(text.contains("\"cursor\":\"v1."), "{text}");
+            assert!(text.contains("\"total_after\":0"), "{text}");
+
+            // Long-poll with a short bound: returns (empty) after the
+            // wait rather than hanging.
+            let waited = client.get("/api/live?wait_ms=60").await.unwrap();
+            assert_eq!(waited.status, 200);
+            let snap = registry.snapshot();
+            assert_eq!(snap.counter(names::QUERY_LIVE_LONG_POLLS), Some(1));
+            assert!(snap.counter(names::QUERY_LIVE_REQUESTS) >= Some(2));
+
+            server.shutdown().await;
+            std::fs::remove_dir_all(&dir).unwrap();
+        });
     }
 
     #[test]

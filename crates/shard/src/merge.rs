@@ -29,8 +29,8 @@ use std::collections::{BTreeSet, HashMap};
 use serde::{Deserialize, Serialize};
 
 use sandwich_query::{
-    sort_attacker_entries, sort_pool_entries, AttackerEntry, DayRollup, IndexCoverage, IndexTotals,
-    PoolEntry, SandwichRef,
+    sort_attacker_entries, sort_pool_entries, window_minutes, AttackerEntry, DayRollup,
+    IndexCoverage, IndexTotals, LiveMinute, PoolEntry, SandwichRef,
 };
 use sandwich_types::Pubkey;
 
@@ -104,6 +104,21 @@ pub struct RangePartial {
     pub total: u64,
     /// The first `min(total, need)` in-range refs, slot order.
     pub refs: Vec<SandwichRef>,
+}
+
+/// Shard partial for `GET /api/live`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LivePartial {
+    /// Store generation this shard answered for.
+    pub generation: String,
+    /// This shard's newest indexed slot (its contribution to the tip).
+    pub tip_slot: u64,
+    /// Sandwiches strictly after the cursor on this shard (full count).
+    pub total_after: u64,
+    /// The first `min(total_after, need)` post-cursor refs, slot order.
+    pub refs: Vec<SandwichRef>,
+    /// This shard's rolling per-minute window at its own tip.
+    pub minutes: Vec<LiveMinute>,
 }
 
 /// Field-wise sum of shard coverage blocks. Because the shard map
@@ -248,4 +263,26 @@ pub fn merge_range(parts: Vec<RangePartial>) -> (usize, Vec<SandwichRef>) {
     let mut refs: Vec<SandwichRef> = parts.into_iter().flat_map(|p| p.refs).collect();
     refs.sort_by_key(|a| (a.slot, a.bundle_id.0));
     (total, refs)
+}
+
+/// Merge live partials into the global tail page inputs: the tip is the
+/// max of shard tips, the post-cursor total the sum, the rows the
+/// slot-ordered union of the shipped prefixes (the same prefix property
+/// as [`merge_range`] — each shard ships at least as many post-cursor
+/// refs as the page can use), and the minute window is the per-minute
+/// sum re-windowed at the global tip. Every shard's window is a superset
+/// of its contribution to the global window (its tip is ≤ the global
+/// tip, so its window starts at or before the global window's start).
+pub fn merge_live(parts: Vec<LivePartial>) -> (u64, usize, Vec<SandwichRef>, Vec<LiveMinute>) {
+    let tip = parts.iter().map(|p| p.tip_slot).max().unwrap_or(0);
+    let total_after: usize = parts.iter().map(|p| p.total_after as usize).sum();
+    let mut refs = Vec::new();
+    let mut minutes = Vec::new();
+    for p in parts {
+        refs.extend(p.refs);
+        minutes.extend(p.minutes);
+    }
+    refs.sort_by_key(|a| (a.slot, a.bundle_id.0));
+    let minutes = window_minutes(minutes, tip);
+    (tip, total_after, refs, minutes)
 }

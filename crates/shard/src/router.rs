@@ -26,13 +26,19 @@ use serde::de::DeserializeOwned;
 use sandwich_net::{HttpClient, Method, Request, Response, Router};
 use sandwich_obs::{names, Registry};
 use sandwich_query::render::{self, error_response, DETAIL_REF_CAP};
-use sandwich_query::{CacheOutcome, CachedResponse, QueryRequest, ResponseCache};
+use sandwich_query::{CacheOutcome, CachedResponse, QueryRequest, ResponseCache, SandwichRef};
+use sandwich_types::Hash;
 
 use crate::merge::{
-    distinct_count, merge_attackers, merge_coverage, merge_days, merge_pools, merge_range,
-    merge_recent, merge_totals, AttackerDetailPartial, AttackersPartial, DaysPartial,
-    PoolDetailPartial, RangePartial, SummaryPartial,
+    distinct_count, merge_attackers, merge_coverage, merge_days, merge_live, merge_pools,
+    merge_range, merge_recent, merge_totals, AttackerDetailPartial, AttackersPartial, DaysPartial,
+    LivePartial, PoolDetailPartial, RangePartial, SummaryPartial,
 };
+
+/// How often a router long-poll re-fans out looking for rows past the
+/// cursor (coarser than the single-engine tick: each probe costs a
+/// scatter-gather).
+const LONG_POLL_TICK: Duration = Duration::from_millis(25);
 
 /// Tunables for the scatter-gather router.
 #[derive(Clone, Debug)]
@@ -79,7 +85,8 @@ impl_partial!(
     AttackersPartial,
     AttackerDetailPartial,
     PoolDetailPartial,
-    RangePartial
+    RangePartial,
+    LivePartial
 );
 
 struct RouterInner {
@@ -244,6 +251,48 @@ impl RouterService {
         Ok(partials.into_iter().flatten().collect())
     }
 
+    /// One `/api/live` scatter-gather, returning the rendered page plus
+    /// the number of rows it carries (the long-poll loop needs the count
+    /// without re-parsing the body). A failed fan-out returns the 503
+    /// with a zero count.
+    async fn evaluate_live(
+        &self,
+        generation: &str,
+        after_slot: u64,
+        after_id: &Hash,
+        limit: usize,
+    ) -> (CachedResponse, usize) {
+        let parts: Vec<LivePartial> = match self
+            .fetch(
+                format!("/shard/live?after_slot={after_slot}&after_id={after_id}&need={limit}"),
+                generation,
+            )
+            .await
+        {
+            Ok(parts) => parts,
+            Err(failed) => return (failed, 0),
+        };
+        let started = Instant::now();
+        let (tip, total_after, refs, minutes) = merge_live(parts);
+        let rows: Vec<SandwichRef> = refs.into_iter().take(limit).collect();
+        let count = rows.len();
+        let response = render::live_page(
+            generation,
+            after_slot,
+            after_id,
+            tip,
+            total_after,
+            limit,
+            rows,
+            minutes,
+        );
+        self.inner
+            .registry
+            .histogram(names::QUERY_SHARD_MERGE_SECONDS)
+            .observe(started.elapsed().as_secs_f64());
+        (response, count)
+    }
+
     /// Scatter, gather, merge, render: one `/api/*` answer at `generation`.
     async fn evaluate(&self, generation: &str, query: &QueryRequest) -> CachedResponse {
         let registry = self.inner.registry.clone();
@@ -396,6 +445,16 @@ impl RouterService {
                 merged_at(started);
                 response
             }
+            QueryRequest::Live {
+                after_slot,
+                after_id,
+                limit,
+                ..
+            } => {
+                self.evaluate_live(generation, *after_slot, after_id, *limit)
+                    .await
+                    .0
+            }
         }
     }
 
@@ -414,7 +473,55 @@ impl RouterService {
         // One generation per request: every shard must answer at it.
         let generation = self.generation();
 
-        let (cached, outcome, evicted, key) = match QueryRequest::parse(endpoint, &request) {
+        let parsed = QueryRequest::parse(endpoint, &request);
+
+        // Live long-poll: uncached bounded retry loop. Each probe re-reads
+        // the router generation (a reload may land mid-wait) and re-fans
+        // out; the loop answers as soon as a probe carries rows, or with
+        // the final probe's response at the deadline (including a 503
+        // when the fan-out is failing — the client's retry signal).
+        if let Ok(QueryRequest::Live {
+            after_slot,
+            after_id,
+            limit,
+            wait_ms,
+        }) = &parsed
+        {
+            inner.registry.counter(names::QUERY_LIVE_REQUESTS).inc();
+            if *wait_ms > 0 {
+                inner.registry.counter(names::QUERY_LIVE_LONG_POLLS).inc();
+                let waited = Instant::now();
+                let deadline = Duration::from_millis(*wait_ms);
+                loop {
+                    let generation = self.generation();
+                    let (response, rows) = self
+                        .evaluate_live(&generation, *after_slot, after_id, *limit)
+                        .await;
+                    if rows > 0 || waited.elapsed() >= deadline {
+                        if rows > 0 {
+                            inner
+                                .registry
+                                .counter(names::QUERY_LIVE_ROWS)
+                                .add(rows as u64);
+                        }
+                        inner
+                            .registry
+                            .histogram(names::QUERY_LIVE_WAIT_SECONDS)
+                            .observe(waited.elapsed().as_secs_f64());
+                        inner
+                            .registry
+                            .histogram(&format!("{}{endpoint}", names::QUERY_SECONDS_PREFIX))
+                            .observe(timer.elapsed().as_secs_f64());
+                        return Response::new(response.status, response.body.clone())
+                            .header("content-type", &response.content_type)
+                            .header("x-query-generation", &generation);
+                    }
+                    tokio::time::sleep(LONG_POLL_TICK).await;
+                }
+            }
+        }
+
+        let (cached, outcome, evicted, key) = match parsed {
             Err(message) => (
                 Arc::new(error_response(400, message)),
                 CacheOutcome::Miss,
@@ -514,13 +621,14 @@ impl RouterService {
 
     /// The public `/api/*` router (plus health probes and `/metrics`).
     pub fn router(&self) -> Router {
-        let endpoints: [(&'static str, &'static str); 6] = [
+        let endpoints: [(&'static str, &'static str); 7] = [
             ("summary", "/api/summary"),
             ("days", "/api/days"),
             ("attackers", "/api/attackers"),
             ("attacker", "/api/attacker/{pubkey}"),
             ("pool", "/api/pool/{mint}"),
             ("sandwiches", "/api/sandwiches"),
+            ("live", "/api/live"),
         ];
         let mut router = Router::new();
         for (endpoint, path) in endpoints {

@@ -20,16 +20,17 @@ use sandwich_net::{Method, Request, Response, Router};
 use sandwich_obs::{names, Registry};
 use sandwich_query::render::{error_response, DETAIL_REF_CAP};
 use sandwich_query::{
-    build_index_subset, generation_of, load_index_as, save_index_as, AttackerEntry, CachedResponse,
-    Engine, PoolEntry, QueryConfig, ResponseCache, SandwichRef,
+    build_index_subset, first_ref_after_cursor, generation_of, live_minutes, load_index_as,
+    save_index_as, AttackerEntry, CachedResponse, Engine, PoolEntry, QueryConfig, ResponseCache,
+    SandwichRef,
 };
 use sandwich_store::BundleStore;
-use sandwich_types::Pubkey;
+use sandwich_types::{Hash, Pubkey};
 
 use crate::map::ShardMap;
 use crate::merge::{
-    AttackerDetailPartial, AttackersPartial, DaysPartial, PoolDetailPartial, RangePartial,
-    SummaryPartial,
+    AttackerDetailPartial, AttackersPartial, DaysPartial, LivePartial, PoolDetailPartial,
+    RangePartial, SummaryPartial,
 };
 
 /// File name of one shard's persisted index: qualified by shard id, shard
@@ -84,6 +85,11 @@ enum ShardQuery {
         to_slot: u64,
         need: usize,
     },
+    Live {
+        after_slot: u64,
+        after_id: Hash,
+        need: usize,
+    },
 }
 
 impl ShardQuery {
@@ -100,6 +106,11 @@ impl ShardQuery {
                 to_slot,
                 need,
             } => format!("sandwiches?from={from_slot}&to={to_slot}&need={need}"),
+            ShardQuery::Live {
+                after_slot,
+                after_id,
+                need,
+            } => format!("live?after={after_slot:016x}.{after_id}&need={need}"),
         }
     }
 }
@@ -339,6 +350,25 @@ impl ShardService {
         })
     }
 
+    fn live_partial(
+        engine: &Engine,
+        after_slot: u64,
+        after_id: &Hash,
+        need: usize,
+    ) -> CachedResponse {
+        let index = engine.index();
+        let refs = &index.refs;
+        let start = first_ref_after_cursor(refs, after_slot, after_id);
+        let after = &refs[start..];
+        Self::json(&LivePartial {
+            generation: engine.generation().to_string(),
+            tip_slot: index.totals.max_slot,
+            total_after: after.len() as u64,
+            refs: after.iter().take(need).cloned().collect(),
+            minutes: live_minutes(refs, index.totals.max_slot),
+        })
+    }
+
     async fn handle(&self, kind: &'static str, request: Request) -> Response {
         let engine = self.engine();
         let generation = engine.generation().to_string();
@@ -379,6 +409,33 @@ impl ShardService {
                     (Err(e), ..) | (_, Err(e), _) | (_, _, Err(e)) => Err(e),
                 }
             }
+            "live" => {
+                let after_slot = match request.query.get("after_slot") {
+                    None => Ok(0),
+                    Some(raw) => raw.parse::<u64>().map_err(|_| {
+                        "query parameter \"after_slot\" must be an integer".to_string()
+                    }),
+                };
+                let after_id = match request.query.get("after_id") {
+                    None => Ok(Hash([0u8; 32])),
+                    Some(raw) => Hash::from_base58(raw)
+                        .ok_or_else(|| "query parameter \"after_id\" must be base58".to_string()),
+                };
+                let need = match request.query.get("need") {
+                    None => Ok(usize::MAX),
+                    Some(raw) => raw
+                        .parse::<usize>()
+                        .map_err(|_| "query parameter \"need\" must be an integer".to_string()),
+                };
+                match (after_slot, after_id, need) {
+                    (Ok(after_slot), Ok(after_id), Ok(need)) => Ok(ShardQuery::Live {
+                        after_slot,
+                        after_id,
+                        need,
+                    }),
+                    (Err(e), ..) | (_, Err(e), _) | (_, _, Err(e)) => Err(e),
+                }
+            }
             other => Err(format!("unknown shard endpoint {other:?}")),
         };
 
@@ -407,6 +464,11 @@ impl ShardService {
                             to_slot,
                             need,
                         } => Self::range_partial(&engine, from_slot, to_slot, need),
+                        ShardQuery::Live {
+                            after_slot,
+                            after_id,
+                            need,
+                        } => Self::live_partial(&engine, after_slot, &after_id, need),
                     }
                 };
                 let (cached, _outcome, _evicted) =
@@ -449,13 +511,14 @@ impl ShardService {
 
     /// The partial API router (plus `GET /metrics` from the registry).
     pub fn router(&self) -> Router {
-        let endpoints: [(&'static str, &'static str); 6] = [
+        let endpoints: [(&'static str, &'static str); 7] = [
             ("summary", "/shard/summary"),
             ("days", "/shard/days"),
             ("attackers", "/shard/attackers"),
             ("attacker", "/shard/attacker/{pubkey}"),
             ("pool", "/shard/pool/{mint}"),
             ("sandwiches", "/shard/sandwiches"),
+            ("live", "/shard/live"),
         ];
         let mut router = Router::new();
         for (kind, path) in endpoints {

@@ -49,7 +49,9 @@ pub use codec::{CorruptSegment, SegmentData};
 pub use column::{Columns, LinkedColumns, META_C1, META_C2, META_LINKED, META_TXC_MASK};
 pub use crash::{is_injected_crash, CrashPlan};
 pub use doctor::{DoctorReport, SegmentCheckReport, SegmentHealth};
-pub use manifest::{Manifest, QuarantinedSegment, SegmentMeta, MANIFEST_FILE};
+pub use manifest::{
+    Manifest, ManifestDelta, QuarantinedSegment, SealWatcher, SegmentMeta, MANIFEST_FILE,
+};
 pub use mmap::Mapped;
 pub use rebalance::{rebalance, RebalanceConfig, RebalanceReport};
 pub use records::{CollectedBundle, CollectedDetail, PollRecord};

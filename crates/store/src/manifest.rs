@@ -165,6 +165,131 @@ impl Manifest {
     }
 }
 
+/// What changed between a previously indexed manifest snapshot and the
+/// current one, expressed as indexes into the current lists. `None` from
+/// [`Manifest::delta_from`] means the history is not append-only (a
+/// covered segment was removed, quarantined, or un-quarantined) and an
+/// incremental consumer must rebuild from scratch.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ManifestDelta {
+    /// Indexes into [`Manifest::segments`] of newly sealed segments.
+    pub new_serving: Vec<usize>,
+    /// Indexes into [`Manifest::quarantined`] of segments quarantined
+    /// since the snapshot (and never covered while serving).
+    pub new_quarantined: Vec<usize>,
+}
+
+impl ManifestDelta {
+    /// `true` when nothing changed (the generation moved for another
+    /// reason, or the caller diffed against itself).
+    pub fn is_empty(&self) -> bool {
+        self.new_serving.is_empty() && self.new_quarantined.is_empty()
+    }
+
+    /// Segments in the delta, serving plus quarantined.
+    pub fn len(&self) -> usize {
+        self.new_serving.len() + self.new_quarantined.len()
+    }
+}
+
+impl Manifest {
+    /// Diff this manifest against a previously covered snapshot, given as
+    /// the file names the consumer already folded (`covered_serving` from
+    /// the serving list, `covered_quarantined` from the quarantine list).
+    ///
+    /// Returns the strictly-new work when the history is append-only:
+    /// every covered serving file is still serving and every covered
+    /// quarantined file is still quarantined. Any other shape — a covered
+    /// segment deleted, moved into quarantine, or resurrected — returns
+    /// `None`, because folded aggregates cannot be subtracted.
+    pub fn delta_from(
+        &self,
+        covered_serving: &[String],
+        covered_quarantined: &[String],
+    ) -> Option<ManifestDelta> {
+        let serving: std::collections::BTreeSet<&str> =
+            covered_serving.iter().map(String::as_str).collect();
+        let quarantined: std::collections::BTreeSet<&str> =
+            covered_quarantined.iter().map(String::as_str).collect();
+
+        let current_serving: std::collections::BTreeSet<&str> =
+            self.segments.iter().map(|s| s.file.as_str()).collect();
+        let current_quarantined: std::collections::BTreeSet<&str> = self
+            .quarantined()
+            .iter()
+            .map(|q| q.meta.file.as_str())
+            .collect();
+        if !serving.iter().all(|f| current_serving.contains(f))
+            || !quarantined.iter().all(|f| current_quarantined.contains(f))
+        {
+            return None;
+        }
+
+        let mut delta = ManifestDelta::default();
+        for (i, meta) in self.segments.iter().enumerate() {
+            let file = meta.file.as_str();
+            if quarantined.contains(file) {
+                return None; // resurrected from quarantine: not foldable
+            }
+            if !serving.contains(file) {
+                delta.new_serving.push(i);
+            }
+        }
+        for (i, q) in self.quarantined().iter().enumerate() {
+            let file = q.meta.file.as_str();
+            if serving.contains(file) {
+                return None; // covered while serving, now quarantined
+            }
+            if !quarantined.contains(file) {
+                delta.new_quarantined.push(i);
+            }
+        }
+        Some(delta)
+    }
+}
+
+/// Cheap stat-based change detection on the manifest file, for daemon
+/// reload loops: `changed()` is true the first time and whenever the
+/// manifest's `(len, mtime)` differs from the last observation, so an
+/// idle loop skips even the manifest parse. A same-byte rewrite (touch)
+/// still reports changed — the caller's generation check makes that a
+/// no-op without invalidating anything.
+#[derive(Debug)]
+pub struct SealWatcher {
+    path: PathBuf,
+    last: Option<(u64, std::time::SystemTime)>,
+}
+
+impl SealWatcher {
+    /// Watch the manifest inside store directory `dir`.
+    pub fn new(dir: &Path) -> SealWatcher {
+        SealWatcher {
+            path: dir.join(MANIFEST_FILE),
+            last: None,
+        }
+    }
+
+    /// Re-stat the manifest; `true` when it looks different from the last
+    /// call (or on the first call, or when the stat fails — the caller's
+    /// reload surfaces the real error).
+    pub fn changed(&mut self) -> bool {
+        let stat = std::fs::metadata(&self.path)
+            .and_then(|m| Ok((m.len(), m.modified()?)))
+            .ok();
+        match stat {
+            None => {
+                self.last = None;
+                true
+            }
+            Some(observed) => {
+                let changed = self.last != Some(observed);
+                self.last = Some(observed);
+                changed
+            }
+        }
+    }
+}
+
 /// Parse the numeric index out of a `seg-NNNNN.seg` file name.
 pub(crate) fn parse_segment_index(name: &str) -> Option<usize> {
     name.strip_prefix("seg-")?
@@ -255,5 +380,66 @@ mod tests {
     #[test]
     fn next_index_is_zero_for_an_empty_manifest() {
         assert_eq!(Manifest::new().next_segment_index(), 0);
+    }
+
+    #[test]
+    fn delta_lists_only_new_segments() {
+        let mut m = Manifest::new();
+        m.segments.push(meta("seg-00000.seg", 10));
+        m.segments.push(meta("seg-00001.seg", 20));
+        let covered = vec!["seg-00000.seg".to_string()];
+        let delta = m.delta_from(&covered, &[]).unwrap();
+        assert_eq!(delta.new_serving, vec![1]);
+        assert!(delta.new_quarantined.is_empty());
+        assert_eq!(delta.len(), 1);
+
+        // Full coverage diffs to an empty delta.
+        let all = vec!["seg-00000.seg".to_string(), "seg-00001.seg".to_string()];
+        assert!(m.delta_from(&all, &[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn delta_refuses_non_append_only_histories() {
+        let mut m = Manifest::new();
+        m.segments.push(meta("seg-00000.seg", 10));
+        m.segments.push(meta("seg-00001.seg", 20));
+
+        // A covered segment that vanished entirely.
+        let gone = vec!["seg-00000.seg".to_string(), "seg-00009.seg".to_string()];
+        assert_eq!(m.delta_from(&gone, &[]), None);
+
+        // A covered serving segment moved into quarantine.
+        let covered = vec!["seg-00000.seg".to_string(), "seg-00001.seg".to_string()];
+        m.quarantine(0, "body_corrupt");
+        assert_eq!(m.delta_from(&covered, &[]), None);
+
+        // But a *new* quarantined segment (never covered) folds fine.
+        let delta = m.delta_from(&["seg-00001.seg".to_string()], &[]).unwrap();
+        assert!(delta.new_serving.is_empty());
+        assert_eq!(delta.new_quarantined, vec![0]);
+
+        // A covered quarantined segment resurrected to serving.
+        let mut back = Manifest::new();
+        back.segments.push(meta("seg-00000.seg", 10));
+        assert_eq!(back.delta_from(&[], &["seg-00000.seg".to_string()]), None);
+    }
+
+    #[test]
+    fn seal_watcher_reports_manifest_changes_once() {
+        let dir = tmp_dir("watcher");
+        let mut m = Manifest::new();
+        m.segments.push(meta("seg-00000.seg", 1));
+        m.save(&dir).unwrap();
+
+        let mut watcher = SealWatcher::new(&dir);
+        assert!(watcher.changed(), "first observation always fires");
+        assert!(!watcher.changed(), "no change, no fire");
+
+        // Growing the manifest fires exactly once.
+        m.segments.push(meta("seg-00001.seg", 2));
+        m.save(&dir).unwrap();
+        assert!(watcher.changed());
+        assert!(!watcher.changed());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

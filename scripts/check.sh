@@ -127,27 +127,59 @@ echo "==> query service tests (bounded)"
 timeout 420 cargo test --offline -p sandwich-query -q
 timeout 420 cargo test --offline -p sandwich-suite --test query_service -q
 
+# The live tail: fold-equivalence properties (any partition, any order,
+# mixed v1/v2 and quarantined segments in the delta), and the concurrency
+# test where a writer seals while clients long-poll /api/live — cursors
+# never skip or duplicate, and the index never falls back to a full
+# rebuild.
+echo "==> live tail tests (bounded)"
+timeout 420 cargo test --offline -p sandwich-suite --test live_fold_props -q
+timeout 420 cargo test --offline -p sandwich-suite --test live_tail -q
+
 # A short query_bench run drives the live service over real sockets: it
 # asserts the zipf cache-hit rate, byte-identical cached vs uncached
-# bodies, and persisted-index reuse on restart.
+# bodies, persisted-index reuse on restart, and the live-tail phase —
+# every seal folded (never rebuilt) into the serving index and visible on
+# /api/live within one seal.
 echo "==> query_bench smoke (bounded)"
 SANDWICH_DAYS=2 \
 SANDWICH_QUERY_STORE_DIR=target/query_smoke.store \
+SANDWICH_LIVE_STORE_DIR=target/query_smoke.live.store \
 SANDWICH_BENCH_OUT=target/BENCH_query_smoke.json \
 timeout 420 cargo run --offline --release -p sandwich-bench --bin query_bench
-for field in p50_ms p95_ms p99_ms throughput_rps zipf_cache_hit_rate; do
-  grep -q "\"$field\"" target/BENCH_query_smoke.json || {
-    echo "BENCH_query_smoke.json is missing \"$field\"" >&2
+gate_query_json() {
+  f="$1"
+  grep -q '"fold_only_reloads": true' "$f" || {
+    echo "$f: fold_only_reloads != true — a reload fell back to a full index rebuild" >&2
     exit 1
   }
-done
-if [ -f results/BENCH_query.json ]; then
+  grep -q '"full_rebuilds": 0' "$f" || {
+    echo "$f: full_rebuilds != 0 — the live phase rebuilt an index from scratch" >&2
+    exit 1
+  }
+  grep -q '"live_identical": true' "$f" || {
+    echo "$f: live_identical != true — router /api/live diverged from the single engine" >&2
+    exit 1
+  }
+  p99_seals=$(sed -n 's/.*"p99_freshness_seals": \([0-9][0-9]*\).*/\1/p' "$f")
+  if [ -z "$p99_seals" ] || [ "$p99_seals" -gt 1 ]; then
+    echo "$f: p99_freshness_seals '${p99_seals:-missing}' exceeds the 1-seal freshness bound" >&2
+    exit 1
+  fi
   for field in p50_ms p95_ms p99_ms throughput_rps; do
-    grep -q "\"$field\"" results/BENCH_query.json || {
-      echo "results/BENCH_query.json is missing \"$field\"" >&2
+    grep -q "\"$field\"" "$f" || {
+      echo "$f is missing \"$field\"" >&2
       exit 1
     }
   done
+}
+grep -q '"zipf_cache_hit_rate"' target/BENCH_query_smoke.json || {
+  echo "BENCH_query_smoke.json is missing \"zipf_cache_hit_rate\"" >&2
+  exit 1
+}
+gate_query_json target/BENCH_query_smoke.json
+if [ -f results/BENCH_query.json ]; then
+  gate_query_json results/BENCH_query.json
 fi
 
 # The sharded router: merge-layer properties, byte-identity across shard

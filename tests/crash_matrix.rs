@@ -12,6 +12,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use proptest::prelude::*;
 
 use sandwich_core::{scan_store, scan_store_degraded, AnalysisConfig};
+use sandwich_obs::{names, Registry};
+use sandwich_query::{
+    build_index, build_index_subset, fold_indexes, generation_of, load_index_any, save_index_with,
+    QueryService, QueryServiceConfig, INDEX_FILE,
+};
 use sandwich_store::segment::{encode_segment, encode_segment_v1, write_segment_file};
 use sandwich_store::{
     crash, doctor, is_injected_crash, BundleStore, CollectedBundle, CrashPlan, Manifest,
@@ -208,6 +213,112 @@ fn assert_recovered_or_quarantined(dir: &Path, reference: &str, context: &str) {
             "{context}: coverage must account for every bundle"
         );
     }
+}
+
+/// Every enumerated crash point of the fold-persist path (the durable
+/// rewrite of `query-index.bin` after an incremental fold), in both
+/// failure flavours, must leave an index file that is entirely the old
+/// generation or entirely the new one — never torn — and a service that
+/// reopens onto it must reach the new generation without a single full
+/// rebuild: a durable old index folds forward, a durable new index just
+/// loads.
+#[test]
+fn every_fold_persist_crash_point_leaves_a_servable_index() {
+    let base = scratch("foldbase");
+    let mut w = StoreWriter::create(&base).unwrap();
+    w.seal_segment(batch(1, 100, 30), Vec::new(), Vec::new())
+        .unwrap();
+    drop(w);
+    // Persist the generation-1 index the way the service does.
+    QueryService::open(QueryServiceConfig::new(&base), Registry::new()).unwrap();
+
+    // Seal a second segment: the persisted index is now one generation
+    // stale, exactly the state a reload folds out of.
+    let sealed = Manifest::load(&base).unwrap().segments;
+    let mut w = StoreWriter::resume(&base, &sealed).unwrap();
+    w.seal_segment(batch(2, 400, 30), Vec::new(), Vec::new())
+        .unwrap();
+    drop(w);
+
+    // Compute the folded generation-2 index through the public fold API
+    // and pin it against a from-scratch build.
+    let store = BundleStore::open(&base).unwrap();
+    let config = QueryServiceConfig::new(&base).query;
+    let generation = generation_of(store.manifest());
+    let old = load_index_any(&base, INDEX_FILE).unwrap();
+    let old_generation = old.generation.clone();
+    assert_ne!(old_generation, generation, "base index must be stale");
+    let delta = store
+        .manifest()
+        .delta_from(&old.segment_files, &old.quarantined_files)
+        .expect("append-only history must be foldable");
+    let delta_index =
+        build_index_subset(&store, &config, &delta.new_serving, &delta.new_quarantined).unwrap();
+    let folded = fold_indexes(&generation, vec![old, delta_index], &config);
+    let reference = serde_json::to_string(&build_index(&store, &config).unwrap()).unwrap();
+    assert_eq!(
+        serde_json::to_string(&folded).unwrap(),
+        reference,
+        "fold must be byte-identical to the full rebuild"
+    );
+
+    // Enumerate the crash points of one durable index rewrite.
+    let steps = {
+        let dir = scratch("foldcount");
+        copy_dir(&base, &dir);
+        let mut plan = CrashPlan::count();
+        save_index_with(&dir, &folded, INDEX_FILE, Some(&mut plan)).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+        plan.steps_seen()
+    };
+    assert!(steps >= 5, "expected >= 5 crash points, got {steps}");
+
+    for step in 0..steps {
+        for torn in [false, true] {
+            let dir = scratch("foldcase");
+            copy_dir(&base, &dir);
+            let mut plan = CrashPlan::crash_at(step, torn, 0xF01D ^ (step << 1) ^ torn as u64);
+            let err = save_index_with(&dir, &folded, INDEX_FILE, Some(&mut plan))
+                .expect_err("plan must fire");
+            assert!(is_injected_crash(&err), "step {step}: {err}");
+
+            // Atomicity: the durable frame is entirely old or entirely
+            // new, and always parses.
+            let durable = load_index_any(&dir, INDEX_FILE).unwrap_or_else(|reject| {
+                panic!("torn index after crash at step {step} torn={torn}: {reject:?}")
+            });
+            assert!(
+                durable.generation == generation || durable.generation == old_generation,
+                "unexpected durable generation {} at step {step}",
+                durable.generation
+            );
+
+            // Recovery: a fresh service reaches generation 2 without a
+            // full rebuild — old index folds forward, new index loads.
+            let registry = Registry::new();
+            let service =
+                QueryService::open(QueryServiceConfig::new(&dir), registry.clone()).unwrap();
+            assert_eq!(service.generation(), generation, "step {step} torn={torn}");
+            assert_eq!(
+                serde_json::to_string(service.engine_snapshot().index()).unwrap(),
+                reference,
+                "served index diverged at step {step} torn={torn}"
+            );
+            let snap = registry.snapshot();
+            assert_eq!(
+                snap.counter(names::QUERY_INDEX_FULL_REBUILDS),
+                None,
+                "full rebuild at step {step} torn={torn}"
+            );
+            assert_eq!(
+                snap.counter(names::QUERY_INDEX_REBUILDS),
+                None,
+                "segment rescan at step {step} torn={torn}"
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+    let _ = std::fs::remove_dir_all(&base);
 }
 
 proptest! {

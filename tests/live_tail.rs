@@ -1,0 +1,447 @@
+//! Live-tail concurrency test: a writer seals new segments (each
+//! carrying a planted sandwich) while clients long-poll `/api/live` and
+//! hammer the cached analytics endpoints. Three things must hold at
+//! once:
+//!
+//! 1. every hammered response byte-matches exactly one manifest
+//!    generation's reference evaluation (the torn-read guarantee from
+//!    `tests/query_service.rs`, extended to the live endpoint);
+//! 2. the live cursor never skips and never duplicates a sandwich, even
+//!    when the index it pages over is swapped mid-walk; and
+//! 3. the swap itself was an incremental fold — `query.index.
+//!    full_rebuilds` stays unset for the whole run.
+//!
+//! A final test checks the sharded router serves the same `/api/live`
+//! bytes as the single-engine service, so the streaming tail does not
+//! care which deployment shape sits behind it.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+use serde::Deserialize;
+
+use sandwich_jito::{bundle_id_of, tip_account};
+use sandwich_ledger::{SolDelta, TokenDelta, TransactionMeta};
+use sandwich_net::{HttpClient, Server};
+use sandwich_obs::{names, Registry};
+use sandwich_query::{LiveMinute, QueryService, QueryServiceConfig, SandwichRef};
+use sandwich_shard::{ClusterConfig, ServingCluster};
+use sandwich_store::{CollectedBundle, CollectedDetail, Manifest, StoreWriter};
+use sandwich_types::{Hash, Keypair, LamportDelta, Lamports, Pubkey, Signature, Slot};
+
+/// The wire shape of one `/api/live` page, deserialized for cursor
+/// walking. Field names mirror `render::live_page`.
+#[derive(Deserialize)]
+struct LivePage {
+    generation: String,
+    tip_slot: u64,
+    total_after: u64,
+    limit: u64,
+    more: bool,
+    cursor: String,
+    rows: Vec<SandwichRef>,
+    minutes: Vec<LiveMinute>,
+}
+
+fn plain_bundle(seed: u64, slot: u64, tip: u64) -> CollectedBundle {
+    let kp = Keypair::from_label("livetail");
+    CollectedBundle {
+        bundle_id: Hash::digest(&seed.to_le_bytes()),
+        slot: Slot(slot),
+        timestamp_ms: slot * 400,
+        tip: Lamports(tip),
+        tx_ids: vec![kp.sign(&seed.to_le_bytes())],
+    }
+}
+
+fn swap_meta(
+    tx_id: Signature,
+    signer: Pubkey,
+    mint: Pubkey,
+    sol_delta_trade: i64,
+    tokens: i128,
+    tip: u64,
+) -> TransactionMeta {
+    let fee = 5_000i64;
+    let mut sol_deltas = vec![SolDelta {
+        account: signer,
+        delta: LamportDelta(sol_delta_trade - fee - tip as i64),
+    }];
+    if tip > 0 {
+        sol_deltas.push(SolDelta {
+            account: tip_account(0),
+            delta: LamportDelta(tip as i64),
+        });
+    }
+    TransactionMeta {
+        tx_id,
+        signer,
+        fee: Lamports(fee as u64),
+        priority_fee: Lamports::ZERO,
+        success: true,
+        error: None,
+        sol_deltas,
+        token_deltas: vec![TokenDelta {
+            owner: signer,
+            mint,
+            delta: tokens,
+        }],
+    }
+}
+
+/// Plant one detectable sandwich at `slot`: attacker buys, victim buys
+/// at a strictly worse rate, attacker sells everything back at a profit
+/// with the Jito tip on the closing leg.
+fn sandwich(n: u64, slot: u64) -> (CollectedBundle, Vec<CollectedDetail>) {
+    let kp = Keypair::from_label("livetail-attacker");
+    let attacker = Pubkey::derive(&format!("livetail-attacker-{n}"));
+    let victim = Pubkey::derive(&format!("livetail-victim-{n}"));
+    let mint = Pubkey::derive(&format!("livetail-pool-{n}"));
+    let tx_ids: Vec<Signature> = (0..3u8)
+        .map(|t| kp.sign(&[n as u8, t, 0xA5, 0x11]))
+        .collect();
+    let sol_in = 2_000_000_000i64;
+    let tokens = 10_000i128;
+    let victim_sol = sol_in + 600_000_000;
+    let profit = 150_000_000;
+    let tip = 1_000_000u64;
+    let front = swap_meta(tx_ids[0], attacker, mint, -sol_in, tokens, 0);
+    let mid = swap_meta(tx_ids[1], victim, mint, -victim_sol, tokens, 0);
+    let back = swap_meta(tx_ids[2], attacker, mint, sol_in + profit, -tokens, tip);
+    let bundle_id = bundle_id_of(&tx_ids);
+    let details = [front, mid, back]
+        .into_iter()
+        .map(|meta| CollectedDetail {
+            bundle_id,
+            slot: Slot(slot),
+            meta,
+        })
+        .collect();
+    (
+        CollectedBundle {
+            bundle_id,
+            slot: Slot(slot),
+            timestamp_ms: slot * 400,
+            tip: Lamports(tip),
+            tx_ids,
+        },
+        details,
+    )
+}
+
+/// One segment's worth of traffic: `fill` plain bundles around one
+/// planted sandwich (sandwich `n`, landing mid-segment).
+fn segment_with_sandwich(
+    n: u64,
+    base_slot: u64,
+    fill: u64,
+) -> (Vec<CollectedBundle>, Vec<CollectedDetail>) {
+    let mut bundles: Vec<CollectedBundle> = (0..fill)
+        .map(|i| plain_bundle(n * 1_000 + i, base_slot + i * 2, 25_000 + i))
+        .collect();
+    let (sw, details) = sandwich(n, base_slot + fill);
+    bundles.push(sw);
+    (bundles, details)
+}
+
+/// Seed a store with `segments` sealed segments, one sandwich each.
+fn seed_store(tag: &str, segments: u64) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sw-live-tail-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut writer = StoreWriter::create(&dir).unwrap();
+    for seg in 0..segments {
+        let (bundles, details) = segment_with_sandwich(seg, seg * 200, 12);
+        writer.seal_segment(bundles, details, Vec::new()).unwrap();
+    }
+    dir
+}
+
+/// Seal one more segment (with sandwich `n`) onto an existing store.
+fn seal_one_more(dir: &PathBuf, n: u64) {
+    let sealed = Manifest::load(dir).unwrap().segments;
+    let mut writer = StoreWriter::resume(dir, &sealed).unwrap();
+    let (bundles, details) = segment_with_sandwich(n, n * 200, 8);
+    writer.seal_segment(bundles, details, Vec::new()).unwrap();
+}
+
+/// The cacheable paths the background clients hammer; `/api/live` with
+/// `wait_ms=0` is an ordinary cached page and must obey the same
+/// one-generation rule as the analytics endpoints.
+const PATHS: [&str; 4] = [
+    "/api/summary",
+    "/api/attackers?limit=10",
+    "/api/sandwiches?from_slot=0&to_slot=1000000&limit=50",
+    "/api/live?limit=64",
+];
+
+/// Reference bodies for one generation, evaluated uncached from a fresh
+/// service over the same directory.
+fn reference_bodies(dir: &PathBuf) -> (String, HashMap<&'static str, Vec<u8>>) {
+    let service = QueryService::open(QueryServiceConfig::new(dir), Registry::new()).unwrap();
+    let engine = service.engine_snapshot();
+    let generation = engine.generation().to_string();
+    let bodies = PATHS
+        .iter()
+        .map(|&path| {
+            let (endpoint, query) = match path {
+                "/api/summary" => ("summary", &[][..]),
+                "/api/attackers?limit=10" => ("attackers", &[("limit", "10")][..]),
+                "/api/live?limit=64" => ("live", &[("limit", "64")][..]),
+                _ => (
+                    "sandwiches",
+                    &[("from_slot", "0"), ("to_slot", "1000000"), ("limit", "50")][..],
+                ),
+            };
+            let request = sandwich_net::Request {
+                method: sandwich_net::Method::Get,
+                path: path.split('?').next().unwrap().to_string(),
+                query: query
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.to_string()))
+                    .collect(),
+                params: HashMap::new(),
+                headers: HashMap::new(),
+                body: Default::default(),
+            };
+            let typed = sandwich_query::QueryRequest::parse(endpoint, &request).unwrap();
+            (path, engine.evaluate(&typed).body)
+        })
+        .collect();
+    (generation, bodies)
+}
+
+/// The tentpole concurrency test: clients long-poll the tail and hammer
+/// the cache while the store grows underneath them and the index folds
+/// forward.
+#[tokio::test]
+async fn live_tail_survives_concurrent_seals_without_skips_or_full_rebuilds() {
+    let dir = seed_store("main", 2);
+
+    let (gen1, gen1_bodies) = reference_bodies(&dir);
+
+    let registry = Registry::new();
+    let service = QueryService::open(QueryServiceConfig::new(&dir), registry.clone()).unwrap();
+    assert_eq!(service.generation(), gen1);
+    let server = Server::bind("127.0.0.1:0", service.router()).await.unwrap();
+    let addr = server.local_addr();
+
+    // Background clients hammer the cached endpoints, recording
+    // (path, generation header, body) for the torn-read check.
+    let clients = 4usize;
+    let requests_per_client = 30usize;
+    let mut set = tokio::task::JoinSet::new();
+    for c in 0..clients {
+        set.spawn(async move {
+            let client = HttpClient::new(addr);
+            let mut seen = Vec::with_capacity(requests_per_client);
+            for i in 0..requests_per_client {
+                let path = PATHS[(c + i) % PATHS.len()];
+                let response = client.get(path).await.expect("request");
+                assert_eq!(response.status, 200, "{path}");
+                let generation = response
+                    .header_value("x-query-generation")
+                    .expect("generation header")
+                    .to_string();
+                seen.push((path, generation, response.body.to_vec()));
+            }
+            seen
+        });
+    }
+
+    // The tail walker: page through /api/live one row at a time with a
+    // bounded long-poll, until it has seen all three sandwiches — the
+    // third only exists after the mid-flight seal.
+    let walker = tokio::spawn(async move {
+        let client = HttpClient::new(addr);
+        let mut cursor = String::new();
+        let mut rows: Vec<SandwichRef> = Vec::new();
+        for _ in 0..400 {
+            let path = if cursor.is_empty() {
+                "/api/live?limit=1&wait_ms=250".to_string()
+            } else {
+                format!("/api/live?cursor={cursor}&limit=1&wait_ms=250")
+            };
+            let response = client.get(&path).await.expect("live request");
+            assert_eq!(response.status, 200, "{path}");
+            let page: LivePage = serde_json::from_slice(&response.body).expect("live page json");
+            assert!(page.rows.len() <= 1, "limit=1 must cap the page");
+            assert!(page.limit == 1 && !page.generation.is_empty());
+            assert!(page.cursor.starts_with("v1."), "opaque versioned cursor");
+            assert!(page.tip_slot >= rows.last().map(|r| r.slot).unwrap_or(0));
+            if page.rows.is_empty() {
+                // An empty page may not move the cursor's position part.
+                assert_eq!(page.total_after, 0);
+                assert!(!page.more);
+            }
+            assert!(!page.minutes.is_empty(), "rolling window always present");
+            cursor = page.cursor.clone();
+            rows.extend(page.rows);
+            if rows.len() >= 3 {
+                break;
+            }
+        }
+        rows
+    });
+
+    // Mid-flight: seal a third segment with one more sandwich and fold
+    // the index forward.
+    tokio::time::sleep(std::time::Duration::from_millis(5)).await;
+    seal_one_more(&dir, 2);
+    assert!(service.reload().unwrap(), "reload must go live");
+    let gen2 = service.generation();
+    assert_ne!(gen1, gen2);
+
+    let mut observations = Vec::new();
+    while let Some(joined) = set.join_next().await {
+        observations.extend(joined.expect("client task"));
+    }
+    let walked = walker.await.expect("walker task");
+    server.shutdown().await;
+
+    let (gen2_check, gen2_bodies) = reference_bodies(&dir);
+    assert_eq!(gen2_check, gen2);
+
+    // Torn-read check: every hammered response is exactly one
+    // generation's reference body, and the header agrees with the body.
+    let mut gen1_seen = 0usize;
+    let mut gen2_seen = 0usize;
+    for (path, generation, body) in &observations {
+        let expected = if *generation == gen1 {
+            gen1_seen += 1;
+            &gen1_bodies[path]
+        } else if *generation == gen2 {
+            gen2_seen += 1;
+            &gen2_bodies[path]
+        } else {
+            panic!("response for {path} carries unknown generation {generation}");
+        };
+        assert_eq!(
+            body, expected,
+            "torn read: {path} response does not match its generation {generation}"
+        );
+    }
+    assert_eq!(gen1_seen + gen2_seen, clients * requests_per_client);
+
+    // Cursor check: the walker saw every planted sandwich exactly once,
+    // in (slot, bundle_id) order, across the generation change.
+    let reference = QueryService::open(QueryServiceConfig::new(&dir), Registry::new()).unwrap();
+    let expected_refs = reference.engine_snapshot().index().refs.clone();
+    assert_eq!(expected_refs.len(), 3, "three sandwiches planted");
+    assert_eq!(
+        walked, expected_refs,
+        "live cursor skipped or duplicated a sandwich across the fold"
+    );
+
+    // Fold check: the serving process loaded the index persisted by the
+    // reference pass, then folded exactly the one new segment in; it
+    // never rebuilt anything from scratch.
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter(names::QUERY_INDEX_FULL_REBUILDS), None);
+    assert_eq!(snap.counter(names::QUERY_INDEX_REBUILDS), None);
+    assert_eq!(snap.counter(names::QUERY_INDEX_LOADS), Some(1));
+    assert_eq!(snap.counter(names::QUERY_INDEX_FOLDS), Some(1));
+    assert_eq!(snap.counter(names::QUERY_INDEX_FOLD_SEGMENTS), Some(1));
+    assert!(snap.counter(names::QUERY_LIVE_REQUESTS).unwrap_or(0) > 0);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A cursor minted under one generation resumes cleanly under the next:
+/// the page after a reload starts exactly at the first new sandwich.
+#[tokio::test]
+async fn cursor_minted_before_a_fold_resumes_after_it() {
+    let dir = seed_store("resume", 2);
+    let registry = Registry::new();
+    let service = QueryService::open(QueryServiceConfig::new(&dir), registry.clone()).unwrap();
+    let server = Server::bind("127.0.0.1:0", service.router()).await.unwrap();
+    let client = HttpClient::new(server.local_addr());
+
+    // Drain the initial two sandwiches; remember the tail cursor.
+    let response = client.get("/api/live?limit=10").await.unwrap();
+    let page: LivePage = serde_json::from_slice(&response.body).unwrap();
+    assert_eq!(page.rows.len(), 2);
+    assert_eq!(page.total_after, 2);
+    assert!(!page.more);
+    let tail = page.cursor.clone();
+
+    // Tail is dry under the old generation.
+    let response = client
+        .get(&format!("/api/live?cursor={tail}&limit=10"))
+        .await
+        .unwrap();
+    let dry: LivePage = serde_json::from_slice(&response.body).unwrap();
+    assert_eq!(dry.rows.len(), 0);
+    assert_eq!(
+        dry.cursor, tail,
+        "an empty page must not advance the cursor"
+    );
+
+    seal_one_more(&dir, 2);
+    assert!(service.reload().unwrap());
+
+    // The same cursor now yields exactly the one new sandwich.
+    let response = client
+        .get(&format!("/api/live?cursor={tail}&limit=10"))
+        .await
+        .unwrap();
+    let fresh: LivePage = serde_json::from_slice(&response.body).unwrap();
+    assert_eq!(fresh.rows.len(), 1);
+    assert_eq!(fresh.total_after, 1);
+    let all = QueryService::open(QueryServiceConfig::new(&dir), Registry::new()).unwrap();
+    let refs = all.engine_snapshot().index().refs.clone();
+    assert_eq!(fresh.rows[0], refs[2], "resumed page starts at the new row");
+
+    // The fold path served both generations; no full rebuild happened.
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter(names::QUERY_INDEX_FULL_REBUILDS), None);
+    assert_eq!(snap.counter(names::QUERY_INDEX_FOLDS), Some(1));
+
+    server.shutdown().await;
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The sharded router's merged `/api/live` page is byte-identical to the
+/// single-engine service over the same store — rows, cursor, rolling
+/// minutes, and all.
+#[tokio::test]
+async fn router_live_pages_match_the_single_engine_byte_for_byte() {
+    let dir = seed_store("router", 3);
+
+    let single = QueryService::open(QueryServiceConfig::new(&dir), Registry::new()).unwrap();
+    let single_server = Server::bind("127.0.0.1:0", single.router()).await.unwrap();
+    let single_client = HttpClient::new(single_server.local_addr());
+
+    let cluster = ServingCluster::serve(ClusterConfig::new(&dir, 2), Registry::new())
+        .await
+        .unwrap();
+    let router_client = HttpClient::new(cluster.router_addr());
+
+    // Walk both services with the same cursors and small pages; compare
+    // whole bodies at every step.
+    let mut cursor = String::new();
+    for _ in 0..8 {
+        let path = if cursor.is_empty() {
+            "/api/live?limit=2".to_string()
+        } else {
+            format!("/api/live?cursor={cursor}&limit=2")
+        };
+        let a = single_client.get(&path).await.unwrap();
+        let b = router_client.get(&path).await.unwrap();
+        assert_eq!(a.status, 200);
+        assert_eq!(b.status, 200);
+        assert_eq!(
+            a.body.to_vec(),
+            b.body.to_vec(),
+            "router and single engine disagree on {path}"
+        );
+        let page: LivePage = serde_json::from_slice(&a.body).unwrap();
+        if page.rows.is_empty() {
+            break;
+        }
+        cursor = page.cursor.clone();
+    }
+
+    cluster.shutdown().await;
+    single_server.shutdown().await;
+    std::fs::remove_dir_all(&dir).unwrap();
+}
