@@ -1,0 +1,358 @@
+//! Validator attribution: who led the slot a bundle landed in.
+//!
+//! The paper measures *how much* sandwiching flows through Jito but never
+//! names the validators whose blocks carry it. The community leaderboards
+//! referenced in SNIPPETS.md go that extra step: join every sandwich to its
+//! slot leader and rank validators by stake-weighted sandwiches per leader
+//! block. This crate supplies the deterministic machinery for that join:
+//!
+//! * a seeded, stake-weighted **validator identity set** ([`ValidatorSpec`]
+//!   → [`LeaderSchedule::validators`]) with per-validator stake and a
+//!   stake-pool assignment;
+//! * an epoch-based **leader schedule** ([`LeaderSchedule`]) mapping any
+//!   slot to its leader, rotating every [`LEADER_GROUP_SLOTS`] slots within
+//!   [`EPOCH_SLOTS`]-slot epochs exactly like Solana's 4-slot leader groups
+//!   inside 432,000-slot epochs;
+//! * sim-side **colluder selection** ([`colluder_flags`]) — the ground-truth
+//!   subset of leaders that forward their mempool view to the private
+//!   channel. The flags never travel with the measured data; attribution
+//!   must *rediscover* colluders from sandwich counts alone.
+//!
+//! Everything is a pure function of the spec, so the leader of a slot never
+//! needs to be persisted: the store manifest carries only the tiny
+//! [`ValidatorSpec`] and every consumer recomputes the schedule on demand.
+
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+
+use sandwich_types::{Hash, Keypair, Pubkey, Slot};
+
+/// Slots per leader-schedule epoch (Solana's 432,000 ≈ 2 days at 400 ms).
+pub const EPOCH_SLOTS: u64 = 432_000;
+
+/// Consecutive slots each scheduled leader produces (Solana's 4-slot group).
+pub const LEADER_GROUP_SLOTS: u64 = 4;
+
+/// Stake pools validators are assigned to, with selection weights in
+/// percent. The split loosely mirrors the mainnet pool landscape the
+/// SNIPPETS leaderboards roll up by.
+const STAKE_POOLS: [(&str, u64); 5] = [
+    ("jito", 35),
+    ("marinade", 25),
+    ("blaze", 15),
+    ("jpool", 10),
+    ("solo", 15),
+];
+
+/// The public, persistable description of a validator set.
+///
+/// Two fields fully determine identities, stakes, pools, and the leader of
+/// every slot — this is what the store manifest records, and recomputing
+/// the schedule from it is how the index build attributes sandwiches
+/// without any per-slot leader data on the wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ValidatorSpec {
+    /// Seed the identity set and schedule derive from.
+    pub seed: u64,
+    /// Number of validators in the set.
+    pub count: u32,
+}
+
+impl ValidatorSpec {
+    /// Spec with the given seed and validator count.
+    pub fn new(seed: u64, count: u32) -> ValidatorSpec {
+        ValidatorSpec {
+            seed,
+            count: count.max(1),
+        }
+    }
+}
+
+/// One validator in the derived identity set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Validator {
+    /// The validator's identity address.
+    pub pubkey: Pubkey,
+    /// Activated stake in lamports (heavy-tailed, hash-derived).
+    pub stake_lamports: u64,
+    /// The stake pool this validator's stake is delegated through.
+    pub stake_pool: &'static str,
+}
+
+fn hash_u64(parts: &[&[u8]]) -> u64 {
+    let h = Hash::digest_parts(parts);
+    u64::from_le_bytes(h.0[..8].try_into().unwrap())
+}
+
+/// The signing identity of validator `index` in the set — used by the sim
+/// to stand up banks and sign; the measured side only ever sees pubkeys.
+pub fn validator_keypair(spec: &ValidatorSpec, index: u32) -> Keypair {
+    Keypair::from_label(&format!("validator-{}-{}", spec.seed, index))
+}
+
+fn derive_validator(spec: &ValidatorSpec, index: u32) -> Validator {
+    let seed = spec.seed.to_le_bytes();
+    let idx = index.to_le_bytes();
+    let h = hash_u64(&[b"validator-stake", &seed, &idx]);
+    // Heavy-tailed stakes: a uniform base of 5k–50k SOL with a power-of-two
+    // whale multiplier drawn from the top bits, so a few validators carry
+    // several times the median stake and the schedule is visibly uneven.
+    let base_sol = 5_000 + h % 45_000;
+    let whale = 1u64 << ((h >> 60) % 4); // 1, 2, 4, or 8
+    let stake_lamports = base_sol * whale * 1_000_000_000;
+    let p = hash_u64(&[b"validator-pool", &seed, &idx]) % 100;
+    let mut acc = 0u64;
+    let mut stake_pool = STAKE_POOLS[0].0;
+    for (name, weight) in STAKE_POOLS {
+        acc += weight;
+        if p < acc {
+            stake_pool = name;
+            break;
+        }
+    }
+    Validator {
+        pubkey: validator_keypair(spec, index).pubkey(),
+        stake_lamports,
+        stake_pool,
+    }
+}
+
+/// A materialized leader schedule: the validator set plus the cumulative
+/// stake table used for weighted leader draws.
+#[derive(Clone, Debug)]
+pub struct LeaderSchedule {
+    spec: ValidatorSpec,
+    validators: Vec<Validator>,
+    cumulative: Vec<u128>,
+    total_stake: u128,
+}
+
+impl LeaderSchedule {
+    /// Derive the full schedule machinery from a spec.
+    pub fn new(spec: &ValidatorSpec) -> LeaderSchedule {
+        let validators: Vec<Validator> = (0..spec.count.max(1))
+            .map(|i| derive_validator(spec, i))
+            .collect();
+        let mut cumulative = Vec::with_capacity(validators.len());
+        let mut total_stake = 0u128;
+        for v in &validators {
+            total_stake += v.stake_lamports as u128;
+            cumulative.push(total_stake);
+        }
+        LeaderSchedule {
+            spec: *spec,
+            validators,
+            cumulative,
+            total_stake,
+        }
+    }
+
+    /// The spec this schedule was derived from.
+    pub fn spec(&self) -> &ValidatorSpec {
+        &self.spec
+    }
+
+    /// The derived validator set, in index order.
+    pub fn validators(&self) -> &[Validator] {
+        &self.validators
+    }
+
+    /// Index (into [`Self::validators`]) of the leader of `slot`.
+    ///
+    /// Each epoch draws an independent stake-weighted rotation; within an
+    /// epoch the leader changes every [`LEADER_GROUP_SLOTS`] slots.
+    pub fn leader_index_at(&self, slot: Slot) -> usize {
+        let epoch = slot.0 / EPOCH_SLOTS;
+        let group = (slot.0 % EPOCH_SLOTS) / LEADER_GROUP_SLOTS;
+        let h = hash_u64(&[
+            b"leader-schedule",
+            &self.spec.seed.to_le_bytes(),
+            &epoch.to_le_bytes(),
+            &group.to_le_bytes(),
+        ]);
+        // Scale the 64-bit draw onto [0, total_stake) without modulo bias,
+        // then find the owning validator in the cumulative stake table.
+        let r = (h as u128 * self.total_stake) >> 64;
+        self.cumulative.partition_point(|&c| c <= r)
+    }
+
+    /// The leader of `slot`.
+    pub fn leader_at(&self, slot: Slot) -> Pubkey {
+        self.validators[self.leader_index_at(slot)].pubkey
+    }
+
+    /// Slots led per validator over `[0, max_slot]`, indexed like
+    /// [`Self::validators`].
+    ///
+    /// This is the leaderboard denominator ("blocks led"). It is monotone
+    /// non-decreasing in `max_slot` for every validator, which is what lets
+    /// shards compute it locally and a router take the element-wise max.
+    pub fn slots_led_through(&self, max_slot: u64) -> Vec<u64> {
+        let mut counts = vec![0u64; self.validators.len()];
+        let mut group_start = 0u64;
+        while group_start <= max_slot {
+            let led = (max_slot - group_start + 1).min(LEADER_GROUP_SLOTS);
+            counts[self.leader_index_at(Slot(group_start))] += led;
+            group_start += LEADER_GROUP_SLOTS;
+        }
+        counts
+    }
+}
+
+/// Ground-truth colluder selection: which validators forward their mempool
+/// view to the private channel.
+///
+/// Picks `round(count × fraction)` validators (at least one when the
+/// fraction is positive) by ranking a per-validator hash, so the choice is
+/// deterministic in the spec and uncorrelated with stake. Returns one flag
+/// per validator index. **Sim-side only**: the flags are recorded in the
+/// label book, never in the manifest — the measured system has to surface
+/// colluders from attribution counts, not read them off a list.
+pub fn colluder_flags(spec: &ValidatorSpec, fraction: f64) -> Vec<bool> {
+    let count = spec.count.max(1) as usize;
+    let k = if fraction <= 0.0 {
+        0
+    } else {
+        (((count as f64) * fraction).round() as usize).clamp(1, count)
+    };
+    let seed = spec.seed.to_le_bytes();
+    let mut ranked: Vec<(u64, usize)> = (0..count)
+        .map(|i| {
+            let idx = (i as u32).to_le_bytes();
+            (hash_u64(&[b"colluder-pick", &seed, &idx]), i)
+        })
+        .collect();
+    ranked.sort_unstable();
+    let mut flags = vec![false; count];
+    for &(_, i) in ranked.iter().take(k) {
+        flags[i] = true;
+    }
+    flags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ValidatorSpec {
+        ValidatorSpec::new(20250209, 24)
+    }
+
+    #[test]
+    fn schedule_is_deterministic() {
+        let a = LeaderSchedule::new(&spec());
+        let b = LeaderSchedule::new(&spec());
+        for s in [0u64, 1, 3, 4, 5, 431_999, 432_000, 1_000_000] {
+            assert_eq!(a.leader_at(Slot(s)), b.leader_at(Slot(s)));
+        }
+        assert_eq!(a.validators(), b.validators());
+    }
+
+    #[test]
+    fn leader_groups_are_four_slots_wide() {
+        let sched = LeaderSchedule::new(&spec());
+        for group in 0..200u64 {
+            let base = group * LEADER_GROUP_SLOTS;
+            let leader = sched.leader_at(Slot(base));
+            for off in 1..LEADER_GROUP_SLOTS {
+                assert_eq!(sched.leader_at(Slot(base + off)), leader);
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_change_the_rotation() {
+        let a = LeaderSchedule::new(&ValidatorSpec::new(1, 24));
+        let b = LeaderSchedule::new(&ValidatorSpec::new(2, 24));
+        let differs =
+            (0..100u64).any(|g| a.leader_index_at(Slot(g * 4)) != b.leader_index_at(Slot(g * 4)));
+        assert!(differs);
+    }
+
+    #[test]
+    fn slots_led_matches_leader_at_and_sums_to_the_range() {
+        let sched = LeaderSchedule::new(&ValidatorSpec::new(7, 8));
+        let max_slot = 4_001u64; // deliberately mid-group
+        let counts = sched.slots_led_through(max_slot);
+        assert_eq!(counts.iter().sum::<u64>(), max_slot + 1);
+        let mut expect = vec![0u64; 8];
+        for s in 0..=max_slot {
+            expect[sched.leader_index_at(Slot(s))] += 1;
+        }
+        assert_eq!(counts, expect);
+    }
+
+    #[test]
+    fn slots_led_is_monotone_in_max_slot() {
+        // The property the shard router's max-merge of `blocks_led` rests on.
+        let sched = LeaderSchedule::new(&ValidatorSpec::new(3, 6));
+        let mut prev = vec![0u64; 6];
+        for max_slot in [0u64, 3, 4, 17, 100, 1_000, 5_000] {
+            let counts = sched.slots_led_through(max_slot);
+            for (c, p) in counts.iter().zip(&prev) {
+                assert!(c >= p, "blocks_led regressed at max_slot {max_slot}");
+            }
+            prev = counts;
+        }
+    }
+
+    #[test]
+    fn stake_weighting_favors_whales() {
+        let sched = LeaderSchedule::new(&ValidatorSpec::new(11, 12));
+        let counts = sched.slots_led_through(EPOCH_SLOTS - 1);
+        let (heavy, _) = sched
+            .validators()
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, v)| v.stake_lamports)
+            .map(|(i, v)| (i, v.stake_lamports))
+            .unwrap();
+        let (light, _) = sched
+            .validators()
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, v)| v.stake_lamports)
+            .map(|(i, v)| (i, v.stake_lamports))
+            .unwrap();
+        assert!(
+            counts[heavy] > counts[light],
+            "heaviest validator led {} slots, lightest {}",
+            counts[heavy],
+            counts[light]
+        );
+    }
+
+    #[test]
+    fn colluder_flags_are_deterministic_and_sized() {
+        let flags = colluder_flags(&spec(), 0.25);
+        assert_eq!(flags, colluder_flags(&spec(), 0.25));
+        assert_eq!(flags.iter().filter(|&&f| f).count(), 6);
+        assert!(colluder_flags(&spec(), 0.0).iter().all(|&f| !f));
+        // A positive fraction always selects at least one colluder.
+        assert_eq!(
+            colluder_flags(&ValidatorSpec::new(5, 40), 0.001)
+                .iter()
+                .filter(|&&f| f)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn spec_roundtrips_through_json() {
+        let s = spec();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: ValidatorSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn validator_identities_are_stable_signing_keys() {
+        let sched = LeaderSchedule::new(&spec());
+        let kp = validator_keypair(&spec(), 0);
+        assert_eq!(kp.pubkey(), sched.validators()[0].pubkey);
+        let sig = kp.sign(b"vote");
+        assert!(kp.pubkey().verify(b"vote", &sig));
+    }
+}

@@ -1,0 +1,316 @@
+//! Attribution benchmark: leader joins, colluder leaderboards, and the
+//! sharded `/api/validators` path, scored against simulator ground truth.
+//!
+//! Runs the default 8-day measurement scenario with a segment store, then:
+//!
+//! 1. **Accuracy** — builds the query index (which joins every sealed
+//!    sandwich to its slot leader from the manifest's validator spec) and
+//!    scores the attribution against the sim's label book with the
+//!    conformance oracle: leader accuracy, colluder precision/recall, and
+//!    exact per-validator count agreement.
+//! 2. **Ranking agreement** — re-ranks the leaderboard with ground-truth
+//!    sandwich counts substituted in and reports the fraction of positions
+//!    that agree with the measured order (1.0 when attribution is exact).
+//! 3. **Overhead** — times the index build with the validator spec present
+//!    against the identical store with the spec stripped, isolating what
+//!    the schedule recompute + leaderboard fold cost on top of the scan.
+//! 4. **Shard identity** — serves the store through 1/2/4/8-shard
+//!    clusters and requires every `/api/validators` and
+//!    `/api/validator/{pubkey}` response (pages, details, 404s) to be
+//!    byte-identical to the single engine.
+//!
+//! Writes `results/BENCH_attrib.json` (or `$SANDWICH_BENCH_OUT`).
+//! `check.sh` gates `attribution_accuracy == 1.0` and
+//! `validators_identical == true`.
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+use sandwich_core::{conformance, CollectorConfig, PipelineConfig, StoreOptions};
+use sandwich_net::HttpClient;
+use sandwich_obs::Registry;
+use sandwich_query::{build_index, sort_validator_entries, Engine, QueryConfig, QueryRequest};
+use sandwich_shard::{ClusterConfig, ServingCluster};
+use sandwich_sim::{BundleLabel, ScenarioConfig, Simulation};
+use sandwich_store::{BundleStore, Manifest};
+use sandwich_types::{Keypair, Pubkey};
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn copy_dir(src: &Path, dst: &Path) {
+    let _ = std::fs::remove_dir_all(dst);
+    std::fs::create_dir_all(dst).expect("create copy dir");
+    for entry in std::fs::read_dir(src).expect("read store dir") {
+        let entry = entry.expect("dir entry");
+        if entry.path().is_file() {
+            std::fs::copy(entry.path(), dst.join(entry.file_name())).expect("copy store file");
+        }
+    }
+}
+
+/// One probe: the router path and its typed form for the single-engine
+/// reference evaluation.
+struct Probe {
+    path: String,
+    typed: QueryRequest,
+}
+
+fn main() {
+    let days = env_u64("SANDWICH_DAYS", 8);
+    let scale_denominator = env_u64("SANDWICH_SCALE", 4_000).max(1);
+    let seed = env_u64("SANDWICH_SEED", 20_250_209);
+    let counts: Vec<usize> = std::env::var("SANDWICH_ATTRIB_COUNTS")
+        .unwrap_or_else(|_| "1,2,4,8".into())
+        .split(',')
+        .filter_map(|v| v.trim().parse().ok())
+        .filter(|&n| n >= 1)
+        .collect();
+    let store_dir =
+        std::env::var("SANDWICH_ATTRIB_STORE_DIR").unwrap_or_else(|_| "attrib_bench.store".into());
+
+    // The default measurement scenario, sealed into a segment store so the
+    // manifest carries the validator spec exactly as the pipeline stamps it.
+    let scenario = ScenarioConfig {
+        days,
+        seed,
+        volume_scale: 1.0 / scale_denominator as f64,
+        ..Default::default()
+    };
+    let page_limit = sandwich_core::scaled_page_limit(&scenario, 1);
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let pipeline = PipelineConfig {
+        collector: CollectorConfig {
+            page_limit,
+            ..Default::default()
+        },
+        store: Some(StoreOptions {
+            segment_bundles: 2_048,
+            ..StoreOptions::new(&store_dir)
+        }),
+        ..Default::default()
+    };
+    let started = Instant::now();
+    let mut sim = Simulation::new(scenario);
+    let runtime = tokio::runtime::Builder::new_multi_thread()
+        .worker_threads(2)
+        .enable_all()
+        .build()
+        .expect("tokio runtime");
+    let run = runtime
+        .block_on(sandwich_core::run_measurement(&mut sim, pipeline))
+        .expect("pipeline");
+    let store = run.store.as_ref().expect("store mode");
+    let labels = sim.labels();
+    println!(
+        "attrib_bench: {} bundles in {} segments over {days} day(s) in {:.1}s",
+        store.manifest().total_bundles(),
+        store.segments().len(),
+        started.elapsed().as_secs_f64()
+    );
+
+    // Phase 1+3: the attributed build, timed, against the spec-stripped
+    // twin of the same store — the overhead of the leader joins and the
+    // leaderboard fold on top of the identical scan.
+    let config = QueryConfig::default();
+    let t = Instant::now();
+    let index = build_index(store, &config).expect("attributed index build");
+    let build_with_s = t.elapsed().as_secs_f64();
+    let validators = index
+        .validators
+        .clone()
+        .expect("manifest must carry the validator spec");
+
+    let stripped_dir = format!("{store_dir}.noattrib");
+    copy_dir(Path::new(&store_dir), Path::new(&stripped_dir));
+    let mut manifest = Manifest::load(Path::new(&stripped_dir)).expect("load stripped manifest");
+    manifest.validators = None;
+    manifest
+        .save(Path::new(&stripped_dir))
+        .expect("save stripped manifest");
+    let stripped = BundleStore::open(&stripped_dir).expect("open stripped store");
+    let t = Instant::now();
+    let baseline = build_index(&stripped, &config).expect("baseline index build");
+    let build_without_s = t.elapsed().as_secs_f64();
+    assert!(
+        baseline.validators.is_none(),
+        "spec-stripped store must build a pre-attribution index"
+    );
+    assert_eq!(
+        baseline.totals.sandwiches, index.totals.sandwiches,
+        "attribution must not change detection"
+    );
+    drop(stripped);
+    let _ = std::fs::remove_dir_all(&stripped_dir);
+    let overhead_pct = (build_with_s - build_without_s) / build_without_s.max(1e-9) * 100.0;
+    println!(
+        "  index build: {build_with_s:.2}s attributed vs {build_without_s:.2}s baseline ({overhead_pct:+.1}% leaderboard overhead)"
+    );
+
+    // Phase 1: score the attribution against the sim's ground truth.
+    let leaderboard: Vec<(Pubkey, u64)> = validators
+        .iter()
+        .map(|v| (v.pubkey, v.sandwiches))
+        .collect();
+    let a = conformance::score_attribution(
+        index.refs.iter().map(|r| (&r.bundle_id, r.leader.as_ref())),
+        &leaderboard,
+        labels,
+    );
+    let denominator = a.attributed + a.unattributed + a.unprovenanced;
+    let attribution_accuracy = if denominator == 0 {
+        0.0
+    } else {
+        a.correct_leaders as f64 / denominator as f64
+    };
+    assert!(a.attributed > 0, "no sandwiches attributed: {a:?}");
+    println!(
+        "  attribution: {}/{denominator} correct leaders, colluders {}tp/{}fp/{}fn, counts_match {}",
+        a.correct_leaders,
+        a.colluders.true_positives,
+        a.colluders.false_positives,
+        a.colluders.false_negatives,
+        a.counts_match,
+    );
+
+    // Phase 2: ranking agreement. Substitute ground-truth sandwich counts
+    // per leader into the leaderboard rows and re-sort with the engine's
+    // own comparator; exact attribution reproduces the measured order.
+    let mut truth_counts: HashMap<Pubkey, u64> = HashMap::new();
+    for (id, prov) in labels.provenances() {
+        if let Some(BundleLabel::Sandwich(truth)) = labels.get(id) {
+            if !truth.disguised {
+                *truth_counts.entry(prov.leader).or_insert(0) += 1;
+            }
+        }
+    }
+    let mut truth_ranked = validators.clone();
+    for entry in &mut truth_ranked {
+        entry.sandwiches = truth_counts.get(&entry.pubkey).copied().unwrap_or(0);
+    }
+    sort_validator_entries(&mut truth_ranked);
+    let agreeing = validators
+        .iter()
+        .zip(&truth_ranked)
+        .filter(|(measured, truth)| measured.pubkey == truth.pubkey)
+        .count();
+    let ranking_agreement = agreeing as f64 / validators.len().max(1) as f64;
+    println!(
+        "  colluder ranking: {agreeing}/{} positions agree with ground truth",
+        validators.len()
+    );
+
+    // Phase 4: shard identity for the validator endpoints at every count.
+    let engine = Engine::new(Arc::new(index));
+    let mut probes: Vec<Probe> = vec![
+        Probe {
+            path: "/api/validators?limit=10".into(),
+            typed: QueryRequest::Validators {
+                limit: 10,
+                after: 0,
+            },
+        },
+        Probe {
+            path: "/api/validators?limit=100".into(),
+            typed: QueryRequest::Validators {
+                limit: 100,
+                after: 0,
+            },
+        },
+        Probe {
+            path: "/api/validators?limit=5&after=5".into(),
+            typed: QueryRequest::Validators { limit: 5, after: 5 },
+        },
+    ];
+    for entry in validators.iter().filter(|v| v.sandwiches > 0).take(2) {
+        probes.push(Probe {
+            path: format!("/api/validator/{}", entry.pubkey),
+            typed: QueryRequest::Validator {
+                pubkey: entry.pubkey,
+            },
+        });
+    }
+    if let Some(entry) = validators.iter().find(|v| v.sandwiches == 0) {
+        probes.push(Probe {
+            path: format!("/api/validator/{}", entry.pubkey),
+            typed: QueryRequest::Validator {
+                pubkey: entry.pubkey,
+            },
+        });
+    }
+    let nobody = Keypair::from_label("attrib-bench-nobody").pubkey();
+    probes.push(Probe {
+        path: format!("/api/validator/{nobody}"),
+        typed: QueryRequest::Validator { pubkey: nobody },
+    });
+    let reference: Vec<_> = probes.iter().map(|p| engine.evaluate(&p.typed)).collect();
+
+    let mut validators_identical = true;
+    for &n in &counts {
+        let identical = runtime.block_on(async {
+            let cluster = ServingCluster::serve(ClusterConfig::new(&store_dir, n), Registry::new())
+                .await
+                .expect("serve cluster");
+            let client = HttpClient::new(cluster.router_addr());
+            let mut identical = true;
+            for (probe, want) in probes.iter().zip(&reference) {
+                let served = client.get(&probe.path).await.expect("probe request");
+                let same = served.status == want.status && served.body[..] == want.body[..];
+                if !same {
+                    println!(
+                        "  MISMATCH at {n} shard(s): {} (status {} vs {}, {} vs {} bytes)",
+                        probe.path,
+                        served.status,
+                        want.status,
+                        served.body.len(),
+                        want.body.len(),
+                    );
+                    identical = false;
+                }
+            }
+            cluster.shutdown().await;
+            identical
+        });
+        validators_identical &= identical;
+        println!("  {n} shard(s): validator endpoints byte-identical: {identical}");
+    }
+
+    let out = std::env::var("SANDWICH_BENCH_OUT").unwrap_or_else(|_| {
+        let _ = std::fs::create_dir_all("results");
+        "results/BENCH_attrib.json".into()
+    });
+    let snapshot = format!(
+        "{{\n  \"days\": {days},\n  \"bundles\": {bundles},\n  \"sandwiches\": {sandwiches},\n  \"validators\": {nvalidators},\n  \"colluders_inferred\": {colluders},\n  \"attribution_accuracy\": {attribution_accuracy:.3},\n  \"colluder_precision\": {precision:.3},\n  \"colluder_recall\": {recall:.3},\n  \"counts_match\": {counts_match},\n  \"colluder_ranking_agreement\": {ranking_agreement:.3},\n  \"build_seconds_attributed\": {build_with_s:.3},\n  \"build_seconds_baseline\": {build_without_s:.3},\n  \"leaderboard_overhead_pct\": {overhead_pct:.1},\n  \"shard_counts\": [{sc}],\n  \"probes\": {nprobes},\n  \"validators_identical\": {validators_identical}\n}}\n",
+        bundles = store.manifest().total_bundles(),
+        sandwiches = engine.index().totals.sandwiches,
+        nvalidators = validators.len(),
+        colluders = a.colluders.true_positives,
+        precision = a.colluders.precision(),
+        recall = a.colluders.recall(),
+        counts_match = a.counts_match,
+        sc = counts
+            .iter()
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>()
+            .join(", "),
+        nprobes = probes.len(),
+    );
+    std::fs::write(&out, snapshot).expect("write snapshot");
+    println!("  snapshot → {out}");
+
+    let _ = std::fs::remove_dir_all(&store_dir);
+    assert!(
+        a.perfect(),
+        "attribution must be exact on the labeled scenario: {a:?}"
+    );
+    assert!(
+        validators_identical,
+        "sharded validator responses diverged from the single-engine bytes"
+    );
+}

@@ -252,7 +252,11 @@ pub async fn run_measurement_with(
             Some(dir)
         }
         (None, Some(options)) => {
-            let writer = StoreWriter::create(&options.dir)?;
+            let mut writer = StoreWriter::create(&options.dir)?;
+            // Stamp the chain's validator spec into the manifest: public
+            // chain data from which the index recomputes the full leader
+            // schedule, attributing each sandwich to its slot leader.
+            writer.set_validators(sim.config().validator_spec())?;
             let dir = writer.dir().to_path_buf();
             collector.attach_store(writer, options.segment_bundles);
             Some(dir)

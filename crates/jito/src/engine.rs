@@ -16,8 +16,9 @@ use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
+use sandwich_attrib::LeaderSchedule;
 use sandwich_ledger::{Bank, Block, Transaction, TransactionMeta};
-use sandwich_types::{Hash, Lamports, Slot, MIN_JITO_TIP};
+use sandwich_types::{Hash, Lamports, Pubkey, Slot, MIN_JITO_TIP};
 
 use crate::bundle::{Bundle, BundleError, BundleId};
 use crate::tips::realized_tip;
@@ -121,6 +122,7 @@ pub struct BlockEngine {
     bank: Arc<Bank>,
     parent_hash: Hash,
     min_tip: Lamports,
+    schedule: Option<Arc<LeaderSchedule>>,
     metrics: Option<EngineMetrics>,
 }
 
@@ -132,6 +134,7 @@ impl BlockEngine {
             bank,
             parent_hash,
             min_tip: MIN_JITO_TIP,
+            schedule: None,
             metrics: None,
         }
     }
@@ -140,6 +143,22 @@ impl BlockEngine {
     pub fn with_min_tip(mut self, min_tip: Lamports) -> Self {
         self.min_tip = min_tip;
         self
+    }
+
+    /// Stamp each produced block with the leader the schedule assigns to
+    /// its slot. Without a schedule the bank's validator leads every slot
+    /// (the single-validator legacy behavior).
+    pub fn with_schedule(mut self, schedule: Arc<LeaderSchedule>) -> Self {
+        self.schedule = Some(schedule);
+        self
+    }
+
+    /// The validator that leads `slot` under this engine's schedule.
+    pub fn leader_at(&self, slot: Slot) -> Pubkey {
+        match &self.schedule {
+            Some(schedule) => schedule.leader_at(slot),
+            None => self.bank.validator(),
+        }
     }
 
     /// Record auction outcomes (sizes, landed/dropped bundles, realized tip
@@ -251,7 +270,7 @@ impl BlockEngine {
             .flat_map(|b| b.metas.iter().cloned())
             .chain(regular_metas.iter().cloned())
             .collect();
-        let block = Block::derive(slot, self.parent_hash, &all_metas);
+        let block = Block::derive(slot, self.leader_at(slot), self.parent_hash, &all_metas);
         self.parent_hash = block.blockhash;
         self.bank.set_latest_blockhash(block.blockhash);
 
@@ -431,6 +450,29 @@ mod tests {
         let tips = snap.histogram("engine.tip_lamports").unwrap();
         assert_eq!(tips.count, 1);
         assert!((tips.sum - 50_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn blocks_carry_the_scheduled_leader() {
+        let (engine, a, _) = engine();
+        let spec = sandwich_attrib::ValidatorSpec::new(9, 8);
+        let schedule = Arc::new(LeaderSchedule::new(&spec));
+        let mut engine = engine.with_schedule(schedule.clone());
+        for slot in [Slot(1), Slot(4), Slot(431_999), Slot(432_004)] {
+            let result = engine.produce_slot(
+                slot,
+                vec![Bundle::new(vec![tipping_tx(&a, 5_000, slot.0)]).unwrap()],
+                vec![],
+            );
+            assert_eq!(result.block.leader, schedule.leader_at(slot));
+        }
+    }
+
+    #[test]
+    fn unscheduled_engine_blocks_led_by_bank_validator() {
+        let (mut engine, _, _) = engine();
+        let result = engine.produce_slot(Slot(1), vec![], vec![]);
+        assert_eq!(result.block.leader, engine.bank().validator());
     }
 
     #[test]

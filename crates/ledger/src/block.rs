@@ -2,18 +2,20 @@
 
 use serde::{Deserialize, Serialize};
 
-use sandwich_types::{Hash, Slot};
+use sandwich_types::{Hash, Pubkey, Slot};
 
 use crate::meta::TransactionMeta;
 use crate::transaction::TransactionId;
 
 /// A produced block. The simulator keeps blocks lightweight: full
 /// transactions live with their metas in the history store, and the block
-/// records ordering.
+/// records ordering plus the identity of the validator that led the slot.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Block {
     /// The slot this block occupies.
     pub slot: Slot,
+    /// The validator that led the slot and produced this block.
+    pub leader: Pubkey,
     /// Hash of the previous block.
     pub parent_hash: Hash,
     /// This block's hash.
@@ -23,17 +25,25 @@ pub struct Block {
 }
 
 impl Block {
-    /// Derive a block for `slot` containing `metas`, chained to `parent`.
-    pub fn derive(slot: Slot, parent_hash: Hash, metas: &[TransactionMeta]) -> Self {
+    /// Derive a block for `slot` produced by `leader` containing `metas`,
+    /// chained to `parent`.
+    pub fn derive(
+        slot: Slot,
+        leader: Pubkey,
+        parent_hash: Hash,
+        metas: &[TransactionMeta],
+    ) -> Self {
         let mut parts: Vec<&[u8]> = vec![b"block", parent_hash.as_bytes()];
         let slot_bytes = slot.0.to_le_bytes();
         parts.push(&slot_bytes);
+        parts.push(leader.as_bytes());
         let ids: Vec<TransactionId> = metas.iter().map(|m| m.tx_id).collect();
         for id in &ids {
             parts.push(&id.0);
         }
         Block {
             slot,
+            leader,
             parent_hash,
             blockhash: Hash::digest_parts(&parts),
             transactions: ids,
@@ -45,19 +55,34 @@ impl Block {
 mod tests {
     use super::*;
 
+    fn leader() -> Pubkey {
+        sandwich_types::Keypair::from_label("block-leader").pubkey()
+    }
+
     #[test]
     fn blockhash_depends_on_content() {
         let parent = Hash::digest(b"genesis");
-        let a = Block::derive(Slot(1), parent, &[]);
-        let b = Block::derive(Slot(2), parent, &[]);
+        let a = Block::derive(Slot(1), leader(), parent, &[]);
+        let b = Block::derive(Slot(2), leader(), parent, &[]);
         assert_ne!(a.blockhash, b.blockhash);
-        let c = Block::derive(Slot(1), a.blockhash, &[]);
+        let c = Block::derive(Slot(1), leader(), a.blockhash, &[]);
         assert_ne!(a.blockhash, c.blockhash);
     }
 
     #[test]
+    fn blockhash_depends_on_leader() {
+        let parent = Hash::digest(b"genesis");
+        let other = sandwich_types::Keypair::from_label("other-leader").pubkey();
+        let a = Block::derive(Slot(1), leader(), parent, &[]);
+        let b = Block::derive(Slot(1), other, parent, &[]);
+        assert_ne!(a.blockhash, b.blockhash);
+        assert_eq!(a.leader, leader());
+        assert_eq!(b.leader, other);
+    }
+
+    #[test]
     fn empty_block_has_no_transactions() {
-        let b = Block::derive(Slot(0), Hash::default(), &[]);
+        let b = Block::derive(Slot(0), leader(), Hash::default(), &[]);
         assert!(b.transactions.is_empty());
     }
 }

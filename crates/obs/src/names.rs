@@ -147,3 +147,28 @@ pub const QUERY_LIVE_ROWS: &str = "query.live.rows";
 /// Histogram: seconds a long-poll actually waited before answering
 /// (bounded by the request's `wait_ms`).
 pub const QUERY_LIVE_WAIT_SECONDS: &str = "query.live.wait_seconds";
+
+/// Counter: leader schedules derived from a store's validator spec (one
+/// per index build or fold that attributed sandwiches to slot leaders).
+pub const ATTRIB_SCHEDULE_BUILDS: &str = "attrib.schedule.builds";
+
+/// Counter: sealed sandwiches joined to their slot leader during an
+/// index build (the attribution join).
+pub const ATTRIB_JOINS: &str = "attrib.joins";
+
+/// Counter: sealed sandwiches with **no** leader attribution (the store
+/// predates the validator spec, or a ref was folded from a pre-attribution
+/// base index). These rows fall back to the unattributed decode path.
+pub const ATTRIB_UNATTRIBUTED: &str = "attrib.unattributed_slots";
+
+/// Counter: incremental folds refused because the persisted base index
+/// was built under a different (or missing) validator spec than the
+/// manifest now carries — the service rebuilds from segments instead of
+/// folding attribution-stale rows forward.
+pub const ATTRIB_SPEC_MISMATCH_REBUILDS: &str = "attrib.spec_mismatch_rebuilds";
+
+/// Counter: `/api/validators` leaderboard requests served.
+pub const QUERY_VALIDATORS_REQUESTS: &str = "query.validators.requests";
+
+/// Counter: `/api/validator/{pubkey}` detail requests served.
+pub const QUERY_VALIDATOR_DETAIL_REQUESTS: &str = "query.validators.detail_requests";

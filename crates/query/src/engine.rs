@@ -16,7 +16,7 @@ use sandwich_types::{Hash, Pubkey};
 use crate::cache::CachedResponse;
 use crate::index::{
     first_ref_after_cursor, first_ref_at_or_after, live_minutes, AttackerEntry, PoolEntry,
-    QueryIndex, SandwichRef,
+    QueryIndex, SandwichRef, ValidatorEntry,
 };
 use crate::render::{self, DETAIL_REF_CAP};
 
@@ -84,6 +84,19 @@ pub enum QueryRequest {
     Pool {
         /// The pool's token mint.
         mint: Pubkey,
+    },
+    /// `GET /api/validators?limit=&after=` — the stake-weighted colluder
+    /// leaderboard plus stake-pool rollups.
+    Validators {
+        /// Page size.
+        limit: usize,
+        /// Leaderboard offset of the first row.
+        after: usize,
+    },
+    /// `GET /api/validator/{pubkey}`
+    Validator {
+        /// The validator's identity address.
+        pubkey: Pubkey,
     },
     /// `GET /api/sandwiches?from_slot=&to_slot=&limit=&after=`
     Sandwiches {
@@ -157,6 +170,13 @@ impl QueryRequest {
             "pool" => Ok(QueryRequest::Pool {
                 mint: parse_pubkey(request, "mint")?,
             }),
+            "validators" => Ok(QueryRequest::Validators {
+                limit: parse_usize(request, "limit", DEFAULT_LIMIT)?.clamp(1, MAX_LIMIT),
+                after: parse_usize(request, "after", 0)?,
+            }),
+            "validator" => Ok(QueryRequest::Validator {
+                pubkey: parse_pubkey(request, "pubkey")?,
+            }),
             "sandwiches" => {
                 let from_slot = parse_u64(request, "from_slot", 0)?;
                 let to_slot = parse_u64(request, "to_slot", u64::MAX)?;
@@ -194,6 +214,8 @@ impl QueryRequest {
             QueryRequest::Attackers { .. } => "attackers",
             QueryRequest::Attacker { .. } => "attacker",
             QueryRequest::Pool { .. } => "pool",
+            QueryRequest::Validators { .. } => "validators",
+            QueryRequest::Validator { .. } => "validator",
             QueryRequest::Sandwiches { .. } => "sandwiches",
             QueryRequest::Live { .. } => "live",
         }
@@ -210,6 +232,10 @@ impl QueryRequest {
             }
             QueryRequest::Attacker { pubkey } => format!("attacker/{pubkey}"),
             QueryRequest::Pool { mint } => format!("pool/{mint}"),
+            QueryRequest::Validators { limit, after } => {
+                format!("validators?limit={limit}&after={after}")
+            }
+            QueryRequest::Validator { pubkey } => format!("validator/{pubkey}"),
             QueryRequest::Sandwiches {
                 from_slot,
                 to_slot,
@@ -241,6 +267,7 @@ pub struct Engine {
     index: Arc<QueryIndex>,
     attacker_rank: HashMap<Pubkey, usize>,
     pool_rank: HashMap<Pubkey, usize>,
+    validator_rank: HashMap<Pubkey, usize>,
 }
 
 impl Engine {
@@ -258,10 +285,19 @@ impl Engine {
             .enumerate()
             .map(|(i, e)| (e.mint, i))
             .collect();
+        let validator_rank = index
+            .validators
+            .as_deref()
+            .unwrap_or(&[])
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (e.pubkey, i))
+            .collect();
         Engine {
             index,
             attacker_rank,
             pool_rank,
+            validator_rank,
         }
     }
 
@@ -293,6 +329,17 @@ impl Engine {
     pub fn pool_entry(&self, mint: &Pubkey) -> Option<(usize, &PoolEntry)> {
         let &rank = self.pool_rank.get(mint)?;
         Some((rank, &self.index.pools[rank]))
+    }
+
+    /// The validator leaderboard; empty for a pre-attribution store.
+    pub fn validator_entries(&self) -> &[ValidatorEntry] {
+        self.index.validators.as_deref().unwrap_or(&[])
+    }
+
+    /// Rank and entry for a validator, when the schedule knows it.
+    pub fn validator_entry(&self, pubkey: &Pubkey) -> Option<(usize, &ValidatorEntry)> {
+        let &rank = self.validator_rank.get(pubkey)?;
+        Some((rank, &self.validator_entries()[rank]))
     }
 
     /// How many refs sit strictly after the live cursor position — what a
@@ -341,6 +388,15 @@ impl Engine {
                 None => render::unknown_pool(mint),
                 Some((rank, entry)) => {
                     render::pool_detail(generation, rank, entry, self.recent_refs(&entry.refs))
+                }
+            },
+            QueryRequest::Validators { limit, after } => {
+                render::validators_page(generation, self.validator_entries(), *limit, *after)
+            }
+            QueryRequest::Validator { pubkey } => match self.validator_entry(pubkey) {
+                None => render::unknown_validator(pubkey),
+                Some((rank, entry)) => {
+                    render::validator_detail(generation, rank, entry, self.recent_refs(&entry.refs))
                 }
             },
             QueryRequest::Sandwiches {
@@ -420,6 +476,7 @@ mod tests {
             victim_loss_lamports: Some(1_000),
             attacker_gain_lamports: Some(gain),
             tip_lamports: 50_000,
+            leader: Some(key(100)),
         }
     }
 
@@ -485,6 +542,33 @@ mod tests {
             pools,
             segment_files: vec!["seg-00000.seg".to_string()],
             quarantined_files: Vec::new(),
+            validator_spec: Some(sandwich_attrib::ValidatorSpec::new(5, 2)),
+            validators: Some(vec![
+                ValidatorEntry {
+                    pubkey: key(100),
+                    stake_lamports: 7_000_000_000,
+                    stake_pool: "jito".into(),
+                    blocks_led: 30,
+                    sandwich_slots: vec![10, 20, 30, 40],
+                    sandwiches: 4,
+                    attacker_gain_lamports: 2_400,
+                    victim_loss_lamports: 4_000,
+                    tips_lamports: 200_000,
+                    refs: vec![0, 1, 2, 3],
+                },
+                ValidatorEntry {
+                    pubkey: key(101),
+                    stake_lamports: 5_000_000_000,
+                    stake_pool: "solo".into(),
+                    blocks_led: 11,
+                    sandwich_slots: Vec::new(),
+                    sandwiches: 0,
+                    attacker_gain_lamports: 0,
+                    victim_loss_lamports: 0,
+                    tips_lamports: 0,
+                    refs: Vec::new(),
+                },
+            ]),
         }
     }
 
@@ -665,6 +749,49 @@ mod tests {
         assert!(body_text(&response).contains("unknown attacker"));
         let response = engine.evaluate(&QueryRequest::Pool { mint: key(99) });
         assert_eq!(response.status, 404);
+        let response = engine.evaluate(&QueryRequest::Validator { pubkey: key(99) });
+        assert_eq!(response.status, 404);
+        assert!(body_text(&response).contains("unknown validator"));
+    }
+
+    #[test]
+    fn validators_page_carries_bps_rates_and_pool_rollups() {
+        let engine = Engine::new(Arc::new(toy_index()));
+        let page = engine.evaluate(&QueryRequest::Validators {
+            limit: 10,
+            after: 0,
+        });
+        assert_eq!(page.status, 200);
+        let text = body_text(&page);
+        assert!(text.contains("\"total\":2"), "{text}");
+        // 4 sandwiches over 30 blocks = 1333 bps; 4 distinct sandwich
+        // blocks over 30 = 1333 bps.
+        assert!(text.contains("\"sandwiches_per_block_bps\":1333"), "{text}");
+        assert!(text.contains("\"sandwich_block_bps\":1333"), "{text}");
+        assert!(text.contains("\"stake_pool\":\"jito\""), "{text}");
+        assert!(text.contains("\"stake_pool\":\"solo\""), "{text}");
+        assert!(text.contains("\"stake_pools\":["), "{text}");
+
+        // The zero-sandwich validator still gets a row (full universe).
+        let page2 = engine.evaluate(&QueryRequest::Validators { limit: 1, after: 1 });
+        let text = body_text(&page2);
+        assert!(
+            text.contains(&format!("\"pubkey\":\"{}\"", key(101))),
+            "{text}"
+        );
+        // Rollups are over the full list even on a 1-row page.
+        assert!(text.contains("\"stake_pool\":\"jito\""), "{text}");
+    }
+
+    #[test]
+    fn validator_detail_matches_its_leaderboard_row() {
+        let engine = Engine::new(Arc::new(toy_index()));
+        let response = engine.evaluate(&QueryRequest::Validator { pubkey: key(100) });
+        assert_eq!(response.status, 200);
+        let text = body_text(&response);
+        assert!(text.contains("\"rank\":0"), "{text}");
+        assert!(text.contains("\"blocks_led\":30"), "{text}");
+        assert!(text.contains("\"recent\":["), "{text}");
     }
 
     #[test]

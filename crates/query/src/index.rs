@@ -14,6 +14,7 @@ use std::path::Path;
 
 use serde::{Deserialize, Serialize};
 
+use sandwich_attrib::{LeaderSchedule, ValidatorSpec};
 use sandwich_core::{detect, is_defensive_at, Currency, DetectorConfig};
 use sandwich_jito::BundleId;
 use sandwich_ledger::{TransactionId, TransactionMeta};
@@ -118,6 +119,41 @@ pub struct SandwichRef {
     pub attacker_gain_lamports: Option<i128>,
     /// Total Jito tip paid inside the bundle.
     pub tip_lamports: u64,
+    /// Leader of the landing slot, recomputed from the manifest's
+    /// validator spec during the index build. `None` when the store
+    /// predates attribution (no spec in the manifest).
+    pub leader: Option<Pubkey>,
+}
+
+/// Aggregates for one validator of the chain's leader schedule, plus the
+/// refs behind them. Entries exist for **every** validator in the spec —
+/// including those with zero sandwiches — so shard merges and stake-pool
+/// rollups see the same universe everywhere.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ValidatorEntry {
+    /// The validator's identity address.
+    pub pubkey: Pubkey,
+    /// Derived stake, lamports (public chain data).
+    pub stake_lamports: u64,
+    /// Stake-pool affiliation (derived, public chain data).
+    pub stake_pool: String,
+    /// Slots this validator led in `[0, max_slot]`. Monotone
+    /// non-decreasing in `max_slot`, which is why the shard router can
+    /// merge this field by element-wise max.
+    pub blocks_led: u64,
+    /// Distinct slots this validator led that contained at least one
+    /// detected sandwich, sorted ascending. Shards merge by union.
+    pub sandwich_slots: Vec<u64>,
+    /// Sandwiches landed in this validator's slots.
+    pub sandwiches: u64,
+    /// Summed priced attacker gains in this validator's slots, lamports.
+    pub attacker_gain_lamports: i128,
+    /// Summed priced victim losses in this validator's slots, lamports.
+    pub victim_loss_lamports: u128,
+    /// Summed sandwich-bundle tips in this validator's slots, lamports.
+    pub tips_lamports: u128,
+    /// Indices into [`QueryIndex::refs`], slot-ordered.
+    pub refs: Vec<u32>,
 }
 
 /// Aggregates for one attacker, plus the refs behind them.
@@ -231,6 +267,15 @@ pub struct QueryIndex {
     pub segment_files: Vec<String>,
     /// Sorted file names of the quarantined segments accounted for.
     pub quarantined_files: Vec<String>,
+    /// The validator spec the leaderboard was computed under (from the
+    /// store manifest). `None` for a pre-attribution store — and for
+    /// index files persisted before this field existed, which decode
+    /// with both attribution fields absent.
+    pub validator_spec: Option<ValidatorSpec>,
+    /// Validator leaderboard: sandwich rate (sandwiches per block led)
+    /// desc, then count desc, then address asc. One entry per spec
+    /// validator. `None` when the store has no validator spec.
+    pub validators: Option<Vec<ValidatorEntry>>,
 }
 
 /// Per-segment partial of the index build (merged in segment order).
@@ -270,7 +315,11 @@ impl IndexPartial {
     }
 }
 
-fn partial_of_segment(data: sandwich_store::SegmentData, config: &QueryConfig) -> IndexPartial {
+fn partial_of_segment(
+    data: sandwich_store::SegmentData,
+    config: &QueryConfig,
+    schedule: Option<&LeaderSchedule>,
+) -> IndexPartial {
     let mut partial = IndexPartial::default();
     let lookup: HashMap<TransactionId, TransactionMeta> = data
         .details
@@ -332,6 +381,7 @@ fn partial_of_segment(data: sandwich_store::SegmentData, config: &QueryConfig) -
             victim_loss_lamports: finding.victim_loss_lamports,
             attacker_gain_lamports: finding.attacker_gain_lamports,
             tip_lamports: bundle.tip.0,
+            leader: schedule.map(|s| s.leader_at(bundle.slot)),
         });
     }
     partial
@@ -368,11 +418,16 @@ pub fn build_index_subset(
     serving: &[usize],
     quarantined: &[usize],
 ) -> std::io::Result<QueryIndex> {
+    // One schedule for the whole build: recomputed from the manifest's
+    // public validator spec, never read from the wire. A pre-attribution
+    // store (no spec) indexes with `leader: None` on every ref.
+    let spec = store.manifest().validators;
+    let schedule = spec.as_ref().map(LeaderSchedule::new);
     let (partials, _workers) = parallel_map(serving, config.threads, |_, &i| {
         store
             .read_segment(i)
             .ok()
-            .map(|data| partial_of_segment(data, config))
+            .map(|data| partial_of_segment(data, config, schedule.as_ref()))
     });
     let mut acc = IndexPartial::default();
     let mut coverage = IndexCoverage {
@@ -404,6 +459,7 @@ pub fn build_index_subset(
         coverage,
         generation_of(store.manifest()),
         serving.len() as u64,
+        spec,
         config,
     );
     index.segment_files = serving
@@ -439,6 +495,9 @@ pub fn fold_indexes(generation: &str, parts: Vec<QueryIndex>, config: &QueryConf
     let mut segments = 0u64;
     let mut segment_files = Vec::new();
     let mut quarantined_files = Vec::new();
+    // Every part of one store generation carries the same spec (or none);
+    // the leaderboard is recomputed from the merged refs under it.
+    let spec = parts.iter().find_map(|p| p.validator_spec);
     for part in parts {
         coverage.segments_total += part.coverage.segments_total;
         coverage.segments_scanned += part.coverage.segments_scanned;
@@ -459,7 +518,14 @@ pub fn fold_indexes(generation: &str, parts: Vec<QueryIndex>, config: &QueryConf
     }
     segment_files.sort();
     quarantined_files.sort();
-    let mut folded = finalize(acc, coverage, generation.to_string(), segments, config);
+    let mut folded = finalize(
+        acc,
+        coverage,
+        generation.to_string(),
+        segments,
+        spec,
+        config,
+    );
     folded.segment_files = segment_files;
     folded.quarantined_files = quarantined_files;
     folded
@@ -489,11 +555,29 @@ pub fn sort_pool_entries(pools: &mut [PoolEntry]) {
     });
 }
 
+/// Sort validator entries into leaderboard order: sandwich **rate**
+/// (sandwiches per block led) desc, then sandwich count desc, then
+/// address asc. The rate comparison cross-multiplies in `u128` —
+/// `a.sandwiches * b.blocks_led` vs `b.sandwiches * a.blocks_led` — so
+/// there is no float anywhere and the shard router's re-sort of merged
+/// entries is bit-identical to the single-engine order.
+pub fn sort_validator_entries(validators: &mut [ValidatorEntry]) {
+    validators.sort_by(|a, b| {
+        let a_rate = u128::from(a.sandwiches) * u128::from(b.blocks_led);
+        let b_rate = u128::from(b.sandwiches) * u128::from(a.blocks_led);
+        b_rate
+            .cmp(&a_rate)
+            .then(b.sandwiches.cmp(&a.sandwiches))
+            .then(a.pubkey.cmp(&b.pubkey))
+    });
+}
+
 fn finalize(
     mut acc: IndexPartial,
     coverage: IndexCoverage,
     generation: String,
     segments: u64,
+    spec: Option<ValidatorSpec>,
     config: &QueryConfig,
 ) -> QueryIndex {
     acc.refs.sort_by_key(|r| (r.slot, r.bundle_id.0));
@@ -545,6 +629,57 @@ fn finalize(
     let mut pools: Vec<PoolEntry> = pools.into_values().collect();
     sort_pool_entries(&mut pools);
 
+    // The validator leaderboard is a pure function of (refs, spec,
+    // max_slot): every fold path recomputes it from the merged refs, so
+    // fold-vs-rebuild byte-identity extends to attribution for free.
+    let validators = spec.map(|spec| {
+        let schedule = LeaderSchedule::new(&spec);
+        let blocks_led = schedule.slots_led_through(acc.max_slot);
+        let by_pubkey: HashMap<Pubkey, usize> = schedule
+            .validators()
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.pubkey, i))
+            .collect();
+        let mut entries: Vec<ValidatorEntry> = schedule
+            .validators()
+            .iter()
+            .enumerate()
+            .map(|(i, v)| ValidatorEntry {
+                pubkey: v.pubkey,
+                stake_lamports: v.stake_lamports,
+                stake_pool: v.stake_pool.to_string(),
+                blocks_led: blocks_led[i],
+                sandwich_slots: Vec::new(),
+                sandwiches: 0,
+                attacker_gain_lamports: 0,
+                victim_loss_lamports: 0,
+                tips_lamports: 0,
+                refs: Vec::new(),
+            })
+            .collect();
+        let mut slot_sets: Vec<std::collections::BTreeSet<u64>> =
+            vec![std::collections::BTreeSet::new(); entries.len()];
+        for (i, r) in acc.refs.iter().enumerate() {
+            let Some(leader) = r.leader else { continue };
+            let Some(&v) = by_pubkey.get(&leader) else {
+                continue;
+            };
+            let entry = &mut entries[v];
+            entry.sandwiches += 1;
+            entry.attacker_gain_lamports += r.attacker_gain_lamports.unwrap_or(0);
+            entry.victim_loss_lamports += u128::from(r.victim_loss_lamports.unwrap_or(0));
+            entry.tips_lamports += u128::from(r.tip_lamports);
+            entry.refs.push(i as u32);
+            slot_sets[v].insert(r.slot);
+        }
+        for (entry, slots) in entries.iter_mut().zip(slot_sets) {
+            entry.sandwich_slots = slots.into_iter().collect();
+        }
+        sort_validator_entries(&mut entries);
+        entries
+    });
+
     let totals = IndexTotals {
         segments,
         bundles: acc.days.iter().map(|d| d.bundles).sum(),
@@ -566,6 +701,8 @@ fn finalize(
         pools,
         segment_files: Vec::new(),
         quarantined_files: Vec::new(),
+        validator_spec: spec,
+        validators,
     }
 }
 
@@ -982,6 +1119,95 @@ mod tests {
             IndexReject::Missing
         );
         std::fs::remove_dir_all(store.dir()).unwrap();
+    }
+
+    fn tmp_store_with_spec(tag: &str, segments: usize, spec: ValidatorSpec) -> BundleStore {
+        let dir = std::env::temp_dir().join(format!("swquery-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut w = StoreWriter::create(&dir).unwrap();
+        w.set_validators(spec).unwrap();
+        for seg in 0..segments as u64 {
+            let bundles: Vec<_> = (0..20)
+                .map(|i| bundle(seg * 100 + i, seg * 300 + i * 3, 1, 40_000 + i))
+                .collect();
+            w.seal_segment(bundles, Vec::new(), Vec::new()).unwrap();
+        }
+        w.into_reader()
+    }
+
+    #[test]
+    fn spec_in_manifest_yields_a_full_validator_leaderboard() {
+        let spec = ValidatorSpec::new(7, 6);
+        let store = tmp_store_with_spec("valboard", 3, spec);
+        let index = build_index(&store, &QueryConfig::default()).unwrap();
+        assert_eq!(index.validator_spec, Some(spec));
+        let validators = index.validators.as_ref().expect("leaderboard present");
+        assert_eq!(validators.len(), 6, "one entry per spec validator");
+        let led: u64 = validators.iter().map(|v| v.blocks_led).sum();
+        assert_eq!(
+            led,
+            index.totals.max_slot + 1,
+            "blocks_led partitions [0, max_slot]"
+        );
+        assert!(validators.iter().all(|v| !v.stake_pool.is_empty()));
+        // No sandwiches in this store, so the tie-break is address order.
+        let addrs: Vec<_> = validators.iter().map(|v| v.pubkey).collect();
+        let mut sorted = addrs.clone();
+        sorted.sort();
+        assert_eq!(addrs, sorted);
+        std::fs::remove_dir_all(store.dir()).unwrap();
+    }
+
+    #[test]
+    fn fold_with_spec_matches_the_full_build_byte_for_byte() {
+        let spec = ValidatorSpec::new(11, 4);
+        let store = tmp_store_with_spec("valfold", 4, spec);
+        let config = QueryConfig::default();
+        let full = build_index(&store, &config).unwrap();
+        assert!(full.validators.is_some());
+        let parts: Vec<QueryIndex> = (0..4)
+            .map(|i| build_index_subset(&store, &config, &[i], &[]).unwrap())
+            .collect();
+        let folded = fold_indexes(&full.generation, parts, &config);
+        assert_eq!(
+            serde_json::to_string(&folded).unwrap(),
+            serde_json::to_string(&full).unwrap(),
+            "fold must recompute the leaderboard byte-identically"
+        );
+        std::fs::remove_dir_all(store.dir()).unwrap();
+    }
+
+    #[test]
+    fn validator_sort_ranks_by_rate_without_floats() {
+        fn entry(label: &str, sandwiches: u64, blocks_led: u64) -> ValidatorEntry {
+            ValidatorEntry {
+                pubkey: Pubkey::derive(label),
+                stake_lamports: 0,
+                stake_pool: "solo".into(),
+                blocks_led,
+                sandwich_slots: Vec::new(),
+                sandwiches,
+                attacker_gain_lamports: 0,
+                victim_loss_lamports: 0,
+                tips_lamports: 0,
+                refs: Vec::new(),
+            }
+        }
+        // Rates: a = 3/10, b = 2/4 (= 0.5), c = 0/8, d = 0/0.
+        let mut entries = vec![
+            entry("a", 3, 10),
+            entry("b", 2, 4),
+            entry("c", 0, 8),
+            entry("d", 0, 0),
+        ];
+        sort_validator_entries(&mut entries);
+        let order: Vec<Pubkey> = entries.iter().map(|e| e.pubkey).collect();
+        assert_eq!(order[0], Pubkey::derive("b"), "highest rate first");
+        assert_eq!(order[1], Pubkey::derive("a"));
+        // Zero-sandwich entries tie on rate and count; address breaks it.
+        let mut tail = [order[2], order[3]];
+        tail.sort();
+        assert_eq!(&order[2..], &tail[..]);
     }
 
     #[test]

@@ -17,6 +17,7 @@ use crate::cache::CachedResponse;
 use crate::engine::encode_live_cursor;
 use crate::index::{
     AttackerEntry, DayRollup, IndexCoverage, IndexTotals, LiveMinute, PoolEntry, SandwichRef,
+    ValidatorEntry,
 };
 
 /// Sandwich rows embedded in an attacker/pool detail response.
@@ -108,6 +109,120 @@ impl PoolRow {
 struct PoolDetailResponse {
     generation: String,
     row: PoolRow,
+    recent: Vec<SandwichRef>,
+}
+
+/// Basis points of `part` in `whole` as exact integer arithmetic — the
+/// response carries no floats, so single-engine and router bodies can be
+/// byte-compared without epsilon games. Zero denominator renders as 0.
+fn bps(part: u64, whole: u64) -> u64 {
+    if whole == 0 {
+        0
+    } else {
+        (u128::from(part) * 10_000 / u128::from(whole)) as u64
+    }
+}
+
+#[derive(Serialize)]
+struct ValidatorRow {
+    rank: usize,
+    pubkey: Pubkey,
+    stake_lamports: u64,
+    stake_pool: String,
+    blocks_led: u64,
+    sandwiches: u64,
+    /// Distinct slots led by this validator containing a sandwich.
+    sandwich_blocks: u64,
+    /// `sandwiches / blocks_led` in basis points (integer, no floats).
+    sandwiches_per_block_bps: u64,
+    /// `sandwich_blocks / blocks_led` in basis points — the paper's
+    /// "sandwich-inclusive block proportion" per leader.
+    sandwich_block_bps: u64,
+    attacker_gain_lamports: i128,
+    victim_loss_lamports: u128,
+    tips_lamports: u128,
+}
+
+impl ValidatorRow {
+    fn of(rank: usize, entry: &ValidatorEntry) -> Self {
+        let sandwich_blocks = entry.sandwich_slots.len() as u64;
+        ValidatorRow {
+            rank,
+            pubkey: entry.pubkey,
+            stake_lamports: entry.stake_lamports,
+            stake_pool: entry.stake_pool.clone(),
+            blocks_led: entry.blocks_led,
+            sandwiches: entry.sandwiches,
+            sandwich_blocks,
+            sandwiches_per_block_bps: bps(entry.sandwiches, entry.blocks_led),
+            sandwich_block_bps: bps(sandwich_blocks, entry.blocks_led),
+            attacker_gain_lamports: entry.attacker_gain_lamports,
+            victim_loss_lamports: entry.victim_loss_lamports,
+            tips_lamports: entry.tips_lamports,
+        }
+    }
+}
+
+#[derive(Serialize)]
+struct StakePoolRollup {
+    stake_pool: String,
+    validators: u64,
+    stake_lamports: u128,
+    blocks_led: u64,
+    sandwiches: u64,
+    sandwich_blocks: u64,
+    /// Pool-level `sandwich_blocks / blocks_led` in basis points.
+    sandwich_block_bps: u64,
+}
+
+/// Stake-pool rollups over the **full** entry list (never just the page):
+/// a pure function of the entries, computed identically by the single
+/// engine and the shard router after its merge.
+fn stake_pool_rollups(entries: &[ValidatorEntry]) -> Vec<StakePoolRollup> {
+    let mut by_pool: std::collections::BTreeMap<&str, StakePoolRollup> =
+        std::collections::BTreeMap::new();
+    for entry in entries {
+        let rollup = by_pool
+            .entry(entry.stake_pool.as_str())
+            .or_insert_with(|| StakePoolRollup {
+                stake_pool: entry.stake_pool.clone(),
+                validators: 0,
+                stake_lamports: 0,
+                blocks_led: 0,
+                sandwiches: 0,
+                sandwich_blocks: 0,
+                sandwich_block_bps: 0,
+            });
+        rollup.validators += 1;
+        rollup.stake_lamports += u128::from(entry.stake_lamports);
+        rollup.blocks_led += entry.blocks_led;
+        rollup.sandwiches += entry.sandwiches;
+        rollup.sandwich_blocks += entry.sandwich_slots.len() as u64;
+    }
+    by_pool
+        .into_values()
+        .map(|mut rollup| {
+            rollup.sandwich_block_bps = bps(rollup.sandwich_blocks, rollup.blocks_led);
+            rollup
+        })
+        .collect()
+}
+
+#[derive(Serialize)]
+struct ValidatorsPage {
+    generation: String,
+    total: usize,
+    limit: usize,
+    after: usize,
+    next: Option<usize>,
+    rows: Vec<ValidatorRow>,
+    stake_pools: Vec<StakePoolRollup>,
+}
+
+#[derive(Serialize)]
+struct ValidatorDetailResponse {
+    generation: String,
+    row: ValidatorRow,
     recent: Vec<SandwichRef>,
 }
 
@@ -268,6 +383,63 @@ pub fn pool_detail(
         &PoolDetailResponse {
             generation: generation.to_string(),
             row: PoolRow::of(rank, entry),
+            recent,
+        },
+    )
+}
+
+/// The 404 for a validator outside the chain's leader schedule (shape
+/// matches [`unknown_attacker`]).
+pub fn unknown_validator(pubkey: &Pubkey) -> CachedResponse {
+    error_response(404, format!("unknown validator {pubkey}"))
+}
+
+/// `GET /api/validators` — `entries` must already be in leaderboard order
+/// (see [`crate::index::sort_validator_entries`]) and cover **every**
+/// validator of the spec: the stake-pool rollups aggregate the full list,
+/// not the page. A pre-attribution store passes an empty slice.
+pub fn validators_page(
+    generation: &str,
+    entries: &[ValidatorEntry],
+    limit: usize,
+    after: usize,
+) -> CachedResponse {
+    let total = entries.len();
+    let rows: Vec<ValidatorRow> = entries
+        .iter()
+        .enumerate()
+        .skip(after)
+        .take(limit)
+        .map(|(rank, entry)| ValidatorRow::of(rank, entry))
+        .collect();
+    let end = after + rows.len();
+    json_response(
+        200,
+        &ValidatorsPage {
+            generation: generation.to_string(),
+            total,
+            limit,
+            after,
+            next: (end < total).then_some(end),
+            rows,
+            stake_pools: stake_pool_rollups(entries),
+        },
+    )
+}
+
+/// `GET /api/validator/{pubkey}` — like [`attacker_detail`]: `recent`
+/// must be the newest refs, newest first, capped at [`DETAIL_REF_CAP`].
+pub fn validator_detail(
+    generation: &str,
+    rank: usize,
+    entry: &ValidatorEntry,
+    recent: Vec<SandwichRef>,
+) -> CachedResponse {
+    json_response(
+        200,
+        &ValidatorDetailResponse {
+            generation: generation.to_string(),
+            row: ValidatorRow::of(rank, entry),
             recent,
         },
     )

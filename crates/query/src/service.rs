@@ -142,6 +142,14 @@ fn fold_from_base(
     {
         return Ok(None);
     }
+    // An attribution-stale base — built under a different (or no)
+    // validator spec than the manifest now carries — cannot be folded:
+    // its refs lack or mis-assign leaders, and the fold would bake that
+    // in forever. Rebuild from segments under the current spec instead.
+    if base.validator_spec != store.manifest().validators {
+        registry.counter(names::ATTRIB_SPEC_MISMATCH_REBUILDS).inc();
+        return Ok(None);
+    }
     let Some(delta) = store
         .manifest()
         .delta_from(&base.segment_files, &base.quarantined_files)
@@ -160,6 +168,26 @@ fn fold_from_base(
         .histogram(names::QUERY_INDEX_FOLD_SECONDS)
         .observe(started.elapsed().as_secs_f64());
     Ok(Some(folded))
+}
+
+/// Record attribution coverage for an index that is about to go live:
+/// one schedule build when a validator spec was in play, plus how many
+/// sealed sandwiches joined to a slot leader and how many fell back to
+/// the unattributed decode path.
+fn record_attrib_metrics(index: &QueryIndex, registry: &Registry) {
+    if index.validator_spec.is_some() {
+        registry.counter(names::ATTRIB_SCHEDULE_BUILDS).inc();
+    }
+    let joined = index.refs.iter().filter(|r| r.leader.is_some()).count() as u64;
+    let unattributed = index.refs.len() as u64 - joined;
+    if joined > 0 {
+        registry.counter(names::ATTRIB_JOINS).add(joined);
+    }
+    if unattributed > 0 {
+        registry
+            .counter(names::ATTRIB_UNATTRIBUTED)
+            .add(unattributed);
+    }
 }
 
 /// Load the persisted index when it verifies, fold forward when it is
@@ -206,6 +234,7 @@ fn load_or_build(
             .counter(names::QUERY_INDEX_SEGMENTS_FAILED)
             .add(index.coverage.segments_failed);
     }
+    record_attrib_metrics(&index, registry);
     Ok(Engine::new(Arc::new(index)))
 }
 
@@ -293,6 +322,7 @@ impl QueryService {
                 .counter(names::QUERY_INDEX_SEGMENTS_FAILED)
                 .add(index.coverage.segments_failed);
         }
+        record_attrib_metrics(&index, registry);
         *self.inner.engine.write() = Arc::new(Engine::new(Arc::new(index)));
         registry.counter(names::QUERY_RELOADS).inc();
         Ok(true)
@@ -344,6 +374,17 @@ impl QueryService {
     async fn handle(&self, endpoint: &'static str, request: Request) -> Response {
         let inner = &self.inner;
         inner.registry.counter(names::QUERY_REQUESTS).inc();
+        match endpoint {
+            "validators" => inner
+                .registry
+                .counter(names::QUERY_VALIDATORS_REQUESTS)
+                .inc(),
+            "validator" => inner
+                .registry
+                .counter(names::QUERY_VALIDATOR_DETAIL_REQUESTS)
+                .inc(),
+            _ => {}
+        }
         let timer = Instant::now();
 
         // Admission control: bound concurrent API work, shed the rest
@@ -450,7 +491,7 @@ impl QueryService {
 
     /// The API router (plus `GET /metrics` from the shared registry).
     pub fn router(&self) -> Router {
-        let endpoints: [(&'static str, &'static str); 7] = [
+        let endpoints: [(&'static str, &'static str); 9] = [
             ("summary", "/api/summary"),
             ("days", "/api/days"),
             ("attackers", "/api/attackers"),
@@ -458,6 +499,8 @@ impl QueryService {
             ("pool", "/api/pool/{mint}"),
             ("sandwiches", "/api/sandwiches"),
             ("live", "/api/live"),
+            ("validators", "/api/validators"),
+            ("validator", "/api/validator/{pubkey}"),
         ];
         let mut router = Router::new();
         for (endpoint, path) in endpoints {
@@ -842,6 +885,66 @@ mod tests {
             let ready = client.get("/readyz").await.unwrap();
             assert_eq!(ready.status, 200);
             assert!(String::from_utf8_lossy(&ready.body).contains("\"complete\":false"));
+
+            server.shutdown().await;
+            std::fs::remove_dir_all(&dir).unwrap();
+        });
+    }
+
+    #[test]
+    fn spec_change_rebuilds_instead_of_folding_and_serves_validators() {
+        block_on(async {
+            let dir = seed_store("specswap", 2);
+            let registry = Registry::new();
+            let service =
+                QueryService::open(QueryServiceConfig::new(&dir), registry.clone()).unwrap();
+            let server = Server::bind("127.0.0.1:0", service.router()).await.unwrap();
+            let client = HttpClient::new(server.local_addr());
+
+            // No validator spec yet: the leaderboard answers, empty.
+            let none = client.get("/api/validators").await.unwrap();
+            assert_eq!(none.status, 200);
+            assert!(String::from_utf8_lossy(&none.body).contains("\"total\":0"));
+
+            // Attach a spec: the generation changes, and the in-memory
+            // base (built without attribution) must NOT fold forward —
+            // the reload rebuilds from segments under the new spec.
+            let sealed = Manifest::load(&dir).unwrap().segments;
+            let mut w = StoreWriter::resume(&dir, &sealed).unwrap();
+            w.set_validators(sandwich_attrib::ValidatorSpec::new(7, 6))
+                .unwrap();
+            assert!(service.reload().unwrap());
+            let snap = registry.snapshot();
+            assert_eq!(snap.counter(names::ATTRIB_SPEC_MISMATCH_REBUILDS), Some(1));
+            assert_eq!(snap.counter(names::QUERY_INDEX_FULL_REBUILDS), Some(1));
+            assert_eq!(snap.counter(names::ATTRIB_SCHEDULE_BUILDS), Some(1));
+
+            // Every spec validator gets a row even with zero sandwiches.
+            let page = client.get("/api/validators?limit=10").await.unwrap();
+            assert_eq!(page.status, 200);
+            let text = String::from_utf8_lossy(&page.body).to_string();
+            assert!(text.contains("\"total\":6"), "{text}");
+            assert!(text.contains("\"blocks_led\""), "{text}");
+            assert!(text.contains("\"stake_pools\""), "{text}");
+            assert_eq!(
+                registry
+                    .snapshot()
+                    .counter(names::QUERY_VALIDATORS_REQUESTS),
+                Some(2)
+            );
+
+            // Unknown validator: 404 JSON, just like unknown attackers.
+            let missing = client
+                .get("/api/validator/1111111111111111111111111111111111111111111")
+                .await
+                .unwrap();
+            assert!(missing.status == 404 || missing.status == 400);
+            assert_eq!(
+                registry
+                    .snapshot()
+                    .counter(names::QUERY_VALIDATOR_DETAIL_REQUESTS),
+                Some(1)
+            );
 
             server.shutdown().await;
             std::fs::remove_dir_all(&dir).unwrap();

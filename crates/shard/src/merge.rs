@@ -29,8 +29,9 @@ use std::collections::{BTreeSet, HashMap};
 use serde::{Deserialize, Serialize};
 
 use sandwich_query::{
-    sort_attacker_entries, sort_pool_entries, window_minutes, AttackerEntry, DayRollup,
-    IndexCoverage, IndexTotals, LiveMinute, PoolEntry, SandwichRef,
+    sort_attacker_entries, sort_pool_entries, sort_validator_entries, window_minutes,
+    AttackerEntry, DayRollup, IndexCoverage, IndexTotals, LiveMinute, PoolEntry, SandwichRef,
+    ValidatorEntry,
 };
 use sandwich_types::Pubkey;
 
@@ -92,6 +93,29 @@ pub struct PoolDetailPartial {
     /// Distinct attackers in the target pool on this shard.
     pub attackers: Vec<Pubkey>,
     /// The target pool's newest refs, **oldest first**, capped.
+    pub recent: Vec<SandwichRef>,
+}
+
+/// Shard partial for `GET /api/validators` (and the leaderboard half of
+/// validator detail): every validator entry, refs cleared but
+/// `sandwich_slots` retained — the distinct-block counts merge by slot
+/// union, not by sum.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ValidatorsPartial {
+    /// Store generation this shard answered for.
+    pub generation: String,
+    /// This shard's validator entries (any order; the router re-sorts).
+    pub entries: Vec<ValidatorEntry>,
+}
+
+/// Shard partial for `GET /api/validator/{pubkey}`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ValidatorDetailPartial {
+    /// Store generation this shard answered for.
+    pub generation: String,
+    /// Every validator entry (rank needs the whole leaderboard).
+    pub entries: Vec<ValidatorEntry>,
+    /// The target validator's newest refs, **oldest first**, capped.
     pub recent: Vec<SandwichRef>,
 }
 
@@ -238,6 +262,52 @@ pub fn merge_pools(parts: Vec<Vec<PoolEntry>>) -> Vec<PoolEntry> {
     }
     let mut merged: Vec<PoolEntry> = by_key.into_values().collect();
     sort_pool_entries(&mut merged);
+    merged
+}
+
+/// Group shard validator entries by pubkey and merge. The schedule is a
+/// pure function of the manifest's spec, so every shard ships the same
+/// validator set with the same stakes; only the slot-derived aggregates
+/// differ:
+///
+/// - `blocks_led` merges by **max**: each shard reports the schedule
+///   counted through its own tip slot, `blocks_led(v, max_slot)` is
+///   monotone non-decreasing in `max_slot`, and the global tip is the
+///   max of shard tips — so the element-wise max reproduces the count
+///   the single engine computes at the global tip.
+/// - `sandwich_slots` merges by **sorted union**: a boundary slot can
+///   straddle two shards' segments, so a sum would double-count the
+///   block.
+/// - Everything else is a field-wise sum.
+///
+/// The merged list is re-sorted with the exact single-engine comparator.
+pub fn merge_validators(parts: Vec<Vec<ValidatorEntry>>) -> Vec<ValidatorEntry> {
+    let mut by_key: HashMap<Pubkey, ValidatorEntry> = HashMap::new();
+    for entry in parts.into_iter().flatten() {
+        match by_key.entry(entry.pubkey) {
+            std::collections::hash_map::Entry::Vacant(vacant) => {
+                vacant.insert(ValidatorEntry {
+                    refs: Vec::new(),
+                    ..entry
+                });
+            }
+            std::collections::hash_map::Entry::Occupied(mut occupied) => {
+                let merged = occupied.get_mut();
+                merged.blocks_led = merged.blocks_led.max(entry.blocks_led);
+                merged.sandwich_slots.extend(entry.sandwich_slots);
+                merged.sandwiches += entry.sandwiches;
+                merged.attacker_gain_lamports += entry.attacker_gain_lamports;
+                merged.victim_loss_lamports += entry.victim_loss_lamports;
+                merged.tips_lamports += entry.tips_lamports;
+            }
+        }
+    }
+    let mut merged: Vec<ValidatorEntry> = by_key.into_values().collect();
+    for entry in &mut merged {
+        entry.sandwich_slots.sort_unstable();
+        entry.sandwich_slots.dedup();
+    }
+    sort_validator_entries(&mut merged);
     merged
 }
 

@@ -31,8 +31,9 @@ use sandwich_types::Hash;
 
 use crate::merge::{
     distinct_count, merge_attackers, merge_coverage, merge_days, merge_live, merge_pools,
-    merge_range, merge_recent, merge_totals, AttackerDetailPartial, AttackersPartial, DaysPartial,
-    LivePartial, PoolDetailPartial, RangePartial, SummaryPartial,
+    merge_range, merge_recent, merge_totals, merge_validators, AttackerDetailPartial,
+    AttackersPartial, DaysPartial, LivePartial, PoolDetailPartial, RangePartial, SummaryPartial,
+    ValidatorDetailPartial, ValidatorsPartial,
 };
 
 /// How often a router long-poll re-fans out looking for rows past the
@@ -86,7 +87,9 @@ impl_partial!(
     AttackerDetailPartial,
     PoolDetailPartial,
     RangePartial,
-    LivePartial
+    LivePartial,
+    ValidatorsPartial,
+    ValidatorDetailPartial
 );
 
 struct RouterInner {
@@ -407,6 +410,43 @@ impl RouterService {
                 merged_at(started);
                 response
             }
+            QueryRequest::Validators { limit, after } => {
+                let parts: Vec<ValidatorsPartial> = match self
+                    .fetch("/shard/validators".to_string(), generation)
+                    .await
+                {
+                    Ok(parts) => parts,
+                    Err(failed) => return failed,
+                };
+                let started = Instant::now();
+                let entries = merge_validators(parts.into_iter().map(|p| p.entries).collect());
+                let response = render::validators_page(generation, &entries, *limit, *after);
+                merged_at(started);
+                response
+            }
+            QueryRequest::Validator { pubkey } => {
+                let parts: Vec<ValidatorDetailPartial> = match self
+                    .fetch(format!("/shard/validator/{pubkey}"), generation)
+                    .await
+                {
+                    Ok(parts) => parts,
+                    Err(failed) => return failed,
+                };
+                let started = Instant::now();
+                let recent = merge_recent(
+                    parts.iter().map(|p| p.recent.clone()).collect(),
+                    DETAIL_REF_CAP,
+                );
+                let entries = merge_validators(parts.into_iter().map(|p| p.entries).collect());
+                let response = match entries.iter().position(|e| e.pubkey == *pubkey) {
+                    None => render::unknown_validator(pubkey),
+                    Some(rank) => {
+                        render::validator_detail(generation, rank, &entries[rank], recent)
+                    }
+                };
+                merged_at(started);
+                response
+            }
             QueryRequest::Sandwiches {
                 from_slot,
                 to_slot,
@@ -621,7 +661,7 @@ impl RouterService {
 
     /// The public `/api/*` router (plus health probes and `/metrics`).
     pub fn router(&self) -> Router {
-        let endpoints: [(&'static str, &'static str); 7] = [
+        let endpoints: [(&'static str, &'static str); 9] = [
             ("summary", "/api/summary"),
             ("days", "/api/days"),
             ("attackers", "/api/attackers"),
@@ -629,6 +669,8 @@ impl RouterService {
             ("pool", "/api/pool/{mint}"),
             ("sandwiches", "/api/sandwiches"),
             ("live", "/api/live"),
+            ("validators", "/api/validators"),
+            ("validator", "/api/validator/{pubkey}"),
         ];
         let mut router = Router::new();
         for (endpoint, path) in endpoints {

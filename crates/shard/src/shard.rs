@@ -22,7 +22,7 @@ use sandwich_query::render::{error_response, DETAIL_REF_CAP};
 use sandwich_query::{
     build_index_subset, first_ref_after_cursor, generation_of, live_minutes, load_index_as,
     save_index_as, AttackerEntry, CachedResponse, Engine, PoolEntry, QueryConfig, ResponseCache,
-    SandwichRef,
+    SandwichRef, ValidatorEntry,
 };
 use sandwich_store::BundleStore;
 use sandwich_types::{Hash, Pubkey};
@@ -30,7 +30,7 @@ use sandwich_types::{Hash, Pubkey};
 use crate::map::ShardMap;
 use crate::merge::{
     AttackerDetailPartial, AttackersPartial, DaysPartial, LivePartial, PoolDetailPartial,
-    RangePartial, SummaryPartial,
+    RangePartial, SummaryPartial, ValidatorDetailPartial, ValidatorsPartial,
 };
 
 /// File name of one shard's persisted index: qualified by shard id, shard
@@ -80,6 +80,8 @@ enum ShardQuery {
     Attackers,
     Attacker(Pubkey),
     Pool(Pubkey),
+    Validators,
+    Validator(Pubkey),
     Range {
         from_slot: u64,
         to_slot: u64,
@@ -101,6 +103,8 @@ impl ShardQuery {
             ShardQuery::Attackers => "attackers".to_string(),
             ShardQuery::Attacker(pubkey) => format!("attacker/{pubkey}"),
             ShardQuery::Pool(mint) => format!("pool/{mint}"),
+            ShardQuery::Validators => "validators".to_string(),
+            ShardQuery::Validator(pubkey) => format!("validator/{pubkey}"),
             ShardQuery::Range {
                 from_slot,
                 to_slot,
@@ -302,6 +306,31 @@ impl ShardService {
             .collect()
     }
 
+    /// Entries with refs cleared; `sandwich_slots` stays on the wire
+    /// (the router's distinct-block merge needs the slot union).
+    fn wire_validators(engine: &Engine) -> Vec<ValidatorEntry> {
+        engine
+            .validator_entries()
+            .iter()
+            .map(|e| ValidatorEntry {
+                refs: Vec::new(),
+                ..e.clone()
+            })
+            .collect()
+    }
+
+    fn validator_detail_partial(engine: &Engine, pubkey: &Pubkey) -> CachedResponse {
+        let recent = engine
+            .validator_entry(pubkey)
+            .map(|(_, entry)| engine.ref_tail(&entry.refs, DETAIL_REF_CAP))
+            .unwrap_or_default();
+        Self::json(&ValidatorDetailPartial {
+            generation: engine.generation().to_string(),
+            entries: Self::wire_validators(engine),
+            recent,
+        })
+    }
+
     fn attacker_detail_partial(engine: &Engine, pubkey: &Pubkey) -> CachedResponse {
         let recent = engine
             .attacker_entry(pubkey)
@@ -378,10 +407,12 @@ impl ShardService {
             "summary" => Ok(ShardQuery::Summary),
             "days" => Ok(ShardQuery::Days),
             "attackers" => Ok(ShardQuery::Attackers),
-            "attacker" | "pool" => {
-                let param = if kind == "attacker" { "pubkey" } else { "mint" };
+            "validators" => Ok(ShardQuery::Validators),
+            "attacker" | "pool" | "validator" => {
+                let param = if kind == "pool" { "mint" } else { "pubkey" };
                 match request.path_param(param).map(str::parse::<Pubkey>) {
                     Some(Ok(key)) if kind == "attacker" => Ok(ShardQuery::Attacker(key)),
+                    Some(Ok(key)) if kind == "validator" => Ok(ShardQuery::Validator(key)),
                     Some(Ok(key)) => Ok(ShardQuery::Pool(key)),
                     _ => Err(format!("invalid {param}")),
                 }
@@ -459,6 +490,13 @@ impl ShardService {
                             Self::attacker_detail_partial(&engine, &pubkey)
                         }
                         ShardQuery::Pool(mint) => Self::pool_detail_partial(&engine, &mint),
+                        ShardQuery::Validators => Self::json(&ValidatorsPartial {
+                            generation: engine.generation().to_string(),
+                            entries: Self::wire_validators(&engine),
+                        }),
+                        ShardQuery::Validator(pubkey) => {
+                            Self::validator_detail_partial(&engine, &pubkey)
+                        }
                         ShardQuery::Range {
                             from_slot,
                             to_slot,
@@ -511,7 +549,7 @@ impl ShardService {
 
     /// The partial API router (plus `GET /metrics` from the registry).
     pub fn router(&self) -> Router {
-        let endpoints: [(&'static str, &'static str); 7] = [
+        let endpoints: [(&'static str, &'static str); 9] = [
             ("summary", "/shard/summary"),
             ("days", "/shard/days"),
             ("attackers", "/shard/attackers"),
@@ -519,6 +557,8 @@ impl ShardService {
             ("pool", "/shard/pool/{mint}"),
             ("sandwiches", "/shard/sandwiches"),
             ("live", "/shard/live"),
+            ("validators", "/shard/validators"),
+            ("validator", "/shard/validator/{pubkey}"),
         ];
         let mut router = Router::new();
         for (kind, path) in endpoints {

@@ -54,6 +54,13 @@ pub struct ScenarioConfig {
     pub attacker_count: usize,
     /// Defensive-bundler population size.
     pub defender_count: usize,
+    /// Validators in the stake-weighted leader schedule.
+    pub validator_count: u32,
+    /// Fraction of validators that forward their mempool view to the
+    /// private channel ("colluders"). Sandwiches can only land in slots
+    /// led by a colluder, which is what makes attribution causally
+    /// meaningful: the leaderboard hot-spots *are* the colluders.
+    pub colluder_fraction: f64,
     /// Explorer downtime windows as inclusive day ranges (Figure 1's
     /// shaded gaps). The chain keeps running; the explorer drops every
     /// connection, so the collector's polls fail and its breaker opens.
@@ -81,6 +88,8 @@ impl Default for ScenarioConfig {
             trader_count: 300,
             attacker_count: 8,
             defender_count: 500,
+            validator_count: 24,
+            colluder_fraction: 0.25,
             downtime_days: vec![(27, 29), (56, 57), (84, 86)],
         }
     }
@@ -170,6 +179,19 @@ impl ScenarioConfig {
     pub fn slot_for(&self, day: u64, tick: u64) -> sandwich_types::Slot {
         let per_tick = sandwich_types::SLOTS_PER_DAY / self.ticks_per_day;
         sandwich_types::Slot(day * sandwich_types::SLOTS_PER_DAY + tick * per_tick)
+    }
+
+    /// The validator spec this scenario's leader schedule derives from.
+    /// Reuses the scenario seed, so a seed fully reproduces the rotation.
+    pub fn validator_spec(&self) -> sandwich_attrib::ValidatorSpec {
+        sandwich_attrib::ValidatorSpec::new(self.seed, self.validator_count)
+    }
+
+    /// Ground-truth colluder flags for this scenario's validator set,
+    /// indexed like the schedule's validators. Sim-side only — recorded in
+    /// the label book, never shipped with the measured data.
+    pub fn colluder_flags(&self) -> Vec<bool> {
+        sandwich_attrib::colluder_flags(&self.validator_spec(), self.colluder_fraction)
     }
 }
 

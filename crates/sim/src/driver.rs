@@ -19,7 +19,9 @@ use sandwich_ledger::{native_sol_mint, Transaction, TransactionBuilder};
 use sandwich_types::{Lamports, Pubkey, SlotClock};
 
 use crate::config::{lognormal_clamped, poisson, weighted_choice, ScenarioConfig};
-use crate::labels::{BenignKind, BundleLabel, LabelBook, NearMissFamily, SandwichLabel};
+use crate::labels::{
+    BenignKind, BundleLabel, BundleProvenance, LabelBook, NearMissFamily, SandwichLabel,
+};
 use crate::population::Population;
 use crate::universe::{PoolRef, Universe};
 
@@ -126,6 +128,8 @@ pub struct Simulation {
     metrics: Option<SimMetrics>,
     pub(crate) truth: GroundTruth,
     labels: LabelBook,
+    colluder_flags: Vec<bool>,
+    colluder_ticks_today: u64,
 }
 
 impl Simulation {
@@ -139,11 +143,13 @@ impl Simulation {
             config.attacker_count,
             config.defender_count,
         );
-        let engine = BlockEngine::new(universe.bank.clone());
+        let engine =
+            BlockEngine::new(universe.bank.clone()).with_schedule(universe.schedule.clone());
         let truth = GroundTruth {
             per_day: vec![DayTruth::default(); config.days as usize],
             ..Default::default()
         };
+        let colluder_flags = config.colluder_flags();
         Simulation {
             config,
             universe,
@@ -155,6 +161,8 @@ impl Simulation {
             metrics: None,
             truth,
             labels: LabelBook::new(),
+            colluder_flags,
+            colluder_ticks_today: 0,
         }
     }
 
@@ -204,7 +212,19 @@ impl Simulation {
         let tick_in_day = self.tick % self.config.ticks_per_day;
         if tick_in_day == 0 {
             self.population.top_up(&self.universe);
+            // How many of today's slots a colluder leads — the day's
+            // sandwich budget is spread over exactly these ticks.
+            self.colluder_ticks_today = (0..self.config.ticks_per_day)
+                .filter(|&t| {
+                    let s = self.config.slot_for(day, t);
+                    self.colluder_flags[self.universe.schedule.leader_index_at(s)]
+                })
+                .count() as u64;
         }
+
+        let slot = self.config.slot_for(day, tick_in_day);
+        let leader_index = self.universe.schedule.leader_index_at(slot);
+        let leader_is_colluder = self.colluder_flags[leader_index];
 
         let tpd = self.config.ticks_per_day as f64;
         let mut bundles: Vec<Bundle> = Vec::new();
@@ -212,10 +232,24 @@ impl Simulation {
         let regular: Vec<Transaction> = Vec::new();
 
         // Sandwiches (they are length-3 bundles; decoys fill the rest).
-        let sandwich_rate = self.config.sandwiches_on_day(day) / tpd;
+        // Attackers can only front-run what they can see: sandwiches land
+        // exclusively in slots whose leader forwards its mempool view to
+        // the private channel. The day's budget is divided over colluder
+        // ticks so the expected daily totals match the calibration even
+        // though the attacks are concentrated in colluder blocks.
+        let sandwich_rate = if leader_is_colluder && self.colluder_ticks_today > 0 {
+            self.config.sandwiches_on_day(day) / self.colluder_ticks_today as f64
+        } else {
+            0.0
+        };
         let n_sandwich = poisson(&mut self.rng, sandwich_rate);
+        // Concentrating the day's budget into colluder ticks makes
+        // multi-sandwich ticks common; each pool is attacked at most once
+        // per slot, since a second plan against the same pool would be
+        // stale the moment the first bundle executes.
+        let mut attacked_pools: HashSet<(Pubkey, Pubkey)> = HashSet::new();
         for _ in 0..n_sandwich {
-            self.build_sandwich(&mut bundles, &mut pending);
+            self.build_sandwich(&mut bundles, &mut pending, &mut attacked_pools);
         }
 
         // Length-1: defensive vs priority.
@@ -259,11 +293,14 @@ impl Simulation {
             }
         }
 
-        let slot = self.config.slot_for(day, tick_in_day);
         let tick_started = std::time::Instant::now();
         let submitted = bundles.len() as u64;
         let result = self.engine.produce_slot(slot, bundles, regular);
-        self.account_truth(day, &pending, &result);
+        let provenance = BundleProvenance {
+            leader: result.block.leader,
+            colluder: leader_is_colluder,
+        };
+        self.account_truth(day, &pending, &result, provenance);
         if let Some(m) = &self.metrics {
             m.ticks.inc();
             m.slots_produced.inc();
@@ -291,6 +328,7 @@ impl Simulation {
         day: u64,
         pending: &HashMap<BundleId, BundleLabel>,
         result: &SlotResult,
+        provenance: BundleProvenance,
     ) {
         let truth = &mut self.truth.per_day[day as usize];
         truth.dropped += result.dropped.len() as u64;
@@ -325,6 +363,7 @@ impl Simulation {
                 BundleLabel::Benign(_) | BundleLabel::NearMiss(_) => {}
             }
             self.labels.insert(lb.bundle_id, label);
+            self.labels.insert_provenance(lb.bundle_id, provenance);
         }
     }
 
@@ -358,12 +397,13 @@ impl Simulation {
         &mut self,
         bundles: &mut Vec<Bundle>,
         pending: &mut HashMap<BundleId, BundleLabel>,
+        attacked_pools: &mut HashSet<(Pubkey, Pubkey)>,
     ) {
         // Decide the pool class once so retries cannot skew the SOL /
         // non-SOL mix (SOL plans fail more often than token plans).
         let non_sol = self.rng.gen::<f64>() < self.config.non_sol_sandwich_fraction;
         for _ in 0..8 {
-            if self.try_build_sandwich(non_sol, bundles, pending) {
+            if self.try_build_sandwich(non_sol, bundles, pending, attacked_pools) {
                 return;
             }
         }
@@ -374,6 +414,7 @@ impl Simulation {
         non_sol: bool,
         bundles: &mut Vec<Bundle>,
         pending: &mut HashMap<BundleId, BundleLabel>,
+        attacked_pools: &mut HashSet<(Pubkey, Pubkey)>,
     ) -> bool {
         let pool_ref: PoolRef = if non_sol && !self.universe.token_pools.is_empty() {
             let i = self.rng.gen_range(0..self.universe.token_pools.len());
@@ -382,6 +423,9 @@ impl Simulation {
             let i = self.rng.gen_range(0..self.universe.sol_pools.len());
             self.universe.sol_pools[i].clone()
         };
+        if attacked_pools.contains(&(pool_ref.mint_a, pool_ref.mint_b)) {
+            return false; // already attacked this slot; retry resamples
+        }
         let pool = self.universe.pool(&pool_ref);
         let (mint_in, mint_out) = if pool_ref.has_sol_leg {
             (native_sol_mint(), pool_ref.token_of_sol_pool())
@@ -476,6 +520,7 @@ impl Simulation {
         };
         pending.insert(bundle.id(), BundleLabel::Sandwich(intent));
         bundles.push(bundle);
+        attacked_pools.insert((pool_ref.mint_a, pool_ref.mint_b));
 
         // Occasionally a rival contends for the same victim with a smaller
         // bankroll and its own tip — only one can land.
@@ -1095,6 +1140,47 @@ mod tests {
             truth.per_day[0].sandwiches,
             truth.per_day[1].sandwiches
         );
+    }
+
+    #[test]
+    fn sandwiches_only_land_in_colluder_led_slots() {
+        let config = ScenarioConfig::tiny();
+        let flags = config.colluder_flags();
+        let mut sim = Simulation::new(config);
+        let mut sandwich_slots: Vec<sandwich_types::Slot> = Vec::new();
+        let mut colluder_blocks = 0u64;
+        let mut honest_blocks = 0u64;
+        let schedule = sim.universe.schedule.clone();
+        while let Some(outcome) = sim.step() {
+            let slot = outcome.result.block.slot;
+            if flags[schedule.leader_index_at(slot)] {
+                colluder_blocks += 1;
+            } else {
+                honest_blocks += 1;
+            }
+            for lb in &outcome.result.bundles {
+                if sim.labels().get(&lb.bundle_id).unwrap().is_sandwich() {
+                    sandwich_slots.push(slot);
+                }
+            }
+        }
+        assert!(
+            colluder_blocks > 0 && honest_blocks > 0,
+            "both leader kinds produced"
+        );
+        assert!(!sandwich_slots.is_empty(), "some sandwiches landed");
+        for slot in sandwich_slots {
+            assert!(
+                flags[schedule.leader_index_at(slot)],
+                "sandwich landed in honest-led {slot}"
+            );
+        }
+        // Provenance is recorded for every landed sandwich and names the
+        // scheduled leader of its slot.
+        for id in sim.truth().sandwich_ids.iter() {
+            let prov = sim.labels().provenance(id).expect("provenance recorded");
+            assert!(prov.colluder);
+        }
     }
 
     #[test]

@@ -159,10 +159,27 @@ impl BundleLabel {
     }
 }
 
+/// Ground-truth provenance of one landed bundle: which validator led the
+/// slot it landed in, and whether that leader is a colluder (forwards its
+/// mempool view to the private channel).
+///
+/// Like every other label, provenance never crosses the explorer wire —
+/// the measured system must recompute leaders from the public validator
+/// spec and *infer* colluders from attribution counts; this record is what
+/// the conformance oracle scores that inference against.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BundleProvenance {
+    /// Leader of the slot the bundle landed in.
+    pub leader: Pubkey,
+    /// Whether that leader is a ground-truth colluder.
+    pub colluder: bool,
+}
+
 /// Per-bundle ground truth for a whole run, keyed by bundle id.
 #[derive(Debug, Default)]
 pub struct LabelBook {
     labels: HashMap<BundleId, BundleLabel>,
+    provenance: HashMap<BundleId, BundleProvenance>,
 }
 
 impl LabelBook {
@@ -176,9 +193,19 @@ impl LabelBook {
         self.labels.insert(id, label);
     }
 
+    /// Record which validator led the slot bundle `id` landed in.
+    pub fn insert_provenance(&mut self, id: BundleId, provenance: BundleProvenance) {
+        self.provenance.insert(id, provenance);
+    }
+
     /// Look up a bundle's label.
     pub fn get(&self, id: &BundleId) -> Option<&BundleLabel> {
         self.labels.get(id)
+    }
+
+    /// Look up a bundle's slot-leader provenance.
+    pub fn provenance(&self, id: &BundleId) -> Option<&BundleProvenance> {
+        self.provenance.get(id)
     }
 
     /// Number of labeled bundles.
@@ -194,6 +221,13 @@ impl LabelBook {
     /// Iterate over all (id, label) pairs (unordered).
     pub fn iter(&self) -> impl Iterator<Item = (&BundleId, &BundleLabel)> {
         self.labels.iter()
+    }
+
+    /// Iterate over all (id, provenance) pairs (unordered). The oracle
+    /// derives the ground-truth colluder set from these — a validator is
+    /// a colluder iff any bundle landed in its slots says so.
+    pub fn provenances(&self) -> impl Iterator<Item = (&BundleId, &BundleProvenance)> {
+        self.provenance.iter()
     }
 
     /// Ids of all labeled sandwiches.
@@ -259,5 +293,19 @@ mod tests {
         assert!(book.get(&id3).unwrap().is_defensive());
         assert_eq!(book.sandwich_ids().count(), 1);
         assert_eq!(book.near_miss_counts()[&NearMissFamily::TipOnlyFinal], 1);
+    }
+
+    #[test]
+    fn provenance_joins_on_bundle_id() {
+        let mut book = LabelBook::new();
+        let id = Hash::digest(b"b1");
+        let prov = BundleProvenance {
+            leader: Pubkey::derive("leader"),
+            colluder: true,
+        };
+        book.insert(id, BundleLabel::Defensive);
+        book.insert_provenance(id, prov);
+        assert_eq!(book.provenance(&id), Some(&prov));
+        assert_eq!(book.provenance(&Hash::digest(b"other")), None);
     }
 }

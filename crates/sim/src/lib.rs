@@ -14,6 +14,8 @@ pub mod universe;
 pub use config::{lognormal_clamped, poisson, standard_normal, weighted_choice, ScenarioConfig};
 pub use driver::{DayTruth, GroundTruth, Simulation, TickOutcome};
 pub use fuzzer::{NearMissCase, NearMissFuzzer};
-pub use labels::{BenignKind, BundleLabel, LabelBook, NearMissFamily, SandwichLabel};
+pub use labels::{
+    BenignKind, BundleLabel, BundleProvenance, LabelBook, NearMissFamily, SandwichLabel,
+};
 pub use population::{Agent, Population};
 pub use universe::{PoolRef, Universe};

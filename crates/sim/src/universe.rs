@@ -4,9 +4,10 @@ use std::sync::Arc;
 
 use rand::Rng;
 
+use sandwich_attrib::LeaderSchedule;
 use sandwich_dex::{create_pool_ix, AmmProgram, PoolState};
 use sandwich_ledger::{native_sol_mint, Bank, Instruction, TokenInstruction, TransactionBuilder};
-use sandwich_types::{Keypair, Lamports, Pubkey};
+use sandwich_types::{Keypair, Lamports, Pubkey, Slot};
 
 use crate::config::{lognormal_clamped, ScenarioConfig};
 
@@ -36,6 +37,8 @@ impl PoolRef {
 pub struct Universe {
     /// The bank every transaction executes against.
     pub bank: Arc<Bank>,
+    /// The stake-weighted leader schedule over the scenario's validators.
+    pub schedule: Arc<LeaderSchedule>,
     /// All token mints.
     pub mints: Vec<Pubkey>,
     /// SOL/token pools.
@@ -50,11 +53,17 @@ pub struct Universe {
 impl Universe {
     /// Build mints and pools per the scenario config.
     ///
+    /// The validator identity set is schedule-driven: the scenario seed and
+    /// `validator_count` derive a stake-weighted set via `sandwich-attrib`,
+    /// replacing the old single hard-coded `leader-validator` keypair. The
+    /// bank's fee destination is the leader of slot 0.
+    ///
     /// Signature verification is disabled on the bank: forging is not in
     /// the measured threat model, and a 120-day run executes millions of
     /// transactions.
     pub fn setup<R: Rng>(config: &ScenarioConfig, rng: &mut R) -> Universe {
-        let validator = Keypair::from_label("leader-validator").pubkey();
+        let schedule = Arc::new(LeaderSchedule::new(&config.validator_spec()));
+        let validator = schedule.leader_at(Slot::GENESIS);
         let bank = Arc::new(Bank::new(validator).with_signature_verification(false));
         bank.register_program(Arc::new(AmmProgram));
 
@@ -63,6 +72,7 @@ impl Universe {
 
         let mut u = Universe {
             bank,
+            schedule,
             mints: Vec::new(),
             sol_pools: Vec::new(),
             token_pools: Vec::new(),
@@ -201,6 +211,25 @@ mod tests {
         for p in &u.token_pools {
             assert!(!u.pool(p).has_sol_leg());
         }
+    }
+
+    #[test]
+    fn universe_schedule_matches_config_spec() {
+        let config = ScenarioConfig::tiny();
+        let mut rng = StdRng::seed_from_u64(3);
+        let u = Universe::setup(&config, &mut rng);
+        assert_eq!(
+            u.schedule.validators().len(),
+            config.validator_count as usize
+        );
+        // The bank's fee destination is the genesis-slot leader, and the
+        // schedule is the one the config spec derives.
+        let expect = LeaderSchedule::new(&config.validator_spec());
+        assert_eq!(u.bank.validator(), expect.leader_at(Slot::GENESIS));
+        assert_eq!(
+            u.schedule.leader_at(Slot(4_000)),
+            expect.leader_at(Slot(4_000))
+        );
     }
 
     #[test]

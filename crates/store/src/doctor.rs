@@ -163,6 +163,7 @@ fn run(dir: &Path, repair_mode: bool) -> std::io::Result<DoctorReport> {
         version: old_manifest.version,
         segments: Vec::new(),
         quarantined: Some(old_manifest.quarantined().to_vec()),
+        validators: old_manifest.validators,
     };
     let mut writes: Vec<(std::path::PathBuf, Vec<u8>)> = Vec::new();
     let mut manifest_dirty = report.manifest_rebuilt;

@@ -55,6 +55,7 @@ pub use manifest::{
 pub use mmap::Mapped;
 pub use rebalance::{rebalance, RebalanceConfig, RebalanceReport};
 pub use records::{CollectedBundle, CollectedDetail, PollRecord};
+pub use sandwich_attrib::ValidatorSpec;
 pub use scan::{parallel_map, WorkerStats};
 pub use segment::{fnv1a64, SegmentFooter, FORMAT_VERSION, SEGMENT_MAGIC, SEGMENT_MAGIC_V1};
 pub use store::{BundleStore, StoreWriter};

@@ -14,6 +14,7 @@
 
 use std::path::{Path, PathBuf};
 
+use sandwich_attrib::ValidatorSpec;
 use serde::{Deserialize, Serialize};
 
 use crate::crash::{write_durable_with, CrashPlan};
@@ -63,6 +64,13 @@ pub struct Manifest {
     /// loaded from a pre-quarantine manifest (reads as empty); saves
     /// always write the list.
     pub quarantined: Option<Vec<QuarantinedSegment>>,
+    /// The validator set the recorded chain ran under — public chain
+    /// data (seed and count fully determine identities, stakes, and the
+    /// leader of every slot), which is what lets the index attribute each
+    /// sandwich to its slot leader without any per-slot data on the wire.
+    /// `None` when the store predates attribution (reads degrade to an
+    /// unattributed index).
+    pub validators: Option<ValidatorSpec>,
 }
 
 /// Manifest file name inside a store directory.
@@ -75,6 +83,7 @@ impl Manifest {
             version: 1,
             segments: Vec::new(),
             quarantined: Some(Vec::new()),
+            validators: None,
         }
     }
 
@@ -359,6 +368,34 @@ mod tests {
         assert_eq!(m.total_bundles(), 7);
         assert!(m.quarantined().is_empty());
         assert_eq!(m.total_quarantined_bundles(), 0);
+        assert_eq!(m.validators, None);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn pre_attribution_manifest_still_loads() {
+        let dir = tmp_dir("compat-attrib");
+        // A manifest saved before the validator spec existed (but after
+        // the quarantine list did).
+        std::fs::write(
+            dir.join(MANIFEST_FILE),
+            r#"{"version":1,"segments":[{"file":"seg-00000.seg","bundles":3,"details":0,"polls":0,"min_slot":1,"max_slot":9,"bytes":100,"checksum":"00000000deadbeef"}],"quarantined":[]}"#,
+        )
+        .unwrap();
+        let m = Manifest::load(&dir).unwrap();
+        assert_eq!(m.total_bundles(), 3);
+        assert_eq!(m.validators, None);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn validator_spec_roundtrips_through_save() {
+        let dir = tmp_dir("spec-roundtrip");
+        let mut m = Manifest::new();
+        m.validators = Some(ValidatorSpec::new(42, 24));
+        m.save(&dir).unwrap();
+        let back = Manifest::load(&dir).unwrap();
+        assert_eq!(back.validators, Some(ValidatorSpec::new(42, 24)));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

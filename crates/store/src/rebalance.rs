@@ -231,6 +231,7 @@ pub fn rebalance(dir: &Path, config: &RebalanceConfig) -> std::io::Result<Rebala
         version: old.version,
         segments: new_segments,
         quarantined: Some(old.quarantined().to_vec()),
+        validators: old.validators,
     };
     manifest.save(dir)?;
     report.segments_after = manifest.segments.len();

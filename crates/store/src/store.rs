@@ -86,6 +86,7 @@ impl StoreWriter {
             version: on_disk.version,
             segments: expected.to_vec(),
             quarantined: Some(on_disk.quarantined().to_vec()),
+            validators: on_disk.validators,
         };
         // Every retained segment gets a cheap structural probe (size +
         // both magics + footer parse); a damaged one gets one shot at
@@ -100,6 +101,22 @@ impl StoreWriter {
             manifest,
             bytes_written: 0,
         })
+    }
+
+    /// Record the validator spec of the chain this store was collected
+    /// from, durably re-saving the manifest. The spec is public chain
+    /// data — seed and count fully determine validator identities, stakes
+    /// and the leader of every slot — so carrying it in the manifest lets
+    /// an index attribute each sandwich to its slot leader without any
+    /// per-slot leader data on the wire.
+    pub fn set_validators(&mut self, spec: sandwich_attrib::ValidatorSpec) -> std::io::Result<()> {
+        let prev = self.manifest.validators;
+        self.manifest.validators = Some(spec);
+        if let Err(e) = self.manifest.save(&self.dir) {
+            self.manifest.validators = prev;
+            return Err(e);
+        }
+        Ok(())
     }
 
     /// Seal one segment from a batch of records. Records are sorted into

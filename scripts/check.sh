@@ -218,4 +218,37 @@ if [ -f results/BENCH_shard.json ]; then
   gate_shard_json results/BENCH_shard.json
 fi
 
+# The attribution bench replays the default 8-day scenario into a store,
+# joins every sealed sandwich to its slot leader, and scores the result
+# against the sim's label book. The hard gates: exact attribution
+# (accuracy 1.0 — every detected sandwich on the right leader, colluder
+# set recovered exactly) and byte-identical /api/validators responses
+# between the single engine and the 1/2/4/8-shard router.
+echo "==> attrib_bench smoke (bounded, 8-day scenario)"
+SANDWICH_ATTRIB_STORE_DIR=target/attrib_smoke.store \
+SANDWICH_BENCH_OUT=target/BENCH_attrib_smoke.json \
+timeout 420 cargo run --offline --release -p sandwich-bench --bin attrib_bench
+gate_attrib_json() {
+  f="$1"
+  grep -q '"attribution_accuracy": 1.000' "$f" || {
+    echo "$f: attribution_accuracy != 1.0 — a sandwich was joined to the wrong leader" >&2
+    exit 1
+  }
+  grep -q '"validators_identical": true' "$f" || {
+    echo "$f: validators_identical != true — sharded /api/validators diverged from the single engine" >&2
+    exit 1
+  }
+  for field in colluder_precision colluder_recall colluder_ranking_agreement \
+               leaderboard_overhead_pct; do
+    grep -q "\"$field\"" "$f" || {
+      echo "$f is missing \"$field\"" >&2
+      exit 1
+    }
+  done
+}
+gate_attrib_json target/BENCH_attrib_smoke.json
+if [ -f results/BENCH_attrib.json ]; then
+  gate_attrib_json results/BENCH_attrib.json
+fi
+
 echo "==> all checks passed"

@@ -97,6 +97,79 @@ async fn oracle_scores_the_detector_perfectly_on_labeled_ground_truth() {
     );
 }
 
+#[tokio::test(flavor = "multi_thread", worker_threads = 2)]
+async fn oracle_scores_attribution_perfectly_on_labeled_ground_truth() {
+    let scenario = ScenarioConfig {
+        downtime_days: vec![], // full coverage so every sandwich is joined
+        ..ScenarioConfig::tiny()
+    };
+    let pipeline = PipelineConfig {
+        store: Some(sandwich_core::StoreOptions {
+            segment_bundles: 500,
+            ..sandwich_core::StoreOptions::new(
+                std::env::temp_dir().join(format!("swattrib-conf-{}", std::process::id())),
+            )
+        }),
+        ..tiny_pipeline(&scenario)
+    };
+    let _ = std::fs::remove_dir_all(&pipeline.store.as_ref().unwrap().dir);
+    let mut sim = Simulation::new(scenario);
+    let run = sandwich_core::run_measurement(&mut sim, pipeline)
+        .await
+        .unwrap();
+    let store = run.store.as_ref().expect("store mode");
+    let labels = sim.labels();
+
+    // The index joins each sealed sandwich to its slot leader from the
+    // manifest's validator spec — public chain data only, no labels.
+    let index =
+        sandwich_query::build_index(store, &sandwich_query::QueryConfig::default()).unwrap();
+    let validators = index
+        .validators
+        .as_ref()
+        .expect("the pipeline stamps the validator spec into the manifest");
+    let leaderboard: Vec<_> = validators
+        .iter()
+        .map(|v| (v.pubkey, v.sandwiches))
+        .collect();
+
+    let a = conformance::score_attribution(
+        index.refs.iter().map(|r| (&r.bundle_id, r.leader.as_ref())),
+        &leaderboard,
+        labels,
+    );
+
+    // The headline acceptance: every detected sandwich attributed to the
+    // right leader, the colluder set recovered exactly, counts agreeing.
+    assert!(a.attributed > 0, "no sandwiches attributed at all");
+    assert_eq!(a.wrong_leaders, 0, "{a:?}");
+    assert_eq!(a.unattributed, 0, "{a:?}");
+    assert_eq!(a.unprovenanced, 0, "{a:?}");
+    assert_eq!(a.leader_accuracy(), 1.0);
+    assert_eq!(a.colluders.precision(), 1.0, "{a:?}");
+    assert_eq!(a.colluders.recall(), 1.0, "{a:?}");
+    assert!(
+        a.colluders.true_positives > 0,
+        "no colluders inferred: {a:?}"
+    );
+    assert!(
+        a.colluders.true_negatives > 0,
+        "honest validators must stay unaccused: {a:?}"
+    );
+    assert!(a.counts_match, "{a:?}");
+    assert!(a.perfect(), "{a:?}");
+
+    // Sandwiches land *only* in colluder-led slots: every leaderboard
+    // entry with sandwiches is a ground-truth colluder by construction.
+    let colluders = a.colluders.true_positives as usize;
+    assert!(
+        validators.iter().filter(|v| v.sandwiches > 0).count() == colluders,
+        "sandwiches outside colluder-led slots"
+    );
+
+    std::fs::remove_dir_all(store.dir()).unwrap();
+}
+
 #[test]
 fn fuzzer_probes_every_criterion_boundary() {
     let full = DetectorConfig::default();

@@ -20,7 +20,7 @@ use sandwich_query::{
 use sandwich_store::segment::{encode_segment, encode_segment_v1, write_segment_file};
 use sandwich_store::{
     crash, doctor, is_injected_crash, BundleStore, CollectedBundle, CrashPlan, Manifest,
-    SegmentMeta, StoreWriter,
+    SegmentMeta, StoreWriter, ValidatorSpec,
 };
 use sandwich_types::{Hash, Keypair, Lamports, Slot, SlotClock};
 
@@ -224,8 +224,25 @@ fn assert_recovered_or_quarantined(dir: &Path, reference: &str, context: &str) {
 /// loads.
 #[test]
 fn every_fold_persist_crash_point_leaves_a_servable_index() {
-    let base = scratch("foldbase");
+    fold_persist_crash_matrix("plain", None);
+}
+
+/// The same matrix over the *extended* index frame: with a validator spec
+/// in the manifest, the persisted SWQIX01 frame additionally carries the
+/// spec, per-sandwich leaders, and the validator leaderboard — and every
+/// crash point of its durable rewrite must still leave an entirely-old or
+/// entirely-new frame whose attribution fields survive the round trip.
+#[test]
+fn every_fold_persist_crash_point_leaves_a_servable_attributed_index() {
+    fold_persist_crash_matrix("attrib", Some(ValidatorSpec::new(20_250_209, 8)));
+}
+
+fn fold_persist_crash_matrix(tag: &str, spec: Option<ValidatorSpec>) {
+    let base = scratch(&format!("foldbase-{tag}"));
     let mut w = StoreWriter::create(&base).unwrap();
+    if let Some(spec) = spec {
+        w.set_validators(spec).unwrap();
+    }
     w.seal_segment(batch(1, 100, 30), Vec::new(), Vec::new())
         .unwrap();
     drop(w);
@@ -261,6 +278,12 @@ fn every_fold_persist_crash_point_leaves_a_servable_index() {
         reference,
         "fold must be byte-identical to the full rebuild"
     );
+    assert_eq!(folded.validator_spec, spec, "spec must ride the frame");
+    assert_eq!(
+        folded.validators.is_some(),
+        spec.is_some(),
+        "leaderboard present exactly when the manifest carries a spec"
+    );
 
     // Enumerate the crash points of one durable index rewrite.
     let steps = {
@@ -292,6 +315,13 @@ fn every_fold_persist_crash_point_leaves_a_servable_index() {
                 "unexpected durable generation {} at step {step}",
                 durable.generation
             );
+            // Both generations were written with the same manifest spec,
+            // so the attribution fields must survive whichever frame won.
+            assert_eq!(
+                durable.validator_spec, spec,
+                "attribution spec lost at step {step} torn={torn}"
+            );
+            assert_eq!(durable.validators.is_some(), spec.is_some());
 
             // Recovery: a fresh service reaches generation 2 without a
             // full rebuild — old index folds forward, new index loads.

@@ -8,11 +8,11 @@
 use proptest::prelude::*;
 
 use sandwich_query::{
-    AttackerEntry, DayRollup, IndexCoverage, IndexTotals, PoolEntry, SandwichRef,
+    AttackerEntry, DayRollup, IndexCoverage, IndexTotals, PoolEntry, SandwichRef, ValidatorEntry,
 };
 use sandwich_shard::merge::{
     merge_attackers, merge_coverage, merge_days, merge_pools, merge_range, merge_recent,
-    merge_totals, RangePartial,
+    merge_totals, merge_validators, RangePartial,
 };
 use sandwich_types::{Hash, Keypair, Pubkey};
 
@@ -61,6 +61,7 @@ fn sref(slot: u64, id: u64) -> SandwichRef {
         victim_loss_lamports: Some(1_000 + id),
         attacker_gain_lamports: Some(500 + id as i128),
         tip_lamports: 10_000 + slot,
+        leader: Some(pk(50 + (slot % 4) as u8)),
     }
 }
 
@@ -255,6 +256,72 @@ proptest! {
             parts[assignment[i % assignment.len()] as usize % shards].push(entry);
         }
         prop_assert_eq!(&merge_pools(parts), &whole);
+    }
+
+    /// The validator leaderboard: `blocks_led` merges by max (each shard
+    /// reports the count through its own tip; the global tip is the max),
+    /// `sandwich_slots` by sorted union, numerics by sum. Like the other
+    /// leaderboards the result must depend only on the multiset of rows —
+    /// associative, permutation invariant, partition invariant — because
+    /// that is what makes the router's `/api/validators` byte-identical
+    /// to the single engine at every shard count.
+    #[test]
+    fn validator_merge_is_associative_and_partition_invariant(
+        rows in prop::collection::vec(
+            (0u8..6, 0u64..5_000, prop::collection::vec(0u64..2_000, 0..6), 0u64..100, 0u64..100_000),
+            0..40,
+        ),
+        assignment in prop::collection::vec(0u8..4, 1..40),
+        shards in 1usize..5,
+        split in 0usize..5,
+        seed in any::<u64>(),
+    ) {
+        // Stake and pool are pure functions of the identity (derived from
+        // the manifest's validator spec), so every shard reports the same
+        // values for the same pubkey — the proptest mirrors that.
+        let entries: Vec<ValidatorEntry> = rows
+            .iter()
+            .map(|(key, blocks_led, slots, sandwiches, tips)| ValidatorEntry {
+                pubkey: pk(*key),
+                stake_lamports: (*key as u64 + 1) * 1_000_000_000,
+                stake_pool: format!("pool-{}", key % 3),
+                blocks_led: *blocks_led,
+                sandwich_slots: slots.clone(),
+                sandwiches: *sandwiches,
+                attacker_gain_lamports: *sandwiches as i128 * 5 - 100,
+                victim_loss_lamports: *sandwiches as u128 * 7,
+                tips_lamports: *tips as u128,
+                refs: vec![1, 2, 3], // must be dropped by the merge
+            })
+            .collect();
+        let whole = merge_validators(vec![entries.clone()]);
+        prop_assert!(whole.iter().all(|e| e.refs.is_empty()), "merge must drop refs");
+        for entry in &whole {
+            prop_assert!(
+                entry.sandwich_slots.windows(2).all(|w| w[0] < w[1]),
+                "sandwich_slots must come out sorted and deduped"
+            );
+        }
+
+        // Partition invariance: any assignment of rows to any shard count.
+        let mut parts: Vec<Vec<ValidatorEntry>> = vec![Vec::new(); shards];
+        for (i, entry) in entries.iter().enumerate() {
+            parts[assignment[i % assignment.len()] as usize % shards].push(entry.clone());
+        }
+        prop_assert_eq!(&merge_validators(parts.clone()), &whole);
+
+        // Associativity: merging two pre-merged groups equals one merge.
+        let cut = split.min(parts.len());
+        let grouped = merge_validators(vec![
+            merge_validators(parts[..cut].to_vec()),
+            merge_validators(parts[cut..].to_vec()),
+        ]);
+        prop_assert_eq!(&grouped, &whole);
+
+        // Permutation invariance: shard arrival order must not matter.
+        let order = permutation(parts.len(), seed);
+        let shuffled: Vec<Vec<ValidatorEntry>> = order.iter().map(|&i| parts[i].clone()).collect();
+        prop_assert_eq!(&merge_validators(shuffled), &whole);
     }
 
     /// The prefix property behind re-pagination: when every shard ships

@@ -16,7 +16,7 @@ use sandwich_shard::merge::{merge_coverage, SummaryPartial};
 use sandwich_shard::{
     ClusterConfig, RouterConfig, RouterService, ServingCluster, ShardConfig, ShardMap, ShardService,
 };
-use sandwich_store::{BundleStore, Manifest, RebalanceConfig, StoreWriter};
+use sandwich_store::{BundleStore, Manifest, RebalanceConfig, StoreWriter, ValidatorSpec};
 use sandwich_types::Keypair;
 
 /// Seed a store with the scale generator so attacker/pool/detail
@@ -25,6 +25,11 @@ fn seed_scale_store(tag: &str, bundles: u64, segment_bundles: usize) -> PathBuf 
     let dir = std::env::temp_dir().join(format!("sw-shard-{tag}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     let mut writer = StoreWriter::create(&dir).unwrap();
+    // Stamp a validator spec so the attribution endpoints have a real
+    // leader schedule to join against (as the pipeline does).
+    writer
+        .set_validators(ValidatorSpec::new(20_250_209, 16))
+        .unwrap();
     let scale = ScaleConfig {
         bundles,
         segment_bundles,
@@ -59,6 +64,11 @@ fn typed(path: &str) -> QueryRequest {
     } else if let Some(rest) = route.strip_prefix("/api/pool/") {
         params.insert("mint".to_string(), rest.to_string());
         "pool"
+    } else if route == "/api/validators" {
+        "validators"
+    } else if let Some(rest) = route.strip_prefix("/api/validator/") {
+        params.insert("pubkey".to_string(), rest.to_string());
+        "validator"
     } else {
         "sandwiches"
     };
@@ -107,9 +117,18 @@ fn probe_paths(dir: &PathBuf) -> Vec<String> {
     for entry in index.pools.iter().take(2) {
         paths.push(format!("/api/pool/{}", entry.mint));
     }
+    let validators = index.validators.as_deref().unwrap_or(&[]);
+    paths.push("/api/validators?limit=10".to_string());
+    paths.push("/api/validators?limit=5&after=5".to_string());
+    for entry in validators.iter().filter(|v| v.sandwiches > 0).take(2) {
+        paths.push(format!("/api/validator/{}", entry.pubkey));
+    }
     let nobody = Keypair::from_label("shard-router-nobody").pubkey();
     paths.push(format!("/api/attacker/{nobody}"));
     paths.push(format!("/api/pool/{nobody}"));
+    // The validator 404 behaves exactly like the attacker 404: same
+    // status, a JSON body, merged shards agreeing byte-for-byte.
+    paths.push(format!("/api/validator/{nobody}"));
     let max_slot = index.totals.max_slot.max(1);
     paths.push(format!(
         "/api/sandwiches?from_slot=0&to_slot={}&limit=50",
